@@ -1,0 +1,67 @@
+//! Ablation: CRS vs CCS per partition method (the paper's §4.1.2 contrast
+//! between Tables 1 and 2 — the travelling-index kind decides whether the
+//! receiver pays the conversion op per nonzero and how long the pointer
+//! stream is).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sparsedist_bench::{run_cell, PaperTable, ProcConfig};
+use sparsedist_core::compress::CompressKind;
+use sparsedist_core::schemes::SchemeKind;
+use sparsedist_multicomputer::MachineModel;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_kinds(c: &mut Criterion) {
+    let n = 400;
+    let m = MachineModel::ibm_sp2();
+    eprintln!("\nAblation: CRS vs CCS, n={n}, p=4, s=0.1 — T_Distribution / T_Compression (ms)");
+    eprintln!("{:<10}{:<8}{:>16}{:>16}", "partition", "scheme", "CRS", "CCS");
+    for (table, pc, label) in [
+        (PaperTable::Table3Row, ProcConfig::Flat(4), "row"),
+        (PaperTable::Table4Column, ProcConfig::Flat(4), "column"),
+        (PaperTable::Table5Mesh, ProcConfig::Grid(2, 2), "mesh"),
+    ] {
+        for scheme in SchemeKind::ALL {
+            let crs = run_cell(table, scheme, n, pc, CompressKind::Crs, m);
+            let ccs = run_cell(table, scheme, n, pc, CompressKind::Ccs, m);
+            eprintln!(
+                "{label:<10}{:<8}{:>7.2}/{:>7.2}{:>8.2}/{:>7.2}",
+                scheme.label(),
+                crs.t_distribution().as_millis(),
+                crs.t_compression().as_millis(),
+                ccs.t_distribution().as_millis(),
+                ccs.t_compression().as_millis(),
+            );
+        }
+    }
+    eprintln!();
+
+    let mut g = c.benchmark_group("ablation_compression_kind");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for kind in [CompressKind::Crs, CompressKind::Ccs] {
+        for scheme in SchemeKind::ALL {
+            g.bench_with_input(
+                BenchmarkId::new(kind.label(), scheme.label()),
+                &kind,
+                |b, &kind| {
+                    b.iter(|| {
+                        black_box(run_cell(
+                            PaperTable::Table3Row,
+                            scheme,
+                            n,
+                            ProcConfig::Flat(4),
+                            kind,
+                            m,
+                        ))
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_kinds);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Ablation: how the scheme ranking flips with the `T_Data/T_Operation`
+//! ratio (DESIGN.md design-choice #1: the virtual network model is the
+//! knob the paper's Remark 5 crossovers live on).
+//!
+//! Prints the overall (`T_Distribution + T_Compression`) ranking under a
+//! compute-bound, SP2-calibrated and network-bound machine, then Criterion-
+//! measures the scheme runs under each model (host time is model-
+//! independent; the printed virtual times carry the ablation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sparsedist_bench::{run_cell, PaperTable, ProcConfig};
+use sparsedist_core::compress::CompressKind;
+use sparsedist_core::schemes::SchemeKind;
+use sparsedist_multicomputer::MachineModel;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn models() -> [(&'static str, MachineModel); 3] {
+    [
+        ("compute_bound", MachineModel::compute_bound()),
+        ("ibm_sp2", MachineModel::ibm_sp2()),
+        ("network_bound", MachineModel::network_bound()),
+    ]
+}
+
+fn bench_models(c: &mut Criterion) {
+    let n = 400;
+    eprintln!("\nAblation: overall time (ms) vs machine model, row partition, n={n}, p=4, s=0.1");
+    eprintln!("{:<16}{:>10}{:>12}{:>12}{:>12}", "model", "Td/Top", "SFC", "CFS", "ED");
+    for (name, m) in models() {
+        let mut row = format!("{name:<16}{:>10.2}", m.data_op_ratio());
+        for scheme in SchemeKind::ALL {
+            let run = run_cell(PaperTable::Table3Row, scheme, n, ProcConfig::Flat(4), CompressKind::Crs, m);
+            row.push_str(&format!("{:>12.3}", run.t_total().as_millis()));
+        }
+        eprintln!("{row}");
+    }
+    eprintln!();
+
+    let mut g = c.benchmark_group("ablation_machine_models");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for (name, m) in models() {
+        for scheme in SchemeKind::ALL {
+            g.bench_with_input(BenchmarkId::new(name, scheme.label()), &m, |b, &m| {
+                b.iter(|| {
+                    black_box(run_cell(
+                        PaperTable::Table3Row,
+                        scheme,
+                        n,
+                        ProcConfig::Flat(4),
+                        CompressKind::Crs,
+                        m,
+                    ))
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Ablation: encode-then-send-all vs overlapped encode/send in the ED
+//! scheme, and reduce-based vs row-conformal distributed SpMV.
+//!
+//! Both contrasts leave the paper's phase aggregates untouched and move a
+//! *scheduling* metric instead: overlap shrinks the mean completion time
+//! across receivers (the last receiver is unmoved, so the makespan is
+//! identical); the row-conformal SpMV relieves the root's send hotspot.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sparsedist_bench::workload;
+use sparsedist_core::compress::CompressKind;
+use sparsedist_core::partition::RowBlock;
+use sparsedist_core::schemes::run_ed_overlapped as run_overlapped;
+use sparsedist_core::schemes::{run_scheme, SchemeKind, SchemeRun};
+use sparsedist_multicomputer::{MachineModel, Multicomputer, Phase};
+use sparsedist_ops::spmv::{distributed_spmv_ledgers, distributed_spmv_rowwise_ledgers};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn mean_completion(run: &SchemeRun) -> f64 {
+    run.ledgers
+        .iter()
+        .map(|l| (l.busy_total() + l.get(Phase::Wait)).as_micros())
+        .sum::<f64>()
+        / run.ledgers.len() as f64
+}
+
+fn bench_overlap(c: &mut Criterion) {
+    let n = 400;
+    let p = 16;
+    let a = workload(n);
+    let part = RowBlock::new(n, n, p);
+    let machine = Multicomputer::virtual_machine(p, MachineModel::ibm_sp2());
+
+    let plain = run_scheme(SchemeKind::Ed, &machine, &a, &part, CompressKind::Crs);
+    let over = run_overlapped(&machine, &a, &part, CompressKind::Crs);
+    eprintln!("\nED send discipline (n={n}, p={p}, s=0.1):");
+    eprintln!(
+        "  encode-all-then-send: makespan {}  mean completion {:.3}ms",
+        plain.t_makespan(),
+        mean_completion(&plain) / 1000.0
+    );
+    eprintln!(
+        "  overlapped:           makespan {}  mean completion {:.3}ms",
+        over.t_makespan(),
+        mean_completion(&over) / 1000.0
+    );
+
+    let x = vec![1.0; n];
+    let (_, lg) = distributed_spmv_ledgers(&machine, &plain, &part, &x);
+    let (_, lr) = distributed_spmv_rowwise_ledgers(&machine, &plain, &part, &x);
+    let send_max = |ls: &[sparsedist_multicomputer::PhaseLedger]| -> f64 {
+        ls.iter().map(|l| l.get(Phase::Send).as_micros()).fold(0.0, f64::max)
+    };
+    eprintln!("\nDistributed SpMV root hotspot (max per-rank send):");
+    eprintln!("  reduce-based:  {:.3}ms", send_max(&lg) / 1000.0);
+    eprintln!("  row-conformal: {:.3}ms", send_max(&lr) / 1000.0);
+    eprintln!();
+
+    let mut g = c.benchmark_group("ablation_overlap");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    g.bench_function(BenchmarkId::new("ed", "plain"), |b| {
+        b.iter(|| black_box(run_scheme(SchemeKind::Ed, &machine, &a, &part, CompressKind::Crs)))
+    });
+    g.bench_function(BenchmarkId::new("ed", "overlapped"), |b| {
+        b.iter(|| black_box(run_overlapped(&machine, &a, &part, CompressKind::Crs)))
+    });
+    g.bench_function(BenchmarkId::new("spmv", "reduce"), |b| {
+        b.iter(|| black_box(distributed_spmv_ledgers(&machine, &plain, &part, &x)))
+    });
+    g.bench_function(BenchmarkId::new("spmv", "rowwise"), |b| {
+        b.iter(|| black_box(distributed_spmv_rowwise_ledgers(&machine, &plain, &part, &x)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_overlap);
+criterion_main!(benches);

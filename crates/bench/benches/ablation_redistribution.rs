@@ -1,0 +1,58 @@
+//! Ablation: redistribution strategies — compressed all-to-all (`Direct`,
+//! `p²` startups, volume `3·nnz`) vs hub-routed (`ViaSource`, `2p`
+//! startups, volume `6·nnz`). The startup-vs-volume crossover is printed,
+//! then both strategies are Criterion-measured.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sparsedist_bench::workload;
+use sparsedist_core::compress::CompressKind;
+use sparsedist_core::partition::{Mesh2D, RowBlock};
+use sparsedist_core::redistribute::{redistribute, RedistStrategy};
+use sparsedist_core::schemes::{run_scheme, SchemeKind};
+use sparsedist_multicomputer::{MachineModel, Multicomputer};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn measure(n: usize, p: usize, strategy: RedistStrategy) -> f64 {
+    let a = workload(n);
+    let from = RowBlock::new(n, n, p);
+    let to = Mesh2D::new(n, n, 4, p / 4);
+    let machine = Multicomputer::virtual_machine(p, MachineModel::ibm_sp2());
+    let owned = run_scheme(SchemeKind::Ed, &machine, &a, &from, CompressKind::Crs).locals;
+    redistribute(&machine, &owned, &from, &to, CompressKind::Crs, strategy)
+        .t_total()
+        .as_millis()
+}
+
+fn bench_redistribution(c: &mut Criterion) {
+    let p = 16;
+    eprintln!("\nRedistribution row → 4x{} mesh, p={p}, s=0.1 (virtual ms):", p / 4);
+    eprintln!("{:>8}{:>14}{:>14}{:>10}", "n", "Direct", "ViaSource", "winner");
+    for n in [40usize, 80, 160, 320, 640] {
+        let d = measure(n, p, RedistStrategy::Direct);
+        let v = measure(n, p, RedistStrategy::ViaSource);
+        eprintln!(
+            "{n:>8}{d:>14.3}{v:>14.3}{:>10}",
+            if d < v { "Direct" } else { "ViaSource" }
+        );
+    }
+    eprintln!();
+
+    let mut g = c.benchmark_group("ablation_redistribution");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for n in [80usize, 320] {
+        for strategy in [RedistStrategy::Direct, RedistStrategy::ViaSource] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("{strategy:?}"), n),
+                &n,
+                |b, &n| b.iter(|| black_box(measure(n, p, strategy))),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_redistribution);
+criterion_main!(benches);

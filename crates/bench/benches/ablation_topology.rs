@@ -1,0 +1,65 @@
+//! Ablation: interconnect topology sensitivity.
+//!
+//! The paper's analysis assumes a uniform-cost network (its SP2 had a
+//! multistage switch). This bench re-runs the schemes on ring, mesh and
+//! torus interconnects with a nonzero per-hop cost and shows that the
+//! SFC/CFS/ED *ranking* is topology-insensitive (the per-element volume
+//! term dominates), even though absolute times shift.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sparsedist_bench::workload;
+use sparsedist_core::compress::CompressKind;
+use sparsedist_core::partition::RowBlock;
+use sparsedist_core::schemes::{run_scheme, SchemeKind};
+use sparsedist_multicomputer::{MachineModel, Multicomputer, Topology};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn topologies(p: usize) -> Vec<(&'static str, Topology)> {
+    vec![
+        ("fully_connected", Topology::FullyConnected),
+        ("ring", Topology::Ring),
+        ("mesh4x4", Topology::Mesh2D { pr: 4, pc: p / 4 }),
+        ("torus4x4", Topology::Torus2D { pr: 4, pc: p / 4 }),
+    ]
+}
+
+fn run(n: usize, p: usize, topo: Topology, scheme: SchemeKind) -> f64 {
+    // A hefty per-hop cost (half a startup) to make topology matter.
+    let model = MachineModel::ibm_sp2().with_hop_cost(20.0);
+    let machine = Multicomputer::virtual_with_topology(p, model, topo);
+    let a = workload(n);
+    let part = RowBlock::new(n, n, p);
+    run_scheme(scheme, &machine, &a, &part, CompressKind::Crs)
+        .t_total()
+        .as_millis()
+}
+
+fn bench_topology(c: &mut Criterion) {
+    let (n, p) = (320usize, 16usize);
+    eprintln!("\nTopology ablation (row partition, n={n}, p={p}, T_Hop=20us):");
+    eprintln!("{:<18}{:>10}{:>10}{:>10}", "topology", "SFC", "CFS", "ED");
+    for (name, topo) in topologies(p) {
+        eprintln!(
+            "{name:<18}{:>10.3}{:>10.3}{:>10.3}",
+            run(n, p, topo, SchemeKind::Sfc),
+            run(n, p, topo, SchemeKind::Cfs),
+            run(n, p, topo, SchemeKind::Ed),
+        );
+    }
+    eprintln!();
+
+    let mut g = c.benchmark_group("ablation_topology");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for (name, topo) in topologies(p) {
+        g.bench_with_input(BenchmarkId::new(name, "ED"), &topo, |b, &topo| {
+            b.iter(|| black_box(run(n, p, topo, SchemeKind::Ed)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_topology);
+criterion_main!(benches);

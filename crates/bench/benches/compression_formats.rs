@@ -1,0 +1,80 @@
+//! Ablation: local compression format shootout (the paper's future-work
+//! direction (1): "other … data compression methods").
+//!
+//! The schemes put CRS/CCS on the wire; a receiving processor may then
+//! re-compress into DIA, JDS or BSR for its computation. This bench prints
+//! each format's storage footprint on a banded vs a scattered workload
+//! (structure sensitivity) and Criterion-measures build and SpMV cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sparsedist_bench::workload;
+use sparsedist_core::compress::{Bsr, Crs, Dia, Jds};
+use sparsedist_core::dense::Dense2D;
+use sparsedist_core::opcount::OpCounter;
+use sparsedist_gen::patterns::banded;
+use sparsedist_ops::spmv::crs_spmv;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn footprint_report(name: &str, a: &Dense2D) {
+    let crs = Crs::from_dense(a, &mut OpCounter::new());
+    let dia = Dia::from_dense(a, &mut OpCounter::new());
+    let jds = Jds::from_dense(a, &mut OpCounter::new());
+    let bsr = Bsr::from_dense(a, 4, 4, &mut OpCounter::new());
+    eprintln!(
+        "{name:<12} nnz={:<8} crs={:<8} dia={:<8} jds={:<8} bsr4x4={:<8} (stored elements)",
+        a.nnz(),
+        crs.nnz() * 2 + crs.ro().len(),
+        dia.stored_elements(),
+        jds.nnz() * 2,
+        bsr.stored_elements(),
+    );
+}
+
+fn bench_formats(c: &mut Criterion) {
+    let n = 400;
+    let scattered = workload(n);
+    let band = banded(n, 8);
+    eprintln!("\nCompression format footprints at n={n}:");
+    footprint_report("scattered", &scattered);
+    footprint_report("banded", &band);
+    eprintln!();
+
+    let mut g = c.benchmark_group("compression_formats");
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    for (wname, a) in [("scattered", &scattered), ("banded", &band)] {
+        g.bench_with_input(BenchmarkId::new("build_crs", wname), a, |b, a| {
+            b.iter(|| black_box(Crs::from_dense(a, &mut OpCounter::new())))
+        });
+        g.bench_with_input(BenchmarkId::new("build_dia", wname), a, |b, a| {
+            b.iter(|| black_box(Dia::from_dense(a, &mut OpCounter::new())))
+        });
+        g.bench_with_input(BenchmarkId::new("build_jds", wname), a, |b, a| {
+            b.iter(|| black_box(Jds::from_dense(a, &mut OpCounter::new())))
+        });
+        g.bench_with_input(BenchmarkId::new("build_bsr4x4", wname), a, |b, a| {
+            b.iter(|| black_box(Bsr::from_dense(a, 4, 4, &mut OpCounter::new())))
+        });
+
+        let crs = Crs::from_dense(a, &mut OpCounter::new());
+        let jds = Jds::from_dense(a, &mut OpCounter::new());
+        let bsr = Bsr::from_dense(a, 4, 4, &mut OpCounter::new());
+        let x: Vec<f64> = (0..n).map(|i| 1.0 + (i % 9) as f64).collect();
+        g.bench_with_input(BenchmarkId::new("spmv_crs", wname), &crs, |b, m| {
+            b.iter(|| black_box(crs_spmv(m, &x)))
+        });
+        g.bench_with_input(BenchmarkId::new("spmv_jds", wname), &jds, |b, m| {
+            b.iter(|| black_box(m.spmv(&x)))
+        });
+        g.bench_with_input(BenchmarkId::new("spmv_bsr4x4", wname), &bsr, |b, m| {
+            b.iter(|| black_box(m.spmv(&x)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_formats);
+criterion_main!(benches);

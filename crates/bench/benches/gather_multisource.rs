@@ -1,0 +1,66 @@
+//! Benches for the two lifecycle extensions: gather strategies (the
+//! schemes' mirror images) and multi-source ED distribution scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sparsedist_bench::workload;
+use sparsedist_core::compress::CompressKind;
+use sparsedist_core::gather::{gather_global, GatherStrategy};
+use sparsedist_core::partition::RowBlock;
+use sparsedist_core::schemes::multi::run_ed_multi_source;
+use sparsedist_core::schemes::{run_scheme, SchemeKind};
+use sparsedist_multicomputer::{MachineModel, Multicomputer};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_gather_and_multisource(c: &mut Criterion) {
+    let n = 400;
+    let p = 16;
+    let a = workload(n);
+    let part = RowBlock::new(n, n, p);
+    let machine = Multicomputer::virtual_machine(p, MachineModel::ibm_sp2());
+    let dist = run_scheme(SchemeKind::Ed, &machine, &a, &part, CompressKind::Crs);
+
+    eprintln!("\nGather strategies (n={n}, p={p}, s=0.1): source busy time");
+    for strategy in [GatherStrategy::Dense, GatherStrategy::Compressed, GatherStrategy::Encoded] {
+        let run = gather_global(&machine, &dist.locals, &part, CompressKind::Crs, strategy);
+        eprintln!("  {strategy:?}: {}", run.t_gather());
+    }
+
+    eprintln!("\nMulti-source ED distribution time vs source count (n={n}, p={p}):");
+    for k in [1usize, 2, 4, 8] {
+        let run = run_ed_multi_source(&machine, &a, &part, k);
+        eprintln!("  k={k}: {}", run.t_distribution());
+    }
+    eprintln!();
+
+    let mut g = c.benchmark_group("gather_multisource");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for strategy in [GatherStrategy::Dense, GatherStrategy::Encoded] {
+        g.bench_with_input(
+            BenchmarkId::new("gather", format!("{strategy:?}")),
+            &strategy,
+            |b, &strategy| {
+                b.iter(|| {
+                    black_box(gather_global(
+                        &machine,
+                        &dist.locals,
+                        &part,
+                        CompressKind::Crs,
+                        strategy,
+                    ))
+                })
+            },
+        );
+    }
+    for k in [1usize, 4] {
+        g.bench_with_input(BenchmarkId::new("multisource_ed", k), &k, |b, &k| {
+            b.iter(|| black_box(run_ed_multi_source(&machine, &a, &part, k)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_gather_and_multisource);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Remark 5 crossover sweep: where does SFC stop winning overall?
+//!
+//! Sweeps the `T_Data/T_Operation` ratio and the sparse ratio, prints the
+//! measured crossover points next to the paper's predicted thresholds
+//! (`(1+3s)/(1−2s)` for ED vs SFC on the row partition, `3s/(1−2s)` on
+//! column/mesh), then Criterion-measures a handful of sweep points.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sparsedist_bench::{run_cell, PaperTable, ProcConfig};
+use sparsedist_core::compress::CompressKind;
+use sparsedist_core::schemes::SchemeKind;
+use sparsedist_multicomputer::MachineModel;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn measured_crossover(table: PaperTable, pc: ProcConfig, n: usize) -> f64 {
+    // Binary-search the T_Data/T_Op ratio where ED's total overtakes SFC's.
+    let (mut lo, mut hi) = (0.0f64, 4.0f64);
+    for _ in 0..24 {
+        let mid = 0.5 * (lo + hi);
+        let m = MachineModel::new(40.0, 0.1 * mid, 0.1);
+        let sfc = run_cell(table, SchemeKind::Sfc, n, pc, CompressKind::Crs, m);
+        let ed = run_cell(table, SchemeKind::Ed, n, pc, CompressKind::Crs, m);
+        if ed.t_total() < sfc.t_total() {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let s = 0.1;
+    let n = 400;
+    eprintln!("\nRemark 5 crossover (ED vs SFC overall), measured vs paper threshold, s={s}, n={n}");
+    let row_pred = (1.0 + 3.0 * s) / (1.0 - 2.0 * s);
+    let cm_pred = 3.0 * s / (1.0 - 2.0 * s);
+    let row_meas = measured_crossover(PaperTable::Table3Row, ProcConfig::Flat(4), n);
+    let col_meas = measured_crossover(PaperTable::Table4Column, ProcConfig::Flat(4), n);
+    let mesh_meas = measured_crossover(PaperTable::Table5Mesh, ProcConfig::Grid(2, 2), n);
+    eprintln!("  row:    predicted Td/Top > {row_pred:.3}, measured crossover {row_meas:.3}");
+    eprintln!("  column: predicted Td/Top > {cm_pred:.3}, measured crossover {col_meas:.3}");
+    eprintln!("  mesh:   predicted Td/Top > {cm_pred:.3}, measured crossover {mesh_meas:.3}");
+    eprintln!();
+
+    let mut g = c.benchmark_group("remarks_sweep");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for ratio in [0.5f64, 1.2, 2.0] {
+        let m = MachineModel::new(40.0, 0.1 * ratio, 0.1);
+        for scheme in [SchemeKind::Sfc, SchemeKind::Ed] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("ratio_{ratio}"), scheme.label()),
+                &m,
+                |b, &m| {
+                    b.iter(|| {
+                        black_box(run_cell(
+                            PaperTable::Table3Row,
+                            scheme,
+                            n,
+                            ProcConfig::Flat(4),
+                            CompressKind::Crs,
+                            m,
+                        ))
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Table 3: the SFC/CFS/ED schemes under the **row** partition method.
+//!
+//! On startup this bench prints the full regenerated table (virtual-time,
+//! the paper's layout); Criterion then measures the real host cost of each
+//! scheme on a reduced grid, which tracks the same shape because the CPU
+//! phases dominate host time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sparsedist_bench::{render_table, run_cell, PaperTable, ProcConfig};
+use sparsedist_core::compress::CompressKind;
+use sparsedist_core::schemes::SchemeKind;
+use sparsedist_multicomputer::MachineModel;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_table3(c: &mut Criterion) {
+    // Regenerate the paper's table once, at the paper's full grid.
+    let spec = PaperTable::Table3Row.spec();
+    let measured = sparsedist_bench::run_table(&spec, MachineModel::ibm_sp2());
+    eprintln!("\n{}", render_table(&measured));
+
+    let mut g = c.benchmark_group("table3_row");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for &n in &[200usize, 400, 800] {
+        for scheme in SchemeKind::ALL {
+            g.bench_with_input(
+                BenchmarkId::new(scheme.label(), format!("n{n}_p4")),
+                &n,
+                |b, &n| {
+                    b.iter(|| {
+                        black_box(run_cell(
+                            PaperTable::Table3Row,
+                            scheme,
+                            n,
+                            ProcConfig::Flat(4),
+                            CompressKind::Crs,
+                            MachineModel::ibm_sp2(),
+                        ))
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Table 5: the SFC/CFS/ED schemes under the **2-D mesh** partition method.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sparsedist_bench::{render_table, run_cell, PaperTable, ProcConfig};
+use sparsedist_core::compress::CompressKind;
+use sparsedist_core::schemes::SchemeKind;
+use sparsedist_multicomputer::MachineModel;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_table5(c: &mut Criterion) {
+    let spec = PaperTable::Table5Mesh.spec();
+    let measured = sparsedist_bench::run_table(&spec, MachineModel::ibm_sp2());
+    eprintln!("\n{}", render_table(&measured));
+
+    let mut g = c.benchmark_group("table5_mesh");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for &n in &[120usize, 240, 480] {
+        for scheme in SchemeKind::ALL {
+            g.bench_with_input(
+                BenchmarkId::new(scheme.label(), format!("n{n}_2x2")),
+                &n,
+                |b, &n| {
+                    b.iter(|| {
+                        black_box(run_cell(
+                            PaperTable::Table5Mesh,
+                            scheme,
+                            n,
+                            ProcConfig::Grid(2, 2),
+                            CompressKind::Crs,
+                            MachineModel::ibm_sp2(),
+                        ))
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_table5);
+criterion_main!(benches);

@@ -1,0 +1,180 @@
+//! Regenerate the paper's tables from the simulated machine.
+//!
+//! ```text
+//! tables                # everything (Tables 1-5, remarks) at full size
+//! tables --quick        # smaller grid (seconds instead of minutes)
+//! tables table3         # just one table: table3 | table4 | table5
+//! tables analytic       # Tables 1-2: predicted vs measured audit
+//! tables remarks        # Remark 1-5 verdicts on the measured data
+//! tables --csv out.csv  # additionally dump every measured cell as CSV
+//! ```
+
+use sparsedist_bench::{
+    analytic_comparison, render_csv, render_table, run_cell, run_table, PaperTable, ProcConfig,
+};
+use sparsedist_core::compress::CompressKind;
+use sparsedist_core::cost::remarks;
+use sparsedist_core::schemes::SchemeKind;
+use sparsedist_multicomputer::MachineModel;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let csv_path = args
+        .iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let which: Vec<&str> = args
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| {
+            // Drop flags and the value following --csv.
+            !(a.starts_with("--") || (*i > 0 && args[i - 1] == "--csv"))
+        })
+        .map(|(_, s)| s.as_str())
+        .collect();
+    let all = which.is_empty() || which.contains(&"all");
+    let mut csv = String::new();
+
+    let model = MachineModel::ibm_sp2();
+    println!(
+        "Machine model: T_Startup={}us T_Data={}us T_Operation={}us (T_Data/T_Op = {:.2})\n",
+        model.t_startup,
+        model.t_data,
+        model.t_op,
+        model.data_op_ratio()
+    );
+
+    for (key, table) in [
+        ("table3", PaperTable::Table3Row),
+        ("table4", PaperTable::Table4Column),
+        ("table5", PaperTable::Table5Mesh),
+    ] {
+        if all || which.contains(&key) {
+            let spec = if quick { table.spec().quick() } else { table.spec() };
+            let t = run_table(&spec, model);
+            println!("{}", render_table(&t));
+            if csv_path.is_some() {
+                let body = render_csv(&t);
+                if csv.is_empty() {
+                    csv.push_str(&body);
+                } else {
+                    // Drop the duplicate header.
+                    csv.push_str(body.split_once('\n').map(|(_, rest)| rest).unwrap_or(""));
+                }
+            }
+        }
+    }
+
+    if all || which.contains(&"analytic") {
+        print_analytic(quick, model);
+    }
+    if all || which.contains(&"remarks") {
+        print_remarks(quick, model);
+    }
+    if let Some(path) = csv_path {
+        std::fs::write(&path, csv).expect("write csv");
+        println!("wrote {path}");
+    }
+}
+
+fn print_analytic(quick: bool, model: MachineModel) {
+    println!("Tables 1-2 audit: closed-form prediction vs instrumented measurement");
+    println!(
+        "{:<10}{:<8}{:<6}{:<8}{:>14}{:>14}{:>10}{:>14}{:>14}{:>10}",
+        "Partition",
+        "Scheme",
+        "Comp",
+        "n",
+        "pred dist",
+        "meas dist",
+        "err",
+        "pred comp",
+        "meas comp",
+        "err"
+    );
+    let n = if quick { 200 } else { 800 };
+    for (table, pc, label) in [
+        (PaperTable::Table3Row, ProcConfig::Flat(4), "row"),
+        (PaperTable::Table4Column, ProcConfig::Flat(4), "column"),
+        (PaperTable::Table5Mesh, ProcConfig::Grid(2, 2), "mesh"),
+    ] {
+        for kind in [CompressKind::Crs, CompressKind::Ccs] {
+            for cell in analytic_comparison(table, n, pc, kind, model) {
+                println!(
+                    "{:<10}{:<8}{:<6}{:<8}{:>12.3}ms{:>12.3}ms{:>9.2}%{:>12.3}ms{:>12.3}ms{:>9.2}%",
+                    label,
+                    cell.scheme.label(),
+                    kind.label(),
+                    n,
+                    cell.predicted.t_distribution.as_millis(),
+                    cell.measured.dist_ms,
+                    cell.dist_rel_err() * 100.0,
+                    cell.predicted.t_compression.as_millis(),
+                    cell.measured.comp_ms,
+                    cell.comp_rel_err() * 100.0,
+                );
+            }
+        }
+    }
+    println!();
+}
+
+fn print_remarks(quick: bool, model: MachineModel) {
+    let n = if quick { 400 } else { 1000 };
+    let s = sparsedist_bench::PAPER_SPARSE_RATIO;
+    println!("Remark verdicts at n={n}, s={s}, T_Data/T_Op={:.2}", model.data_op_ratio());
+
+    let cell = |table, scheme, pc| run_cell(table, scheme, n, pc, CompressKind::Crs, model);
+
+    // Remark 1/2: distribution-time ordering (row partition).
+    let sfc = cell(PaperTable::Table3Row, SchemeKind::Sfc, ProcConfig::Flat(4));
+    let cfs = cell(PaperTable::Table3Row, SchemeKind::Cfs, ProcConfig::Flat(4));
+    let ed = cell(PaperTable::Table3Row, SchemeKind::Ed, ProcConfig::Flat(4));
+    println!(
+        "  Remark 1 (ED dist fastest):        measured {} — ED {:.3}ms CFS {:.3}ms SFC {:.3}ms",
+        ed.t_distribution() < cfs.t_distribution() && ed.t_distribution() < sfc.t_distribution(),
+        ed.t_distribution().as_millis(),
+        cfs.t_distribution().as_millis(),
+        sfc.t_distribution().as_millis(),
+    );
+    println!(
+        "  Remark 2 (CFS dist < SFC dist):    predicted {} measured {}",
+        remarks::remark2_cfs_dist_beats_sfc(s, &model),
+        cfs.t_distribution() < sfc.t_distribution(),
+    );
+    println!(
+        "  Remark 3 (comp: SFC < CFS < ED):   measured {}",
+        sfc.t_compression() < cfs.t_compression() && cfs.t_compression() < ed.t_compression(),
+    );
+    println!(
+        "  Remark 4 (ED total < CFS total):   measured {}",
+        ed.t_total() < cfs.t_total(),
+    );
+    println!(
+        "  Remark 5 row (ED beats SFC):       predicted {} measured {}",
+        remarks::remark5_row_ed_beats_sfc(s, &model),
+        ed.t_total() < sfc.t_total(),
+    );
+    println!(
+        "  Remark 5 row (CFS beats SFC):      predicted {} measured {}",
+        remarks::remark5_row_cfs_beats_sfc(s, &model),
+        cfs.t_total() < sfc.t_total(),
+    );
+
+    let sfc = cell(PaperTable::Table4Column, SchemeKind::Sfc, ProcConfig::Flat(4));
+    let cfs = cell(PaperTable::Table4Column, SchemeKind::Cfs, ProcConfig::Flat(4));
+    let ed = cell(PaperTable::Table4Column, SchemeKind::Ed, ProcConfig::Flat(4));
+    println!(
+        "  Remark 5 column (ED beats SFC):    predicted {} measured {}",
+        remarks::remark5_colmesh_ed_beats_sfc(s, &model),
+        ed.t_total() < sfc.t_total(),
+    );
+    println!(
+        "  Remark 5 column (CFS beats SFC):   predicted {} measured {}",
+        remarks::remark5_colmesh_cfs_beats_sfc(s, &model),
+        cfs.t_total() < sfc.t_total(),
+    );
+    println!();
+}

@@ -1,0 +1,471 @@
+//! The `sparsedist` subcommands.
+
+use crate::args::Parsed;
+use sparsedist_core::compress::{CompressKind, Coo};
+use sparsedist_core::cost::{predict, CostInput, PartitionMethod};
+use sparsedist_core::dense::Dense2D;
+use sparsedist_core::partition::{ColBlock, ColCyclic, Mesh2D, Partition, RowBlock, RowCyclic};
+use sparsedist_core::schemes::{run_scheme, SchemeKind};
+use sparsedist_gen::{matrixmarket, patterns, SparseRandom};
+use sparsedist_multicomputer::timing::render_timeline;
+use sparsedist_multicomputer::{MachineModel, Multicomputer, Phase};
+use sparsedist::array::DistributedSparseArray;
+use sparsedist_core::gather::GatherStrategy;
+use sparsedist_core::redistribute::RedistStrategy;
+use sparsedist_ops::spmv::distributed_spmv;
+use std::fmt::Write as _;
+
+/// Help text.
+pub const USAGE: &str = "\
+sparsedist — sparse array distribution toolkit
+
+USAGE:
+  sparsedist gen OUT.mtx [--rows N] [--cols N] [--ratio S] [--seed K]
+                         [--pattern uniform|banded|laplacian|clustered]
+  sparsedist info FILE.mtx
+  sparsedist distribute FILE.mtx [--scheme sfc|cfs|ed] [--partition row|column|mesh|rowcyclic|colcyclic]
+                         [--procs P] [--grid RxC] [--kind crs|ccs] [--model sp2|compute|network]
+                         [--timeline yes]
+  sparsedist advise FILE.mtx [--procs P] [--model sp2|compute|network]
+  sparsedist spmv FILE.mtx [--procs P] [--scheme ed]
+  sparsedist checkpoint FILE.mtx DIR [--procs P] [--scheme ed] [--partition …]
+  sparsedist restore DIR OUT.mtx [--procs P] [--partition …] [--rows R] [--cols C]
+  sparsedist pipeline FILE.mtx [--procs P] [--grid RxC]
+  sparsedist help
+";
+
+/// Command error: a plain message.
+pub type CmdError = String;
+
+fn parse_scheme(s: &str) -> Result<SchemeKind, CmdError> {
+    match s {
+        "sfc" => Ok(SchemeKind::Sfc),
+        "cfs" => Ok(SchemeKind::Cfs),
+        "ed" => Ok(SchemeKind::Ed),
+        other => Err(format!("unknown scheme '{other}' (sfc|cfs|ed)")),
+    }
+}
+
+fn parse_kind(s: &str) -> Result<CompressKind, CmdError> {
+    match s {
+        "crs" => Ok(CompressKind::Crs),
+        "ccs" => Ok(CompressKind::Ccs),
+        other => Err(format!("unknown compression '{other}' (crs|ccs)")),
+    }
+}
+
+fn parse_model(s: &str) -> Result<MachineModel, CmdError> {
+    match s {
+        "sp2" => Ok(MachineModel::ibm_sp2()),
+        "compute" => Ok(MachineModel::compute_bound()),
+        "network" => Ok(MachineModel::network_bound()),
+        other => Err(format!("unknown model '{other}' (sp2|compute|network)")),
+    }
+}
+
+fn parse_grid(s: &str) -> Result<(usize, usize), CmdError> {
+    let (a, b) = s.split_once('x').ok_or_else(|| format!("grid '{s}' must look like 2x2"))?;
+    let pr = a.parse().map_err(|_| format!("bad grid rows '{a}'"))?;
+    let pc = b.parse().map_err(|_| format!("bad grid cols '{b}'"))?;
+    Ok((pr, pc))
+}
+
+fn build_partition(
+    p: &Parsed,
+    rows: usize,
+    cols: usize,
+    procs: usize,
+) -> Result<Box<dyn Partition>, CmdError> {
+    match p.flag_or("partition", "row") {
+        "row" => Ok(Box::new(RowBlock::new(rows, cols, procs))),
+        "column" => Ok(Box::new(ColBlock::new(rows, cols, procs))),
+        "rowcyclic" => Ok(Box::new(RowCyclic::new(rows, cols, procs))),
+        "colcyclic" => Ok(Box::new(ColCyclic::new(rows, cols, procs))),
+        "mesh" => {
+            let (pr, pc) = parse_grid(p.flag_or("grid", "2x2"))?;
+            if pr * pc != procs {
+                return Err(format!("grid {pr}x{pc} does not match --procs {procs}"));
+            }
+            Ok(Box::new(Mesh2D::new(rows, cols, pr, pc)))
+        }
+        other => Err(format!(
+            "unknown partition '{other}' (row|column|mesh|rowcyclic|colcyclic)"
+        )),
+    }
+}
+
+fn load(path: &str) -> Result<Dense2D, CmdError> {
+    let coo = matrixmarket::read_file(path).map_err(|e| format!("{path}: {e}"))?;
+    coo.validate().map_err(|e| format!("{path}: {e}"))?;
+    Ok(coo.to_dense())
+}
+
+/// `sparsedist gen OUT.mtx …`
+pub fn generate(p: &Parsed) -> Result<String, CmdError> {
+    let out = p.positional(0, "output path").map_err(|e| e.to_string())?;
+    let rows = p.usize_or("rows", 200).map_err(|e| e.to_string())?;
+    let cols = p.usize_or("cols", rows).map_err(|e| e.to_string())?;
+    let ratio = p.f64_or("ratio", 0.1).map_err(|e| e.to_string())?;
+    let seed = p.usize_or("seed", 0).map_err(|e| e.to_string())? as u64;
+    let a = match p.flag_or("pattern", "uniform") {
+        "uniform" => SparseRandom::new(rows, cols).sparse_ratio(ratio).seed(seed).generate(),
+        "banded" => {
+            let bw = p.usize_or("bandwidth", 2).map_err(|e| e.to_string())?;
+            if rows != cols {
+                return Err("banded pattern needs a square array".into());
+            }
+            patterns::banded(rows, bw)
+        }
+        "laplacian" => {
+            let k = (rows as f64).sqrt().round() as usize;
+            if k * k != rows {
+                return Err(format!("laplacian needs --rows to be a perfect square, got {rows}"));
+            }
+            patterns::five_point_laplacian(k)
+        }
+        "clustered" => patterns::block_clustered(rows.max(cols), 8, rows / 16 + 1, seed),
+        other => return Err(format!("unknown pattern '{other}'")),
+    };
+    matrixmarket::write_file(out, &Coo::from_dense(&a)).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "wrote {out}: {}x{} with {} nonzeros (s = {:.4})\n",
+        a.rows(),
+        a.cols(),
+        a.nnz(),
+        a.sparse_ratio()
+    ))
+}
+
+/// `sparsedist info FILE.mtx`
+pub fn info(p: &Parsed) -> Result<String, CmdError> {
+    let path = p.positional(0, "input file").map_err(|e| e.to_string())?;
+    let a = load(path)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "{path}:");
+    let _ = writeln!(out, "  shape:        {}x{}", a.rows(), a.cols());
+    let _ = writeln!(out, "  nonzeros:     {}", a.nnz());
+    let _ = writeln!(out, "  sparse ratio: {:.4}", a.sparse_ratio());
+    let row_nnz: Vec<usize> = (0..a.rows())
+        .map(|r| a.row(r).iter().filter(|&&v| v != 0.0).count())
+        .collect();
+    let max_row = row_nnz.iter().copied().max().unwrap_or(0);
+    let empty_rows = row_nnz.iter().filter(|&&n| n == 0).count();
+    let _ = writeln!(out, "  max row nnz:  {max_row}");
+    let _ = writeln!(out, "  empty rows:   {empty_rows}");
+    let bandwidth = a
+        .iter_nonzero()
+        .map(|(r, c, _)| r.abs_diff(c))
+        .max()
+        .unwrap_or(0);
+    let _ = writeln!(out, "  bandwidth:    {bandwidth}");
+    // s' under a default 4-way row partition, the paper's imbalance metric.
+    if a.rows() >= 4 {
+        let part = RowBlock::new(a.rows(), a.cols(), 4);
+        let prof = part.nnz_profile(&a);
+        let _ = writeln!(out, "  s' (row, p=4): {:.4}", prof.s_max);
+    }
+    Ok(out)
+}
+
+/// `sparsedist distribute FILE.mtx …`
+pub fn distribute(p: &Parsed) -> Result<String, CmdError> {
+    let path = p.positional(0, "input file").map_err(|e| e.to_string())?;
+    let a = load(path)?;
+    let procs = p.usize_or("procs", 4).map_err(|e| e.to_string())?;
+    let scheme = parse_scheme(p.flag_or("scheme", "ed"))?;
+    let kind = parse_kind(p.flag_or("kind", "crs"))?;
+    let model = parse_model(p.flag_or("model", "sp2"))?;
+    let part = build_partition(p, a.rows(), a.cols(), procs)?;
+    let machine = Multicomputer::virtual_machine(procs, model);
+    let run = run_scheme(scheme, &machine, &a, part.as_ref(), kind);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} over {} processors ({} partition, {} compression):",
+        scheme.label(),
+        procs,
+        part.name(),
+        kind.label()
+    );
+    let _ = writeln!(out, "  T_Distribution: {}", run.t_distribution());
+    let _ = writeln!(out, "  T_Compression:  {}", run.t_compression());
+    let _ = writeln!(out, "  total:          {}", run.t_total());
+    let src = &run.ledgers[run.source];
+    let _ = writeln!(out, "  source phases:  {src}");
+    if p.flag_or("timeline", "no") == "yes" {
+        let _ = writeln!(out, "  per-rank timeline (c=compress e=encode p=pack s=send u=unpack d=decode .=wait):");
+        for line in render_timeline(&run.ledgers, 60).lines() {
+            let _ = writeln!(out, "    {line}");
+        }
+    }
+    for (pid, local) in run.locals.iter().enumerate() {
+        let (lr, lc) = local.shape();
+        let _ = writeln!(out, "  P{pid}: {lr}x{lc} local, {} nonzeros", local.nnz());
+    }
+    if run.reassemble(part.as_ref()) == a {
+        let _ = writeln!(out, "  verified: distributed state reassembles the input exactly");
+    } else {
+        return Err("internal error: reassembly mismatch".into());
+    }
+    Ok(out)
+}
+
+/// `sparsedist advise FILE.mtx …`
+pub fn advise(p: &Parsed) -> Result<String, CmdError> {
+    let path = p.positional(0, "input file").map_err(|e| e.to_string())?;
+    let a = load(path)?;
+    let procs = p.usize_or("procs", 4).map_err(|e| e.to_string())?;
+    let model = parse_model(p.flag_or("model", "sp2"))?;
+    if a.rows() != a.cols() {
+        return Err("advise uses the paper's square-array cost model".into());
+    }
+    let part = RowBlock::new(a.rows(), a.cols(), procs);
+    let prof = part.nnz_profile(&a);
+    let inp = CostInput { n: a.rows(), p: procs, s: a.sparse_ratio(), s_max: prof.s_max };
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "cost model at n={}, p={procs}, s={:.4}, s'={:.4}, T_Data/T_Op={:.2}:",
+        a.rows(),
+        inp.s,
+        inp.s_max,
+        model.data_op_ratio()
+    );
+    let mut best: Option<(SchemeKind, f64)> = None;
+    for scheme in SchemeKind::ALL {
+        let c = predict(scheme, PartitionMethod::Row, CompressKind::Crs, &inp, &model);
+        let total = c.t_total().as_millis();
+        let _ = writeln!(
+            out,
+            "  {:<4} dist {:>10.3}ms  comp {:>10.3}ms  total {:>10.3}ms",
+            scheme.label(),
+            c.t_distribution.as_millis(),
+            c.t_compression.as_millis(),
+            total
+        );
+        if best.is_none_or(|(_, t)| total < t) {
+            best = Some((scheme, total));
+        }
+    }
+    let (winner, _) = best.expect("three schemes evaluated");
+    let _ = writeln!(out, "  → recommended scheme: {}", winner.label());
+    Ok(out)
+}
+
+/// `sparsedist spmv FILE.mtx …`
+pub fn spmv(p: &Parsed) -> Result<String, CmdError> {
+    let path = p.positional(0, "input file").map_err(|e| e.to_string())?;
+    let a = load(path)?;
+    let procs = p.usize_or("procs", 4).map_err(|e| e.to_string())?;
+    let scheme = parse_scheme(p.flag_or("scheme", "ed"))?;
+    let part = build_partition(p, a.rows(), a.cols(), procs)?;
+    let machine = Multicomputer::virtual_machine(procs, MachineModel::ibm_sp2());
+    let run = run_scheme(scheme, &machine, &a, part.as_ref(), CompressKind::Crs);
+    let x = vec![1.0; a.cols()];
+    let y = distributed_spmv(&machine, &run, part.as_ref(), &x);
+    let checksum: f64 = y.iter().sum();
+    let compute_max = run
+        .ledgers
+        .iter()
+        .map(|l| l.get(Phase::Compute).as_micros())
+        .fold(0.0f64, f64::max);
+    Ok(format!(
+        "y = A·1 over {} processors: checksum {:.6}, ||y||_inf {:.6}, max compute {:.3}ms\n",
+        procs,
+        checksum,
+        y.iter().fold(0.0f64, |m, v| m.max(v.abs())),
+        compute_max / 1000.0
+    ))
+}
+
+/// `sparsedist checkpoint FILE.mtx DIR …` — distribute and save the
+/// distributed state.
+pub fn checkpoint_cmd(p: &Parsed) -> Result<String, CmdError> {
+    let path = p.positional(0, "input file").map_err(|e| e.to_string())?;
+    let dir = p.positional(1, "checkpoint directory").map_err(|e| e.to_string())?;
+    let a = load(path)?;
+    let procs = p.usize_or("procs", 4).map_err(|e| e.to_string())?;
+    let scheme = parse_scheme(p.flag_or("scheme", "ed"))?;
+    let part = build_partition(p, a.rows(), a.cols(), procs)?;
+    let machine = Multicomputer::virtual_machine(procs, MachineModel::ibm_sp2());
+    let dist = DistributedSparseArray::distribute(&machine, &a, part, scheme, CompressKind::Crs);
+    dist.checkpoint(dir).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "checkpointed {}x{} ({} nonzeros) over {procs} processors into {dir}\n",
+        a.rows(),
+        a.cols(),
+        dist.nnz()
+    ))
+}
+
+/// `sparsedist restore DIR OUT.mtx …` — resume a checkpoint, gather and
+/// write the array back out as MatrixMarket.
+pub fn restore_cmd(p: &Parsed) -> Result<String, CmdError> {
+    let dir = p.positional(0, "checkpoint directory").map_err(|e| e.to_string())?;
+    let out = p.positional(1, "output .mtx path").map_err(|e| e.to_string())?;
+    let procs = p.usize_or("procs", 4).map_err(|e| e.to_string())?;
+    let rows = p.usize_or("rows", 0).map_err(|e| e.to_string())?;
+    let cols = p.usize_or("cols", rows).map_err(|e| e.to_string())?;
+    if rows == 0 {
+        return Err("restore needs --rows (and --cols for non-square) of the original array".into());
+    }
+    let part = build_partition(p, rows, cols, procs)?;
+    let machine = Multicomputer::virtual_machine(procs, MachineModel::ibm_sp2());
+    let dist = DistributedSparseArray::resume(&machine, part, CompressKind::Crs, dir)
+        .map_err(|e| e.to_string())?;
+    let dense = dist.gather_dense(GatherStrategy::Encoded);
+    matrixmarket::write_file(out, &Coo::from_dense(&dense)).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "restored {rows}x{cols} ({} nonzeros) from {dir} and wrote {out}\n",
+        dist.nnz()
+    ))
+}
+
+/// `sparsedist pipeline FILE.mtx …` — full lifecycle demo: distribute,
+/// SpMV, repartition to a mesh, gather, verify.
+pub fn pipeline_cmd(p: &Parsed) -> Result<String, CmdError> {
+    let path = p.positional(0, "input file").map_err(|e| e.to_string())?;
+    let a = load(path)?;
+    let procs = p.usize_or("procs", 4).map_err(|e| e.to_string())?;
+    let grid = parse_grid(p.flag_or("grid", "2x2"))?;
+    if grid.0 * grid.1 != procs {
+        return Err(format!("grid {}x{} does not match --procs {procs}", grid.0, grid.1));
+    }
+    let machine = Multicomputer::virtual_machine(procs, MachineModel::ibm_sp2());
+    let mut out = String::new();
+
+    let mut dist = DistributedSparseArray::distribute(
+        &machine,
+        &a,
+        Box::new(RowBlock::new(a.rows(), a.cols(), procs)),
+        SchemeKind::Ed,
+        CompressKind::Crs,
+    );
+    let _ = writeln!(out, "1. ED distribution (row):   busy max {}", dist.last_busy_max());
+    let y = dist.spmv(&vec![1.0; a.cols()]);
+    let _ = writeln!(out, "2. SpMV checksum:           {:.6}", y.iter().sum::<f64>());
+    dist.repartition(
+        Box::new(Mesh2D::new(a.rows(), a.cols(), grid.0, grid.1)),
+        RedistStrategy::Direct,
+    );
+    let _ = writeln!(out, "3. repartition to mesh:     busy max {}", dist.last_busy_max());
+    let back = dist.gather_dense(GatherStrategy::Encoded);
+    if back != a {
+        return Err("internal error: gathered array differs from input".into());
+    }
+    let _ = writeln!(out, "4. encoded gather verified: array round-trips exactly");
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("sparsedist_cli_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn gen_info_round_trip() {
+        let path = tmp("gen1.mtx");
+        let g = crate::run(&argv(&format!("gen {path} --rows 64 --ratio 0.1 --seed 3"))).unwrap();
+        assert!(g.contains("64x64"), "{g}");
+        assert!(g.contains("410 nonzeros"), "{g}"); // round(0.1·4096)
+
+        let i = crate::run(&argv(&format!("info {path}"))).unwrap();
+        assert!(i.contains("shape:        64x64"), "{i}");
+        assert!(i.contains("nonzeros:     410"), "{i}");
+    }
+
+    #[test]
+    fn distribute_reports_and_verifies() {
+        let path = tmp("gen2.mtx");
+        crate::run(&argv(&format!("gen {path} --rows 40 --ratio 0.2"))).unwrap();
+        let d = crate::run(&argv(&format!(
+            "distribute {path} --scheme cfs --partition mesh --grid 2x2 --procs 4 --kind ccs"
+        )))
+        .unwrap();
+        assert!(d.contains("CFS over 4 processors"), "{d}");
+        assert!(d.contains("verified"), "{d}");
+    }
+
+    #[test]
+    fn advise_recommends_a_scheme() {
+        let path = tmp("gen3.mtx");
+        crate::run(&argv(&format!("gen {path} --rows 80 --ratio 0.05"))).unwrap();
+        let a = crate::run(&argv(&format!("advise {path} --procs 4 --model network"))).unwrap();
+        assert!(a.contains("recommended scheme: ED"), "{a}");
+        let b = crate::run(&argv(&format!("advise {path} --procs 4 --model compute"))).unwrap();
+        assert!(b.contains("recommended scheme: SFC"), "{b}");
+    }
+
+    #[test]
+    fn spmv_checksum_matches_dense() {
+        let path = tmp("gen4.mtx");
+        crate::run(&argv(&format!("gen {path} --rows 36 --pattern laplacian"))).unwrap();
+        let s = crate::run(&argv(&format!("spmv {path} --procs 4"))).unwrap();
+        // Laplacian row sums: interior 0, boundary positive; checksum is
+        // the total of all row sums = sum of boundary contributions.
+        assert!(s.contains("checksum"), "{s}");
+    }
+
+    #[test]
+    fn bad_inputs_are_reported() {
+        assert!(crate::run(&argv("nonsense")).is_err());
+        assert!(crate::run(&argv("info /no/such/file.mtx")).is_err());
+        let path = tmp("gen5.mtx");
+        crate::run(&argv(&format!("gen {path} --rows 16"))).unwrap();
+        assert!(crate::run(&argv(&format!("distribute {path} --scheme bogus"))).is_err());
+        assert!(crate::run(&argv(&format!(
+            "distribute {path} --partition mesh --grid 3x3 --procs 4"
+        )))
+        .is_err());
+        assert!(crate::run(&argv(&format!("gen {path} --rows 10 --pattern laplacian"))).is_err());
+    }
+
+    #[test]
+    fn checkpoint_restore_round_trip() {
+        let mtx = tmp("ckpt_src.mtx");
+        let dir = tmp("ckpt_dir");
+        let out = tmp("ckpt_out.mtx");
+        let _ = std::fs::remove_dir_all(&dir);
+        crate::run(&argv(&format!("gen {mtx} --rows 48 --ratio 0.1 --seed 5"))).unwrap();
+        let c = crate::run(&argv(&format!("checkpoint {mtx} {dir} --procs 4"))).unwrap();
+        assert!(c.contains("checkpointed 48x48"), "{c}");
+        let r = crate::run(&argv(&format!("restore {dir} {out} --procs 4 --rows 48"))).unwrap();
+        assert!(r.contains("restored 48x48"), "{r}");
+        // The round-tripped file holds the same array.
+        let orig = sparsedist_gen::matrixmarket::read_file(&mtx).unwrap().to_dense();
+        let back = sparsedist_gen::matrixmarket::read_file(&out).unwrap().to_dense();
+        assert_eq!(orig, back);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pipeline_round_trips() {
+        let mtx = tmp("pipe.mtx");
+        crate::run(&argv(&format!("gen {mtx} --rows 32 --ratio 0.15"))).unwrap();
+        let p = crate::run(&argv(&format!("pipeline {mtx} --procs 4 --grid 2x2"))).unwrap();
+        assert!(p.contains("round-trips exactly"), "{p}");
+    }
+
+    #[test]
+    fn restore_requires_dimensions() {
+        let err = crate::run(&argv("restore /tmp/nowhere out.mtx --procs 4")).unwrap_err();
+        assert!(err.contains("--rows"), "{err}");
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let h = crate::run(&argv("help")).unwrap();
+        assert!(h.contains("USAGE"));
+    }
+}

@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! Implementation of the `sparsedist` command-line tool.
+//!
+//! The binary front end (`src/main.rs`) is a thin shim over this library
+//! so the argument parsing and every command can be unit-tested.
+
+pub mod args;
+pub mod commands;
+
+pub use args::{ArgError, Parsed};
+
+/// Top-level dispatch: parse and run, returning the text to print.
+pub fn run(argv: &[String]) -> Result<String, String> {
+    let parsed = args::Parsed::parse(argv).map_err(|e| e.to_string())?;
+    match parsed.command.as_str() {
+        "gen" => commands::generate(&parsed).map_err(|e| e.to_string()),
+        "info" => commands::info(&parsed).map_err(|e| e.to_string()),
+        "distribute" => commands::distribute(&parsed).map_err(|e| e.to_string()),
+        "advise" => commands::advise(&parsed).map_err(|e| e.to_string()),
+        "spmv" => commands::spmv(&parsed).map_err(|e| e.to_string()),
+        "checkpoint" => commands::checkpoint_cmd(&parsed).map_err(|e| e.to_string()),
+        "restore" => commands::restore_cmd(&parsed).map_err(|e| e.to_string()),
+        "pipeline" => commands::pipeline_cmd(&parsed).map_err(|e| e.to_string()),
+        "help" | "" => Ok(commands::USAGE.to_string()),
+        other => Err(format!("unknown command '{other}'\n{}", commands::USAGE)),
+    }
+}

@@ -1,0 +1,13 @@
+//! `sparsedist` — the command-line front end. All logic lives in the
+//! library so it can be tested; this shim only handles process I/O.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match sparsedist_cli::run(&argv) {
+        Ok(text) => print!("{text}"),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Block Sparse Row (BSR) storage.
+//!
+//! The blocked CRS variant for arrays whose nonzeros cluster in small
+//! dense blocks (finite-element stiffness matrices with multiple degrees
+//! of freedom per node, the molecular-dynamics locality of the paper's
+//! introduction). The block grid is CRS-compressed; each stored block is a
+//! dense `br × bc` tile, so scattered sparsity pays padding the same way
+//! DIA does.
+
+use crate::dense::Dense2D;
+use crate::opcount::OpCounter;
+
+/// A sparse array in block sparse row storage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bsr {
+    rows: usize,
+    cols: usize,
+    br: usize,
+    bc: usize,
+    /// Block-row pointer (`rows/br + 1` entries).
+    block_ro: Vec<usize>,
+    /// Block-column indices per stored block.
+    block_co: Vec<usize>,
+    /// Dense tiles, `br·bc` each, row-major within the tile.
+    blocks: Vec<f64>,
+}
+
+impl Bsr {
+    /// Compress a dense array with `br × bc` tiles.
+    ///
+    /// One op per cell scanned plus `br·bc` per stored tile (the copy).
+    ///
+    /// # Panics
+    /// Panics if the tile shape does not divide the array shape, or a tile
+    /// dimension is zero.
+    pub fn from_dense(a: &Dense2D, br: usize, bc: usize, ops: &mut OpCounter) -> Bsr {
+        assert!(br > 0 && bc > 0, "tile dimensions must be positive");
+        assert_eq!(a.rows() % br, 0, "tile rows {br} must divide array rows {}", a.rows());
+        assert_eq!(a.cols() % bc, 0, "tile cols {bc} must divide array cols {}", a.cols());
+        let grows = a.rows() / br;
+        let gcols = a.cols() / bc;
+        let mut block_ro = Vec::with_capacity(grows + 1);
+        let mut block_co = Vec::new();
+        let mut blocks = Vec::new();
+        block_ro.push(0);
+        for gi in 0..grows {
+            for gj in 0..gcols {
+                // Does this tile hold any nonzero?
+                let mut any = false;
+                for r in 0..br {
+                    for c in 0..bc {
+                        ops.tick();
+                        if a.get(gi * br + r, gj * bc + c) != 0.0 {
+                            any = true;
+                        }
+                    }
+                }
+                if any {
+                    block_co.push(gj);
+                    for r in 0..br {
+                        for c in 0..bc {
+                            blocks.push(a.get(gi * br + r, gj * bc + c));
+                            ops.tick();
+                        }
+                    }
+                }
+            }
+            block_ro.push(block_co.len());
+        }
+        Bsr { rows: a.rows(), cols: a.cols(), br, bc, block_ro, block_co, blocks }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Tile shape `(br, bc)`.
+    pub fn tile_shape(&self) -> (usize, usize) {
+        (self.br, self.bc)
+    }
+
+    /// Number of stored tiles.
+    pub fn nblocks(&self) -> usize {
+        self.block_co.len()
+    }
+
+    /// Number of nonzero stored values (padding zeros excluded).
+    pub fn nnz(&self) -> usize {
+        self.blocks.iter().filter(|&&v| v != 0.0).count()
+    }
+
+    /// Stored elements including tile padding.
+    pub fn stored_elements(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Value at `(r, c)` (0 if the covering tile is absent).
+    ///
+    /// # Panics
+    /// Panics on out-of-bounds indices.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of {}x{}", self.rows, self.cols);
+        let (gi, gj) = (r / self.br, c / self.bc);
+        let run = &self.block_co[self.block_ro[gi]..self.block_ro[gi + 1]];
+        match run.binary_search(&gj) {
+            Ok(k) => {
+                let b = self.block_ro[gi] + k;
+                self.blocks[b * self.br * self.bc + (r % self.br) * self.bc + (c % self.bc)]
+            }
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Expand to a dense array.
+    pub fn to_dense(&self) -> Dense2D {
+        let mut out = Dense2D::zeros(self.rows, self.cols);
+        let grows = self.rows / self.br;
+        for gi in 0..grows {
+            for k in self.block_ro[gi]..self.block_ro[gi + 1] {
+                let gj = self.block_co[k];
+                for r in 0..self.br {
+                    for c in 0..self.bc {
+                        let v = self.blocks[k * self.br * self.bc + r * self.bc + c];
+                        if v != 0.0 {
+                            out.set(gi * self.br + r, gj * self.bc + c, v);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// `y = A·x` tile by tile.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != cols`.
+    pub fn spmv(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "x length {} != cols {}", x.len(), self.cols);
+        let mut y = vec![0.0; self.rows];
+        let grows = self.rows / self.br;
+        for gi in 0..grows {
+            for k in self.block_ro[gi]..self.block_ro[gi + 1] {
+                let gj = self.block_co[k];
+                let tile = &self.blocks[k * self.br * self.bc..(k + 1) * self.br * self.bc];
+                for r in 0..self.br {
+                    let mut acc = 0.0;
+                    for c in 0..self.bc {
+                        acc += tile[r * self.bc + c] * x[gj * self.bc + c];
+                    }
+                    y[gi * self.br + r] += acc;
+                }
+            }
+        }
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::paper_array_a;
+
+    #[test]
+    fn round_trip_paper_array() {
+        let a = paper_array_a();
+        for (br, bc) in [(1, 1), (2, 2), (5, 4), (10, 8), (2, 4)] {
+            let bsr = Bsr::from_dense(&a, br, bc, &mut OpCounter::new());
+            assert_eq!(bsr.to_dense(), a, "{br}x{bc}");
+            assert_eq!(bsr.nnz(), 16);
+        }
+    }
+
+    #[test]
+    fn one_by_one_tiles_store_exactly_nnz() {
+        let a = paper_array_a();
+        let bsr = Bsr::from_dense(&a, 1, 1, &mut OpCounter::new());
+        assert_eq!(bsr.nblocks(), 16);
+        assert_eq!(bsr.stored_elements(), 16);
+    }
+
+    #[test]
+    fn clustered_blocks_pack_tightly() {
+        // A single dense 4×4 cluster → 1 tile at (br,bc)=(4,4), zero padding.
+        let mut a = Dense2D::zeros(8, 8);
+        for r in 4..8 {
+            for c in 0..4 {
+                a.set(r, c, 1.0);
+            }
+        }
+        let bsr = Bsr::from_dense(&a, 4, 4, &mut OpCounter::new());
+        assert_eq!(bsr.nblocks(), 1);
+        assert_eq!(bsr.stored_elements(), 16);
+        assert_eq!(bsr.nnz(), 16);
+        assert_eq!(bsr.get(5, 2), 1.0);
+        assert_eq!(bsr.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let a = paper_array_a();
+        let bsr = Bsr::from_dense(&a, 2, 4, &mut OpCounter::new());
+        let x: Vec<f64> = (1..=8).map(|v| v as f64).collect();
+        let want: Vec<f64> = (0..10)
+            .map(|r| (0..8).map(|c| a.get(r, c) * x[c]).sum())
+            .collect();
+        assert_eq!(bsr.spmv(&x), want);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn indivisible_tiles_rejected() {
+        let a = paper_array_a();
+        let _ = Bsr::from_dense(&a, 3, 3, &mut OpCounter::new());
+    }
+
+    #[test]
+    fn empty_array() {
+        let a = Dense2D::zeros(6, 6);
+        let bsr = Bsr::from_dense(&a, 2, 3, &mut OpCounter::new());
+        assert_eq!(bsr.nblocks(), 0);
+        assert_eq!(bsr.to_dense(), a);
+    }
+}

@@ -1,0 +1,187 @@
+//! Diagonal (DIA) storage.
+//!
+//! One of the *Templates* book formats the paper's §1 alludes to ("many
+//! data compression methods in [4] can be used"). DIA stores each
+//! populated diagonal as a dense strip; it shines on banded systems
+//! (tridiagonal solvers, stencils) and degrades badly on scattered
+//! sparsity — the `compression_formats` bench quantifies both.
+//!
+//! A diagonal is identified by its offset `k = col − row`
+//! (`−(rows−1) ≤ k ≤ cols−1`); strip `d` stores `A[r, r+k_d]` at position
+//! `d·rows + r`, with zeros padding the out-of-range ends.
+
+use crate::dense::Dense2D;
+use crate::opcount::OpCounter;
+
+/// A sparse array in diagonal storage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dia {
+    rows: usize,
+    cols: usize,
+    /// Offsets `col − row` of the stored diagonals, strictly increasing.
+    offsets: Vec<isize>,
+    /// `offsets.len() × rows` strip data, strip-major.
+    data: Vec<f64>,
+}
+
+impl Dia {
+    /// Compress a dense array: one op per cell scanned plus two per
+    /// nonzero (strip lookup + store).
+    pub fn from_dense(a: &Dense2D, ops: &mut OpCounter) -> Dia {
+        // First pass: which diagonals are populated?
+        let mut seen = vec![false; a.rows() + a.cols()];
+        let base = a.rows() as isize - 1; // offset k maps to index k + base
+        for r in 0..a.rows() {
+            for c in 0..a.cols() {
+                ops.tick();
+                if a.get(r, c) != 0.0 {
+                    seen[(c as isize - r as isize + base) as usize] = true;
+                }
+            }
+        }
+        let offsets: Vec<isize> = seen
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &s)| s.then_some(i as isize - base))
+            .collect();
+        // Second pass: fill the strips.
+        let mut data = vec![0.0; offsets.len() * a.rows()];
+        let strip_of: std::collections::HashMap<isize, usize> =
+            offsets.iter().enumerate().map(|(d, &k)| (k, d)).collect();
+        for (r, c, v) in a.iter_nonzero() {
+            let k = c as isize - r as isize;
+            let d = strip_of[&k];
+            data[d * a.rows() + r] = v;
+            ops.add(2);
+        }
+        Dia { rows: a.rows(), cols: a.cols(), offsets, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The stored diagonal offsets.
+    pub fn offsets(&self) -> &[isize] {
+        &self.offsets
+    }
+
+    /// Number of stored strips.
+    pub fn ndiags(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Stored value at `(r, c)` (0 if the diagonal is absent).
+    ///
+    /// # Panics
+    /// Panics on out-of-bounds indices.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of {}x{}", self.rows, self.cols);
+        let k = c as isize - r as isize;
+        match self.offsets.binary_search(&k) {
+            Ok(d) => self.data[d * self.rows + r],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Number of nonzero stored values (padding zeros excluded).
+    pub fn nnz(&self) -> usize {
+        self.data.iter().filter(|&&v| v != 0.0).count()
+    }
+
+    /// Storage footprint in elements, *including* padding — the quantity
+    /// that blows up on scattered sparsity.
+    pub fn stored_elements(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Strip `d` as a slice indexed by row.
+    pub fn strip(&self, d: usize) -> &[f64] {
+        &self.data[d * self.rows..(d + 1) * self.rows]
+    }
+
+    /// Expand to a dense array.
+    pub fn to_dense(&self) -> Dense2D {
+        let mut out = Dense2D::zeros(self.rows, self.cols);
+        for (d, &k) in self.offsets.iter().enumerate() {
+            for r in 0..self.rows {
+                let c = r as isize + k;
+                if c >= 0 && (c as usize) < self.cols {
+                    let v = self.data[d * self.rows + r];
+                    if v != 0.0 {
+                        out.set(r, c as usize, v);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::paper_array_a;
+
+    #[test]
+    fn tridiagonal_uses_three_strips() {
+        let mut a = Dense2D::zeros(6, 6);
+        for r in 0..6 {
+            a.set(r, r, 2.0);
+            if r > 0 {
+                a.set(r, r - 1, -1.0);
+            }
+            if r + 1 < 6 {
+                a.set(r, r + 1, -1.0);
+            }
+        }
+        let dia = Dia::from_dense(&a, &mut OpCounter::new());
+        assert_eq!(dia.offsets(), &[-1, 0, 1]);
+        assert_eq!(dia.ndiags(), 3);
+        assert_eq!(dia.to_dense(), a);
+        assert_eq!(dia.nnz(), 16);
+        assert_eq!(dia.stored_elements(), 18); // 3 strips × 6 rows
+    }
+
+    #[test]
+    fn round_trip_scattered() {
+        let a = paper_array_a();
+        let dia = Dia::from_dense(&a, &mut OpCounter::new());
+        assert_eq!(dia.to_dense(), a);
+        assert_eq!(dia.nnz(), 16);
+        // Scattered sparsity populates many strips: the padding blow-up.
+        assert!(dia.stored_elements() > 3 * a.nnz(), "{}", dia.stored_elements());
+    }
+
+    #[test]
+    fn get_reads_values_and_absent_diagonals() {
+        let a = paper_array_a();
+        let dia = Dia::from_dense(&a, &mut OpCounter::new());
+        assert_eq!(dia.get(2, 0), 3.0);
+        assert_eq!(dia.get(9, 6), 16.0);
+        assert_eq!(dia.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn rectangular_arrays() {
+        let a = Dense2D::from_rows(&[&[1., 0., 2., 0.], &[0., 3., 0., 4.]]);
+        let dia = Dia::from_dense(&a, &mut OpCounter::new());
+        assert_eq!(dia.offsets(), &[0, 2]);
+        assert_eq!(dia.to_dense(), a);
+    }
+
+    #[test]
+    fn empty_array() {
+        let a = Dense2D::zeros(4, 4);
+        let dia = Dia::from_dense(&a, &mut OpCounter::new());
+        assert_eq!(dia.ndiags(), 0);
+        assert_eq!(dia.to_dense(), a);
+        assert_eq!(dia.stored_elements(), 0);
+    }
+}

@@ -1,0 +1,190 @@
+//! Jagged Diagonal Storage (JDS).
+//!
+//! The *Templates* book's format for vector machines: rows are permuted by
+//! decreasing nonzero count and the compressed rows are read off in
+//! columns ("jagged diagonals"), so an SpMV streams long unit-stride
+//! vectors — exactly what the SIMD machines of the paper's related work
+//! (Ziantz et al.) wanted.
+
+use super::Crs;
+use crate::dense::Dense2D;
+use crate::opcount::OpCounter;
+
+/// A sparse array in jagged diagonal storage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Jds {
+    rows: usize,
+    cols: usize,
+    /// `perm[k]` = original row index of the `k`-th longest row.
+    perm: Vec<usize>,
+    /// Start of each jagged diagonal in `col_ind`/`values`
+    /// (`njd + 1` entries).
+    jd_ptr: Vec<usize>,
+    /// Column indices, jagged-diagonal-major.
+    col_ind: Vec<usize>,
+    /// Values, aligned with `col_ind`.
+    values: Vec<f64>,
+}
+
+impl Jds {
+    /// Build from a CRS array: one op per nonzero moved plus one per row
+    /// for the permutation sort bookkeeping.
+    pub fn from_crs(a: &Crs, ops: &mut OpCounter) -> Jds {
+        let rows = a.rows();
+        // Permutation: rows by decreasing nnz (stable for determinism).
+        let mut perm: Vec<usize> = (0..rows).collect();
+        perm.sort_by_key(|&r| std::cmp::Reverse(a.row_nnz(r)));
+        ops.add(rows as u64);
+
+        let njd = perm.first().map_or(0, |&r| a.row_nnz(r));
+        let mut jd_ptr = Vec::with_capacity(njd + 1);
+        let mut col_ind = Vec::with_capacity(a.nnz());
+        let mut values = Vec::with_capacity(a.nnz());
+        jd_ptr.push(0);
+        for d in 0..njd {
+            for &r in &perm {
+                if a.row_nnz(r) > d {
+                    col_ind.push(a.row_cols(r)[d]);
+                    values.push(a.row_vals(r)[d]);
+                    ops.add(2);
+                } else {
+                    // Rows are sorted by length: nothing longer follows.
+                    break;
+                }
+            }
+            jd_ptr.push(col_ind.len());
+        }
+        Jds { rows, cols: a.cols(), perm, jd_ptr, col_ind, values }
+    }
+
+    /// Build straight from a dense array (CRS as an intermediate).
+    pub fn from_dense(a: &Dense2D, ops: &mut OpCounter) -> Jds {
+        let crs = Crs::from_dense(a, ops);
+        Jds::from_crs(&crs, ops)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of jagged diagonals (= the longest row's nnz).
+    pub fn njd(&self) -> usize {
+        self.jd_ptr.len().saturating_sub(1)
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The row permutation (position → original row).
+    pub fn perm(&self) -> &[usize] {
+        &self.perm
+    }
+
+    /// Jagged diagonal `d` as `(col_ind, values)` slices; entry `k`
+    /// belongs to original row `perm[k]`.
+    pub fn diag(&self, d: usize) -> (&[usize], &[f64]) {
+        let lo = self.jd_ptr[d];
+        let hi = self.jd_ptr[d + 1];
+        (&self.col_ind[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Expand to a dense array.
+    pub fn to_dense(&self) -> Dense2D {
+        let mut out = Dense2D::zeros(self.rows, self.cols);
+        for d in 0..self.njd() {
+            let (cols, vals) = self.diag(d);
+            for (k, (&c, &v)) in cols.iter().zip(vals).enumerate() {
+                out.set(self.perm[k], c, v);
+            }
+        }
+        out
+    }
+
+    /// `y = A·x`, streaming the jagged diagonals.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != cols`.
+    pub fn spmv(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "x length {} != cols {}", x.len(), self.cols);
+        let mut y_perm = vec![0.0; self.rows];
+        for d in 0..self.njd() {
+            let (cols, vals) = self.diag(d);
+            for (k, (&c, &v)) in cols.iter().zip(vals).enumerate() {
+                y_perm[k] += v * x[c];
+            }
+        }
+        // Un-permute.
+        let mut y = vec![0.0; self.rows];
+        for (k, &r) in self.perm.iter().enumerate() {
+            y[r] = y_perm[k];
+        }
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::paper_array_a;
+
+    #[test]
+    fn round_trip_paper_array() {
+        let a = paper_array_a();
+        let jds = Jds::from_dense(&a, &mut OpCounter::new());
+        assert_eq!(jds.to_dense(), a);
+        assert_eq!(jds.nnz(), 16);
+        // Longest rows have 3 nonzeros (rows 8 and 9).
+        assert_eq!(jds.njd(), 3);
+        assert!(jds.perm()[0] == 8 || jds.perm()[0] == 9);
+    }
+
+    #[test]
+    fn first_diagonal_is_longest() {
+        let a = paper_array_a();
+        let jds = Jds::from_dense(&a, &mut OpCounter::new());
+        // Diagonal 0 has one entry per non-empty row (10 rows, all
+        // non-empty), later diagonals shrink.
+        let d0 = jds.diag(0).0.len();
+        let d1 = jds.diag(1).0.len();
+        let d2 = jds.diag(2).0.len();
+        assert_eq!(d0, 10);
+        assert!(d0 >= d1 && d1 >= d2);
+        assert_eq!(d0 + d1 + d2, 16);
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let a = paper_array_a();
+        let jds = Jds::from_dense(&a, &mut OpCounter::new());
+        let x: Vec<f64> = (1..=8).map(|v| v as f64).collect();
+        let want: Vec<f64> = (0..10)
+            .map(|r| (0..8).map(|c| a.get(r, c) * x[c]).sum())
+            .collect();
+        assert_eq!(jds.spmv(&x), want);
+    }
+
+    #[test]
+    fn empty_and_uniform_rows() {
+        let z = Dense2D::zeros(3, 4);
+        let jds = Jds::from_dense(&z, &mut OpCounter::new());
+        assert_eq!(jds.njd(), 0);
+        assert_eq!(jds.to_dense(), z);
+
+        let mut u = Dense2D::zeros(3, 4);
+        for r in 0..3 {
+            u.set(r, r, 1.0);
+            u.set(r, 3, 2.0);
+        }
+        let jds = Jds::from_dense(&u, &mut OpCounter::new());
+        assert_eq!(jds.njd(), 2);
+        assert_eq!(jds.to_dense(), u);
+    }
+}

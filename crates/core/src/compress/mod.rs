@@ -1,0 +1,313 @@
+//! Data compression methods (phase 3 of every distribution scheme).
+//!
+//! The paper uses the two classic compressed formats from Barrett et al.'s
+//! *Templates* book: **CRS** (Compressed Row Storage) and **CCS**
+//! (Compressed Column Storage). Both use "two one-dimensional integer
+//! arrays, `RO` and `CO`, and one one-dimensional floating-point array,
+//! `VL`" (§3.1). Internally this crate stores 0-based indices and a
+//! pointer array with a leading `0` (the standard modern layout); the
+//! paper's figures are 1-based, and [`Crs::ro_paper`] et al. render that
+//! form for the figure-reproduction tests.
+//!
+//! A [`Coo`] triplet format rounds out the set (used by the workload
+//! generators and MatrixMarket I/O in `sparsedist-gen`), and three more
+//! *Templates* formats — [`Dia`] (diagonal strips), [`Jds`] (jagged
+//! diagonals) and [`Bsr`] (block sparse row) — are provided as local
+//! conversion targets: the paper's schemes put CRS/CCS on the wire, and a
+//! receiving processor may then re-compress into whichever format its
+//! computation prefers (the `compression_formats` bench compares them).
+
+mod bsr;
+mod ccs;
+mod coo;
+mod crs;
+mod dia;
+mod jds;
+
+pub use bsr::Bsr;
+pub use ccs::Ccs;
+pub use coo::Coo;
+pub use crs::Crs;
+pub use dia::Dia;
+pub use jds::Jds;
+
+use crate::dense::Dense2D;
+use crate::opcount::OpCounter;
+use std::fmt;
+
+/// Which compressed format a scheme run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompressKind {
+    /// Compressed Row Storage: nonzeros walked along rows; the travelling
+    /// indices are **column** indices.
+    Crs,
+    /// Compressed Column Storage: nonzeros walked along columns; the
+    /// travelling indices are **row** indices.
+    Ccs,
+}
+
+impl CompressKind {
+    /// Lower-case label for table output.
+    pub fn label(self) -> &'static str {
+        match self {
+            CompressKind::Crs => "crs",
+            CompressKind::Ccs => "ccs",
+        }
+    }
+}
+
+impl fmt::Display for CompressKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A compressed local sparse array, as held by one processor after a
+/// distribution scheme completes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LocalCompressed {
+    /// CRS-compressed local array.
+    Crs(Crs),
+    /// CCS-compressed local array.
+    Ccs(Ccs),
+}
+
+impl LocalCompressed {
+    /// Which format this is.
+    pub fn kind(&self) -> CompressKind {
+        match self {
+            LocalCompressed::Crs(_) => CompressKind::Crs,
+            LocalCompressed::Ccs(_) => CompressKind::Ccs,
+        }
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        match self {
+            LocalCompressed::Crs(c) => c.nnz(),
+            LocalCompressed::Ccs(c) => c.nnz(),
+        }
+    }
+
+    /// Local array shape `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        match self {
+            LocalCompressed::Crs(c) => (c.rows(), c.cols()),
+            LocalCompressed::Ccs(c) => (c.rows(), c.cols()),
+        }
+    }
+
+    /// Expand back to a dense local array.
+    pub fn to_dense(&self) -> Dense2D {
+        match self {
+            LocalCompressed::Crs(c) => c.to_dense(),
+            LocalCompressed::Ccs(c) => c.to_dense(),
+        }
+    }
+
+    /// Borrow the CRS payload.
+    ///
+    /// # Panics
+    /// Panics if this is a CCS array.
+    pub fn as_crs(&self) -> &Crs {
+        match self {
+            LocalCompressed::Crs(c) => c,
+            LocalCompressed::Ccs(_) => panic!("expected CRS, found CCS"),
+        }
+    }
+
+    /// Borrow the CCS payload.
+    ///
+    /// # Panics
+    /// Panics if this is a CRS array.
+    pub fn as_ccs(&self) -> &Ccs {
+        match self {
+            LocalCompressed::Ccs(c) => c,
+            LocalCompressed::Crs(_) => panic!("expected CCS, found CRS"),
+        }
+    }
+}
+
+/// Compress a dense array with the requested method, counting element
+/// operations into `ops` (what an SFC receiver does after its dense local
+/// array arrives).
+pub fn compress_dense(kind: CompressKind, a: &Dense2D, ops: &mut OpCounter) -> LocalCompressed {
+    match kind {
+        CompressKind::Crs => LocalCompressed::Crs(Crs::from_dense(a, ops)),
+        CompressKind::Ccs => LocalCompressed::Ccs(Ccs::from_dense(a, ops)),
+    }
+}
+
+/// Error from validating a compressed array's structural invariants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompressError {
+    /// Pointer array has the wrong length for the dimension it indexes.
+    PointerLength {
+        /// Required length (`segments + 1`).
+        expected: usize,
+        /// Length found.
+        actual: usize,
+    },
+    /// Pointer array does not start at zero.
+    PointerStart,
+    /// Pointer array decreases somewhere.
+    PointerNotMonotone {
+        /// First decreasing position.
+        at: usize,
+    },
+    /// Pointer total disagrees with the index/value array lengths.
+    LengthMismatch {
+        /// The pointer array's final entry.
+        pointer_total: usize,
+        /// Index array length found.
+        indices: usize,
+        /// Value array length found.
+        values: usize,
+    },
+    /// A stored index is out of the array bounds.
+    IndexOutOfBounds {
+        /// Offending position in the index array.
+        position: usize,
+        /// The out-of-range index.
+        index: usize,
+        /// The exclusive bound it violated.
+        bound: usize,
+    },
+    /// Indices within one row/column are not strictly increasing.
+    IndicesNotSorted {
+        /// The offending row (CRS) or column (CCS).
+        segment: usize,
+    },
+}
+
+impl fmt::Display for CompressError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompressError::PointerLength { expected, actual } => {
+                write!(f, "pointer array length {actual}, expected {expected}")
+            }
+            CompressError::PointerStart => write!(f, "pointer array must start at 0"),
+            CompressError::PointerNotMonotone { at } => {
+                write!(f, "pointer array decreases at position {at}")
+            }
+            CompressError::LengthMismatch { pointer_total, indices, values } => write!(
+                f,
+                "pointer total {pointer_total} disagrees with {indices} indices / {values} values"
+            ),
+            CompressError::IndexOutOfBounds { position, index, bound } => {
+                write!(f, "index {index} at position {position} exceeds bound {bound}")
+            }
+            CompressError::IndicesNotSorted { segment } => {
+                write!(f, "indices in segment {segment} are not strictly increasing")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompressError {}
+
+/// Shared validation for a (pointer, indices, values) compressed layout.
+pub(crate) fn validate_layout(
+    pointer: &[usize],
+    indices: &[usize],
+    values: &[f64],
+    nsegments: usize,
+    index_bound: usize,
+) -> Result<(), CompressError> {
+    if pointer.len() != nsegments + 1 {
+        return Err(CompressError::PointerLength { expected: nsegments + 1, actual: pointer.len() });
+    }
+    if pointer[0] != 0 {
+        return Err(CompressError::PointerStart);
+    }
+    for i in 1..pointer.len() {
+        if pointer[i] < pointer[i - 1] {
+            return Err(CompressError::PointerNotMonotone { at: i });
+        }
+    }
+    let total = *pointer.last().expect("pointer array is non-empty");
+    if total != indices.len() || total != values.len() {
+        return Err(CompressError::LengthMismatch {
+            pointer_total: total,
+            indices: indices.len(),
+            values: values.len(),
+        });
+    }
+    for (pos, &idx) in indices.iter().enumerate() {
+        if idx >= index_bound {
+            return Err(CompressError::IndexOutOfBounds { position: pos, index: idx, bound: index_bound });
+        }
+    }
+    for seg in 0..nsegments {
+        let run = &indices[pointer[seg]..pointer[seg + 1]];
+        if run.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(CompressError::IndicesNotSorted { segment: seg });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::paper_array_a;
+
+    #[test]
+    fn compress_dense_dispatches() {
+        let a = paper_array_a();
+        let mut ops = OpCounter::new();
+        let crs = compress_dense(CompressKind::Crs, &a, &mut ops);
+        assert_eq!(crs.kind(), CompressKind::Crs);
+        assert_eq!(crs.nnz(), 16);
+        let ccs = compress_dense(CompressKind::Ccs, &a, &mut ops);
+        assert_eq!(ccs.kind(), CompressKind::Ccs);
+        assert_eq!(ccs.to_dense(), a);
+    }
+
+    #[test]
+    fn validate_layout_catches_each_failure() {
+        // Good layout: 2 segments, bound 4.
+        assert!(validate_layout(&[0, 1, 3], &[2, 0, 3], &[1., 2., 3.], 2, 4).is_ok());
+        assert_eq!(
+            validate_layout(&[0, 1], &[0], &[1.], 2, 4),
+            Err(CompressError::PointerLength { expected: 3, actual: 2 })
+        );
+        assert_eq!(
+            validate_layout(&[1, 1, 1], &[], &[], 2, 4),
+            Err(CompressError::PointerStart)
+        );
+        assert_eq!(
+            validate_layout(&[0, 2, 1], &[0], &[1.], 2, 4),
+            Err(CompressError::PointerNotMonotone { at: 2 })
+        );
+        assert_eq!(
+            validate_layout(&[0, 1, 3], &[0, 1], &[1., 2., 3.], 2, 4),
+            Err(CompressError::LengthMismatch { pointer_total: 3, indices: 2, values: 3 })
+        );
+        assert_eq!(
+            validate_layout(&[0, 1, 2], &[0, 9], &[1., 2.], 2, 4),
+            Err(CompressError::IndexOutOfBounds { position: 1, index: 9, bound: 4 })
+        );
+        assert_eq!(
+            validate_layout(&[0, 2, 2], &[3, 1], &[1., 2.], 2, 4),
+            Err(CompressError::IndicesNotSorted { segment: 0 })
+        );
+    }
+
+    #[test]
+    fn local_compressed_accessors() {
+        let a = paper_array_a();
+        let mut ops = OpCounter::new();
+        let c = compress_dense(CompressKind::Crs, &a, &mut ops);
+        assert_eq!(c.shape(), (10, 8));
+        let _ = c.as_crs();
+    }
+
+    #[test]
+    #[should_panic(expected = "expected CCS")]
+    fn wrong_accessor_panics() {
+        let a = paper_array_a();
+        let c = compress_dense(CompressKind::Crs, &a, &mut OpCounter::new());
+        let _ = c.as_ccs();
+    }
+}

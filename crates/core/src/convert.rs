@@ -1,0 +1,224 @@
+//! Index conversion at the receiver — the paper's Cases 3.2.1–3.2.3 (CFS)
+//! and 3.3.1–3.3.3 (ED).
+//!
+//! In the CFS and ED schemes the source compresses/encodes **global**
+//! indices (it reads straight out of the global array). Whether a receiver
+//! must convert them to local indices depends only on which index kind
+//! travels and whether the partition splits that dimension:
+//!
+//! | partition | CRS (column indices travel) | CCS (row indices travel) |
+//! |---|---|---|
+//! | row    | Case x.1 — none            | Case x.2 — subtract row base |
+//! | column | Case x.2′ — subtract col base | Case x.1′ — none |
+//! | mesh   | Case x.3 — subtract col base | Case x.3′ — subtract row base |
+//! | cyclic | general mapping            | general mapping |
+//!
+//! For the block partitions the conversion is the paper's "subtract `N`"
+//! (the bases accumulate over preceding processors); cyclic partitions need
+//! the general `global → local` mapping, charged at the same one operation
+//! per converted index.
+
+use crate::compress::CompressKind;
+use crate::opcount::OpCounter;
+use crate::partition::Partition;
+
+/// Which conversion a `(partition, compression)` pair requires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConversionCase {
+    /// The travelling indices are already local (paper Cases 3.2.1/3.3.1).
+    None,
+    /// Convert travelling **column** indices via
+    /// [`Partition::col_to_local`] (Cases 3.2.2′/3.2.3/3.3.2′/3.3.3 and the
+    /// cyclic generalisation).
+    ConvertCols,
+    /// Convert travelling **row** indices via [`Partition::row_to_local`]
+    /// (Cases 3.2.2/3.3.2 and mesh/cyclic variants).
+    ConvertRows,
+}
+
+/// Determine the conversion a receiver must perform.
+pub fn conversion_case(part: &dyn Partition, kind: CompressKind) -> ConversionCase {
+    match kind {
+        CompressKind::Crs if part.splits_cols() => ConversionCase::ConvertCols,
+        CompressKind::Ccs if part.splits_rows() => ConversionCase::ConvertRows,
+        _ => ConversionCase::None,
+    }
+}
+
+/// The paper's case number for a scheme family (`"3.2"` for CFS, `"3.3"`
+/// for ED) on one of the three block partitions; `None` for partitions the
+/// paper does not enumerate (cyclic).
+pub fn paper_case_label(family: &str, partition_name: &str, kind: CompressKind) -> Option<String> {
+    let case = match (partition_name, kind) {
+        ("row", CompressKind::Crs) | ("column", CompressKind::Ccs) => "1",
+        ("row", CompressKind::Ccs) | ("column", CompressKind::Crs) => "2",
+        ("mesh", _) => "3",
+        _ => return None,
+    };
+    Some(format!("Case {family}.{case}"))
+}
+
+/// A receiver-side converter for the travelling indices of part `pid`.
+///
+/// Bundles the case decision so the scheme drivers convert (and charge one
+/// op) only when the paper says a conversion happens.
+pub struct IndexConverter<'a> {
+    part: &'a dyn Partition,
+    pid: usize,
+    case: ConversionCase,
+}
+
+impl<'a> IndexConverter<'a> {
+    /// Build the converter for `pid` under the given compression method.
+    pub fn new(part: &'a dyn Partition, pid: usize, kind: CompressKind) -> Self {
+        IndexConverter { part, pid, case: conversion_case(part, kind) }
+    }
+
+    /// The case in force.
+    pub fn case(&self) -> ConversionCase {
+        self.case
+    }
+
+    /// Convert one travelling index to a local index, charging one
+    /// operation iff a conversion is actually performed.
+    #[inline]
+    pub fn to_local(&self, travelling: usize, ops: &mut OpCounter) -> usize {
+        match self.case {
+            ConversionCase::None => travelling,
+            ConversionCase::ConvertCols => {
+                ops.tick();
+                self.part.col_to_local(self.pid, travelling)
+            }
+            ConversionCase::ConvertRows => {
+                ops.tick();
+                self.part.row_to_local(self.pid, travelling)
+            }
+        }
+    }
+
+    /// The local bound the converted indices must respect: the local
+    /// column count for CRS streams, the local row count for CCS streams —
+    /// or the global bound when no conversion happens along that dimension.
+    pub fn local_index_bound(&self, kind: CompressKind) -> usize {
+        let (lrows, lcols) = self.part.local_shape(self.pid);
+        let (grows, gcols) = self.part.global_shape();
+        match kind {
+            CompressKind::Crs => {
+                if self.part.splits_cols() {
+                    lcols
+                } else {
+                    gcols
+                }
+            }
+            CompressKind::Ccs => {
+                if self.part.splits_rows() {
+                    lrows
+                } else {
+                    grows
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::{ColBlock, ColCyclic, Mesh2D, RowBlock, RowCyclic};
+
+    #[test]
+    fn case_table_matches_paper() {
+        let row = RowBlock::new(8, 8, 4);
+        let col = ColBlock::new(8, 8, 4);
+        let mesh = Mesh2D::new(8, 8, 2, 2);
+        // Case 3.2.1 / 3.3.1: row+CRS, column+CCS → no conversion.
+        assert_eq!(conversion_case(&row, CompressKind::Crs), ConversionCase::None);
+        assert_eq!(conversion_case(&col, CompressKind::Ccs), ConversionCase::None);
+        // Case 3.2.2 / 3.3.2: row+CCS subtracts rows; column+CRS subtracts
+        // columns.
+        assert_eq!(conversion_case(&row, CompressKind::Ccs), ConversionCase::ConvertRows);
+        assert_eq!(conversion_case(&col, CompressKind::Crs), ConversionCase::ConvertCols);
+        // Case 3.2.3 / 3.3.3: mesh converts both ways depending on method.
+        assert_eq!(conversion_case(&mesh, CompressKind::Crs), ConversionCase::ConvertCols);
+        assert_eq!(conversion_case(&mesh, CompressKind::Ccs), ConversionCase::ConvertRows);
+    }
+
+    #[test]
+    fn single_processor_never_converts() {
+        let row = RowBlock::new(8, 8, 1);
+        assert_eq!(conversion_case(&row, CompressKind::Ccs), ConversionCase::None);
+    }
+
+    #[test]
+    fn paper_case_labels() {
+        assert_eq!(
+            paper_case_label("3.2", "row", CompressKind::Crs).as_deref(),
+            Some("Case 3.2.1")
+        );
+        assert_eq!(
+            paper_case_label("3.3", "row", CompressKind::Ccs).as_deref(),
+            Some("Case 3.3.2")
+        );
+        assert_eq!(
+            paper_case_label("3.2", "mesh", CompressKind::Ccs).as_deref(),
+            Some("Case 3.2.3")
+        );
+        assert_eq!(paper_case_label("3.2", "row-cyclic", CompressKind::Crs), None);
+    }
+
+    #[test]
+    fn paper_example_case_322_subtract_three() {
+        // §3.2's worked example: row partition of the 10×8 array, CCS, P1.
+        // P1 owns global rows 3..6; the paper says "subtract 3".
+        let part = RowBlock::new(10, 8, 4);
+        let conv = IndexConverter::new(&part, 1, CompressKind::Ccs);
+        let mut ops = OpCounter::new();
+        assert_eq!(conv.to_local(3, &mut ops), 0);
+        assert_eq!(conv.to_local(5, &mut ops), 2);
+        assert_eq!(ops.get(), 2); // each conversion charged one op
+    }
+
+    #[test]
+    fn no_conversion_charges_nothing() {
+        let part = RowBlock::new(10, 8, 4);
+        let conv = IndexConverter::new(&part, 1, CompressKind::Crs);
+        let mut ops = OpCounter::new();
+        assert_eq!(conv.to_local(6, &mut ops), 6);
+        assert_eq!(ops.get(), 0);
+    }
+
+    #[test]
+    fn mesh_conversion_uses_grid_bases() {
+        // 8×8 over a 2×2 grid; P_{1,1} (rank 3) owns rows 4..8, cols 4..8.
+        let part = Mesh2D::new(8, 8, 2, 2);
+        let mut ops = OpCounter::new();
+        let crs = IndexConverter::new(&part, 3, CompressKind::Crs);
+        assert_eq!(crs.to_local(5, &mut ops), 1); // column 5 → local col 1
+        let ccs = IndexConverter::new(&part, 3, CompressKind::Ccs);
+        assert_eq!(ccs.to_local(7, &mut ops), 3); // row 7 → local row 3
+    }
+
+    #[test]
+    fn cyclic_general_mapping() {
+        let part = RowCyclic::new(10, 8, 4);
+        let conv = IndexConverter::new(&part, 2, CompressKind::Ccs);
+        let mut ops = OpCounter::new();
+        // Global row 6 lives on processor 2 as local row 6/4 = 1.
+        assert_eq!(conv.to_local(6, &mut ops), 1);
+        let colpart = ColCyclic::new(8, 9, 3);
+        let conv = IndexConverter::new(&colpart, 1, CompressKind::Crs);
+        assert_eq!(conv.to_local(7, &mut ops), 2);
+    }
+
+    #[test]
+    fn local_index_bounds() {
+        let part = RowBlock::new(10, 8, 4);
+        let crs = IndexConverter::new(&part, 0, CompressKind::Crs);
+        assert_eq!(crs.local_index_bound(CompressKind::Crs), 8); // global cols
+        let ccs = IndexConverter::new(&part, 0, CompressKind::Ccs);
+        assert_eq!(ccs.local_index_bound(CompressKind::Ccs), 3); // local rows
+        let mesh = Mesh2D::new(8, 8, 2, 2);
+        let m = IndexConverter::new(&mesh, 3, CompressKind::Crs);
+        assert_eq!(m.local_index_bound(CompressKind::Crs), 4);
+    }
+}

@@ -1,0 +1,418 @@
+//! **Gathering**: collecting a distributed sparse array back onto the
+//! source processor — the inverse of the distribution phase, needed at the
+//! end of any compute pipeline (write the result, checkpoint, hand off to
+//! a sequential post-processing stage).
+//!
+//! The paper's three orderings have exact mirror images here, and the same
+//! trade-offs apply in reverse:
+//!
+//! * [`GatherStrategy::Dense`] — each processor expands its local array to
+//!   dense and ships every cell (`n²` elements total), the SFC mirror;
+//! * [`GatherStrategy::Compressed`] — each processor ships its local
+//!   `RO`/`CO`/`VL` with indices converted to **global** on the sender
+//!   (the CFS mirror; conversion now happens before the send);
+//! * [`GatherStrategy::Encoded`] — each processor encodes the ED special
+//!   buffer of its local array with global indices; the source decodes all
+//!   `p` buffers straight into the global compressed array.
+
+use crate::compress::{Ccs, CompressKind, Crs, LocalCompressed};
+use crate::convert::conversion_case;
+use crate::convert::ConversionCase;
+use crate::opcount::OpCounter;
+use crate::partition::Partition;
+use sparsedist_multicomputer::{Multicomputer, PackBuffer, Phase, PhaseLedger, VirtualTime};
+
+/// How the local arrays travel back to the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GatherStrategy {
+    /// Ship dense local arrays (`n²` elements) — the SFC mirror.
+    Dense,
+    /// Ship `RO`/`CO`/`VL` with sender-side index globalisation — the CFS
+    /// mirror.
+    Compressed,
+    /// Ship the ED special buffer with global indices — the ED mirror.
+    Encoded,
+}
+
+/// Result of a gather: the reassembled global array at the source plus
+/// per-rank ledgers.
+#[derive(Debug, Clone)]
+pub struct GatherRun {
+    /// Which strategy ran.
+    pub strategy: GatherStrategy,
+    /// Per-rank phase ledgers.
+    pub ledgers: Vec<PhaseLedger>,
+    /// The global array, compressed in the requested kind (held by the
+    /// source; replicated here for inspection).
+    pub global: LocalCompressed,
+}
+
+impl GatherRun {
+    /// The source processor's busy time (it does the merging) — the
+    /// gather analogue of the paper's `T_Distribution` focus.
+    pub fn t_gather(&self) -> VirtualTime {
+        self.ledgers[0].busy_total()
+    }
+}
+
+/// Convert one local nonzero's travelling index to global at the sender:
+/// the exact inverse of the receive-side Cases 3.2.x/3.3.x, charged the
+/// same one op when (and only when) the distribution direction would have
+/// charged it.
+fn globalise(
+    part: &dyn Partition,
+    me: usize,
+    kind: CompressKind,
+    lr: usize,
+    lc: usize,
+    ops: &mut OpCounter,
+) -> usize {
+    let (gr, gc) = part.to_global(me, lr, lc);
+    match (kind, conversion_case(part, kind)) {
+        (CompressKind::Crs, ConversionCase::None) => gc,
+        (CompressKind::Ccs, ConversionCase::None) => gr,
+        (CompressKind::Crs, _) => {
+            ops.tick();
+            gc
+        }
+        (CompressKind::Ccs, _) => {
+            ops.tick();
+            gr
+        }
+    }
+}
+
+/// Gather `locals` (owned under `part`) back to rank 0 as one global
+/// compressed array.
+///
+/// ```
+/// use sparsedist_core::dense::paper_array_a;
+/// use sparsedist_core::partition::RowBlock;
+/// use sparsedist_core::compress::CompressKind;
+/// use sparsedist_core::gather::{gather_global, GatherStrategy};
+/// use sparsedist_core::schemes::{run_scheme, SchemeKind};
+/// use sparsedist_multicomputer::{MachineModel, Multicomputer};
+///
+/// let a = paper_array_a();
+/// let machine = Multicomputer::virtual_machine(4, MachineModel::ibm_sp2());
+/// let part = RowBlock::new(10, 8, 4);
+/// let run = run_scheme(SchemeKind::Ed, &machine, &a, &part, CompressKind::Crs);
+/// let g = gather_global(&machine, &run.locals, &part, CompressKind::Crs,
+///                       GatherStrategy::Encoded);
+/// assert_eq!(g.global.to_dense(), a); // gather inverts distribution
+/// ```
+///
+/// # Panics
+/// Panics if the machine size disagrees with the partition or `locals`.
+pub fn gather_global(
+    machine: &Multicomputer,
+    locals: &[LocalCompressed],
+    part: &dyn Partition,
+    kind: CompressKind,
+    strategy: GatherStrategy,
+) -> GatherRun {
+    let p = machine.nprocs();
+    assert_eq!(part.nparts(), p, "partition has {} parts, machine {p}", part.nparts());
+    assert_eq!(locals.len(), p, "need one local array per processor");
+    for (pid, l) in locals.iter().enumerate() {
+        assert_eq!(l.kind(), kind, "local array {pid} is {} but gather kind is {kind}", l.kind());
+    }
+    let (grows, gcols) = part.global_shape();
+
+    let (globals, ledgers) = machine.run_with_ledgers(|env| -> Option<LocalCompressed> {
+        let me = env.rank();
+
+        // Sender side: build the outgoing buffer.
+        let buf = env.phase(Phase::Pack, |env| {
+            let mut ops = OpCounter::new();
+            let buf = match strategy {
+                GatherStrategy::Dense => {
+                    let dense = locals[me].to_dense();
+                    let (lr, lc) = (dense.rows(), dense.cols());
+                    let mut buf = PackBuffer::with_capacity(lr * lc);
+                    for r in 0..lr {
+                        buf.push_f64_slice(dense.row(r));
+                    }
+                    // Expansion cost: one op per cell written.
+                    ops.add((lr * lc) as u64);
+                    buf
+                }
+                GatherStrategy::Compressed => {
+                    // Ship count + (travelling-global index, value) runs per
+                    // segment pointer, i.e. the CFS layout in reverse:
+                    // pointer array then indices (globalised) then values.
+                    let mut buf = PackBuffer::new();
+                    match &locals[me] {
+                        LocalCompressed::Crs(a) => {
+                            buf.push_usize_slice(a.ro());
+                            ops.add(a.ro().len() as u64);
+                            for (lr, lc, _) in a.iter() {
+                                let g = globalise(part, me, kind, lr, lc, &mut ops);
+                                buf.push_u64(g as u64);
+                                ops.tick();
+                            }
+                            buf.push_f64_slice(a.vl());
+                            ops.add(a.vl().len() as u64);
+                        }
+                        LocalCompressed::Ccs(a) => {
+                            buf.push_usize_slice(a.cp());
+                            ops.add(a.cp().len() as u64);
+                            for (lr, lc, _) in a.iter() {
+                                let g = globalise(part, me, kind, lr, lc, &mut ops);
+                                buf.push_u64(g as u64);
+                                ops.tick();
+                            }
+                            buf.push_f64_slice(a.vl());
+                            ops.add(a.vl().len() as u64);
+                        }
+                    }
+                    buf
+                }
+                GatherStrategy::Encoded => {
+                    // ED layout per segment: count, then (global index,
+                    // value) pairs.
+                    let mut buf = PackBuffer::new();
+                    match &locals[me] {
+                        LocalCompressed::Crs(a) => {
+                            for r in 0..a.rows() {
+                                buf.push_u64(a.row_nnz(r) as u64);
+                                ops.tick();
+                                for (&c, &v) in a.row_cols(r).iter().zip(a.row_vals(r)) {
+                                    let g = globalise(part, me, kind, r, c, &mut ops);
+                                    buf.push_u64(g as u64);
+                                    buf.push_f64(v);
+                                    ops.add(2);
+                                }
+                            }
+                        }
+                        LocalCompressed::Ccs(a) => {
+                            for c in 0..a.cols() {
+                                buf.push_u64(a.col_nnz(c) as u64);
+                                ops.tick();
+                                for (&r, &v) in a.col_rows(c).iter().zip(a.col_vals(c)) {
+                                    let g = globalise(part, me, kind, r, c, &mut ops);
+                                    buf.push_u64(g as u64);
+                                    buf.push_f64(v);
+                                    ops.add(2);
+                                }
+                            }
+                        }
+                    }
+                    buf
+                }
+            };
+            env.charge_ops(ops.take());
+            buf
+        });
+        env.phase(Phase::Send, |env| env.send(0, buf));
+
+        if me != 0 {
+            return None;
+        }
+
+        // Source side: merge all p messages into global triplets.
+        let mut trips: Vec<(usize, usize, f64)> = Vec::new();
+        env.phase(Phase::Unpack, |env| {
+            let mut ops = OpCounter::new();
+            for src in 0..p {
+                let msg = env.recv(src);
+                let mut cursor = msg.payload.cursor();
+                let (lrows, lcols) = part.local_shape(src);
+                match strategy {
+                    GatherStrategy::Dense => {
+                        for lr in 0..lrows {
+                            for lc in 0..lcols {
+                                let v = cursor.read_f64();
+                                ops.tick();
+                                if v != 0.0 {
+                                    let (gr, gc) = part.to_global(src, lr, lc);
+                                    trips.push((gr, gc, v));
+                                    ops.add(2);
+                                }
+                            }
+                        }
+                    }
+                    GatherStrategy::Compressed => {
+                        let nsegs = match kind {
+                            CompressKind::Crs => lrows,
+                            CompressKind::Ccs => lcols,
+                        };
+                        let pointer = cursor.read_usize_vec(nsegs + 1);
+                        ops.add((nsegs + 1) as u64);
+                        let nnz = *pointer.last().expect("non-empty pointer");
+                        let travelling = cursor.read_usize_vec(nnz);
+                        let values = cursor.read_f64_vec(nnz);
+                        ops.add(2 * nnz as u64);
+                        let mut k = 0;
+                        for seg in 0..nsegs {
+                            for _ in pointer[seg]..pointer[seg + 1] {
+                                let (gr, gc) = match kind {
+                                    CompressKind::Crs => {
+                                        let (gr, _) = part.to_global(src, seg, 0);
+                                        (gr, travelling[k])
+                                    }
+                                    CompressKind::Ccs => {
+                                        let (_, gc) = part.to_global(src, 0, seg);
+                                        (travelling[k], gc)
+                                    }
+                                };
+                                trips.push((gr, gc, values[k]));
+                                ops.tick();
+                                k += 1;
+                            }
+                        }
+                    }
+                    GatherStrategy::Encoded => {
+                        let nsegs = match kind {
+                            CompressKind::Crs => lrows,
+                            CompressKind::Ccs => lcols,
+                        };
+                        for seg in 0..nsegs {
+                            let count = cursor.read_usize();
+                            ops.tick();
+                            for _ in 0..count {
+                                let g = cursor.read_usize();
+                                let v = cursor.read_f64();
+                                ops.add(2);
+                                let (gr, gc) = match kind {
+                                    CompressKind::Crs => {
+                                        let (gr, _) = part.to_global(src, seg, 0);
+                                        (gr, g)
+                                    }
+                                    CompressKind::Ccs => {
+                                        let (_, gc) = part.to_global(src, 0, seg);
+                                        (g, gc)
+                                    }
+                                };
+                                trips.push((gr, gc, v));
+                                ops.tick();
+                            }
+                        }
+                    }
+                }
+                assert!(cursor.is_exhausted(), "gather message longer than expected");
+            }
+            env.charge_ops(ops.take());
+        });
+
+        // Build the global compressed array.
+        Some(env.phase(Phase::Compress, |env| {
+            let mut ops = OpCounter::new();
+            let global = match kind {
+                CompressKind::Crs => {
+                    LocalCompressed::Crs(Crs::from_triplets(grows, gcols, &trips, &mut ops))
+                }
+                CompressKind::Ccs => {
+                    LocalCompressed::Ccs(Ccs::from_triplets(grows, gcols, &trips, &mut ops))
+                }
+            };
+            env.charge_ops(ops.take());
+            global
+        }))
+    });
+
+    let global = globals.into_iter().next().flatten().expect("rank 0 returns the global array");
+    GatherRun { strategy, ledgers, global }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::paper_array_a;
+    use crate::partition::{ColBlock, Mesh2D, RowBlock, RowCyclic};
+    use crate::schemes::{run_scheme, SchemeKind};
+    use sparsedist_multicomputer::MachineModel;
+
+    fn machine(p: usize) -> Multicomputer {
+        Multicomputer::virtual_machine(p, MachineModel::ibm_sp2())
+    }
+
+    #[test]
+    fn gather_inverts_distribution() {
+        let a = paper_array_a();
+        let parts: Vec<Box<dyn Partition>> = vec![
+            Box::new(RowBlock::new(10, 8, 4)),
+            Box::new(ColBlock::new(10, 8, 4)),
+            Box::new(Mesh2D::new(10, 8, 2, 2)),
+            Box::new(RowCyclic::new(10, 8, 4)),
+        ];
+        for part in &parts {
+            for kind in [CompressKind::Crs, CompressKind::Ccs] {
+                let run = run_scheme(SchemeKind::Ed, &machine(4), &a, part.as_ref(), kind);
+                for strategy in [
+                    GatherStrategy::Dense,
+                    GatherStrategy::Compressed,
+                    GatherStrategy::Encoded,
+                ] {
+                    let g =
+                        gather_global(&machine(4), &run.locals, part.as_ref(), kind, strategy);
+                    assert_eq!(
+                        g.global.to_dense(),
+                        a,
+                        "{kind} {:?} {}",
+                        strategy,
+                        part.name()
+                    );
+                    assert_eq!(g.global.kind(), kind);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_gather_ships_less_than_dense() {
+        let a = paper_array_a();
+        let part = RowBlock::new(10, 8, 4);
+        let run = run_scheme(SchemeKind::Ed, &machine(4), &a, &part, CompressKind::Crs);
+        let dense = gather_global(&machine(4), &run.locals, &part, CompressKind::Crs, GatherStrategy::Dense);
+        let enc =
+            gather_global(&machine(4), &run.locals, &part, CompressKind::Crs, GatherStrategy::Encoded);
+        let send = |g: &GatherRun| -> f64 {
+            g.ledgers.iter().map(|l| l.get(Phase::Send).as_micros()).sum()
+        };
+        assert!(send(&enc) < send(&dense));
+    }
+
+    #[test]
+    fn encoded_gather_beats_compressed_on_the_wire() {
+        // Same margin as in the forward direction: no separate pointer
+        // array, counts only.
+        let a = paper_array_a();
+        let part = RowBlock::new(10, 8, 4);
+        let run = run_scheme(SchemeKind::Ed, &machine(4), &a, &part, CompressKind::Crs);
+        let comp = gather_global(
+            &machine(4),
+            &run.locals,
+            &part,
+            CompressKind::Crs,
+            GatherStrategy::Compressed,
+        );
+        let enc = gather_global(
+            &machine(4),
+            &run.locals,
+            &part,
+            CompressKind::Crs,
+            GatherStrategy::Encoded,
+        );
+        let send = |g: &GatherRun| -> f64 {
+            g.ledgers.iter().map(|l| l.get(Phase::Send).as_micros()).sum()
+        };
+        assert!(send(&enc) < send(&comp));
+    }
+
+    #[test]
+    fn gather_of_empty_array() {
+        let a = crate::dense::Dense2D::zeros(12, 12);
+        let part = RowBlock::new(12, 12, 4);
+        let run = run_scheme(SchemeKind::Cfs, &machine(4), &a, &part, CompressKind::Crs);
+        let g = gather_global(
+            &machine(4),
+            &run.locals,
+            &part,
+            CompressKind::Crs,
+            GatherStrategy::Encoded,
+        );
+        assert_eq!(g.global.nnz(), 0);
+        assert_eq!(g.global.shape(), (12, 12));
+    }
+}

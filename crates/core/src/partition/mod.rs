@@ -1,0 +1,205 @@
+//! Data partition methods (phase 1 of every distribution scheme).
+//!
+//! The paper evaluates three partition methods — **row** `(Block, *)`,
+//! **column** `(*, Block)` and **2-D mesh** `(Block, Block)` in Fortran 90
+//! notation — and notes (§1) that the schemes work with any partition,
+//! block or cyclic. This module provides the three block methods the paper
+//! measures plus cyclic and block-cyclic extensions (the latter matches the
+//! Block Row Scatter distribution of the paper's related work), and the
+//! structure-aware [`BalancedRows`] partitions after Ziantz et al.'s
+//! bin-packing optimisation.
+//!
+//! Block sizes follow the paper exactly: a row partition of an `m × n`
+//! array over `p` processors gives each processor a `⌈m/p⌉ × n` local
+//! array, with the final processor(s) taking whatever remains (possibly
+//! fewer rows, possibly none).
+
+mod balanced;
+mod block;
+mod cyclic;
+
+pub use balanced::BalancedRows;
+pub use block::{ColBlock, Mesh2D, RowBlock};
+pub use cyclic::{BlockCyclic, ColCyclic, RowCyclic};
+
+use crate::dense::Dense2D;
+
+/// A mapping of a global `rows × cols` array onto `p` local arrays.
+///
+/// Implementations must be pure functions of their parameters: the same
+/// `(part, lr, lc)` always maps to the same global cell, every global cell
+/// is owned by exactly one part, and `to_local`/`to_global` are inverse to
+/// each other. The property tests in this module's submodules check those
+/// laws for every implementation.
+pub trait Partition: Sync + std::fmt::Debug {
+    /// Human-readable method name (e.g. `"row"`).
+    fn name(&self) -> &'static str;
+
+    /// Number of parts (= processors).
+    fn nparts(&self) -> usize;
+
+    /// Global array shape `(rows, cols)`.
+    fn global_shape(&self) -> (usize, usize);
+
+    /// Local array shape of `part`.
+    fn local_shape(&self, part: usize) -> (usize, usize);
+
+    /// Which part owns global cell `(r, c)`.
+    fn owner_of(&self, r: usize, c: usize) -> usize;
+
+    /// Map a global cell to `(part, local_row, local_col)`.
+    fn to_local(&self, r: usize, c: usize) -> (usize, usize, usize);
+
+    /// Map a local cell of `part` back to global coordinates.
+    fn to_global(&self, part: usize, lr: usize, lc: usize) -> (usize, usize);
+
+    /// True if different parts own different global rows.
+    ///
+    /// Determines whether *row* indices travelling in a CCS stream need
+    /// conversion at the receiver (the paper's Cases 3.2.2/3.3.2 for the
+    /// row partition, 3.2.3/3.3.3 for the mesh).
+    fn splits_rows(&self) -> bool;
+
+    /// True if different parts own different global columns (the CRS
+    /// analogue of [`Partition::splits_rows`]).
+    fn splits_cols(&self) -> bool;
+
+    /// Convert a global row index to `part`'s local row index.
+    ///
+    /// Only meaningful for rows actually owned by `part`.
+    fn row_to_local(&self, part: usize, gr: usize) -> usize;
+
+    /// Convert a global column index to `part`'s local column index.
+    fn col_to_local(&self, part: usize, gc: usize) -> usize;
+
+    /// True if every part's cells form one contiguous row-major run of the
+    /// global array (only the row block partition). The SFC scheme sends
+    /// such parts "without packing into buffers" (§4.1.1), i.e. at zero
+    /// per-element CPU cost.
+    fn row_contiguous(&self) -> bool {
+        false
+    }
+
+    /// Copy `part`'s local array out of the global array.
+    fn extract_dense(&self, global: &Dense2D, part: usize) -> Dense2D {
+        let (gr, gc) = self.global_shape();
+        assert_eq!(
+            (global.rows(), global.cols()),
+            (gr, gc),
+            "partition built for {gr}x{gc} but array is {}x{}",
+            global.rows(),
+            global.cols()
+        );
+        let (lr, lc) = self.local_shape(part);
+        let mut out = Dense2D::zeros(lr, lc);
+        for r in 0..lr {
+            for c in 0..lc {
+                let (r0, c0) = self.to_global(part, r, c);
+                out.set(r, c, global.get(r0, c0));
+            }
+        }
+        out
+    }
+
+    /// Number of nonzero elements each part owns, and the paper's `s'`
+    /// (the largest local sparse ratio, over non-empty parts).
+    fn nnz_profile(&self, global: &Dense2D) -> NnzProfile {
+        let mut per_part = vec![0usize; self.nparts()];
+        for (r, c, _) in global.iter_nonzero() {
+            per_part[self.owner_of(r, c)] += 1;
+        }
+        let mut s_max = 0.0f64;
+        for (part, &nnz) in per_part.iter().enumerate() {
+            let (lr, lc) = self.local_shape(part);
+            if lr * lc > 0 {
+                s_max = s_max.max(nnz as f64 / (lr * lc) as f64);
+            }
+        }
+        NnzProfile { per_part, s_max }
+    }
+}
+
+/// Per-part nonzero counts (see [`Partition::nnz_profile`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NnzProfile {
+    /// Nonzeros owned by each part.
+    pub per_part: Vec<usize>,
+    /// The paper's `s'`: the largest local sparse ratio.
+    pub s_max: f64,
+}
+
+/// Ceiling division, the paper's `⌈a/b⌉`.
+pub(crate) fn ceil_div(a: usize, b: usize) -> usize {
+    a.div_ceil(b)
+}
+
+/// Shared helper for ceil-block splits along one dimension: the extent of
+/// block `i` when `len` is cut into `p` blocks of size `⌈len/p⌉`.
+pub(crate) fn block_extent(len: usize, p: usize, i: usize) -> usize {
+    let b = ceil_div(len, p);
+    (len.saturating_sub(i * b)).min(b)
+}
+
+/// Start offset of block `i` (see [`block_extent`]).
+pub(crate) fn block_start(len: usize, p: usize, i: usize) -> usize {
+    (ceil_div(len, p) * i).min(len)
+}
+
+#[cfg(test)]
+pub(crate) mod lawtests {
+    //! Reusable law-checking helpers shared by the partition submodules'
+    //! tests.
+    use super::*;
+
+    /// Check the core partition laws on an exhaustive sweep of the global
+    /// index space.
+    pub fn check_laws(p: &dyn Partition) {
+        let (rows, cols) = p.global_shape();
+        // Every global cell maps to exactly one (part, lr, lc) and back.
+        let mut seen = vec![0usize; p.nparts()];
+        for r in 0..rows {
+            for c in 0..cols {
+                let (part, lr, lc) = p.to_local(r, c);
+                assert_eq!(part, p.owner_of(r, c), "to_local/owner_of disagree at ({r},{c})");
+                let (lr_max, lc_max) = p.local_shape(part);
+                assert!(lr < lr_max && lc < lc_max, "local index out of local shape");
+                assert_eq!(p.to_global(part, lr, lc), (r, c), "round trip failed at ({r},{c})");
+                assert_eq!(p.row_to_local(part, r), lr, "row_to_local inconsistent at ({r},{c})");
+                assert_eq!(p.col_to_local(part, c), lc, "col_to_local inconsistent at ({r},{c})");
+                seen[part] += 1;
+            }
+        }
+        // Local shapes account for every cell exactly once.
+        let mut total = 0usize;
+        for (part, &seen_cells) in seen.iter().enumerate() {
+            let (lr, lc) = p.local_shape(part);
+            assert_eq!(seen_cells, lr * lc, "part {part} shape does not match owned cells");
+            total += lr * lc;
+        }
+        assert_eq!(total, rows * cols, "parts must tile the global array");
+    }
+
+    #[test]
+    fn block_extent_covers_exactly() {
+        for len in 1..40 {
+            for p in 1..10 {
+                let total: usize = (0..p).map(|i| block_extent(len, p, i)).sum();
+                assert_eq!(total, len, "len={len} p={p}");
+                for i in 0..p {
+                    let s = block_start(len, p, i);
+                    let e = block_extent(len, p, i);
+                    if e > 0 {
+                        assert!(s + e <= len);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_block_sizes() {
+        // 10 rows over 4 processors: ⌈10/4⌉ = 3 → sizes 3,3,3,1 (Figure 2).
+        let sizes: Vec<usize> = (0..4).map(|i| block_extent(10, 4, i)).collect();
+        assert_eq!(sizes, vec![3, 3, 3, 1]);
+    }
+}

@@ -1,0 +1,256 @@
+//! Multi-source ED distribution.
+//!
+//! The paper's schemes assume a *single* source processor holding the
+//! global array, so the encode pass (`n²(1+3s)` operations) serialises on
+//! it — visible as rank 0's long bar in any timeline. When the global
+//! array is striped over `k` I/O processors (a parallel filesystem, `k`
+//! reader ranks), each source can encode and send only its stripe and the
+//! bottleneck drops by ≈ `k`.
+//!
+//! Striping is by global row (`row r` belongs to source `r mod k`), which
+//! aligns stripes with CRS row segments: every row of every destination's
+//! local array is encoded by exactly one source, and the receiver knows
+//! which (`to_global(pid, lr, 0).0 mod k`), so the `k` buffers decode
+//! without any cross-source merging. The scheme is therefore CRS-only —
+//! a CCS column segment would interleave rows from every source.
+
+use crate::compress::{CompressKind, Crs, LocalCompressed};
+use crate::convert::IndexConverter;
+use crate::dense::Dense2D;
+use crate::opcount::OpCounter;
+use crate::partition::Partition;
+use sparsedist_multicomputer::{Multicomputer, PackBuffer, Phase, PhaseLedger, VirtualTime};
+
+/// Result of a multi-source ED run.
+#[derive(Debug, Clone)]
+pub struct MultiSourceRun {
+    /// Number of source processors (ranks `0..nsources`).
+    pub nsources: usize,
+    /// Per-rank ledgers.
+    pub ledgers: Vec<PhaseLedger>,
+    /// Per-rank compressed local arrays.
+    pub locals: Vec<LocalCompressed>,
+}
+
+impl MultiSourceRun {
+    /// The distribution time under the paper's accounting, generalised to
+    /// many sources: the slowest source's encode+send plus the slowest
+    /// receiver's decode.
+    pub fn t_distribution(&self) -> VirtualTime {
+        let src_max = self.ledgers[..self.nsources]
+            .iter()
+            .map(|l| l.get(Phase::Encode) + l.get(Phase::Send))
+            .fold(VirtualTime::ZERO, VirtualTime::max);
+        let dec_max = self
+            .ledgers
+            .iter()
+            .map(|l| l.get(Phase::Decode))
+            .fold(VirtualTime::ZERO, VirtualTime::max);
+        src_max + dec_max
+    }
+
+    /// Total nonzeros distributed.
+    pub fn total_nnz(&self) -> usize {
+        self.locals.iter().map(|l| l.nnz()).sum()
+    }
+}
+
+/// Encode the rows of part `pid` that belong to stripe `stripe` (of
+/// `nsources`) into an ED buffer. Non-stripe rows are skipped entirely
+/// (they cost this source nothing).
+fn encode_stripe(
+    global: &Dense2D,
+    part: &dyn Partition,
+    pid: usize,
+    stripe: usize,
+    nsources: usize,
+    ops: &mut OpCounter,
+) -> PackBuffer {
+    let (lrows, lcols) = part.local_shape(pid);
+    let mut buf = PackBuffer::new();
+    for lr in 0..lrows {
+        let (gr, _) = part.to_global(pid, lr, 0);
+        if gr % nsources != stripe {
+            continue;
+        }
+        let slot = buf.push_u64_placeholder();
+        let mut count: u64 = 0;
+        for lc in 0..lcols {
+            ops.tick();
+            let (gr2, gc) = part.to_global(pid, lr, lc);
+            let v = global.get(gr2, gc);
+            if v != 0.0 {
+                buf.push_u64(gc as u64);
+                buf.push_f64(v);
+                count += 1;
+                ops.add(3);
+            }
+        }
+        buf.patch_u64(slot, count);
+    }
+    buf
+}
+
+/// Run the ED scheme with `nsources` source processors (CRS only).
+///
+/// Ranks `0..nsources` act as sources, each holding the row stripe
+/// `r mod nsources`; every rank (sources included) receives its part.
+///
+/// # Panics
+/// Panics if `nsources` is zero or exceeds the machine size, or on the
+/// usual partition mismatches.
+pub fn run_ed_multi_source(
+    machine: &Multicomputer,
+    global: &Dense2D,
+    part: &dyn Partition,
+    nsources: usize,
+) -> MultiSourceRun {
+    let p = machine.nprocs();
+    assert!(nsources > 0 && nsources <= p, "nsources {nsources} out of 1..={p}");
+    assert_eq!(part.nparts(), p, "partition has {} parts, machine {p}", part.nparts());
+    assert_eq!(
+        part.global_shape(),
+        (global.rows(), global.cols()),
+        "partition/array shape mismatch"
+    );
+
+    let (locals, ledgers) = machine.run_with_ledgers(|env| -> LocalCompressed {
+        let me = env.rank();
+        if me < nsources {
+            let bufs: Vec<PackBuffer> = env.phase(Phase::Encode, |env| {
+                let mut ops = OpCounter::new();
+                let bufs = (0..p)
+                    .map(|pid| encode_stripe(global, part, pid, me, nsources, &mut ops))
+                    .collect();
+                env.charge_ops(ops.take());
+                bufs
+            });
+            env.phase(Phase::Send, |env| {
+                for (dst, buf) in bufs.into_iter().enumerate() {
+                    env.send(dst, buf);
+                }
+            });
+        }
+
+        // Receive one buffer per source and decode, steering each segment
+        // to the source that owns its stripe.
+        let msgs: Vec<PackBuffer> =
+            (0..nsources).map(|src| env.recv(src).payload).collect();
+        env.phase(Phase::Decode, |env| {
+            let mut ops = OpCounter::new();
+            let (lrows, _lcols) = part.local_shape(me);
+            let converter = IndexConverter::new(part, me, CompressKind::Crs);
+            let bound = converter.local_index_bound(CompressKind::Crs);
+            let mut cursors: Vec<_> = msgs.iter().map(|b| b.cursor()).collect();
+            let mut ro = Vec::with_capacity(lrows + 1);
+            ro.push(0usize);
+            ops.tick();
+            let mut co = Vec::new();
+            let mut vl = Vec::new();
+            for lr in 0..lrows {
+                let (gr, _) = part.to_global(me, lr, 0);
+                let cursor = &mut cursors[gr % nsources];
+                let count = cursor.read_usize();
+                ops.tick();
+                ro.push(ro[lr] + count);
+                for _ in 0..count {
+                    let travelling = cursor.read_usize();
+                    ops.tick();
+                    co.push(converter.to_local(travelling, &mut ops));
+                    vl.push(cursor.read_f64());
+                    ops.tick();
+                }
+            }
+            for (src, c) in cursors.iter().enumerate() {
+                assert!(c.is_exhausted(), "source {src} buffer has trailing data");
+            }
+            env.charge_ops(ops.take());
+            LocalCompressed::Crs(
+                Crs::from_raw(lrows, bound, ro, co, vl)
+                    .expect("stripe-aligned decode yields a valid CRS"),
+            )
+        })
+    });
+    MultiSourceRun { nsources, ledgers, locals }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::paper_array_a;
+    use crate::partition::{ColBlock, Mesh2D, RowBlock, RowCyclic};
+    use crate::schemes::{run_scheme, SchemeKind};
+    use sparsedist_multicomputer::MachineModel;
+
+    fn machine(p: usize) -> Multicomputer {
+        Multicomputer::virtual_machine(p, MachineModel::ibm_sp2())
+    }
+
+    #[test]
+    fn matches_single_source_ed_state() {
+        let a = paper_array_a();
+        let parts: Vec<Box<dyn Partition>> = vec![
+            Box::new(RowBlock::new(10, 8, 4)),
+            Box::new(ColBlock::new(10, 8, 4)),
+            Box::new(Mesh2D::new(10, 8, 2, 2)),
+            Box::new(RowCyclic::new(10, 8, 4)),
+        ];
+        for part in &parts {
+            let single = run_scheme(SchemeKind::Ed, &machine(4), &a, part.as_ref(), CompressKind::Crs);
+            for k in [1, 2, 3, 4] {
+                let multi = run_ed_multi_source(&machine(4), &a, part.as_ref(), k);
+                assert_eq!(multi.locals, single.locals, "k={k} {}", part.name());
+                assert_eq!(multi.total_nnz(), 16);
+            }
+        }
+    }
+
+    #[test]
+    fn encode_work_splits_across_sources() {
+        let a = paper_array_a();
+        let part = RowBlock::new(10, 8, 4);
+        let single = run_ed_multi_source(&machine(4), &a, &part, 1);
+        let multi = run_ed_multi_source(&machine(4), &a, &part, 4);
+        let encode_max = |r: &MultiSourceRun| -> f64 {
+            r.ledgers
+                .iter()
+                .map(|l| l.get(Phase::Encode).as_micros())
+                .fold(0.0, f64::max)
+        };
+        // 4 sources each scan ~1/4 of the cells.
+        assert!(encode_max(&multi) < encode_max(&single) / 2.0);
+        // Total encode work is unchanged (sum over sources).
+        let total = |r: &MultiSourceRun| -> f64 {
+            r.ledgers.iter().map(|l| l.get(Phase::Encode).as_micros()).sum()
+        };
+        assert!((total(&multi) - total(&single)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distribution_time_improves_with_sources() {
+        // On a bigger array the encode+send pipeline parallelises.
+        let mut a = Dense2D::zeros(64, 64);
+        for i in 0..410 {
+            a.set((i * 7) % 64, (i * 13 + i / 64) % 64, 1.0 + i as f64);
+        }
+        let part = RowBlock::new(64, 64, 8);
+        let one = run_ed_multi_source(&machine(8), &a, &part, 1);
+        let four = run_ed_multi_source(&machine(8), &a, &part, 4);
+        assert!(
+            four.t_distribution() < one.t_distribution(),
+            "4 sources {} !< 1 source {}",
+            four.t_distribution(),
+            one.t_distribution()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "nsources")]
+    fn too_many_sources_rejected() {
+        let a = paper_array_a();
+        let part = RowBlock::new(10, 8, 4);
+        let _ = run_ed_multi_source(&machine(4), &a, &part, 5);
+    }
+
+    use crate::dense::Dense2D;
+}

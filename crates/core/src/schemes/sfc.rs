@@ -1,0 +1,174 @@
+//! The Send Followed Compress scheme (paper §3.1) — the baseline, as used
+//! by the Block Row Scatter distribution of Zapata et al.
+//!
+//! The source extracts each processor's **dense** local array and sends it
+//! whole; each receiver compresses its local array after arrival. For the
+//! row partition the local array is a contiguous row band of the global
+//! array and is sent "without packing into buffers" (§4.1.1) — modelled as
+//! zero per-element packing cost. Every other partition must gather strided
+//! elements, charged at one operation per element on each side (this is the
+//! reason the paper's measured SFC distribution time in Tables 4–5 is so
+//! much higher than in Table 3).
+
+use crate::compress::{compress_dense, CompressKind, LocalCompressed};
+use crate::dense::Dense2D;
+use crate::opcount::OpCounter;
+use crate::partition::Partition;
+use crate::schemes::{SchemeKind, SchemeRun};
+use sparsedist_multicomputer::{Multicomputer, PackBuffer, Phase};
+
+const SOURCE: usize = 0;
+
+/// Pack one part's dense local array for the wire.
+fn pack_dense_part(
+    global: &Dense2D,
+    part: &dyn Partition,
+    pid: usize,
+    ops: &mut OpCounter,
+) -> PackBuffer {
+    let (lrows, lcols) = part.local_shape(pid);
+    let mut buf = PackBuffer::with_capacity(lrows * lcols);
+    if part.row_contiguous() {
+        // A contiguous row band: DMA straight from the global array.
+        for lr in 0..lrows {
+            let (gr, _) = part.to_global(pid, lr, 0);
+            buf.push_f64_slice(global.row(gr));
+        }
+    } else {
+        for lr in 0..lrows {
+            for lc in 0..lcols {
+                let (gr, gc) = part.to_global(pid, lr, lc);
+                buf.push_f64(global.get(gr, gc));
+                ops.tick();
+            }
+        }
+    }
+    buf
+}
+
+/// Unpack a received dense local array.
+fn unpack_dense(
+    buf: &PackBuffer,
+    part: &dyn Partition,
+    pid: usize,
+    ops: &mut OpCounter,
+) -> Dense2D {
+    let (lrows, lcols) = part.local_shape(pid);
+    let mut cursor = buf.cursor();
+    let data = cursor.read_f64_vec(lrows * lcols);
+    assert!(cursor.is_exhausted(), "dense message longer than the local shape");
+    if !part.row_contiguous() {
+        ops.add((lrows * lcols) as u64);
+    }
+    Dense2D::from_vec(lrows, lcols, data)
+}
+
+pub(crate) fn run(
+    machine: &Multicomputer,
+    global: &Dense2D,
+    part: &dyn Partition,
+    kind: CompressKind,
+) -> SchemeRun {
+    let p = machine.nprocs();
+    let (locals, ledgers) = machine.run_with_ledgers(|env| -> LocalCompressed {
+        if env.rank() == SOURCE {
+            let bufs: Vec<PackBuffer> = env.phase(Phase::Pack, |env| {
+                let mut ops = OpCounter::new();
+                let bufs = (0..p)
+                    .map(|pid| pack_dense_part(global, part, pid, &mut ops))
+                    .collect();
+                env.charge_ops(ops.take());
+                bufs
+            });
+            env.phase(Phase::Send, |env| {
+                for (dst, buf) in bufs.into_iter().enumerate() {
+                    env.send(dst, buf);
+                }
+            });
+        }
+        let me = env.rank();
+        let msg = env.recv(SOURCE);
+        let local_dense = env.phase(Phase::Unpack, |env| {
+            let mut ops = OpCounter::new();
+            let d = unpack_dense(&msg.payload, part, me, &mut ops);
+            env.charge_ops(ops.take());
+            d
+        });
+        env.phase(Phase::Compress, |env| {
+            let mut ops = OpCounter::new();
+            let c = compress_dense(kind, &local_dense, &mut ops);
+            env.charge_ops(ops.take());
+            c
+        })
+    });
+    SchemeRun { scheme: SchemeKind::Sfc, compress_kind: kind, source: SOURCE, ledgers, locals }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::paper_array_a;
+    use crate::partition::{ColBlock, RowBlock};
+    use sparsedist_multicomputer::MachineModel;
+
+    fn sp2(p: usize) -> Multicomputer {
+        Multicomputer::virtual_machine(p, MachineModel::ibm_sp2())
+    }
+
+    #[test]
+    fn row_partition_matches_table1_closed_form() {
+        // Table 1 SFC: T_Distribution = p·T_Startup + n²·T_Data,
+        // T_Compression = ⌈n/p⌉·n·(1+3s')·T_Operation.
+        let a = paper_array_a();
+        let part = RowBlock::new(10, 8, 4);
+        let m = MachineModel::ibm_sp2();
+        let run = super::run(&sp2(4), &a, &part, CompressKind::Crs);
+
+        let dist = run.t_distribution().as_micros();
+        let expect_dist = 4.0 * m.t_startup + 80.0 * m.t_data;
+        assert!((dist - expect_dist).abs() < 1e-9, "dist {dist} vs {expect_dist}");
+
+        // The slowest *compressor* is the part maximising cells + 3·nnz:
+        // P0/P1/P2 have 24 cells; P2 has 6 nonzeros → 24 + 18 = 42 ops.
+        let comp = run.t_compression().as_micros();
+        let expect_comp = 42.0 * m.t_op;
+        assert!((comp - expect_comp).abs() < 1e-9, "comp {comp} vs {expect_comp}");
+    }
+
+    #[test]
+    fn row_partition_charges_no_pack_ops() {
+        let a = paper_array_a();
+        let part = RowBlock::new(10, 8, 4);
+        let run = super::run(&sp2(4), &a, &part, CompressKind::Crs);
+        assert_eq!(run.ledgers[0].get(Phase::Pack).as_micros(), 0.0);
+        for l in &run.ledgers {
+            assert_eq!(l.get(Phase::Unpack).as_micros(), 0.0);
+        }
+    }
+
+    #[test]
+    fn column_partition_charges_strided_pack() {
+        let a = paper_array_a();
+        let part = ColBlock::new(10, 8, 4);
+        let m = MachineModel::ibm_sp2();
+        let run = super::run(&sp2(4), &a, &part, CompressKind::Crs);
+        // Source packs all 80 cells at 1 op each.
+        let pack = run.ledgers[0].get(Phase::Pack).as_micros();
+        assert!((pack - 80.0 * m.t_op).abs() < 1e-9);
+        // Each receiver unpacks its 10×2 = 20 cells.
+        for l in &run.ledgers {
+            assert!((l.get(Phase::Unpack).as_micros() - 20.0 * m.t_op).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn wire_volume_is_the_full_dense_array() {
+        // SFC always ships n·m dense elements regardless of sparsity.
+        let a = paper_array_a();
+        let part = RowBlock::new(10, 8, 4);
+        let m = MachineModel::ibm_sp2();
+        let run = super::run(&sp2(4), &a, &part, CompressKind::Crs);
+        let send = run.ledgers[0].get(Phase::Send).as_micros();
+        assert!((send - (4.0 * m.t_startup + 80.0 * m.t_data)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! Extended Karnaugh Map Representation (EKMR) for multi-dimensional
+//! sparse arrays.
+//!
+//! The paper's conclusion (§6) names its future work: "developing efficient
+//! data distribution schemes for multi-dimensional sparse arrays based on
+//! the extended Karnaugh map representation (EKMR) scheme" (Lin, Liu &
+//! Chung, IEEE TC 2002). This crate implements that direction.
+//!
+//! The EKMR idea: a `d`-dimensional array is flattened to a *single* 2-D
+//! plane by packing dimension pairs Karnaugh-map style, instead of the
+//! traditional representation's nest of `d−2` levels of indirection:
+//!
+//! * **EKMR(3)**: `A[i][j][k]` (dims `n1 × n2 × n3`) maps to the plane
+//!   `A'[j][k·n1 + i]` of shape `n2 × (n3·n1)`;
+//! * **EKMR(4)**: `A[i][j][k][l]` maps to
+//!   `A'[l·n2 + j][k·n1 + i]` of shape `(n4·n2) × (n3·n1)`.
+//!
+//! Once on the plane, everything in `sparsedist-core` applies unchanged
+//! — and multi-dimensional operations become flat 2-D sweeps
+//! ([`tensorops::ttv`]):
+//! CRS/CCS compression of the plane, row/column/mesh partitions of the
+//! plane, and the SFC/CFS/ED distribution schemes — giving multi-
+//! dimensional sparse distribution for free. [`distribute3`] /
+//! [`distribute4`] wrap that pipeline.
+
+pub mod sparse3;
+pub mod sparse4;
+pub mod tensorops;
+
+pub use sparse3::{distribute3, Ekmr3, Sparse3D};
+pub use sparse4::{distribute4, Ekmr4, Sparse4D};
+pub use tensorops::{ttv, Mode};

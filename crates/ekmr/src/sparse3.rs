@@ -1,0 +1,221 @@
+//! Three-dimensional sparse arrays and their EKMR(3) plane.
+
+use sparsedist_core::compress::CompressKind;
+use sparsedist_core::dense::Dense2D;
+use sparsedist_core::partition::Partition;
+use sparsedist_core::schemes::{run_scheme, SchemeKind, SchemeRun};
+use sparsedist_multicomputer::Multicomputer;
+use std::collections::BTreeMap;
+
+/// A 3-D sparse array stored as a coordinate map (the "global" object a
+/// multi-dimensional application holds before distribution).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Sparse3D {
+    n1: usize,
+    n2: usize,
+    n3: usize,
+    entries: BTreeMap<(usize, usize, usize), f64>,
+}
+
+impl Sparse3D {
+    /// An empty `n1 × n2 × n3` array (`A[i][j][k]`, `i < n1`, `j < n2`,
+    /// `k < n3`).
+    ///
+    /// # Panics
+    /// Panics if any dimension is zero.
+    pub fn new(n1: usize, n2: usize, n3: usize) -> Self {
+        assert!(n1 > 0 && n2 > 0 && n3 > 0, "dimensions must be positive");
+        Sparse3D { n1, n2, n3, entries: BTreeMap::new() }
+    }
+
+    /// Dimensions `(n1, n2, n3)`.
+    pub fn shape(&self) -> (usize, usize, usize) {
+        (self.n1, self.n2, self.n3)
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Sparse ratio `nnz / (n1·n2·n3)`.
+    pub fn sparse_ratio(&self) -> f64 {
+        self.nnz() as f64 / (self.n1 * self.n2 * self.n3) as f64
+    }
+
+    /// Set `A[i][j][k]` (setting 0.0 removes the entry).
+    ///
+    /// # Panics
+    /// Panics on out-of-bounds indices.
+    pub fn set(&mut self, i: usize, j: usize, k: usize, v: f64) {
+        assert!(i < self.n1 && j < self.n2 && k < self.n3, "({i},{j},{k}) out of bounds");
+        if v == 0.0 {
+            self.entries.remove(&(i, j, k));
+        } else {
+            self.entries.insert((i, j, k), v);
+        }
+    }
+
+    /// Read `A[i][j][k]` (0.0 when absent).
+    ///
+    /// # Panics
+    /// Panics on out-of-bounds indices.
+    pub fn get(&self, i: usize, j: usize, k: usize) -> f64 {
+        assert!(i < self.n1 && j < self.n2 && k < self.n3, "({i},{j},{k}) out of bounds");
+        self.entries.get(&(i, j, k)).copied().unwrap_or(0.0)
+    }
+
+    /// Iterate stored `((i, j, k), value)` entries in lexicographic order.
+    pub fn iter(&self) -> impl Iterator<Item = ((usize, usize, usize), f64)> + '_ {
+        self.entries.iter().map(|(&ijk, &v)| (ijk, v))
+    }
+
+    /// Flatten to the EKMR(3) plane.
+    pub fn to_ekmr(&self) -> Ekmr3 {
+        let mut plane = Dense2D::zeros(self.n2, self.n3 * self.n1);
+        for (&(i, j, k), &v) in &self.entries {
+            plane.set(j, k * self.n1 + i, v);
+        }
+        Ekmr3 { n1: self.n1, n2: self.n2, n3: self.n3, plane }
+    }
+}
+
+/// The EKMR(3) plane of a 3-D sparse array: shape `n2 × (n3·n1)` with
+/// `A[i][j][k]` at plane cell `(j, k·n1 + i)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ekmr3 {
+    n1: usize,
+    n2: usize,
+    n3: usize,
+    plane: Dense2D,
+}
+
+impl Ekmr3 {
+    /// Original dimensions `(n1, n2, n3)`.
+    pub fn dims(&self) -> (usize, usize, usize) {
+        (self.n1, self.n2, self.n3)
+    }
+
+    /// The flattened 2-D plane (borrow it to run any `sparsedist-core`
+    /// machinery directly).
+    pub fn plane(&self) -> &Dense2D {
+        &self.plane
+    }
+
+    /// Plane coordinates of `A[i][j][k]`.
+    pub fn plane_coords(&self, i: usize, j: usize, k: usize) -> (usize, usize) {
+        assert!(i < self.n1 && j < self.n2 && k < self.n3, "({i},{j},{k}) out of bounds");
+        (j, k * self.n1 + i)
+    }
+
+    /// Inverse mapping: the `(i, j, k)` stored at plane cell `(r, c)`.
+    pub fn array_coords(&self, r: usize, c: usize) -> (usize, usize, usize) {
+        assert!(r < self.plane.rows() && c < self.plane.cols(), "({r},{c}) out of plane");
+        (c % self.n1, r, c / self.n1)
+    }
+
+    /// Reconstruct the coordinate-map form.
+    pub fn to_sparse(&self) -> Sparse3D {
+        let mut out = Sparse3D::new(self.n1, self.n2, self.n3);
+        for (r, c, v) in self.plane.iter_nonzero() {
+            let (i, j, k) = self.array_coords(r, c);
+            out.set(i, j, k, v);
+        }
+        out
+    }
+}
+
+/// Distribute a 3-D sparse array: flatten to the EKMR(3) plane, then run
+/// the chosen scheme over it. The partition must be built for the plane's
+/// shape (`n2 × n3·n1`).
+pub fn distribute3(
+    scheme: SchemeKind,
+    machine: &Multicomputer,
+    a: &Sparse3D,
+    part: &dyn Partition,
+    kind: CompressKind,
+) -> SchemeRun {
+    let ekmr = a.to_ekmr();
+    run_scheme(scheme, machine, ekmr.plane(), part, kind)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsedist_core::partition::RowBlock;
+    use sparsedist_multicomputer::MachineModel;
+
+    fn sample() -> Sparse3D {
+        let mut a = Sparse3D::new(3, 4, 5);
+        a.set(0, 0, 0, 1.0);
+        a.set(2, 3, 4, 2.0);
+        a.set(1, 2, 3, 3.0);
+        a.set(0, 3, 1, 4.0);
+        a
+    }
+
+    #[test]
+    fn set_get_remove() {
+        let mut a = Sparse3D::new(2, 2, 2);
+        a.set(1, 1, 1, 5.0);
+        assert_eq!(a.get(1, 1, 1), 5.0);
+        assert_eq!(a.get(0, 0, 0), 0.0);
+        a.set(1, 1, 1, 0.0);
+        assert_eq!(a.nnz(), 0);
+    }
+
+    #[test]
+    fn ekmr_plane_shape_and_mapping() {
+        let a = sample();
+        let e = a.to_ekmr();
+        assert_eq!(e.plane().rows(), 4);
+        assert_eq!(e.plane().cols(), 15);
+        // A[2][3][4] → plane (3, 4·3 + 2) = (3, 14).
+        assert_eq!(e.plane().get(3, 14), 2.0);
+        assert_eq!(e.plane_coords(2, 3, 4), (3, 14));
+        assert_eq!(e.array_coords(3, 14), (2, 3, 4));
+    }
+
+    #[test]
+    fn round_trip() {
+        let a = sample();
+        assert_eq!(a.to_ekmr().to_sparse(), a);
+    }
+
+    #[test]
+    fn plane_coords_bijective() {
+        let a = Sparse3D::new(3, 4, 5);
+        let e = a.to_ekmr();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..3 {
+            for j in 0..4 {
+                for k in 0..5 {
+                    let rc = e.plane_coords(i, j, k);
+                    assert!(seen.insert(rc), "collision at {rc:?}");
+                    assert_eq!(e.array_coords(rc.0, rc.1), (i, j, k));
+                }
+            }
+        }
+        assert_eq!(seen.len(), 60);
+    }
+
+    #[test]
+    fn distribute_over_plane_reassembles() {
+        let a = sample();
+        let e = a.to_ekmr();
+        let machine = Multicomputer::virtual_machine(4, MachineModel::ibm_sp2());
+        let part = RowBlock::new(4, 15, 4);
+        for scheme in SchemeKind::ALL {
+            let run = distribute3(scheme, &machine, &a, &part, CompressKind::Crs);
+            assert_eq!(run.reassemble(&part), *e.plane(), "{scheme}");
+            assert_eq!(run.total_nnz(), 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_set_panics() {
+        let mut a = Sparse3D::new(2, 2, 2);
+        a.set(2, 0, 0, 1.0);
+    }
+}

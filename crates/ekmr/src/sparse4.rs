@@ -1,0 +1,209 @@
+//! Four-dimensional sparse arrays and their EKMR(4) plane.
+
+use sparsedist_core::compress::CompressKind;
+use sparsedist_core::dense::Dense2D;
+use sparsedist_core::partition::Partition;
+use sparsedist_core::schemes::{run_scheme, SchemeKind, SchemeRun};
+use sparsedist_multicomputer::Multicomputer;
+use std::collections::BTreeMap;
+
+/// A 4-D sparse array `A[i][j][k][l]` stored as a coordinate map.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Sparse4D {
+    n1: usize,
+    n2: usize,
+    n3: usize,
+    n4: usize,
+    entries: BTreeMap<(usize, usize, usize, usize), f64>,
+}
+
+impl Sparse4D {
+    /// An empty `n1 × n2 × n3 × n4` array.
+    ///
+    /// # Panics
+    /// Panics if any dimension is zero.
+    pub fn new(n1: usize, n2: usize, n3: usize, n4: usize) -> Self {
+        assert!(n1 > 0 && n2 > 0 && n3 > 0 && n4 > 0, "dimensions must be positive");
+        Sparse4D { n1, n2, n3, n4, entries: BTreeMap::new() }
+    }
+
+    /// Dimensions `(n1, n2, n3, n4)`.
+    pub fn shape(&self) -> (usize, usize, usize, usize) {
+        (self.n1, self.n2, self.n3, self.n4)
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Set `A[i][j][k][l]` (0.0 removes).
+    ///
+    /// # Panics
+    /// Panics on out-of-bounds indices.
+    pub fn set(&mut self, i: usize, j: usize, k: usize, l: usize, v: f64) {
+        assert!(
+            i < self.n1 && j < self.n2 && k < self.n3 && l < self.n4,
+            "({i},{j},{k},{l}) out of bounds"
+        );
+        if v == 0.0 {
+            self.entries.remove(&(i, j, k, l));
+        } else {
+            self.entries.insert((i, j, k, l), v);
+        }
+    }
+
+    /// Read `A[i][j][k][l]` (0.0 when absent).
+    ///
+    /// # Panics
+    /// Panics on out-of-bounds indices.
+    pub fn get(&self, i: usize, j: usize, k: usize, l: usize) -> f64 {
+        assert!(
+            i < self.n1 && j < self.n2 && k < self.n3 && l < self.n4,
+            "({i},{j},{k},{l}) out of bounds"
+        );
+        self.entries.get(&(i, j, k, l)).copied().unwrap_or(0.0)
+    }
+
+    /// Flatten to the EKMR(4) plane: `A[i][j][k][l]` at plane cell
+    /// `(l·n2 + j, k·n1 + i)`, shape `(n4·n2) × (n3·n1)`.
+    pub fn to_ekmr(&self) -> Ekmr4 {
+        let mut plane = Dense2D::zeros(self.n4 * self.n2, self.n3 * self.n1);
+        for (&(i, j, k, l), &v) in &self.entries {
+            plane.set(l * self.n2 + j, k * self.n1 + i, v);
+        }
+        Ekmr4 { n1: self.n1, n2: self.n2, n3: self.n3, n4: self.n4, plane }
+    }
+}
+
+/// The EKMR(4) plane of a 4-D sparse array.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ekmr4 {
+    n1: usize,
+    n2: usize,
+    n3: usize,
+    n4: usize,
+    plane: Dense2D,
+}
+
+impl Ekmr4 {
+    /// Original dimensions `(n1, n2, n3, n4)`.
+    pub fn dims(&self) -> (usize, usize, usize, usize) {
+        (self.n1, self.n2, self.n3, self.n4)
+    }
+
+    /// The flattened 2-D plane.
+    pub fn plane(&self) -> &Dense2D {
+        &self.plane
+    }
+
+    /// Plane coordinates of `A[i][j][k][l]`.
+    pub fn plane_coords(&self, i: usize, j: usize, k: usize, l: usize) -> (usize, usize) {
+        assert!(
+            i < self.n1 && j < self.n2 && k < self.n3 && l < self.n4,
+            "({i},{j},{k},{l}) out of bounds"
+        );
+        (l * self.n2 + j, k * self.n1 + i)
+    }
+
+    /// Inverse mapping for plane cell `(r, c)`.
+    pub fn array_coords(&self, r: usize, c: usize) -> (usize, usize, usize, usize) {
+        assert!(r < self.plane.rows() && c < self.plane.cols(), "({r},{c}) out of plane");
+        (c % self.n1, r % self.n2, c / self.n1, r / self.n2)
+    }
+
+    /// Reconstruct the coordinate-map form.
+    pub fn to_sparse(&self) -> Sparse4D {
+        let mut out = Sparse4D::new(self.n1, self.n2, self.n3, self.n4);
+        for (r, c, v) in self.plane.iter_nonzero() {
+            let (i, j, k, l) = self.array_coords(r, c);
+            out.set(i, j, k, l, v);
+        }
+        out
+    }
+}
+
+/// Distribute a 4-D sparse array over its EKMR(4) plane.
+pub fn distribute4(
+    scheme: SchemeKind,
+    machine: &Multicomputer,
+    a: &Sparse4D,
+    part: &dyn Partition,
+    kind: CompressKind,
+) -> SchemeRun {
+    let ekmr = a.to_ekmr();
+    run_scheme(scheme, machine, ekmr.plane(), part, kind)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsedist_core::partition::Mesh2D;
+    use sparsedist_multicomputer::MachineModel;
+
+    fn sample() -> Sparse4D {
+        let mut a = Sparse4D::new(2, 3, 4, 5);
+        a.set(0, 0, 0, 0, 1.0);
+        a.set(1, 2, 3, 4, 2.0);
+        a.set(0, 1, 2, 3, 3.0);
+        a.set(1, 0, 3, 0, 4.0);
+        a
+    }
+
+    #[test]
+    fn plane_shape_and_mapping() {
+        let a = sample();
+        let e = a.to_ekmr();
+        assert_eq!(e.plane().rows(), 15); // n4·n2 = 5·3
+        assert_eq!(e.plane().cols(), 8); // n3·n1 = 4·2
+        // A[1][2][3][4] → (4·3+2, 3·2+1) = (14, 7).
+        assert_eq!(e.plane().get(14, 7), 2.0);
+        assert_eq!(e.array_coords(14, 7), (1, 2, 3, 4));
+    }
+
+    #[test]
+    fn round_trip() {
+        let a = sample();
+        assert_eq!(a.to_ekmr().to_sparse(), a);
+    }
+
+    #[test]
+    fn plane_coords_bijective() {
+        let e = Sparse4D::new(2, 3, 4, 5).to_ekmr();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..2 {
+            for j in 0..3 {
+                for k in 0..4 {
+                    for l in 0..5 {
+                        let rc = e.plane_coords(i, j, k, l);
+                        assert!(seen.insert(rc));
+                        assert_eq!(e.array_coords(rc.0, rc.1), (i, j, k, l));
+                    }
+                }
+            }
+        }
+        assert_eq!(seen.len(), 120);
+    }
+
+    #[test]
+    fn distribute_over_mesh_reassembles() {
+        let a = sample();
+        let e = a.to_ekmr();
+        let machine = Multicomputer::virtual_machine(4, MachineModel::ibm_sp2());
+        let part = Mesh2D::new(15, 8, 2, 2);
+        for scheme in SchemeKind::ALL {
+            for kind in [CompressKind::Crs, CompressKind::Ccs] {
+                let run = distribute4(scheme, &machine, &a, &part, kind);
+                assert_eq!(run.reassemble(&part), *e.plane(), "{scheme} {kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn set_zero_removes() {
+        let mut a = sample();
+        a.set(0, 0, 0, 0, 0.0);
+        assert_eq!(a.nnz(), 3);
+        assert_eq!(a.get(0, 0, 0, 0), 0.0);
+    }
+}

@@ -1,0 +1,300 @@
+//! Checkpointing distributed sparse state to disk.
+//!
+//! Long-running sparse pipelines checkpoint their distributed arrays so a
+//! later run (possibly with a different processor count, via
+//! redistribution) can resume without repeating the distribution phase.
+//! The format is deliberately simple and fully self-describing:
+//!
+//! ```text
+//! <dir>/manifest.txt      "sparsedist-checkpoint v1\nranks <p>\n"
+//! <dir>/rank_<i>.sdc      MAGIC, VERSION, kind, rows, cols,
+//!                         pointer_len, pointer…, nnz, indices…, values…
+//! ```
+//!
+//! All integers are little-endian `u64`, values are `f64` — the same wire
+//! encoding the simulated machine uses, so the pack/unpack machinery is
+//! reused verbatim.
+
+use sparsedist_core::compress::{Ccs, CompressError, Crs, LocalCompressed};
+use sparsedist_multicomputer::PackBuffer;
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+const MAGIC: u64 = 0x5344_434b_3031_7673; // "SDCK01vs"
+const VERSION: u64 = 1;
+
+/// Error from saving or loading a checkpoint.
+#[derive(Debug)]
+pub enum CkptError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A rank file is malformed.
+    Corrupt {
+        /// Which rank's file.
+        rank: usize,
+        /// What was wrong.
+        reason: String,
+    },
+    /// The manifest is missing or malformed.
+    BadManifest(String),
+    /// A rank file failed compressed-array validation.
+    Invalid {
+        /// Which rank's file.
+        rank: usize,
+        /// The structural violation.
+        source: CompressError,
+    },
+}
+
+impl fmt::Display for CkptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CkptError::Io(e) => write!(f, "i/o error: {e}"),
+            CkptError::Corrupt { rank, reason } => write!(f, "rank {rank} file corrupt: {reason}"),
+            CkptError::BadManifest(why) => write!(f, "bad manifest: {why}"),
+            CkptError::Invalid { rank, source } => {
+                write!(f, "rank {rank} array invalid: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CkptError {}
+
+impl From<std::io::Error> for CkptError {
+    fn from(e: std::io::Error) -> Self {
+        CkptError::Io(e)
+    }
+}
+
+fn encode(local: &LocalCompressed) -> PackBuffer {
+    let mut buf = PackBuffer::new();
+    buf.push_u64(MAGIC);
+    buf.push_u64(VERSION);
+    match local {
+        LocalCompressed::Crs(a) => {
+            buf.push_u64(0);
+            buf.push_u64(a.rows() as u64);
+            buf.push_u64(a.cols() as u64);
+            buf.push_u64(a.ro().len() as u64);
+            buf.push_usize_slice(a.ro());
+            buf.push_u64(a.nnz() as u64);
+            buf.push_usize_slice(a.co());
+            buf.push_f64_slice(a.vl());
+        }
+        LocalCompressed::Ccs(a) => {
+            buf.push_u64(1);
+            buf.push_u64(a.rows() as u64);
+            buf.push_u64(a.cols() as u64);
+            buf.push_u64(a.cp().len() as u64);
+            buf.push_usize_slice(a.cp());
+            buf.push_u64(a.nnz() as u64);
+            buf.push_usize_slice(a.ri());
+            buf.push_f64_slice(a.vl());
+        }
+    }
+    buf
+}
+
+fn decode(rank: usize, bytes: &[u8]) -> Result<LocalCompressed, CkptError> {
+    let corrupt = |reason: &str| CkptError::Corrupt { rank, reason: reason.into() };
+    if !bytes.len().is_multiple_of(8) {
+        return Err(corrupt("length not a multiple of 8"));
+    }
+    let mut buf = PackBuffer::new();
+    for chunk in bytes.chunks_exact(8) {
+        let mut w = [0u8; 8];
+        w.copy_from_slice(chunk);
+        buf.push_u64(u64::from_le_bytes(w));
+    }
+    let mut c = buf.cursor();
+    let mut next =
+        |what: &str| c.try_read_u64().map_err(|_| CkptError::Corrupt { rank, reason: format!("truncated at {what}") });
+    if next("magic")? != MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    if next("version")? != VERSION {
+        return Err(corrupt("unsupported version"));
+    }
+    let kind = next("kind")?;
+    let rows = next("rows")? as usize;
+    let cols = next("cols")? as usize;
+    let plen = next("pointer length")? as usize;
+    if plen > bytes.len() / 8 {
+        return Err(corrupt("pointer length exceeds file"));
+    }
+    let mut pointer = Vec::with_capacity(plen);
+    for _ in 0..plen {
+        pointer.push(next("pointer entries")? as usize);
+    }
+    let nnz = next("nnz")? as usize;
+    if nnz > bytes.len() / 8 {
+        return Err(corrupt("nnz exceeds file"));
+    }
+    let mut indices = Vec::with_capacity(nnz);
+    for _ in 0..nnz {
+        indices.push(next("indices")? as usize);
+    }
+    let mut values = Vec::with_capacity(nnz);
+    for _ in 0..nnz {
+        values.push(
+            c.try_read_f64()
+                .map_err(|_| CkptError::Corrupt { rank, reason: "truncated at values".into() })?,
+        );
+    }
+    if !c.is_exhausted() {
+        return Err(corrupt("trailing bytes"));
+    }
+    match kind {
+        0 => Crs::from_raw(rows, cols, pointer, indices, values)
+            .map(LocalCompressed::Crs)
+            .map_err(|source| CkptError::Invalid { rank, source }),
+        1 => Ccs::from_raw(rows, cols, pointer, indices, values)
+            .map(LocalCompressed::Ccs)
+            .map_err(|source| CkptError::Invalid { rank, source }),
+        k => Err(corrupt(&format!("unknown kind {k}"))),
+    }
+}
+
+/// Save a distributed array's local parts into `dir` (created if absent).
+pub fn save(dir: impl AsRef<Path>, locals: &[LocalCompressed]) -> Result<(), CkptError> {
+    let dir = dir.as_ref();
+    fs::create_dir_all(dir)?;
+    fs::write(
+        dir.join("manifest.txt"),
+        format!("sparsedist-checkpoint v1\nranks {}\n", locals.len()),
+    )?;
+    for (rank, local) in locals.iter().enumerate() {
+        fs::write(dir.join(format!("rank_{rank}.sdc")), encode(local).as_bytes())?;
+    }
+    Ok(())
+}
+
+/// Load a checkpoint saved by [`save`].
+pub fn load(dir: impl AsRef<Path>) -> Result<Vec<LocalCompressed>, CkptError> {
+    let dir = dir.as_ref();
+    let manifest = fs::read_to_string(dir.join("manifest.txt"))
+        .map_err(|e| CkptError::BadManifest(format!("cannot read manifest: {e}")))?;
+    let mut lines = manifest.lines();
+    if lines.next() != Some("sparsedist-checkpoint v1") {
+        return Err(CkptError::BadManifest("unknown header line".into()));
+    }
+    let ranks: usize = lines
+        .next()
+        .and_then(|l| l.strip_prefix("ranks "))
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| CkptError::BadManifest("missing 'ranks <p>' line".into()))?;
+    let mut out = Vec::with_capacity(ranks);
+    for rank in 0..ranks {
+        let bytes = fs::read(dir.join(format!("rank_{rank}.sdc")))?;
+        out.push(decode(rank, &bytes)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsedist_core::compress::CompressKind;
+    use sparsedist_core::dense::paper_array_a;
+    use sparsedist_core::partition::{Partition, RowBlock};
+    use sparsedist_core::schemes::{run_scheme, SchemeKind};
+    use sparsedist_multicomputer::{MachineModel, Multicomputer};
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join("sparsedist_ckpt_tests").join(name);
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn sample_locals(kind: CompressKind) -> Vec<LocalCompressed> {
+        let a = paper_array_a();
+        let part = RowBlock::new(10, 8, 4);
+        let machine = Multicomputer::virtual_machine(4, MachineModel::ibm_sp2());
+        run_scheme(SchemeKind::Ed, &machine, &a, &part, kind).locals
+    }
+
+    #[test]
+    fn round_trip_crs_and_ccs() {
+        for kind in [CompressKind::Crs, CompressKind::Ccs] {
+            let dir = tmpdir(&format!("rt_{kind}"));
+            let locals = sample_locals(kind);
+            save(&dir, &locals).unwrap();
+            let back = load(&dir).unwrap();
+            assert_eq!(back, locals);
+            fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    #[test]
+    fn resumed_state_reassembles() {
+        let dir = tmpdir("resume");
+        let locals = sample_locals(CompressKind::Crs);
+        save(&dir, &locals).unwrap();
+        let back = load(&dir).unwrap();
+        let part = RowBlock::new(10, 8, 4);
+        let mut global = sparsedist_core::dense::Dense2D::zeros(10, 8);
+        for (pid, local) in back.iter().enumerate() {
+            for (lr, lc, v) in local.to_dense().iter_nonzero() {
+                let (gr, gc) = part.to_global(pid, lr, lc);
+                global.set(gr, gc, v);
+            }
+        }
+        assert_eq!(global, paper_array_a());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupted_rank_file_detected() {
+        let dir = tmpdir("corrupt");
+        let locals = sample_locals(CompressKind::Crs);
+        save(&dir, &locals).unwrap();
+        // Truncate rank 2's file mid-stream.
+        let path = dir.join("rank_2.sdc");
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 9]).unwrap();
+        let err = load(&dir).unwrap_err();
+        assert!(err.to_string().contains("rank 2"), "{err}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let dir = tmpdir("magic");
+        let locals = sample_locals(CompressKind::Crs);
+        save(&dir, &locals).unwrap();
+        let path = dir.join("rank_0.sdc");
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[0] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        let err = load(&dir).unwrap_err();
+        assert!(err.to_string().contains("bad magic"), "{err}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tampered_indices_fail_validation() {
+        let dir = tmpdir("tamper");
+        let locals = sample_locals(CompressKind::Crs);
+        save(&dir, &locals).unwrap();
+        let path = dir.join("rank_0.sdc");
+        let mut bytes = fs::read(&path).unwrap();
+        // Overwrite the first column index (after magic, version, kind,
+        // rows, cols, plen, pointer(5), nnz = 11 words) with a huge value.
+        let off = 8 * 11;
+        bytes[off..off + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        fs::write(&path, &bytes).unwrap();
+        let err = load(&dir).unwrap_err();
+        assert!(matches!(err, CkptError::Invalid { rank: 0, .. }), "{err}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_manifest_detected() {
+        let dir = tmpdir("nomanifest");
+        fs::create_dir_all(&dir).unwrap();
+        assert!(matches!(load(&dir), Err(CkptError::BadManifest(_))));
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,263 @@
+//! Structured sparsity patterns from the application domains the paper's
+//! introduction motivates (molecular dynamics, finite-element methods,
+//! climate modeling).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sparsedist_core::dense::Dense2D;
+
+/// A banded `n × n` array: cells within `bandwidth` of the diagonal are
+/// nonzero (value = 1 + distance from the diagonal start, deterministic).
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn banded(n: usize, bandwidth: usize) -> Dense2D {
+    assert!(n > 0, "array dimension must be positive");
+    let mut a = Dense2D::zeros(n, n);
+    for r in 0..n {
+        let lo = r.saturating_sub(bandwidth);
+        let hi = (r + bandwidth + 1).min(n);
+        for c in lo..hi {
+            a.set(r, c, 1.0 + (r + c) as f64 / n as f64);
+        }
+    }
+    a
+}
+
+/// A tridiagonal `n × n` system (`banded` with bandwidth 1, but with the
+/// classic `[-1, 2, -1]` stencil values).
+pub fn tridiagonal(n: usize) -> Dense2D {
+    assert!(n > 0, "array dimension must be positive");
+    let mut a = Dense2D::zeros(n, n);
+    for r in 0..n {
+        a.set(r, r, 2.0);
+        if r > 0 {
+            a.set(r, r - 1, -1.0);
+        }
+        if r + 1 < n {
+            a.set(r, r + 1, -1.0);
+        }
+    }
+    a
+}
+
+/// The 5-point Laplacian stencil on a `k × k` grid: the `k² × k²` matrix of
+/// a 2-D Poisson problem (the archetypal finite-element/climate-model
+/// sparse system). Row `i·k + j` couples grid point `(i, j)` to its four
+/// neighbours.
+pub fn five_point_laplacian(k: usize) -> Dense2D {
+    assert!(k > 0, "grid dimension must be positive");
+    let n = k * k;
+    let mut a = Dense2D::zeros(n, n);
+    for i in 0..k {
+        for j in 0..k {
+            let row = i * k + j;
+            a.set(row, row, 4.0);
+            if i > 0 {
+                a.set(row, row - k, -1.0);
+            }
+            if i + 1 < k {
+                a.set(row, row + k, -1.0);
+            }
+            if j > 0 {
+                a.set(row, row - 1, -1.0);
+            }
+            if j + 1 < k {
+                a.set(row, row + 1, -1.0);
+            }
+        }
+    }
+    a
+}
+
+/// Block-clustered sparsity: an `n × n` array whose nonzeros concentrate in
+/// `nblocks` randomly placed `bsize × bsize` dense blocks (molecular-
+/// dynamics-style interaction locality). Values are random in `[1, 2)`.
+pub fn block_clustered(n: usize, bsize: usize, nblocks: usize, seed: u64) -> Dense2D {
+    assert!(n > 0 && bsize > 0, "dimensions must be positive");
+    assert!(bsize <= n, "block must fit in the array");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut a = Dense2D::zeros(n, n);
+    for _ in 0..nblocks {
+        let r0 = rng.random_range(0..=n - bsize);
+        let c0 = rng.random_range(0..=n - bsize);
+        for r in r0..r0 + bsize {
+            for c in c0..c0 + bsize {
+                a.set(r, c, rng.random_range(1.0..2.0));
+            }
+        }
+    }
+    a
+}
+
+/// Row-skewed sparsity: row `r` holds `max_row_nnz · (r+1) / n` random
+/// nonzeros, producing the unbalanced per-processor loads that make the
+/// paper's `s'` (max local ratio) diverge from `s`.
+pub fn row_skewed(n: usize, max_row_nnz: usize, seed: u64) -> Dense2D {
+    assert!(n > 0, "array dimension must be positive");
+    assert!(max_row_nnz <= n, "row nonzeros cannot exceed the column count");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut a = Dense2D::zeros(n, n);
+    for r in 0..n {
+        let want = (max_row_nnz * (r + 1)).div_ceil(n);
+        let mut placed = 0;
+        while placed < want {
+            let c = rng.random_range(0..n);
+            if a.get(r, c) == 0.0 {
+                a.set(r, c, rng.random_range(1.0..2.0));
+                placed += 1;
+            }
+        }
+    }
+    a
+}
+
+/// Zipf-distributed row loads: row weights follow `1/(rank+1)^alpha` with
+/// the rank-to-row assignment shuffled, approximating the power-law
+/// degree distributions of graph adjacency matrices. Exactly `total_nnz`
+/// nonzeros are placed (columns uniform within a row, capped at `n` per
+/// row).
+///
+/// # Panics
+/// Panics if `n == 0`, `alpha` is not finite/positive, or `total_nnz`
+/// exceeds `n²`.
+pub fn zipf_rows(n: usize, total_nnz: usize, alpha: f64, seed: u64) -> Dense2D {
+    assert!(n > 0, "array dimension must be positive");
+    assert!(alpha.is_finite() && alpha > 0.0, "alpha must be positive");
+    assert!(total_nnz <= n * n, "cannot place {total_nnz} nonzeros in {n}x{n}");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Zipf weights over shuffled row ranks.
+    let mut rows: Vec<usize> = (0..n).collect();
+    for k in (1..n).rev() {
+        let j = rng.random_range(0..=k);
+        rows.swap(k, j);
+    }
+    let weights: Vec<f64> = (0..n).map(|rank| 1.0 / ((rank + 1) as f64).powf(alpha)).collect();
+    let wsum: f64 = weights.iter().sum();
+
+    // Ideal per-row counts, then distribute the rounding remainder.
+    let mut want: Vec<usize> = weights
+        .iter()
+        .map(|w| ((w / wsum) * total_nnz as f64).floor() as usize)
+        .map(|c| c.min(n))
+        .collect();
+    let mut placed: usize = want.iter().sum();
+    let mut rank = 0usize;
+    while placed < total_nnz {
+        if want[rank % n] < n {
+            want[rank % n] += 1;
+            placed += 1;
+        }
+        rank += 1;
+    }
+
+    let mut a = Dense2D::zeros(n, n);
+    for (rank, &row) in rows.iter().enumerate() {
+        let mut need = want[rank];
+        while need > 0 {
+            let c = rng.random_range(0..n);
+            if a.get(row, c) == 0.0 {
+                a.set(row, c, rng.random_range(1.0..2.0));
+                need -= 1;
+            }
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsedist_core::partition::{Partition, RowBlock};
+
+    #[test]
+    fn zipf_places_exact_count_and_skews() {
+        let a = zipf_rows(64, 600, 1.2, 3);
+        assert_eq!(a.nnz(), 600);
+        // The heaviest row holds far more than the mean.
+        let row_nnz: Vec<usize> = (0..64)
+            .map(|r| a.row(r).iter().filter(|&&v| v != 0.0).count())
+            .collect();
+        let max = *row_nnz.iter().max().expect("non-empty");
+        assert!(max > 3 * 600 / 64, "max row {max}");
+        // Determinism.
+        assert_eq!(a, zipf_rows(64, 600, 1.2, 3));
+    }
+
+    #[test]
+    fn zipf_full_density_edge() {
+        let a = zipf_rows(6, 36, 1.0, 1);
+        assert_eq!(a.nnz(), 36);
+    }
+
+    #[test]
+    fn banded_nnz_count() {
+        let a = banded(10, 1);
+        // Tridiagonal shape: 10 + 9 + 9 = 28 nonzeros.
+        assert_eq!(a.nnz(), 28);
+        assert_eq!(banded(10, 0).nnz(), 10);
+        // Bandwidth >= n-1 is fully dense.
+        assert_eq!(banded(5, 4).nnz(), 25);
+    }
+
+    #[test]
+    fn tridiagonal_stencil_values() {
+        let a = tridiagonal(4);
+        assert_eq!(a.get(0, 0), 2.0);
+        assert_eq!(a.get(1, 0), -1.0);
+        assert_eq!(a.get(1, 2), -1.0);
+        assert_eq!(a.get(0, 2), 0.0);
+        assert_eq!(a.nnz(), 10);
+    }
+
+    #[test]
+    fn laplacian_row_sums() {
+        // Interior rows of the 5-point Laplacian sum to 0; boundary rows
+        // are positive.
+        let k = 4;
+        let a = five_point_laplacian(k);
+        assert_eq!(a.rows(), 16);
+        let interior = k + 1; // grid point (1,1)
+        let sum: f64 = (0..16).map(|c| a.get(interior, c)).sum();
+        assert_eq!(sum, 0.0);
+        let corner_sum: f64 = (0..16).map(|c| a.get(0, c)).sum();
+        assert!(corner_sum > 0.0);
+        // Each row has at most 5 nonzeros.
+        for r in 0..16 {
+            let nnz = (0..16).filter(|&c| a.get(r, c) != 0.0).count();
+            assert!((3..=5).contains(&nnz));
+        }
+    }
+
+    #[test]
+    fn laplacian_is_symmetric() {
+        let a = five_point_laplacian(5);
+        for r in 0..25 {
+            for c in 0..25 {
+                assert_eq!(a.get(r, c), a.get(c, r));
+            }
+        }
+    }
+
+    #[test]
+    fn block_clustered_is_clustered() {
+        let a = block_clustered(64, 8, 4, 5);
+        assert!(a.nnz() > 0);
+        assert!(a.nnz() <= 4 * 64);
+        // Determinism.
+        assert_eq!(a, block_clustered(64, 8, 4, 5));
+    }
+
+    #[test]
+    fn row_skewed_increases_down_rows() {
+        let a = row_skewed(64, 32, 1);
+        let top: usize = (0..8).map(|r| a.row(r).iter().filter(|&&v| v != 0.0).count()).sum();
+        let bottom: usize = (56..64).map(|r| a.row(r).iter().filter(|&&v| v != 0.0).count()).sum();
+        assert!(bottom > top * 2, "bottom {bottom} top {top}");
+        // And it produces the s' > s imbalance the paper's analysis keys on.
+        let part = RowBlock::new(64, 64, 4);
+        let prof = part.nnz_profile(&a);
+        assert!(prof.s_max > a.sparse_ratio() * 1.5);
+    }
+}

@@ -1,0 +1,188 @@
+//! Seeded uniform random sparse arrays.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sparsedist_core::dense::Dense2D;
+use std::collections::HashSet;
+
+/// How the requested sparse ratio is realised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RatioMode {
+    /// Exactly `round(s · rows · cols)` nonzeros, placed uniformly without
+    /// replacement (what the paper's fixed `s = 0.1` suggests).
+    Exact,
+    /// Each cell is nonzero independently with probability `s` (the actual
+    /// nonzero count fluctuates around the target).
+    Bernoulli,
+}
+
+/// Builder for uniform random sparse arrays.
+///
+/// ```
+/// use sparsedist_gen::{SparseRandom, RatioMode};
+/// let a = SparseRandom::new(100, 100)
+///     .sparse_ratio(0.1)
+///     .seed(42)
+///     .generate();
+/// assert_eq!(a.nnz(), 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SparseRandom {
+    rows: usize,
+    cols: usize,
+    s: f64,
+    seed: u64,
+    mode: RatioMode,
+    value_range: (f64, f64),
+}
+
+impl SparseRandom {
+    /// A generator for `rows × cols` arrays (default: `s = 0.1`, exact
+    /// mode, seed 0, values in `[1, 2)`).
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "array dimensions must be positive");
+        SparseRandom { rows, cols, s: 0.1, seed: 0, mode: RatioMode::Exact, value_range: (1.0, 2.0) }
+    }
+
+    /// Target sparse ratio in `[0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if `s` is outside `[0, 1]`.
+    pub fn sparse_ratio(mut self, s: f64) -> Self {
+        assert!((0.0..=1.0).contains(&s), "sparse ratio must be in [0,1], got {s}");
+        self.s = s;
+        self
+    }
+
+    /// RNG seed (same seed → same array).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Ratio realisation mode.
+    pub fn mode(mut self, mode: RatioMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Half-open range nonzero values are drawn from. Must exclude zero
+    /// (zero values would silently change the sparse ratio).
+    ///
+    /// # Panics
+    /// Panics if the range is empty or contains zero.
+    pub fn value_range(mut self, lo: f64, hi: f64) -> Self {
+        assert!(lo < hi, "empty value range");
+        assert!(lo > 0.0 || hi <= 0.0, "value range must exclude zero");
+        self.value_range = (lo, hi);
+        self
+    }
+
+    /// Generate the array.
+    pub fn generate(&self) -> Dense2D {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut a = Dense2D::zeros(self.rows, self.cols);
+        let (lo, hi) = self.value_range;
+        let draw = |rng: &mut StdRng| rng.random_range(lo..hi);
+        match self.mode {
+            RatioMode::Bernoulli => {
+                for r in 0..self.rows {
+                    for c in 0..self.cols {
+                        if rng.random::<f64>() < self.s {
+                            a.set(r, c, draw(&mut rng));
+                        }
+                    }
+                }
+            }
+            RatioMode::Exact => {
+                let cells = self.rows * self.cols;
+                let nnz = (self.s * cells as f64).round() as usize;
+                if nnz * 3 < cells {
+                    // Sparse case: rejection-sample distinct cells.
+                    let mut taken = HashSet::with_capacity(nnz * 2);
+                    while taken.len() < nnz {
+                        let idx = rng.random_range(0..cells);
+                        if taken.insert(idx) {
+                            a.set(idx / self.cols, idx % self.cols, draw(&mut rng));
+                        }
+                    }
+                } else {
+                    // Dense case: partial Fisher–Yates over all cells.
+                    let mut idx: Vec<usize> = (0..cells).collect();
+                    for k in 0..nnz {
+                        let j = rng.random_range(k..cells);
+                        idx.swap(k, j);
+                        a.set(idx[k] / self.cols, idx[k] % self.cols, draw(&mut rng));
+                    }
+                }
+            }
+        }
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_mode_hits_ratio_exactly() {
+        for s in [0.01, 0.1, 0.5, 0.9] {
+            let a = SparseRandom::new(50, 40).sparse_ratio(s).seed(7).generate();
+            assert_eq!(a.nnz(), (s * 2000.0).round() as usize, "s={s}");
+        }
+    }
+
+    #[test]
+    fn bernoulli_mode_is_close() {
+        let a = SparseRandom::new(200, 200)
+            .sparse_ratio(0.1)
+            .mode(RatioMode::Bernoulli)
+            .seed(3)
+            .generate();
+        let got = a.sparse_ratio();
+        assert!((got - 0.1).abs() < 0.02, "ratio {got}");
+    }
+
+    #[test]
+    fn same_seed_same_array() {
+        let a = SparseRandom::new(30, 30).seed(11).generate();
+        let b = SparseRandom::new(30, 30).seed(11).generate();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seed_different_array() {
+        let a = SparseRandom::new(30, 30).seed(1).generate();
+        let b = SparseRandom::new(30, 30).seed(2).generate();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn extreme_ratios() {
+        let empty = SparseRandom::new(10, 10).sparse_ratio(0.0).generate();
+        assert_eq!(empty.nnz(), 0);
+        let full = SparseRandom::new(10, 10).sparse_ratio(1.0).generate();
+        assert_eq!(full.nnz(), 100);
+    }
+
+    #[test]
+    fn values_in_requested_range() {
+        let a = SparseRandom::new(40, 40).value_range(5.0, 6.0).seed(9).generate();
+        for (_, _, v) in a.iter_nonzero() {
+            assert!((5.0..6.0).contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exclude zero")]
+    fn zero_straddling_range_rejected() {
+        let _ = SparseRandom::new(4, 4).value_range(-1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sparse ratio")]
+    fn bad_ratio_rejected() {
+        let _ = SparseRandom::new(4, 4).sparse_ratio(1.5);
+    }
+}

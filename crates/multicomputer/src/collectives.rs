@@ -1,0 +1,256 @@
+//! Collective operations built on the point-to-point primitives.
+//!
+//! The paper's distribution phase is exactly a `scatterv` from the source
+//! processor ("local sparse arrays … are sent to processors in sequence"),
+//! so that is the collective the scheme drivers use. `gather`, `broadcast`
+//! and `barrier` round out the set for the examples and the ops crate.
+//!
+//! All collectives are rooted and implemented as sequential sends from /
+//! receives at the root, matching the paper's sequential-send cost model
+//! (`p × T_Startup + total_elems × T_Data` charged at the root).
+
+use crate::engine::Env;
+use crate::pack::PackBuffer;
+use crate::timing::Phase;
+
+/// Scatter one pre-packed buffer to each rank from `root`.
+///
+/// On the root, `make_buf(dst)` is called for every destination rank in
+/// rank order (including the root itself) and the produced buffer is sent.
+/// Every rank (root included) then receives and returns its own buffer.
+///
+/// Send costs are attributed to [`Phase::Send`]; the cost of `make_buf`
+/// lands in whatever phase the caller wrapped the call in (typically
+/// [`Phase::Pack`] work happens *before* calling this).
+pub fn scatterv(
+    env: &mut Env,
+    root: usize,
+    mut make_buf: impl FnMut(usize) -> PackBuffer,
+) -> PackBuffer {
+    if env.rank() == root {
+        for dst in 0..env.nprocs() {
+            let buf = make_buf(dst);
+            env.send(dst, buf);
+        }
+    }
+    env.recv(root).payload
+}
+
+/// Gather one buffer from every rank at `root`.
+///
+/// Every rank sends `buf` to the root; the root returns all buffers in
+/// rank order, everyone else returns an empty vector.
+pub fn gather(env: &mut Env, root: usize, buf: PackBuffer) -> Vec<PackBuffer> {
+    env.send(root, buf);
+    if env.rank() == root {
+        (0..env.nprocs()).map(|src| env.recv(src).payload).collect()
+    } else {
+        Vec::new()
+    }
+}
+
+/// Broadcast a buffer from `root` to every rank.
+pub fn broadcast(env: &mut Env, root: usize, buf: Option<PackBuffer>) -> PackBuffer {
+    if env.rank() == root {
+        let buf = buf.expect("root must supply the broadcast buffer");
+        for dst in 0..env.nprocs() {
+            env.send(dst, buf.clone());
+        }
+    }
+    env.recv(root).payload
+}
+
+/// Allgather: every rank contributes one buffer and receives everyone's,
+/// in rank order. Implemented as direct exchange (`p²` messages), matching
+/// the sequential-send cost model used throughout.
+pub fn allgather(env: &mut Env, buf: PackBuffer) -> Vec<PackBuffer> {
+    for dst in 0..env.nprocs() {
+        env.send(dst, buf.clone());
+    }
+    (0..env.nprocs()).map(|src| env.recv(src).payload).collect()
+}
+
+/// Elementwise sum-reduction of equal-length `f64` vectors at `root`,
+/// followed by a broadcast — an allreduce. Returns the reduced vector on
+/// every rank.
+///
+/// # Panics
+/// Panics if ranks contribute different lengths.
+pub fn allreduce_sum(env: &mut Env, values: &[f64]) -> Vec<f64> {
+    let mut buf = PackBuffer::with_capacity(values.len() + 1);
+    buf.push_u64(values.len() as u64);
+    buf.push_f64_slice(values);
+    env.send(0, buf);
+    if env.rank() == 0 {
+        let mut acc = vec![0.0f64; values.len()];
+        for src in 0..env.nprocs() {
+            let msg = env.recv(src);
+            let mut cursor = msg.payload.cursor();
+            let len = cursor.read_usize();
+            assert_eq!(len, acc.len(), "rank {src} contributed length {len}, expected {}", acc.len());
+            for slot in acc.iter_mut() {
+                *slot += cursor.read_f64();
+            }
+        }
+        env.charge_ops((acc.len() * env.nprocs()) as u64);
+        for dst in 0..env.nprocs() {
+            let mut b = PackBuffer::with_capacity(acc.len());
+            b.push_f64_slice(&acc);
+            env.send(dst, b);
+        }
+    }
+    env.recv(0).payload.cursor().read_f64_vec(values.len())
+}
+
+/// Synchronise all ranks: everyone reports to rank 0, rank 0 releases
+/// everyone. Costs are attributed to [`Phase::Send`] / [`Phase::Wait`] as
+/// usual; wrap in [`Env::phase`] with [`Phase::Other`] to keep them out of
+/// scheme aggregates.
+pub fn barrier(env: &mut Env) {
+    env.phase(Phase::Other, |env| {
+        env.send(0, PackBuffer::new());
+        if env.rank() == 0 {
+            for src in 0..env.nprocs() {
+                env.recv(src);
+            }
+            for dst in 0..env.nprocs() {
+                env.send(dst, PackBuffer::new());
+            }
+        }
+        env.recv(0);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Multicomputer;
+    use crate::model::MachineModel;
+
+    fn machine(p: usize) -> Multicomputer {
+        Multicomputer::virtual_machine(p, MachineModel::new(1.0, 1.0, 1.0))
+    }
+
+    #[test]
+    fn scatterv_delivers_per_rank_payloads() {
+        let got = machine(4).run(|env| {
+            let buf = scatterv(env, 0, |dst| {
+                let mut b = PackBuffer::new();
+                b.push_u64(100 + dst as u64);
+                b
+            });
+            buf.cursor().read_u64()
+        });
+        assert_eq!(got, vec![100, 101, 102, 103]);
+    }
+
+    #[test]
+    fn scatterv_nonzero_root() {
+        let got = machine(3).run(|env| {
+            let buf = scatterv(env, 2, |dst| {
+                let mut b = PackBuffer::new();
+                b.push_u64(dst as u64 * 2);
+                b
+            });
+            buf.cursor().read_u64()
+        });
+        assert_eq!(got, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let got = machine(4).run(|env| {
+            let mut b = PackBuffer::new();
+            b.push_u64(env.rank() as u64 * 10);
+            let all = gather(env, 0, b);
+            all.iter().map(|b| b.cursor().read_u64()).collect::<Vec<_>>()
+        });
+        assert_eq!(got[0], vec![0, 10, 20, 30]);
+        assert!(got[1].is_empty());
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone() {
+        let got = machine(5).run(|env| {
+            let buf = if env.rank() == 1 {
+                let mut b = PackBuffer::new();
+                b.push_f64(6.75);
+                Some(b)
+            } else {
+                None
+            };
+            broadcast(env, 1, buf).cursor().read_f64()
+        });
+        assert_eq!(got, vec![6.75; 5]);
+    }
+
+    #[test]
+    fn barrier_completes() {
+        // Just check that no rank deadlocks and all finish.
+        let got = machine(6).run(|env| {
+            barrier(env);
+            barrier(env);
+            env.rank()
+        });
+        assert_eq!(got, (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn allgather_everyone_sees_everyone() {
+        let got = machine(4).run(|env| {
+            let mut b = PackBuffer::new();
+            b.push_u64(env.rank() as u64 * 3);
+            let all = allgather(env, b);
+            all.iter().map(|b| b.cursor().read_u64()).collect::<Vec<_>>()
+        });
+        for ranks in got {
+            assert_eq!(ranks, vec![0, 3, 6, 9]);
+        }
+    }
+
+    #[test]
+    fn allreduce_sums_elementwise() {
+        let got = machine(5).run(|env| {
+            let mine = vec![env.rank() as f64, 1.0, -(env.rank() as f64)];
+            allreduce_sum(env, &mine)
+        });
+        // Σ ranks = 10, Σ 1 = 5, Σ -ranks = -10.
+        for v in got {
+            assert_eq!(v, vec![10.0, 5.0, -10.0]);
+        }
+    }
+
+    #[test]
+    fn collectives_work_on_a_torus() {
+        use crate::topology::Topology;
+        let m = Multicomputer::virtual_with_topology(
+            4,
+            MachineModel::new(1.0, 1.0, 1.0).with_hop_cost(2.0),
+            Topology::Torus2D { pr: 2, pc: 2 },
+        );
+        let got = m.run(|env| {
+            barrier(env);
+            let mut b = PackBuffer::new();
+            b.push_u64(env.rank() as u64);
+            let all = allgather(env, b);
+            barrier(env);
+            all.len()
+        });
+        assert_eq!(got, vec![4; 4]);
+    }
+
+    #[test]
+    fn scatterv_send_cost_accumulates_at_root() {
+        let m = machine(2);
+        let (_, ledgers) = m.run_with_ledgers(|env| {
+            scatterv(env, 0, |_| {
+                let mut b = PackBuffer::new();
+                b.push_u64_slice(&[0; 9]);
+                b
+            });
+        });
+        // Root sends 2 messages of 9 elems: 2*(1 + 9*1) = 20 µs.
+        assert_eq!(ledgers[0].get(Phase::Send).as_micros(), 20.0);
+        assert_eq!(ledgers[1].get(Phase::Send).as_micros(), 0.0);
+    }
+}

@@ -1,0 +1,553 @@
+//! The SPMD engine: one thread per simulated processor, point-to-point
+//! message channels, and a per-processor clock.
+//!
+//! # Timing modes
+//!
+//! In **virtual mode** every cost is *charged*: [`Env::charge_ops`] advances
+//! the local clock by `n × T_Operation`, and [`Env::send`] advances it by
+//! `T_Startup + elems × T_Data`. A message records the sender's clock after
+//! the charge as its arrival time; [`Env::recv`] synchronises the
+//! receiver's clock to `max(local, arrival)` and books the jump as
+//! [`Phase::Wait`]. Because the arrival times depend only on message
+//! causality, the resulting ledgers are fully deterministic no matter how
+//! the host schedules the threads.
+//!
+//! In **wall-clock mode** the clock is the host's monotonic clock; charges
+//! are no-ops (real work takes real time) and [`Env::phase`] measures the
+//! elapsed wall time of its body. An optional per-element wire delay can be
+//! injected into `send` to emulate an interconnect slower than shared
+//! memory.
+
+use crate::model::MachineModel;
+use crate::pack::PackBuffer;
+use crate::topology::Topology;
+use crate::time::VirtualTime;
+use crate::timing::{Phase, PhaseLedger};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::time::Instant;
+
+/// How the machine keeps time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TimingMode {
+    /// Deterministic virtual-time accounting under an α-β model.
+    Virtual(MachineModel),
+    /// Real wall-clock measurement, with an optional injected wire cost of
+    /// `wire_ns_per_elem` nanoseconds per transmitted element (busy-wait at
+    /// the sender, emulating the wire occupancy of a real interconnect).
+    WallClock {
+        /// Injected per-element send cost in nanoseconds (0 = pure shared
+        /// memory).
+        wire_ns_per_elem: u64,
+        /// Injected per-message startup cost in nanoseconds.
+        wire_ns_startup: u64,
+    },
+}
+
+impl TimingMode {
+    /// Wall-clock mode with no injected wire cost.
+    pub fn wall() -> Self {
+        TimingMode::WallClock { wire_ns_per_elem: 0, wire_ns_startup: 0 }
+    }
+}
+
+/// A message in flight between two simulated processors.
+#[derive(Debug, Clone)]
+pub struct Message {
+    /// Which rank sent this message.
+    pub src: usize,
+    /// The packed payload.
+    pub payload: PackBuffer,
+    /// Sender-side clock at the moment transmission completed (virtual
+    /// mode only; `ZERO` in wall-clock mode).
+    pub arrival: VirtualTime,
+}
+
+/// A simulated distributed-memory machine with `p` processors.
+pub struct Multicomputer {
+    nprocs: usize,
+    mode: TimingMode,
+    topology: Topology,
+}
+
+impl Multicomputer {
+    /// A machine whose time is simulated under `model` (fully connected
+    /// interconnect, as in the paper).
+    pub fn virtual_machine(nprocs: usize, model: MachineModel) -> Self {
+        Multicomputer::with_topology(nprocs, TimingMode::Virtual(model), Topology::FullyConnected)
+    }
+
+    /// A virtual machine on an explicit interconnect [`Topology`]; message
+    /// costs become `T_Startup + hops·T_Hop + elems·T_Data`.
+    pub fn virtual_with_topology(nprocs: usize, model: MachineModel, topology: Topology) -> Self {
+        Multicomputer::with_topology(nprocs, TimingMode::Virtual(model), topology)
+    }
+
+    /// A machine measured with the host's wall clock.
+    pub fn wall_clock(nprocs: usize) -> Self {
+        Multicomputer::with_topology(nprocs, TimingMode::wall(), Topology::FullyConnected)
+    }
+
+    /// A machine with an explicit [`TimingMode`].
+    pub fn with_mode(nprocs: usize, mode: TimingMode) -> Self {
+        Multicomputer::with_topology(nprocs, mode, Topology::FullyConnected)
+    }
+
+    /// The fully general constructor.
+    ///
+    /// # Panics
+    /// Panics if `nprocs` is zero or the topology's grid does not match.
+    pub fn with_topology(nprocs: usize, mode: TimingMode, topology: Topology) -> Self {
+        assert!(nprocs > 0, "a multicomputer needs at least one processor");
+        // Validate grid topologies eagerly (hops would panic lazily).
+        if let Topology::Mesh2D { pr, pc } | Topology::Torus2D { pr, pc } = topology {
+            assert_eq!(pr * pc, nprocs, "topology grid {pr}x{pc} != {nprocs} processors");
+        }
+        Multicomputer { nprocs, mode, topology }
+    }
+
+    /// The interconnect topology.
+    pub fn topology(&self) -> Topology {
+        self.topology
+    }
+
+    /// Number of simulated processors.
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// The machine's timing mode.
+    pub fn mode(&self) -> TimingMode {
+        self.mode
+    }
+
+    /// Run `f` in SPMD style on every processor and collect the return
+    /// values in rank order. Each invocation gets an [`Env`] holding that
+    /// rank's channels, clock and ledger.
+    ///
+    /// # Panics
+    /// Propagates a panic from any processor's closure.
+    pub fn run<F, R>(&self, f: F) -> Vec<R>
+    where
+        F: Fn(&mut Env) -> R + Sync,
+        R: Send,
+    {
+        self.run_with_ledgers(f).0
+    }
+
+    /// Like [`Multicomputer::run`], but also returns each rank's
+    /// [`PhaseLedger`] — the usual entry point for scheme drivers.
+    pub fn run_with_ledgers<F, R>(&self, f: F) -> (Vec<R>, Vec<PhaseLedger>)
+    where
+        F: Fn(&mut Env) -> R + Sync,
+        R: Send,
+    {
+        let p = self.nprocs;
+        // chans[src][dst]
+        let mut senders: Vec<Vec<Sender<Message>>> = (0..p).map(|_| Vec::with_capacity(p)).collect();
+        let mut receivers: Vec<Vec<Option<Receiver<Message>>>> =
+            (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
+        for (src, sender_row) in senders.iter_mut().enumerate() {
+            for receiver_row in receivers.iter_mut() {
+                let (tx, rx) = unbounded();
+                sender_row.push(tx);
+                receiver_row[src] = Some(rx);
+            }
+        }
+
+        let f = &f;
+        let mode = self.mode;
+        let topology = self.topology;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(p);
+            for (rank, (tx_row, rx_row)) in senders.into_iter().zip(receivers).enumerate() {
+                let rx_row: Vec<Receiver<Message>> =
+                    rx_row.into_iter().map(|r| r.expect("channel matrix fully populated")).collect();
+                handles.push(scope.spawn(move || {
+                    let mut env = Env::new(rank, p, mode, topology, tx_row, rx_row);
+                    let out = f(&mut env);
+                    let ledger = env.into_ledger();
+                    (out, ledger)
+                }));
+            }
+            let mut results = Vec::with_capacity(p);
+            let mut ledgers = Vec::with_capacity(p);
+            for h in handles {
+                let (r, l) = h.join().expect("simulated processor panicked");
+                results.push(r);
+                ledgers.push(l);
+            }
+            (results, ledgers)
+        })
+    }
+}
+
+enum Clock {
+    Virtual { now: VirtualTime, model: MachineModel },
+    Wall { epoch: Instant },
+}
+
+/// One simulated processor's execution environment: its rank, its channels
+/// to every peer, its clock, and its phase ledger.
+pub struct Env {
+    rank: usize,
+    nprocs: usize,
+    topology: Topology,
+    clock: Clock,
+    wire_ns_per_elem: u64,
+    wire_ns_startup: u64,
+    ledger: PhaseLedger,
+    current_phase: Phase,
+    senders: Vec<Sender<Message>>,
+    receivers: Vec<Receiver<Message>>,
+}
+
+impl Env {
+    fn new(
+        rank: usize,
+        nprocs: usize,
+        mode: TimingMode,
+        topology: Topology,
+        senders: Vec<Sender<Message>>,
+        receivers: Vec<Receiver<Message>>,
+    ) -> Self {
+        let (clock, wire_ns_per_elem, wire_ns_startup) = match mode {
+            TimingMode::Virtual(model) => (Clock::Virtual { now: VirtualTime::ZERO, model }, 0, 0),
+            TimingMode::WallClock { wire_ns_per_elem, wire_ns_startup } => {
+                (Clock::Wall { epoch: Instant::now() }, wire_ns_per_elem, wire_ns_startup)
+            }
+        };
+        Env {
+            rank,
+            nprocs,
+            topology,
+            clock,
+            wire_ns_per_elem,
+            wire_ns_startup,
+            ledger: PhaseLedger::new(),
+            current_phase: Phase::Other,
+            senders,
+            receivers,
+        }
+    }
+
+    /// This processor's rank, `0..nprocs`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of processors in the machine.
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// True in virtual-time mode.
+    pub fn is_virtual(&self) -> bool {
+        matches!(self.clock, Clock::Virtual { .. })
+    }
+
+    /// Current local clock reading.
+    pub fn now(&self) -> VirtualTime {
+        match &self.clock {
+            Clock::Virtual { now, .. } => *now,
+            Clock::Wall { epoch } => VirtualTime::from_micros(epoch.elapsed().as_secs_f64() * 1e6),
+        }
+    }
+
+    /// Run `f` attributed to `phase`.
+    ///
+    /// Virtual mode: sets the current phase so [`Env::charge_ops`] books
+    /// into it. Wall mode: measures the body's elapsed wall time into the
+    /// ledger (charges are no-ops there).
+    pub fn phase<T>(&mut self, phase: Phase, f: impl FnOnce(&mut Env) -> T) -> T {
+        let prev = self.current_phase;
+        self.current_phase = phase;
+        let wall_start = match &self.clock {
+            Clock::Wall { epoch } => Some((*epoch, epoch.elapsed())),
+            Clock::Virtual { .. } => None,
+        };
+        let out = f(self);
+        if let Some((epoch, start)) = wall_start {
+            let span = epoch.elapsed().saturating_sub(start);
+            self.ledger
+                .record(phase, VirtualTime::from_micros(span.as_secs_f64() * 1e6));
+        }
+        self.current_phase = prev;
+        out
+    }
+
+    /// Charge `n` element operations (`n × T_Operation`) to the local clock
+    /// and the current phase. No-op in wall-clock mode.
+    pub fn charge_ops(&mut self, n: u64) {
+        if let Clock::Virtual { now, model } = &mut self.clock {
+            let cost = model.op_cost(n);
+            *now += cost;
+            self.ledger.record(self.current_phase, cost);
+        }
+    }
+
+    /// Send `payload` to `dst`.
+    ///
+    /// Virtual mode: charges `T_Startup + elems × T_Data` to the local
+    /// clock, attributed to [`Phase::Send`], and stamps the message with
+    /// the post-charge clock as its arrival time. Wall mode: optionally
+    /// busy-waits the configured wire cost, then moves the buffer.
+    pub fn send(&mut self, dst: usize, payload: PackBuffer) {
+        assert!(dst < self.nprocs, "send to rank {dst} of {}", self.nprocs);
+        let hops = self.topology.hops(self.rank, dst, self.nprocs);
+        let arrival = match &mut self.clock {
+            Clock::Virtual { now, model } => {
+                let cost = model.message_cost_hops(payload.elem_count(), hops.max(1));
+                *now += cost;
+                self.ledger.record(Phase::Send, cost);
+                *now
+            }
+            Clock::Wall { .. } => {
+                let ns = self.wire_ns_startup + self.wire_ns_per_elem * payload.elem_count();
+                if ns > 0 {
+                    let start = Instant::now();
+                    while (start.elapsed().as_nanos() as u64) < ns {
+                        std::hint::spin_loop();
+                    }
+                }
+                VirtualTime::ZERO
+            }
+        };
+        self.senders[dst]
+            .send(Message { src: self.rank, payload, arrival })
+            .expect("receiver hung up: peer processor exited early");
+    }
+
+    /// Blocking receive of the next message from `src`.
+    ///
+    /// Virtual mode: synchronises the local clock with the message's
+    /// arrival time; any forward jump is booked as [`Phase::Wait`].
+    pub fn recv(&mut self, src: usize) -> Message {
+        assert!(src < self.nprocs, "recv from rank {src} of {}", self.nprocs);
+        let msg = self.receivers[src]
+            .recv()
+            .expect("sender hung up: peer processor exited early");
+        if let Clock::Virtual { now, .. } = &mut self.clock {
+            let jump = msg.arrival.saturating_sub(*now);
+            *now = now.max(msg.arrival);
+            self.ledger.record(Phase::Wait, jump);
+        }
+        msg
+    }
+
+    /// Immutable view of the ledger accumulated so far.
+    pub fn ledger(&self) -> &PhaseLedger {
+        &self.ledger
+    }
+
+    fn into_ledger(self) -> PhaseLedger {
+        self.ledger
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> MachineModel {
+        MachineModel::new(10.0, 2.0, 1.0)
+    }
+
+    #[test]
+    fn ranks_and_sizes() {
+        let m = Multicomputer::virtual_machine(5, model());
+        let ranks = m.run(|env| {
+            assert_eq!(env.nprocs(), 5);
+            env.rank()
+        });
+        assert_eq!(ranks, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn point_to_point_round_trip() {
+        let m = Multicomputer::virtual_machine(2, model());
+        let results = m.run(|env| {
+            if env.rank() == 0 {
+                let mut b = PackBuffer::new();
+                b.push_f64(3.25);
+                env.send(1, b);
+                let back = env.recv(1);
+                back.payload.cursor().read_f64()
+            } else {
+                let msg = env.recv(0);
+                let v = msg.payload.cursor().read_f64();
+                let mut b = PackBuffer::new();
+                b.push_f64(v * 2.0);
+                env.send(0, b);
+                v
+            }
+        });
+        assert_eq!(results, vec![6.5, 3.25]);
+    }
+
+    #[test]
+    fn virtual_send_cost_is_charged() {
+        let m = Multicomputer::virtual_machine(2, model());
+        let (_, ledgers) = m.run_with_ledgers(|env| {
+            if env.rank() == 0 {
+                let mut b = PackBuffer::new();
+                b.push_u64_slice(&[1, 2, 3, 4, 5]);
+                env.send(1, b);
+            } else {
+                env.recv(0);
+            }
+        });
+        // t_startup + 5 elems * t_data = 10 + 10 = 20 µs at the sender.
+        assert_eq!(ledgers[0].get(Phase::Send).as_micros(), 20.0);
+        // Receiver started at 0 and the message arrived at 20: 20 µs wait.
+        assert_eq!(ledgers[1].get(Phase::Wait).as_micros(), 20.0);
+    }
+
+    #[test]
+    fn charge_ops_books_current_phase() {
+        let m = Multicomputer::virtual_machine(1, model());
+        let (_, ledgers) = m.run_with_ledgers(|env| {
+            env.phase(Phase::Compress, |env| env.charge_ops(7));
+            env.charge_ops(3); // outside any phase block -> Other
+        });
+        assert_eq!(ledgers[0].get(Phase::Compress).as_micros(), 7.0);
+        assert_eq!(ledgers[0].get(Phase::Other).as_micros(), 3.0);
+    }
+
+    #[test]
+    fn virtual_clocks_are_deterministic() {
+        // Arrival times depend only on causality, so repeated runs agree
+        // exactly even under different host scheduling.
+        let run_once = || {
+            let m = Multicomputer::virtual_machine(4, model());
+            let (_, ledgers) = m.run_with_ledgers(|env| {
+                if env.rank() == 0 {
+                    for dst in 1..env.nprocs() {
+                        let mut b = PackBuffer::new();
+                        b.push_u64_slice(&vec![0; dst * 10]);
+                        env.send(dst, b);
+                    }
+                } else {
+                    env.recv(0);
+                    env.charge_ops(100);
+                }
+            });
+            ledgers
+        };
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn self_send_works() {
+        let m = Multicomputer::virtual_machine(3, model());
+        let results = m.run(|env| {
+            let mut b = PackBuffer::new();
+            b.push_u64(env.rank() as u64);
+            env.send(env.rank(), b);
+            env.recv(env.rank()).payload.cursor().read_u64()
+        });
+        assert_eq!(results, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn wall_clock_phase_measures_time() {
+        let m = Multicomputer::wall_clock(1);
+        let (_, ledgers) = m.run_with_ledgers(|env| {
+            env.phase(Phase::Compute, |_| {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            });
+        });
+        assert!(ledgers[0].get(Phase::Compute).as_millis() >= 4.0);
+    }
+
+    #[test]
+    fn wall_clock_charges_are_noop() {
+        let m = Multicomputer::wall_clock(1);
+        let (_, ledgers) = m.run_with_ledgers(|env| {
+            env.charge_ops(1_000_000_000);
+        });
+        // charge_ops must not book anything in wall mode.
+        assert_eq!(ledgers[0].get(Phase::Other).as_micros(), 0.0);
+    }
+
+    #[test]
+    fn messages_from_same_source_preserve_order() {
+        let m = Multicomputer::virtual_machine(2, model());
+        let results = m.run(|env| {
+            if env.rank() == 0 {
+                for i in 0..10u64 {
+                    let mut b = PackBuffer::new();
+                    b.push_u64(i);
+                    env.send(1, b);
+                }
+                Vec::new()
+            } else {
+                (0..10).map(|_| env.recv(0).payload.cursor().read_u64()).collect()
+            }
+        });
+        assert_eq!(results[1], (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn message_src_is_stamped() {
+        let m = Multicomputer::virtual_machine(3, model());
+        let results = m.run(|env| {
+            if env.rank() == 2 {
+                let a = env.recv(0).src;
+                let b = env.recv(1).src;
+                (a, b)
+            } else {
+                env.send(2, PackBuffer::new());
+                (usize::MAX, usize::MAX)
+            }
+        });
+        assert_eq!(results[2], (0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn zero_processors_rejected() {
+        let _ = Multicomputer::virtual_machine(0, model());
+    }
+
+    #[test]
+    fn topology_hop_cost_charged_on_send() {
+        // Ring of 4 with t_hop = 5: 0→2 is 2 hops.
+        let hop_model = MachineModel::new(10.0, 2.0, 1.0).with_hop_cost(5.0);
+        let m = Multicomputer::virtual_with_topology(4, hop_model, Topology::Ring);
+        let (_, ledgers) = m.run_with_ledgers(|env| {
+            if env.rank() == 0 {
+                let mut b = PackBuffer::new();
+                b.push_u64_slice(&[1, 2, 3]);
+                env.send(2, b);
+            } else if env.rank() == 2 {
+                env.recv(0);
+            }
+        });
+        // 10 startup + 2 hops * 5 + 3 elems * 2 = 26 µs.
+        assert_eq!(ledgers[0].get(Phase::Send).as_micros(), 26.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "topology grid")]
+    fn mismatched_topology_grid_rejected() {
+        let _ =
+            Multicomputer::virtual_with_topology(6, model(), Topology::Mesh2D { pr: 2, pc: 2 });
+    }
+
+    #[test]
+    fn nested_phases_restore_outer() {
+        let m = Multicomputer::virtual_machine(1, model());
+        let (_, ledgers) = m.run_with_ledgers(|env| {
+            env.phase(Phase::Pack, |env| {
+                env.charge_ops(1);
+                env.phase(Phase::Unpack, |env| env.charge_ops(2));
+                env.charge_ops(4);
+            });
+        });
+        assert_eq!(ledgers[0].get(Phase::Pack).as_micros(), 5.0);
+        assert_eq!(ledgers[0].get(Phase::Unpack).as_micros(), 2.0);
+    }
+}

@@ -1,0 +1,317 @@
+//! `MPI_Pack`-style buffers.
+//!
+//! The paper's CFS scheme "packs `RO`, `CO`, and `VL` … into a buffer" and
+//! its ED scheme builds a "special buffer `B`". Both are modelled here by
+//! [`PackBuffer`]: a contiguous byte buffer with typed append operations
+//! and an **element counter**. The element counter matters because the
+//! paper charges `T_Data` per *array element* (an index or a value), not
+//! per byte; the engine reads it when charging a send.
+//!
+//! Indices travel as `u64`, values as `f64`, both little-endian, so a
+//! buffer has a well-defined wire layout (8 bytes per element) that
+//! [`UnpackCursor`] can walk on the receiving side.
+
+use std::fmt;
+
+/// A contiguous send buffer with typed append operations.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PackBuffer {
+    bytes: Vec<u8>,
+    elems: u64,
+}
+
+impl PackBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        PackBuffer::default()
+    }
+
+    /// An empty buffer with room for `elems` 8-byte elements.
+    pub fn with_capacity(elems: usize) -> Self {
+        PackBuffer { bytes: Vec::with_capacity(elems * 8), elems: 0 }
+    }
+
+    /// Append one index element.
+    pub fn push_u64(&mut self, v: u64) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+        self.elems += 1;
+    }
+
+    /// Append one value element.
+    pub fn push_f64(&mut self, v: f64) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+        self.elems += 1;
+    }
+
+    /// Append a run of index elements.
+    pub fn push_u64_slice(&mut self, vs: &[u64]) {
+        self.bytes.reserve(vs.len() * 8);
+        for &v in vs {
+            self.bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        self.elems += vs.len() as u64;
+    }
+
+    /// Append a run of `usize` indices (stored as `u64` on the wire).
+    pub fn push_usize_slice(&mut self, vs: &[usize]) {
+        self.bytes.reserve(vs.len() * 8);
+        for &v in vs {
+            self.bytes.extend_from_slice(&(v as u64).to_le_bytes());
+        }
+        self.elems += vs.len() as u64;
+    }
+
+    /// Append a run of value elements.
+    pub fn push_f64_slice(&mut self, vs: &[f64]) {
+        self.bytes.reserve(vs.len() * 8);
+        for &v in vs {
+            self.bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        self.elems += vs.len() as u64;
+    }
+
+    /// Append a placeholder index element and return its byte offset for a
+    /// later [`PackBuffer::patch_u64`]. The ED encoder uses this to write
+    /// each `R_i` count before the row's `(C_ij, V_ij)` pairs are known
+    /// (Figure 6 of the paper), keeping the encode a single pass.
+    pub fn push_u64_placeholder(&mut self) -> usize {
+        let at = self.bytes.len();
+        self.push_u64(0);
+        at
+    }
+
+    /// Overwrite the 8 bytes at `at` (from [`PackBuffer::push_u64_placeholder`])
+    /// with `v`. Does not change the element count.
+    ///
+    /// # Panics
+    /// Panics if `at` is not a valid 8-byte slot.
+    pub fn patch_u64(&mut self, at: usize, v: u64) {
+        assert!(at + 8 <= self.bytes.len(), "patch offset {at} out of buffer");
+        self.bytes[at..at + 8].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Number of logical array elements packed so far (what `T_Data` is
+    /// charged against).
+    pub fn elem_count(&self) -> u64 {
+        self.elems
+    }
+
+    /// Wire size in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True if nothing has been packed.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Begin unpacking from the start of the buffer.
+    pub fn cursor(&self) -> UnpackCursor<'_> {
+        UnpackCursor { bytes: &self.bytes, pos: 0 }
+    }
+
+    /// The raw wire bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+impl fmt::Display for PackBuffer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PackBuffer({} elems, {} bytes)", self.elems, self.bytes.len())
+    }
+}
+
+/// Error returned when an [`UnpackCursor`] runs past the end of the buffer
+/// or is left with trailing bytes it was told to exhaust.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnpackError {
+    /// Byte offset at which the failed read started.
+    pub at: usize,
+    /// Bytes available past that offset.
+    pub remaining: usize,
+}
+
+impl fmt::Display for UnpackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unpack past end of buffer: 8-byte read at offset {} with only {} bytes left",
+            self.at, self.remaining
+        )
+    }
+}
+
+impl std::error::Error for UnpackError {}
+
+/// Sequential reader over a [`PackBuffer`]'s wire bytes.
+#[derive(Debug, Clone)]
+pub struct UnpackCursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> UnpackCursor<'a> {
+    fn take8(&mut self) -> Result<[u8; 8], UnpackError> {
+        let end = self.pos + 8;
+        if end > self.bytes.len() {
+            return Err(UnpackError { at: self.pos, remaining: self.bytes.len() - self.pos });
+        }
+        let mut out = [0u8; 8];
+        out.copy_from_slice(&self.bytes[self.pos..end]);
+        self.pos = end;
+        Ok(out)
+    }
+
+    /// Read one index element, panicking on truncation (the common case in
+    /// scheme code, where the sender is in the same address space and the
+    /// format is known).
+    pub fn read_u64(&mut self) -> u64 {
+        self.try_read_u64().expect("truncated pack buffer")
+    }
+
+    /// Read one index element as `usize`.
+    pub fn read_usize(&mut self) -> usize {
+        self.read_u64() as usize
+    }
+
+    /// Read one value element.
+    pub fn read_f64(&mut self) -> f64 {
+        self.try_read_f64().expect("truncated pack buffer")
+    }
+
+    /// Fallible read of one index element.
+    pub fn try_read_u64(&mut self) -> Result<u64, UnpackError> {
+        self.take8().map(u64::from_le_bytes)
+    }
+
+    /// Fallible read of one value element.
+    pub fn try_read_f64(&mut self) -> Result<f64, UnpackError> {
+        self.take8().map(f64::from_le_bytes)
+    }
+
+    /// Read `n` index elements into a fresh vector.
+    pub fn read_usize_vec(&mut self, n: usize) -> Vec<usize> {
+        (0..n).map(|_| self.read_usize()).collect()
+    }
+
+    /// Read `n` value elements into a fresh vector.
+    pub fn read_f64_vec(&mut self, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.read_f64()).collect()
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// True if the cursor has consumed the whole buffer.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_scalars() {
+        let mut b = PackBuffer::new();
+        b.push_u64(42);
+        b.push_f64(2.5);
+        b.push_u64(7);
+        assert_eq!(b.elem_count(), 3);
+        assert_eq!(b.byte_len(), 24);
+
+        let mut c = b.cursor();
+        assert_eq!(c.read_u64(), 42);
+        assert_eq!(c.read_f64(), 2.5);
+        assert_eq!(c.read_usize(), 7);
+        assert!(c.is_exhausted());
+    }
+
+    #[test]
+    fn round_trip_slices() {
+        let mut b = PackBuffer::new();
+        b.push_usize_slice(&[1, 2, 3]);
+        b.push_f64_slice(&[0.5, -1.5]);
+        b.push_u64_slice(&[9, 10]);
+        assert_eq!(b.elem_count(), 7);
+
+        let mut c = b.cursor();
+        assert_eq!(c.read_usize_vec(3), vec![1, 2, 3]);
+        assert_eq!(c.read_f64_vec(2), vec![0.5, -1.5]);
+        assert_eq!(c.read_u64(), 9);
+        assert_eq!(c.read_u64(), 10);
+        assert!(c.is_exhausted());
+    }
+
+    #[test]
+    fn truncated_read_reports_offset() {
+        let mut b = PackBuffer::new();
+        b.push_u64(1);
+        let mut c = b.cursor();
+        c.read_u64();
+        let err = c.try_read_u64().unwrap_err();
+        assert_eq!(err, UnpackError { at: 8, remaining: 0 });
+        assert!(err.to_string().contains("offset 8"));
+    }
+
+    #[test]
+    #[should_panic(expected = "truncated pack buffer")]
+    fn infallible_read_panics_on_truncation() {
+        let b = PackBuffer::new();
+        let mut c = b.cursor();
+        let _ = c.read_f64();
+    }
+
+    #[test]
+    fn negative_and_special_values_survive() {
+        let mut b = PackBuffer::new();
+        b.push_f64(-0.0);
+        b.push_f64(f64::MAX);
+        b.push_f64(f64::MIN_POSITIVE);
+        let mut c = b.cursor();
+        assert_eq!(c.read_f64(), -0.0);
+        assert_eq!(c.read_f64(), f64::MAX);
+        assert_eq!(c.read_f64(), f64::MIN_POSITIVE);
+    }
+
+    #[test]
+    fn with_capacity_does_not_affect_contents() {
+        let mut a = PackBuffer::new();
+        let mut b = PackBuffer::with_capacity(100);
+        a.push_u64(5);
+        b.push_u64(5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn placeholder_patching() {
+        let mut b = PackBuffer::new();
+        let slot = b.push_u64_placeholder();
+        b.push_f64(1.5);
+        b.patch_u64(slot, 99);
+        assert_eq!(b.elem_count(), 2);
+        let mut c = b.cursor();
+        assert_eq!(c.read_u64(), 99);
+        assert_eq!(c.read_f64(), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "patch offset")]
+    fn patch_out_of_range_panics() {
+        let mut b = PackBuffer::new();
+        b.patch_u64(0, 1);
+    }
+
+    #[test]
+    fn empty_buffer_properties() {
+        let b = PackBuffer::new();
+        assert!(b.is_empty());
+        assert_eq!(b.elem_count(), 0);
+        assert!(b.cursor().is_exhausted());
+    }
+}

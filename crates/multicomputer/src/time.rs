@@ -1,0 +1,144 @@
+//! Virtual time: the unit in which the α-β cost model is charged.
+//!
+//! All model parameters and ledgers are expressed in **microseconds** held
+//! in an `f64`. A newtype keeps the unit from being confused with element
+//! counts or byte counts, and centralises the (few) arithmetic operations
+//! virtual clocks need.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point (or span) on a simulated clock, in microseconds.
+///
+/// `VirtualTime` is totally ordered (NaN never arises: all charges are
+/// finite and non-negative, which [`VirtualTime::from_micros`] enforces).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct VirtualTime(f64);
+
+impl VirtualTime {
+    /// The zero of every virtual clock.
+    pub const ZERO: VirtualTime = VirtualTime(0.0);
+
+    /// Construct from a microsecond count.
+    ///
+    /// # Panics
+    /// Panics if `micros` is negative or not finite; virtual time only ever
+    /// moves forward.
+    pub fn from_micros(micros: f64) -> Self {
+        assert!(
+            micros.is_finite() && micros >= 0.0,
+            "virtual time must be finite and non-negative, got {micros}"
+        );
+        VirtualTime(micros)
+    }
+
+    /// The span as a raw microsecond count.
+    pub fn as_micros(self) -> f64 {
+        self.0
+    }
+
+    /// The span in milliseconds (the unit the paper's tables use).
+    pub fn as_millis(self) -> f64 {
+        self.0 / 1_000.0
+    }
+
+    /// The later of two instants (used when a receive synchronises a local
+    /// clock with a message's arrival time).
+    pub fn max(self, other: VirtualTime) -> VirtualTime {
+        if other.0 > self.0 {
+            other
+        } else {
+            self
+        }
+    }
+
+    /// Saturating difference: `self - other`, clamped at zero.
+    pub fn saturating_sub(self, other: VirtualTime) -> VirtualTime {
+        VirtualTime((self.0 - other.0).max(0.0))
+    }
+}
+
+impl Add for VirtualTime {
+    type Output = VirtualTime;
+    fn add(self, rhs: VirtualTime) -> VirtualTime {
+        VirtualTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for VirtualTime {
+    fn add_assign(&mut self, rhs: VirtualTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for VirtualTime {
+    type Output = VirtualTime;
+    fn sub(self, rhs: VirtualTime) -> VirtualTime {
+        VirtualTime((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl Sum for VirtualTime {
+    fn sum<I: Iterator<Item = VirtualTime>>(iter: I) -> VirtualTime {
+        iter.fold(VirtualTime::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for VirtualTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_default() {
+        assert_eq!(VirtualTime::default(), VirtualTime::ZERO);
+    }
+
+    #[test]
+    fn add_and_sub() {
+        let a = VirtualTime::from_micros(5.0);
+        let b = VirtualTime::from_micros(3.0);
+        assert_eq!((a + b).as_micros(), 8.0);
+        assert_eq!((a - b).as_micros(), 2.0);
+        // Subtraction saturates: time spans cannot be negative.
+        assert_eq!((b - a).as_micros(), 0.0);
+    }
+
+    #[test]
+    fn max_picks_later() {
+        let a = VirtualTime::from_micros(5.0);
+        let b = VirtualTime::from_micros(9.0);
+        assert_eq!(a.max(b), b);
+        assert_eq!(b.max(a), b);
+    }
+
+    #[test]
+    fn millis_conversion() {
+        assert_eq!(VirtualTime::from_micros(1500.0).as_millis(), 1.5);
+    }
+
+    #[test]
+    fn sum_of_spans() {
+        let total: VirtualTime = (1..=4)
+            .map(|i| VirtualTime::from_micros(i as f64))
+            .sum();
+        assert_eq!(total.as_micros(), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_rejected() {
+        let _ = VirtualTime::from_micros(-1.0);
+    }
+
+    #[test]
+    fn display_in_millis() {
+        assert_eq!(VirtualTime::from_micros(1234.5).to_string(), "1.234ms");
+    }
+}

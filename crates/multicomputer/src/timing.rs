@@ -1,0 +1,314 @@
+//! Per-phase timing ledgers.
+//!
+//! The paper reports two aggregate costs per scheme: `T_Distribution`
+//! (packing + send/receive + unpacking) and `T_Compression` (compression,
+//! or encoding + decoding for the ED scheme). To let the scheme drivers
+//! reconstruct those aggregates — and to expose finer structure for the
+//! ablation benches — every charge on a simulated processor is attributed
+//! to a [`Phase`], accumulated in a [`PhaseLedger`].
+
+use crate::time::VirtualTime;
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// The phases a distribution scheme's work is attributed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Computing the partition bounds (not counted by the paper, §4).
+    Partition,
+    /// Building CRS/CCS arrays from a dense array (SFC at receivers, CFS at
+    /// the source).
+    Compress,
+    /// Building the ED special buffer at the source.
+    Encode,
+    /// Packing compressed arrays / dense elements into a send buffer.
+    Pack,
+    /// Sending: `T_Startup + elems × T_Data` per message, charged at the
+    /// sender (the paper counts send/receive once, on the wire).
+    Send,
+    /// Receive-side bookkeeping other than blocking (normally ~0).
+    Recv,
+    /// Unpacking a received buffer into `RO`/`CO`/`VL` (CFS) or a dense
+    /// local array (SFC), including index conversion.
+    Unpack,
+    /// Decoding the ED special buffer into `RO`/`CO`/`VL`.
+    Decode,
+    /// Idle time spent blocked in `recv` waiting for a message that has not
+    /// arrived yet (virtual mode: clock synchronisation jumps).
+    Wait,
+    /// Post-distribution computation (SpMV etc. from `sparsedist-ops`).
+    Compute,
+    /// Anything else.
+    Other,
+}
+
+impl Phase {
+    /// All phases, in ledger order.
+    pub const ALL: [Phase; 11] = [
+        Phase::Partition,
+        Phase::Compress,
+        Phase::Encode,
+        Phase::Pack,
+        Phase::Send,
+        Phase::Recv,
+        Phase::Unpack,
+        Phase::Decode,
+        Phase::Wait,
+        Phase::Compute,
+        Phase::Other,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            Phase::Partition => 0,
+            Phase::Compress => 1,
+            Phase::Encode => 2,
+            Phase::Pack => 3,
+            Phase::Send => 4,
+            Phase::Recv => 5,
+            Phase::Unpack => 6,
+            Phase::Decode => 7,
+            Phase::Wait => 8,
+            Phase::Compute => 9,
+            Phase::Other => 10,
+        }
+    }
+
+    /// Short label for table output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Partition => "partition",
+            Phase::Compress => "compress",
+            Phase::Encode => "encode",
+            Phase::Pack => "pack",
+            Phase::Send => "send",
+            Phase::Recv => "recv",
+            Phase::Unpack => "unpack",
+            Phase::Decode => "decode",
+            Phase::Wait => "wait",
+            Phase::Compute => "compute",
+            Phase::Other => "other",
+        }
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Time accumulated per [`Phase`] on one simulated processor.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PhaseLedger {
+    spans: [VirtualTime; 11],
+}
+
+impl PhaseLedger {
+    /// An all-zero ledger.
+    pub fn new() -> Self {
+        PhaseLedger::default()
+    }
+
+    /// Add `span` to `phase`.
+    pub fn record(&mut self, phase: Phase, span: VirtualTime) {
+        self.spans[phase.index()] += span;
+    }
+
+    /// Total accumulated in `phase`.
+    pub fn get(&self, phase: Phase) -> VirtualTime {
+        self.spans[phase.index()]
+    }
+
+    /// Sum over an arbitrary set of phases.
+    pub fn sum(&self, phases: &[Phase]) -> VirtualTime {
+        phases.iter().map(|&p| self.get(p)).sum()
+    }
+
+    /// Sum over every phase except `Wait` (which is idle, not work).
+    pub fn busy_total(&self) -> VirtualTime {
+        Phase::ALL
+            .iter()
+            .filter(|&&p| p != Phase::Wait)
+            .map(|&p| self.get(p))
+            .sum()
+    }
+
+    /// Iterate `(phase, span)` pairs with non-zero spans.
+    pub fn nonzero(&self) -> impl Iterator<Item = (Phase, VirtualTime)> + '_ {
+        Phase::ALL
+            .iter()
+            .map(|&p| (p, self.get(p)))
+            .filter(|(_, t)| t.as_micros() > 0.0)
+    }
+}
+
+impl Add for PhaseLedger {
+    type Output = PhaseLedger;
+    fn add(mut self, rhs: PhaseLedger) -> PhaseLedger {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for PhaseLedger {
+    fn add_assign(&mut self, rhs: PhaseLedger) {
+        for i in 0..self.spans.len() {
+            self.spans[i] += rhs.spans[i];
+        }
+    }
+}
+
+impl fmt::Display for PhaseLedger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (p, t) in self.nonzero() {
+            if !first {
+                write!(f, " ")?;
+            }
+            write!(f, "{}={}", p.label(), t)?;
+            first = false;
+        }
+        if first {
+            write!(f, "(empty)")?;
+        }
+        Ok(())
+    }
+}
+
+/// Render a fleet of per-rank ledgers as a proportional text timeline —
+/// one bar per rank, one letter per phase, scaled so the busiest rank
+/// spans `width` characters. Phases are keyed by the first letter of
+/// their label (send = `s`, compress = `c`, …; `wait` renders as `.`).
+///
+/// ```text
+/// P0 |cccccccccccppppssss      | 12.402ms
+/// P1 |....uu                   |  3.101ms
+/// ```
+pub fn render_timeline(ledgers: &[PhaseLedger], width: usize) -> String {
+    let width = width.max(10);
+    let max_total = ledgers
+        .iter()
+        .map(|l| l.busy_total() + l.get(Phase::Wait))
+        .fold(VirtualTime::ZERO, VirtualTime::max);
+    let scale = if max_total.as_micros() > 0.0 {
+        width as f64 / max_total.as_micros()
+    } else {
+        0.0
+    };
+    let mut out = String::new();
+    for (rank, l) in ledgers.iter().enumerate() {
+        let mut bar = String::new();
+        for p in Phase::ALL {
+            let span = l.get(p).as_micros();
+            let chars = (span * scale).round() as usize;
+            let ch = if p == Phase::Wait {
+                '.'
+            } else {
+                p.label().chars().next().expect("non-empty label")
+            };
+            for _ in 0..chars {
+                bar.push(ch);
+            }
+        }
+        bar.truncate(width);
+        let total = l.busy_total() + l.get(Phase::Wait);
+        out.push_str(&format!("P{rank:<3}|{bar:<width$}| {total}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(v: f64) -> VirtualTime {
+        VirtualTime::from_micros(v)
+    }
+
+    #[test]
+    fn add_and_get() {
+        let mut l = PhaseLedger::new();
+        l.record(Phase::Pack, us(3.0));
+        l.record(Phase::Pack, us(2.0));
+        l.record(Phase::Send, us(10.0));
+        assert_eq!(l.get(Phase::Pack).as_micros(), 5.0);
+        assert_eq!(l.get(Phase::Send).as_micros(), 10.0);
+        assert_eq!(l.get(Phase::Unpack).as_micros(), 0.0);
+    }
+
+    #[test]
+    fn sum_selected_phases() {
+        let mut l = PhaseLedger::new();
+        l.record(Phase::Pack, us(1.0));
+        l.record(Phase::Send, us(2.0));
+        l.record(Phase::Unpack, us(4.0));
+        l.record(Phase::Compress, us(8.0));
+        let dist = l.sum(&[Phase::Pack, Phase::Send, Phase::Unpack]);
+        assert_eq!(dist.as_micros(), 7.0);
+    }
+
+    #[test]
+    fn busy_total_excludes_wait() {
+        let mut l = PhaseLedger::new();
+        l.record(Phase::Compress, us(5.0));
+        l.record(Phase::Wait, us(100.0));
+        assert_eq!(l.busy_total().as_micros(), 5.0);
+    }
+
+    #[test]
+    fn ledger_addition_merges() {
+        let mut a = PhaseLedger::new();
+        a.record(Phase::Encode, us(1.0));
+        let mut b = PhaseLedger::new();
+        b.record(Phase::Encode, us(2.0));
+        b.record(Phase::Decode, us(3.0));
+        let c = a + b;
+        assert_eq!(c.get(Phase::Encode).as_micros(), 3.0);
+        assert_eq!(c.get(Phase::Decode).as_micros(), 3.0);
+    }
+
+    #[test]
+    fn all_contains_each_phase_once() {
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i, "ALL order must match index order");
+        }
+    }
+
+    #[test]
+    fn timeline_scales_to_busiest_rank() {
+        let mut a = PhaseLedger::new();
+        a.record(Phase::Compress, us(100.0));
+        let mut b = PhaseLedger::new();
+        b.record(Phase::Wait, us(25.0));
+        b.record(Phase::Unpack, us(25.0));
+        let s = render_timeline(&[a, b], 40);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let bar = |line: &str| -> String {
+            line.split('|').nth(1).expect("bar between pipes").to_string()
+        };
+        // Rank 0 fills the width with 'c'; rank 1 is half as long,
+        // half 'u' and half wait-dots.
+        assert_eq!(bar(lines[0]).matches('c').count(), 40, "{s}");
+        assert_eq!(bar(lines[1]).matches('.').count(), 10, "{s}");
+        assert_eq!(bar(lines[1]).matches('u').count(), 10, "{s}");
+    }
+
+    #[test]
+    fn timeline_of_empty_ledgers_is_blank_bars() {
+        let s = render_timeline(&[PhaseLedger::new(), PhaseLedger::new()], 20);
+        assert_eq!(s.lines().count(), 2);
+        assert!(!s.contains('c'));
+    }
+
+    #[test]
+    fn display_lists_nonzero_only() {
+        let mut l = PhaseLedger::new();
+        l.record(Phase::Send, us(1500.0));
+        let s = l.to_string();
+        assert!(s.contains("send=1.500ms"), "{s}");
+        assert!(!s.contains("pack"));
+        assert_eq!(PhaseLedger::new().to_string(), "(empty)");
+    }
+}

@@ -1,0 +1,155 @@
+//! Interconnect topologies.
+//!
+//! The α-β model of [`crate::model::MachineModel`] prices every message the
+//! same regardless of which pair of processors exchanges it — a fully
+//! connected (crossbar-like) network, which matches both the paper's
+//! analysis and its SP2 testbed (a multistage switch). Real distributed
+//! memory multicomputers of the era were often rings, meshes or tori where
+//! a message crosses several links; with wormhole routing the cost model
+//! becomes
+//!
+//! ```text
+//! T(msg) = T_Startup + hops(src, dst) · T_Hop + elems · T_Data
+//! ```
+//!
+//! This module supplies the `hops` function for the classic topologies so
+//! the ablation benches can ask how sensitive the SFC/CFS/ED ranking is to
+//! the interconnect (answer: barely — the per-element term dominates —
+//! which is itself worth demonstrating).
+
+/// An interconnect topology: how many links a message crosses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// Every pair one hop apart (the paper's implicit model).
+    FullyConnected,
+    /// A bidirectional ring of `p` processors.
+    Ring,
+    /// A `pr × pc` mesh without wraparound (rank `i·pc + j` at grid
+    /// position `(i, j)`), Manhattan routing.
+    Mesh2D {
+        /// Grid rows.
+        pr: usize,
+        /// Grid columns.
+        pc: usize,
+    },
+    /// A `pr × pc` torus (mesh with wraparound links).
+    Torus2D {
+        /// Grid rows.
+        pr: usize,
+        /// Grid columns.
+        pc: usize,
+    },
+}
+
+impl Topology {
+    /// Number of links a message from `src` to `dst` crosses on a
+    /// `p`-processor machine. Self-messages cost zero hops.
+    ///
+    /// # Panics
+    /// Panics if a grid topology's dimensions do not multiply to `p`, or a
+    /// rank is out of range.
+    pub fn hops(&self, src: usize, dst: usize, p: usize) -> usize {
+        assert!(src < p && dst < p, "ranks {src},{dst} out of 0..{p}");
+        if src == dst {
+            return 0;
+        }
+        match *self {
+            Topology::FullyConnected => 1,
+            Topology::Ring => {
+                let d = src.abs_diff(dst);
+                d.min(p - d)
+            }
+            Topology::Mesh2D { pr, pc } => {
+                assert_eq!(pr * pc, p, "mesh {pr}x{pc} != p={p}");
+                let (si, sj) = (src / pc, src % pc);
+                let (di, dj) = (dst / pc, dst % pc);
+                si.abs_diff(di) + sj.abs_diff(dj)
+            }
+            Topology::Torus2D { pr, pc } => {
+                assert_eq!(pr * pc, p, "torus {pr}x{pc} != p={p}");
+                let (si, sj) = (src / pc, src % pc);
+                let (di, dj) = (dst / pc, dst % pc);
+                let dr = si.abs_diff(di);
+                let dc = sj.abs_diff(dj);
+                dr.min(pr - dr) + dc.min(pc - dc)
+            }
+        }
+    }
+
+    /// The largest hop count between any pair (the network diameter).
+    pub fn diameter(&self, p: usize) -> usize {
+        (0..p)
+            .flat_map(|s| (0..p).map(move |d| (s, d)))
+            .map(|(s, d)| self.hops(s, d, p))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fully_connected_is_one_hop() {
+        let t = Topology::FullyConnected;
+        assert_eq!(t.hops(0, 5, 8), 1);
+        assert_eq!(t.hops(3, 3, 8), 0);
+        assert_eq!(t.diameter(8), 1);
+    }
+
+    #[test]
+    fn ring_takes_shorter_way_round() {
+        let t = Topology::Ring;
+        assert_eq!(t.hops(0, 1, 8), 1);
+        assert_eq!(t.hops(0, 7, 8), 1); // wraparound
+        assert_eq!(t.hops(0, 4, 8), 4);
+        assert_eq!(t.hops(1, 6, 8), 3);
+        assert_eq!(t.diameter(8), 4);
+    }
+
+    #[test]
+    fn mesh_is_manhattan() {
+        let t = Topology::Mesh2D { pr: 3, pc: 4 };
+        assert_eq!(t.hops(0, 11, 12), 2 + 3); // (0,0) → (2,3)
+        assert_eq!(t.hops(5, 6, 12), 1); // (1,1) → (1,2)
+        assert_eq!(t.diameter(12), 5);
+    }
+
+    #[test]
+    fn torus_wraps_both_dimensions() {
+        let t = Topology::Torus2D { pr: 4, pc: 4 };
+        assert_eq!(t.hops(0, 15, 16), 2); // (0,0) → (3,3) wraps to 1+1
+        assert_eq!(t.hops(0, 10, 16), 4); // (0,0) → (2,2): 2+2, no shortcut
+        assert_eq!(t.diameter(16), 4);
+        // A torus never exceeds the matching mesh.
+        let mesh = Topology::Mesh2D { pr: 4, pc: 4 };
+        for s in 0..16 {
+            for d in 0..16 {
+                assert!(t.hops(s, d, 16) <= mesh.hops(s, d, 16));
+            }
+        }
+    }
+
+    #[test]
+    fn hops_symmetric() {
+        for t in [
+            Topology::FullyConnected,
+            Topology::Ring,
+            Topology::Mesh2D { pr: 2, pc: 6 },
+            Topology::Torus2D { pr: 3, pc: 4 },
+        ] {
+            for s in 0..12 {
+                for d in 0..12 {
+                    assert_eq!(t.hops(s, d, 12), t.hops(d, s, 12), "{t:?} {s}->{d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mesh 2x2 != p=8")]
+    fn bad_grid_panics() {
+        let _ = Topology::Mesh2D { pr: 2, pc: 2 }.hops(0, 1, 8);
+    }
+}

@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! Sparse array operations over distributed compressed arrays.
+//!
+//! The whole point of the paper's compression phase is that subsequent
+//! sparse array operations run on `RO`/`CO`/`VL` rather than on dense
+//! arrays ("a local sparse array is compressed … in order to obtain better
+//! performance for sparse array operations", §1). This crate supplies
+//! those downstream operations:
+//!
+//! * [`spmv`] — local CRS/CCS sparse matrix–vector products, a dense
+//!   baseline, and a distributed SpMV that runs over a
+//!   [`sparsedist_multicomputer::Multicomputer`] on the local arrays a
+//!   scheme run leaves behind;
+//! * [`elementwise`] — scaling, sparse addition, Frobenius norm;
+//! * [`transpose`] — CRS↔CCS conversions (transposition in disguise);
+//! * [`solve`] — Jacobi and conjugate-gradient solvers whose matrix-vector
+//!   products run distributed;
+//! * [`spgemm`] — Gustavson row-wise sparse matrix-matrix multiplication;
+//! * [`distributed`] — operations on the distributed representation
+//!   itself: scale, add, Frobenius norm (allreduce) and a no-gather
+//!   distributed transpose.
+
+pub mod distributed;
+pub mod elementwise;
+pub mod solve;
+pub mod spgemm;
+pub mod spmv;
+pub mod transpose;

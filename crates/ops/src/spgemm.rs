@@ -1,0 +1,148 @@
+//! Sparse matrix–matrix multiplication (SpGEMM) on CRS arrays.
+//!
+//! Gustavson's row-wise algorithm with a dense accumulator: for each row
+//! `i` of `A`, accumulate `A[i,k] · B[k,·]` into a scattered workspace,
+//! then harvest the touched columns in sorted order. `O(flops + rows·?)`
+//! with no intermediate dense matrix.
+
+use sparsedist_core::compress::Crs;
+
+/// `C = A · B` for CRS operands.
+///
+/// Entries that cancel to exactly 0.0 are dropped (consistent with the
+/// `v != 0.0` storage convention used across the workspace).
+///
+/// # Panics
+/// Panics if `a.cols() != b.rows()`.
+pub fn spgemm(a: &Crs, b: &Crs) -> Crs {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "inner dimensions differ: {}x{} · {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let n = b.cols();
+    let mut acc = vec![0.0f64; n];
+    let mut touched: Vec<usize> = Vec::new();
+
+    let mut ro = Vec::with_capacity(a.rows() + 1);
+    let mut co = Vec::new();
+    let mut vl = Vec::new();
+    ro.push(0);
+    for i in 0..a.rows() {
+        touched.clear();
+        for (&k, &av) in a.row_cols(i).iter().zip(a.row_vals(i)) {
+            for (&j, &bv) in b.row_cols(k).iter().zip(b.row_vals(k)) {
+                if acc[j] == 0.0 && !touched.contains(&j) {
+                    touched.push(j);
+                }
+                acc[j] += av * bv;
+            }
+        }
+        touched.sort_unstable();
+        for &j in &touched {
+            let v = acc[j];
+            acc[j] = 0.0;
+            if v != 0.0 {
+                co.push(j);
+                vl.push(v);
+            }
+        }
+        ro.push(co.len());
+    }
+    Crs::from_raw(a.rows(), n, ro, co, vl).expect("gustavson emits sorted rows")
+}
+
+/// `C = A · Aᵀ` convenience (Gram-like products in graph/FEM pipelines).
+pub fn spgemm_aat(a: &Crs) -> Crs {
+    spgemm(a, &crate::transpose::transpose(a))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsedist_core::dense::{paper_array_a, Dense2D};
+    use sparsedist_core::opcount::OpCounter;
+
+    fn crs(a: &Dense2D) -> Crs {
+        Crs::from_dense(a, &mut OpCounter::new())
+    }
+
+    fn dense_mul(a: &Dense2D, b: &Dense2D) -> Dense2D {
+        let mut c = Dense2D::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = 0.0;
+                for k in 0..a.cols() {
+                    acc += a.get(i, k) * b.get(k, j);
+                }
+                c.set(i, j, acc);
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn small_known_product() {
+        let a = crs(&Dense2D::from_rows(&[&[1., 2.], &[0., 3.]]));
+        let b = crs(&Dense2D::from_rows(&[&[4., 0.], &[5., 6.]]));
+        let c = spgemm(&a, &b);
+        assert_eq!(c.to_dense(), Dense2D::from_rows(&[&[14., 12.], &[15., 18.]]));
+    }
+
+    #[test]
+    fn matches_dense_on_paper_array() {
+        let a = paper_array_a(); // 10×8
+        let at = {
+            let mut t = Dense2D::zeros(8, 10);
+            for (r, c, v) in a.iter_nonzero() {
+                t.set(c, r, v);
+            }
+            t
+        };
+        let c = spgemm(&crs(&a), &crs(&at));
+        assert_eq!(c.to_dense(), dense_mul(&a, &at));
+        assert_eq!(spgemm_aat(&crs(&a)).to_dense(), dense_mul(&a, &at));
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = paper_array_a();
+        let mut eye = Dense2D::zeros(8, 8);
+        for i in 0..8 {
+            eye.set(i, i, 1.0);
+        }
+        let c = spgemm(&crs(&a), &crs(&eye));
+        assert_eq!(c.to_dense(), a);
+    }
+
+    #[test]
+    fn cancellation_is_dropped() {
+        // A row that hits +1 and −1 on the same output column.
+        let a = crs(&Dense2D::from_rows(&[&[1., 1.]]));
+        let b = crs(&Dense2D::from_rows(&[&[1., 2.], &[-1., 0.]]));
+        let c = spgemm(&a, &b);
+        assert_eq!(c.nnz(), 1);
+        assert_eq!(c.get(0, 1), 2.0);
+    }
+
+    #[test]
+    fn zero_operands() {
+        let z = crs(&Dense2D::zeros(3, 4));
+        let b = crs(&Dense2D::zeros(4, 2));
+        let c = spgemm(&z, &b);
+        assert_eq!(c.nnz(), 0);
+        assert_eq!((c.rows(), c.cols()), (3, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions differ")]
+    fn dimension_mismatch_rejected() {
+        let a = crs(&Dense2D::zeros(3, 4));
+        let b = crs(&Dense2D::zeros(3, 4));
+        let _ = spgemm(&a, &b);
+    }
+}

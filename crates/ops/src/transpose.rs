@@ -1,0 +1,136 @@
+//! Format conversion and transposition.
+//!
+//! A CRS array reinterpreted with rows↔columns swapped *is* the CCS form of
+//! the transpose (and vice versa), so the two conversions here double as
+//! transposition kernels. Both run in `O(nnz + dim)` with counting sort —
+//! no intermediate dense array.
+
+use sparsedist_core::compress::{Ccs, Crs};
+
+/// Convert CRS → CCS of the *same* array (column-major re-bucketing).
+pub fn crs_to_ccs(a: &Crs) -> Ccs {
+    let mut counts = vec![0usize; a.cols() + 1];
+    for &c in a.co() {
+        counts[c + 1] += 1;
+    }
+    for i in 1..counts.len() {
+        counts[i] += counts[i - 1];
+    }
+    let cp = counts.clone();
+    let mut ri = vec![0usize; a.nnz()];
+    let mut vl = vec![0.0f64; a.nnz()];
+    let mut cursor = cp.clone();
+    for (r, c, v) in a.iter() {
+        let k = cursor[c];
+        ri[k] = r;
+        vl[k] = v;
+        cursor[c] += 1;
+    }
+    Ccs::from_raw(a.rows(), a.cols(), cp, ri, vl).expect("counting sort preserves invariants")
+}
+
+/// Convert CCS → CRS of the same array.
+pub fn ccs_to_crs(a: &Ccs) -> Crs {
+    let mut counts = vec![0usize; a.rows() + 1];
+    for &r in a.ri() {
+        counts[r + 1] += 1;
+    }
+    for i in 1..counts.len() {
+        counts[i] += counts[i - 1];
+    }
+    let ro = counts.clone();
+    let mut co = vec![0usize; a.nnz()];
+    let mut vl = vec![0.0f64; a.nnz()];
+    let mut cursor = ro.clone();
+    for (r, c, v) in a.iter() {
+        let k = cursor[r];
+        co[k] = c;
+        vl[k] = v;
+        cursor[r] += 1;
+    }
+    Crs::from_raw(a.rows(), a.cols(), ro, co, vl).expect("counting sort preserves invariants")
+}
+
+/// Transpose a CRS array (returns CRS of `Aᵀ`).
+pub fn transpose(a: &Crs) -> Crs {
+    // CRS(A) has the same payload as CCS(Aᵀ) with the roles of the arrays
+    // swapped; re-bucket by column and flip the dimensions.
+    let mut counts = vec![0usize; a.cols() + 1];
+    for &c in a.co() {
+        counts[c + 1] += 1;
+    }
+    for i in 1..counts.len() {
+        counts[i] += counts[i - 1];
+    }
+    let ro = counts.clone();
+    let mut co = vec![0usize; a.nnz()];
+    let mut vl = vec![0.0f64; a.nnz()];
+    let mut cursor = ro.clone();
+    for (r, c, v) in a.iter() {
+        let k = cursor[c];
+        co[k] = r;
+        vl[k] = v;
+        cursor[c] += 1;
+    }
+    Crs::from_raw(a.cols(), a.rows(), ro, co, vl).expect("counting sort preserves invariants")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsedist_core::dense::{paper_array_a, Dense2D};
+    use sparsedist_core::opcount::OpCounter;
+
+    #[test]
+    fn crs_to_ccs_same_array() {
+        let a = paper_array_a();
+        let crs = Crs::from_dense(&a, &mut OpCounter::new());
+        let ccs = crs_to_ccs(&crs);
+        assert_eq!(ccs, Ccs::from_dense(&a, &mut OpCounter::new()));
+    }
+
+    #[test]
+    fn ccs_to_crs_same_array() {
+        let a = paper_array_a();
+        let ccs = Ccs::from_dense(&a, &mut OpCounter::new());
+        let crs = ccs_to_crs(&ccs);
+        assert_eq!(crs, Crs::from_dense(&a, &mut OpCounter::new()));
+    }
+
+    #[test]
+    fn round_trip_is_identity() {
+        let a = paper_array_a();
+        let crs = Crs::from_dense(&a, &mut OpCounter::new());
+        assert_eq!(ccs_to_crs(&crs_to_ccs(&crs)), crs);
+    }
+
+    #[test]
+    fn transpose_matches_dense_transpose() {
+        let a = paper_array_a();
+        let crs = Crs::from_dense(&a, &mut OpCounter::new());
+        let t = transpose(&crs);
+        assert_eq!(t.rows(), 8);
+        assert_eq!(t.cols(), 10);
+        let mut want = Dense2D::zeros(8, 10);
+        for (r, c, v) in a.iter_nonzero() {
+            want.set(c, r, v);
+        }
+        assert_eq!(t.to_dense(), want);
+    }
+
+    #[test]
+    fn double_transpose_is_identity() {
+        let a = paper_array_a();
+        let crs = Crs::from_dense(&a, &mut OpCounter::new());
+        assert_eq!(transpose(&transpose(&crs)), crs);
+    }
+
+    #[test]
+    fn empty_array() {
+        let crs = Crs::from_dense(&Dense2D::zeros(3, 5), &mut OpCounter::new());
+        let t = transpose(&crs);
+        assert_eq!((t.rows(), t.cols()), (5, 3));
+        assert_eq!(t.nnz(), 0);
+        assert_eq!(crs_to_ccs(&crs).nnz(), 0);
+    }
+}

@@ -1,0 +1,54 @@
+//! Quickstart: distribute a sparse array with each of the three schemes
+//! and compare where the time goes.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use sparsedist::gen::SparseRandom;
+use sparsedist::prelude::*;
+
+fn main() {
+    // A 400×400 sparse array with the paper's sparse ratio of 0.1.
+    let n = 400;
+    let a = SparseRandom::new(n, n).sparse_ratio(0.1).seed(7).generate();
+    println!("global array: {n}x{n}, nnz = {}, s = {:.3}", a.nnz(), a.sparse_ratio());
+
+    // Four simulated processors with the paper's IBM SP2-calibrated costs.
+    let p = 4;
+    let machine = Multicomputer::virtual_machine(p, MachineModel::ibm_sp2());
+    let part = RowBlock::new(n, n, p);
+
+    println!("\nrow partition, CRS compression, p = {p}:");
+    println!(
+        "{:<8}{:>18}{:>18}{:>14}",
+        "scheme", "T_Distribution", "T_Compression", "total"
+    );
+    for scheme in SchemeKind::ALL {
+        let run = run_scheme(scheme, &machine, &a, &part, CompressKind::Crs);
+        // Every scheme must leave identical distributed state behind.
+        assert_eq!(run.reassemble(&part), a);
+        println!(
+            "{:<8}{:>18}{:>18}{:>14}",
+            scheme.label(),
+            run.t_distribution().to_string(),
+            run.t_compression().to_string(),
+            run.t_total().to_string()
+        );
+    }
+
+    // The analytic model predicts the same numbers without running anything.
+    let inp = CostInput::uniform(n, p, 0.1);
+    let pred = predict(SchemeKind::Ed, PartitionMethod::Row, CompressKind::Crs, &inp, &MachineModel::ibm_sp2());
+    println!(
+        "\nclosed-form prediction for ED: dist {} comp {}",
+        pred.t_distribution, pred.t_compression
+    );
+
+    // After distribution, compute on the compressed local arrays.
+    let run = run_scheme(SchemeKind::Ed, &machine, &a, &part, CompressKind::Crs);
+    let x = vec![1.0; n];
+    let y = sparsedist::ops::spmv::distributed_spmv(&machine, &run, &part, &x);
+    let row_sums: f64 = y.iter().sum();
+    println!("distributed SpMV: sum(A·1) = {row_sums:.3}");
+}

@@ -1,0 +1,82 @@
+//! Scheme advisor: use the paper's analytic model to pick a distribution
+//! scheme for *your* machine and workload, then verify the pick by
+//! simulation.
+//!
+//! Sweeps the sparse ratio and the network/CPU cost ratio, prints which
+//! scheme the closed forms of Tables 1–2 recommend at every point, and
+//! confirms the recommendation against instrumented runs on a sample of
+//! the grid — the Remark 5 crossover made visible.
+//!
+//! ```text
+//! cargo run --release --example scheme_advisor
+//! ```
+
+use sparsedist::gen::SparseRandom;
+use sparsedist::prelude::*;
+
+fn recommend(inp: &CostInput, m: &MachineModel) -> SchemeKind {
+    SchemeKind::ALL
+        .into_iter()
+        .min_by(|&x, &y| {
+            let cx = predict(x, PartitionMethod::Row, CompressKind::Crs, inp, m).t_total();
+            let cy = predict(y, PartitionMethod::Row, CompressKind::Crs, inp, m).t_total();
+            cx.partial_cmp(&cy).expect("costs are finite")
+        })
+        .expect("three candidate schemes")
+}
+
+fn main() {
+    let n = 400;
+    let p = 4;
+    let ratios = [0.25, 0.5, 1.0, 1.2, 1.625, 2.0, 4.0];
+    let sparsities = [0.01, 0.05, 0.1, 0.2, 0.3, 0.4];
+
+    println!("Best scheme by analytic model (row partition, CRS, n={n}, p={p}):");
+    print!("{:>8}", "s \\ r");
+    for r in ratios {
+        print!("{r:>8}");
+    }
+    println!();
+    for s in sparsities {
+        print!("{s:>8}");
+        for r in ratios {
+            let m = MachineModel::new(40.0, 0.1 * r, 0.1);
+            let inp = CostInput::uniform(n, p, s);
+            print!("{:>8}", recommend(&inp, &m).label());
+        }
+        println!();
+    }
+
+    // Verify the analytic winner against simulation on a grid sample.
+    println!("\nverifying against instrumented simulation:");
+    let mut checked = 0;
+    let mut agreed = 0;
+    for &s in &sparsities {
+        for &r in &[0.25, 1.2, 4.0] {
+            let m = MachineModel::new(40.0, 0.1 * r, 0.1);
+            let a = SparseRandom::new(n, n).sparse_ratio(s).seed(99).generate();
+            let part = RowBlock::new(n, n, p);
+            let machine = Multicomputer::virtual_machine(p, m);
+            let measured_best = SchemeKind::ALL
+                .into_iter()
+                .min_by(|&x, &y| {
+                    let cx = run_scheme(x, &machine, &a, &part, CompressKind::Crs).t_total();
+                    let cy = run_scheme(y, &machine, &a, &part, CompressKind::Crs).t_total();
+                    cx.partial_cmp(&cy).expect("finite")
+                })
+                .expect("three schemes");
+            let predicted_best = recommend(&CostInput::uniform(n, p, s), &m);
+            checked += 1;
+            if measured_best == predicted_best {
+                agreed += 1;
+            } else {
+                println!(
+                    "  s={s} ratio={r}: model says {} but simulation says {}",
+                    predicted_best.label(),
+                    measured_best.label()
+                );
+            }
+        }
+    }
+    println!("  model and simulation agree on {agreed}/{checked} grid points");
+}

@@ -1,0 +1,368 @@
+//! The high-level object model: a sparse array that *lives distributed*.
+//!
+//! [`DistributedSparseArray`] owns a machine, a partition and the
+//! per-processor compressed local arrays, and exposes the whole workspace
+//! as methods: distribute (any scheme), compute, repartition, transpose,
+//! gather, checkpoint. Library users who don't want to orchestrate the
+//! crates by hand start here.
+//!
+//! ```
+//! use sparsedist::array::DistributedSparseArray;
+//! use sparsedist::prelude::*;
+//!
+//! let mut a = Dense2D::zeros(16, 16);
+//! for i in 0..16 { a.set(i, i, 2.0); }
+//!
+//! let machine = Multicomputer::virtual_machine(4, MachineModel::ibm_sp2());
+//! let dist = DistributedSparseArray::distribute(
+//!     &machine, &a, Box::new(RowBlock::new(16, 16, 4)),
+//!     SchemeKind::Ed, CompressKind::Crs,
+//! );
+//! let y = dist.spmv(&vec![1.0; 16]);
+//! assert_eq!(y, vec![2.0; 16]);
+//! assert_eq!(dist.nnz(), 16);
+//! ```
+
+use sparsedist_core::compress::{CompressKind, LocalCompressed};
+use sparsedist_core::dense::Dense2D;
+use sparsedist_core::gather::{gather_global, GatherStrategy};
+use sparsedist_core::partition::Partition;
+use sparsedist_core::redistribute::{redistribute, RedistStrategy};
+use sparsedist_core::schemes::{run_scheme, SchemeKind, SchemeRun};
+use sparsedist_gen::checkpoint;
+use sparsedist_multicomputer::{Multicomputer, PhaseLedger, VirtualTime};
+use sparsedist_ops::distributed::{
+    distributed_add, distributed_frobenius, distributed_scale, distributed_transpose,
+};
+use sparsedist_ops::spmv::distributed_spmv;
+use std::path::Path;
+
+/// A sparse array distributed over a simulated multicomputer.
+///
+/// The machine is borrowed (several arrays can share one machine); the
+/// partition and local arrays are owned.
+pub struct DistributedSparseArray<'m> {
+    machine: &'m Multicomputer,
+    partition: Box<dyn Partition>,
+    kind: CompressKind,
+    locals: Vec<LocalCompressed>,
+    /// Ledgers of the operation that produced this state (distribution,
+    /// repartition, …).
+    last_ledgers: Vec<PhaseLedger>,
+}
+
+impl<'m> DistributedSparseArray<'m> {
+    /// Distribute a global dense array with the chosen scheme.
+    ///
+    /// # Panics
+    /// Panics on machine/partition/shape mismatches (see
+    /// [`sparsedist_core::schemes::run_scheme`]).
+    pub fn distribute(
+        machine: &'m Multicomputer,
+        global: &Dense2D,
+        partition: Box<dyn Partition>,
+        scheme: SchemeKind,
+        kind: CompressKind,
+    ) -> Self {
+        let run = run_scheme(scheme, machine, global, partition.as_ref(), kind);
+        DistributedSparseArray {
+            machine,
+            partition,
+            kind,
+            locals: run.locals,
+            last_ledgers: run.ledgers,
+        }
+    }
+
+    /// Adopt already-distributed local arrays (e.g. from a checkpoint).
+    ///
+    /// # Panics
+    /// Panics if the shapes of `locals` disagree with the partition.
+    pub fn from_locals(
+        machine: &'m Multicomputer,
+        partition: Box<dyn Partition>,
+        kind: CompressKind,
+        locals: Vec<LocalCompressed>,
+    ) -> Self {
+        assert_eq!(machine.nprocs(), partition.nparts(), "machine/partition size mismatch");
+        assert_eq!(locals.len(), partition.nparts(), "one local array per part");
+        for (pid, l) in locals.iter().enumerate() {
+            assert_eq!(l.kind(), kind, "local {pid} kind mismatch");
+            assert_eq!(l.shape(), partition.local_shape(pid), "local {pid} shape mismatch");
+        }
+        let p = locals.len();
+        DistributedSparseArray {
+            machine,
+            partition,
+            kind,
+            locals,
+            last_ledgers: vec![PhaseLedger::new(); p],
+        }
+    }
+
+    /// The partition currently in force.
+    pub fn partition(&self) -> &dyn Partition {
+        self.partition.as_ref()
+    }
+
+    /// The compression format of the local arrays.
+    pub fn kind(&self) -> CompressKind {
+        self.kind
+    }
+
+    /// Borrow the per-processor local arrays.
+    pub fn locals(&self) -> &[LocalCompressed] {
+        &self.locals
+    }
+
+    /// Ledgers of the last state-changing operation.
+    pub fn last_ledgers(&self) -> &[PhaseLedger] {
+        &self.last_ledgers
+    }
+
+    /// Global shape `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        self.partition.global_shape()
+    }
+
+    /// Total nonzeros across all processors.
+    pub fn nnz(&self) -> usize {
+        self.locals.iter().map(|l| l.nnz()).sum()
+    }
+
+    /// Global sparse ratio.
+    pub fn sparse_ratio(&self) -> f64 {
+        let (r, c) = self.shape();
+        self.nnz() as f64 / (r * c) as f64
+    }
+
+    /// The slowest processor's busy time in the last operation.
+    pub fn last_busy_max(&self) -> VirtualTime {
+        self.last_ledgers
+            .iter()
+            .map(|l| l.busy_total())
+            .fold(VirtualTime::ZERO, VirtualTime::max)
+    }
+
+    fn as_run(&self) -> SchemeRun {
+        SchemeRun {
+            scheme: SchemeKind::Ed, // irrelevant for computation
+            compress_kind: self.kind,
+            source: 0,
+            ledgers: self.last_ledgers.clone(),
+            locals: self.locals.clone(),
+        }
+    }
+
+    /// Distributed `y = A·x`.
+    ///
+    /// # Panics
+    /// Panics if `x.len()` differs from the global column count.
+    pub fn spmv(&self, x: &[f64]) -> Vec<f64> {
+        distributed_spmv(self.machine, &self.as_run(), self.partition.as_ref(), x)
+    }
+
+    /// Scale in place: `A ← α·A`.
+    pub fn scale(&mut self, alpha: f64) {
+        self.locals = distributed_scale(self.machine, &self.locals, alpha);
+    }
+
+    /// Elementwise add another array distributed under the same partition
+    /// (CRS only).
+    ///
+    /// # Panics
+    /// Panics if shapes/kinds/partitions disagree.
+    pub fn add_assign(&mut self, other: &DistributedSparseArray<'_>) {
+        assert_eq!(self.shape(), other.shape(), "global shapes differ");
+        assert_eq!(self.kind, CompressKind::Crs, "add_assign needs CRS locals");
+        assert_eq!(other.kind, CompressKind::Crs, "add_assign needs CRS locals");
+        for pid in 0..self.locals.len() {
+            assert_eq!(
+                self.partition.local_shape(pid),
+                other.partition.local_shape(pid),
+                "partitions disagree at part {pid}"
+            );
+        }
+        self.locals = distributed_add(self.machine, &self.locals, &other.locals);
+    }
+
+    /// Frobenius norm of the whole distributed array (allreduce).
+    pub fn frobenius_norm(&self) -> f64 {
+        distributed_frobenius(self.machine, &self.locals)
+    }
+
+    /// Re-own the array under a new partition (no gather).
+    ///
+    /// # Panics
+    /// Panics if the new partition describes a different global shape.
+    pub fn repartition(&mut self, to: Box<dyn Partition>, strategy: RedistStrategy) {
+        let run = redistribute(
+            self.machine,
+            &self.locals,
+            self.partition.as_ref(),
+            to.as_ref(),
+            self.kind,
+            strategy,
+        );
+        self.locals = run.locals;
+        self.last_ledgers = run.ledgers;
+        self.partition = to;
+    }
+
+    /// Distributed transpose into a new array owned under `to` (which must
+    /// describe the transposed global shape).
+    pub fn transpose(&self, to: Box<dyn Partition>) -> DistributedSparseArray<'m> {
+        let (locals, ledgers) = distributed_transpose(
+            self.machine,
+            &self.locals,
+            self.partition.as_ref(),
+            to.as_ref(),
+            self.kind,
+        );
+        DistributedSparseArray {
+            machine: self.machine,
+            partition: to,
+            kind: self.kind,
+            locals,
+            last_ledgers: ledgers,
+        }
+    }
+
+    /// Gather the whole array back to the source as a dense array.
+    pub fn gather_dense(&self, strategy: GatherStrategy) -> Dense2D {
+        let run = gather_global(
+            self.machine,
+            &self.locals,
+            self.partition.as_ref(),
+            self.kind,
+            strategy,
+        );
+        // The gathered compressed global expands directly.
+        run.global.to_dense()
+    }
+
+    /// Checkpoint the distributed state to a directory.
+    ///
+    /// The partition itself is not serialised — the resuming program
+    /// reconstructs it (it is a pure function of a few integers) and calls
+    /// [`DistributedSparseArray::from_locals`].
+    pub fn checkpoint(&self, dir: impl AsRef<Path>) -> Result<(), checkpoint::CkptError> {
+        checkpoint::save(dir, &self.locals)
+    }
+
+    /// Resume from a checkpoint written by
+    /// [`DistributedSparseArray::checkpoint`].
+    pub fn resume(
+        machine: &'m Multicomputer,
+        partition: Box<dyn Partition>,
+        kind: CompressKind,
+        dir: impl AsRef<Path>,
+    ) -> Result<Self, checkpoint::CkptError> {
+        let locals = checkpoint::load(dir)?;
+        Ok(Self::from_locals(machine, partition, kind, locals))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsedist_core::dense::paper_array_a;
+    use sparsedist_core::partition::{ColBlock, Mesh2D, RowBlock};
+    use sparsedist_multicomputer::MachineModel;
+
+    fn machine() -> Multicomputer {
+        Multicomputer::virtual_machine(4, MachineModel::ibm_sp2())
+    }
+
+    fn dist<'m>(m: &'m Multicomputer) -> DistributedSparseArray<'m> {
+        DistributedSparseArray::distribute(
+            m,
+            &paper_array_a(),
+            Box::new(RowBlock::new(10, 8, 4)),
+            SchemeKind::Ed,
+            CompressKind::Crs,
+        )
+    }
+
+    #[test]
+    fn lifecycle_through_the_facade() {
+        let m = machine();
+        let mut a = dist(&m);
+        assert_eq!(a.shape(), (10, 8));
+        assert_eq!(a.nnz(), 16);
+        assert!((a.sparse_ratio() - 0.2).abs() < 1e-12);
+
+        // Compute.
+        let y = a.spmv(&[1.0; 8]);
+        assert_eq!(y[2], 7.0); // row 2 holds 3 + 4
+
+        // Scale and norm.
+        a.scale(2.0);
+        let want: f64 = (1..=16).map(|v| (2.0 * v as f64).powi(2)).sum::<f64>().sqrt();
+        assert!((a.frobenius_norm() - want).abs() < 1e-9);
+
+        // Repartition to a mesh; content unchanged.
+        a.repartition(Box::new(Mesh2D::new(10, 8, 2, 2)), RedistStrategy::Direct);
+        assert_eq!(a.nnz(), 16);
+        let d = a.gather_dense(GatherStrategy::Encoded);
+        assert_eq!(d.get(2, 0), 6.0); // 2 × 3
+    }
+
+    #[test]
+    fn add_assign_doubles() {
+        let m = machine();
+        let mut a = dist(&m);
+        let b = dist(&m);
+        a.add_assign(&b);
+        let d = a.gather_dense(GatherStrategy::Compressed);
+        for (r, c, v) in paper_array_a().iter_nonzero() {
+            assert_eq!(d.get(r, c), 2.0 * v);
+        }
+    }
+
+    #[test]
+    fn transpose_via_facade() {
+        let m = machine();
+        let a = dist(&m);
+        let t = a.transpose(Box::new(ColBlock::new(8, 10, 4)));
+        assert_eq!(t.shape(), (8, 10));
+        let d = t.gather_dense(GatherStrategy::Dense);
+        for (r, c, v) in paper_array_a().iter_nonzero() {
+            assert_eq!(d.get(c, r), v);
+        }
+    }
+
+    #[test]
+    fn checkpoint_resume_round_trip() {
+        let dir = std::env::temp_dir().join("sparsedist_facade_ckpt");
+        let _ = std::fs::remove_dir_all(&dir);
+        let m = machine();
+        let a = dist(&m);
+        a.checkpoint(&dir).unwrap();
+
+        let b = DistributedSparseArray::resume(
+            &m,
+            Box::new(RowBlock::new(10, 8, 4)),
+            CompressKind::Crs,
+            &dir,
+        )
+        .unwrap();
+        assert_eq!(b.locals(), a.locals());
+        assert_eq!(b.gather_dense(GatherStrategy::Encoded), paper_array_a());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn from_locals_validates_shapes() {
+        let m = machine();
+        let a = dist(&m);
+        // Wrong partition: column split instead of rows.
+        let _ = DistributedSparseArray::from_locals(
+            &m,
+            Box::new(ColBlock::new(10, 8, 4)),
+            CompressKind::Crs,
+            a.locals().to_vec(),
+        );
+    }
+}
