@@ -32,8 +32,8 @@ fn bench_overlap(c: &mut Criterion) {
     let part = RowBlock::new(n, n, p);
     let machine = Multicomputer::virtual_machine(p, MachineModel::ibm_sp2());
 
-    let plain = run_scheme(SchemeKind::Ed, &machine, &a, &part, CompressKind::Crs);
-    let over = run_overlapped(&machine, &a, &part, CompressKind::Crs);
+    let plain = run_scheme(SchemeKind::Ed, &machine, &a, &part, CompressKind::Crs).unwrap();
+    let over = run_overlapped(&machine, &a, &part, CompressKind::Crs).unwrap();
     eprintln!("\nED send discipline (n={n}, p={p}, s=0.1):");
     eprintln!(
         "  encode-all-then-send: makespan {}  mean completion {:.3}ms",
@@ -47,8 +47,8 @@ fn bench_overlap(c: &mut Criterion) {
     );
 
     let x = vec![1.0; n];
-    let (_, lg) = distributed_spmv_ledgers(&machine, &plain, &part, &x);
-    let (_, lr) = distributed_spmv_rowwise_ledgers(&machine, &plain, &part, &x);
+    let (_, lg) = distributed_spmv_ledgers(&machine, &plain, &part, &x).unwrap();
+    let (_, lr) = distributed_spmv_rowwise_ledgers(&machine, &plain, &part, &x).unwrap();
     let send_max = |ls: &[sparsedist_multicomputer::PhaseLedger]| -> f64 {
         ls.iter().map(|l| l.get(Phase::Send).as_micros()).fold(0.0, f64::max)
     };

@@ -18,8 +18,10 @@ fn measure(n: usize, p: usize, strategy: RedistStrategy) -> f64 {
     let from = RowBlock::new(n, n, p);
     let to = Mesh2D::new(n, n, 4, p / 4);
     let machine = Multicomputer::virtual_machine(p, MachineModel::ibm_sp2());
-    let owned = run_scheme(SchemeKind::Ed, &machine, &a, &from, CompressKind::Crs).locals;
+    let owned =
+        run_scheme(SchemeKind::Ed, &machine, &a, &from, CompressKind::Crs).unwrap().locals;
     redistribute(&machine, &owned, &from, &to, CompressKind::Crs, strategy)
+        .unwrap()
         .t_total()
         .as_millis()
 }

@@ -31,6 +31,7 @@ fn run(n: usize, p: usize, topo: Topology, scheme: SchemeKind) -> f64 {
     let a = workload(n);
     let part = RowBlock::new(n, n, p);
     run_scheme(scheme, &machine, &a, &part, CompressKind::Crs)
+        .unwrap()
         .t_total()
         .as_millis()
 }

@@ -18,17 +18,18 @@ fn bench_gather_and_multisource(c: &mut Criterion) {
     let a = workload(n);
     let part = RowBlock::new(n, n, p);
     let machine = Multicomputer::virtual_machine(p, MachineModel::ibm_sp2());
-    let dist = run_scheme(SchemeKind::Ed, &machine, &a, &part, CompressKind::Crs);
+    let dist = run_scheme(SchemeKind::Ed, &machine, &a, &part, CompressKind::Crs).unwrap();
 
     eprintln!("\nGather strategies (n={n}, p={p}, s=0.1): source busy time");
     for strategy in [GatherStrategy::Dense, GatherStrategy::Compressed, GatherStrategy::Encoded] {
-        let run = gather_global(&machine, &dist.locals, &part, CompressKind::Crs, strategy);
+        let run =
+            gather_global(&machine, &dist.locals, &part, CompressKind::Crs, strategy).unwrap();
         eprintln!("  {strategy:?}: {}", run.t_gather());
     }
 
     eprintln!("\nMulti-source ED distribution time vs source count (n={n}, p={p}):");
     for k in [1usize, 2, 4, 8] {
-        let run = run_ed_multi_source(&machine, &a, &part, k);
+        let run = run_ed_multi_source(&machine, &a, &part, k).unwrap();
         eprintln!("  k={k}: {}", run.t_distribution());
     }
     eprintln!();

@@ -36,7 +36,7 @@ fn bench_kernels(c: &mut Criterion) {
                 black_box(encode_part(a, &part, 0, CompressKind::Crs, &mut OpCounter::new()))
             })
         });
-        let buf = encode_part(&a, &part, 0, CompressKind::Crs, &mut OpCounter::new());
+        let buf = encode_part(&a, &part, 0, CompressKind::Crs, &mut OpCounter::new()).unwrap();
         g.bench_with_input(BenchmarkId::new("ed_decode_part", n), &buf, |b, buf| {
             b.iter(|| {
                 black_box(

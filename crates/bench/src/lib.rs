@@ -180,7 +180,7 @@ pub fn run_cell(
     let a = workload(n);
     let part = table.partition(n, pc);
     let machine = Multicomputer::virtual_machine(pc.nprocs(), model);
-    run_scheme(scheme, &machine, &a, part.as_ref(), kind)
+    run_scheme(scheme, &machine, &a, part.as_ref(), kind).expect("fault-free run")
 }
 
 /// A fully measured table: `grid[proc][scheme][size]`.
@@ -318,7 +318,8 @@ pub fn analytic_comparison(
     SchemeKind::ALL
         .iter()
         .map(|&scheme| {
-            let run = run_scheme(scheme, &machine, &a, part.as_ref(), kind);
+            let run = run_scheme(scheme, &machine, &a, part.as_ref(), kind)
+                .expect("fault-free run");
             AnalyticCell {
                 scheme,
                 predicted: predict(scheme, table.method(pc), kind, &inp, &model),

@@ -7,8 +7,8 @@ use sparsedist_core::dense::Dense2D;
 use sparsedist_core::partition::{ColBlock, ColCyclic, Mesh2D, Partition, RowBlock, RowCyclic};
 use sparsedist_core::schemes::{run_scheme, SchemeKind};
 use sparsedist_gen::{matrixmarket, patterns, SparseRandom};
-use sparsedist_multicomputer::timing::render_timeline;
-use sparsedist_multicomputer::{MachineModel, Multicomputer, Phase};
+use sparsedist_multicomputer::timing::{render_fault_summary, render_timeline};
+use sparsedist_multicomputer::{FaultPlan, MachineModel, Multicomputer, Phase, RetryPolicy};
 use sparsedist::array::DistributedSparseArray;
 use sparsedist_core::gather::GatherStrategy;
 use sparsedist_core::redistribute::RedistStrategy;
@@ -25,7 +25,11 @@ USAGE:
   sparsedist info FILE.mtx
   sparsedist distribute FILE.mtx [--scheme sfc|cfs|ed] [--partition row|column|mesh|rowcyclic|colcyclic]
                          [--procs P] [--grid RxC] [--kind crs|ccs] [--model sp2|compute|network]
-                         [--timeline yes]
+                         [--timeline yes] [--faults SPEC] [--retries N]
+
+  --faults takes comma-separated key=value tokens, e.g.
+  'seed=7,drop=0.2' or 'dead=2' or 'corrupt@0-1=0.5,phase=send';
+  --retries bounds retransmissions per message (default 6).
   sparsedist advise FILE.mtx [--procs P] [--model sp2|compute|network]
   sparsedist spmv FILE.mtx [--procs P] [--scheme ed]
   sparsedist checkpoint FILE.mtx DIR [--procs P] [--scheme ed] [--partition …]
@@ -92,6 +96,22 @@ fn build_partition(
             "unknown partition '{other}' (row|column|mesh|rowcyclic|colcyclic)"
         )),
     }
+}
+
+
+/// Build the simulated machine, honouring the shared `--faults SPEC` and
+/// `--retries N` flags.
+fn build_machine(p: &Parsed, procs: usize, model: MachineModel) -> Result<Multicomputer, CmdError> {
+    let mut machine = Multicomputer::virtual_machine(procs, model);
+    if let Some(spec) = p.flags.get("faults") {
+        let plan = FaultPlan::parse(spec).map_err(|e| e.to_string())?;
+        machine = machine.with_faults(plan);
+    }
+    if p.flags.contains_key("retries") {
+        let retries = p.usize_or("retries", 6).map_err(|e| e.to_string())?;
+        machine = machine.with_retry_policy(RetryPolicy::with_retries(retries as u32));
+    }
+    Ok(machine)
 }
 
 fn load(path: &str) -> Result<Dense2D, CmdError> {
@@ -176,8 +196,9 @@ pub fn distribute(p: &Parsed) -> Result<String, CmdError> {
     let kind = parse_kind(p.flag_or("kind", "crs"))?;
     let model = parse_model(p.flag_or("model", "sp2"))?;
     let part = build_partition(p, a.rows(), a.cols(), procs)?;
-    let machine = Multicomputer::virtual_machine(procs, model);
-    let run = run_scheme(scheme, &machine, &a, part.as_ref(), kind);
+    let machine = build_machine(p, procs, model)?;
+    let run = run_scheme(scheme, &machine, &a, part.as_ref(), kind)
+        .map_err(|e| e.to_string())?;
 
     let mut out = String::new();
     let _ = writeln!(
@@ -194,14 +215,30 @@ pub fn distribute(p: &Parsed) -> Result<String, CmdError> {
     let src = &run.ledgers[run.source];
     let _ = writeln!(out, "  source phases:  {src}");
     if p.flag_or("timeline", "no") == "yes" {
-        let _ = writeln!(out, "  per-rank timeline (c=compress e=encode p=pack s=send u=unpack d=decode .=wait):");
+        let _ = writeln!(out, "  per-rank timeline (c=compress e=encode p=pack s=send u=unpack d=decode !=retry .=wait):");
         for line in render_timeline(&run.ledgers, 60).lines() {
             let _ = writeln!(out, "    {line}");
+        }
+        let faults = render_fault_summary(&run.ledgers);
+        if !faults.is_empty() {
+            let _ = writeln!(out, "  fault recovery:");
+            for line in faults.lines() {
+                let _ = writeln!(out, "    {line}");
+            }
         }
     }
     for (pid, local) in run.locals.iter().enumerate() {
         let (lr, lc) = local.shape();
-        let _ = writeln!(out, "  P{pid}: {lr}x{lc} local, {} nonzeros", local.nnz());
+        let owner = run.owners[pid];
+        if owner == pid {
+            let _ = writeln!(out, "  P{pid}: {lr}x{lc} local, {} nonzeros", local.nnz());
+        } else {
+            let _ = writeln!(
+                out,
+                "  P{pid}: {lr}x{lc} local, {} nonzeros (re-homed to P{owner})",
+                local.nnz()
+            );
+        }
     }
     if run.reassemble(part.as_ref()) == a {
         let _ = writeln!(out, "  verified: distributed state reassembles the input exactly");
@@ -261,10 +298,11 @@ pub fn spmv(p: &Parsed) -> Result<String, CmdError> {
     let procs = p.usize_or("procs", 4).map_err(|e| e.to_string())?;
     let scheme = parse_scheme(p.flag_or("scheme", "ed"))?;
     let part = build_partition(p, a.rows(), a.cols(), procs)?;
-    let machine = Multicomputer::virtual_machine(procs, MachineModel::ibm_sp2());
-    let run = run_scheme(scheme, &machine, &a, part.as_ref(), CompressKind::Crs);
+    let machine = build_machine(p, procs, MachineModel::ibm_sp2())?;
+    let run = run_scheme(scheme, &machine, &a, part.as_ref(), CompressKind::Crs)
+        .map_err(|e| e.to_string())?;
     let x = vec![1.0; a.cols()];
-    let y = distributed_spmv(&machine, &run, part.as_ref(), &x);
+    let y = distributed_spmv(&machine, &run, part.as_ref(), &x).map_err(|e| e.to_string())?;
     let checksum: f64 = y.iter().sum();
     let compute_max = run
         .ledgers
@@ -289,8 +327,9 @@ pub fn checkpoint_cmd(p: &Parsed) -> Result<String, CmdError> {
     let procs = p.usize_or("procs", 4).map_err(|e| e.to_string())?;
     let scheme = parse_scheme(p.flag_or("scheme", "ed"))?;
     let part = build_partition(p, a.rows(), a.cols(), procs)?;
-    let machine = Multicomputer::virtual_machine(procs, MachineModel::ibm_sp2());
-    let dist = DistributedSparseArray::distribute(&machine, &a, part, scheme, CompressKind::Crs);
+    let machine = build_machine(p, procs, MachineModel::ibm_sp2())?;
+    let dist = DistributedSparseArray::distribute(&machine, &a, part, scheme, CompressKind::Crs)
+        .map_err(|e| e.to_string())?;
     dist.checkpoint(dir).map_err(|e| e.to_string())?;
     Ok(format!(
         "checkpointed {}x{} ({} nonzeros) over {procs} processors into {dir}\n",
@@ -315,7 +354,7 @@ pub fn restore_cmd(p: &Parsed) -> Result<String, CmdError> {
     let machine = Multicomputer::virtual_machine(procs, MachineModel::ibm_sp2());
     let dist = DistributedSparseArray::resume(&machine, part, CompressKind::Crs, dir)
         .map_err(|e| e.to_string())?;
-    let dense = dist.gather_dense(GatherStrategy::Encoded);
+    let dense = dist.gather_dense(GatherStrategy::Encoded).map_err(|e| e.to_string())?;
     matrixmarket::write_file(out, &Coo::from_dense(&dense)).map_err(|e| e.to_string())?;
     Ok(format!(
         "restored {rows}x{cols} ({} nonzeros) from {dir} and wrote {out}\n",
@@ -333,7 +372,7 @@ pub fn pipeline_cmd(p: &Parsed) -> Result<String, CmdError> {
     if grid.0 * grid.1 != procs {
         return Err(format!("grid {}x{} does not match --procs {procs}", grid.0, grid.1));
     }
-    let machine = Multicomputer::virtual_machine(procs, MachineModel::ibm_sp2());
+    let machine = build_machine(p, procs, MachineModel::ibm_sp2())?;
     let mut out = String::new();
 
     let mut dist = DistributedSparseArray::distribute(
@@ -342,16 +381,18 @@ pub fn pipeline_cmd(p: &Parsed) -> Result<String, CmdError> {
         Box::new(RowBlock::new(a.rows(), a.cols(), procs)),
         SchemeKind::Ed,
         CompressKind::Crs,
-    );
+    )
+    .map_err(|e| e.to_string())?;
     let _ = writeln!(out, "1. ED distribution (row):   busy max {}", dist.last_busy_max());
-    let y = dist.spmv(&vec![1.0; a.cols()]);
+    let y = dist.spmv(&vec![1.0; a.cols()]).map_err(|e| e.to_string())?;
     let _ = writeln!(out, "2. SpMV checksum:           {:.6}", y.iter().sum::<f64>());
     dist.repartition(
         Box::new(Mesh2D::new(a.rows(), a.cols(), grid.0, grid.1)),
         RedistStrategy::Direct,
-    );
+    )
+    .map_err(|e| e.to_string())?;
     let _ = writeln!(out, "3. repartition to mesh:     busy max {}", dist.last_busy_max());
-    let back = dist.gather_dense(GatherStrategy::Encoded);
+    let back = dist.gather_dense(GatherStrategy::Encoded).map_err(|e| e.to_string())?;
     if back != a {
         return Err("internal error: gathered array differs from input".into());
     }
@@ -455,6 +496,43 @@ mod tests {
         crate::run(&argv(&format!("gen {mtx} --rows 32 --ratio 0.15"))).unwrap();
         let p = crate::run(&argv(&format!("pipeline {mtx} --procs 4 --grid 2x2"))).unwrap();
         assert!(p.contains("round-trips exactly"), "{p}");
+    }
+
+    #[test]
+    fn distribute_recovers_from_injected_drops() {
+        let path = tmp("gen_faults.mtx");
+        crate::run(&argv(&format!("gen {path} --rows 32 --ratio 0.2 --seed 9"))).unwrap();
+        let d = crate::run(&argv(&format!(
+            "distribute {path} --procs 4 --faults seed=7,drop=0.2 --retries 6 --timeline yes"
+        )))
+        .unwrap();
+        // Retries recovered every frame: the state still verifies, and the
+        // timeline's fault section reports the recovery cost.
+        assert!(d.contains("verified"), "{d}");
+        assert!(d.contains("fault recovery"), "{d}");
+    }
+
+    #[test]
+    fn distribute_survives_a_dead_rank() {
+        let path = tmp("gen_dead.mtx");
+        crate::run(&argv(&format!("gen {path} --rows 32 --ratio 0.2 --seed 9"))).unwrap();
+        let d = crate::run(&argv(&format!(
+            "distribute {path} --procs 4 --faults dead=2"
+        )))
+        .unwrap();
+        assert!(d.contains("re-homed"), "{d}");
+        assert!(d.contains("verified"), "{d}");
+    }
+
+    #[test]
+    fn bad_fault_spec_is_reported() {
+        let path = tmp("gen_badspec.mtx");
+        crate::run(&argv(&format!("gen {path} --rows 16"))).unwrap();
+        let err = crate::run(&argv(&format!(
+            "distribute {path} --procs 4 --faults drop=1.5"
+        )))
+        .unwrap_err();
+        assert!(err.contains("probability"), "{err}");
     }
 
     #[test]

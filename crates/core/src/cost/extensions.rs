@@ -111,12 +111,12 @@ mod tests {
         let a = uniform(n, n * n / 10);
         let part = RowBlock::new(n, n, p);
         let machine = Multicomputer::virtual_machine(p, MachineModel::ibm_sp2());
-        let run = run_scheme(SchemeKind::Ed, &machine, &a, &part, CompressKind::Crs);
+        let run = run_scheme(SchemeKind::Ed, &machine, &a, &part, CompressKind::Crs).unwrap();
         let inp = CostInput::uniform(n, p, a.sparse_ratio());
         for strategy in
             [GatherStrategy::Dense, GatherStrategy::Compressed, GatherStrategy::Encoded]
         {
-            let g = gather_global(&machine, &run.locals, &part, CompressKind::Crs, strategy);
+            let g = gather_global(&machine, &run.locals, &part, CompressKind::Crs, strategy).unwrap();
             let meas = g.t_gather().as_micros();
             let pred =
                 predict_gather_row_crs(strategy, &inp, &MachineModel::ibm_sp2()).as_micros();
@@ -146,7 +146,8 @@ mod tests {
         let from = RowBlock::new(n, n, p);
         let to = Mesh2D::new(n, n, 2, 2);
         let machine = Multicomputer::virtual_machine(p, MachineModel::ibm_sp2());
-        let owned = run_scheme(SchemeKind::Ed, &machine, &a, &from, CompressKind::Crs).locals;
+        let owned =
+            run_scheme(SchemeKind::Ed, &machine, &a, &from, CompressKind::Crs).unwrap().locals;
         let run = redistribute(
             &machine,
             &owned,
@@ -154,7 +155,8 @@ mod tests {
             &to,
             CompressKind::Crs,
             RedistStrategy::Direct,
-        );
+        )
+        .unwrap();
         let inp = CostInput::uniform(n, p, a.sparse_ratio());
         // Target mesh part: 40 rows → 40 CRS segments.
         let pred = predict_redistribute_direct(&inp, 40, &MachineModel::ibm_sp2()).as_micros();

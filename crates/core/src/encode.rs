@@ -16,20 +16,25 @@ use crate::compress::{Ccs, CompressError, CompressKind, Crs, LocalCompressed};
 use crate::convert::IndexConverter;
 use crate::opcount::OpCounter;
 use crate::partition::Partition;
-use sparsedist_multicomputer::pack::PackBuffer;
+use sparsedist_multicomputer::pack::{PackBuffer, PatchError};
 
 /// Encode part `pid` of the global array into a special buffer.
 ///
 /// Op accounting: one op per cell scanned, three per nonzero (push `C`,
 /// push `V`, bump the running `R_i`) — summed over all parts this is the
 /// paper's encoding cost `n²(1 + 3s)·T_Operation`.
+///
+/// # Errors
+/// Returns [`PatchError`] if the count back-patch lands outside the buffer
+/// (only reachable through a defective `PackBuffer`, but no longer a
+/// panic on the encode hot path).
 pub fn encode_part(
     global: &crate::dense::Dense2D,
     part: &dyn Partition,
     pid: usize,
     kind: CompressKind,
     ops: &mut OpCounter,
-) -> PackBuffer {
+) -> Result<PackBuffer, PatchError> {
     let (lrows, lcols) = part.local_shape(pid);
     let (outer, inner) = match kind {
         CompressKind::Crs => (lrows, lcols),
@@ -58,9 +63,9 @@ pub fn encode_part(
                 ops.add(3);
             }
         }
-        buf.patch_u64(slot, count);
+        buf.patch_u64(slot, count)?;
     }
-    buf
+    Ok(buf)
 }
 
 /// Decode a received special buffer into a compressed local array.
@@ -155,7 +160,7 @@ mod tests {
         // (global row, value): col3 → (4, 6), col4 → (5, 7), col5 → (3, 5).
         let a = paper_array_a();
         let part = RowBlock::new(10, 8, 4);
-        let buf = encode_part(&a, &part, 1, CompressKind::Ccs, &mut OpCounter::new());
+        let buf = encode_part(&a, &part, 1, CompressKind::Ccs, &mut OpCounter::new()).unwrap();
         let stream = raw_stream(&buf, 8);
         let counts: Vec<u64> = stream.iter().map(|(c, _)| *c).collect();
         assert_eq!(counts, vec![0, 0, 0, 1, 1, 1, 0, 0]);
@@ -173,7 +178,7 @@ mod tests {
         // (1-based local rows), VL = [6,7,5].
         let a = paper_array_a();
         let part = RowBlock::new(10, 8, 4);
-        let buf = encode_part(&a, &part, 1, CompressKind::Ccs, &mut OpCounter::new());
+        let buf = encode_part(&a, &part, 1, CompressKind::Ccs, &mut OpCounter::new()).unwrap();
         let got = decode_part(&buf, &part, 1, CompressKind::Ccs, &mut OpCounter::new()).unwrap();
         let ccs = got.as_ccs();
         assert_eq!(ccs.cp_paper(), vec![1, 1, 1, 1, 2, 3, 4, 4, 4]);
@@ -194,7 +199,7 @@ mod tests {
         for part in &parts {
             for kind in [CompressKind::Crs, CompressKind::Ccs] {
                 for pid in 0..part.nparts() {
-                    let buf = encode_part(&a, part.as_ref(), pid, kind, &mut OpCounter::new());
+                    let buf = encode_part(&a, part.as_ref(), pid, kind, &mut OpCounter::new()).unwrap();
                     let got =
                         decode_part(&buf, part.as_ref(), pid, kind, &mut OpCounter::new()).unwrap();
                     assert_eq!(
@@ -216,7 +221,7 @@ mod tests {
         let part = RowBlock::new(10, 8, 4);
         let mut ops = OpCounter::new();
         for pid in 0..4 {
-            let _ = encode_part(&a, &part, pid, CompressKind::Crs, &mut ops);
+            let _ = encode_part(&a, &part, pid, CompressKind::Crs, &mut ops).unwrap();
         }
         assert_eq!(ops.get(), 80 + 3 * 16);
     }
@@ -227,7 +232,7 @@ mod tests {
         // pid costs 1 + rows + 2·nnz ops.
         let a = paper_array_a();
         let part = RowBlock::new(10, 8, 4);
-        let buf = encode_part(&a, &part, 2, CompressKind::Crs, &mut OpCounter::new());
+        let buf = encode_part(&a, &part, 2, CompressKind::Crs, &mut OpCounter::new()).unwrap();
         let mut ops = OpCounter::new();
         let _ = decode_part(&buf, &part, 2, CompressKind::Crs, &mut ops).unwrap();
         // P2: 3 rows, 6 nonzeros → 1 + 3 + 12 = 16.
@@ -239,7 +244,7 @@ mod tests {
         // Row partition + CCS (Case 3.3.2): 1 + cols + 3·nnz.
         let a = paper_array_a();
         let part = RowBlock::new(10, 8, 4);
-        let buf = encode_part(&a, &part, 1, CompressKind::Ccs, &mut OpCounter::new());
+        let buf = encode_part(&a, &part, 1, CompressKind::Ccs, &mut OpCounter::new()).unwrap();
         let mut ops = OpCounter::new();
         let _ = decode_part(&buf, &part, 1, CompressKind::Ccs, &mut ops).unwrap();
         // P1: 8 columns, 3 nonzeros → 1 + 8 + 9 = 18.
@@ -251,7 +256,7 @@ mod tests {
         let a = paper_array_a();
         let part = ColBlock::new(10, 8, 4);
         for pid in 0..4 {
-            let buf = encode_part(&a, &part, pid, CompressKind::Crs, &mut OpCounter::new());
+            let buf = encode_part(&a, &part, pid, CompressKind::Crs, &mut OpCounter::new()).unwrap();
             let nnz = part.nnz_profile(&a).per_part[pid] as u64;
             // CRS over a column part: 10 rows per part.
             assert_eq!(buf.elem_count(), 10 + 2 * nnz);
@@ -262,7 +267,7 @@ mod tests {
     fn truncated_buffer_is_detected() {
         let a = paper_array_a();
         let part = RowBlock::new(10, 8, 4);
-        let buf = encode_part(&a, &part, 0, CompressKind::Crs, &mut OpCounter::new());
+        let buf = encode_part(&a, &part, 0, CompressKind::Crs, &mut OpCounter::new()).unwrap();
         // Rebuild a truncated copy: drop the last 8 bytes.
         let mut t = PackBuffer::new();
         let bytes = buf.as_bytes();
@@ -279,9 +284,9 @@ mod tests {
     fn corrupted_count_is_detected() {
         let a = paper_array_a();
         let part = RowBlock::new(10, 8, 4);
-        let mut buf = encode_part(&a, &part, 0, CompressKind::Crs, &mut OpCounter::new());
+        let mut buf = encode_part(&a, &part, 0, CompressKind::Crs, &mut OpCounter::new()).unwrap();
         // Inflate the first R_i: the decoder will run off the end.
-        buf.patch_u64(0, 1_000);
+        buf.patch_u64(0, 1_000).unwrap();
         let err = decode_part(&buf, &part, 0, CompressKind::Crs, &mut OpCounter::new());
         assert!(err.is_err());
     }
@@ -290,7 +295,7 @@ mod tests {
     fn empty_part_encodes_to_empty_buffer() {
         let a = Dense2D::zeros(9, 4);
         let part = RowBlock::new(9, 4, 4); // part 3 is empty
-        let buf = encode_part(&a, &part, 3, CompressKind::Crs, &mut OpCounter::new());
+        let buf = encode_part(&a, &part, 3, CompressKind::Crs, &mut OpCounter::new()).unwrap();
         assert_eq!(buf.elem_count(), 0);
         let got = decode_part(&buf, &part, 3, CompressKind::Crs, &mut OpCounter::new()).unwrap();
         assert_eq!(got.nnz(), 0);

@@ -1,0 +1,105 @@
+//! The workspace error hierarchy.
+//!
+//! Scheme drivers ([`crate::schemes::run_scheme`] and friends) run SPMD
+//! closures whose communication can now fail — the simulated multicomputer
+//! injects faults, peers can be declared dead, and retry budgets run out.
+//! Everything those paths can hit funnels into [`SparsedistError`] so
+//! callers (the CLI, examples, tests) see one `Result` type instead of a
+//! panic.
+
+use crate::compress::CompressError;
+use sparsedist_multicomputer::engine::CommError;
+use sparsedist_multicomputer::pack::{PatchError, UnpackError};
+use std::fmt;
+
+/// Any failure a distribution, gather or redistribution run can report.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SparsedistError {
+    /// A communication failure from the simulated interconnect (retries
+    /// exhausted, dead peer, early-exit peer).
+    Comm(CommError),
+    /// A received stream failed structural validation (CRS/CCS/ED
+    /// invariants).
+    Compress(CompressError),
+    /// A received buffer was shorter than its own framing describes.
+    Unpack(UnpackError),
+    /// A pack-buffer back-patch landed outside the buffer (ED encoder).
+    Patch(PatchError),
+    /// The scheme's source rank is dead under the fault plan — there is no
+    /// surviving copy of the global array to distribute from.
+    SourceDead {
+        /// The dead source rank.
+        rank: usize,
+    },
+}
+
+impl fmt::Display for SparsedistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparsedistError::Comm(e) => write!(f, "communication failed: {e}"),
+            SparsedistError::Compress(e) => write!(f, "invalid compressed stream: {e}"),
+            SparsedistError::Unpack(e) => write!(f, "malformed buffer: {e}"),
+            SparsedistError::Patch(e) => write!(f, "encode back-patch failed: {e}"),
+            SparsedistError::SourceDead { rank } => {
+                write!(f, "source rank {rank} is dead; nothing can be distributed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SparsedistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SparsedistError::Comm(e) => Some(e),
+            SparsedistError::Compress(e) => Some(e),
+            SparsedistError::Unpack(e) => Some(e),
+            SparsedistError::Patch(e) => Some(e),
+            SparsedistError::SourceDead { .. } => None,
+        }
+    }
+}
+
+impl From<CommError> for SparsedistError {
+    fn from(e: CommError) -> Self {
+        SparsedistError::Comm(e)
+    }
+}
+
+impl From<CompressError> for SparsedistError {
+    fn from(e: CompressError) -> Self {
+        SparsedistError::Compress(e)
+    }
+}
+
+impl From<UnpackError> for SparsedistError {
+    fn from(e: UnpackError) -> Self {
+        SparsedistError::Unpack(e)
+    }
+}
+
+impl From<PatchError> for SparsedistError {
+    fn from(e: PatchError) -> Self {
+        SparsedistError::Patch(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_carry_the_inner_story() {
+        let e = SparsedistError::from(CommError::PeerDead { rank: 3 });
+        assert!(e.to_string().contains("rank 3 is dead"), "{e}");
+        let e = SparsedistError::SourceDead { rank: 0 };
+        assert!(e.to_string().contains("source rank 0"), "{e}");
+    }
+
+    #[test]
+    fn sources_chain() {
+        use std::error::Error;
+        let e = SparsedistError::from(CommError::Disconnected { peer: 1 });
+        assert!(e.source().is_some());
+        assert!(SparsedistError::SourceDead { rank: 0 }.source().is_none());
+    }
+}

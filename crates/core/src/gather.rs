@@ -18,8 +18,11 @@
 use crate::compress::{Ccs, CompressKind, Crs, LocalCompressed};
 use crate::convert::conversion_case;
 use crate::convert::ConversionCase;
+use crate::error::SparsedistError;
 use crate::opcount::OpCounter;
 use crate::partition::Partition;
+use crate::schemes::{alive_ranks_of, assign_owners};
+use sparsedist_multicomputer::pack::UnpackError;
 use sparsedist_multicomputer::{Multicomputer, PackBuffer, Phase, PhaseLedger, VirtualTime};
 
 /// How the local arrays travel back to the source.
@@ -96,11 +99,17 @@ fn globalise(
 /// let a = paper_array_a();
 /// let machine = Multicomputer::virtual_machine(4, MachineModel::ibm_sp2());
 /// let part = RowBlock::new(10, 8, 4);
-/// let run = run_scheme(SchemeKind::Ed, &machine, &a, &part, CompressKind::Crs);
+/// let run = run_scheme(SchemeKind::Ed, &machine, &a, &part, CompressKind::Crs).unwrap();
 /// let g = gather_global(&machine, &run.locals, &part, CompressKind::Crs,
-///                       GatherStrategy::Encoded);
+///                       GatherStrategy::Encoded).unwrap();
 /// assert_eq!(g.global.to_dense(), a); // gather inverts distribution
 /// ```
+///
+/// # Errors
+/// Returns [`SparsedistError::SourceDead`] when the collecting rank 0 is
+/// dead, plus the usual communication/validation failures. Dead sender
+/// ranks degrade gracefully: each part travels from the rank that owns it
+/// under [`assign_owners`], so survivors cover for the dead.
 ///
 /// # Panics
 /// Panics if the machine size disagrees with the partition or `locals`.
@@ -110,7 +119,7 @@ pub fn gather_global(
     part: &dyn Partition,
     kind: CompressKind,
     strategy: GatherStrategy,
-) -> GatherRun {
+) -> Result<GatherRun, SparsedistError> {
     let p = machine.nprocs();
     assert_eq!(part.nparts(), p, "partition has {} parts, machine {p}", part.nparts());
     assert_eq!(locals.len(), p, "need one local array per processor");
@@ -118,16 +127,28 @@ pub fn gather_global(
         assert_eq!(l.kind(), kind, "local array {pid} is {} but gather kind is {kind}", l.kind());
     }
     let (grows, gcols) = part.global_shape();
+    if machine.fault_plan().is_some_and(|pl| pl.is_dead(0)) {
+        return Err(SparsedistError::SourceDead { rank: 0 });
+    }
+    let owners = assign_owners(part, &alive_ranks_of(machine));
+    let owners_ref = &owners;
 
-    let (globals, ledgers) = machine.run_with_ledgers(|env| -> Option<LocalCompressed> {
+    let (globals, ledgers) = machine.run_with_ledgers(
+        |env| -> Result<Option<LocalCompressed>, SparsedistError> {
         let me = env.rank();
+        if env.is_rank_dead(me) {
+            return Ok(None);
+        }
 
-        // Sender side: build the outgoing buffer.
+        // Sender side: build and ship one buffer per owned part (exactly
+        // one — this rank's own — when every rank is alive).
+        let mine: Vec<usize> = (0..p).filter(|&pid| owners_ref[pid] == me).collect();
+        for &pid in &mine {
         let buf = env.phase(Phase::Pack, |env| {
             let mut ops = OpCounter::new();
             let buf = match strategy {
                 GatherStrategy::Dense => {
-                    let dense = locals[me].to_dense();
+                    let dense = locals[pid].to_dense();
                     let (lr, lc) = (dense.rows(), dense.cols());
                     let mut buf = PackBuffer::with_capacity(lr * lc);
                     for r in 0..lr {
@@ -142,12 +163,12 @@ pub fn gather_global(
                     // segment pointer, i.e. the CFS layout in reverse:
                     // pointer array then indices (globalised) then values.
                     let mut buf = PackBuffer::new();
-                    match &locals[me] {
+                    match &locals[pid] {
                         LocalCompressed::Crs(a) => {
                             buf.push_usize_slice(a.ro());
                             ops.add(a.ro().len() as u64);
                             for (lr, lc, _) in a.iter() {
-                                let g = globalise(part, me, kind, lr, lc, &mut ops);
+                                let g = globalise(part, pid, kind, lr, lc, &mut ops);
                                 buf.push_u64(g as u64);
                                 ops.tick();
                             }
@@ -158,7 +179,7 @@ pub fn gather_global(
                             buf.push_usize_slice(a.cp());
                             ops.add(a.cp().len() as u64);
                             for (lr, lc, _) in a.iter() {
-                                let g = globalise(part, me, kind, lr, lc, &mut ops);
+                                let g = globalise(part, pid, kind, lr, lc, &mut ops);
                                 buf.push_u64(g as u64);
                                 ops.tick();
                             }
@@ -172,13 +193,13 @@ pub fn gather_global(
                     // ED layout per segment: count, then (global index,
                     // value) pairs.
                     let mut buf = PackBuffer::new();
-                    match &locals[me] {
+                    match &locals[pid] {
                         LocalCompressed::Crs(a) => {
                             for r in 0..a.rows() {
                                 buf.push_u64(a.row_nnz(r) as u64);
                                 ops.tick();
                                 for (&c, &v) in a.row_cols(r).iter().zip(a.row_vals(r)) {
-                                    let g = globalise(part, me, kind, r, c, &mut ops);
+                                    let g = globalise(part, pid, kind, r, c, &mut ops);
                                     buf.push_u64(g as u64);
                                     buf.push_f64(v);
                                     ops.add(2);
@@ -190,7 +211,7 @@ pub fn gather_global(
                                 buf.push_u64(a.col_nnz(c) as u64);
                                 ops.tick();
                                 for (&r, &v) in a.col_rows(c).iter().zip(a.col_vals(c)) {
-                                    let g = globalise(part, me, kind, r, c, &mut ops);
+                                    let g = globalise(part, pid, kind, r, c, &mut ops);
                                     buf.push_u64(g as u64);
                                     buf.push_f64(v);
                                     ops.add(2);
@@ -204,25 +225,27 @@ pub fn gather_global(
             env.charge_ops(ops.take());
             buf
         });
-        env.phase(Phase::Send, |env| env.send(0, buf));
-
-        if me != 0 {
-            return None;
+        env.phase(Phase::Send, |env| env.send(0, buf))?;
         }
 
-        // Source side: merge all p messages into global triplets.
+        if me != 0 {
+            return Ok(None);
+        }
+
+        // Source side: merge one message per part (arriving from each
+        // part's owner) into global triplets.
         let mut trips: Vec<(usize, usize, f64)> = Vec::new();
-        env.phase(Phase::Unpack, |env| {
-            let mut ops = OpCounter::new();
-            for src in 0..p {
-                let msg = env.recv(src);
+        let mut ops = OpCounter::new();
+        for (src, &owner) in owners_ref.iter().enumerate().take(p) {
+            let msg = env.recv(owner)?;
+            env.phase(Phase::Unpack, |_env| -> Result<(), SparsedistError> {
                 let mut cursor = msg.payload.cursor();
                 let (lrows, lcols) = part.local_shape(src);
                 match strategy {
                     GatherStrategy::Dense => {
                         for lr in 0..lrows {
                             for lc in 0..lcols {
-                                let v = cursor.read_f64();
+                                let v = cursor.try_read_f64()?;
                                 ops.tick();
                                 if v != 0.0 {
                                     let (gr, gc) = part.to_global(src, lr, lc);
@@ -237,11 +260,11 @@ pub fn gather_global(
                             CompressKind::Crs => lrows,
                             CompressKind::Ccs => lcols,
                         };
-                        let pointer = cursor.read_usize_vec(nsegs + 1);
+                        let pointer = cursor.try_read_usize_vec(nsegs + 1)?;
                         ops.add((nsegs + 1) as u64);
-                        let nnz = *pointer.last().expect("non-empty pointer");
-                        let travelling = cursor.read_usize_vec(nnz);
-                        let values = cursor.read_f64_vec(nnz);
+                        let nnz = pointer[nsegs];
+                        let travelling = cursor.try_read_usize_vec(nnz)?;
+                        let values = cursor.try_read_f64_vec(nnz)?;
                         ops.add(2 * nnz as u64);
                         let mut k = 0;
                         for seg in 0..nsegs {
@@ -268,11 +291,11 @@ pub fn gather_global(
                             CompressKind::Ccs => lcols,
                         };
                         for seg in 0..nsegs {
-                            let count = cursor.read_usize();
+                            let count = cursor.try_read_usize()?;
                             ops.tick();
                             for _ in 0..count {
-                                let g = cursor.read_usize();
-                                let v = cursor.read_f64();
+                                let g = cursor.try_read_usize()?;
+                                let v = cursor.try_read_f64()?;
                                 ops.add(2);
                                 let (gr, gc) = match kind {
                                     CompressKind::Crs => {
@@ -290,13 +313,18 @@ pub fn gather_global(
                         }
                     }
                 }
-                assert!(cursor.is_exhausted(), "gather message longer than expected");
-            }
-            env.charge_ops(ops.take());
-        });
+                if !cursor.is_exhausted() {
+                    return Err(
+                        UnpackError { at: 0, remaining: cursor.remaining() }.into()
+                    );
+                }
+                Ok(())
+            })?;
+        }
+        env.phase(Phase::Unpack, |env| env.charge_ops(ops.take()));
 
         // Build the global compressed array.
-        Some(env.phase(Phase::Compress, |env| {
+        Ok(Some(env.phase(Phase::Compress, |env| {
             let mut ops = OpCounter::new();
             let global = match kind {
                 CompressKind::Crs => {
@@ -308,11 +336,21 @@ pub fn gather_global(
             };
             env.charge_ops(ops.take());
             global
-        }))
+        })))
     });
 
-    let global = globals.into_iter().next().flatten().expect("rank 0 returns the global array");
-    GatherRun { strategy, ledgers, global }
+    let mut iter = globals.into_iter();
+    let global = match iter.next() {
+        Some(Ok(Some(g))) => {
+            for r in iter {
+                r?;
+            }
+            g
+        }
+        Some(Err(e)) => return Err(e),
+        _ => unreachable!("rank 0 is alive and returns the global array"),
+    };
+    Ok(GatherRun { strategy, ledgers, global })
 }
 
 #[cfg(test)]
@@ -338,14 +376,15 @@ mod tests {
         ];
         for part in &parts {
             for kind in [CompressKind::Crs, CompressKind::Ccs] {
-                let run = run_scheme(SchemeKind::Ed, &machine(4), &a, part.as_ref(), kind);
+                let run = run_scheme(SchemeKind::Ed, &machine(4), &a, part.as_ref(), kind).unwrap();
                 for strategy in [
                     GatherStrategy::Dense,
                     GatherStrategy::Compressed,
                     GatherStrategy::Encoded,
                 ] {
                     let g =
-                        gather_global(&machine(4), &run.locals, part.as_ref(), kind, strategy);
+                        gather_global(&machine(4), &run.locals, part.as_ref(), kind, strategy)
+                            .unwrap();
                     assert_eq!(
                         g.global.to_dense(),
                         a,
@@ -363,10 +402,18 @@ mod tests {
     fn compressed_gather_ships_less_than_dense() {
         let a = paper_array_a();
         let part = RowBlock::new(10, 8, 4);
-        let run = run_scheme(SchemeKind::Ed, &machine(4), &a, &part, CompressKind::Crs);
-        let dense = gather_global(&machine(4), &run.locals, &part, CompressKind::Crs, GatherStrategy::Dense);
-        let enc =
-            gather_global(&machine(4), &run.locals, &part, CompressKind::Crs, GatherStrategy::Encoded);
+        let run = run_scheme(SchemeKind::Ed, &machine(4), &a, &part, CompressKind::Crs).unwrap();
+        let dense =
+            gather_global(&machine(4), &run.locals, &part, CompressKind::Crs, GatherStrategy::Dense)
+                .unwrap();
+        let enc = gather_global(
+            &machine(4),
+            &run.locals,
+            &part,
+            CompressKind::Crs,
+            GatherStrategy::Encoded,
+        )
+        .unwrap();
         let send = |g: &GatherRun| -> f64 {
             g.ledgers.iter().map(|l| l.get(Phase::Send).as_micros()).sum()
         };
@@ -379,21 +426,23 @@ mod tests {
         // array, counts only.
         let a = paper_array_a();
         let part = RowBlock::new(10, 8, 4);
-        let run = run_scheme(SchemeKind::Ed, &machine(4), &a, &part, CompressKind::Crs);
+        let run = run_scheme(SchemeKind::Ed, &machine(4), &a, &part, CompressKind::Crs).unwrap();
         let comp = gather_global(
             &machine(4),
             &run.locals,
             &part,
             CompressKind::Crs,
             GatherStrategy::Compressed,
-        );
+        )
+        .unwrap();
         let enc = gather_global(
             &machine(4),
             &run.locals,
             &part,
             CompressKind::Crs,
             GatherStrategy::Encoded,
-        );
+        )
+        .unwrap();
         let send = |g: &GatherRun| -> f64 {
             g.ledgers.iter().map(|l| l.get(Phase::Send).as_micros()).sum()
         };
@@ -404,14 +453,16 @@ mod tests {
     fn gather_of_empty_array() {
         let a = crate::dense::Dense2D::zeros(12, 12);
         let part = RowBlock::new(12, 12, 4);
-        let run = run_scheme(SchemeKind::Cfs, &machine(4), &a, &part, CompressKind::Crs);
+        let run =
+            run_scheme(SchemeKind::Cfs, &machine(4), &a, &part, CompressKind::Crs).unwrap();
         let g = gather_global(
             &machine(4),
             &run.locals,
             &part,
             CompressKind::Crs,
             GatherStrategy::Encoded,
-        );
+        )
+        .unwrap();
         assert_eq!(g.global.nnz(), 0);
         assert_eq!(g.global.shape(), (12, 12));
     }

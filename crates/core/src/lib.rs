@@ -39,6 +39,10 @@
 //! * [`gather`] — the inverse of distribution: collecting the distributed
 //!   array back to the source, with dense/compressed/encoded mirrors of
 //!   the three schemes;
+//! * [`error::SparsedistError`] — the workspace error hierarchy: every
+//!   driver returns `Result`, so injected faults (dropped/corrupted frames,
+//!   dead ranks, exhausted retry budgets) surface as values instead of
+//!   panics;
 //! * [`opcount::OpCounter`] — instrumentation: the compression / packing /
 //!   decoding loops count element operations as they execute, and the
 //!   scheme drivers charge those counts to the simulated machine, so the
@@ -59,7 +63,7 @@
 //!
 //! let machine = Multicomputer::virtual_machine(4, MachineModel::ibm_sp2());
 //! let part = RowBlock::new(16, 16, 4);
-//! let run = run_scheme(SchemeKind::Ed, &machine, &a, &part, CompressKind::Crs);
+//! let run = run_scheme(SchemeKind::Ed, &machine, &a, &part, CompressKind::Crs).unwrap();
 //!
 //! assert_eq!(run.total_nnz(), 16);
 //! println!("T_Distribution = {}", run.t_distribution());
@@ -71,6 +75,7 @@ pub mod convert;
 pub mod cost;
 pub mod dense;
 pub mod encode;
+pub mod error;
 pub mod gather;
 pub mod opcount;
 pub mod partition;
@@ -79,6 +84,7 @@ pub mod schemes;
 
 pub use compress::{Ccs, CompressKind, Coo, Crs, LocalCompressed};
 pub use dense::Dense2D;
+pub use error::SparsedistError;
 pub use opcount::OpCounter;
 pub use partition::{ColBlock, Mesh2D, Partition, RowBlock};
 pub use gather::{gather_global, GatherRun, GatherStrategy};

@@ -237,7 +237,7 @@ mod tests {
         for part in [BalancedRows::contiguous(&a, 4), BalancedRows::bin_packed(&a, 4)] {
             for scheme in SchemeKind::ALL {
                 for kind in [CompressKind::Crs, CompressKind::Ccs] {
-                    let run = run_scheme(scheme, &machine, &a, &part, kind);
+                    let run = run_scheme(scheme, &machine, &a, &part, kind).unwrap();
                     assert_eq!(run.reassemble(&part), a, "{scheme} {kind} {}", part.name());
                 }
             }
@@ -259,14 +259,16 @@ mod tests {
             &a,
             &RowBlock::new(64, 64, 4),
             CompressKind::Crs,
-        );
+        )
+        .unwrap();
         let packed = run_scheme(
             SchemeKind::Sfc,
             &machine,
             &a,
             &BalancedRows::bin_packed(&a, 4),
             CompressKind::Crs,
-        );
+        )
+        .unwrap();
         assert!(
             packed.t_compression() < block.t_compression(),
             "packed {} !< block {}",

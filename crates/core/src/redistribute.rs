@@ -24,8 +24,11 @@
 //! element like every other kernel in this crate.
 
 use crate::compress::{Ccs, CompressKind, Crs, LocalCompressed};
+use crate::error::SparsedistError;
 use crate::opcount::OpCounter;
 use crate::partition::Partition;
+use crate::schemes::{alive_ranks_of, assign_owners, collect_parts};
+use sparsedist_multicomputer::pack::UnpackError;
 use sparsedist_multicomputer::{Multicomputer, PackBuffer, Phase, PhaseLedger, VirtualTime};
 
 /// How the nonzeros are routed to their new owners.
@@ -78,19 +81,25 @@ fn pack_bucket(trips: &[(usize, usize, f64)], ops: &mut OpCounter) -> PackBuffer
 }
 
 /// Unpack a triplet bucket.
-fn unpack_bucket(buf: &PackBuffer, ops: &mut OpCounter) -> Vec<(usize, usize, f64)> {
+fn unpack_bucket(
+    buf: &PackBuffer,
+    ops: &mut OpCounter,
+) -> Result<Vec<(usize, usize, f64)>, UnpackError> {
     let mut cursor = buf.cursor();
-    let n = cursor.read_usize();
+    let n = cursor.try_read_usize()?;
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
-        let r = cursor.read_usize();
-        let c = cursor.read_usize();
-        let v = cursor.read_f64();
+        let r = cursor.try_read_usize()?;
+        let c = cursor.try_read_usize()?;
+        let v = cursor.try_read_f64()?;
         ops.add(3);
         out.push((r, c, v));
     }
-    assert!(cursor.is_exhausted(), "triplet bucket longer than its header");
-    out
+    if !cursor.is_exhausted() {
+        // Longer than its own header describes: a framing mismatch.
+        return Err(UnpackError { at: (1 + 3 * n) * 8, remaining: cursor.remaining() });
+    }
+    Ok(out)
 }
 
 /// Walk a local compressed array and bucket its nonzeros by new owner
@@ -168,13 +177,21 @@ fn build_local(
 /// let machine = Multicomputer::virtual_machine(4, MachineModel::ibm_sp2());
 /// let rows = RowBlock::new(10, 8, 4);
 /// let mesh = Mesh2D::new(10, 8, 2, 2);
-/// let owned = run_scheme(SchemeKind::Ed, &machine, &a, &rows, CompressKind::Crs).locals;
+/// let owned = run_scheme(SchemeKind::Ed, &machine, &a, &rows, CompressKind::Crs)
+///     .unwrap()
+///     .locals;
 /// let run = redistribute(&machine, &owned, &rows, &mesh, CompressKind::Crs,
-///                        RedistStrategy::Direct);
+///                        RedistStrategy::Direct).unwrap();
 /// // Same state as if the array had been distributed under the mesh directly.
-/// let direct = run_scheme(SchemeKind::Ed, &machine, &a, &mesh, CompressKind::Crs);
+/// let direct = run_scheme(SchemeKind::Ed, &machine, &a, &mesh, CompressKind::Crs).unwrap();
 /// assert_eq!(run.locals, direct.locals);
 /// ```
+///
+/// # Errors
+/// Communication and validation failures surface as [`SparsedistError`].
+/// Dead ranks degrade gracefully: parts are re-owned among the survivors
+/// under [`assign_owners`] on both the `from` and `to` sides, and the
+/// `ViaSource` hub moves to the lowest alive rank.
 ///
 /// # Panics
 /// Panics on shape or processor-count mismatches.
@@ -185,45 +202,73 @@ pub fn redistribute(
     to: &dyn Partition,
     kind: CompressKind,
     strategy: RedistStrategy,
-) -> RedistRun {
+) -> Result<RedistRun, SparsedistError> {
     let p = machine.nprocs();
     assert_eq!(from.nparts(), p, "source partition has {} parts, machine {p}", from.nparts());
     assert_eq!(to.nparts(), p, "target partition has {} parts, machine {p}", to.nparts());
     assert_eq!(from.global_shape(), to.global_shape(), "partitions describe different arrays");
     assert_eq!(locals.len(), p, "need one local array per processor");
 
-    let (new_locals, ledgers) = machine.run_with_ledgers(|env| -> LocalCompressed {
+    let alive = alive_ranks_of(machine);
+    let from_owners = assign_owners(from, &alive);
+    let to_owners = assign_owners(to, &alive);
+    let hub = *alive.first().expect("at least one alive rank");
+    let (alive_ref, from_ref, to_ref) = (&alive, &from_owners, &to_owners);
+
+    let (results, ledgers) = machine.run_with_ledgers(
+        |env| -> Result<Vec<(usize, LocalCompressed)>, SparsedistError> {
         let me = env.rank();
+        if env.is_rank_dead(me) {
+            return Ok(Vec::new());
+        }
+        // Bucket every nonzero this rank holds (all its owned `from`
+        // parts — exactly its own when every rank is alive) by target pid.
+        let from_mine: Vec<usize> = (0..p).filter(|&pid| from_ref[pid] == me).collect();
         let buckets = env.phase(Phase::Pack, |env| {
             let mut ops = OpCounter::new();
-            let b = bucket_by_new_owner(me, &locals[me], from, to, p, &mut ops);
+            let mut buckets: Vec<Vec<(usize, usize, f64)>> = vec![Vec::new(); p];
+            for &fpid in &from_mine {
+                for (tpid, b) in bucket_by_new_owner(fpid, &locals[fpid], from, to, p, &mut ops)
+                    .into_iter()
+                    .enumerate()
+                {
+                    buckets[tpid].extend(b);
+                }
+            }
             env.charge_ops(ops.take());
-            b
+            buckets
         });
+        let to_mine: Vec<usize> = (0..p).filter(|&pid| to_ref[pid] == me).collect();
 
-        let mut incoming: Vec<(usize, usize, f64)> = Vec::new();
+        let mut incoming: Vec<Vec<(usize, usize, f64)>> = vec![Vec::new(); to_mine.len()];
         match strategy {
             RedistStrategy::Direct => {
-                // All-to-all: pack + send one bucket per destination.
+                // All-to-all: pack + send one bucket per target part, to
+                // whichever rank owns it.
                 let bufs: Vec<PackBuffer> = env.phase(Phase::Pack, |env| {
                     let mut ops = OpCounter::new();
                     let bufs = buckets.iter().map(|b| pack_bucket(b, &mut ops)).collect();
                     env.charge_ops(ops.take());
                     bufs
                 });
-                env.phase(Phase::Send, |env| {
-                    for (dst, buf) in bufs.into_iter().enumerate() {
-                        env.send(dst, buf);
+                env.phase(Phase::Send, |env| -> Result<(), SparsedistError> {
+                    for (tpid, buf) in bufs.into_iter().enumerate() {
+                        env.send(to_ref[tpid], buf)?;
                     }
-                });
-                env.phase(Phase::Unpack, |env| {
-                    let mut ops = OpCounter::new();
-                    for src in 0..p {
-                        let msg = env.recv(src);
-                        incoming.extend(unpack_bucket(&msg.payload, &mut ops));
+                    Ok(())
+                })?;
+                for (slot, _tpid) in to_mine.iter().enumerate() {
+                    for &src in alive_ref {
+                        let msg = env.recv(src)?;
+                        let got = env.phase(Phase::Unpack, |env| {
+                            let mut ops = OpCounter::new();
+                            let got = unpack_bucket(&msg.payload, &mut ops);
+                            env.charge_ops(ops.take());
+                            got
+                        })?;
+                        incoming[slot].extend(got);
                     }
-                    env.charge_ops(ops.take());
-                });
+                }
             }
             RedistStrategy::ViaSource => {
                 // Leg 1: everyone ships all triplets to the hub, tagged by
@@ -246,53 +291,71 @@ pub fn redistribute(
                     env.charge_ops(ops.take());
                     buf
                 });
-                env.phase(Phase::Send, |env| env.send(0, buf));
+                env.phase(Phase::Send, |env| env.send(hub, buf))?;
 
-                if me == 0 {
+                if me == hub {
                     // Hub: merge the per-destination streams and forward.
                     let mut forward: Vec<Vec<(usize, usize, f64)>> = vec![Vec::new(); p];
                     let mut ops = OpCounter::new();
-                    for src in 0..p {
-                        let msg = env.recv(src);
-                        let mut cursor = msg.payload.cursor();
-                        for fwd in forward.iter_mut() {
-                            let n = cursor.read_usize();
-                            for _ in 0..n {
-                                let r = cursor.read_usize();
-                                let c = cursor.read_usize();
-                                let v = cursor.read_f64();
-                                ops.add(3);
-                                fwd.push((r, c, v));
+                    for &src in alive_ref {
+                        let msg = env.recv(src)?;
+                        let merge = |cursor: &mut sparsedist_multicomputer::pack::UnpackCursor,
+                                     forward: &mut Vec<Vec<(usize, usize, f64)>>,
+                                     ops: &mut OpCounter|
+                         -> Result<(), UnpackError> {
+                            for fwd in forward.iter_mut() {
+                                let n = cursor.try_read_usize()?;
+                                for _ in 0..n {
+                                    let r = cursor.try_read_usize()?;
+                                    let c = cursor.try_read_usize()?;
+                                    let v = cursor.try_read_f64()?;
+                                    ops.add(3);
+                                    fwd.push((r, c, v));
+                                }
                             }
-                        }
+                            Ok(())
+                        };
+                        let mut cursor = msg.payload.cursor();
+                        merge(&mut cursor, &mut forward, &mut ops)?;
                     }
                     let bufs: Vec<PackBuffer> =
                         forward.iter().map(|b| pack_bucket(b, &mut ops)).collect();
                     env.phase(Phase::Unpack, |env| env.charge_ops(ops.take()));
-                    env.phase(Phase::Send, |env| {
-                        for (dst, buf) in bufs.into_iter().enumerate() {
-                            env.send(dst, buf);
+                    env.phase(Phase::Send, |env| -> Result<(), SparsedistError> {
+                        for (tpid, buf) in bufs.into_iter().enumerate() {
+                            env.send(to_ref[tpid], buf)?;
                         }
-                    });
+                        Ok(())
+                    })?;
                 }
-                // Leg 2: receive the forwarded bucket.
-                env.phase(Phase::Unpack, |env| {
-                    let mut ops = OpCounter::new();
-                    let msg = env.recv(0);
-                    incoming = unpack_bucket(&msg.payload, &mut ops);
-                    env.charge_ops(ops.take());
-                });
+                // Leg 2: receive one forwarded bucket per owned target part.
+                for slot in incoming.iter_mut() {
+                    let msg = env.recv(hub)?;
+                    *slot = env.phase(Phase::Unpack, |env| {
+                        let mut ops = OpCounter::new();
+                        let got = unpack_bucket(&msg.payload, &mut ops);
+                        env.charge_ops(ops.take());
+                        got
+                    })?;
+                }
             }
         }
 
-        env.phase(Phase::Compress, |env| {
-            let mut ops = OpCounter::new();
-            let local = build_local(me, incoming, to, kind, &mut ops);
-            env.charge_ops(ops.take());
-            local
-        })
+        let mut out = Vec::with_capacity(to_mine.len());
+        for (slot, &tpid) in to_mine.iter().enumerate() {
+            let trips = std::mem::take(&mut incoming[slot]);
+            let local = env.phase(Phase::Compress, |env| {
+                let mut ops = OpCounter::new();
+                let local = build_local(tpid, trips, to, kind, &mut ops);
+                env.charge_ops(ops.take());
+                local
+            });
+            out.push((tpid, local));
+        }
+        Ok(out)
     });
-    RedistRun { strategy, ledgers, locals: new_locals }
+    let new_locals = collect_parts(results, p)?;
+    Ok(RedistRun { strategy, ledgers, locals: new_locals })
 }
 
 #[cfg(test)]
@@ -312,7 +375,7 @@ mod tests {
         kind: CompressKind,
     ) -> Vec<LocalCompressed> {
         let a = paper_array_a();
-        run_scheme(SchemeKind::Ed, &machine(part.nparts()), &a, part, kind).locals
+        run_scheme(SchemeKind::Ed, &machine(part.nparts()), &a, part, kind).unwrap().locals
     }
 
     #[test]
@@ -332,7 +395,8 @@ mod tests {
                 let want = distribute(to.as_ref(), kind);
                 for strategy in [RedistStrategy::Direct, RedistStrategy::ViaSource] {
                     let run =
-                        redistribute(&machine(4), &owned, &from, to.as_ref(), kind, strategy);
+                        redistribute(&machine(4), &owned, &from, to.as_ref(), kind, strategy)
+                            .unwrap();
                     assert_eq!(
                         run.locals,
                         want,
@@ -357,7 +421,8 @@ mod tests {
             &part,
             CompressKind::Crs,
             RedistStrategy::Direct,
-        );
+        )
+        .unwrap();
         assert_eq!(run.locals, owned);
     }
 
@@ -367,7 +432,8 @@ mod tests {
         let to = Mesh2D::new(10, 8, 2, 2);
         let owned = distribute(&from, CompressKind::Crs);
         let direct =
-            redistribute(&machine(4), &owned, &from, &to, CompressKind::Crs, RedistStrategy::Direct);
+            redistribute(&machine(4), &owned, &from, &to, CompressKind::Crs, RedistStrategy::Direct)
+                .unwrap();
         let hub = redistribute(
             &machine(4),
             &owned,
@@ -375,7 +441,8 @@ mod tests {
             &to,
             CompressKind::Crs,
             RedistStrategy::ViaSource,
-        );
+        )
+        .unwrap();
         let send = |r: &RedistRun| -> f64 {
             r.ledgers.iter().map(|l| l.get(Phase::Send).as_micros()).sum()
         };
@@ -403,9 +470,11 @@ mod tests {
         let from = RowBlock::new(12, 12, 4);
         let to = Mesh2D::new(12, 12, 2, 2);
         let a = crate::dense::Dense2D::zeros(12, 12);
-        let owned = run_scheme(SchemeKind::Cfs, &machine(4), &a, &from, CompressKind::Crs).locals;
+        let owned =
+            run_scheme(SchemeKind::Cfs, &machine(4), &a, &from, CompressKind::Crs).unwrap().locals;
         let run =
-            redistribute(&machine(4), &owned, &from, &to, CompressKind::Crs, RedistStrategy::Direct);
+            redistribute(&machine(4), &owned, &from, &to, CompressKind::Crs, RedistStrategy::Direct)
+                .unwrap();
         assert_eq!(run.total_nnz(), 0);
         for (pid, l) in run.locals.iter().enumerate() {
             assert_eq!(l.shape(), to.local_shape(pid));
@@ -425,7 +494,8 @@ mod tests {
             &to,
             CompressKind::Ccs,
             RedistStrategy::Direct,
-        );
+        )
+        .unwrap();
         let want = distribute(&to, CompressKind::Ccs);
         assert_eq!(run.locals, want);
     }

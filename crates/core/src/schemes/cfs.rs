@@ -14,12 +14,14 @@
 use crate::compress::{Ccs, CompressKind, Crs, LocalCompressed};
 use crate::convert::IndexConverter;
 use crate::dense::Dense2D;
+use crate::error::SparsedistError;
 use crate::opcount::OpCounter;
 use crate::partition::Partition;
-use crate::schemes::{SchemeKind, SchemeRun};
+use crate::schemes::{
+    alive_ranks_of, assign_owners, collect_parts, SchemeKind, SchemeRun, SOURCE,
+};
+use sparsedist_multicomputer::pack::UnpackError;
 use sparsedist_multicomputer::{Multicomputer, PackBuffer, Phase};
-
-const SOURCE: usize = 0;
 
 /// Compress part `pid` at the source (global indices) and pack it.
 fn compress_and_pack(
@@ -57,7 +59,7 @@ fn unpack(
     pid: usize,
     kind: CompressKind,
     ops: &mut OpCounter,
-) -> LocalCompressed {
+) -> Result<LocalCompressed, SparsedistError> {
     let (lrows, lcols) = part.local_shape(pid);
     let nsegments = match kind {
         CompressKind::Crs => lrows,
@@ -67,29 +69,34 @@ fn unpack(
     let bound = converter.local_index_bound(kind);
 
     let mut cursor = buf.cursor();
-    let pointer = cursor.read_usize_vec(nsegments + 1);
+    let pointer = cursor.try_read_usize_vec(nsegments + 1)?;
     ops.add((nsegments + 1) as u64);
-    let nnz = *pointer.last().expect("pointer array is non-empty");
+    let nnz = pointer[nsegments];
     let mut indices = Vec::with_capacity(nnz);
     for _ in 0..nnz {
-        let travelling = cursor.read_usize();
+        let travelling = cursor.try_read_usize()?;
         ops.tick();
         indices.push(converter.to_local(travelling, ops));
     }
-    let values = cursor.read_f64_vec(nnz);
+    let values = cursor.try_read_f64_vec(nnz)?;
     ops.add(nnz as u64);
-    assert!(cursor.is_exhausted(), "CFS message longer than its header describes");
-
-    match kind {
-        CompressKind::Crs => LocalCompressed::Crs(
-            Crs::from_raw(lrows, bound, pointer, indices, values)
-                .expect("source-built CRS stream must validate"),
-        ),
-        CompressKind::Ccs => LocalCompressed::Ccs(
-            Ccs::from_raw(bound, lcols, pointer, indices, values)
-                .expect("source-built CCS stream must validate"),
-        ),
+    if !cursor.is_exhausted() {
+        // Longer than its own header describes: a framing mismatch.
+        return Err(UnpackError {
+            at: (nsegments + 1 + 2 * nnz) * 8,
+            remaining: cursor.remaining(),
+        }
+        .into());
     }
+
+    Ok(match kind {
+        CompressKind::Crs => {
+            LocalCompressed::Crs(Crs::from_raw(lrows, bound, pointer, indices, values)?)
+        }
+        CompressKind::Ccs => {
+            LocalCompressed::Ccs(Ccs::from_raw(bound, lcols, pointer, indices, values)?)
+        }
+    })
 }
 
 pub(crate) fn run(
@@ -97,41 +104,71 @@ pub(crate) fn run(
     global: &Dense2D,
     part: &dyn Partition,
     kind: CompressKind,
-) -> SchemeRun {
-    let p = machine.nprocs();
-    let (locals, ledgers) = machine.run_with_ledgers(|env| -> LocalCompressed {
-        if env.rank() == SOURCE {
-            // Compression and packing are interleaved per part in the code
-            // but charged to their own phases, exactly as the paper
-            // accounts them.
-            let bufs: Vec<PackBuffer> = {
-                let mut compress_ops = OpCounter::new();
-                let mut pack_ops = OpCounter::new();
-                let bufs: Vec<PackBuffer> = (0..p)
-                    .map(|pid| {
-                        compress_and_pack(global, part, pid, kind, &mut compress_ops, &mut pack_ops)
-                    })
-                    .collect();
-                env.phase(Phase::Compress, |env| env.charge_ops(compress_ops.take()));
-                env.phase(Phase::Pack, |env| env.charge_ops(pack_ops.take()));
-                bufs
-            };
-            env.phase(Phase::Send, |env| {
-                for (dst, buf) in bufs.into_iter().enumerate() {
-                    env.send(dst, buf);
-                }
-            });
-        }
-        let me = env.rank();
-        let msg = env.recv(SOURCE);
-        env.phase(Phase::Unpack, |env| {
-            let mut ops = OpCounter::new();
-            let local = unpack(&msg.payload, part, me, kind, &mut ops);
-            env.charge_ops(ops.take());
-            local
-        })
-    });
-    SchemeRun { scheme: SchemeKind::Cfs, compress_kind: kind, source: SOURCE, ledgers, locals }
+) -> Result<SchemeRun, SparsedistError> {
+    let nparts = part.nparts();
+    let owners = assign_owners(part, &alive_ranks_of(machine));
+    let owners_ref = &owners;
+    let (results, ledgers) = machine.run_with_ledgers(
+        |env| -> Result<Vec<(usize, LocalCompressed)>, SparsedistError> {
+            let me = env.rank();
+            if env.is_rank_dead(me) {
+                return Ok(Vec::new());
+            }
+            if me == SOURCE {
+                // Compression and packing are interleaved per part in the
+                // code but charged to their own phases, exactly as the paper
+                // accounts them.
+                let bufs: Vec<PackBuffer> = {
+                    let mut compress_ops = OpCounter::new();
+                    let mut pack_ops = OpCounter::new();
+                    let bufs: Vec<PackBuffer> = (0..nparts)
+                        .map(|pid| {
+                            compress_and_pack(
+                                global,
+                                part,
+                                pid,
+                                kind,
+                                &mut compress_ops,
+                                &mut pack_ops,
+                            )
+                        })
+                        .collect();
+                    env.phase(Phase::Compress, |env| env.charge_ops(compress_ops.take()));
+                    env.phase(Phase::Pack, |env| env.charge_ops(pack_ops.take()));
+                    bufs
+                };
+                env.phase(Phase::Send, |env| -> Result<(), SparsedistError> {
+                    for (pid, buf) in bufs.into_iter().enumerate() {
+                        env.send(owners_ref[pid], buf)?;
+                    }
+                    Ok(())
+                })?;
+            }
+            let mine: Vec<usize> =
+                (0..nparts).filter(|&pid| owners_ref[pid] == me).collect();
+            let mut out = Vec::with_capacity(mine.len());
+            for pid in mine {
+                let msg = env.recv(SOURCE)?;
+                let local = env.phase(Phase::Unpack, |env| {
+                    let mut ops = OpCounter::new();
+                    let local = unpack(&msg.payload, part, pid, kind, &mut ops);
+                    env.charge_ops(ops.take());
+                    local
+                })?;
+                out.push((pid, local));
+            }
+            Ok(out)
+        },
+    );
+    let locals = collect_parts(results, nparts)?;
+    Ok(SchemeRun {
+        scheme: SchemeKind::Cfs,
+        compress_kind: kind,
+        source: SOURCE,
+        ledgers,
+        locals,
+        owners,
+    })
 }
 
 #[cfg(test)]
@@ -154,7 +191,7 @@ mod tests {
         let a = paper_array_a();
         let part = RowBlock::new(10, 8, 4);
         let m = MachineModel::ibm_sp2();
-        let run = super::run(&sp2(4), &a, &part, CompressKind::Crs);
+        let run = super::run(&sp2(4), &a, &part, CompressKind::Crs).unwrap();
 
         let comp = run.t_compression().as_micros();
         assert!((comp - 128.0 * m.t_op).abs() < 1e-9, "compression: {comp}");
@@ -183,7 +220,7 @@ mod tests {
         let a = paper_array_a();
         let part = RowBlock::new(10, 8, 4);
         let m = MachineModel::ibm_sp2();
-        let run = super::run(&sp2(4), &a, &part, CompressKind::Ccs);
+        let run = super::run(&sp2(4), &a, &part, CompressKind::Ccs).unwrap();
         // P2 has 6 nonzeros: 9 + 18 = 27 ops.
         let unpack_max = run
             .ledgers
@@ -197,7 +234,7 @@ mod tests {
     fn receivers_hold_local_indices() {
         let a = paper_array_a();
         let part = RowBlock::new(10, 8, 4);
-        let run = super::run(&sp2(4), &a, &part, CompressKind::Ccs);
+        let run = super::run(&sp2(4), &a, &part, CompressKind::Ccs).unwrap();
         // P1's decoded CCS must be over local rows 0..3, matching the
         // direct local compression.
         let expect = Ccs::from_dense(&part.extract_dense(&a, 1), &mut OpCounter::new());
@@ -209,7 +246,7 @@ mod tests {
         let a = paper_array_a();
         let part = RowBlock::new(10, 8, 4);
         let m = MachineModel::ibm_sp2();
-        let run = super::run(&sp2(4), &a, &part, CompressKind::Crs);
+        let run = super::run(&sp2(4), &a, &part, CompressKind::Crs).unwrap();
         let send = run.ledgers[0].get(Phase::Send).as_micros();
         // 46 elements (see above) — far less than the 80 dense cells SFC
         // would send.

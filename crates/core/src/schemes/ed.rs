@@ -11,47 +11,70 @@
 use crate::compress::{CompressKind, LocalCompressed};
 use crate::dense::Dense2D;
 use crate::encode::{decode_part, encode_part};
+use crate::error::SparsedistError;
 use crate::opcount::OpCounter;
 use crate::partition::Partition;
-use crate::schemes::{SchemeKind, SchemeRun};
+use crate::schemes::{
+    alive_ranks_of, assign_owners, collect_parts, SchemeKind, SchemeRun, SOURCE,
+};
 use sparsedist_multicomputer::{Multicomputer, PackBuffer, Phase};
-
-const SOURCE: usize = 0;
 
 pub(crate) fn run(
     machine: &Multicomputer,
     global: &Dense2D,
     part: &dyn Partition,
     kind: CompressKind,
-) -> SchemeRun {
-    let p = machine.nprocs();
-    let (locals, ledgers) = machine.run_with_ledgers(|env| -> LocalCompressed {
-        if env.rank() == SOURCE {
-            let bufs: Vec<PackBuffer> = env.phase(Phase::Encode, |env| {
-                let mut ops = OpCounter::new();
-                let bufs = (0..p)
-                    .map(|pid| encode_part(global, part, pid, kind, &mut ops))
-                    .collect();
-                env.charge_ops(ops.take());
-                bufs
-            });
-            env.phase(Phase::Send, |env| {
-                for (dst, buf) in bufs.into_iter().enumerate() {
-                    env.send(dst, buf);
-                }
-            });
-        }
-        let me = env.rank();
-        let msg = env.recv(SOURCE);
-        env.phase(Phase::Decode, |env| {
-            let mut ops = OpCounter::new();
-            let local = decode_part(&msg.payload, part, me, kind, &mut ops)
-                .expect("source-built special buffer must decode");
-            env.charge_ops(ops.take());
-            local
-        })
-    });
-    SchemeRun { scheme: SchemeKind::Ed, compress_kind: kind, source: SOURCE, ledgers, locals }
+) -> Result<SchemeRun, SparsedistError> {
+    let nparts = part.nparts();
+    let owners = assign_owners(part, &alive_ranks_of(machine));
+    let owners_ref = &owners;
+    let (results, ledgers) = machine.run_with_ledgers(
+        |env| -> Result<Vec<(usize, LocalCompressed)>, SparsedistError> {
+            let me = env.rank();
+            if env.is_rank_dead(me) {
+                return Ok(Vec::new());
+            }
+            if me == SOURCE {
+                let bufs: Vec<PackBuffer> = env.phase(Phase::Encode, |env| {
+                    let mut ops = OpCounter::new();
+                    let bufs = (0..nparts)
+                        .map(|pid| encode_part(global, part, pid, kind, &mut ops))
+                        .collect::<Result<Vec<_>, _>>();
+                    env.charge_ops(ops.take());
+                    bufs
+                })?;
+                env.phase(Phase::Send, |env| -> Result<(), SparsedistError> {
+                    for (pid, buf) in bufs.into_iter().enumerate() {
+                        env.send(owners_ref[pid], buf)?;
+                    }
+                    Ok(())
+                })?;
+            }
+            let mine: Vec<usize> =
+                (0..nparts).filter(|&pid| owners_ref[pid] == me).collect();
+            let mut out = Vec::with_capacity(mine.len());
+            for pid in mine {
+                let msg = env.recv(SOURCE)?;
+                let local = env.phase(Phase::Decode, |env| {
+                    let mut ops = OpCounter::new();
+                    let local = decode_part(&msg.payload, part, pid, kind, &mut ops);
+                    env.charge_ops(ops.take());
+                    local
+                })?;
+                out.push((pid, local));
+            }
+            Ok(out)
+        },
+    );
+    let locals = collect_parts(results, nparts)?;
+    Ok(SchemeRun {
+        scheme: SchemeKind::Ed,
+        compress_kind: kind,
+        source: SOURCE,
+        ledgers,
+        locals,
+        owners,
+    })
 }
 
 /// Overlapped variant of the ED scheme: the source sends each processor's
@@ -63,42 +86,69 @@ pub(crate) fn run(
 /// early receivers stop waiting sooner, so the *makespan*
 /// ([`crate::schemes::SchemeRun::t_makespan`]) shrinks. The
 /// `ablation_overlap` bench quantifies the gap.
+///
+/// # Errors
+/// Same failure modes as [`crate::schemes::run_scheme`].
 pub fn run_overlapped(
     machine: &Multicomputer,
     global: &Dense2D,
     part: &dyn Partition,
     kind: CompressKind,
-) -> SchemeRun {
+) -> Result<SchemeRun, SparsedistError> {
     assert_eq!(machine.nprocs(), part.nparts(), "partition/machine size mismatch");
     assert_eq!(
         part.global_shape(),
         (global.rows(), global.cols()),
         "partition/array shape mismatch"
     );
-    let p = machine.nprocs();
-    let (locals, ledgers) = machine.run_with_ledgers(|env| -> LocalCompressed {
-        if env.rank() == SOURCE {
-            for dst in 0..p {
-                let buf = env.phase(Phase::Encode, |env| {
-                    let mut ops = OpCounter::new();
-                    let buf = encode_part(global, part, dst, kind, &mut ops);
-                    env.charge_ops(ops.take());
-                    buf
-                });
-                env.phase(Phase::Send, |env| env.send(dst, buf));
+    if machine.fault_plan().is_some_and(|p| p.is_dead(SOURCE)) {
+        return Err(SparsedistError::SourceDead { rank: SOURCE });
+    }
+    let nparts = part.nparts();
+    let owners = assign_owners(part, &alive_ranks_of(machine));
+    let owners_ref = &owners;
+    let (results, ledgers) = machine.run_with_ledgers(
+        |env| -> Result<Vec<(usize, LocalCompressed)>, SparsedistError> {
+            let me = env.rank();
+            if env.is_rank_dead(me) {
+                return Ok(Vec::new());
             }
-        }
-        let me = env.rank();
-        let msg = env.recv(SOURCE);
-        env.phase(Phase::Decode, |env| {
-            let mut ops = OpCounter::new();
-            let local = decode_part(&msg.payload, part, me, kind, &mut ops)
-                .expect("source-built special buffer must decode");
-            env.charge_ops(ops.take());
-            local
-        })
-    });
-    SchemeRun { scheme: SchemeKind::Ed, compress_kind: kind, source: SOURCE, ledgers, locals }
+            if me == SOURCE {
+                for (pid, &owner) in owners_ref.iter().enumerate() {
+                    let buf = env.phase(Phase::Encode, |env| {
+                        let mut ops = OpCounter::new();
+                        let buf = encode_part(global, part, pid, kind, &mut ops);
+                        env.charge_ops(ops.take());
+                        buf
+                    })?;
+                    env.phase(Phase::Send, |env| env.send(owner, buf))?;
+                }
+            }
+            let mine: Vec<usize> =
+                (0..nparts).filter(|&pid| owners_ref[pid] == me).collect();
+            let mut out = Vec::with_capacity(mine.len());
+            for pid in mine {
+                let msg = env.recv(SOURCE)?;
+                let local = env.phase(Phase::Decode, |env| {
+                    let mut ops = OpCounter::new();
+                    let local = decode_part(&msg.payload, part, pid, kind, &mut ops);
+                    env.charge_ops(ops.take());
+                    local
+                })?;
+                out.push((pid, local));
+            }
+            Ok(out)
+        },
+    );
+    let locals = collect_parts(results, nparts)?;
+    Ok(SchemeRun {
+        scheme: SchemeKind::Ed,
+        compress_kind: kind,
+        source: SOURCE,
+        ledgers,
+        locals,
+        owners,
+    })
 }
 
 #[cfg(test)]
@@ -119,7 +169,7 @@ mod tests {
         let a = paper_array_a();
         let part = RowBlock::new(10, 8, 4);
         let m = MachineModel::ibm_sp2();
-        let run = super::run(&sp2(4), &a, &part, CompressKind::Crs);
+        let run = super::run(&sp2(4), &a, &part, CompressKind::Crs).unwrap();
 
         let src = &run.ledgers[0];
         assert_eq!(src.get(Phase::Pack).as_micros(), 0.0);
@@ -143,14 +193,15 @@ mod tests {
         // the wire, on top of the removed pack/unpack passes).
         let a = paper_array_a();
         let part = RowBlock::new(10, 8, 4);
-        let ed = super::run(&sp2(4), &a, &part, CompressKind::Crs);
+        let ed = super::run(&sp2(4), &a, &part, CompressKind::Crs).unwrap();
         let cfs = crate::schemes::run_scheme(
             crate::schemes::SchemeKind::Cfs,
             &sp2(4),
             &a,
             &part,
             CompressKind::Crs,
-        );
+        )
+        .unwrap();
         let ed_send = ed.ledgers[0].get(Phase::Send);
         let cfs_send = cfs.ledgers[0].get(Phase::Send);
         assert!(ed_send < cfs_send);
@@ -164,8 +215,8 @@ mod tests {
         }
         let part = RowBlock::new(64, 64, 8);
         let m = sp2(8);
-        let plain = super::run(&m, &a, &part, CompressKind::Crs);
-        let over = run_overlapped(&m, &a, &part, CompressKind::Crs);
+        let plain = super::run(&m, &a, &part, CompressKind::Crs).unwrap();
+        let over = run_overlapped(&m, &a, &part, CompressKind::Crs).unwrap();
         // Identical state and identical paper aggregates…
         assert_eq!(plain.locals, over.locals);
         assert_eq!(plain.t_distribution(), over.t_distribution());
@@ -194,7 +245,7 @@ mod tests {
     fn decoded_state_matches_direct_compression() {
         let a = paper_array_a();
         let part = RowBlock::new(10, 8, 4);
-        let run = super::run(&sp2(4), &a, &part, CompressKind::Crs);
+        let run = super::run(&sp2(4), &a, &part, CompressKind::Crs).unwrap();
         for pid in 0..4 {
             let expect = crate::compress::Crs::from_dense(
                 &part.extract_dense(&a, pid),

@@ -26,9 +26,88 @@ pub use ed::run_overlapped as run_ed_overlapped;
 
 use crate::compress::{CompressKind, LocalCompressed};
 use crate::dense::Dense2D;
+use crate::error::SparsedistError;
 use crate::partition::Partition;
 use sparsedist_multicomputer::{Multicomputer, Phase, PhaseLedger, VirtualTime};
 use std::fmt;
+
+/// The source rank every provided driver distributes from.
+pub(crate) const SOURCE: usize = 0;
+
+/// Map each part to the rank that will own it, given the alive ranks.
+///
+/// Fault-free (every rank alive, one part per rank) this is the identity —
+/// part `i` lives on rank `i`, exactly the paper's layout. When the fault
+/// plan declares ranks dead, their parts are re-assigned to survivors by
+/// greedy longest-processing-time bin packing over cell counts (the same
+/// idiom as [`crate::partition::BalancedRows::bin_packed`]), so the
+/// distribution degrades instead of deadlocking. Every rank computes this
+/// from shared state (partition + fault plan), so no agreement protocol is
+/// needed.
+///
+/// # Panics
+/// Panics if `alive` is empty.
+pub fn assign_owners(part: &dyn Partition, alive: &[usize]) -> Vec<usize> {
+    assert!(!alive.is_empty(), "cannot place parts with no alive ranks");
+    let nparts = part.nparts();
+    if alive.len() == nparts && alive.iter().enumerate().all(|(i, &r)| i == r) {
+        return (0..nparts).collect();
+    }
+    let alive_set: std::collections::BTreeSet<usize> = alive.iter().copied().collect();
+    let mut owners: Vec<usize> = vec![usize::MAX; nparts];
+    // Parts whose home rank survives stay put; dead parts get re-packed.
+    let mut load: std::collections::BTreeMap<usize, usize> =
+        alive.iter().map(|&r| (r, 0usize)).collect();
+    let cells = |pid: usize| {
+        let (r, c) = part.local_shape(pid);
+        r * c
+    };
+    let mut orphans: Vec<usize> = Vec::new();
+    for (pid, owner) in owners.iter_mut().enumerate() {
+        // A part's home rank is the rank with its index (one part per rank).
+        if alive_set.contains(&pid) {
+            *owner = pid;
+            *load.get_mut(&pid).expect("alive rank has a load slot") += cells(pid);
+        } else {
+            orphans.push(pid);
+        }
+    }
+    // LPT: biggest orphan first, onto the least-loaded survivor (ties to
+    // the lowest rank — BTreeMap iteration order makes this deterministic).
+    orphans.sort_by_key(|&pid| std::cmp::Reverse(cells(pid)));
+    for pid in orphans {
+        let (&best, _) =
+            load.iter().min_by_key(|&(&r, &l)| (l, r)).expect("at least one alive rank");
+        owners[pid] = best;
+        *load.get_mut(&best).expect("chosen rank is alive") += cells(pid);
+    }
+    owners
+}
+
+/// The ranks alive under `machine`'s fault plan (all of them without one).
+pub(crate) fn alive_ranks_of(machine: &Multicomputer) -> Vec<usize> {
+    (0..machine.nprocs())
+        .filter(|&r| !machine.fault_plan().is_some_and(|p| p.is_dead(r)))
+        .collect()
+}
+
+/// Flatten per-rank `(pid, local)` contributions into a per-part vector,
+/// surfacing the first rank error.
+pub(crate) fn collect_parts(
+    results: Vec<Result<Vec<(usize, LocalCompressed)>, SparsedistError>>,
+    nparts: usize,
+) -> Result<Vec<LocalCompressed>, SparsedistError> {
+    let mut slots: Vec<Option<LocalCompressed>> = (0..nparts).map(|_| None).collect();
+    for r in results {
+        for (pid, local) in r? {
+            slots[pid] = Some(local);
+        }
+    }
+    Ok(slots
+        .into_iter()
+        .map(|s| s.expect("every part has exactly one alive owner"))
+        .collect())
+}
 
 /// Which distribution scheme to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -73,8 +152,12 @@ pub struct SchemeRun {
     pub source: usize,
     /// Per-rank phase ledgers.
     pub ledgers: Vec<PhaseLedger>,
-    /// Per-rank compressed local arrays.
+    /// Per-part compressed local arrays (`locals[pid]` is part `pid`).
     pub locals: Vec<LocalCompressed>,
+    /// Which rank owns each part (`owners[pid]`). Identity fault-free;
+    /// under rank death, parts of dead ranks move to survivors (see
+    /// [`assign_owners`]).
+    pub owners: Vec<usize>,
 }
 
 fn vmax(it: impl Iterator<Item = VirtualTime>) -> VirtualTime {
@@ -143,16 +226,23 @@ impl SchemeRun {
 /// Distribute `global` over `machine` with the chosen scheme, partition and
 /// compression method.
 ///
+/// # Errors
+/// Returns [`SparsedistError::SourceDead`] if the fault plan declares the
+/// source rank dead, [`SparsedistError::Comm`] if the interconnect's retry
+/// budget runs out, and compression/unpack errors if an accepted stream
+/// fails validation.
+///
 /// # Panics
 /// Panics if the partition's part count differs from the machine's
-/// processor count, or if the partition was built for a different shape.
+/// processor count, or if the partition was built for a different shape
+/// (API misuse, not runtime faults).
 pub fn run_scheme(
     scheme: SchemeKind,
     machine: &Multicomputer,
     global: &Dense2D,
     part: &dyn Partition,
     kind: CompressKind,
-) -> SchemeRun {
+) -> Result<SchemeRun, SparsedistError> {
     assert_eq!(
         machine.nprocs(),
         part.nparts(),
@@ -168,6 +258,9 @@ pub fn run_scheme(
         global.rows(),
         global.cols()
     );
+    if machine.fault_plan().is_some_and(|p| p.is_dead(SOURCE)) {
+        return Err(SparsedistError::SourceDead { rank: SOURCE });
+    }
     match scheme {
         SchemeKind::Sfc => sfc::run(machine, global, part, kind),
         SchemeKind::Cfs => cfs::run(machine, global, part, kind),
@@ -202,7 +295,7 @@ mod tests {
         for part in all_partitions(10, 8) {
             for kind in [CompressKind::Crs, CompressKind::Ccs] {
                 for scheme in SchemeKind::ALL {
-                    let run = run_scheme(scheme, &machine(4), &a, part.as_ref(), kind);
+                    let run = run_scheme(scheme, &machine(4), &a, part.as_ref(), kind).unwrap();
                     assert_eq!(
                         run.reassemble(part.as_ref()),
                         a,
@@ -222,9 +315,9 @@ mod tests {
         let a = paper_array_a();
         for part in all_partitions(10, 8) {
             for kind in [CompressKind::Crs, CompressKind::Ccs] {
-                let sfc = run_scheme(SchemeKind::Sfc, &machine(4), &a, part.as_ref(), kind);
-                let cfs = run_scheme(SchemeKind::Cfs, &machine(4), &a, part.as_ref(), kind);
-                let ed = run_scheme(SchemeKind::Ed, &machine(4), &a, part.as_ref(), kind);
+                let sfc = run_scheme(SchemeKind::Sfc, &machine(4), &a, part.as_ref(), kind).unwrap();
+                let cfs = run_scheme(SchemeKind::Cfs, &machine(4), &a, part.as_ref(), kind).unwrap();
+                let ed = run_scheme(SchemeKind::Ed, &machine(4), &a, part.as_ref(), kind).unwrap();
                 assert_eq!(sfc.locals, cfs.locals, "{kind} {}", part.name());
                 assert_eq!(cfs.locals, ed.locals, "{kind} {}", part.name());
             }
@@ -244,9 +337,9 @@ mod tests {
         }
         assert_eq!(a.nnz(), 640);
         let part = RowBlock::new(80, 80, 4);
-        let sfc = run_scheme(SchemeKind::Sfc, &machine(4), &a, &part, CompressKind::Crs);
-        let cfs = run_scheme(SchemeKind::Cfs, &machine(4), &a, &part, CompressKind::Crs);
-        let ed = run_scheme(SchemeKind::Ed, &machine(4), &a, &part, CompressKind::Crs);
+        let sfc = run_scheme(SchemeKind::Sfc, &machine(4), &a, &part, CompressKind::Crs).unwrap();
+        let cfs = run_scheme(SchemeKind::Cfs, &machine(4), &a, &part, CompressKind::Crs).unwrap();
+        let ed = run_scheme(SchemeKind::Ed, &machine(4), &a, &part, CompressKind::Crs).unwrap();
         assert!(ed.t_distribution() < cfs.t_distribution());
         assert!(cfs.t_distribution() < sfc.t_distribution());
     }
@@ -255,9 +348,9 @@ mod tests {
     fn compression_time_ordering_matches_remark3() {
         let a = paper_array_a();
         let part = RowBlock::new(10, 8, 4);
-        let sfc = run_scheme(SchemeKind::Sfc, &machine(4), &a, &part, CompressKind::Crs);
-        let cfs = run_scheme(SchemeKind::Cfs, &machine(4), &a, &part, CompressKind::Crs);
-        let ed = run_scheme(SchemeKind::Ed, &machine(4), &a, &part, CompressKind::Crs);
+        let sfc = run_scheme(SchemeKind::Sfc, &machine(4), &a, &part, CompressKind::Crs).unwrap();
+        let cfs = run_scheme(SchemeKind::Cfs, &machine(4), &a, &part, CompressKind::Crs).unwrap();
+        let ed = run_scheme(SchemeKind::Ed, &machine(4), &a, &part, CompressKind::Crs).unwrap();
         assert!(sfc.t_compression() < cfs.t_compression());
         assert!(cfs.t_compression() < ed.t_compression());
     }
@@ -267,8 +360,8 @@ mod tests {
         let a = paper_array_a();
         for part in all_partitions(10, 8) {
             for kind in [CompressKind::Crs, CompressKind::Ccs] {
-                let cfs = run_scheme(SchemeKind::Cfs, &machine(4), &a, part.as_ref(), kind);
-                let ed = run_scheme(SchemeKind::Ed, &machine(4), &a, part.as_ref(), kind);
+                let cfs = run_scheme(SchemeKind::Cfs, &machine(4), &a, part.as_ref(), kind).unwrap();
+                let ed = run_scheme(SchemeKind::Ed, &machine(4), &a, part.as_ref(), kind).unwrap();
                 assert!(
                     ed.t_total() < cfs.t_total(),
                     "{kind} {}: ED {} !< CFS {}",
@@ -302,7 +395,7 @@ mod tests {
         let part = RowBlock::new(10, 8, 4);
         let m = Multicomputer::wall_clock(4);
         for scheme in SchemeKind::ALL {
-            let run = run_scheme(scheme, &m, &a, &part, CompressKind::Crs);
+            let run = run_scheme(scheme, &m, &a, &part, CompressKind::Crs).unwrap();
             assert_eq!(run.reassemble(&part), a);
         }
     }
@@ -311,10 +404,57 @@ mod tests {
     fn virtual_runs_are_deterministic() {
         let a = paper_array_a();
         let part = Mesh2D::new(10, 8, 2, 2);
-        let r1 = run_scheme(SchemeKind::Ed, &machine(4), &a, &part, CompressKind::Ccs);
-        let r2 = run_scheme(SchemeKind::Ed, &machine(4), &a, &part, CompressKind::Ccs);
+        let r1 = run_scheme(SchemeKind::Ed, &machine(4), &a, &part, CompressKind::Ccs).unwrap();
+        let r2 = run_scheme(SchemeKind::Ed, &machine(4), &a, &part, CompressKind::Ccs).unwrap();
         assert_eq!(r1.ledgers, r2.ledgers);
         assert_eq!(r1.locals, r2.locals);
+    }
+
+    #[test]
+    fn assign_owners_is_identity_when_all_alive() {
+        let part = RowBlock::new(10, 8, 4);
+        assert_eq!(assign_owners(&part, &[0, 1, 2, 3]), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn assign_owners_moves_dead_parts_to_least_loaded_survivors() {
+        let part = RowBlock::new(10, 8, 4);
+        // Rank 2 dead: its part must land on some survivor.
+        let owners = assign_owners(&part, &[0, 1, 3]);
+        assert_eq!(owners[0], 0);
+        assert_eq!(owners[1], 1);
+        assert_eq!(owners[3], 3);
+        assert!([0, 1, 3].contains(&owners[2]), "owners = {owners:?}");
+        // Determinism: same inputs, same placement.
+        assert_eq!(owners, assign_owners(&part, &[0, 1, 3]));
+    }
+
+    #[test]
+    fn dead_rank_degrades_gracefully_for_all_schemes() {
+        use sparsedist_multicomputer::FaultPlan;
+        let a = paper_array_a();
+        let part = RowBlock::new(10, 8, 4);
+        let m = machine(4).with_faults(FaultPlan::new(7).with_dead_rank(2));
+        for kind in [CompressKind::Crs, CompressKind::Ccs] {
+            for scheme in SchemeKind::ALL {
+                let run = run_scheme(scheme, &m, &a, &part, kind)
+                    .unwrap_or_else(|e| panic!("{scheme} {kind}: {e}"));
+                // Part 2 was re-homed to a survivor, and no data was lost.
+                assert_ne!(run.owners[2], 2, "{scheme} {kind}");
+                assert_eq!(run.reassemble(&part), a, "{scheme} {kind}");
+                assert_eq!(run.total_nnz(), 16);
+            }
+        }
+    }
+
+    #[test]
+    fn dead_source_reports_source_dead() {
+        use sparsedist_multicomputer::FaultPlan;
+        let a = paper_array_a();
+        let part = RowBlock::new(10, 8, 4);
+        let m = machine(4).with_faults(FaultPlan::new(7).with_dead_rank(0));
+        let err = run_scheme(SchemeKind::Ed, &m, &a, &part, CompressKind::Crs);
+        assert_eq!(err.unwrap_err(), crate::error::SparsedistError::SourceDead { rank: 0 });
     }
 
     #[test]
@@ -323,7 +463,7 @@ mod tests {
         let part = RowBlock::new(10, 8, 1);
         let m = machine(1);
         for scheme in SchemeKind::ALL {
-            let run = run_scheme(scheme, &m, &a, &part, CompressKind::Crs);
+            let run = run_scheme(scheme, &m, &a, &part, CompressKind::Crs).unwrap();
             assert_eq!(run.reassemble(&part), a);
         }
     }

@@ -17,8 +17,10 @@
 use crate::compress::{CompressKind, Crs, LocalCompressed};
 use crate::convert::IndexConverter;
 use crate::dense::Dense2D;
+use crate::error::SparsedistError;
 use crate::opcount::OpCounter;
 use crate::partition::Partition;
+use sparsedist_multicomputer::pack::{PatchError, UnpackError};
 use sparsedist_multicomputer::{Multicomputer, PackBuffer, Phase, PhaseLedger, VirtualTime};
 
 /// Result of a multi-source ED run.
@@ -65,7 +67,7 @@ fn encode_stripe(
     stripe: usize,
     nsources: usize,
     ops: &mut OpCounter,
-) -> PackBuffer {
+) -> Result<PackBuffer, PatchError> {
     let (lrows, lcols) = part.local_shape(pid);
     let mut buf = PackBuffer::new();
     for lr in 0..lrows {
@@ -86,15 +88,19 @@ fn encode_stripe(
                 ops.add(3);
             }
         }
-        buf.patch_u64(slot, count);
+        buf.patch_u64(slot, count)?;
     }
-    buf
+    Ok(buf)
 }
 
 /// Run the ED scheme with `nsources` source processors (CRS only).
 ///
 /// Ranks `0..nsources` act as sources, each holding the row stripe
 /// `r mod nsources`; every rank (sources included) receives its part.
+///
+/// # Errors
+/// Returns [`SparsedistError::SourceDead`] if the fault plan kills any of
+/// the source ranks, plus the usual communication/validation failures.
 ///
 /// # Panics
 /// Panics if `nsources` is zero or exceeds the machine size, or on the
@@ -104,7 +110,7 @@ pub fn run_ed_multi_source(
     global: &Dense2D,
     part: &dyn Partition,
     nsources: usize,
-) -> MultiSourceRun {
+) -> Result<MultiSourceRun, SparsedistError> {
     let p = machine.nprocs();
     assert!(nsources > 0 && nsources <= p, "nsources {nsources} out of 1..={p}");
     assert_eq!(part.nparts(), p, "partition has {} parts, machine {p}", part.nparts());
@@ -113,65 +119,87 @@ pub fn run_ed_multi_source(
         (global.rows(), global.cols()),
         "partition/array shape mismatch"
     );
-
-    let (locals, ledgers) = machine.run_with_ledgers(|env| -> LocalCompressed {
-        let me = env.rank();
-        if me < nsources {
-            let bufs: Vec<PackBuffer> = env.phase(Phase::Encode, |env| {
-                let mut ops = OpCounter::new();
-                let bufs = (0..p)
-                    .map(|pid| encode_stripe(global, part, pid, me, nsources, &mut ops))
-                    .collect();
-                env.charge_ops(ops.take());
-                bufs
-            });
-            env.phase(Phase::Send, |env| {
-                for (dst, buf) in bufs.into_iter().enumerate() {
-                    env.send(dst, buf);
-                }
-            });
+    if let Some(plan) = machine.fault_plan() {
+        if let Some(rank) = plan.dead_ranks().find(|&r| r < nsources) {
+            return Err(SparsedistError::SourceDead { rank });
         }
+    }
 
-        // Receive one buffer per source and decode, steering each segment
-        // to the source that owns its stripe.
-        let msgs: Vec<PackBuffer> =
-            (0..nsources).map(|src| env.recv(src).payload).collect();
-        env.phase(Phase::Decode, |env| {
-            let mut ops = OpCounter::new();
-            let (lrows, _lcols) = part.local_shape(me);
-            let converter = IndexConverter::new(part, me, CompressKind::Crs);
-            let bound = converter.local_index_bound(CompressKind::Crs);
-            let mut cursors: Vec<_> = msgs.iter().map(|b| b.cursor()).collect();
-            let mut ro = Vec::with_capacity(lrows + 1);
-            ro.push(0usize);
-            ops.tick();
-            let mut co = Vec::new();
-            let mut vl = Vec::new();
-            for lr in 0..lrows {
-                let (gr, _) = part.to_global(me, lr, 0);
-                let cursor = &mut cursors[gr % nsources];
-                let count = cursor.read_usize();
+    let (results, ledgers) = machine.run_with_ledgers(
+        |env| -> Result<LocalCompressed, SparsedistError> {
+            let me = env.rank();
+            if env.is_rank_dead(me) {
+                // A dead destination holds nothing; its slot reports an
+                // empty local array of its own shape.
+                let (lrows, _) = part.local_shape(me);
+                let converter = IndexConverter::new(part, me, CompressKind::Crs);
+                let bound = converter.local_index_bound(CompressKind::Crs);
+                return Ok(LocalCompressed::Crs(
+                    Crs::from_raw(lrows, bound, vec![0; lrows + 1], vec![], vec![])?,
+                ));
+            }
+            if me < nsources {
+                let bufs: Vec<PackBuffer> = env.phase(Phase::Encode, |env| {
+                    let mut ops = OpCounter::new();
+                    let bufs = (0..p)
+                        .map(|pid| encode_stripe(global, part, pid, me, nsources, &mut ops))
+                        .collect::<Result<Vec<_>, _>>();
+                    env.charge_ops(ops.take());
+                    bufs
+                })?;
+                env.phase(Phase::Send, |env| -> Result<(), SparsedistError> {
+                    for (dst, buf) in bufs.into_iter().enumerate() {
+                        if env.is_rank_dead(dst) {
+                            continue;
+                        }
+                        env.send(dst, buf)?;
+                    }
+                    Ok(())
+                })?;
+            }
+
+            // Receive one buffer per source and decode, steering each
+            // segment to the source that owns its stripe.
+            let msgs: Vec<PackBuffer> = (0..nsources)
+                .map(|src| env.recv(src).map(|m| m.payload))
+                .collect::<Result<Vec<_>, _>>()?;
+            env.phase(Phase::Decode, |env| -> Result<LocalCompressed, SparsedistError> {
+                let mut ops = OpCounter::new();
+                let (lrows, _lcols) = part.local_shape(me);
+                let converter = IndexConverter::new(part, me, CompressKind::Crs);
+                let bound = converter.local_index_bound(CompressKind::Crs);
+                let mut cursors: Vec<_> = msgs.iter().map(|b| b.cursor()).collect();
+                let mut ro = Vec::with_capacity(lrows + 1);
+                ro.push(0usize);
                 ops.tick();
-                ro.push(ro[lr] + count);
-                for _ in 0..count {
-                    let travelling = cursor.read_usize();
+                let mut co = Vec::new();
+                let mut vl = Vec::new();
+                for lr in 0..lrows {
+                    let (gr, _) = part.to_global(me, lr, 0);
+                    let cursor = &mut cursors[gr % nsources];
+                    let count = cursor.try_read_usize()?;
                     ops.tick();
-                    co.push(converter.to_local(travelling, &mut ops));
-                    vl.push(cursor.read_f64());
-                    ops.tick();
+                    ro.push(ro[lr] + count);
+                    for _ in 0..count {
+                        let travelling = cursor.try_read_usize()?;
+                        ops.tick();
+                        co.push(converter.to_local(travelling, &mut ops));
+                        vl.push(cursor.try_read_f64()?);
+                        ops.tick();
+                    }
                 }
-            }
-            for (src, c) in cursors.iter().enumerate() {
-                assert!(c.is_exhausted(), "source {src} buffer has trailing data");
-            }
-            env.charge_ops(ops.take());
-            LocalCompressed::Crs(
-                Crs::from_raw(lrows, bound, ro, co, vl)
-                    .expect("stripe-aligned decode yields a valid CRS"),
-            )
-        })
-    });
-    MultiSourceRun { nsources, ledgers, locals }
+                for c in cursors.iter() {
+                    if !c.is_exhausted() {
+                        return Err(UnpackError { at: 0, remaining: c.remaining() }.into());
+                    }
+                }
+                env.charge_ops(ops.take());
+                Ok(LocalCompressed::Crs(Crs::from_raw(lrows, bound, ro, co, vl)?))
+            })
+        },
+    );
+    let locals = results.into_iter().collect::<Result<Vec<_>, _>>()?;
+    Ok(MultiSourceRun { nsources, ledgers, locals })
 }
 
 #[cfg(test)]
@@ -196,9 +224,11 @@ mod tests {
             Box::new(RowCyclic::new(10, 8, 4)),
         ];
         for part in &parts {
-            let single = run_scheme(SchemeKind::Ed, &machine(4), &a, part.as_ref(), CompressKind::Crs);
+            let single =
+                run_scheme(SchemeKind::Ed, &machine(4), &a, part.as_ref(), CompressKind::Crs)
+                    .unwrap();
             for k in [1, 2, 3, 4] {
-                let multi = run_ed_multi_source(&machine(4), &a, part.as_ref(), k);
+                let multi = run_ed_multi_source(&machine(4), &a, part.as_ref(), k).unwrap();
                 assert_eq!(multi.locals, single.locals, "k={k} {}", part.name());
                 assert_eq!(multi.total_nnz(), 16);
             }
@@ -209,8 +239,8 @@ mod tests {
     fn encode_work_splits_across_sources() {
         let a = paper_array_a();
         let part = RowBlock::new(10, 8, 4);
-        let single = run_ed_multi_source(&machine(4), &a, &part, 1);
-        let multi = run_ed_multi_source(&machine(4), &a, &part, 4);
+        let single = run_ed_multi_source(&machine(4), &a, &part, 1).unwrap();
+        let multi = run_ed_multi_source(&machine(4), &a, &part, 4).unwrap();
         let encode_max = |r: &MultiSourceRun| -> f64 {
             r.ledgers
                 .iter()
@@ -234,8 +264,8 @@ mod tests {
             a.set((i * 7) % 64, (i * 13 + i / 64) % 64, 1.0 + i as f64);
         }
         let part = RowBlock::new(64, 64, 8);
-        let one = run_ed_multi_source(&machine(8), &a, &part, 1);
-        let four = run_ed_multi_source(&machine(8), &a, &part, 4);
+        let one = run_ed_multi_source(&machine(8), &a, &part, 1).unwrap();
+        let four = run_ed_multi_source(&machine(8), &a, &part, 4).unwrap();
         assert!(
             four.t_distribution() < one.t_distribution(),
             "4 sources {} !< 1 source {}",

@@ -12,12 +12,14 @@
 
 use crate::compress::{compress_dense, CompressKind, LocalCompressed};
 use crate::dense::Dense2D;
+use crate::error::SparsedistError;
 use crate::opcount::OpCounter;
 use crate::partition::Partition;
-use crate::schemes::{SchemeKind, SchemeRun};
+use crate::schemes::{
+    alive_ranks_of, assign_owners, collect_parts, SchemeKind, SchemeRun, SOURCE,
+};
+use sparsedist_multicomputer::pack::UnpackError;
 use sparsedist_multicomputer::{Multicomputer, PackBuffer, Phase};
-
-const SOURCE: usize = 0;
 
 /// Pack one part's dense local array for the wire.
 fn pack_dense_part(
@@ -52,15 +54,18 @@ fn unpack_dense(
     part: &dyn Partition,
     pid: usize,
     ops: &mut OpCounter,
-) -> Dense2D {
+) -> Result<Dense2D, UnpackError> {
     let (lrows, lcols) = part.local_shape(pid);
     let mut cursor = buf.cursor();
-    let data = cursor.read_f64_vec(lrows * lcols);
-    assert!(cursor.is_exhausted(), "dense message longer than the local shape");
+    let data = cursor.try_read_f64_vec(lrows * lcols)?;
+    if !cursor.is_exhausted() {
+        // Longer than the local shape: a framing mismatch, not just noise.
+        return Err(UnpackError { at: lrows * lcols * 8, remaining: cursor.remaining() });
+    }
     if !part.row_contiguous() {
         ops.add((lrows * lcols) as u64);
     }
-    Dense2D::from_vec(lrows, lcols, data)
+    Ok(Dense2D::from_vec(lrows, lcols, data))
 }
 
 pub(crate) fn run(
@@ -68,40 +73,63 @@ pub(crate) fn run(
     global: &Dense2D,
     part: &dyn Partition,
     kind: CompressKind,
-) -> SchemeRun {
-    let p = machine.nprocs();
-    let (locals, ledgers) = machine.run_with_ledgers(|env| -> LocalCompressed {
-        if env.rank() == SOURCE {
-            let bufs: Vec<PackBuffer> = env.phase(Phase::Pack, |env| {
-                let mut ops = OpCounter::new();
-                let bufs = (0..p)
-                    .map(|pid| pack_dense_part(global, part, pid, &mut ops))
-                    .collect();
-                env.charge_ops(ops.take());
-                bufs
-            });
-            env.phase(Phase::Send, |env| {
-                for (dst, buf) in bufs.into_iter().enumerate() {
-                    env.send(dst, buf);
-                }
-            });
-        }
-        let me = env.rank();
-        let msg = env.recv(SOURCE);
-        let local_dense = env.phase(Phase::Unpack, |env| {
-            let mut ops = OpCounter::new();
-            let d = unpack_dense(&msg.payload, part, me, &mut ops);
-            env.charge_ops(ops.take());
-            d
-        });
-        env.phase(Phase::Compress, |env| {
-            let mut ops = OpCounter::new();
-            let c = compress_dense(kind, &local_dense, &mut ops);
-            env.charge_ops(ops.take());
-            c
-        })
-    });
-    SchemeRun { scheme: SchemeKind::Sfc, compress_kind: kind, source: SOURCE, ledgers, locals }
+) -> Result<SchemeRun, SparsedistError> {
+    let nparts = part.nparts();
+    let owners = assign_owners(part, &alive_ranks_of(machine));
+    let owners_ref = &owners;
+    let (results, ledgers) = machine.run_with_ledgers(
+        |env| -> Result<Vec<(usize, LocalCompressed)>, SparsedistError> {
+            let me = env.rank();
+            if env.is_rank_dead(me) {
+                return Ok(Vec::new());
+            }
+            if me == SOURCE {
+                let bufs: Vec<PackBuffer> = env.phase(Phase::Pack, |env| {
+                    let mut ops = OpCounter::new();
+                    let bufs = (0..nparts)
+                        .map(|pid| pack_dense_part(global, part, pid, &mut ops))
+                        .collect();
+                    env.charge_ops(ops.take());
+                    bufs
+                });
+                env.phase(Phase::Send, |env| -> Result<(), SparsedistError> {
+                    for (pid, buf) in bufs.into_iter().enumerate() {
+                        env.send(owners_ref[pid], buf)?;
+                    }
+                    Ok(())
+                })?;
+            }
+            let mine: Vec<usize> =
+                (0..nparts).filter(|&pid| owners_ref[pid] == me).collect();
+            let mut out = Vec::with_capacity(mine.len());
+            for pid in mine {
+                let msg = env.recv(SOURCE)?;
+                let local_dense = env.phase(Phase::Unpack, |env| {
+                    let mut ops = OpCounter::new();
+                    let d = unpack_dense(&msg.payload, part, pid, &mut ops);
+                    env.charge_ops(ops.take());
+                    d
+                })?;
+                let c = env.phase(Phase::Compress, |env| {
+                    let mut ops = OpCounter::new();
+                    let c = compress_dense(kind, &local_dense, &mut ops);
+                    env.charge_ops(ops.take());
+                    c
+                });
+                out.push((pid, c));
+            }
+            Ok(out)
+        },
+    );
+    let locals = collect_parts(results, nparts)?;
+    Ok(SchemeRun {
+        scheme: SchemeKind::Sfc,
+        compress_kind: kind,
+        source: SOURCE,
+        ledgers,
+        locals,
+        owners,
+    })
 }
 
 #[cfg(test)]
@@ -122,7 +150,7 @@ mod tests {
         let a = paper_array_a();
         let part = RowBlock::new(10, 8, 4);
         let m = MachineModel::ibm_sp2();
-        let run = super::run(&sp2(4), &a, &part, CompressKind::Crs);
+        let run = super::run(&sp2(4), &a, &part, CompressKind::Crs).unwrap();
 
         let dist = run.t_distribution().as_micros();
         let expect_dist = 4.0 * m.t_startup + 80.0 * m.t_data;
@@ -139,7 +167,7 @@ mod tests {
     fn row_partition_charges_no_pack_ops() {
         let a = paper_array_a();
         let part = RowBlock::new(10, 8, 4);
-        let run = super::run(&sp2(4), &a, &part, CompressKind::Crs);
+        let run = super::run(&sp2(4), &a, &part, CompressKind::Crs).unwrap();
         assert_eq!(run.ledgers[0].get(Phase::Pack).as_micros(), 0.0);
         for l in &run.ledgers {
             assert_eq!(l.get(Phase::Unpack).as_micros(), 0.0);
@@ -151,7 +179,7 @@ mod tests {
         let a = paper_array_a();
         let part = ColBlock::new(10, 8, 4);
         let m = MachineModel::ibm_sp2();
-        let run = super::run(&sp2(4), &a, &part, CompressKind::Crs);
+        let run = super::run(&sp2(4), &a, &part, CompressKind::Crs).unwrap();
         // Source packs all 80 cells at 1 op each.
         let pack = run.ledgers[0].get(Phase::Pack).as_micros();
         assert!((pack - 80.0 * m.t_op).abs() < 1e-9);
@@ -167,7 +195,7 @@ mod tests {
         let a = paper_array_a();
         let part = RowBlock::new(10, 8, 4);
         let m = MachineModel::ibm_sp2();
-        let run = super::run(&sp2(4), &a, &part, CompressKind::Crs);
+        let run = super::run(&sp2(4), &a, &part, CompressKind::Crs).unwrap();
         let send = run.ledgers[0].get(Phase::Send).as_micros();
         assert!((send - (4.0 * m.t_startup + 80.0 * m.t_data)).abs() < 1e-9);
     }

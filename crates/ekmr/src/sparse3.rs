@@ -3,6 +3,7 @@
 use sparsedist_core::compress::CompressKind;
 use sparsedist_core::dense::Dense2D;
 use sparsedist_core::partition::Partition;
+use sparsedist_core::error::SparsedistError;
 use sparsedist_core::schemes::{run_scheme, SchemeKind, SchemeRun};
 use sparsedist_multicomputer::Multicomputer;
 use std::collections::BTreeMap;
@@ -128,13 +129,16 @@ impl Ekmr3 {
 /// Distribute a 3-D sparse array: flatten to the EKMR(3) plane, then run
 /// the chosen scheme over it. The partition must be built for the plane's
 /// shape (`n2 × n3·n1`).
+///
+/// # Errors
+/// Same failure modes as [`run_scheme`].
 pub fn distribute3(
     scheme: SchemeKind,
     machine: &Multicomputer,
     a: &Sparse3D,
     part: &dyn Partition,
     kind: CompressKind,
-) -> SchemeRun {
+) -> Result<SchemeRun, SparsedistError> {
     let ekmr = a.to_ekmr();
     run_scheme(scheme, machine, ekmr.plane(), part, kind)
 }
@@ -206,7 +210,7 @@ mod tests {
         let machine = Multicomputer::virtual_machine(4, MachineModel::ibm_sp2());
         let part = RowBlock::new(4, 15, 4);
         for scheme in SchemeKind::ALL {
-            let run = distribute3(scheme, &machine, &a, &part, CompressKind::Crs);
+            let run = distribute3(scheme, &machine, &a, &part, CompressKind::Crs).unwrap();
             assert_eq!(run.reassemble(&part), *e.plane(), "{scheme}");
             assert_eq!(run.total_nnz(), 4);
         }

@@ -3,6 +3,7 @@
 use sparsedist_core::compress::CompressKind;
 use sparsedist_core::dense::Dense2D;
 use sparsedist_core::partition::Partition;
+use sparsedist_core::error::SparsedistError;
 use sparsedist_core::schemes::{run_scheme, SchemeKind, SchemeRun};
 use sparsedist_multicomputer::Multicomputer;
 use std::collections::BTreeMap;
@@ -130,7 +131,7 @@ pub fn distribute4(
     a: &Sparse4D,
     part: &dyn Partition,
     kind: CompressKind,
-) -> SchemeRun {
+) -> Result<SchemeRun, SparsedistError> {
     let ekmr = a.to_ekmr();
     run_scheme(scheme, machine, ekmr.plane(), part, kind)
 }
@@ -193,7 +194,7 @@ mod tests {
         let part = Mesh2D::new(15, 8, 2, 2);
         for scheme in SchemeKind::ALL {
             for kind in [CompressKind::Crs, CompressKind::Ccs] {
-                let run = distribute4(scheme, &machine, &a, &part, kind);
+                let run = distribute4(scheme, &machine, &a, &part, kind).unwrap();
                 assert_eq!(run.reassemble(&part), *e.plane(), "{scheme} {kind}");
             }
         }

@@ -8,21 +8,24 @@
 //! ```text
 //! <dir>/manifest.txt      "sparsedist-checkpoint v1\nranks <p>\n"
 //! <dir>/rank_<i>.sdc      MAGIC, VERSION, kind, rows, cols,
-//!                         pointer_len, pointer…, nnz, indices…, values…
+//!                         pointer_len, pointer…, nnz, indices…, values…,
+//!                         CRC32 (over everything before it)
 //! ```
 //!
 //! All integers are little-endian `u64`, values are `f64` — the same wire
 //! encoding the simulated machine uses, so the pack/unpack machinery is
-//! reused verbatim.
+//! reused verbatim. The trailing CRC32 word catches single-bit flips that
+//! the structural validators cannot (e.g. a corrupted `f64` value).
 
 use sparsedist_core::compress::{Ccs, CompressError, Crs, LocalCompressed};
+use sparsedist_multicomputer::pack::crc32;
 use sparsedist_multicomputer::PackBuffer;
 use std::fmt;
 use std::fs;
 use std::path::Path;
 
 const MAGIC: u64 = 0x5344_434b_3031_7673; // "SDCK01vs"
-const VERSION: u64 = 1;
+const VERSION: u64 = 2;
 
 /// Error from saving or loading a checkpoint.
 #[derive(Debug)]
@@ -94,6 +97,8 @@ fn encode(local: &LocalCompressed) -> PackBuffer {
             buf.push_f64_slice(a.vl());
         }
     }
+    let crc = buf.crc32();
+    buf.push_u64(u64::from(crc));
     buf
 }
 
@@ -102,8 +107,33 @@ fn decode(rank: usize, bytes: &[u8]) -> Result<LocalCompressed, CkptError> {
     if !bytes.len().is_multiple_of(8) {
         return Err(corrupt("length not a multiple of 8"));
     }
+    // The last word is a CRC32 over everything before it; reject early on a
+    // mismatch so bit flips surface as a checksum error, not a parse error.
+    if bytes.len() < 3 * 8 {
+        return Err(corrupt("too short for header and checksum"));
+    }
+    let (body, footer) = bytes.split_at(bytes.len() - 8);
+    // Identify the file type before integrity-checking it, so a wrong-magic
+    // file reads as "not a checkpoint" rather than "corrupt checkpoint".
+    let mut w = [0u8; 8];
+    w.copy_from_slice(&body[..8]);
+    if u64::from_le_bytes(w) != MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    w.copy_from_slice(&body[8..16]);
+    if u64::from_le_bytes(w) != VERSION {
+        return Err(corrupt("unsupported version"));
+    }
+    w.copy_from_slice(footer);
+    let stored = u64::from_le_bytes(w);
+    let computed = u64::from(crc32(body));
+    if stored != computed {
+        return Err(corrupt(&format!(
+            "checksum mismatch (stored {stored:#010x}, computed {computed:#010x})"
+        )));
+    }
     let mut buf = PackBuffer::new();
-    for chunk in bytes.chunks_exact(8) {
+    for chunk in body.chunks_exact(8) {
         let mut w = [0u8; 8];
         w.copy_from_slice(chunk);
         buf.push_u64(u64::from_le_bytes(w));
@@ -212,7 +242,7 @@ mod tests {
         let a = paper_array_a();
         let part = RowBlock::new(10, 8, 4);
         let machine = Multicomputer::virtual_machine(4, MachineModel::ibm_sp2());
-        run_scheme(SchemeKind::Ed, &machine, &a, &part, kind).locals
+        run_scheme(SchemeKind::Ed, &machine, &a, &part, kind).unwrap().locals
     }
 
     #[test]
@@ -273,6 +303,15 @@ mod tests {
         fs::remove_dir_all(&dir).ok();
     }
 
+    /// Rewrite `bytes` so its CRC footer matches its (possibly tampered)
+    /// body again — models an attacker-consistent file, which must then be
+    /// caught by the structural validators instead of the checksum.
+    fn refresh_crc(bytes: &mut [u8]) {
+        let n = bytes.len();
+        let crc = u64::from(crc32(&bytes[..n - 8]));
+        bytes[n - 8..].copy_from_slice(&crc.to_le_bytes());
+    }
+
     #[test]
     fn tampered_indices_fail_validation() {
         let dir = tmpdir("tamper");
@@ -281,12 +320,32 @@ mod tests {
         let path = dir.join("rank_0.sdc");
         let mut bytes = fs::read(&path).unwrap();
         // Overwrite the first column index (after magic, version, kind,
-        // rows, cols, plen, pointer(5), nnz = 11 words) with a huge value.
+        // rows, cols, plen, pointer(5), nnz = 11 words) with a huge value,
+        // then make the checksum consistent so validation is what trips.
         let off = 8 * 11;
         bytes[off..off + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        refresh_crc(&mut bytes);
         fs::write(&path, &bytes).unwrap();
         let err = load(&dir).unwrap_err();
         assert!(matches!(err, CkptError::Invalid { rank: 0, .. }), "{err}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn single_bit_flip_fails_checksum() {
+        let dir = tmpdir("bitflip");
+        let locals = sample_locals(CompressKind::Crs);
+        save(&dir, &locals).unwrap();
+        let path = dir.join("rank_1.sdc");
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip one bit inside the values region — structurally harmless (a
+        // valid f64 stays a valid f64), so only the CRC can catch it.
+        let mid = bytes.len() - 24;
+        bytes[mid] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        let err = load(&dir).unwrap_err();
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
+        assert!(err.to_string().contains("rank 1"), "{err}");
         fs::remove_dir_all(&dir).ok();
     }
 

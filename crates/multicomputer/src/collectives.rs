@@ -8,16 +8,37 @@
 //! All collectives are rooted and implemented as sequential sends from /
 //! receives at the root, matching the paper's sequential-send cost model
 //! (`p × T_Startup + total_elems × T_Data` charged at the root).
+//!
+//! # Fault behavior
+//!
+//! Every collective returns `Result<_, CommError>` and degrades gracefully
+//! under a [`crate::fault::FaultPlan`] with dead ranks: dead peers are
+//! skipped (their slot, where one exists, is an empty [`PackBuffer`]), the
+//! reduction/barrier hub moves to the lowest *alive* rank, and a rank that
+//! is itself dead gets [`CommError::PeerDead`] back immediately so SPMD
+//! closures can bail out without deadlocking the survivors. A dead *root*
+//! is unrecoverable for rooted collectives and surfaces as `PeerDead` on
+//! every alive rank.
 
-use crate::engine::Env;
+use crate::engine::{CommError, Env};
 use crate::pack::PackBuffer;
 use crate::timing::Phase;
 
+/// Bail out of a collective when the calling rank itself is dead.
+fn check_self_alive(env: &Env) -> Result<(), CommError> {
+    if env.is_rank_dead(env.rank()) {
+        Err(CommError::PeerDead { rank: env.rank() })
+    } else {
+        Ok(())
+    }
+}
+
 /// Scatter one pre-packed buffer to each rank from `root`.
 ///
-/// On the root, `make_buf(dst)` is called for every destination rank in
-/// rank order (including the root itself) and the produced buffer is sent.
-/// Every rank (root included) then receives and returns its own buffer.
+/// On the root, `make_buf(dst)` is called for every *alive* destination
+/// rank in rank order (including the root itself) and the produced buffer
+/// is sent. Every alive rank (root included) then receives and returns its
+/// own buffer.
 ///
 /// Send costs are attributed to [`Phase::Send`]; the cost of `make_buf`
 /// lands in whatever phase the caller wrapped the call in (typically
@@ -26,105 +47,162 @@ pub fn scatterv(
     env: &mut Env,
     root: usize,
     mut make_buf: impl FnMut(usize) -> PackBuffer,
-) -> PackBuffer {
+) -> Result<PackBuffer, CommError> {
+    check_self_alive(env)?;
     if env.rank() == root {
         for dst in 0..env.nprocs() {
+            if env.is_rank_dead(dst) {
+                continue;
+            }
             let buf = make_buf(dst);
-            env.send(dst, buf);
+            env.send(dst, buf)?;
         }
     }
-    env.recv(root).payload
+    Ok(env.recv(root)?.payload)
 }
 
 /// Gather one buffer from every rank at `root`.
 ///
-/// Every rank sends `buf` to the root; the root returns all buffers in
-/// rank order, everyone else returns an empty vector.
-pub fn gather(env: &mut Env, root: usize, buf: PackBuffer) -> Vec<PackBuffer> {
-    env.send(root, buf);
+/// Every alive rank sends `buf` to the root; the root returns one buffer
+/// per rank in rank order — dead ranks contribute an empty [`PackBuffer`]
+/// placeholder (callers distinguish them via [`Env::is_rank_dead`]).
+/// Non-root ranks return an empty vector.
+pub fn gather(env: &mut Env, root: usize, buf: PackBuffer) -> Result<Vec<PackBuffer>, CommError> {
+    check_self_alive(env)?;
+    env.send(root, buf)?;
     if env.rank() == root {
-        (0..env.nprocs()).map(|src| env.recv(src).payload).collect()
+        (0..env.nprocs())
+            .map(|src| {
+                if env.is_rank_dead(src) {
+                    Ok(PackBuffer::new())
+                } else {
+                    Ok(env.recv(src)?.payload)
+                }
+            })
+            .collect()
     } else {
-        Vec::new()
+        Ok(Vec::new())
     }
 }
 
-/// Broadcast a buffer from `root` to every rank.
-pub fn broadcast(env: &mut Env, root: usize, buf: Option<PackBuffer>) -> PackBuffer {
+/// Broadcast a buffer from `root` to every alive rank.
+pub fn broadcast(
+    env: &mut Env,
+    root: usize,
+    buf: Option<PackBuffer>,
+) -> Result<PackBuffer, CommError> {
+    check_self_alive(env)?;
     if env.rank() == root {
         let buf = buf.expect("root must supply the broadcast buffer");
         for dst in 0..env.nprocs() {
-            env.send(dst, buf.clone());
+            if env.is_rank_dead(dst) {
+                continue;
+            }
+            env.send(dst, buf.clone())?;
         }
     }
-    env.recv(root).payload
+    Ok(env.recv(root)?.payload)
 }
 
-/// Allgather: every rank contributes one buffer and receives everyone's,
-/// in rank order. Implemented as direct exchange (`p²` messages), matching
-/// the sequential-send cost model used throughout.
-pub fn allgather(env: &mut Env, buf: PackBuffer) -> Vec<PackBuffer> {
+/// Allgather: every alive rank contributes one buffer and receives
+/// everyone's, in rank order (dead ranks' slots are empty placeholder
+/// buffers). Implemented as direct exchange (`p²` messages), matching the
+/// sequential-send cost model used throughout.
+pub fn allgather(env: &mut Env, buf: PackBuffer) -> Result<Vec<PackBuffer>, CommError> {
+    check_self_alive(env)?;
     for dst in 0..env.nprocs() {
-        env.send(dst, buf.clone());
+        if env.is_rank_dead(dst) {
+            continue;
+        }
+        env.send(dst, buf.clone())?;
     }
-    (0..env.nprocs()).map(|src| env.recv(src).payload).collect()
+    (0..env.nprocs())
+        .map(|src| {
+            if env.is_rank_dead(src) {
+                Ok(PackBuffer::new())
+            } else {
+                Ok(env.recv(src)?.payload)
+            }
+        })
+        .collect()
 }
 
-/// Elementwise sum-reduction of equal-length `f64` vectors at `root`,
-/// followed by a broadcast — an allreduce. Returns the reduced vector on
-/// every rank.
+/// Elementwise sum-reduction of equal-length `f64` vectors over the alive
+/// ranks, followed by a broadcast — an allreduce. The hub is the lowest
+/// alive rank, so the collective survives the death of rank 0. Returns the
+/// reduced vector on every alive rank.
 ///
 /// # Panics
-/// Panics if ranks contribute different lengths.
-pub fn allreduce_sum(env: &mut Env, values: &[f64]) -> Vec<f64> {
+/// Panics if alive ranks contribute different lengths, or no rank is alive.
+pub fn allreduce_sum(env: &mut Env, values: &[f64]) -> Result<Vec<f64>, CommError> {
+    check_self_alive(env)?;
+    let hub = *env.alive_ranks().first().expect("allreduce needs at least one alive rank");
     let mut buf = PackBuffer::with_capacity(values.len() + 1);
     buf.push_u64(values.len() as u64);
     buf.push_f64_slice(values);
-    env.send(0, buf);
-    if env.rank() == 0 {
+    env.send(hub, buf)?;
+    if env.rank() == hub {
         let mut acc = vec![0.0f64; values.len()];
+        let mut contributors = 0u64;
         for src in 0..env.nprocs() {
-            let msg = env.recv(src);
+            if env.is_rank_dead(src) {
+                continue;
+            }
+            let msg = env.recv(src)?;
             let mut cursor = msg.payload.cursor();
             let len = cursor.read_usize();
             assert_eq!(len, acc.len(), "rank {src} contributed length {len}, expected {}", acc.len());
             for slot in acc.iter_mut() {
                 *slot += cursor.read_f64();
             }
+            contributors += 1;
         }
-        env.charge_ops((acc.len() * env.nprocs()) as u64);
+        env.charge_ops(acc.len() as u64 * contributors);
         for dst in 0..env.nprocs() {
+            if env.is_rank_dead(dst) {
+                continue;
+            }
             let mut b = PackBuffer::with_capacity(acc.len());
             b.push_f64_slice(&acc);
-            env.send(dst, b);
+            env.send(dst, b)?;
         }
     }
-    env.recv(0).payload.cursor().read_f64_vec(values.len())
+    Ok(env.recv(hub)?.payload.cursor().read_f64_vec(values.len()))
 }
 
-/// Synchronise all ranks: everyone reports to rank 0, rank 0 releases
-/// everyone. Costs are attributed to [`Phase::Send`] / [`Phase::Wait`] as
-/// usual; wrap in [`Env::phase`] with [`Phase::Other`] to keep them out of
-/// scheme aggregates.
-pub fn barrier(env: &mut Env) {
+/// Synchronise all alive ranks: everyone reports to the lowest alive rank,
+/// which then releases everyone. Costs are attributed to [`Phase::Send`] /
+/// [`Phase::Wait`] as usual; the whole exchange is wrapped in
+/// [`Phase::Other`] to keep it out of scheme aggregates.
+pub fn barrier(env: &mut Env) -> Result<(), CommError> {
+    check_self_alive(env)?;
+    let hub = *env.alive_ranks().first().expect("barrier needs at least one alive rank");
     env.phase(Phase::Other, |env| {
-        env.send(0, PackBuffer::new());
-        if env.rank() == 0 {
+        env.send(hub, PackBuffer::new())?;
+        if env.rank() == hub {
             for src in 0..env.nprocs() {
-                env.recv(src);
+                if env.is_rank_dead(src) {
+                    continue;
+                }
+                env.recv(src)?;
             }
             for dst in 0..env.nprocs() {
-                env.send(dst, PackBuffer::new());
+                if env.is_rank_dead(dst) {
+                    continue;
+                }
+                env.send(dst, PackBuffer::new())?;
             }
         }
-        env.recv(0);
-    });
+        env.recv(hub)?;
+        Ok(())
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::engine::Multicomputer;
+    use crate::fault::FaultPlan;
     use crate::model::MachineModel;
 
     fn machine(p: usize) -> Multicomputer {
@@ -138,7 +216,8 @@ mod tests {
                 let mut b = PackBuffer::new();
                 b.push_u64(100 + dst as u64);
                 b
-            });
+            })
+            .unwrap();
             buf.cursor().read_u64()
         });
         assert_eq!(got, vec![100, 101, 102, 103]);
@@ -151,7 +230,8 @@ mod tests {
                 let mut b = PackBuffer::new();
                 b.push_u64(dst as u64 * 2);
                 b
-            });
+            })
+            .unwrap();
             buf.cursor().read_u64()
         });
         assert_eq!(got, vec![0, 2, 4]);
@@ -162,7 +242,7 @@ mod tests {
         let got = machine(4).run(|env| {
             let mut b = PackBuffer::new();
             b.push_u64(env.rank() as u64 * 10);
-            let all = gather(env, 0, b);
+            let all = gather(env, 0, b).unwrap();
             all.iter().map(|b| b.cursor().read_u64()).collect::<Vec<_>>()
         });
         assert_eq!(got[0], vec![0, 10, 20, 30]);
@@ -179,7 +259,7 @@ mod tests {
             } else {
                 None
             };
-            broadcast(env, 1, buf).cursor().read_f64()
+            broadcast(env, 1, buf).unwrap().cursor().read_f64()
         });
         assert_eq!(got, vec![6.75; 5]);
     }
@@ -188,8 +268,8 @@ mod tests {
     fn barrier_completes() {
         // Just check that no rank deadlocks and all finish.
         let got = machine(6).run(|env| {
-            barrier(env);
-            barrier(env);
+            barrier(env).unwrap();
+            barrier(env).unwrap();
             env.rank()
         });
         assert_eq!(got, (0..6).collect::<Vec<_>>());
@@ -200,7 +280,7 @@ mod tests {
         let got = machine(4).run(|env| {
             let mut b = PackBuffer::new();
             b.push_u64(env.rank() as u64 * 3);
-            let all = allgather(env, b);
+            let all = allgather(env, b).unwrap();
             all.iter().map(|b| b.cursor().read_u64()).collect::<Vec<_>>()
         });
         for ranks in got {
@@ -212,7 +292,7 @@ mod tests {
     fn allreduce_sums_elementwise() {
         let got = machine(5).run(|env| {
             let mine = vec![env.rank() as f64, 1.0, -(env.rank() as f64)];
-            allreduce_sum(env, &mine)
+            allreduce_sum(env, &mine).unwrap()
         });
         // Σ ranks = 10, Σ 1 = 5, Σ -ranks = -10.
         for v in got {
@@ -229,11 +309,11 @@ mod tests {
             Topology::Torus2D { pr: 2, pc: 2 },
         );
         let got = m.run(|env| {
-            barrier(env);
+            barrier(env).unwrap();
             let mut b = PackBuffer::new();
             b.push_u64(env.rank() as u64);
-            let all = allgather(env, b);
-            barrier(env);
+            let all = allgather(env, b).unwrap();
+            barrier(env).unwrap();
             all.len()
         });
         assert_eq!(got, vec![4; 4]);
@@ -247,10 +327,61 @@ mod tests {
                 let mut b = PackBuffer::new();
                 b.push_u64_slice(&[0; 9]);
                 b
-            });
+            })
+            .unwrap();
         });
         // Root sends 2 messages of 9 elems: 2*(1 + 9*1) = 20 µs.
         assert_eq!(ledgers[0].get(Phase::Send).as_micros(), 20.0);
         assert_eq!(ledgers[1].get(Phase::Send).as_micros(), 0.0);
+    }
+
+    #[test]
+    fn scatterv_skips_dead_ranks_without_deadlock() {
+        let plan = FaultPlan::new(0).with_dead_rank(2);
+        let m = machine(4).with_faults(plan);
+        let got = m.run(|env| {
+            match scatterv(env, 0, |dst| {
+                let mut b = PackBuffer::new();
+                b.push_u64(dst as u64 + 1);
+                b
+            }) {
+                Ok(buf) => buf.cursor().read_u64(),
+                Err(CommError::PeerDead { rank }) => 1000 + rank as u64,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        });
+        assert_eq!(got, vec![1, 2, 1002, 4]);
+    }
+
+    #[test]
+    fn gather_substitutes_empty_buffers_for_dead_ranks() {
+        let plan = FaultPlan::new(0).with_dead_rank(1);
+        let m = machine(3).with_faults(plan);
+        let got = m.run(|env| {
+            let mut b = PackBuffer::new();
+            b.push_u64(env.rank() as u64);
+            match gather(env, 0, b) {
+                Ok(all) => all.iter().map(|b| b.elem_count()).collect::<Vec<_>>(),
+                Err(_) => Vec::new(),
+            }
+        });
+        assert_eq!(got[0], vec![1, 0, 1], "dead rank 1 contributes an empty placeholder");
+    }
+
+    #[test]
+    fn allreduce_and_barrier_survive_death_of_rank_zero() {
+        let plan = FaultPlan::new(0).with_dead_rank(0);
+        let m = machine(4).with_faults(plan);
+        let got = m.run(|env| {
+            if env.is_rank_dead(env.rank()) {
+                return vec![-1.0];
+            }
+            barrier(env).unwrap();
+            let out = allreduce_sum(env, &[env.rank() as f64]).unwrap();
+            barrier(env).unwrap();
+            out
+        });
+        // Alive ranks 1+2+3 = 6; the hub moved to rank 1.
+        assert_eq!(got, vec![vec![-1.0], vec![6.0], vec![6.0], vec![6.0]]);
     }
 }

@@ -17,14 +17,43 @@
 //! elapsed wall time of its body. An optional per-element wire delay can be
 //! injected into `send` to emulate an interconnect slower than shared
 //! memory.
+//!
+//! # Reliable delivery and fault injection
+//!
+//! When a [`FaultPlan`] is installed ([`Multicomputer::with_faults`]), all
+//! traffic runs through a reliable-delivery layer:
+//!
+//! * every frame carries the CRC32 of its payload; the receiver rejects
+//!   frames whose payload fails the check and emits a **nack** on a
+//!   dedicated control channel (good frames are **acked**);
+//! * a dropped frame elicits nothing — the sender's ARQ timeout fires;
+//! * the sender retransmits after a timeout that backs off exponentially
+//!   ([`RetryPolicy`]), up to a retry budget, charging each timeout and
+//!   retransmission to [`Phase::Retry`] in virtual time;
+//! * exhausting the budget surfaces as [`CommError::RetriesExhausted`] on
+//!   *both* ends (a poison frame unblocks the receiver), never a deadlock.
+//!
+//! Fault decisions are pure hashes of `(seed, src, dst, seq, attempt)`
+//! (see [`crate::fault`]), and the sender — which shares the plan — charges
+//! the same timeout the ack round-trip would have established. The
+//! simulation therefore stays deterministic in virtual mode: same plan,
+//! same ledgers, bit for bit. Faulted frames are still physically moved
+//! across the channel (tagged with their injected fate) so the blocking
+//! receiver always has something to reject; a `Drop` tag means "this frame
+//! never arrived" and is skipped without cost.
+//!
+//! Without a plan the fast path is exactly the original engine: no CRC
+//! work, no acks, identical charges — the paper's tables are unaffected.
 
+use crate::fault::{FaultKind, FaultPlan, RetryPolicy};
 use crate::model::MachineModel;
 use crate::pack::PackBuffer;
-use crate::topology::Topology;
 use crate::time::VirtualTime;
 use crate::timing::{Phase, PhaseLedger};
+use crate::topology::Topology;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::fmt;
 use std::time::Instant;
 
 /// How the machine keeps time.
@@ -51,7 +80,50 @@ impl TimingMode {
     }
 }
 
-/// A message in flight between two simulated processors.
+/// A communication failure surfaced by the engine instead of a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// The reliable-delivery layer ran out of retries on one message.
+    RetriesExhausted {
+        /// Sending rank.
+        src: usize,
+        /// Receiving rank.
+        dst: usize,
+        /// Per-link sequence number of the doomed message.
+        seq: u64,
+        /// Attempts made (initial transmission + retries).
+        attempts: u32,
+    },
+    /// The peer rank is declared dead by the fault plan.
+    PeerDead {
+        /// The dead rank.
+        rank: usize,
+    },
+    /// The peer's thread exited early and its channel is closed.
+    Disconnected {
+        /// The vanished peer.
+        peer: usize,
+    },
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::RetriesExhausted { src, dst, seq, attempts } => write!(
+                f,
+                "message {seq} from rank {src} to rank {dst} undelivered after {attempts} attempts"
+            ),
+            CommError::PeerDead { rank } => write!(f, "rank {rank} is dead"),
+            CommError::Disconnected { peer } => {
+                write!(f, "rank {peer} hung up: peer processor exited early")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// A message delivered to scheme code: the payload plus provenance.
 #[derive(Debug, Clone)]
 pub struct Message {
     /// Which rank sent this message.
@@ -63,11 +135,37 @@ pub struct Message {
     pub arrival: VirtualTime,
 }
 
+/// What actually travels on a channel: a framed payload with the metadata
+/// the reliable-delivery layer needs.
+#[derive(Debug, Clone)]
+struct Frame {
+    seq: u64,
+    src: usize,
+    payload: PackBuffer,
+    arrival: VirtualTime,
+    /// CRC32 of the payload *as sent* (before any injected corruption), so
+    /// the receiver can detect a corrupted frame.
+    crc: u32,
+    /// The fate the fault plan decided for this frame (None = clean).
+    injected: Option<FaultKind>,
+    /// True on the poison frame a sender emits after exhausting retries.
+    failed: bool,
+}
+
+/// Receiver → sender control frame of the ack/nack protocol.
+#[derive(Debug, Clone, Copy)]
+struct AckMsg {
+    seq: u64,
+    ok: bool,
+}
+
 /// A simulated distributed-memory machine with `p` processors.
 pub struct Multicomputer {
     nprocs: usize,
     mode: TimingMode,
     topology: Topology,
+    faults: Option<FaultPlan>,
+    retry: RetryPolicy,
 }
 
 impl Multicomputer {
@@ -103,7 +201,31 @@ impl Multicomputer {
         if let Topology::Mesh2D { pr, pc } | Topology::Torus2D { pr, pc } = topology {
             assert_eq!(pr * pc, nprocs, "topology grid {pr}x{pc} != {nprocs} processors");
         }
-        Multicomputer { nprocs, mode, topology }
+        Multicomputer { nprocs, mode, topology, faults: None, retry: RetryPolicy::default() }
+    }
+
+    /// Install a [`FaultPlan`]: all traffic now runs through the
+    /// reliable-delivery layer (CRC32 framing, ack/nack, timeouts,
+    /// retransmission).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Set the [`RetryPolicy`] used when a fault plan is installed.
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
+    /// The retry policy the reliable-delivery layer uses.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
     }
 
     /// The interconnect topology.
@@ -143,28 +265,33 @@ impl Multicomputer {
         R: Send,
     {
         let p = self.nprocs;
-        // chans[src][dst]
-        let mut senders: Vec<Vec<Sender<Message>>> = (0..p).map(|_| Vec::with_capacity(p)).collect();
-        let mut receivers: Vec<Vec<Option<Receiver<Message>>>> =
-            (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
-        for (src, sender_row) in senders.iter_mut().enumerate() {
-            for receiver_row in receivers.iter_mut() {
-                let (tx, rx) = unbounded();
-                sender_row.push(tx);
-                receiver_row[src] = Some(rx);
-            }
-        }
+        // Data frames: chans[src][dst]. Ack control frames flow the other
+        // way on their own matrix so they never interleave with data.
+        let (data_tx, data_rx) = channel_matrix::<Frame>(p);
+        let (ack_tx, ack_rx) = channel_matrix::<AckMsg>(p);
 
         let f = &f;
         let mode = self.mode;
         let topology = self.topology;
+        let faults = &self.faults;
+        let retry = self.retry;
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(p);
-            for (rank, (tx_row, rx_row)) in senders.into_iter().zip(receivers).enumerate() {
-                let rx_row: Vec<Receiver<Message>> =
-                    rx_row.into_iter().map(|r| r.expect("channel matrix fully populated")).collect();
+            let rows = data_tx.into_iter().zip(data_rx).zip(ack_tx.into_iter().zip(ack_rx));
+            for (rank, ((tx_row, rx_row), (ack_tx_row, ack_rx_row))) in rows.enumerate() {
                 handles.push(scope.spawn(move || {
-                    let mut env = Env::new(rank, p, mode, topology, tx_row, rx_row);
+                    let mut env = Env::new(
+                        rank,
+                        p,
+                        mode,
+                        topology,
+                        faults.clone(),
+                        retry,
+                        tx_row,
+                        rx_row,
+                        ack_tx_row,
+                        ack_rx_row,
+                    );
                     let out = f(&mut env);
                     let ledger = env.into_ledger();
                     (out, ledger)
@@ -180,6 +307,29 @@ impl Multicomputer {
             (results, ledgers)
         })
     }
+}
+
+/// Build a `p × p` channel matrix; returns per-rank rows of senders (to
+/// every peer) and receivers (from every peer).
+#[allow(clippy::type_complexity)]
+fn channel_matrix<T>(p: usize) -> (Vec<Vec<Sender<T>>>, Vec<Vec<Receiver<T>>>) {
+    let mut senders: Vec<Vec<Sender<T>>> = (0..p).map(|_| Vec::with_capacity(p)).collect();
+    let mut receivers: Vec<Vec<Option<Receiver<T>>>> =
+        (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
+    for (src, sender_row) in senders.iter_mut().enumerate() {
+        for receiver_row in receivers.iter_mut() {
+            let (tx, rx) = unbounded();
+            sender_row.push(tx);
+            receiver_row[src] = Some(rx);
+        }
+    }
+    let receivers = receivers
+        .into_iter()
+        .map(|row| {
+            row.into_iter().map(|r| r.expect("channel matrix fully populated")).collect()
+        })
+        .collect();
+    (senders, receivers)
 }
 
 enum Clock {
@@ -198,18 +348,29 @@ pub struct Env {
     wire_ns_startup: u64,
     ledger: PhaseLedger,
     current_phase: Phase,
-    senders: Vec<Sender<Message>>,
-    receivers: Vec<Receiver<Message>>,
+    plan: Option<FaultPlan>,
+    retry: RetryPolicy,
+    /// Next per-link sequence number, indexed by destination.
+    send_seq: Vec<u64>,
+    senders: Vec<Sender<Frame>>,
+    receivers: Vec<Receiver<Frame>>,
+    ack_senders: Vec<Sender<AckMsg>>,
+    ack_receivers: Vec<Receiver<AckMsg>>,
 }
 
 impl Env {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         rank: usize,
         nprocs: usize,
         mode: TimingMode,
         topology: Topology,
-        senders: Vec<Sender<Message>>,
-        receivers: Vec<Receiver<Message>>,
+        plan: Option<FaultPlan>,
+        retry: RetryPolicy,
+        senders: Vec<Sender<Frame>>,
+        receivers: Vec<Receiver<Frame>>,
+        ack_senders: Vec<Sender<AckMsg>>,
+        ack_receivers: Vec<Receiver<AckMsg>>,
     ) -> Self {
         let (clock, wire_ns_per_elem, wire_ns_startup) = match mode {
             TimingMode::Virtual(model) => (Clock::Virtual { now: VirtualTime::ZERO, model }, 0, 0),
@@ -226,8 +387,13 @@ impl Env {
             wire_ns_startup,
             ledger: PhaseLedger::new(),
             current_phase: Phase::Other,
+            plan,
+            retry,
+            send_seq: vec![0; nprocs],
             senders,
             receivers,
+            ack_senders,
+            ack_receivers,
         }
     }
 
@@ -244,6 +410,17 @@ impl Env {
     /// True in virtual-time mode.
     pub fn is_virtual(&self) -> bool {
         matches!(self.clock, Clock::Virtual { .. })
+    }
+
+    /// True if the fault plan declares `rank` dead.
+    pub fn is_rank_dead(&self, rank: usize) -> bool {
+        self.plan.as_ref().is_some_and(|p| p.is_dead(rank))
+    }
+
+    /// The ranks that are alive under the current fault plan, ascending
+    /// (all ranks when no plan is installed).
+    pub fn alive_ranks(&self) -> Vec<usize> {
+        (0..self.nprocs).filter(|&r| !self.is_rank_dead(r)).collect()
     }
 
     /// Current local clock reading.
@@ -286,24 +463,19 @@ impl Env {
         }
     }
 
-    /// Send `payload` to `dst`.
-    ///
-    /// Virtual mode: charges `T_Startup + elems × T_Data` to the local
-    /// clock, attributed to [`Phase::Send`], and stamps the message with
-    /// the post-charge clock as its arrival time. Wall mode: optionally
-    /// busy-waits the configured wire cost, then moves the buffer.
-    pub fn send(&mut self, dst: usize, payload: PackBuffer) {
-        assert!(dst < self.nprocs, "send to rank {dst} of {}", self.nprocs);
-        let hops = self.topology.hops(self.rank, dst, self.nprocs);
-        let arrival = match &mut self.clock {
+    /// Charge the wire cost of one transmission of `elems` elements over
+    /// `hops` links into `phase`, returning the post-charge clock (virtual
+    /// mode), or busy-wait the configured wire time (wall mode).
+    fn charge_wire(&mut self, elems: u64, hops: usize, phase: Phase) -> VirtualTime {
+        match &mut self.clock {
             Clock::Virtual { now, model } => {
-                let cost = model.message_cost_hops(payload.elem_count(), hops.max(1));
+                let cost = model.message_cost_hops(elems, hops.max(1));
                 *now += cost;
-                self.ledger.record(Phase::Send, cost);
+                self.ledger.record(phase, cost);
                 *now
             }
             Clock::Wall { .. } => {
-                let ns = self.wire_ns_startup + self.wire_ns_per_elem * payload.elem_count();
+                let ns = self.wire_ns_startup + self.wire_ns_per_elem * elems;
                 if ns > 0 {
                     let start = Instant::now();
                     while (start.elapsed().as_nanos() as u64) < ns {
@@ -312,27 +484,236 @@ impl Env {
                 }
                 VirtualTime::ZERO
             }
+        }
+    }
+
+    /// Charge `us` microseconds of ARQ timeout to [`Phase::Retry`]
+    /// (virtual mode only; in wall mode the timeout is counted, not slept).
+    fn charge_timeout(&mut self, us: f64) {
+        if let Clock::Virtual { now, .. } = &mut self.clock {
+            let span = VirtualTime::from_micros(us);
+            *now += span;
+            self.ledger.record(Phase::Retry, span);
+        }
+    }
+
+    /// Send `payload` to `dst`.
+    ///
+    /// Virtual mode: charges `T_Startup + hops·T_Hop + elems × T_Data` to
+    /// the local clock, attributed to [`Phase::Send`], and stamps the
+    /// message with the post-charge clock as its arrival time. Wall mode:
+    /// optionally busy-waits the configured wire cost, then moves the
+    /// buffer.
+    ///
+    /// With a [`FaultPlan`] installed the transmission runs through the
+    /// reliable-delivery layer: injected drops and corruptions trigger
+    /// timeouts, exponential backoff and retransmission (charged to
+    /// [`Phase::Retry`]); exhausting the retry budget returns
+    /// [`CommError::RetriesExhausted`]; a dead peer returns
+    /// [`CommError::PeerDead`].
+    ///
+    /// # Panics
+    /// Panics if `dst` is out of range (API misuse, like slice indexing).
+    pub fn send(&mut self, dst: usize, payload: PackBuffer) -> Result<(), CommError> {
+        assert!(dst < self.nprocs, "send to rank {dst} of {}", self.nprocs);
+        if self.is_rank_dead(dst) {
+            return Err(CommError::PeerDead { rank: dst });
+        }
+        if self.is_rank_dead(self.rank) {
+            return Err(CommError::PeerDead { rank: self.rank });
+        }
+        let hops = self.topology.hops(self.rank, dst, self.nprocs);
+        let seq = self.send_seq[dst];
+        self.send_seq[dst] += 1;
+
+        let Some(plan) = self.plan.clone() else {
+            // Fast path: the original engine, byte-for-byte cost behavior.
+            let arrival = self.charge_wire(payload.elem_count(), hops, Phase::Send);
+            let frame =
+                Frame { seq, src: self.rank, payload, arrival, crc: 0, injected: None, failed: false };
+            return self.push_frame(dst, frame);
         };
-        self.senders[dst]
-            .send(Message { src: self.rank, payload, arrival })
-            .expect("receiver hung up: peer processor exited early");
+
+        self.drain_acks(dst);
+        let crc = payload.crc32();
+        let elems = payload.elem_count();
+        let mut attempt: u32 = 0;
+        loop {
+            let fate = plan.decide(self.rank, dst, seq, attempt, self.current_phase);
+            let wire_phase = if attempt == 0 { Phase::Send } else { Phase::Retry };
+            let sent_at = self.charge_wire(elems, hops, wire_phase);
+            match fate {
+                None | Some(FaultKind::Delay(_)) => {
+                    let arrival = match fate {
+                        Some(FaultKind::Delay(extra_us)) => match self.clock {
+                            Clock::Virtual { .. } => {
+                                sent_at + VirtualTime::from_micros(extra_us)
+                            }
+                            Clock::Wall { .. } => sent_at,
+                        },
+                        _ => sent_at,
+                    };
+                    let frame = Frame {
+                        seq,
+                        src: self.rank,
+                        payload,
+                        arrival,
+                        crc,
+                        injected: fate,
+                        failed: false,
+                    };
+                    return self.push_frame(dst, frame);
+                }
+                Some(fault @ (FaultKind::Drop | FaultKind::Corrupt)) => {
+                    // Transmit the doomed frame so the blocking receiver can
+                    // observe (and for corruption, CRC-reject) it.
+                    let mut wire_payload = payload.clone();
+                    if fault == FaultKind::Corrupt {
+                        wire_payload.flip_bit(plan.aux_roll(self.rank, dst, seq, attempt));
+                    }
+                    let frame = Frame {
+                        seq,
+                        src: self.rank,
+                        payload: wire_payload,
+                        arrival: sent_at,
+                        crc,
+                        injected: Some(fault),
+                        failed: false,
+                    };
+                    self.push_frame(dst, frame)?;
+                    if attempt >= self.retry.max_retries {
+                        // Unblock the receiver with a poison frame before
+                        // reporting failure on this side.
+                        let poison = Frame {
+                            seq,
+                            src: self.rank,
+                            payload: PackBuffer::new(),
+                            arrival: sent_at,
+                            crc: 0,
+                            injected: None,
+                            failed: true,
+                        };
+                        self.push_frame(dst, poison)?;
+                        return Err(CommError::RetriesExhausted {
+                            src: self.rank,
+                            dst,
+                            seq,
+                            attempts: attempt + 1,
+                        });
+                    }
+                    self.charge_timeout(self.retry.timeout_for(attempt));
+                    self.ledger.faults_mut().retries += 1;
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    fn push_frame(&mut self, dst: usize, frame: Frame) -> Result<(), CommError> {
+        self.senders[dst].send(frame).map_err(|_| CommError::Disconnected { peer: dst })
     }
 
     /// Blocking receive of the next message from `src`.
     ///
     /// Virtual mode: synchronises the local clock with the message's
     /// arrival time; any forward jump is booked as [`Phase::Wait`].
-    pub fn recv(&mut self, src: usize) -> Message {
+    ///
+    /// With a [`FaultPlan`] installed, faulted frames are consumed here:
+    /// dropped frames are skipped silently (the sender's timeout pays for
+    /// them), corrupted frames fail the CRC32 check and are nacked, and
+    /// clean frames are acked — all counted in the ledger's
+    /// [`crate::timing::FaultStats`]. A sender that exhausted its retries
+    /// surfaces as [`CommError::RetriesExhausted`]; a dead peer as
+    /// [`CommError::PeerDead`].
+    ///
+    /// # Panics
+    /// Panics if `src` is out of range (API misuse, like slice indexing).
+    pub fn recv(&mut self, src: usize) -> Result<Message, CommError> {
         assert!(src < self.nprocs, "recv from rank {src} of {}", self.nprocs);
-        let msg = self.receivers[src]
-            .recv()
-            .expect("sender hung up: peer processor exited early");
+        if self.is_rank_dead(src) {
+            return Err(CommError::PeerDead { rank: src });
+        }
+        if self.is_rank_dead(self.rank) {
+            return Err(CommError::PeerDead { rank: self.rank });
+        }
+        loop {
+            let frame = self.receivers[src]
+                .recv()
+                .map_err(|_| CommError::Disconnected { peer: src })?;
+            if frame.failed {
+                return Err(CommError::RetriesExhausted {
+                    src,
+                    dst: self.rank,
+                    seq: frame.seq,
+                    attempts: self.retry.max_retries + 1,
+                });
+            }
+            if self.plan.is_none() {
+                // Fast path: deliver directly, original cost behavior.
+                return Ok(self.deliver(frame));
+            }
+            match frame.injected {
+                Some(FaultKind::Drop) => {
+                    // Lost on the wire: the receiver never saw it; only the
+                    // deterministic drop counter records it.
+                    self.ledger.faults_mut().drops += 1;
+                    continue;
+                }
+                Some(FaultKind::Delay(_)) => {
+                    self.ledger.faults_mut().delays += 1;
+                }
+                _ => {}
+            }
+            // CRC verification walks every payload element once.
+            self.phase(Phase::Recv, |env| env.charge_ops(frame.payload.elem_count()));
+            let ok = frame.payload.crc32() == frame.crc;
+            self.send_ack(src, AckMsg { seq: frame.seq, ok });
+            if ok {
+                return Ok(self.deliver(frame));
+            }
+            self.ledger.faults_mut().corrupts += 1;
+        }
+    }
+
+    /// Clock-sync to the frame's arrival and hand it to the caller.
+    fn deliver(&mut self, frame: Frame) -> Message {
         if let Clock::Virtual { now, .. } = &mut self.clock {
-            let jump = msg.arrival.saturating_sub(*now);
-            *now = now.max(msg.arrival);
+            let jump = frame.arrival.saturating_sub(*now);
+            *now = now.max(frame.arrival);
             self.ledger.record(Phase::Wait, jump);
         }
-        msg
+        Message { src: frame.src, payload: frame.payload, arrival: frame.arrival }
+    }
+
+    /// Emit an ack/nack control frame and charge its wire cost (a one-
+    /// element control message) to [`Phase::Recv`].
+    fn send_ack(&mut self, src: usize, ack: AckMsg) {
+        if ack.ok {
+            self.ledger.faults_mut().acks += 1;
+        } else {
+            self.ledger.faults_mut().nacks += 1;
+        }
+        if let Clock::Virtual { now, model } = &mut self.clock {
+            let cost = model.message_cost(1);
+            *now += cost;
+            self.ledger.record(Phase::Recv, cost);
+        }
+        // The peer may already have finished — a vanished ack listener is
+        // not an error; acks are confirmations, not data.
+        let _ = self.ack_senders[src].send(ack);
+    }
+
+    /// Opportunistically drain delivery confirmations from `dst`. The
+    /// fault plan already told the sender everything the acks would (the
+    /// decisions are shared), so these only sanity-check the protocol.
+    fn drain_acks(&mut self, dst: usize) {
+        while let Ok(ack) = self.ack_receivers[dst].try_recv() {
+            debug_assert!(
+                ack.seq < self.send_seq[dst],
+                "ack for a frame rank {} never sent to {dst}",
+                self.rank
+            );
+        }
     }
 
     /// Immutable view of the ledger accumulated so far.
@@ -340,7 +721,12 @@ impl Env {
         &self.ledger
     }
 
-    fn into_ledger(self) -> PhaseLedger {
+    fn into_ledger(mut self) -> PhaseLedger {
+        if self.plan.is_some() {
+            for dst in 0..self.nprocs {
+                self.drain_acks(dst);
+            }
+        }
         self.ledger
     }
 }
@@ -370,15 +756,15 @@ mod tests {
             if env.rank() == 0 {
                 let mut b = PackBuffer::new();
                 b.push_f64(3.25);
-                env.send(1, b);
-                let back = env.recv(1);
+                env.send(1, b).unwrap();
+                let back = env.recv(1).unwrap();
                 back.payload.cursor().read_f64()
             } else {
-                let msg = env.recv(0);
+                let msg = env.recv(0).unwrap();
                 let v = msg.payload.cursor().read_f64();
                 let mut b = PackBuffer::new();
                 b.push_f64(v * 2.0);
-                env.send(0, b);
+                env.send(0, b).unwrap();
                 v
             }
         });
@@ -392,9 +778,9 @@ mod tests {
             if env.rank() == 0 {
                 let mut b = PackBuffer::new();
                 b.push_u64_slice(&[1, 2, 3, 4, 5]);
-                env.send(1, b);
+                env.send(1, b).unwrap();
             } else {
-                env.recv(0);
+                env.recv(0).unwrap();
             }
         });
         // t_startup + 5 elems * t_data = 10 + 10 = 20 µs at the sender.
@@ -425,10 +811,10 @@ mod tests {
                     for dst in 1..env.nprocs() {
                         let mut b = PackBuffer::new();
                         b.push_u64_slice(&vec![0; dst * 10]);
-                        env.send(dst, b);
+                        env.send(dst, b).unwrap();
                     }
                 } else {
-                    env.recv(0);
+                    env.recv(0).unwrap();
                     env.charge_ops(100);
                 }
             });
@@ -445,8 +831,8 @@ mod tests {
         let results = m.run(|env| {
             let mut b = PackBuffer::new();
             b.push_u64(env.rank() as u64);
-            env.send(env.rank(), b);
-            env.recv(env.rank()).payload.cursor().read_u64()
+            env.send(env.rank(), b).unwrap();
+            env.recv(env.rank()).unwrap().payload.cursor().read_u64()
         });
         assert_eq!(results, vec![0, 1, 2]);
     }
@@ -480,11 +866,11 @@ mod tests {
                 for i in 0..10u64 {
                     let mut b = PackBuffer::new();
                     b.push_u64(i);
-                    env.send(1, b);
+                    env.send(1, b).unwrap();
                 }
                 Vec::new()
             } else {
-                (0..10).map(|_| env.recv(0).payload.cursor().read_u64()).collect()
+                (0..10).map(|_| env.recv(0).unwrap().payload.cursor().read_u64()).collect()
             }
         });
         assert_eq!(results[1], (0..10).collect::<Vec<_>>());
@@ -495,11 +881,11 @@ mod tests {
         let m = Multicomputer::virtual_machine(3, model());
         let results = m.run(|env| {
             if env.rank() == 2 {
-                let a = env.recv(0).src;
-                let b = env.recv(1).src;
+                let a = env.recv(0).unwrap().src;
+                let b = env.recv(1).unwrap().src;
                 (a, b)
             } else {
-                env.send(2, PackBuffer::new());
+                env.send(2, PackBuffer::new()).unwrap();
                 (usize::MAX, usize::MAX)
             }
         });
@@ -521,9 +907,9 @@ mod tests {
             if env.rank() == 0 {
                 let mut b = PackBuffer::new();
                 b.push_u64_slice(&[1, 2, 3]);
-                env.send(2, b);
+                env.send(2, b).unwrap();
             } else if env.rank() == 2 {
-                env.recv(0);
+                env.recv(0).unwrap();
             }
         });
         // 10 startup + 2 hops * 5 + 3 elems * 2 = 26 µs.
@@ -549,5 +935,244 @@ mod tests {
         });
         assert_eq!(ledgers[0].get(Phase::Pack).as_micros(), 5.0);
         assert_eq!(ledgers[0].get(Phase::Unpack).as_micros(), 2.0);
+    }
+
+    // ---- fault injection & reliable delivery ----
+
+    use crate::fault::LinkProbs;
+
+    /// A plan whose every decision is "no fault": exercises the reliable
+    /// layer (CRC, acks) without any injected trouble.
+    fn quiet_plan() -> FaultPlan {
+        FaultPlan::new(1)
+    }
+
+    #[test]
+    fn reliable_layer_round_trips_without_faults() {
+        let m = Multicomputer::virtual_machine(2, model()).with_faults(quiet_plan());
+        let (results, ledgers) = m.run_with_ledgers(|env| {
+            if env.rank() == 0 {
+                let mut b = PackBuffer::new();
+                b.push_u64_slice(&[1, 2, 3]);
+                env.send(1, b).unwrap();
+                0
+            } else {
+                env.recv(0).unwrap().payload.cursor().read_u64() as usize
+            }
+        });
+        assert_eq!(results, vec![0, 1]);
+        assert_eq!(ledgers[1].faults().acks, 1);
+        assert_eq!(ledgers[1].faults().nacks, 0);
+        assert!(ledgers[0].faults().is_quiet());
+    }
+
+    #[test]
+    fn dropped_messages_are_retried_and_charged() {
+        // Certain drop on the first attempt of every frame would livelock;
+        // use a high-but-not-certain rate and a generous budget instead, on
+        // a fixed seed so the test is stable.
+        let plan = FaultPlan::new(7).with_drop(0.5);
+        let m = Multicomputer::virtual_machine(2, model())
+            .with_faults(plan)
+            .with_retry_policy(RetryPolicy { max_retries: 16, timeout_us: 50.0, backoff: 2.0 });
+        let (results, ledgers) = m.run_with_ledgers(|env| {
+            if env.rank() == 0 {
+                for i in 0..20u64 {
+                    let mut b = PackBuffer::new();
+                    b.push_u64(i);
+                    env.send(1, b).unwrap();
+                }
+                Vec::new()
+            } else {
+                (0..20).map(|_| env.recv(0).unwrap().payload.cursor().read_u64()).collect()
+            }
+        });
+        assert_eq!(results[1], (0..20).collect::<Vec<_>>());
+        let retries = ledgers[0].faults().retries;
+        assert!(retries > 0, "a 50% drop rate must force retries");
+        assert_eq!(ledgers[1].faults().drops, retries, "every retry answers one lost frame");
+        assert!(ledgers[0].get(Phase::Retry).as_micros() > 0.0, "retries must be charged");
+    }
+
+    #[test]
+    fn corrupted_messages_fail_crc_and_are_nacked() {
+        let plan = FaultPlan::new(3).with_corrupt(0.5);
+        let m = Multicomputer::virtual_machine(2, model())
+            .with_faults(plan)
+            .with_retry_policy(RetryPolicy { max_retries: 16, timeout_us: 10.0, backoff: 1.5 });
+        let (results, ledgers) = m.run_with_ledgers(|env| {
+            if env.rank() == 0 {
+                for i in 0..20u64 {
+                    let mut b = PackBuffer::new();
+                    b.push_u64(i * 1000);
+                    b.push_f64(i as f64);
+                    env.send(1, b).unwrap();
+                }
+                Vec::new()
+            } else {
+                (0..20)
+                    .map(|_| {
+                        let msg = env.recv(0).unwrap();
+                        let mut c = msg.payload.cursor();
+                        (c.read_u64(), c.read_f64())
+                    })
+                    .collect()
+            }
+        });
+        let want: Vec<(u64, f64)> = (0..20).map(|i| (i * 1000, i as f64)).collect();
+        assert_eq!(results[1], want, "all payloads must arrive uncorrupted");
+        assert!(ledgers[1].faults().corrupts > 0, "a 50% corrupt rate must hit some frames");
+        assert_eq!(ledgers[1].faults().nacks, ledgers[1].faults().corrupts);
+        assert_eq!(ledgers[1].faults().acks, 20);
+    }
+
+    #[test]
+    fn delayed_messages_arrive_late_but_intact() {
+        let plan = FaultPlan::new(5).with_delay(1.0, 500.0);
+        let m = Multicomputer::virtual_machine(2, model()).with_faults(plan);
+        let (results, ledgers) = m.run_with_ledgers(|env| {
+            if env.rank() == 0 {
+                let mut b = PackBuffer::new();
+                b.push_u64(9);
+                env.send(1, b).unwrap();
+                0.0
+            } else {
+                env.recv(0).unwrap();
+                env.now().as_micros()
+            }
+        });
+        // Send costs 10 + 1*2 = 12 µs, plus the injected 500 µs delay.
+        assert!(results[1] >= 512.0, "receiver clock must include the delay, got {}", results[1]);
+        assert_eq!(ledgers[1].faults().delays, 1);
+    }
+
+    #[test]
+    fn retries_exhausted_errors_both_sides_without_deadlock() {
+        let plan = FaultPlan::new(0).with_link(0, 1, LinkProbs { drop: 1.0, ..Default::default() });
+        let m = Multicomputer::virtual_machine(2, model())
+            .with_faults(plan)
+            .with_retry_policy(RetryPolicy { max_retries: 2, timeout_us: 10.0, backoff: 2.0 });
+        let results = m.run(|env| {
+            if env.rank() == 0 {
+                let mut b = PackBuffer::new();
+                b.push_u64(1);
+                env.send(1, b).map(|_| 0u64).map_err(|e| e.to_string())
+            } else {
+                env.recv(0).map(|m| m.payload.cursor().read_u64()).map_err(|e| e.to_string())
+            }
+        });
+        let sender_err = results[0].clone().unwrap_err();
+        let receiver_err = results[1].clone().unwrap_err();
+        assert!(sender_err.contains("after 3 attempts"), "{sender_err}");
+        assert!(receiver_err.contains("undelivered"), "{receiver_err}");
+    }
+
+    #[test]
+    fn exhausted_send_charges_backoff_series() {
+        let plan = FaultPlan::new(0).with_drop(1.0);
+        let m = Multicomputer::virtual_machine(2, model())
+            .with_faults(plan)
+            .with_retry_policy(RetryPolicy { max_retries: 2, timeout_us: 10.0, backoff: 2.0 });
+        let (_, ledgers) = m.run_with_ledgers(|env| {
+            if env.rank() == 0 {
+                let mut b = PackBuffer::new();
+                b.push_u64_slice(&[1, 2, 3]);
+                let _ = env.send(1, b);
+            } else {
+                let _ = env.recv(0);
+            }
+        });
+        // Attempt 0 books to Send (10 + 3*2 = 16 µs); attempts 1-2 book
+        // their wire cost to Retry along with timeouts 10 and 20 µs:
+        // Retry = 16 + 16 + 10 + 20 = 62 µs.
+        assert_eq!(ledgers[0].get(Phase::Send).as_micros(), 16.0);
+        assert_eq!(ledgers[0].get(Phase::Retry).as_micros(), 62.0);
+        assert_eq!(ledgers[0].faults().retries, 2);
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic() {
+        let run_once = || {
+            let plan = FaultPlan::new(11).with_drop(0.3).with_corrupt(0.2).with_delay(0.1, 80.0);
+            let m = Multicomputer::virtual_machine(3, model())
+                .with_faults(plan)
+                .with_retry_policy(RetryPolicy { max_retries: 20, timeout_us: 25.0, backoff: 2.0 });
+            m.run_with_ledgers(|env| {
+                if env.rank() == 0 {
+                    for dst in 1..env.nprocs() {
+                        for i in 0..10u64 {
+                            let mut b = PackBuffer::new();
+                            b.push_u64_slice(&[i; 5]);
+                            env.send(dst, b).unwrap();
+                        }
+                    }
+                    0
+                } else {
+                    (0..10).map(|_| env.recv(0).unwrap().payload.elem_count()).sum::<u64>()
+                }
+            })
+        };
+        let (ra, la) = run_once();
+        let (rb, lb) = run_once();
+        assert_eq!(ra, rb);
+        assert_eq!(la, lb, "ledgers (including fault stats) must be byte-identical");
+    }
+
+    #[test]
+    fn dead_peer_errors_immediately() {
+        let plan = FaultPlan::new(0).with_dead_rank(1);
+        let m = Multicomputer::virtual_machine(3, model()).with_faults(plan);
+        let results = m.run(|env| {
+            if env.rank() == 0 {
+                let send_err = env.send(1, PackBuffer::new()).unwrap_err();
+                let recv_err = env.recv(1).unwrap_err();
+                assert_eq!(send_err, CommError::PeerDead { rank: 1 });
+                assert_eq!(recv_err, CommError::PeerDead { rank: 1 });
+                // Traffic to live ranks is unaffected.
+                env.send(2, PackBuffer::new()).unwrap();
+                "sent"
+            } else if env.rank() == 2 {
+                env.recv(0).unwrap();
+                "got"
+            } else {
+                // The dead rank itself cannot communicate.
+                assert!(env.send(0, PackBuffer::new()).is_err());
+                "dead"
+            }
+        });
+        assert_eq!(results, vec!["sent", "dead", "got"]);
+    }
+
+    #[test]
+    fn alive_ranks_reflect_plan() {
+        let plan = FaultPlan::new(0).with_dead_rank(0).with_dead_rank(2);
+        let m = Multicomputer::virtual_machine(4, model()).with_faults(plan);
+        let alive = m.run(|env| (env.alive_ranks(), env.is_rank_dead(env.rank())));
+        assert_eq!(alive[1].0, vec![1, 3]);
+        assert_eq!(
+            alive.iter().map(|(_, dead)| *dead).collect::<Vec<_>>(),
+            vec![true, false, true, false]
+        );
+    }
+
+    #[test]
+    fn wall_clock_mode_recovers_from_faults_too() {
+        let plan = FaultPlan::new(21).with_drop(0.4).with_corrupt(0.2);
+        let m = Multicomputer::wall_clock(2)
+            .with_faults(plan)
+            .with_retry_policy(RetryPolicy { max_retries: 24, timeout_us: 1.0, backoff: 1.1 });
+        let results = m.run(|env| {
+            if env.rank() == 0 {
+                for i in 0..30u64 {
+                    let mut b = PackBuffer::new();
+                    b.push_u64(i);
+                    env.send(1, b).unwrap();
+                }
+                0
+            } else {
+                (0..30).map(|_| env.recv(0).unwrap().payload.cursor().read_u64()).sum::<u64>()
+            }
+        });
+        assert_eq!(results[1], (0..30).sum::<u64>());
     }
 }

@@ -32,6 +32,15 @@
 //!   real host; an optional calibrated per-element wire delay can be
 //!   injected to emulate a slower interconnect than shared memory.
 //!
+//! A deterministic **fault-injection substrate** ([`fault::FaultPlan`])
+//! can be installed with [`Multicomputer::with_faults`]: messages are then
+//! CRC32-framed and carried by a reliable-delivery layer (ack/nack,
+//! timeout with exponential backoff, bounded retransmission — see
+//! [`fault::RetryPolicy`]), with every recovery action charged to
+//! [`Phase::Retry`] on the virtual clock and counted in the ledger's
+//! [`timing::FaultStats`]. Communication failures surface as
+//! [`CommError`] values, never panics.
+//!
 //! # Example
 //!
 //! ```
@@ -44,10 +53,10 @@
 //!         for dst in 0..env.nprocs() {
 //!             let mut buf = PackBuffer::new();
 //!             buf.push_u64(dst as u64 * 10);
-//!             env.phase(Phase::Send, |env| env.send(dst, buf));
+//!             env.phase(Phase::Send, |env| env.send(dst, buf)).unwrap();
 //!         }
 //!     }
-//!     let msg = env.recv(0);
+//!     let msg = env.recv(0).unwrap();
 //!     msg.payload.cursor().read_u64()
 //! });
 //! assert_eq!(results, vec![0, 10, 20, 30]);
@@ -55,15 +64,17 @@
 
 pub mod collectives;
 pub mod engine;
+pub mod fault;
 pub mod model;
 pub mod pack;
 pub mod time;
 pub mod timing;
 pub mod topology;
 
-pub use engine::{Env, Message, Multicomputer, TimingMode};
+pub use engine::{CommError, Env, Message, Multicomputer, TimingMode};
+pub use fault::{FaultKind, FaultPlan, FaultSpecError, LinkProbs, RetryPolicy};
 pub use model::MachineModel;
-pub use pack::{PackBuffer, UnpackCursor};
+pub use pack::{PackBuffer, PatchError, UnpackCursor};
 pub use time::VirtualTime;
-pub use timing::{Phase, PhaseLedger};
+pub use timing::{render_fault_summary, FaultStats, Phase, PhaseLedger};
 pub use topology::Topology;

@@ -81,13 +81,14 @@ impl PackBuffer {
     }
 
     /// Overwrite the 8 bytes at `at` (from [`PackBuffer::push_u64_placeholder`])
-    /// with `v`. Does not change the element count.
-    ///
-    /// # Panics
-    /// Panics if `at` is not a valid 8-byte slot.
-    pub fn patch_u64(&mut self, at: usize, v: u64) {
-        assert!(at + 8 <= self.bytes.len(), "patch offset {at} out of buffer");
+    /// with `v`. Does not change the element count. Fails if `at` is not a
+    /// valid 8-byte slot.
+    pub fn patch_u64(&mut self, at: usize, v: u64) -> Result<(), PatchError> {
+        if at + 8 > self.bytes.len() {
+            return Err(PatchError { at, len: self.bytes.len() });
+        }
         self.bytes[at..at + 8].copy_from_slice(&v.to_le_bytes());
+        Ok(())
     }
 
     /// Number of logical array elements packed so far (what `T_Data` is
@@ -115,7 +116,66 @@ impl PackBuffer {
     pub fn as_bytes(&self) -> &[u8] {
         &self.bytes
     }
+
+    /// IEEE CRC32 of the wire bytes — the frame checksum the
+    /// reliable-delivery layer uses to detect payload corruption.
+    pub fn crc32(&self) -> u32 {
+        crc32(&self.bytes)
+    }
+
+    /// Flip one payload bit (used by fault injection to enact a `Corrupt`
+    /// fault on a real buffer). No-op on an empty buffer.
+    pub fn flip_bit(&mut self, bit: u64) {
+        if self.bytes.is_empty() {
+            return;
+        }
+        let nbits = self.bytes.len() as u64 * 8;
+        let bit = bit % nbits;
+        self.bytes[(bit / 8) as usize] ^= 1 << (bit % 8);
+    }
 }
+
+/// IEEE 802.3 CRC32 (the `cksum`/zlib polynomial), table-driven.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xedb8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *slot = c;
+        }
+        t
+    });
+    let mut c = !0u32;
+    for &b in bytes {
+        c = table[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// Error returned by [`PackBuffer::patch_u64`] for an out-of-range slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PatchError {
+    /// Byte offset of the attempted 8-byte write.
+    pub at: usize,
+    /// Length of the buffer at the time of the write.
+    pub len: usize,
+}
+
+impl fmt::Display for PatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "patch offset {} out of buffer: 8-byte write into a {}-byte buffer",
+            self.at, self.len
+        )
+    }
+}
+
+impl std::error::Error for PatchError {}
 
 impl fmt::Display for PackBuffer {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -189,6 +249,21 @@ impl<'a> UnpackCursor<'a> {
     /// Fallible read of one value element.
     pub fn try_read_f64(&mut self) -> Result<f64, UnpackError> {
         self.take8().map(f64::from_le_bytes)
+    }
+
+    /// Fallible read of one index element as `usize`.
+    pub fn try_read_usize(&mut self) -> Result<usize, UnpackError> {
+        self.try_read_u64().map(|v| v as usize)
+    }
+
+    /// Fallible read of `n` index elements into a fresh vector.
+    pub fn try_read_usize_vec(&mut self, n: usize) -> Result<Vec<usize>, UnpackError> {
+        (0..n).map(|_| self.try_read_usize()).collect()
+    }
+
+    /// Fallible read of `n` value elements into a fresh vector.
+    pub fn try_read_f64_vec(&mut self, n: usize) -> Result<Vec<f64>, UnpackError> {
+        (0..n).map(|_| self.try_read_f64()).collect()
     }
 
     /// Read `n` index elements into a fresh vector.
@@ -293,7 +368,7 @@ mod tests {
         let mut b = PackBuffer::new();
         let slot = b.push_u64_placeholder();
         b.push_f64(1.5);
-        b.patch_u64(slot, 99);
+        b.patch_u64(slot, 99).unwrap();
         assert_eq!(b.elem_count(), 2);
         let mut c = b.cursor();
         assert_eq!(c.read_u64(), 99);
@@ -301,10 +376,37 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "patch offset")]
-    fn patch_out_of_range_panics() {
+    fn patch_out_of_range_is_an_error() {
         let mut b = PackBuffer::new();
-        b.patch_u64(0, 1);
+        let err = b.patch_u64(0, 1).unwrap_err();
+        assert_eq!(err, PatchError { at: 0, len: 0 });
+        assert!(err.to_string().contains("patch offset 0"));
+        b.push_u64(7);
+        assert_eq!(b.patch_u64(1, 2).unwrap_err(), PatchError { at: 1, len: 8 });
+        // The failed patches must not have altered the contents.
+        assert_eq!(b.cursor().read_u64(), 7);
+    }
+
+    #[test]
+    fn crc32_known_vectors_and_sensitivity() {
+        // IEEE CRC32 of "123456789" is the classic check value.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+        let mut b = PackBuffer::new();
+        b.push_u64(42);
+        b.push_f64(1.5);
+        let before = b.crc32();
+        b.flip_bit(17);
+        assert_ne!(b.crc32(), before, "a single bit flip must change the CRC");
+        b.flip_bit(17);
+        assert_eq!(b.crc32(), before, "flipping back restores it");
+    }
+
+    #[test]
+    fn flip_bit_on_empty_buffer_is_noop() {
+        let mut b = PackBuffer::new();
+        b.flip_bit(123);
+        assert!(b.is_empty());
     }
 
     #[test]

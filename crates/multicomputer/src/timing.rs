@@ -38,13 +38,16 @@ pub enum Phase {
     Wait,
     /// Post-distribution computation (SpMV etc. from `sparsedist-ops`).
     Compute,
+    /// Reliable-delivery recovery: ARQ timeouts (with exponential backoff)
+    /// and the wire cost of retransmitted frames under fault injection.
+    Retry,
     /// Anything else.
     Other,
 }
 
 impl Phase {
     /// All phases, in ledger order.
-    pub const ALL: [Phase; 11] = [
+    pub const ALL: [Phase; 12] = [
         Phase::Partition,
         Phase::Compress,
         Phase::Encode,
@@ -55,6 +58,7 @@ impl Phase {
         Phase::Decode,
         Phase::Wait,
         Phase::Compute,
+        Phase::Retry,
         Phase::Other,
     ];
 
@@ -70,7 +74,8 @@ impl Phase {
             Phase::Decode => 7,
             Phase::Wait => 8,
             Phase::Compute => 9,
-            Phase::Other => 10,
+            Phase::Retry => 10,
+            Phase::Other => 11,
         }
     }
 
@@ -87,7 +92,29 @@ impl Phase {
             Phase::Decode => "decode",
             Phase::Wait => "wait",
             Phase::Compute => "compute",
+            Phase::Retry => "retry",
             Phase::Other => "other",
+        }
+    }
+
+    /// One-character key for timeline bars, distinct for every phase:
+    /// mostly the label's first letter, with `wait` as `.`, `retry` as `!`,
+    /// and hand-picked letters where first letters collide (pack vs
+    /// partition, compute vs compress).
+    pub fn timeline_char(self) -> char {
+        match self {
+            Phase::Partition => 'p',
+            Phase::Compress => 'c',
+            Phase::Encode => 'e',
+            Phase::Pack => 'k',
+            Phase::Send => 's',
+            Phase::Recv => 'r',
+            Phase::Unpack => 'u',
+            Phase::Decode => 'd',
+            Phase::Wait => '.',
+            Phase::Compute => 'x',
+            Phase::Retry => '!',
+            Phase::Other => 'o',
         }
     }
 }
@@ -98,10 +125,51 @@ impl fmt::Display for Phase {
     }
 }
 
-/// Time accumulated per [`Phase`] on one simulated processor.
+/// Counters of injected faults and recovery actions on one simulated
+/// processor. Deterministic for a given [`crate::fault::FaultPlan`]: drops,
+/// corruptions and delays are counted where the frame is *processed* (the
+/// receiver), retries and exhausted sends where recovery runs (the sender),
+/// acks/nacks where they are emitted (the receiver).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Frames lost on the wire (receiver side).
+    pub drops: u64,
+    /// Frames rejected by the CRC32 check (receiver side).
+    pub corrupts: u64,
+    /// Frames delivered late (receiver side).
+    pub delays: u64,
+    /// Frames retransmitted after a timeout (sender side).
+    pub retries: u64,
+    /// Ack control frames emitted (receiver side).
+    pub acks: u64,
+    /// Nack control frames emitted (receiver side).
+    pub nacks: u64,
+}
+
+impl FaultStats {
+    /// True when no fault was seen and no recovery ran.
+    pub fn is_quiet(&self) -> bool {
+        self.drops == 0 && self.corrupts == 0 && self.delays == 0 && self.retries == 0
+    }
+}
+
+impl AddAssign for FaultStats {
+    fn add_assign(&mut self, rhs: FaultStats) {
+        self.drops += rhs.drops;
+        self.corrupts += rhs.corrupts;
+        self.delays += rhs.delays;
+        self.retries += rhs.retries;
+        self.acks += rhs.acks;
+        self.nacks += rhs.nacks;
+    }
+}
+
+/// Time accumulated per [`Phase`] on one simulated processor, plus the
+/// fault/recovery counters of the reliable-delivery layer.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct PhaseLedger {
-    spans: [VirtualTime; 11],
+    spans: [VirtualTime; 12],
+    faults: FaultStats,
 }
 
 impl PhaseLedger {
@@ -141,6 +209,16 @@ impl PhaseLedger {
             .map(|&p| (p, self.get(p)))
             .filter(|(_, t)| t.as_micros() > 0.0)
     }
+
+    /// The fault/recovery counters.
+    pub fn faults(&self) -> FaultStats {
+        self.faults
+    }
+
+    /// Mutable access for the engine's fault bookkeeping.
+    pub fn faults_mut(&mut self) -> &mut FaultStats {
+        &mut self.faults
+    }
 }
 
 impl Add for PhaseLedger {
@@ -156,6 +234,7 @@ impl AddAssign for PhaseLedger {
         for i in 0..self.spans.len() {
             self.spans[i] += rhs.spans[i];
         }
+        self.faults += rhs.faults;
     }
 }
 
@@ -178,7 +257,8 @@ impl fmt::Display for PhaseLedger {
 
 /// Render a fleet of per-rank ledgers as a proportional text timeline —
 /// one bar per rank, one letter per phase, scaled so the busiest rank
-/// spans `width` characters. Phases are keyed by the first letter of
+/// spans `width` characters. Phases are keyed by [`Phase::timeline_char`],
+/// mostly the first letter of
 /// their label (send = `s`, compress = `c`, …; `wait` renders as `.`).
 ///
 /// ```text
@@ -202,11 +282,7 @@ pub fn render_timeline(ledgers: &[PhaseLedger], width: usize) -> String {
         for p in Phase::ALL {
             let span = l.get(p).as_micros();
             let chars = (span * scale).round() as usize;
-            let ch = if p == Phase::Wait {
-                '.'
-            } else {
-                p.label().chars().next().expect("non-empty label")
-            };
+            let ch = p.timeline_char();
             for _ in 0..chars {
                 bar.push(ch);
             }
@@ -215,6 +291,42 @@ pub fn render_timeline(ledgers: &[PhaseLedger], width: usize) -> String {
         let total = l.busy_total() + l.get(Phase::Wait);
         out.push_str(&format!("P{rank:<3}|{bar:<width$}| {total}\n"));
     }
+    out
+}
+
+/// Render the fault/recovery section of a fleet of per-rank ledgers: one
+/// line per rank that saw faults or ran recovery, plus a totals line.
+/// Returns an empty string when every ledger is quiet (no faults, no
+/// retries) — callers can append the result unconditionally.
+pub fn render_fault_summary(ledgers: &[PhaseLedger]) -> String {
+    let mut total = FaultStats::default();
+    let mut total_retry_time = VirtualTime::ZERO;
+    let mut out = String::new();
+    for (rank, l) in ledgers.iter().enumerate() {
+        let f = l.faults();
+        total += f;
+        total_retry_time += l.get(Phase::Retry);
+        if f.is_quiet() {
+            continue;
+        }
+        out.push_str(&format!(
+            "P{rank:<3} drops={} corrupt={} delayed={} retries={} ack/nack={}/{} retry_time={}\n",
+            f.drops,
+            f.corrupts,
+            f.delays,
+            f.retries,
+            f.acks,
+            f.nacks,
+            l.get(Phase::Retry),
+        ));
+    }
+    if total.is_quiet() {
+        return String::new();
+    }
+    out.push_str(&format!(
+        "faults: {} dropped, {} corrupted, {} delayed; {} retransmissions costing {}\n",
+        total.drops, total.corrupts, total.delays, total.retries, total_retry_time,
+    ));
     out
 }
 
@@ -273,6 +385,46 @@ mod tests {
         for (i, p) in Phase::ALL.iter().enumerate() {
             assert_eq!(p.index(), i, "ALL order must match index order");
         }
+    }
+
+    #[test]
+    fn timeline_chars_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for p in Phase::ALL {
+            assert!(seen.insert(p.timeline_char()), "duplicate key for {p}");
+        }
+        assert_eq!(Phase::Retry.timeline_char(), '!');
+        assert_eq!(Phase::Wait.timeline_char(), '.');
+    }
+
+    #[test]
+    fn fault_stats_merge_with_ledgers() {
+        let mut a = PhaseLedger::new();
+        a.faults_mut().drops = 2;
+        a.faults_mut().retries = 3;
+        let mut b = PhaseLedger::new();
+        b.faults_mut().drops = 1;
+        b.faults_mut().acks = 5;
+        let c = a + b;
+        assert_eq!(c.faults().drops, 3);
+        assert_eq!(c.faults().retries, 3);
+        assert_eq!(c.faults().acks, 5);
+        assert!(!c.faults().is_quiet());
+        assert!(PhaseLedger::new().faults().is_quiet());
+    }
+
+    #[test]
+    fn fault_summary_lists_only_noisy_ranks() {
+        let quiet = PhaseLedger::new();
+        let mut noisy = PhaseLedger::new();
+        noisy.faults_mut().drops = 4;
+        noisy.faults_mut().retries = 4;
+        noisy.record(Phase::Retry, us(1500.0));
+        let s = render_fault_summary(&[quiet.clone(), noisy]);
+        assert!(s.contains("P1"), "{s}");
+        assert!(!s.contains("P0"), "{s}");
+        assert!(s.contains("4 retransmissions"), "{s}");
+        assert_eq!(render_fault_summary(&vec![quiet; 3]), "");
     }
 
     #[test]

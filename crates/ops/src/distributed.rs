@@ -5,6 +5,7 @@
 
 use crate::elementwise;
 use sparsedist_core::compress::{Ccs, CompressKind, Crs, LocalCompressed};
+use sparsedist_core::error::SparsedistError;
 use sparsedist_core::partition::Partition;
 use sparsedist_multicomputer::{Multicomputer, PackBuffer, Phase, PhaseLedger};
 
@@ -61,12 +62,16 @@ pub fn distributed_add(
 
 /// Frobenius norm of the whole distributed array: local partials combined
 /// with an allreduce ([`sparsedist_multicomputer::collectives::allreduce_sum`]).
+///
+/// # Errors
+/// Propagates communication failures from the allreduce when a fault plan
+/// is installed.
 pub fn distributed_frobenius(
     machine: &Multicomputer,
     locals: &[LocalCompressed],
-) -> f64 {
+) -> Result<f64, SparsedistError> {
     assert_eq!(machine.nprocs(), locals.len(), "machine size != locals");
-    let results = machine.run(|env| {
+    let results = machine.run(|env| -> Result<f64, SparsedistError> {
         let me = env.rank();
         let partial: f64 = env.phase(Phase::Compute, |env| {
             env.charge_ops(locals[me].nnz() as u64);
@@ -77,10 +82,10 @@ pub fn distributed_frobenius(
         });
         let total = env.phase(Phase::Send, |env| {
             sparsedist_multicomputer::collectives::allreduce_sum(env, &[partial])
-        });
-        total[0].sqrt()
+        })?;
+        Ok(total[0].sqrt())
     });
-    results[0]
+    results.into_iter().next().expect("at least one rank")
 }
 
 /// Distributed transpose: re-own `Aᵀ` under the target partition without
@@ -89,6 +94,10 @@ pub fn distributed_frobenius(
 /// does a compressed all-to-all; receivers rebuild local CRS/CCS.
 ///
 /// Returns `(new locals of Aᵀ, per-rank ledgers)`.
+///
+/// # Errors
+/// Propagates communication and unpack failures when a fault plan is
+/// installed.
 ///
 /// # Panics
 /// Panics if the target partition's shape is not the transpose of the
@@ -99,7 +108,7 @@ pub fn distributed_transpose(
     from: &dyn Partition,
     to: &dyn Partition,
     kind: CompressKind,
-) -> (Vec<LocalCompressed>, Vec<PhaseLedger>) {
+) -> Result<(Vec<LocalCompressed>, Vec<PhaseLedger>), SparsedistError> {
     let p = machine.nprocs();
     assert_eq!(from.nparts(), p, "source partition size");
     assert_eq!(to.nparts(), p, "target partition size");
@@ -108,7 +117,8 @@ pub fn distributed_transpose(
     assert_eq!((fr, fc), (tc, tr), "target must describe the transposed shape");
     assert_eq!(locals.len(), p, "one local array per processor");
 
-    machine.run_with_ledgers(|env| -> LocalCompressed {
+    let (results, ledgers) = machine.run_with_ledgers(
+        |env| -> Result<LocalCompressed, SparsedistError> {
         let me = env.rank();
         // Bucket transposed triplets by new owner.
         let buckets: Vec<Vec<(usize, usize, f64)>> = env.phase(Phase::Pack, |env| {
@@ -156,32 +166,34 @@ pub fn distributed_transpose(
             env.charge_ops(ops);
             bufs
         });
-        env.phase(Phase::Send, |env| {
+        env.phase(Phase::Send, |env| -> Result<(), SparsedistError> {
             for (dst, buf) in bufs.into_iter().enumerate() {
-                env.send(dst, buf);
+                env.send(dst, buf)?;
             }
-        });
+            Ok(())
+        })?;
 
         let mut trips: Vec<(usize, usize, f64)> = Vec::new();
-        env.phase(Phase::Unpack, |env| {
+        env.phase(Phase::Unpack, |env| -> Result<(), SparsedistError> {
             let mut ops = 0u64;
             for src in 0..p {
-                let msg = env.recv(src);
+                let msg = env.recv(src)?;
                 let mut cursor = msg.payload.cursor();
-                let n = cursor.read_usize();
+                let n = cursor.try_read_usize()?;
                 for _ in 0..n {
-                    let r = cursor.read_usize();
-                    let c = cursor.read_usize();
-                    let v = cursor.read_f64();
+                    let r = cursor.try_read_usize()?;
+                    let c = cursor.try_read_usize()?;
+                    let v = cursor.try_read_f64()?;
                     ops += 3;
                     let (_, lr, lc) = to.to_local(r, c);
                     trips.push((lr, lc, v));
                 }
             }
             env.charge_ops(ops);
-        });
+            Ok(())
+        })?;
 
-        env.phase(Phase::Compress, |env| {
+        Ok(env.phase(Phase::Compress, |env| {
             let mut ops = sparsedist_core::opcount::OpCounter::new();
             let (lrows, lcols) = to.local_shape(me);
             let out = match kind {
@@ -194,8 +206,10 @@ pub fn distributed_transpose(
             };
             env.charge_ops(ops.take());
             out
-        })
-    })
+        }))
+    });
+    let locals = results.into_iter().collect::<Result<Vec<_>, _>>()?;
+    Ok((locals, ledgers))
 }
 
 #[cfg(test)]
@@ -213,7 +227,7 @@ mod tests {
     fn distribute(kind: CompressKind) -> (SchemeRun, RowBlock) {
         let a = paper_array_a();
         let part = RowBlock::new(10, 8, 4);
-        (run_scheme(SchemeKind::Ed, &machine(4), &a, &part, kind), part)
+        (run_scheme(SchemeKind::Ed, &machine(4), &a, &part, kind).unwrap(), part)
     }
 
     #[test]
@@ -249,7 +263,7 @@ mod tests {
     #[test]
     fn frobenius_matches_sequential() {
         let (run, _) = distribute(CompressKind::Crs);
-        let got = distributed_frobenius(&machine(4), &run.locals);
+        let got = distributed_frobenius(&machine(4), &run.locals).unwrap();
         let want: f64 = (1..=16).map(|v| (v * v) as f64).sum::<f64>().sqrt();
         assert!((got - want).abs() < 1e-12, "{got} vs {want}");
     }
@@ -258,19 +272,14 @@ mod tests {
     fn transpose_matches_dense_transpose() {
         let a = paper_array_a(); // 10×8
         let from = RowBlock::new(10, 8, 4);
-        let run = run_scheme(SchemeKind::Cfs, &machine(4), &a, &from, CompressKind::Crs);
+        let run = run_scheme(SchemeKind::Cfs, &machine(4), &a, &from, CompressKind::Crs).unwrap();
         // Aᵀ is 8×10; own it under a column partition of the transposed
         // shape.
         let to = ColBlock::new(8, 10, 4);
         let (tlocals, _) =
-            distributed_transpose(&machine(4), &run.locals, &from, &to, CompressKind::Crs);
-        let trun = SchemeRun {
-            scheme: SchemeKind::Cfs,
-            compress_kind: CompressKind::Crs,
-            source: 0,
-            ledgers: run.ledgers.clone(),
-            locals: tlocals,
-        };
+            distributed_transpose(&machine(4), &run.locals, &from, &to, CompressKind::Crs)
+                .unwrap();
+        let trun = SchemeRun { locals: tlocals, ..run.clone() };
         let t = trun.reassemble(&to);
         assert_eq!((t.rows(), t.cols()), (8, 10));
         for (r, c, v) in a.iter_nonzero() {
@@ -284,9 +293,12 @@ mod tests {
         let a = paper_array_a();
         let from = RowBlock::new(10, 8, 4);
         let mid = Mesh2D::new(8, 10, 2, 2);
-        let run = run_scheme(SchemeKind::Ed, &machine(4), &a, &from, CompressKind::Crs);
-        let (t1, _) = distributed_transpose(&machine(4), &run.locals, &from, &mid, CompressKind::Crs);
-        let (t2, _) = distributed_transpose(&machine(4), &t1, &mid, &from, CompressKind::Crs);
+        let run = run_scheme(SchemeKind::Ed, &machine(4), &a, &from, CompressKind::Crs).unwrap();
+        let (t1, _) =
+            distributed_transpose(&machine(4), &run.locals, &from, &mid, CompressKind::Crs)
+                .unwrap();
+        let (t2, _) =
+            distributed_transpose(&machine(4), &t1, &mid, &from, CompressKind::Crs).unwrap();
         assert_eq!(t2, run.locals);
     }
 

@@ -7,6 +7,7 @@
 //! communication charged to the machine's ledgers.
 
 use crate::spmv::distributed_spmv;
+use sparsedist_core::error::SparsedistError;
 use sparsedist_core::partition::Partition;
 use sparsedist_core::schemes::SchemeRun;
 use sparsedist_multicomputer::Multicomputer;
@@ -41,6 +42,10 @@ fn dot(a: &[f64], b: &[f64]) -> f64 {
 
 /// Jacobi iteration `x ← x + D⁻¹(b − A·x)` on the distributed array.
 ///
+/// # Errors
+/// Propagates communication failures from the distributed products when a
+/// fault plan is installed.
+///
 /// # Panics
 /// Panics if the array is not square, `b` has the wrong length, or a
 /// diagonal entry is zero.
@@ -52,7 +57,7 @@ pub fn jacobi(
     b: &[f64],
     tol: f64,
     max_iters: usize,
-) -> Solution {
+) -> Result<Solution, SparsedistError> {
     let (grows, gcols) = part.global_shape();
     assert_eq!(grows, gcols, "jacobi needs a square system");
     assert_eq!(b.len(), grows, "b length {} != {grows}", b.len());
@@ -61,23 +66,27 @@ pub fn jacobi(
 
     let mut x = vec![0.0; grows];
     for it in 0..max_iters {
-        let ax = distributed_spmv(machine, run, part, &x);
+        let ax = distributed_spmv(machine, run, part, &x)?;
         let r: Vec<f64> = b.iter().zip(&ax).map(|(bi, yi)| bi - yi).collect();
         let rn = norm2(&r);
         if rn <= tol {
-            return Solution { x, stop: Stop::Converged(it), residual: rn };
+            return Ok(Solution { x, stop: Stop::Converged(it), residual: rn });
         }
         for i in 0..grows {
             x[i] += r[i] / diag[i];
         }
     }
-    let ax = distributed_spmv(machine, run, part, &x);
+    let ax = distributed_spmv(machine, run, part, &x)?;
     let rn = norm2(&b.iter().zip(&ax).map(|(bi, yi)| bi - yi).collect::<Vec<_>>());
-    Solution { x, stop: Stop::MaxIters(rn), residual: rn }
+    Ok(Solution { x, stop: Stop::MaxIters(rn), residual: rn })
 }
 
 /// Conjugate gradient for symmetric positive-definite systems, with every
 /// `A·p` product running distributed.
+///
+/// # Errors
+/// Propagates communication failures from the distributed products when a
+/// fault plan is installed.
 ///
 /// # Panics
 /// Panics if the array is not square or `b` has the wrong length.
@@ -88,7 +97,7 @@ pub fn conjugate_gradient(
     b: &[f64],
     tol: f64,
     max_iters: usize,
-) -> Solution {
+) -> Result<Solution, SparsedistError> {
     let (grows, gcols) = part.global_shape();
     assert_eq!(grows, gcols, "cg needs a square system");
     assert_eq!(b.len(), grows, "b length {} != {grows}", b.len());
@@ -98,10 +107,10 @@ pub fn conjugate_gradient(
     let mut p = r.clone();
     let mut rr = dot(&r, &r);
     if rr.sqrt() <= tol {
-        return Solution { x, stop: Stop::Converged(0), residual: rr.sqrt() };
+        return Ok(Solution { x, stop: Stop::Converged(0), residual: rr.sqrt() });
     }
     for it in 0..max_iters {
-        let ap = distributed_spmv(machine, run, part, &p);
+        let ap = distributed_spmv(machine, run, part, &p)?;
         let pap = dot(&p, &ap);
         assert!(pap > 0.0, "matrix is not positive definite (p·Ap = {pap})");
         let alpha = rr / pap;
@@ -111,7 +120,11 @@ pub fn conjugate_gradient(
         }
         let rr_next = dot(&r, &r);
         if rr_next.sqrt() <= tol {
-            return Solution { x, stop: Stop::Converged(it + 1), residual: rr_next.sqrt() };
+            return Ok(Solution {
+                x,
+                stop: Stop::Converged(it + 1),
+                residual: rr_next.sqrt(),
+            });
         }
         let beta = rr_next / rr;
         for i in 0..grows {
@@ -119,7 +132,7 @@ pub fn conjugate_gradient(
         }
         rr = rr_next;
     }
-    Solution { x, stop: Stop::MaxIters(rr.sqrt()), residual: rr.sqrt() }
+    Ok(Solution { x, stop: Stop::MaxIters(rr.sqrt()), residual: rr.sqrt() })
 }
 
 #[cfg(test)]
@@ -140,7 +153,7 @@ mod tests {
         let n = a.rows();
         let machine = Multicomputer::virtual_machine(p, MachineModel::ibm_sp2());
         let part = RowBlock::new(n, n, p);
-        let run = run_scheme(SchemeKind::Ed, &machine, &a, &part, CompressKind::Crs);
+        let run = run_scheme(SchemeKind::Ed, &machine, &a, &part, CompressKind::Crs).unwrap();
         (machine, run, part, a)
     }
 
@@ -149,7 +162,7 @@ mod tests {
         let (machine, run, part, a) = setup(8, 4); // 64×64 SPD system
         let n = a.rows();
         let b = vec![1.0; n];
-        let sol = conjugate_gradient(&machine, &run, &part, &b, 1e-10, 500);
+        let sol = conjugate_gradient(&machine, &run, &part, &b, 1e-10, 500).unwrap();
         assert!(matches!(sol.stop, Stop::Converged(_)), "{:?}", sol.stop);
         // Verify against a dense residual.
         let ax = dense_spmv(&a, &sol.x);
@@ -161,7 +174,7 @@ mod tests {
     fn cg_converges_in_at_most_n_iterations() {
         let (machine, run, part, a) = setup(5, 4); // 25×25
         let b: Vec<f64> = (0..a.rows()).map(|i| (i % 3) as f64).collect();
-        let sol = conjugate_gradient(&machine, &run, &part, &b, 1e-12, a.rows() + 1);
+        let sol = conjugate_gradient(&machine, &run, &part, &b, 1e-12, a.rows() + 1).unwrap();
         match sol.stop {
             Stop::Converged(it) => assert!(it <= a.rows(), "took {it}"),
             other => panic!("did not converge: {other:?}"),
@@ -174,7 +187,7 @@ mod tests {
         let n = a.rows();
         let diag: Vec<f64> = (0..n).map(|i| a.get(i, i)).collect();
         let b = vec![0.5; n];
-        let sol = jacobi(&machine, &run, &part, &diag, &b, 1e-8, 5000);
+        let sol = jacobi(&machine, &run, &part, &diag, &b, 1e-8, 5000).unwrap();
         assert!(matches!(sol.stop, Stop::Converged(_)), "{:?}", sol.stop);
         assert!(sol.residual < 1e-8);
     }
@@ -185,8 +198,8 @@ mod tests {
         let n = a.rows();
         let diag: Vec<f64> = (0..n).map(|i| a.get(i, i)).collect();
         let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
-        let cg = conjugate_gradient(&machine, &run, &part, &b, 1e-11, 1000);
-        let ja = jacobi(&machine, &run, &part, &diag, &b, 1e-11, 20000);
+        let cg = conjugate_gradient(&machine, &run, &part, &b, 1e-11, 1000).unwrap();
+        let ja = jacobi(&machine, &run, &part, &diag, &b, 1e-11, 20000).unwrap();
         let diff = cg
             .x
             .iter()
@@ -202,9 +215,9 @@ mod tests {
         let n = a.rows();
         let machine = Multicomputer::virtual_machine(4, MachineModel::ibm_sp2());
         let part = Mesh2D::new(n, n, 2, 2);
-        let run = run_scheme(SchemeKind::Cfs, &machine, &a, &part, CompressKind::Ccs);
+        let run = run_scheme(SchemeKind::Cfs, &machine, &a, &part, CompressKind::Ccs).unwrap();
         let b = vec![1.0; n];
-        let sol = conjugate_gradient(&machine, &run, &part, &b, 1e-10, 500);
+        let sol = conjugate_gradient(&machine, &run, &part, &b, 1e-10, 500).unwrap();
         assert!(matches!(sol.stop, Stop::Converged(_)));
     }
 
@@ -212,7 +225,7 @@ mod tests {
     fn max_iters_reports_residual() {
         let (machine, run, part, _) = setup(8, 4);
         let b = vec![1.0; 64];
-        let sol = conjugate_gradient(&machine, &run, &part, &b, 1e-30, 2);
+        let sol = conjugate_gradient(&machine, &run, &part, &b, 1e-30, 2).unwrap();
         assert!(matches!(sol.stop, Stop::MaxIters(_)));
         assert!(sol.residual > 0.0);
     }

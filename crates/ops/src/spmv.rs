@@ -2,6 +2,7 @@
 
 use sparsedist_core::compress::{Ccs, Crs, LocalCompressed};
 use sparsedist_core::dense::Dense2D;
+use sparsedist_core::error::SparsedistError;
 use sparsedist_core::partition::Partition;
 use sparsedist_core::schemes::SchemeRun;
 use sparsedist_multicomputer::{Multicomputer, PackBuffer, Phase, PhaseLedger};
@@ -62,6 +63,9 @@ pub fn dense_spmv(a: &Dense2D, x: &[f64]) -> Vec<f64> {
 /// Returns the global `y` on every rank (rank 0 computes it; everyone
 /// receives the reduced copy).
 ///
+/// # Errors
+/// Propagates communication failures when a fault plan is installed.
+///
 /// # Panics
 /// Panics if `x.len()` does not match the partition's global column count
 /// or the machine size differs from the run's.
@@ -70,23 +74,27 @@ pub fn distributed_spmv(
     run: &SchemeRun,
     part: &dyn Partition,
     x: &[f64],
-) -> Vec<f64> {
-    distributed_spmv_ledgers(machine, run, part, x).0
+) -> Result<Vec<f64>, SparsedistError> {
+    Ok(distributed_spmv_ledgers(machine, run, part, x)?.0)
 }
 
 /// [`distributed_spmv`] plus the per-rank phase ledgers of the product
 /// itself (compute flops, reduce/broadcast wire time).
+///
+/// # Errors
+/// Propagates communication failures when a fault plan is installed.
 pub fn distributed_spmv_ledgers(
     machine: &Multicomputer,
     run: &SchemeRun,
     part: &dyn Partition,
     x: &[f64],
-) -> (Vec<f64>, Vec<PhaseLedger>) {
+) -> Result<(Vec<f64>, Vec<PhaseLedger>), SparsedistError> {
     let (grows, gcols) = part.global_shape();
     assert_eq!(x.len(), gcols, "x length {} != global cols {gcols}", x.len());
     assert_eq!(machine.nprocs(), run.locals.len(), "machine size != run size");
 
-    let (results, ledgers) = machine.run_with_ledgers(|env| {
+    let (results, ledgers) = machine.run_with_ledgers(
+        |env| -> Result<Vec<f64>, SparsedistError> {
         let me = env.rank();
         // Local partial: iterate the local compressed array, map to global.
         let partial: Vec<f64> = env.phase(Phase::Compute, |env| {
@@ -115,14 +123,14 @@ pub fn distributed_spmv_ledgers(
         // Reduce at rank 0.
         let mut buf = PackBuffer::with_capacity(grows);
         buf.push_f64_slice(&partial);
-        env.phase(Phase::Send, |env| env.send(0, buf));
+        env.phase(Phase::Send, |env| env.send(0, buf))?;
         let reduced = if me == 0 {
             let mut y = vec![0.0; grows];
             for src in 0..env.nprocs() {
-                let msg = env.recv(src);
+                let msg = env.recv(src)?;
                 let mut cursor = msg.payload.cursor();
                 for slot in y.iter_mut() {
-                    *slot += cursor.read_f64();
+                    *slot += cursor.try_read_f64()?;
                 }
             }
             env.charge_ops((grows * env.nprocs()) as u64);
@@ -133,18 +141,20 @@ pub fn distributed_spmv_ledgers(
 
         // Broadcast the result back.
         if me == 0 {
-            env.phase(Phase::Send, |env| {
+            env.phase(Phase::Send, |env| -> Result<(), SparsedistError> {
                 for dst in 0..env.nprocs() {
                     let mut b = PackBuffer::with_capacity(grows);
                     b.push_f64_slice(&reduced);
-                    env.send(dst, b);
+                    env.send(dst, b)?;
                 }
-            });
+                Ok(())
+            })?;
         }
-        let msg = env.recv(0);
-        msg.payload.cursor().read_f64_vec(grows)
+        let msg = env.recv(0)?;
+        Ok(msg.payload.cursor().try_read_f64_vec(grows)?)
     });
-    (results.into_iter().next().expect("at least one rank"), ledgers)
+    let mut ys = results.into_iter().collect::<Result<Vec<_>, _>>()?;
+    Ok((ys.swap_remove(0), ledgers))
 }
 
 /// Row-conformal distributed `y = A·x` for row-family partitions on square
@@ -163,6 +173,9 @@ pub fn distributed_spmv_ledgers(
 /// Returns the assembled global `y` (held by rank 0; callers wanting it
 /// replicated can broadcast — the scalable pattern keeps `y` distributed).
 ///
+/// # Errors
+/// Propagates communication failures when a fault plan is installed.
+///
 /// # Panics
 /// Panics if the partition splits columns (use the general version), the
 /// array is not square, or sizes disagree.
@@ -171,24 +184,28 @@ pub fn distributed_spmv_rowwise(
     run: &SchemeRun,
     part: &dyn Partition,
     x: &[f64],
-) -> Vec<f64> {
-    distributed_spmv_rowwise_ledgers(machine, run, part, x).0
+) -> Result<Vec<f64>, SparsedistError> {
+    Ok(distributed_spmv_rowwise_ledgers(machine, run, part, x)?.0)
 }
 
 /// [`distributed_spmv_rowwise`] plus the per-rank ledgers.
+///
+/// # Errors
+/// Propagates communication failures when a fault plan is installed.
 pub fn distributed_spmv_rowwise_ledgers(
     machine: &Multicomputer,
     run: &SchemeRun,
     part: &dyn Partition,
     x: &[f64],
-) -> (Vec<f64>, Vec<PhaseLedger>) {
+) -> Result<(Vec<f64>, Vec<PhaseLedger>), SparsedistError> {
     let (grows, gcols) = part.global_shape();
     assert!(!part.splits_cols(), "row-conformal SpMV needs a row-family partition");
     assert_eq!(grows, gcols, "row-conformal SpMV needs a square array");
     assert_eq!(x.len(), gcols, "x length {} != global cols {gcols}", x.len());
     assert_eq!(machine.nprocs(), run.locals.len(), "machine size != run size");
 
-    let (results, ledgers) = machine.run_with_ledgers(|env| {
+    let (results, ledgers) = machine.run_with_ledgers(
+        |env| -> Result<Vec<f64>, SparsedistError> {
         let me = env.rank();
         let p = env.nprocs();
         let (lrows, _) = part.local_shape(me);
@@ -204,26 +221,28 @@ pub fn distributed_spmv_rowwise_ledgers(
         // Allgather the slices.
         let mut buf = PackBuffer::with_capacity(my_slice.len());
         buf.push_f64_slice(&my_slice);
-        env.phase(Phase::Send, |env| {
+        env.phase(Phase::Send, |env| -> Result<(), SparsedistError> {
             for dst in 0..p {
-                env.send(dst, buf.clone());
+                env.send(dst, buf.clone())?;
             }
-        });
+            Ok(())
+        })?;
         let mut x_full = vec![0.0; gcols];
-        env.phase(Phase::Unpack, |env| {
+        env.phase(Phase::Unpack, |env| -> Result<(), SparsedistError> {
             let mut ops = 0u64;
             for src in 0..p {
-                let msg = env.recv(src);
+                let msg = env.recv(src)?;
                 let mut cursor = msg.payload.cursor();
                 let (src_rows, _) = part.local_shape(src);
                 for lr in 0..src_rows {
                     let (gr, _) = part.to_global(src, lr, 0);
-                    x_full[gr] = cursor.read_f64();
+                    x_full[gr] = cursor.try_read_f64()?;
                     ops += 1;
                 }
             }
             env.charge_ops(ops);
-        });
+            Ok(())
+        })?;
 
         // Compute exactly my rows of y.
         let y_mine: Vec<f64> = env.phase(Phase::Compute, |env| {
@@ -252,25 +271,26 @@ pub fn distributed_spmv_rowwise_ledgers(
         // Assemble at rank 0 (no reduction — pure placement).
         let mut out = PackBuffer::with_capacity(y_mine.len());
         out.push_f64_slice(&y_mine);
-        env.phase(Phase::Send, |env| env.send(0, out));
+        env.phase(Phase::Send, |env| env.send(0, out))?;
         if me == 0 {
             let mut y = vec![0.0; grows];
             for src in 0..p {
-                let msg = env.recv(src);
+                let msg = env.recv(src)?;
                 let mut cursor = msg.payload.cursor();
                 let (src_rows, _) = part.local_shape(src);
                 for lr in 0..src_rows {
                     let (gr, _) = part.to_global(src, lr, 0);
-                    y[gr] = cursor.read_f64();
+                    y[gr] = cursor.try_read_f64()?;
                 }
             }
             env.charge_ops(grows as u64);
-            y
+            Ok(y)
         } else {
-            Vec::new()
+            Ok(Vec::new())
         }
     });
-    (results.into_iter().next().expect("at least one rank"), ledgers)
+    let mut ys = results.into_iter().collect::<Result<Vec<_>, _>>()?;
+    Ok((ys.swap_remove(0), ledgers))
 }
 
 #[cfg(test)]
@@ -319,8 +339,8 @@ mod tests {
         for part in &parts {
             for scheme in SchemeKind::ALL {
                 for kind in [CompressKind::Crs, CompressKind::Ccs] {
-                    let run = run_scheme(scheme, &machine, &a, part.as_ref(), kind);
-                    let y = distributed_spmv(&machine, &run, part.as_ref(), &x);
+                    let run = run_scheme(scheme, &machine, &a, part.as_ref(), kind).unwrap();
+                    let y = distributed_spmv(&machine, &run, part.as_ref(), &x).unwrap();
                     let err: f64 =
                         y.iter().zip(&want).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
                     assert!(err < 1e-12, "{scheme} {kind} {}: err {err}", part.name());
@@ -366,9 +386,10 @@ mod tests {
             Box::new(BalancedRows::bin_packed(&a, 4)),
         ];
         for part in &parts {
-            let run = run_scheme(SchemeKind::Ed, &machine, &a, part.as_ref(), CompressKind::Crs);
-            let general = distributed_spmv(&machine, &run, part.as_ref(), &x);
-            let rowwise = distributed_spmv_rowwise(&machine, &run, part.as_ref(), &x);
+            let run = run_scheme(SchemeKind::Ed, &machine, &a, part.as_ref(), CompressKind::Crs)
+                .unwrap();
+            let general = distributed_spmv(&machine, &run, part.as_ref(), &x).unwrap();
+            let rowwise = distributed_spmv_rowwise(&machine, &run, part.as_ref(), &x).unwrap();
             for ((u, v), w) in rowwise.iter().zip(&general).zip(&want) {
                 assert!((u - v).abs() < 1e-12 && (u - w).abs() < 1e-12, "{}", part.name());
             }
@@ -389,10 +410,10 @@ mod tests {
         }
         let machine = Multicomputer::virtual_machine(p, MachineModel::ibm_sp2());
         let part = RowBlock::new(n, n, p);
-        let run = run_scheme(SchemeKind::Ed, &machine, &a, &part, CompressKind::Crs);
+        let run = run_scheme(SchemeKind::Ed, &machine, &a, &part, CompressKind::Crs).unwrap();
         let x = vec![1.0; n];
-        let (yg, lg) = distributed_spmv_ledgers(&machine, &run, &part, &x);
-        let (yr, lr) = distributed_spmv_rowwise_ledgers(&machine, &run, &part, &x);
+        let (yg, lg) = distributed_spmv_ledgers(&machine, &run, &part, &x).unwrap();
+        let (yr, lr) = distributed_spmv_rowwise_ledgers(&machine, &run, &part, &x).unwrap();
         assert_eq!(yg, yr);
         let send_max = |ls: &[PhaseLedger]| -> f64 {
             ls.iter().map(|l| l.get(Phase::Send).as_micros()).fold(0.0, f64::max)
@@ -412,7 +433,7 @@ mod tests {
         let a = paper_array_a().block(0, 0, 8, 8);
         let machine = Multicomputer::virtual_machine(4, MachineModel::ibm_sp2());
         let part = ColBlock::new(8, 8, 4);
-        let run = run_scheme(SchemeKind::Ed, &machine, &a, &part, CompressKind::Crs);
+        let run = run_scheme(SchemeKind::Ed, &machine, &a, &part, CompressKind::Crs).unwrap();
         let _ = distributed_spmv_rowwise(&machine, &run, &part, &[1.0; 8]);
     }
 }

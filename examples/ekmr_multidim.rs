@@ -35,7 +35,7 @@ fn main() {
     let machine = Multicomputer::virtual_machine(4, MachineModel::ibm_sp2());
     let part = RowBlock::new(ekmr.plane().rows(), ekmr.plane().cols(), 4);
     for scheme in SchemeKind::ALL {
-        let run = distribute3(scheme, &machine, &a, &part, CompressKind::Crs);
+        let run = distribute3(scheme, &machine, &a, &part, CompressKind::Crs).unwrap();
         println!(
             "  {:<4} dist {:>10}  comp {:>10}  ({} local nonzeros total)",
             scheme.label(),
@@ -59,7 +59,7 @@ fn main() {
         b.nnz()
     );
     let part = Mesh2D::new(plane.plane().rows(), plane.plane().cols(), 2, 2);
-    let run = distribute4(SchemeKind::Ed, &machine, &b, &part, CompressKind::Crs);
+    let run = distribute4(SchemeKind::Ed, &machine, &b, &part, CompressKind::Crs).unwrap();
     println!(
         "  ED over 2x2 mesh: dist {}  comp {}",
         run.t_distribution(),

@@ -35,7 +35,7 @@ fn main() {
     // (Case 3.3.3: receivers convert the travelling row indices).
     let machine = Multicomputer::virtual_machine(4, MachineModel::ibm_sp2());
     let part = Mesh2D::new(96, 96, 2, 2);
-    let run = run_scheme(SchemeKind::Ed, &machine, &b, &part, CompressKind::Ccs);
+    let run = run_scheme(SchemeKind::Ed, &machine, &b, &part, CompressKind::Ccs).unwrap();
     println!(
         "ED over 2x2 mesh: T_Distribution {} T_Compression {}",
         run.t_distribution(),
@@ -48,7 +48,7 @@ fn main() {
 
     // Compute distributively and verify against the dense baseline.
     let x: Vec<f64> = (0..96).map(|i| (i % 7) as f64).collect();
-    let y = distributed_spmv(&machine, &run, &part, &x);
+    let y = distributed_spmv(&machine, &run, &part, &x).unwrap();
     let want = dense_spmv(&b, &x);
     let err = y.iter().zip(&want).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
     println!("distributed SpMV max error vs dense: {err:.2e}");

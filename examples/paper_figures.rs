@@ -62,7 +62,7 @@ fn main() {
     }
     println!("  After unpacking, P1 subtracts 3 from each CO value (Case 3.2.2):");
     let machine = Multicomputer::virtual_machine(4, MachineModel::ibm_sp2());
-    let run = run_scheme(SchemeKind::Cfs, &machine, &a, &part, CompressKind::Ccs);
+    let run = run_scheme(SchemeKind::Cfs, &machine, &a, &part, CompressKind::Ccs).unwrap();
     let p1 = run.locals[1].as_ccs();
     println!(
         "  P1 local:  RO {:?}  CO {:?} (local rows)   VL {:?}",
@@ -73,7 +73,7 @@ fn main() {
 
     println!("\nFigure 6/7: ED special buffers B (row partition, CCS format)");
     for pid in 0..4 {
-        let buf = encode_part(&a, &part, pid, CompressKind::Ccs, &mut OpCounter::new());
+        let buf = encode_part(&a, &part, pid, CompressKind::Ccs, &mut OpCounter::new()).unwrap();
         let mut cursor = buf.cursor();
         let mut rendered = Vec::new();
         for _ in 0..8 {
@@ -89,7 +89,7 @@ fn main() {
     }
 
     println!("\nFigure 7(d): P1 decodes its buffer (Case 3.3.2, subtract 3)");
-    let run = run_scheme(SchemeKind::Ed, &machine, &a, &part, CompressKind::Ccs);
+    let run = run_scheme(SchemeKind::Ed, &machine, &a, &part, CompressKind::Ccs).unwrap();
     let p1 = run.locals[1].as_ccs();
     println!(
         "  P1: RO {:?}  CO {:?}  VL {:?}",
@@ -100,7 +100,7 @@ fn main() {
 
     // Sanity: every scheme reconstructs A exactly.
     for scheme in SchemeKind::ALL {
-        let run = run_scheme(scheme, &machine, &a, &part, CompressKind::Crs);
+        let run = run_scheme(scheme, &machine, &a, &part, CompressKind::Crs).unwrap();
         assert_eq!(run.reassemble(&part), a);
     }
     println!("\nAll schemes reassemble the original array exactly.");

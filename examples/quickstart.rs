@@ -25,7 +25,7 @@ fn main() {
         "scheme", "T_Distribution", "T_Compression", "total"
     );
     for scheme in SchemeKind::ALL {
-        let run = run_scheme(scheme, &machine, &a, &part, CompressKind::Crs);
+        let run = run_scheme(scheme, &machine, &a, &part, CompressKind::Crs).unwrap();
         // Every scheme must leave identical distributed state behind.
         assert_eq!(run.reassemble(&part), a);
         println!(
@@ -46,9 +46,9 @@ fn main() {
     );
 
     // After distribution, compute on the compressed local arrays.
-    let run = run_scheme(SchemeKind::Ed, &machine, &a, &part, CompressKind::Crs);
+    let run = run_scheme(SchemeKind::Ed, &machine, &a, &part, CompressKind::Crs).unwrap();
     let x = vec![1.0; n];
-    let y = sparsedist::ops::spmv::distributed_spmv(&machine, &run, &part, &x);
+    let y = sparsedist::ops::spmv::distributed_spmv(&machine, &run, &part, &x).unwrap();
     let row_sums: f64 = y.iter().sum();
     println!("distributed SpMV: sum(A·1) = {row_sums:.3}");
 }

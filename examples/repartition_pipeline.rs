@@ -25,7 +25,7 @@ fn main() {
 
     // 1. Distribute row-wise with ED.
     let rows = RowBlock::new(n, n, p);
-    let dist = run_scheme(SchemeKind::Ed, &machine, &a, &rows, CompressKind::Crs);
+    let dist = run_scheme(SchemeKind::Ed, &machine, &a, &rows, CompressKind::Crs).unwrap();
     println!(
         "1. ED distribution (row):      dist {} comp {}",
         dist.t_distribution(),
@@ -34,7 +34,7 @@ fn main() {
 
     // 2. Compute under the row partition.
     let x = vec![1.0; n];
-    let y1 = distributed_spmv(&machine, &dist, &rows, &x);
+    let y1 = distributed_spmv(&machine, &dist, &rows, &x).unwrap();
     println!("2. distributed SpMV:           checksum {:.3}", y1.iter().sum::<f64>());
 
     // 3. Redistribute to a 4×4 mesh without touching the source.
@@ -46,7 +46,8 @@ fn main() {
         &mesh,
         CompressKind::Crs,
         RedistStrategy::Direct,
-    );
+    )
+    .unwrap();
     println!("3. redistribution row→mesh:    busy max {}", redist.t_total());
 
     // 4. Compute under the mesh partition; the answer must not change.
@@ -56,8 +57,9 @@ fn main() {
         source: 0,
         ledgers: redist.ledgers.clone(),
         locals: redist.locals.clone(),
+        owners: (0..p).collect(),
     };
-    let y2 = distributed_spmv(&machine, &fake_run, &mesh, &x);
+    let y2 = distributed_spmv(&machine, &fake_run, &mesh, &x).unwrap();
     let drift = y1.iter().zip(&y2).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
     println!("4. SpMV after repartition:     max drift {drift:.2e}");
     assert!(drift < 1e-12);
@@ -69,7 +71,8 @@ fn main() {
         &mesh,
         CompressKind::Crs,
         GatherStrategy::Encoded,
-    );
+    )
+    .unwrap();
     println!("5. encoded gather to source:   busy {}", g.t_gather());
     assert_eq!(g.global.to_dense(), a);
     println!("\nround trip verified: gathered array equals the original");

@@ -35,7 +35,7 @@ fn main() {
     println!("\nsetup cost (distribution + compression):");
     let mut best = (SchemeKind::Sfc, f64::INFINITY);
     for scheme in SchemeKind::ALL {
-        let run = run_scheme(scheme, &machine, &a, &part, CompressKind::Crs);
+        let run = run_scheme(scheme, &machine, &a, &part, CompressKind::Crs).unwrap();
         let total = run.t_total().as_millis();
         println!("  {:<4} {:>10.3} ms", scheme.label(), total);
         if total < best.1 {
@@ -46,13 +46,13 @@ fn main() {
 
     // Distribute with the winner and solve A·x = b two ways: Jacobi and
     // conjugate gradient, both driving the distributed SpMV.
-    let run = run_scheme(best.0, &machine, &a, &part, CompressKind::Crs);
+    let run = run_scheme(best.0, &machine, &a, &part, CompressKind::Crs).unwrap();
     let b = vec![1.0; n];
     let diag: Vec<f64> = (0..n).map(|i| a.get(i, i)).collect();
 
-    let ja = jacobi(&machine, &run, &part, &diag, &b, 1e-6, 10_000);
+    let ja = jacobi(&machine, &run, &part, &diag, &b, 1e-6, 10_000).unwrap();
     println!("\nJacobi:             {:?}, residual {:.2e}", ja.stop, ja.residual);
-    let cg = conjugate_gradient(&machine, &run, &part, &b, 1e-10, 1_000);
+    let cg = conjugate_gradient(&machine, &run, &part, &b, 1e-10, 1_000).unwrap();
     println!("conjugate gradient: {:?}, residual {:.2e}", cg.stop, cg.residual);
 
     // CG should crush Jacobi on iteration count for this SPD system.

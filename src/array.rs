@@ -17,14 +17,15 @@
 //! let dist = DistributedSparseArray::distribute(
 //!     &machine, &a, Box::new(RowBlock::new(16, 16, 4)),
 //!     SchemeKind::Ed, CompressKind::Crs,
-//! );
-//! let y = dist.spmv(&vec![1.0; 16]);
+//! ).unwrap();
+//! let y = dist.spmv(&vec![1.0; 16]).unwrap();
 //! assert_eq!(y, vec![2.0; 16]);
 //! assert_eq!(dist.nnz(), 16);
 //! ```
 
 use sparsedist_core::compress::{CompressKind, LocalCompressed};
 use sparsedist_core::dense::Dense2D;
+use sparsedist_core::error::SparsedistError;
 use sparsedist_core::gather::{gather_global, GatherStrategy};
 use sparsedist_core::partition::Partition;
 use sparsedist_core::redistribute::{redistribute, RedistStrategy};
@@ -54,6 +55,9 @@ pub struct DistributedSparseArray<'m> {
 impl<'m> DistributedSparseArray<'m> {
     /// Distribute a global dense array with the chosen scheme.
     ///
+    /// # Errors
+    /// Same failure modes as [`sparsedist_core::schemes::run_scheme`].
+    ///
     /// # Panics
     /// Panics on machine/partition/shape mismatches (see
     /// [`sparsedist_core::schemes::run_scheme`]).
@@ -63,15 +67,15 @@ impl<'m> DistributedSparseArray<'m> {
         partition: Box<dyn Partition>,
         scheme: SchemeKind,
         kind: CompressKind,
-    ) -> Self {
-        let run = run_scheme(scheme, machine, global, partition.as_ref(), kind);
-        DistributedSparseArray {
+    ) -> Result<Self, SparsedistError> {
+        let run = run_scheme(scheme, machine, global, partition.as_ref(), kind)?;
+        Ok(DistributedSparseArray {
             machine,
             partition,
             kind,
             locals: run.locals,
             last_ledgers: run.ledgers,
-        }
+        })
     }
 
     /// Adopt already-distributed local arrays (e.g. from a checkpoint).
@@ -151,14 +155,18 @@ impl<'m> DistributedSparseArray<'m> {
             source: 0,
             ledgers: self.last_ledgers.clone(),
             locals: self.locals.clone(),
+            owners: (0..self.locals.len()).collect(),
         }
     }
 
     /// Distributed `y = A·x`.
     ///
+    /// # Errors
+    /// Propagates communication failures when a fault plan is installed.
+    ///
     /// # Panics
     /// Panics if `x.len()` differs from the global column count.
-    pub fn spmv(&self, x: &[f64]) -> Vec<f64> {
+    pub fn spmv(&self, x: &[f64]) -> Result<Vec<f64>, SparsedistError> {
         distributed_spmv(self.machine, &self.as_run(), self.partition.as_ref(), x)
     }
 
@@ -187,15 +195,27 @@ impl<'m> DistributedSparseArray<'m> {
     }
 
     /// Frobenius norm of the whole distributed array (allreduce).
-    pub fn frobenius_norm(&self) -> f64 {
+    ///
+    /// # Errors
+    /// Propagates communication failures when a fault plan is installed.
+    pub fn frobenius_norm(&self) -> Result<f64, SparsedistError> {
         distributed_frobenius(self.machine, &self.locals)
     }
 
     /// Re-own the array under a new partition (no gather).
     ///
+    /// On error the array is left unchanged.
+    ///
+    /// # Errors
+    /// Same failure modes as [`redistribute`].
+    ///
     /// # Panics
     /// Panics if the new partition describes a different global shape.
-    pub fn repartition(&mut self, to: Box<dyn Partition>, strategy: RedistStrategy) {
+    pub fn repartition(
+        &mut self,
+        to: Box<dyn Partition>,
+        strategy: RedistStrategy,
+    ) -> Result<(), SparsedistError> {
         let run = redistribute(
             self.machine,
             &self.locals,
@@ -203,42 +223,52 @@ impl<'m> DistributedSparseArray<'m> {
             to.as_ref(),
             self.kind,
             strategy,
-        );
+        )?;
         self.locals = run.locals;
         self.last_ledgers = run.ledgers;
         self.partition = to;
+        Ok(())
     }
 
     /// Distributed transpose into a new array owned under `to` (which must
     /// describe the transposed global shape).
-    pub fn transpose(&self, to: Box<dyn Partition>) -> DistributedSparseArray<'m> {
+    ///
+    /// # Errors
+    /// Propagates communication failures when a fault plan is installed.
+    pub fn transpose(
+        &self,
+        to: Box<dyn Partition>,
+    ) -> Result<DistributedSparseArray<'m>, SparsedistError> {
         let (locals, ledgers) = distributed_transpose(
             self.machine,
             &self.locals,
             self.partition.as_ref(),
             to.as_ref(),
             self.kind,
-        );
-        DistributedSparseArray {
+        )?;
+        Ok(DistributedSparseArray {
             machine: self.machine,
             partition: to,
             kind: self.kind,
             locals,
             last_ledgers: ledgers,
-        }
+        })
     }
 
     /// Gather the whole array back to the source as a dense array.
-    pub fn gather_dense(&self, strategy: GatherStrategy) -> Dense2D {
+    ///
+    /// # Errors
+    /// Same failure modes as [`gather_global`].
+    pub fn gather_dense(&self, strategy: GatherStrategy) -> Result<Dense2D, SparsedistError> {
         let run = gather_global(
             self.machine,
             &self.locals,
             self.partition.as_ref(),
             self.kind,
             strategy,
-        );
+        )?;
         // The gathered compressed global expands directly.
-        run.global.to_dense()
+        Ok(run.global.to_dense())
     }
 
     /// Checkpoint the distributed state to a directory.
@@ -282,6 +312,7 @@ mod tests {
             SchemeKind::Ed,
             CompressKind::Crs,
         )
+        .unwrap()
     }
 
     #[test]
@@ -293,18 +324,18 @@ mod tests {
         assert!((a.sparse_ratio() - 0.2).abs() < 1e-12);
 
         // Compute.
-        let y = a.spmv(&[1.0; 8]);
+        let y = a.spmv(&[1.0; 8]).unwrap();
         assert_eq!(y[2], 7.0); // row 2 holds 3 + 4
 
         // Scale and norm.
         a.scale(2.0);
         let want: f64 = (1..=16).map(|v| (2.0 * v as f64).powi(2)).sum::<f64>().sqrt();
-        assert!((a.frobenius_norm() - want).abs() < 1e-9);
+        assert!((a.frobenius_norm().unwrap() - want).abs() < 1e-9);
 
         // Repartition to a mesh; content unchanged.
-        a.repartition(Box::new(Mesh2D::new(10, 8, 2, 2)), RedistStrategy::Direct);
+        a.repartition(Box::new(Mesh2D::new(10, 8, 2, 2)), RedistStrategy::Direct).unwrap();
         assert_eq!(a.nnz(), 16);
-        let d = a.gather_dense(GatherStrategy::Encoded);
+        let d = a.gather_dense(GatherStrategy::Encoded).unwrap();
         assert_eq!(d.get(2, 0), 6.0); // 2 × 3
     }
 
@@ -314,7 +345,7 @@ mod tests {
         let mut a = dist(&m);
         let b = dist(&m);
         a.add_assign(&b);
-        let d = a.gather_dense(GatherStrategy::Compressed);
+        let d = a.gather_dense(GatherStrategy::Compressed).unwrap();
         for (r, c, v) in paper_array_a().iter_nonzero() {
             assert_eq!(d.get(r, c), 2.0 * v);
         }
@@ -324,9 +355,9 @@ mod tests {
     fn transpose_via_facade() {
         let m = machine();
         let a = dist(&m);
-        let t = a.transpose(Box::new(ColBlock::new(8, 10, 4)));
+        let t = a.transpose(Box::new(ColBlock::new(8, 10, 4))).unwrap();
         assert_eq!(t.shape(), (8, 10));
-        let d = t.gather_dense(GatherStrategy::Dense);
+        let d = t.gather_dense(GatherStrategy::Dense).unwrap();
         for (r, c, v) in paper_array_a().iter_nonzero() {
             assert_eq!(d.get(c, r), v);
         }
@@ -348,7 +379,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(b.locals(), a.locals());
-        assert_eq!(b.gather_dense(GatherStrategy::Encoded), paper_array_a());
+        assert_eq!(b.gather_dense(GatherStrategy::Encoded).unwrap(), paper_array_a());
         std::fs::remove_dir_all(&dir).ok();
     }
 

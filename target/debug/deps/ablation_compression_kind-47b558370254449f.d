@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_compression_kind-47b558370254449f.d: crates/bench/benches/ablation_compression_kind.rs
+
+/root/repo/target/debug/deps/ablation_compression_kind-47b558370254449f: crates/bench/benches/ablation_compression_kind.rs
+
+crates/bench/benches/ablation_compression_kind.rs:

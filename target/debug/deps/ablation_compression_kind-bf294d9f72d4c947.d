@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_compression_kind-bf294d9f72d4c947.d: crates/bench/benches/ablation_compression_kind.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_compression_kind-bf294d9f72d4c947.rmeta: crates/bench/benches/ablation_compression_kind.rs Cargo.toml
+
+crates/bench/benches/ablation_compression_kind.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

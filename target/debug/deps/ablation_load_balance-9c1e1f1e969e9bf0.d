@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_load_balance-9c1e1f1e969e9bf0.d: crates/bench/benches/ablation_load_balance.rs
+
+/root/repo/target/debug/deps/ablation_load_balance-9c1e1f1e969e9bf0: crates/bench/benches/ablation_load_balance.rs
+
+crates/bench/benches/ablation_load_balance.rs:

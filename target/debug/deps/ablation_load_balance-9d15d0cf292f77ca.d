@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_load_balance-9d15d0cf292f77ca.d: crates/bench/benches/ablation_load_balance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_load_balance-9d15d0cf292f77ca.rmeta: crates/bench/benches/ablation_load_balance.rs Cargo.toml
+
+crates/bench/benches/ablation_load_balance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_machine_models-d55bc6bea685ec1a.d: crates/bench/benches/ablation_machine_models.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_machine_models-d55bc6bea685ec1a.rmeta: crates/bench/benches/ablation_machine_models.rs Cargo.toml
+
+crates/bench/benches/ablation_machine_models.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_machine_models-fd5fbdf78ee453e8.d: crates/bench/benches/ablation_machine_models.rs
+
+/root/repo/target/debug/deps/ablation_machine_models-fd5fbdf78ee453e8: crates/bench/benches/ablation_machine_models.rs
+
+crates/bench/benches/ablation_machine_models.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_overlap-2edc46079211294f.d: crates/bench/benches/ablation_overlap.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_overlap-2edc46079211294f.rmeta: crates/bench/benches/ablation_overlap.rs Cargo.toml
+
+crates/bench/benches/ablation_overlap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

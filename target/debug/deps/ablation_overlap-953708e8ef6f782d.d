@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_overlap-953708e8ef6f782d.d: crates/bench/benches/ablation_overlap.rs
+
+/root/repo/target/debug/deps/ablation_overlap-953708e8ef6f782d: crates/bench/benches/ablation_overlap.rs
+
+crates/bench/benches/ablation_overlap.rs:

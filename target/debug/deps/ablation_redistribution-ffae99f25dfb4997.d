@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_redistribution-ffae99f25dfb4997.d: crates/bench/benches/ablation_redistribution.rs
+
+/root/repo/target/debug/deps/ablation_redistribution-ffae99f25dfb4997: crates/bench/benches/ablation_redistribution.rs
+
+crates/bench/benches/ablation_redistribution.rs:

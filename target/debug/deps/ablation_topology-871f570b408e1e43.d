@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_topology-871f570b408e1e43.d: crates/bench/benches/ablation_topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_topology-871f570b408e1e43.rmeta: crates/bench/benches/ablation_topology.rs Cargo.toml
+
+crates/bench/benches/ablation_topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

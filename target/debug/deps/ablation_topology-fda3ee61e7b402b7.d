@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_topology-fda3ee61e7b402b7.d: crates/bench/benches/ablation_topology.rs
+
+/root/repo/target/debug/deps/ablation_topology-fda3ee61e7b402b7: crates/bench/benches/ablation_topology.rs
+
+crates/bench/benches/ablation_topology.rs:

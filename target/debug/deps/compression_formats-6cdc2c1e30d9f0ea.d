@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compression_formats-6cdc2c1e30d9f0ea.d: crates/bench/benches/compression_formats.rs
+
+/root/repo/target/debug/deps/compression_formats-6cdc2c1e30d9f0ea: crates/bench/benches/compression_formats.rs
+
+crates/bench/benches/compression_formats.rs:

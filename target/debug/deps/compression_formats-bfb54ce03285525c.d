@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/compression_formats-bfb54ce03285525c.d: crates/bench/benches/compression_formats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcompression_formats-bfb54ce03285525c.rmeta: crates/bench/benches/compression_formats.rs Cargo.toml
+
+crates/bench/benches/compression_formats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

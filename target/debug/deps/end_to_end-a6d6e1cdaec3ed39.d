@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-a6d6e1cdaec3ed39.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-a6d6e1cdaec3ed39: tests/end_to_end.rs
+
+tests/end_to_end.rs:

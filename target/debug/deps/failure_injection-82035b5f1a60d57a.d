@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-82035b5f1a60d57a.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-82035b5f1a60d57a: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_properties-4304b1af175bcd3b.d: tests/fault_properties.rs
+
+/root/repo/target/debug/deps/fault_properties-4304b1af175bcd3b: tests/fault_properties.rs
+
+tests/fault_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_properties-9cbbdbbacdc76a4d.d: tests/fault_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_properties-9cbbdbbacdc76a4d.rmeta: tests/fault_properties.rs Cargo.toml
+
+tests/fault_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gather_multisource-351a7bb5f239cc10.d: crates/bench/benches/gather_multisource.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgather_multisource-351a7bb5f239cc10.rmeta: crates/bench/benches/gather_multisource.rs Cargo.toml
+
+crates/bench/benches/gather_multisource.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

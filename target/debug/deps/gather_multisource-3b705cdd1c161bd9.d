@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gather_multisource-3b705cdd1c161bd9.d: crates/bench/benches/gather_multisource.rs
+
+/root/repo/target/debug/deps/gather_multisource-3b705cdd1c161bd9: crates/bench/benches/gather_multisource.rs
+
+crates/bench/benches/gather_multisource.rs:

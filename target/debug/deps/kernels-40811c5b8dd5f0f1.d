@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernels-40811c5b8dd5f0f1.d: crates/bench/benches/kernels.rs
+
+/root/repo/target/debug/deps/kernels-40811c5b8dd5f0f1: crates/bench/benches/kernels.rs
+
+crates/bench/benches/kernels.rs:

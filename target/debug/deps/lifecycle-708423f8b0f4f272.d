@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lifecycle-708423f8b0f4f272.d: tests/lifecycle.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblifecycle-708423f8b0f4f272.rmeta: tests/lifecycle.rs Cargo.toml
+
+tests/lifecycle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

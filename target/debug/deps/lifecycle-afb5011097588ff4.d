@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lifecycle-afb5011097588ff4.d: tests/lifecycle.rs
+
+/root/repo/target/debug/deps/lifecycle-afb5011097588ff4: tests/lifecycle.rs
+
+tests/lifecycle.rs:

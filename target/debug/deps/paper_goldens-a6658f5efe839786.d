@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_goldens-a6658f5efe839786.d: tests/paper_goldens.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_goldens-a6658f5efe839786.rmeta: tests/paper_goldens.rs Cargo.toml
+
+tests/paper_goldens.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_goldens-c2151ddb1ef305b4.d: tests/paper_goldens.rs
+
+/root/repo/target/debug/deps/paper_goldens-c2151ddb1ef305b4: tests/paper_goldens.rs
+
+tests/paper_goldens.rs:

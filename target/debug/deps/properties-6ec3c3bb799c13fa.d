@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-6ec3c3bb799c13fa.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-6ec3c3bb799c13fa: tests/properties.rs
+
+tests/properties.rs:

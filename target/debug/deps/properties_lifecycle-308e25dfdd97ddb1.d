@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties_lifecycle-308e25dfdd97ddb1.d: tests/properties_lifecycle.rs
+
+/root/repo/target/debug/deps/properties_lifecycle-308e25dfdd97ddb1: tests/properties_lifecycle.rs
+
+tests/properties_lifecycle.rs:

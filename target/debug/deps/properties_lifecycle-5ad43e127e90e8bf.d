@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties_lifecycle-5ad43e127e90e8bf.d: tests/properties_lifecycle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties_lifecycle-5ad43e127e90e8bf.rmeta: tests/properties_lifecycle.rs Cargo.toml
+
+tests/properties_lifecycle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

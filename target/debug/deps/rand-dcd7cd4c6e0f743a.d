@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-dcd7cd4c6e0f743a.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-dcd7cd4c6e0f743a: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/remarks_sweep-1724c9cf73d66ee4.d: crates/bench/benches/remarks_sweep.rs
+
+/root/repo/target/debug/deps/remarks_sweep-1724c9cf73d66ee4: crates/bench/benches/remarks_sweep.rs
+
+crates/bench/benches/remarks_sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/remarks_sweep-1f782ce8d0e57c7d.d: crates/bench/benches/remarks_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libremarks_sweep-1f782ce8d0e57c7d.rmeta: crates/bench/benches/remarks_sweep.rs Cargo.toml
+
+crates/bench/benches/remarks_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sparsedist-4a9abb046b867f8a.d: src/lib.rs src/array.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsparsedist-4a9abb046b867f8a.rmeta: src/lib.rs src/array.rs Cargo.toml
+
+src/lib.rs:
+src/array.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

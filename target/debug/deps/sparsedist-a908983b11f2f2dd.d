@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sparsedist-a908983b11f2f2dd.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/sparsedist-a908983b11f2f2dd: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/sparsedist-bcf91972f31480ca.d: src/lib.rs src/array.rs
+
+/root/repo/target/debug/deps/sparsedist-bcf91972f31480ca: src/lib.rs src/array.rs
+
+src/lib.rs:
+src/array.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/sparsedist-d4f59b1e1174c19e.d: src/lib.rs src/array.rs
+
+/root/repo/target/debug/deps/libsparsedist-d4f59b1e1174c19e.rlib: src/lib.rs src/array.rs
+
+/root/repo/target/debug/deps/libsparsedist-d4f59b1e1174c19e.rmeta: src/lib.rs src/array.rs
+
+src/lib.rs:
+src/array.rs:

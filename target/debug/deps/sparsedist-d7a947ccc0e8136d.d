@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sparsedist-d7a947ccc0e8136d.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/sparsedist-d7a947ccc0e8136d: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

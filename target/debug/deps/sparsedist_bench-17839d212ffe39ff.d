@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sparsedist_bench-17839d212ffe39ff.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsparsedist_bench-17839d212ffe39ff.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsparsedist_bench-17839d212ffe39ff.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sparsedist_bench-8da453846a903b5c.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/sparsedist_bench-8da453846a903b5c: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sparsedist_cli-bd3c87ee82e232f6.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/sparsedist_cli-bd3c87ee82e232f6: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

@@ -1,0 +1,35 @@
+/root/repo/target/debug/deps/sparsedist_core-36d8185ae4246d9e.d: crates/core/src/lib.rs crates/core/src/compress/mod.rs crates/core/src/compress/bsr.rs crates/core/src/compress/ccs.rs crates/core/src/compress/coo.rs crates/core/src/compress/crs.rs crates/core/src/compress/dia.rs crates/core/src/compress/jds.rs crates/core/src/convert.rs crates/core/src/cost/mod.rs crates/core/src/cost/extensions.rs crates/core/src/cost/remarks.rs crates/core/src/dense.rs crates/core/src/encode.rs crates/core/src/error.rs crates/core/src/gather.rs crates/core/src/opcount.rs crates/core/src/partition/mod.rs crates/core/src/partition/balanced.rs crates/core/src/partition/block.rs crates/core/src/partition/cyclic.rs crates/core/src/redistribute.rs crates/core/src/schemes/mod.rs crates/core/src/schemes/cfs.rs crates/core/src/schemes/ed.rs crates/core/src/schemes/multi.rs crates/core/src/schemes/sfc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsparsedist_core-36d8185ae4246d9e.rmeta: crates/core/src/lib.rs crates/core/src/compress/mod.rs crates/core/src/compress/bsr.rs crates/core/src/compress/ccs.rs crates/core/src/compress/coo.rs crates/core/src/compress/crs.rs crates/core/src/compress/dia.rs crates/core/src/compress/jds.rs crates/core/src/convert.rs crates/core/src/cost/mod.rs crates/core/src/cost/extensions.rs crates/core/src/cost/remarks.rs crates/core/src/dense.rs crates/core/src/encode.rs crates/core/src/error.rs crates/core/src/gather.rs crates/core/src/opcount.rs crates/core/src/partition/mod.rs crates/core/src/partition/balanced.rs crates/core/src/partition/block.rs crates/core/src/partition/cyclic.rs crates/core/src/redistribute.rs crates/core/src/schemes/mod.rs crates/core/src/schemes/cfs.rs crates/core/src/schemes/ed.rs crates/core/src/schemes/multi.rs crates/core/src/schemes/sfc.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/compress/mod.rs:
+crates/core/src/compress/bsr.rs:
+crates/core/src/compress/ccs.rs:
+crates/core/src/compress/coo.rs:
+crates/core/src/compress/crs.rs:
+crates/core/src/compress/dia.rs:
+crates/core/src/compress/jds.rs:
+crates/core/src/convert.rs:
+crates/core/src/cost/mod.rs:
+crates/core/src/cost/extensions.rs:
+crates/core/src/cost/remarks.rs:
+crates/core/src/dense.rs:
+crates/core/src/encode.rs:
+crates/core/src/error.rs:
+crates/core/src/gather.rs:
+crates/core/src/opcount.rs:
+crates/core/src/partition/mod.rs:
+crates/core/src/partition/balanced.rs:
+crates/core/src/partition/block.rs:
+crates/core/src/partition/cyclic.rs:
+crates/core/src/redistribute.rs:
+crates/core/src/schemes/mod.rs:
+crates/core/src/schemes/cfs.rs:
+crates/core/src/schemes/ed.rs:
+crates/core/src/schemes/multi.rs:
+crates/core/src/schemes/sfc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/sparsedist_ekmr-a9afa9f9ddddd181.d: crates/ekmr/src/lib.rs crates/ekmr/src/sparse3.rs crates/ekmr/src/sparse4.rs crates/ekmr/src/tensorops.rs
+
+/root/repo/target/debug/deps/sparsedist_ekmr-a9afa9f9ddddd181: crates/ekmr/src/lib.rs crates/ekmr/src/sparse3.rs crates/ekmr/src/sparse4.rs crates/ekmr/src/tensorops.rs
+
+crates/ekmr/src/lib.rs:
+crates/ekmr/src/sparse3.rs:
+crates/ekmr/src/sparse4.rs:
+crates/ekmr/src/tensorops.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sparsedist_ekmr-b02c9e2b35a95855.d: crates/ekmr/src/lib.rs crates/ekmr/src/sparse3.rs crates/ekmr/src/sparse4.rs crates/ekmr/src/tensorops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsparsedist_ekmr-b02c9e2b35a95855.rmeta: crates/ekmr/src/lib.rs crates/ekmr/src/sparse3.rs crates/ekmr/src/sparse4.rs crates/ekmr/src/tensorops.rs Cargo.toml
+
+crates/ekmr/src/lib.rs:
+crates/ekmr/src/sparse3.rs:
+crates/ekmr/src/sparse4.rs:
+crates/ekmr/src/tensorops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sparsedist_ekmr-f211d48c4982b30e.d: crates/ekmr/src/lib.rs crates/ekmr/src/sparse3.rs crates/ekmr/src/sparse4.rs crates/ekmr/src/tensorops.rs
+
+/root/repo/target/debug/deps/libsparsedist_ekmr-f211d48c4982b30e.rlib: crates/ekmr/src/lib.rs crates/ekmr/src/sparse3.rs crates/ekmr/src/sparse4.rs crates/ekmr/src/tensorops.rs
+
+/root/repo/target/debug/deps/libsparsedist_ekmr-f211d48c4982b30e.rmeta: crates/ekmr/src/lib.rs crates/ekmr/src/sparse3.rs crates/ekmr/src/sparse4.rs crates/ekmr/src/tensorops.rs
+
+crates/ekmr/src/lib.rs:
+crates/ekmr/src/sparse3.rs:
+crates/ekmr/src/sparse4.rs:
+crates/ekmr/src/tensorops.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sparsedist_gen-0a53da4cfc9ae377.d: crates/gen/src/lib.rs crates/gen/src/checkpoint.rs crates/gen/src/matrixmarket.rs crates/gen/src/patterns.rs crates/gen/src/random.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsparsedist_gen-0a53da4cfc9ae377.rmeta: crates/gen/src/lib.rs crates/gen/src/checkpoint.rs crates/gen/src/matrixmarket.rs crates/gen/src/patterns.rs crates/gen/src/random.rs Cargo.toml
+
+crates/gen/src/lib.rs:
+crates/gen/src/checkpoint.rs:
+crates/gen/src/matrixmarket.rs:
+crates/gen/src/patterns.rs:
+crates/gen/src/random.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

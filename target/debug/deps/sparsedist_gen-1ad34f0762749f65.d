@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sparsedist_gen-1ad34f0762749f65.d: crates/gen/src/lib.rs crates/gen/src/checkpoint.rs crates/gen/src/matrixmarket.rs crates/gen/src/patterns.rs crates/gen/src/random.rs
+
+/root/repo/target/debug/deps/sparsedist_gen-1ad34f0762749f65: crates/gen/src/lib.rs crates/gen/src/checkpoint.rs crates/gen/src/matrixmarket.rs crates/gen/src/patterns.rs crates/gen/src/random.rs
+
+crates/gen/src/lib.rs:
+crates/gen/src/checkpoint.rs:
+crates/gen/src/matrixmarket.rs:
+crates/gen/src/patterns.rs:
+crates/gen/src/random.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sparsedist_gen-34325f724a0bae06.d: crates/gen/src/lib.rs crates/gen/src/checkpoint.rs crates/gen/src/matrixmarket.rs crates/gen/src/patterns.rs crates/gen/src/random.rs
+
+/root/repo/target/debug/deps/libsparsedist_gen-34325f724a0bae06.rlib: crates/gen/src/lib.rs crates/gen/src/checkpoint.rs crates/gen/src/matrixmarket.rs crates/gen/src/patterns.rs crates/gen/src/random.rs
+
+/root/repo/target/debug/deps/libsparsedist_gen-34325f724a0bae06.rmeta: crates/gen/src/lib.rs crates/gen/src/checkpoint.rs crates/gen/src/matrixmarket.rs crates/gen/src/patterns.rs crates/gen/src/random.rs
+
+crates/gen/src/lib.rs:
+crates/gen/src/checkpoint.rs:
+crates/gen/src/matrixmarket.rs:
+crates/gen/src/patterns.rs:
+crates/gen/src/random.rs:

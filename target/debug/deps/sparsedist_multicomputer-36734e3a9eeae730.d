@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/sparsedist_multicomputer-36734e3a9eeae730.d: crates/multicomputer/src/lib.rs crates/multicomputer/src/collectives.rs crates/multicomputer/src/engine.rs crates/multicomputer/src/fault.rs crates/multicomputer/src/model.rs crates/multicomputer/src/pack.rs crates/multicomputer/src/time.rs crates/multicomputer/src/timing.rs crates/multicomputer/src/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsparsedist_multicomputer-36734e3a9eeae730.rmeta: crates/multicomputer/src/lib.rs crates/multicomputer/src/collectives.rs crates/multicomputer/src/engine.rs crates/multicomputer/src/fault.rs crates/multicomputer/src/model.rs crates/multicomputer/src/pack.rs crates/multicomputer/src/time.rs crates/multicomputer/src/timing.rs crates/multicomputer/src/topology.rs Cargo.toml
+
+crates/multicomputer/src/lib.rs:
+crates/multicomputer/src/collectives.rs:
+crates/multicomputer/src/engine.rs:
+crates/multicomputer/src/fault.rs:
+crates/multicomputer/src/model.rs:
+crates/multicomputer/src/pack.rs:
+crates/multicomputer/src/time.rs:
+crates/multicomputer/src/timing.rs:
+crates/multicomputer/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

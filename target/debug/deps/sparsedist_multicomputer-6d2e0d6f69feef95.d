@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/sparsedist_multicomputer-6d2e0d6f69feef95.d: crates/multicomputer/src/lib.rs crates/multicomputer/src/collectives.rs crates/multicomputer/src/engine.rs crates/multicomputer/src/fault.rs crates/multicomputer/src/model.rs crates/multicomputer/src/pack.rs crates/multicomputer/src/time.rs crates/multicomputer/src/timing.rs crates/multicomputer/src/topology.rs
+
+/root/repo/target/debug/deps/libsparsedist_multicomputer-6d2e0d6f69feef95.rlib: crates/multicomputer/src/lib.rs crates/multicomputer/src/collectives.rs crates/multicomputer/src/engine.rs crates/multicomputer/src/fault.rs crates/multicomputer/src/model.rs crates/multicomputer/src/pack.rs crates/multicomputer/src/time.rs crates/multicomputer/src/timing.rs crates/multicomputer/src/topology.rs
+
+/root/repo/target/debug/deps/libsparsedist_multicomputer-6d2e0d6f69feef95.rmeta: crates/multicomputer/src/lib.rs crates/multicomputer/src/collectives.rs crates/multicomputer/src/engine.rs crates/multicomputer/src/fault.rs crates/multicomputer/src/model.rs crates/multicomputer/src/pack.rs crates/multicomputer/src/time.rs crates/multicomputer/src/timing.rs crates/multicomputer/src/topology.rs
+
+crates/multicomputer/src/lib.rs:
+crates/multicomputer/src/collectives.rs:
+crates/multicomputer/src/engine.rs:
+crates/multicomputer/src/fault.rs:
+crates/multicomputer/src/model.rs:
+crates/multicomputer/src/pack.rs:
+crates/multicomputer/src/time.rs:
+crates/multicomputer/src/timing.rs:
+crates/multicomputer/src/topology.rs:

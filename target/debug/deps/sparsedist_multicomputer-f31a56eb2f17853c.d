@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/sparsedist_multicomputer-f31a56eb2f17853c.d: crates/multicomputer/src/lib.rs crates/multicomputer/src/collectives.rs crates/multicomputer/src/engine.rs crates/multicomputer/src/fault.rs crates/multicomputer/src/model.rs crates/multicomputer/src/pack.rs crates/multicomputer/src/time.rs crates/multicomputer/src/timing.rs crates/multicomputer/src/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsparsedist_multicomputer-f31a56eb2f17853c.rmeta: crates/multicomputer/src/lib.rs crates/multicomputer/src/collectives.rs crates/multicomputer/src/engine.rs crates/multicomputer/src/fault.rs crates/multicomputer/src/model.rs crates/multicomputer/src/pack.rs crates/multicomputer/src/time.rs crates/multicomputer/src/timing.rs crates/multicomputer/src/topology.rs Cargo.toml
+
+crates/multicomputer/src/lib.rs:
+crates/multicomputer/src/collectives.rs:
+crates/multicomputer/src/engine.rs:
+crates/multicomputer/src/fault.rs:
+crates/multicomputer/src/model.rs:
+crates/multicomputer/src/pack.rs:
+crates/multicomputer/src/time.rs:
+crates/multicomputer/src/timing.rs:
+crates/multicomputer/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sparsedist_ops-151b551bceabc83b.d: crates/ops/src/lib.rs crates/ops/src/distributed.rs crates/ops/src/elementwise.rs crates/ops/src/solve.rs crates/ops/src/spgemm.rs crates/ops/src/spmv.rs crates/ops/src/transpose.rs
+
+/root/repo/target/debug/deps/sparsedist_ops-151b551bceabc83b: crates/ops/src/lib.rs crates/ops/src/distributed.rs crates/ops/src/elementwise.rs crates/ops/src/solve.rs crates/ops/src/spgemm.rs crates/ops/src/spmv.rs crates/ops/src/transpose.rs
+
+crates/ops/src/lib.rs:
+crates/ops/src/distributed.rs:
+crates/ops/src/elementwise.rs:
+crates/ops/src/solve.rs:
+crates/ops/src/spgemm.rs:
+crates/ops/src/spmv.rs:
+crates/ops/src/transpose.rs:

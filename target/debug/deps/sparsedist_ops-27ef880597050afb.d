@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/sparsedist_ops-27ef880597050afb.d: crates/ops/src/lib.rs crates/ops/src/distributed.rs crates/ops/src/elementwise.rs crates/ops/src/solve.rs crates/ops/src/spgemm.rs crates/ops/src/spmv.rs crates/ops/src/transpose.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsparsedist_ops-27ef880597050afb.rmeta: crates/ops/src/lib.rs crates/ops/src/distributed.rs crates/ops/src/elementwise.rs crates/ops/src/solve.rs crates/ops/src/spgemm.rs crates/ops/src/spmv.rs crates/ops/src/transpose.rs Cargo.toml
+
+crates/ops/src/lib.rs:
+crates/ops/src/distributed.rs:
+crates/ops/src/elementwise.rs:
+crates/ops/src/solve.rs:
+crates/ops/src/spgemm.rs:
+crates/ops/src/spmv.rs:
+crates/ops/src/transpose.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

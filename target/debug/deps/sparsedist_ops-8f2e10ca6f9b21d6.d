@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sparsedist_ops-8f2e10ca6f9b21d6.d: crates/ops/src/lib.rs crates/ops/src/distributed.rs crates/ops/src/elementwise.rs crates/ops/src/solve.rs crates/ops/src/spgemm.rs crates/ops/src/spmv.rs crates/ops/src/transpose.rs
+
+/root/repo/target/debug/deps/libsparsedist_ops-8f2e10ca6f9b21d6.rlib: crates/ops/src/lib.rs crates/ops/src/distributed.rs crates/ops/src/elementwise.rs crates/ops/src/solve.rs crates/ops/src/spgemm.rs crates/ops/src/spmv.rs crates/ops/src/transpose.rs
+
+/root/repo/target/debug/deps/libsparsedist_ops-8f2e10ca6f9b21d6.rmeta: crates/ops/src/lib.rs crates/ops/src/distributed.rs crates/ops/src/elementwise.rs crates/ops/src/solve.rs crates/ops/src/spgemm.rs crates/ops/src/spmv.rs crates/ops/src/transpose.rs
+
+crates/ops/src/lib.rs:
+crates/ops/src/distributed.rs:
+crates/ops/src/elementwise.rs:
+crates/ops/src/solve.rs:
+crates/ops/src/spgemm.rs:
+crates/ops/src/spmv.rs:
+crates/ops/src/transpose.rs:

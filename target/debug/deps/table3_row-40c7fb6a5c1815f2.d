@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_row-40c7fb6a5c1815f2.d: crates/bench/benches/table3_row.rs
+
+/root/repo/target/debug/deps/table3_row-40c7fb6a5c1815f2: crates/bench/benches/table3_row.rs
+
+crates/bench/benches/table3_row.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_row-8cea7377b791ac76.d: crates/bench/benches/table3_row.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_row-8cea7377b791ac76.rmeta: crates/bench/benches/table3_row.rs Cargo.toml
+
+crates/bench/benches/table3_row.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

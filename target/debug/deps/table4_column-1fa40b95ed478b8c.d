@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4_column-1fa40b95ed478b8c.d: crates/bench/benches/table4_column.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4_column-1fa40b95ed478b8c.rmeta: crates/bench/benches/table4_column.rs Cargo.toml
+
+crates/bench/benches/table4_column.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

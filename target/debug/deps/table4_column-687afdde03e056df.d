@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_column-687afdde03e056df.d: crates/bench/benches/table4_column.rs
+
+/root/repo/target/debug/deps/table4_column-687afdde03e056df: crates/bench/benches/table4_column.rs
+
+crates/bench/benches/table4_column.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table5_mesh-204b02f5cfae3a53.d: crates/bench/benches/table5_mesh.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable5_mesh-204b02f5cfae3a53.rmeta: crates/bench/benches/table5_mesh.rs Cargo.toml
+
+crates/bench/benches/table5_mesh.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5_mesh-52d6baabec493037.d: crates/bench/benches/table5_mesh.rs
+
+/root/repo/target/debug/deps/table5_mesh-52d6baabec493037: crates/bench/benches/table5_mesh.rs
+
+crates/bench/benches/table5_mesh.rs:

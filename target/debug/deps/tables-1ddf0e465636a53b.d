@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tables-1ddf0e465636a53b.d: crates/bench/src/bin/tables.rs
+
+/root/repo/target/debug/deps/tables-1ddf0e465636a53b: crates/bench/src/bin/tables.rs
+
+crates/bench/src/bin/tables.rs:

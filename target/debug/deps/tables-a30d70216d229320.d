@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tables-a30d70216d229320.d: crates/bench/src/bin/tables.rs
+
+/root/repo/target/debug/deps/tables-a30d70216d229320: crates/bench/src/bin/tables.rs
+
+crates/bench/src/bin/tables.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ekmr_multidim-62f17f354a9ab670.d: examples/ekmr_multidim.rs
+
+/root/repo/target/debug/examples/ekmr_multidim-62f17f354a9ab670: examples/ekmr_multidim.rs
+
+examples/ekmr_multidim.rs:

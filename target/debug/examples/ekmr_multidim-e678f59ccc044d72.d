@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ekmr_multidim-e678f59ccc044d72.d: examples/ekmr_multidim.rs Cargo.toml
+
+/root/repo/target/debug/examples/libekmr_multidim-e678f59ccc044d72.rmeta: examples/ekmr_multidim.rs Cargo.toml
+
+examples/ekmr_multidim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/matrixmarket_pipeline-6ae17d81250adf53.d: examples/matrixmarket_pipeline.rs
+
+/root/repo/target/debug/examples/matrixmarket_pipeline-6ae17d81250adf53: examples/matrixmarket_pipeline.rs
+
+examples/matrixmarket_pipeline.rs:

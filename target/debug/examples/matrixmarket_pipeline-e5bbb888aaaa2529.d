@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/matrixmarket_pipeline-e5bbb888aaaa2529.d: examples/matrixmarket_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmatrixmarket_pipeline-e5bbb888aaaa2529.rmeta: examples/matrixmarket_pipeline.rs Cargo.toml
+
+examples/matrixmarket_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

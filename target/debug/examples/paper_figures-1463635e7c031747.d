@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/paper_figures-1463635e7c031747.d: examples/paper_figures.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpaper_figures-1463635e7c031747.rmeta: examples/paper_figures.rs Cargo.toml
+
+examples/paper_figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/paper_figures-c508c7240d65734a.d: examples/paper_figures.rs
+
+/root/repo/target/debug/examples/paper_figures-c508c7240d65734a: examples/paper_figures.rs
+
+examples/paper_figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-9d5e65b454fff490.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-9d5e65b454fff490: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/repartition_pipeline-773312796618e59e.d: examples/repartition_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/librepartition_pipeline-773312796618e59e.rmeta: examples/repartition_pipeline.rs Cargo.toml
+
+examples/repartition_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

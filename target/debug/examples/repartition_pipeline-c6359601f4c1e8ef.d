@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/repartition_pipeline-c6359601f4c1e8ef.d: examples/repartition_pipeline.rs
+
+/root/repo/target/debug/examples/repartition_pipeline-c6359601f4c1e8ef: examples/repartition_pipeline.rs
+
+examples/repartition_pipeline.rs:

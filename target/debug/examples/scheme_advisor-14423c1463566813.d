@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scheme_advisor-14423c1463566813.d: examples/scheme_advisor.rs
+
+/root/repo/target/debug/examples/scheme_advisor-14423c1463566813: examples/scheme_advisor.rs
+
+examples/scheme_advisor.rs:

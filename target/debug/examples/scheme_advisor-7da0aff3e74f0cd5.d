@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/scheme_advisor-7da0aff3e74f0cd5.d: examples/scheme_advisor.rs Cargo.toml
+
+/root/repo/target/debug/examples/libscheme_advisor-7da0aff3e74f0cd5.rmeta: examples/scheme_advisor.rs Cargo.toml
+
+examples/scheme_advisor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/stencil_jacobi-b9d261a6a5ab2ab4.d: examples/stencil_jacobi.rs Cargo.toml
+
+/root/repo/target/debug/examples/libstencil_jacobi-b9d261a6a5ab2ab4.rmeta: examples/stencil_jacobi.rs Cargo.toml
+
+examples/stencil_jacobi.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/stencil_jacobi-ed9118cc6cd04444.d: examples/stencil_jacobi.rs
+
+/root/repo/target/debug/examples/stencil_jacobi-ed9118cc6cd04444: examples/stencil_jacobi.rs
+
+examples/stencil_jacobi.rs:

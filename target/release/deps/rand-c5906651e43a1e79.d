@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-c5906651e43a1e79.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-c5906651e43a1e79.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-c5906651e43a1e79.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sparsedist-3cfdf060da47a800.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/sparsedist-3cfdf060da47a800: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/sparsedist-ed422cdb59af1d8a.d: src/lib.rs src/array.rs
+
+/root/repo/target/release/deps/libsparsedist-ed422cdb59af1d8a.rlib: src/lib.rs src/array.rs
+
+/root/repo/target/release/deps/libsparsedist-ed422cdb59af1d8a.rmeta: src/lib.rs src/array.rs
+
+src/lib.rs:
+src/array.rs:

@@ -1,0 +1,33 @@
+/root/repo/target/release/deps/sparsedist_core-2fbe4e2523f2446c.d: crates/core/src/lib.rs crates/core/src/compress/mod.rs crates/core/src/compress/bsr.rs crates/core/src/compress/ccs.rs crates/core/src/compress/coo.rs crates/core/src/compress/crs.rs crates/core/src/compress/dia.rs crates/core/src/compress/jds.rs crates/core/src/convert.rs crates/core/src/cost/mod.rs crates/core/src/cost/extensions.rs crates/core/src/cost/remarks.rs crates/core/src/dense.rs crates/core/src/encode.rs crates/core/src/error.rs crates/core/src/gather.rs crates/core/src/opcount.rs crates/core/src/partition/mod.rs crates/core/src/partition/balanced.rs crates/core/src/partition/block.rs crates/core/src/partition/cyclic.rs crates/core/src/redistribute.rs crates/core/src/schemes/mod.rs crates/core/src/schemes/cfs.rs crates/core/src/schemes/ed.rs crates/core/src/schemes/multi.rs crates/core/src/schemes/sfc.rs
+
+/root/repo/target/release/deps/libsparsedist_core-2fbe4e2523f2446c.rlib: crates/core/src/lib.rs crates/core/src/compress/mod.rs crates/core/src/compress/bsr.rs crates/core/src/compress/ccs.rs crates/core/src/compress/coo.rs crates/core/src/compress/crs.rs crates/core/src/compress/dia.rs crates/core/src/compress/jds.rs crates/core/src/convert.rs crates/core/src/cost/mod.rs crates/core/src/cost/extensions.rs crates/core/src/cost/remarks.rs crates/core/src/dense.rs crates/core/src/encode.rs crates/core/src/error.rs crates/core/src/gather.rs crates/core/src/opcount.rs crates/core/src/partition/mod.rs crates/core/src/partition/balanced.rs crates/core/src/partition/block.rs crates/core/src/partition/cyclic.rs crates/core/src/redistribute.rs crates/core/src/schemes/mod.rs crates/core/src/schemes/cfs.rs crates/core/src/schemes/ed.rs crates/core/src/schemes/multi.rs crates/core/src/schemes/sfc.rs
+
+/root/repo/target/release/deps/libsparsedist_core-2fbe4e2523f2446c.rmeta: crates/core/src/lib.rs crates/core/src/compress/mod.rs crates/core/src/compress/bsr.rs crates/core/src/compress/ccs.rs crates/core/src/compress/coo.rs crates/core/src/compress/crs.rs crates/core/src/compress/dia.rs crates/core/src/compress/jds.rs crates/core/src/convert.rs crates/core/src/cost/mod.rs crates/core/src/cost/extensions.rs crates/core/src/cost/remarks.rs crates/core/src/dense.rs crates/core/src/encode.rs crates/core/src/error.rs crates/core/src/gather.rs crates/core/src/opcount.rs crates/core/src/partition/mod.rs crates/core/src/partition/balanced.rs crates/core/src/partition/block.rs crates/core/src/partition/cyclic.rs crates/core/src/redistribute.rs crates/core/src/schemes/mod.rs crates/core/src/schemes/cfs.rs crates/core/src/schemes/ed.rs crates/core/src/schemes/multi.rs crates/core/src/schemes/sfc.rs
+
+crates/core/src/lib.rs:
+crates/core/src/compress/mod.rs:
+crates/core/src/compress/bsr.rs:
+crates/core/src/compress/ccs.rs:
+crates/core/src/compress/coo.rs:
+crates/core/src/compress/crs.rs:
+crates/core/src/compress/dia.rs:
+crates/core/src/compress/jds.rs:
+crates/core/src/convert.rs:
+crates/core/src/cost/mod.rs:
+crates/core/src/cost/extensions.rs:
+crates/core/src/cost/remarks.rs:
+crates/core/src/dense.rs:
+crates/core/src/encode.rs:
+crates/core/src/error.rs:
+crates/core/src/gather.rs:
+crates/core/src/opcount.rs:
+crates/core/src/partition/mod.rs:
+crates/core/src/partition/balanced.rs:
+crates/core/src/partition/block.rs:
+crates/core/src/partition/cyclic.rs:
+crates/core/src/redistribute.rs:
+crates/core/src/schemes/mod.rs:
+crates/core/src/schemes/cfs.rs:
+crates/core/src/schemes/ed.rs:
+crates/core/src/schemes/multi.rs:
+crates/core/src/schemes/sfc.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/sparsedist_ekmr-6f6863a49b735259.d: crates/ekmr/src/lib.rs crates/ekmr/src/sparse3.rs crates/ekmr/src/sparse4.rs crates/ekmr/src/tensorops.rs
+
+/root/repo/target/release/deps/libsparsedist_ekmr-6f6863a49b735259.rlib: crates/ekmr/src/lib.rs crates/ekmr/src/sparse3.rs crates/ekmr/src/sparse4.rs crates/ekmr/src/tensorops.rs
+
+/root/repo/target/release/deps/libsparsedist_ekmr-6f6863a49b735259.rmeta: crates/ekmr/src/lib.rs crates/ekmr/src/sparse3.rs crates/ekmr/src/sparse4.rs crates/ekmr/src/tensorops.rs
+
+crates/ekmr/src/lib.rs:
+crates/ekmr/src/sparse3.rs:
+crates/ekmr/src/sparse4.rs:
+crates/ekmr/src/tensorops.rs:

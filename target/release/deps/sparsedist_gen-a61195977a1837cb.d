@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/sparsedist_gen-a61195977a1837cb.d: crates/gen/src/lib.rs crates/gen/src/checkpoint.rs crates/gen/src/matrixmarket.rs crates/gen/src/patterns.rs crates/gen/src/random.rs
+
+/root/repo/target/release/deps/libsparsedist_gen-a61195977a1837cb.rlib: crates/gen/src/lib.rs crates/gen/src/checkpoint.rs crates/gen/src/matrixmarket.rs crates/gen/src/patterns.rs crates/gen/src/random.rs
+
+/root/repo/target/release/deps/libsparsedist_gen-a61195977a1837cb.rmeta: crates/gen/src/lib.rs crates/gen/src/checkpoint.rs crates/gen/src/matrixmarket.rs crates/gen/src/patterns.rs crates/gen/src/random.rs
+
+crates/gen/src/lib.rs:
+crates/gen/src/checkpoint.rs:
+crates/gen/src/matrixmarket.rs:
+crates/gen/src/patterns.rs:
+crates/gen/src/random.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/sparsedist_multicomputer-ba219206b2c8a0ec.d: crates/multicomputer/src/lib.rs crates/multicomputer/src/collectives.rs crates/multicomputer/src/engine.rs crates/multicomputer/src/fault.rs crates/multicomputer/src/model.rs crates/multicomputer/src/pack.rs crates/multicomputer/src/time.rs crates/multicomputer/src/timing.rs crates/multicomputer/src/topology.rs
+
+/root/repo/target/release/deps/libsparsedist_multicomputer-ba219206b2c8a0ec.rlib: crates/multicomputer/src/lib.rs crates/multicomputer/src/collectives.rs crates/multicomputer/src/engine.rs crates/multicomputer/src/fault.rs crates/multicomputer/src/model.rs crates/multicomputer/src/pack.rs crates/multicomputer/src/time.rs crates/multicomputer/src/timing.rs crates/multicomputer/src/topology.rs
+
+/root/repo/target/release/deps/libsparsedist_multicomputer-ba219206b2c8a0ec.rmeta: crates/multicomputer/src/lib.rs crates/multicomputer/src/collectives.rs crates/multicomputer/src/engine.rs crates/multicomputer/src/fault.rs crates/multicomputer/src/model.rs crates/multicomputer/src/pack.rs crates/multicomputer/src/time.rs crates/multicomputer/src/timing.rs crates/multicomputer/src/topology.rs
+
+crates/multicomputer/src/lib.rs:
+crates/multicomputer/src/collectives.rs:
+crates/multicomputer/src/engine.rs:
+crates/multicomputer/src/fault.rs:
+crates/multicomputer/src/model.rs:
+crates/multicomputer/src/pack.rs:
+crates/multicomputer/src/time.rs:
+crates/multicomputer/src/timing.rs:
+crates/multicomputer/src/topology.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/sparsedist_ops-8b5a4b9ff00f454d.d: crates/ops/src/lib.rs crates/ops/src/distributed.rs crates/ops/src/elementwise.rs crates/ops/src/solve.rs crates/ops/src/spgemm.rs crates/ops/src/spmv.rs crates/ops/src/transpose.rs
+
+/root/repo/target/release/deps/libsparsedist_ops-8b5a4b9ff00f454d.rlib: crates/ops/src/lib.rs crates/ops/src/distributed.rs crates/ops/src/elementwise.rs crates/ops/src/solve.rs crates/ops/src/spgemm.rs crates/ops/src/spmv.rs crates/ops/src/transpose.rs
+
+/root/repo/target/release/deps/libsparsedist_ops-8b5a4b9ff00f454d.rmeta: crates/ops/src/lib.rs crates/ops/src/distributed.rs crates/ops/src/elementwise.rs crates/ops/src/solve.rs crates/ops/src/spgemm.rs crates/ops/src/spmv.rs crates/ops/src/transpose.rs
+
+crates/ops/src/lib.rs:
+crates/ops/src/distributed.rs:
+crates/ops/src/elementwise.rs:
+crates/ops/src/solve.rs:
+crates/ops/src/spgemm.rs:
+crates/ops/src/spmv.rs:
+crates/ops/src/transpose.rs:

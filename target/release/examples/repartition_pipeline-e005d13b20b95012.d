@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/repartition_pipeline-e005d13b20b95012.d: examples/repartition_pipeline.rs
+
+/root/repo/target/release/examples/repartition_pipeline-e005d13b20b95012: examples/repartition_pipeline.rs
+
+examples/repartition_pipeline.rs:

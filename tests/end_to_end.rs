@@ -37,7 +37,7 @@ fn every_workload_every_scheme_round_trips() {
         for part in partitions(a.rows(), a.cols(), 4) {
             for kind in [CompressKind::Crs, CompressKind::Ccs] {
                 for scheme in SchemeKind::ALL {
-                    let run = run_scheme(scheme, &machine, a, part.as_ref(), kind);
+                    let run = run_scheme(scheme, &machine, a, part.as_ref(), kind).unwrap();
                     assert_eq!(
                         run.reassemble(part.as_ref()),
                         *a,
@@ -57,8 +57,8 @@ fn distributed_spmv_matches_dense_on_fem_matrix() {
     let x: Vec<f64> = (0..100).map(|i| (i as f64).sin()).collect();
     let want = dense_spmv(&a, &x);
     for part in partitions(100, 100, 4) {
-        let run = run_scheme(SchemeKind::Ed, &machine, &a, part.as_ref(), CompressKind::Crs);
-        let y = distributed_spmv(&machine, &run, part.as_ref(), &x);
+        let run = run_scheme(SchemeKind::Ed, &machine, &a, part.as_ref(), CompressKind::Crs).unwrap();
+        let y = distributed_spmv(&machine, &run, part.as_ref(), &x).unwrap();
         let err = y.iter().zip(&want).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
         assert!(err < 1e-10, "{}: err {err}", part.name());
     }
@@ -71,8 +71,8 @@ fn wall_clock_and_virtual_agree_on_state() {
     let virt = Multicomputer::virtual_machine(4, MachineModel::ibm_sp2());
     let wall = Multicomputer::wall_clock(4);
     for scheme in SchemeKind::ALL {
-        let rv = run_scheme(scheme, &virt, &a, &part, CompressKind::Crs);
-        let rw = run_scheme(scheme, &wall, &a, &part, CompressKind::Crs);
+        let rv = run_scheme(scheme, &virt, &a, &part, CompressKind::Crs).unwrap();
+        let rw = run_scheme(scheme, &wall, &a, &part, CompressKind::Crs).unwrap();
         assert_eq!(rv.locals, rw.locals, "{scheme}: timing mode must not change results");
     }
 }
@@ -86,8 +86,8 @@ fn wall_clock_with_injected_wire_cost_runs() {
         4,
         TimingMode::WallClock { wire_ns_per_elem: 50, wire_ns_startup: 1_000 },
     );
-    let sfc = run_scheme(SchemeKind::Sfc, &machine, &a, &part, CompressKind::Crs);
-    let ed = run_scheme(SchemeKind::Ed, &machine, &a, &part, CompressKind::Crs);
+    let sfc = run_scheme(SchemeKind::Sfc, &machine, &a, &part, CompressKind::Crs).unwrap();
+    let ed = run_scheme(SchemeKind::Ed, &machine, &a, &part, CompressKind::Crs).unwrap();
     assert_eq!(sfc.reassemble(&part), a);
     assert_eq!(ed.reassemble(&part), a);
     // With a real injected wire cost, SFC's send (4096 dense elements)
@@ -106,13 +106,13 @@ fn larger_processor_counts() {
     for p in [1, 2, 8, 16, 32] {
         let machine = Multicomputer::virtual_machine(p, MachineModel::ibm_sp2());
         let part = RowBlock::new(96, 96, p);
-        let run = run_scheme(SchemeKind::Ed, &machine, &a, &part, CompressKind::Crs);
+        let run = run_scheme(SchemeKind::Ed, &machine, &a, &part, CompressKind::Crs).unwrap();
         assert_eq!(run.reassemble(&part), a, "p={p}");
     }
     // Mesh up to 6x6 = 36 processors.
     let machine = Multicomputer::virtual_machine(36, MachineModel::ibm_sp2());
     let part = Mesh2D::new(96, 96, 6, 6);
-    let run = run_scheme(SchemeKind::Cfs, &machine, &a, &part, CompressKind::Ccs);
+    let run = run_scheme(SchemeKind::Cfs, &machine, &a, &part, CompressKind::Ccs).unwrap();
     assert_eq!(run.reassemble(&part), a);
 }
 
@@ -125,7 +125,7 @@ fn empty_and_dense_extremes() {
     let full = SparseRandom::new(32, 32).sparse_ratio(1.0).seed(1).generate();
     for a in [&empty, &full] {
         for scheme in SchemeKind::ALL {
-            let run = run_scheme(scheme, &machine, a, &part, CompressKind::Crs);
+            let run = run_scheme(scheme, &machine, a, &part, CompressKind::Crs).unwrap();
             assert_eq!(run.reassemble(&part), *a);
         }
     }
@@ -139,7 +139,7 @@ fn ragged_sizes_with_empty_parts() {
     let part = RowBlock::new(9, 17, 4);
     for scheme in SchemeKind::ALL {
         for kind in [CompressKind::Crs, CompressKind::Ccs] {
-            let run = run_scheme(scheme, &machine, &a, &part, kind);
+            let run = run_scheme(scheme, &machine, &a, &part, kind).unwrap();
             assert_eq!(run.reassemble(&part), a, "{scheme} {kind}");
             assert_eq!(run.locals[3].nnz(), 0);
         }

@@ -1,0 +1,138 @@
+//! Property-based tests over the fault-injection substrate and the
+//! reliable-delivery layer.
+//!
+//! Two invariants from the fault model:
+//!
+//! 1. **Determinism** — a `FaultPlan` is a pure function of
+//!    `(seed, src, dst, seq, attempt)`, so two runs with the same plan
+//!    produce byte-identical per-rank `PhaseLedger`s and identical locals.
+//! 2. **Recovery** — under a ≤20% drop plan the retry layer delivers every
+//!    message eventually, so the final compressed locals equal the
+//!    fault-free run's for every (scheme, partition, compression) triple.
+
+use proptest::prelude::*;
+use sparsedist::multicomputer::{FaultPlan, RetryPolicy};
+use sparsedist::prelude::*;
+
+/// A small random sparse array (≤ 16×16, density ~1/5).
+fn arb_dense() -> impl Strategy<Value = Dense2D> {
+    (2usize..16, 2usize..16)
+        .prop_flat_map(|(r, c)| {
+            (
+                Just(r),
+                Just(c),
+                proptest::collection::vec(
+                    prop_oneof![4 => Just(0.0f64), 1 => 1.0f64..100.0],
+                    r * c,
+                ),
+            )
+        })
+        .prop_map(|(r, c, data)| Dense2D::from_vec(r, c, data))
+}
+
+fn arb_partition(rows: usize, cols: usize) -> impl Strategy<Value = Box<dyn Partition>> {
+    (2usize..5, 0usize..4).prop_map(move |(p, which)| -> Box<dyn Partition> {
+        match which {
+            0 => Box::new(RowBlock::new(rows, cols, p)),
+            1 => Box::new(ColBlock::new(rows, cols, p)),
+            2 => Box::new(RowCyclic::new(rows, cols, p)),
+            _ => Box::new(Mesh2D::new(rows, cols, p, 2)),
+        }
+    })
+}
+
+fn arb_scheme() -> impl Strategy<Value = SchemeKind> {
+    prop_oneof![Just(SchemeKind::Sfc), Just(SchemeKind::Cfs), Just(SchemeKind::Ed)]
+}
+
+fn arb_kind() -> impl Strategy<Value = CompressKind> {
+    prop_oneof![Just(CompressKind::Crs), Just(CompressKind::Ccs)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Same plan, same inputs ⇒ the same faults fire at the same points, so
+    /// the resulting ledgers (including retry charges and fault counters)
+    /// are byte-for-byte identical across runs.
+    #[test]
+    fn same_fault_seed_gives_identical_ledgers(
+        (a, part) in arb_dense().prop_flat_map(|a| {
+            let (r, c) = (a.rows(), a.cols());
+            (Just(a), arb_partition(r, c))
+        }),
+        scheme in arb_scheme(),
+        kind in arb_kind(),
+        seed in 0u64..1_000_000_000,
+    ) {
+        let plan = FaultPlan::new(seed).with_drop(0.15).with_corrupt(0.05).with_delay(0.05, 40.0);
+        let p = part.nparts();
+        let machine = Multicomputer::virtual_machine(p, MachineModel::ibm_sp2())
+            .with_faults(plan.clone())
+            .with_retry_policy(RetryPolicy::with_retries(12));
+        let r1 = run_scheme(scheme, &machine, &a, part.as_ref(), kind).unwrap();
+        let machine2 = Multicomputer::virtual_machine(p, MachineModel::ibm_sp2())
+            .with_faults(plan)
+            .with_retry_policy(RetryPolicy::with_retries(12));
+        let r2 = run_scheme(scheme, &machine2, &a, part.as_ref(), kind).unwrap();
+        prop_assert_eq!(&r1.ledgers, &r2.ledgers);
+        prop_assert_eq!(format!("{:?}", r1.ledgers), format!("{:?}", r2.ledgers));
+        prop_assert_eq!(r1.locals, r2.locals);
+    }
+
+    /// A ≤20% drop plan is always recovered by retries: every scheme ends
+    /// with exactly the locals the fault-free run produces, and the retry
+    /// work shows up in the ledgers whenever a fault actually fired.
+    #[test]
+    fn drop_plans_recover_to_fault_free_locals(
+        (a, part) in arb_dense().prop_flat_map(|a| {
+            let (r, c) = (a.rows(), a.cols());
+            (Just(a), arb_partition(r, c))
+        }),
+        kind in arb_kind(),
+        seed in 0u64..1_000_000_000,
+        drop in 0.01f64..0.20,
+    ) {
+        let p = part.nparts();
+        let clean_machine = Multicomputer::virtual_machine(p, MachineModel::ibm_sp2());
+        for scheme in SchemeKind::ALL {
+            let clean = run_scheme(scheme, &clean_machine, &a, part.as_ref(), kind).unwrap();
+            let machine = Multicomputer::virtual_machine(p, MachineModel::ibm_sp2())
+                .with_faults(FaultPlan::new(seed).with_drop(drop))
+                .with_retry_policy(RetryPolicy::with_retries(16));
+            let run = run_scheme(scheme, &machine, &a, part.as_ref(), kind).unwrap();
+            prop_assert_eq!(&run.locals, &clean.locals, "{} under drop={}", scheme, drop);
+            prop_assert_eq!(run.reassemble(part.as_ref()), a.clone());
+            // Retry charges never appear in a fault-free run…
+            for l in &clean.ledgers {
+                prop_assert!(l.get(Phase::Retry).as_micros() == 0.0);
+            }
+            // …and any dropped frame must leave a visible retry charge.
+            let dropped: u64 = run.ledgers.iter().map(|l| l.faults().drops).sum();
+            if dropped > 0 {
+                let retry_us: f64 =
+                    run.ledgers.iter().map(|l| l.get(Phase::Retry).as_micros()).sum();
+                prop_assert!(retry_us > 0.0, "{dropped} drops but no retry time");
+            }
+        }
+    }
+
+    /// Corruption is caught by the CRC frame check and healed the same way
+    /// drops are — the delivered data is never silently wrong.
+    #[test]
+    fn corruption_never_reaches_the_application(
+        (a, part) in arb_dense().prop_flat_map(|a| {
+            let (r, c) = (a.rows(), a.cols());
+            (Just(a), arb_partition(r, c))
+        }),
+        seed in 0u64..1_000_000_000,
+        corrupt in 0.01f64..0.20,
+    ) {
+        let p = part.nparts();
+        let machine = Multicomputer::virtual_machine(p, MachineModel::ibm_sp2())
+            .with_faults(FaultPlan::new(seed).with_corrupt(corrupt))
+            .with_retry_policy(RetryPolicy::with_retries(16));
+        let run = run_scheme(SchemeKind::Ed, &machine, &a, part.as_ref(), CompressKind::Crs).unwrap();
+        prop_assert_eq!(run.reassemble(part.as_ref()), a);
+    }
+}

@@ -19,13 +19,13 @@ fn distribute_redistribute_gather_round_trip() {
 
     for scheme in SchemeKind::ALL {
         for kind in [CompressKind::Crs, CompressKind::Ccs] {
-            let dist = run_scheme(scheme, &machine, &a, &rows, kind);
+            let dist = run_scheme(scheme, &machine, &a, &rows, kind).unwrap();
             for rstrat in [RedistStrategy::Direct, RedistStrategy::ViaSource] {
-                let re = redistribute(&machine, &dist.locals, &rows, &mesh, kind, rstrat);
+                let re = redistribute(&machine, &dist.locals, &rows, &mesh, kind, rstrat).unwrap();
                 for gstrat in
                     [GatherStrategy::Dense, GatherStrategy::Compressed, GatherStrategy::Encoded]
                 {
-                    let g = gather_global(&machine, &re.locals, &mesh, kind, gstrat);
+                    let g = gather_global(&machine, &re.locals, &mesh, kind, gstrat).unwrap();
                     assert_eq!(
                         g.global.to_dense(),
                         a,
@@ -47,8 +47,8 @@ fn computation_is_invariant_under_repartitioning() {
     let want = dense_spmv(&a, &x);
 
     let from = RowBlock::new(n, n, p);
-    let dist = run_scheme(SchemeKind::Cfs, &machine, &a, &from, CompressKind::Crs);
-    let y0 = distributed_spmv(&machine, &dist, &from, &x);
+    let dist = run_scheme(SchemeKind::Cfs, &machine, &a, &from, CompressKind::Crs).unwrap();
+    let y0 = distributed_spmv(&machine, &dist, &from, &x).unwrap();
 
     let targets: Vec<Box<dyn Partition>> = vec![
         Box::new(ColBlock::new(n, n, p)),
@@ -63,15 +63,17 @@ fn computation_is_invariant_under_repartitioning() {
             to.as_ref(),
             CompressKind::Crs,
             RedistStrategy::Direct,
-        );
+        )
+        .unwrap();
         let run = SchemeRun {
             scheme: SchemeKind::Cfs,
             compress_kind: CompressKind::Crs,
             source: 0,
             ledgers: re.ledgers.clone(),
             locals: re.locals.clone(),
+            owners: (0..p).collect(),
         };
-        let y = distributed_spmv(&machine, &run, to.as_ref(), &x);
+        let y = distributed_spmv(&machine, &run, to.as_ref(), &x).unwrap();
         for ((u, v), w) in y.iter().zip(&y0).zip(&want) {
             assert!((u - v).abs() < 1e-10 && (u - w).abs() < 1e-10, "{}", to.name());
         }
@@ -94,7 +96,7 @@ fn schemes_work_on_every_topology() {
         let machine = Multicomputer::virtual_with_topology(p, model, topo);
         let mut totals = Vec::new();
         for scheme in SchemeKind::ALL {
-            let run = run_scheme(scheme, &machine, &a, &part, CompressKind::Crs);
+            let run = run_scheme(scheme, &machine, &a, &part, CompressKind::Crs).unwrap();
             assert_eq!(run.reassemble(&part), a, "{scheme} on {topo:?}");
             totals.push(run.t_distribution());
         }
@@ -116,8 +118,8 @@ fn hop_costs_only_increase_times() {
         Topology::Ring,
     );
     for scheme in SchemeKind::ALL {
-        let base = run_scheme(scheme, &flat, &a, &part, CompressKind::Crs);
-        let hop = run_scheme(scheme, &ringy, &a, &part, CompressKind::Crs);
+        let base = run_scheme(scheme, &flat, &a, &part, CompressKind::Crs).unwrap();
+        let hop = run_scheme(scheme, &ringy, &a, &part, CompressKind::Crs).unwrap();
         assert!(hop.t_distribution() > base.t_distribution(), "{scheme}");
         // The ring's extra cost is pure routing: compression is untouched.
         assert_eq!(hop.t_compression(), base.t_compression(), "{scheme}");

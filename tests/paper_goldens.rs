@@ -37,7 +37,7 @@ fn figure4_crs_of_each_processor() {
     let part = RowBlock::new(10, 8, 4);
     let machine = Multicomputer::virtual_machine(4, MachineModel::ibm_sp2());
     // Run the full SFC scheme; the receivers' CRS must equal the figure.
-    let run = run_scheme(SchemeKind::Sfc, &machine, &a, &part, CompressKind::Crs);
+    let run = run_scheme(SchemeKind::Sfc, &machine, &a, &part, CompressKind::Crs).unwrap();
     let expect: [(&[usize], &[usize], &[f64]); 4] = [
         (&[1, 2, 3, 5], &[2, 7, 1, 8], &[1., 2., 3., 4.]),
         (&[1, 2, 3, 4], &[6, 4, 5], &[5., 6., 7.]),
@@ -63,7 +63,7 @@ fn figure5_cfs_p1_conversion() {
     assert_eq!(global.ri_paper(), vec![5, 6, 4]);
     // After the full CFS run, P1's local CCS has local rows 2,3,1 (1-based).
     let machine = Multicomputer::virtual_machine(4, MachineModel::ibm_sp2());
-    let run = run_scheme(SchemeKind::Cfs, &machine, &a, &part, CompressKind::Ccs);
+    let run = run_scheme(SchemeKind::Cfs, &machine, &a, &part, CompressKind::Ccs).unwrap();
     let p1 = run.locals[1].as_ccs();
     assert_eq!(p1.ri_paper(), vec![2, 3, 1]);
     assert_eq!(p1.vl(), &[6.0, 7.0, 5.0]);
@@ -76,7 +76,7 @@ fn figure7_ed_p1_decode() {
     let a = paper_array_a();
     let part = RowBlock::new(10, 8, 4);
     let machine = Multicomputer::virtual_machine(4, MachineModel::ibm_sp2());
-    let run = run_scheme(SchemeKind::Ed, &machine, &a, &part, CompressKind::Ccs);
+    let run = run_scheme(SchemeKind::Ed, &machine, &a, &part, CompressKind::Ccs).unwrap();
     let p1 = run.locals[1].as_ccs();
     assert_eq!(p1.cp_paper(), vec![1, 1, 1, 1, 2, 3, 4, 4, 4]);
     assert_eq!(p1.ri_paper(), vec![2, 3, 1]);
@@ -98,9 +98,9 @@ fn section5_observations_hold_on_reduced_grid() {
                 ("mesh", Box::new(Mesh2D::new(n, n, 2, 2))),
             ];
             for (name, part) in configs {
-                let sfc = run_scheme(SchemeKind::Sfc, &machine, &a, part.as_ref(), CompressKind::Crs);
-                let cfs = run_scheme(SchemeKind::Cfs, &machine, &a, part.as_ref(), CompressKind::Crs);
-                let ed = run_scheme(SchemeKind::Ed, &machine, &a, part.as_ref(), CompressKind::Crs);
+                let sfc = run_scheme(SchemeKind::Sfc, &machine, &a, part.as_ref(), CompressKind::Crs).unwrap();
+                let cfs = run_scheme(SchemeKind::Cfs, &machine, &a, part.as_ref(), CompressKind::Crs).unwrap();
+                let ed = run_scheme(SchemeKind::Ed, &machine, &a, part.as_ref(), CompressKind::Crs).unwrap();
 
                 // §5 observation (all tables): ED dist < CFS dist < SFC dist.
                 assert!(ed.t_distribution() < cfs.t_distribution(), "{name} n={n}");
@@ -139,7 +139,7 @@ fn table3_scaling_shape_in_p() {
     for p in [4usize, 16, 32] {
         let machine = Multicomputer::virtual_machine(p, model);
         let part = RowBlock::new(n, n, p);
-        let run = run_scheme(SchemeKind::Sfc, &machine, &a, &part, CompressKind::Crs);
+        let run = run_scheme(SchemeKind::Sfc, &machine, &a, &part, CompressKind::Crs).unwrap();
         dist.push(run.t_distribution().as_millis());
         comp.push(run.t_compression().as_millis());
     }

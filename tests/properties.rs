@@ -89,7 +89,7 @@ proptest! {
     }), kind in prop_oneof![Just(CompressKind::Crs), Just(CompressKind::Ccs)]) {
         let (part, p) = pp;
         for pid in 0..p {
-            let buf = encode_part(&a, part.as_ref(), pid, kind, &mut OpCounter::new());
+            let buf = encode_part(&a, part.as_ref(), pid, kind, &mut OpCounter::new()).unwrap();
             let got = decode_part(&buf, part.as_ref(), pid, kind, &mut OpCounter::new()).unwrap();
             prop_assert_eq!(got.to_dense(), part.extract_dense(&a, pid));
         }
@@ -102,9 +102,9 @@ proptest! {
     }), kind in prop_oneof![Just(CompressKind::Crs), Just(CompressKind::Ccs)]) {
         let (part, p) = pp;
         let machine = Multicomputer::virtual_machine(p, MachineModel::ibm_sp2());
-        let sfc = run_scheme(SchemeKind::Sfc, &machine, &a, part.as_ref(), kind);
-        let cfs = run_scheme(SchemeKind::Cfs, &machine, &a, part.as_ref(), kind);
-        let ed = run_scheme(SchemeKind::Ed, &machine, &a, part.as_ref(), kind);
+        let sfc = run_scheme(SchemeKind::Sfc, &machine, &a, part.as_ref(), kind).unwrap();
+        let cfs = run_scheme(SchemeKind::Cfs, &machine, &a, part.as_ref(), kind).unwrap();
+        let ed = run_scheme(SchemeKind::Ed, &machine, &a, part.as_ref(), kind).unwrap();
         prop_assert_eq!(&sfc.locals, &cfs.locals);
         prop_assert_eq!(&cfs.locals, &ed.locals);
         prop_assert_eq!(ed.reassemble(part.as_ref()), a);
@@ -120,8 +120,8 @@ proptest! {
         // CFS's on the same input.
         let (part, p) = pp;
         let machine = Multicomputer::virtual_machine(p, MachineModel::ibm_sp2());
-        let cfs = run_scheme(SchemeKind::Cfs, &machine, &a, part.as_ref(), CompressKind::Crs);
-        let ed = run_scheme(SchemeKind::Ed, &machine, &a, part.as_ref(), CompressKind::Crs);
+        let cfs = run_scheme(SchemeKind::Cfs, &machine, &a, part.as_ref(), CompressKind::Crs).unwrap();
+        let ed = run_scheme(SchemeKind::Ed, &machine, &a, part.as_ref(), CompressKind::Crs).unwrap();
         prop_assert!(ed.t_distribution() <= cfs.t_distribution());
     }
 

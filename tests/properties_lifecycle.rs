@@ -57,8 +57,8 @@ proptest! {
         ],
     ) {
         let m = machine(part.nparts());
-        let run = run_scheme(SchemeKind::Cfs, &m, &a, part.as_ref(), kind);
-        let g = gather_global(&m, &run.locals, part.as_ref(), kind, strategy);
+        let run = run_scheme(SchemeKind::Cfs, &m, &a, part.as_ref(), kind).unwrap();
+        let g = gather_global(&m, &run.locals, part.as_ref(), kind, strategy).unwrap();
         prop_assert_eq!(g.global.to_dense(), a);
     }
 
@@ -73,9 +73,9 @@ proptest! {
         // Equal processor counts are required for redistribution.
         prop_assume!(from.nparts() == to.nparts());
         let m = machine(from.nparts());
-        let owned = run_scheme(SchemeKind::Ed, &m, &a, from.as_ref(), CompressKind::Crs).locals;
-        let re = redistribute(&m, &owned, from.as_ref(), to.as_ref(), CompressKind::Crs, strategy);
-        let direct = run_scheme(SchemeKind::Ed, &m, &a, to.as_ref(), CompressKind::Crs).locals;
+        let owned = run_scheme(SchemeKind::Ed, &m, &a, from.as_ref(), CompressKind::Crs).unwrap().locals;
+        let re = redistribute(&m, &owned, from.as_ref(), to.as_ref(), CompressKind::Crs, strategy).unwrap();
+        let direct = run_scheme(SchemeKind::Ed, &m, &a, to.as_ref(), CompressKind::Crs).unwrap().locals;
         prop_assert_eq!(re.locals, direct);
     }
 
@@ -90,8 +90,8 @@ proptest! {
         let p = part.nparts();
         prop_assume!(k <= p);
         let m = machine(p);
-        let single = run_scheme(SchemeKind::Ed, &m, &a, part.as_ref(), CompressKind::Crs);
-        let multi = run_ed_multi_source(&m, &a, part.as_ref(), k);
+        let single = run_scheme(SchemeKind::Ed, &m, &a, part.as_ref(), CompressKind::Crs).unwrap();
+        let multi = run_ed_multi_source(&m, &a, part.as_ref(), k).unwrap();
         prop_assert_eq!(multi.locals, single.locals);
     }
 
@@ -121,7 +121,7 @@ proptest! {
         case in 0u64..1_000_000,
     ) {
         let m = machine(part.nparts());
-        let run = run_scheme(SchemeKind::Ed, &m, &a, part.as_ref(), CompressKind::Crs);
+        let run = run_scheme(SchemeKind::Ed, &m, &a, part.as_ref(), CompressKind::Crs).unwrap();
         let dir = std::env::temp_dir()
             .join("sparsedist_prop_ckpt")
             .join(format!("case_{case}"));

@@ -1,0 +1,257 @@
+//! Offline stand-in for the subset of `criterion` used by this workspace.
+//!
+//! The build environment has no network access, so the real crate cannot be
+//! fetched. This shim keeps the bench sources compiling and runnable: each
+//! `bench_function`/`bench_with_input` does a short warm-up, then a fixed
+//! measurement window, and prints mean time per iteration (plus element
+//! throughput when set). No statistics, plots, or baselines.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identifier for one benchmark within a group: `function_id/parameter`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("crs_from_dense", 200)` → `crs_from_dense/200`.
+    pub fn new<S: Into<String>, P: fmt::Display>(function_id: S, parameter: P) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_id.into(), parameter) }
+    }
+
+    /// Bare parameter-only id (`from_parameter`).
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Work-per-iteration declaration used to report throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    /// Filled in by `iter`: (total elapsed, iterations).
+    measured: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Time `routine`, first warming up, then measuring for the window.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let warm_deadline = Instant::now() + self.warm_up;
+        while Instant::now() < warm_deadline {
+            std::hint::black_box(routine());
+        }
+        let start = Instant::now();
+        let deadline = start + self.measurement;
+        let mut iters: u64 = 0;
+        loop {
+            std::hint::black_box(routine());
+            iters += 1;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        self.measured = Some((start.elapsed(), iters));
+    }
+}
+
+/// A named set of related benchmarks sharing loop settings.
+pub struct BenchmarkGroup<'a> {
+    #[allow(dead_code)]
+    criterion: &'a mut Criterion,
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Accepted for API compatibility; the shim's loop is time-bounded.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Set the warm-up window.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Set the measurement window.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Declare per-iteration work for subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            measured: None,
+        };
+        f(&mut b);
+        self.report(&id, &b);
+        self
+    }
+
+    /// Run one benchmark with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            measured: None,
+        };
+        f(&mut b, input);
+        self.report(&id, &b);
+        self
+    }
+
+    fn report(&self, id: &BenchmarkId, b: &Bencher) {
+        match b.measured {
+            Some((elapsed, iters)) if iters > 0 => {
+                let per = elapsed.as_secs_f64() / iters as f64;
+                let rate = match self.throughput {
+                    Some(Throughput::Elements(n)) => {
+                        format!("  {:.3e} elem/s", n as f64 / per)
+                    }
+                    Some(Throughput::Bytes(n)) => {
+                        format!("  {:.3e} B/s", n as f64 / per)
+                    }
+                    None => String::new(),
+                };
+                println!(
+                    "{}/{}: {:>12.3} us/iter ({} iters){}",
+                    self.name,
+                    id,
+                    per * 1e6,
+                    iters,
+                    rate
+                );
+            }
+            _ => println!("{}/{}: no measurement", self.name, id),
+        }
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            warm_up: Duration::from_millis(100),
+            measurement: Duration::from_millis(300),
+            throughput: None,
+        }
+    }
+}
+
+/// Group benchmark functions under one callable symbol.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+/// Re-export mirroring `criterion::black_box`.
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(5)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        g.throughput(Throughput::Elements(4));
+        g.bench_with_input(BenchmarkId::new("sum", 4), &[1u64, 2, 3, 4], |b, xs| {
+            b.iter(|| xs.iter().sum::<u64>())
+        });
+        g.bench_function("trivial", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs() {
+        benches();
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter(9).to_string(), "9");
+    }
+}

