@@ -20,7 +20,7 @@ fn footprint_report(name: &str, a: &Dense2D) {
     let crs = Crs::from_dense(a, &mut OpCounter::new());
     let dia = Dia::from_dense(a, &mut OpCounter::new());
     let jds = Jds::from_dense(a, &mut OpCounter::new());
-    let bsr = Bsr::from_dense(a, 4, 4, &mut OpCounter::new());
+    let bsr = Bsr::from_dense(a, 4, 4, &mut OpCounter::new()).expect("4x4 tiles divide the workload");
     eprintln!(
         "{name:<12} nnz={:<8} crs={:<8} dia={:<8} jds={:<8} bsr4x4={:<8} (stored elements)",
         a.nnz(),
@@ -56,12 +56,12 @@ fn bench_formats(c: &mut Criterion) {
             b.iter(|| black_box(Jds::from_dense(a, &mut OpCounter::new())))
         });
         g.bench_with_input(BenchmarkId::new("build_bsr4x4", wname), a, |b, a| {
-            b.iter(|| black_box(Bsr::from_dense(a, 4, 4, &mut OpCounter::new())))
+            b.iter(|| black_box(Bsr::from_dense(a, 4, 4, &mut OpCounter::new()).unwrap()))
         });
 
         let crs = Crs::from_dense(a, &mut OpCounter::new());
         let jds = Jds::from_dense(a, &mut OpCounter::new());
-        let bsr = Bsr::from_dense(a, 4, 4, &mut OpCounter::new());
+        let bsr = Bsr::from_dense(a, 4, 4, &mut OpCounter::new()).expect("4x4 tiles divide the workload");
         let x: Vec<f64> = (0..n).map(|i| 1.0 + (i % 9) as f64).collect();
         g.bench_with_input(BenchmarkId::new("spmv_crs", wname), &crs, |b, m| {
             b.iter(|| black_box(crs_spmv(m, &x)))

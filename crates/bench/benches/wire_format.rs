@@ -1,0 +1,203 @@
+//! Wire-format shootout: v1 vs v2 packed bytes on the distribution hot
+//! path, and sequential vs parallel per-part encode at the source.
+//!
+//! Besides the Criterion timings (`pack_roundtrip`, `encode_parallel`),
+//! this bench writes `BENCH_wire.json` at the workspace root: packed-byte
+//! totals per scheme/format at three sparsities and the measured host-time
+//! encode speedup, so CI can archive the wire saving as an artifact.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sparsedist_core::compress::{CompressKind, Crs};
+use sparsedist_core::encode::encode_part_into;
+use sparsedist_core::opcount::OpCounter;
+use sparsedist_core::partition::{Partition, RowBlock};
+use sparsedist_core::schemes::{run_scheme_with, SchemeConfig, SchemeKind};
+use sparsedist_core::wire::{self, WireFormat};
+use sparsedist_gen::SparseRandom;
+use sparsedist_multicomputer::{MachineModel, Multicomputer, PackArena, PackBuffer};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const N: usize = 1000;
+const P: usize = 4;
+
+fn array(s: f64) -> sparsedist_core::dense::Dense2D {
+    SparseRandom::new(N, N).sparse_ratio(s).seed(0xC0FFEE).generate()
+}
+
+/// Bytes the source transmits for one scheme run under `format`.
+fn source_bytes(
+    scheme: SchemeKind,
+    a: &sparsedist_core::dense::Dense2D,
+    part: &dyn Partition,
+    format: WireFormat,
+) -> u64 {
+    let m = Multicomputer::virtual_machine(P, MachineModel::ibm_sp2());
+    let run = run_scheme_with(
+        scheme,
+        &m,
+        a,
+        part,
+        CompressKind::Crs,
+        SchemeConfig { wire: format, parallel: false },
+    )
+    .expect("bench distribution run");
+    run.ledgers[0].wire().bytes
+}
+
+fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+fn encode_one(a: &sparsedist_core::dense::Dense2D, part: &dyn Partition, pid: usize) -> usize {
+    let mut buf = PackBuffer::new();
+    let mut ops = OpCounter::new();
+    encode_part_into(&mut buf, a, part, pid, CompressKind::Crs, WireFormat::V2, &mut ops)
+        .unwrap();
+    buf.byte_len()
+}
+
+/// Encode all `P` parts, sequentially or on core-capped scoped threads
+/// (mirroring the scheme drivers' `map_parts`), and return the wall time
+/// plus total encoded bytes (to keep the work observable).
+fn encode_all(
+    a: &sparsedist_core::dense::Dense2D,
+    part: &dyn Partition,
+    parallel: bool,
+) -> (Duration, usize) {
+    let start = Instant::now();
+    let workers = if parallel { host_cores().min(P) } else { 1 };
+    let total: usize = if workers < 2 {
+        (0..P).map(|pid| encode_one(a, part, pid)).sum()
+    } else {
+        let chunk = P.div_ceil(workers);
+        std::thread::scope(|sc| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    sc.spawn(move || {
+                        (w * chunk..((w + 1) * chunk).min(P))
+                            .map(|pid| encode_one(a, part, pid))
+                            .sum::<usize>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+    };
+    (start.elapsed(), total)
+}
+
+/// Best-of-`reps` wall times for the sequential and parallel encodes, in
+/// microseconds, with the two measurements interleaved so drift (cache
+/// warm-up, CPU frequency) hits both sides equally.
+fn encode_best_us(
+    reps: usize,
+    a: &sparsedist_core::dense::Dense2D,
+    part: &dyn Partition,
+) -> (f64, f64) {
+    let mut seq = Duration::MAX;
+    let mut par = Duration::MAX;
+    for _ in 0..reps {
+        seq = seq.min(encode_all(a, part, false).0);
+        par = par.min(encode_all(a, part, true).0);
+    }
+    (seq.as_secs_f64() * 1e6, par.as_secs_f64() * 1e6)
+}
+
+fn emit_json(c: &mut Criterion) {
+    let part = RowBlock::new(N, N, P);
+    let mut lines = Vec::new();
+    lines.push(format!("  \"n\": {N},\n  \"p\": {P},"));
+    lines.push("  \"bytes\": {".to_string());
+    let sparsities = [(0.01, "s0.01"), (0.1, "s0.1"), (0.5, "s0.5")];
+    let schemes =
+        [(SchemeKind::Sfc, "sfc"), (SchemeKind::Cfs, "cfs"), (SchemeKind::Ed, "ed")];
+    for (si, (s, slabel)) in sparsities.iter().enumerate() {
+        let a = array(*s);
+        lines.push(format!("    \"{slabel}\": {{"));
+        for (ki, (scheme, klabel)) in schemes.iter().enumerate() {
+            let v1 = source_bytes(*scheme, &a, &part, WireFormat::V1);
+            let v2 = source_bytes(*scheme, &a, &part, WireFormat::V2);
+            let saving = 1.0 - v2 as f64 / v1 as f64;
+            let comma = if ki + 1 < schemes.len() { "," } else { "" };
+            lines.push(format!(
+                "      \"{klabel}\": {{\"v1_bytes\": {v1}, \"v2_bytes\": {v2}, \
+                 \"saving\": {saving:.4}}}{comma}"
+            ));
+            eprintln!(
+                "wire bytes {klabel:>3} s={s:<5} v1={v1:>9} v2={v2:>9} saving={:5.1}%",
+                saving * 100.0
+            );
+        }
+        let comma = if si + 1 < sparsities.len() { "," } else { "" };
+        lines.push(format!("    }}{comma}"));
+    }
+    lines.push("  },".to_string());
+
+    let a = array(0.1);
+    let (seq_us, par_us) = encode_best_us(7, &a, &part);
+    let speedup = seq_us / par_us;
+    let cores = host_cores();
+    eprintln!(
+        "encode {P} parts on {cores} core(s): sequential {seq_us:.0} us, \
+         parallel {par_us:.0} us ({speedup:.2}x)"
+    );
+    lines.push(format!(
+        "  \"encode_parallel\": {{\"parts\": {P}, \"host_cores\": {cores}, \
+         \"sequential_us\": {seq_us:.1}, \"parallel_us\": {par_us:.1}, \
+         \"speedup\": {speedup:.3}}}"
+    ));
+
+    let json = format!("{{\n{}\n}}\n", lines.join("\n"));
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_wire.json");
+    std::fs::write(path, json).expect("write BENCH_wire.json");
+    eprintln!("wrote {path}");
+
+    let _ = c;
+}
+
+fn bench_pack_roundtrip(c: &mut Criterion) {
+    let a = array(0.1);
+    let part = RowBlock::new(N, N, P);
+    let crs = Crs::from_part_global(&a, &part, 0, &mut OpCounter::new());
+    let (lrows, _) = part.local_shape(0);
+    let arena = PackArena::new();
+
+    let mut g = c.benchmark_group("pack_roundtrip");
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    g.throughput(Throughput::Elements((crs.ro().len() + 2 * crs.nnz()) as u64));
+    for format in [WireFormat::V1, WireFormat::V2] {
+        g.bench_with_input(BenchmarkId::new("cfs_triple", format), &format, |b, &format| {
+            b.iter(|| {
+                let mut buf = arena.checkout(crs.nnz() * 16 + crs.ro().len() * 8);
+                wire::pack_triple_into(&mut buf, crs.ro(), crs.co(), crs.vl(), N, format);
+                let out =
+                    wire::unpack_triple(&mut buf.cursor(), lrows, format).expect("round trip");
+                arena.recycle(buf);
+                black_box(out)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_encode_parallel(c: &mut Criterion) {
+    let a = array(0.1);
+    let part = RowBlock::new(N, N, P);
+    let mut g = c.benchmark_group("encode_parallel");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    g.throughput(Throughput::Elements((N * N) as u64));
+    for (label, parallel) in [("sequential", false), ("parallel", true)] {
+        g.bench_with_input(BenchmarkId::new("encode", label), &parallel, |b, &parallel| {
+            b.iter(|| black_box(encode_all(&a, &part, parallel).1))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, emit_json, bench_pack_roundtrip, bench_encode_parallel);
+criterion_main!(benches);

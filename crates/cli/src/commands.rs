@@ -5,7 +5,8 @@ use sparsedist_core::compress::{CompressKind, Coo};
 use sparsedist_core::cost::{predict, CostInput, PartitionMethod};
 use sparsedist_core::dense::Dense2D;
 use sparsedist_core::partition::{ColBlock, ColCyclic, Mesh2D, Partition, RowBlock, RowCyclic};
-use sparsedist_core::schemes::{run_scheme, SchemeKind};
+use sparsedist_core::schemes::{run_scheme, run_scheme_with, SchemeConfig, SchemeKind};
+use sparsedist_core::wire::WireFormat;
 use sparsedist_gen::{matrixmarket, patterns, SparseRandom};
 use sparsedist_multicomputer::timing::{render_fault_summary, render_timeline};
 use sparsedist_multicomputer::{FaultPlan, MachineModel, Multicomputer, Phase, RetryPolicy};
@@ -26,6 +27,7 @@ USAGE:
   sparsedist distribute FILE.mtx [--scheme sfc|cfs|ed] [--partition row|column|mesh|rowcyclic|colcyclic]
                          [--procs P] [--grid RxC] [--kind crs|ccs] [--model sp2|compute|network]
                          [--timeline yes] [--faults SPEC] [--retries N]
+                         [--wire v1|v2] [--parallel yes]
 
   --faults takes comma-separated key=value tokens, e.g.
   'seed=7,drop=0.2' or 'dead=2' or 'corrupt@0-1=0.5,phase=send';
@@ -55,6 +57,14 @@ fn parse_kind(s: &str) -> Result<CompressKind, CmdError> {
         "crs" => Ok(CompressKind::Crs),
         "ccs" => Ok(CompressKind::Ccs),
         other => Err(format!("unknown compression '{other}' (crs|ccs)")),
+    }
+}
+
+fn parse_wire(s: &str) -> Result<WireFormat, CmdError> {
+    match s {
+        "v1" => Ok(WireFormat::V1),
+        "v2" => Ok(WireFormat::V2),
+        other => Err(format!("unknown wire format '{other}' (v1|v2)")),
     }
 }
 
@@ -195,9 +205,11 @@ pub fn distribute(p: &Parsed) -> Result<String, CmdError> {
     let scheme = parse_scheme(p.flag_or("scheme", "ed"))?;
     let kind = parse_kind(p.flag_or("kind", "crs"))?;
     let model = parse_model(p.flag_or("model", "sp2"))?;
+    let wire = parse_wire(p.flag_or("wire", "v1"))?;
+    let config = SchemeConfig { wire, parallel: p.flag_or("parallel", "no") == "yes" };
     let part = build_partition(p, a.rows(), a.cols(), procs)?;
     let machine = build_machine(p, procs, model)?;
-    let run = run_scheme(scheme, &machine, &a, part.as_ref(), kind)
+    let run = run_scheme_with(scheme, &machine, &a, part.as_ref(), kind, config)
         .map_err(|e| e.to_string())?;
 
     let mut out = String::new();
@@ -214,6 +226,15 @@ pub fn distribute(p: &Parsed) -> Result<String, CmdError> {
     let _ = writeln!(out, "  total:          {}", run.t_total());
     let src = &run.ledgers[run.source];
     let _ = writeln!(out, "  source phases:  {src}");
+    let (msgs, elems, bytes) = run.ledgers.iter().fold((0u64, 0u64, 0u64), |acc, l| {
+        let w = l.wire();
+        (acc.0 + w.messages, acc.1 + w.elements, acc.2 + w.bytes)
+    });
+    let _ = writeln!(
+        out,
+        "  wire ({wire}):      {msgs} messages, {elems} elements, {bytes} bytes ({:.2} B/elem)",
+        if elems == 0 { 0.0 } else { bytes as f64 / elems as f64 }
+    );
     if p.flag_or("timeline", "no") == "yes" {
         let _ = writeln!(out, "  per-rank timeline (c=compress e=encode p=pack s=send u=unpack d=decode !=retry .=wait):");
         for line in render_timeline(&run.ledgers, 60).lines() {
@@ -436,6 +457,37 @@ mod tests {
         .unwrap();
         assert!(d.contains("CFS over 4 processors"), "{d}");
         assert!(d.contains("verified"), "{d}");
+    }
+
+    #[test]
+    fn distribute_wire_v2_saves_bytes_at_equal_virtual_time() {
+        let path = tmp("gen_wire.mtx");
+        crate::run(&argv(&format!("gen {path} --rows 40 --ratio 0.2 --seed 11"))).unwrap();
+        let v1 = crate::run(&argv(&format!("distribute {path} --scheme ed --procs 4"))).unwrap();
+        let v2 = crate::run(&argv(&format!(
+            "distribute {path} --scheme ed --procs 4 --wire v2 --parallel yes"
+        )))
+        .unwrap();
+        assert!(v1.contains("wire (v1)"), "{v1}");
+        assert!(v2.contains("wire (v2)"), "{v2}");
+        assert!(v2.contains("verified"), "{v2}");
+        // The cost model charges logical elements, so the virtual times match…
+        let line = |s: &str, key: &str| {
+            s.lines().find(|l| l.contains(key)).map(str::to_owned).unwrap()
+        };
+        assert_eq!(line(&v1, "T_Distribution"), line(&v2, "T_Distribution"));
+        // …while the compact format moves fewer bytes for the same elements.
+        let bytes = |s: &str| {
+            let l = line(s, "wire (");
+            l.split_whitespace()
+                .zip(l.split_whitespace().skip(1))
+                .find(|(_, unit)| *unit == "bytes")
+                .map(|(n, _)| n.parse::<u64>().unwrap())
+                .unwrap()
+        };
+        assert!(bytes(&v2) < bytes(&v1), "v1: {v1}\nv2: {v2}");
+
+        assert!(crate::run(&argv(&format!("distribute {path} --wire v3"))).is_err());
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! dense `br × bc` tile, so scattered sparsity pays padding the same way
 //! DIA does.
 
+use crate::compress::CompressError;
 use crate::dense::Dense2D;
 use crate::opcount::OpCounter;
 
@@ -30,13 +31,25 @@ impl Bsr {
     ///
     /// One op per cell scanned plus `br·bc` per stored tile (the copy).
     ///
-    /// # Panics
-    /// Panics if the tile shape does not divide the array shape, or a tile
-    /// dimension is zero.
-    pub fn from_dense(a: &Dense2D, br: usize, bc: usize, ops: &mut OpCounter) -> Bsr {
-        assert!(br > 0 && bc > 0, "tile dimensions must be positive");
-        assert_eq!(a.rows() % br, 0, "tile rows {br} must divide array rows {}", a.rows());
-        assert_eq!(a.cols() % bc, 0, "tile cols {bc} must divide array cols {}", a.cols());
+    /// # Errors
+    /// Returns [`CompressError::TileShape`] if a tile dimension is zero or
+    /// the tile shape does not divide the array shape — tile geometry often
+    /// comes from user input (CLI flags, config files), so it is a
+    /// recoverable error rather than API misuse.
+    pub fn from_dense(
+        a: &Dense2D,
+        br: usize,
+        bc: usize,
+        ops: &mut OpCounter,
+    ) -> Result<Bsr, CompressError> {
+        if br == 0 || bc == 0 || !a.rows().is_multiple_of(br) || !a.cols().is_multiple_of(bc) {
+            return Err(CompressError::TileShape {
+                rows: a.rows(),
+                cols: a.cols(),
+                br,
+                bc,
+            });
+        }
         let grows = a.rows() / br;
         let gcols = a.cols() / bc;
         let mut block_ro = Vec::with_capacity(grows + 1);
@@ -67,7 +80,7 @@ impl Bsr {
             }
             block_ro.push(block_co.len());
         }
-        Bsr { rows: a.rows(), cols: a.cols(), br, bc, block_ro, block_co, blocks }
+        Ok(Bsr { rows: a.rows(), cols: a.cols(), br, bc, block_ro, block_co, blocks })
     }
 
     /// Number of rows.
@@ -171,7 +184,7 @@ mod tests {
     fn round_trip_paper_array() {
         let a = paper_array_a();
         for (br, bc) in [(1, 1), (2, 2), (5, 4), (10, 8), (2, 4)] {
-            let bsr = Bsr::from_dense(&a, br, bc, &mut OpCounter::new());
+            let bsr = Bsr::from_dense(&a, br, bc, &mut OpCounter::new()).unwrap();
             assert_eq!(bsr.to_dense(), a, "{br}x{bc}");
             assert_eq!(bsr.nnz(), 16);
         }
@@ -180,7 +193,7 @@ mod tests {
     #[test]
     fn one_by_one_tiles_store_exactly_nnz() {
         let a = paper_array_a();
-        let bsr = Bsr::from_dense(&a, 1, 1, &mut OpCounter::new());
+        let bsr = Bsr::from_dense(&a, 1, 1, &mut OpCounter::new()).unwrap();
         assert_eq!(bsr.nblocks(), 16);
         assert_eq!(bsr.stored_elements(), 16);
     }
@@ -194,7 +207,7 @@ mod tests {
                 a.set(r, c, 1.0);
             }
         }
-        let bsr = Bsr::from_dense(&a, 4, 4, &mut OpCounter::new());
+        let bsr = Bsr::from_dense(&a, 4, 4, &mut OpCounter::new()).unwrap();
         assert_eq!(bsr.nblocks(), 1);
         assert_eq!(bsr.stored_elements(), 16);
         assert_eq!(bsr.nnz(), 16);
@@ -205,7 +218,7 @@ mod tests {
     #[test]
     fn spmv_matches_dense() {
         let a = paper_array_a();
-        let bsr = Bsr::from_dense(&a, 2, 4, &mut OpCounter::new());
+        let bsr = Bsr::from_dense(&a, 2, 4, &mut OpCounter::new()).unwrap();
         let x: Vec<f64> = (1..=8).map(|v| v as f64).collect();
         let want: Vec<f64> = (0..10)
             .map(|r| (0..8).map(|c| a.get(r, c) * x[c]).sum())
@@ -214,16 +227,19 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "must divide")]
     fn indivisible_tiles_rejected() {
         let a = paper_array_a();
-        let _ = Bsr::from_dense(&a, 3, 3, &mut OpCounter::new());
+        let err = Bsr::from_dense(&a, 3, 3, &mut OpCounter::new()).unwrap_err();
+        assert_eq!(err, CompressError::TileShape { rows: 10, cols: 8, br: 3, bc: 3 });
+        assert!(err.to_string().contains("does not divide"), "{err}");
+        let err = Bsr::from_dense(&a, 0, 2, &mut OpCounter::new()).unwrap_err();
+        assert_eq!(err, CompressError::TileShape { rows: 10, cols: 8, br: 0, bc: 2 });
     }
 
     #[test]
     fn empty_array() {
         let a = Dense2D::zeros(6, 6);
-        let bsr = Bsr::from_dense(&a, 2, 3, &mut OpCounter::new());
+        let bsr = Bsr::from_dense(&a, 2, 3, &mut OpCounter::new()).unwrap();
         assert_eq!(bsr.nblocks(), 0);
         assert_eq!(bsr.to_dense(), a);
     }

@@ -178,6 +178,24 @@ pub enum CompressError {
         /// The offending row (CRS) or column (CCS).
         segment: usize,
     },
+    /// A BSR tile shape that is zero or does not divide the array shape.
+    TileShape {
+        /// Array rows.
+        rows: usize,
+        /// Array columns.
+        cols: usize,
+        /// Tile rows requested.
+        br: usize,
+        /// Tile columns requested.
+        bc: usize,
+    },
+    /// A buffer expected to carry a v2 wire header starts with something
+    /// else (wrong magic, unknown flags, or too short to hold one).
+    WireHeader {
+        /// The bytes found where the header should be (zero-padded when the
+        /// buffer is shorter than a header).
+        found: [u8; 3],
+    },
 }
 
 impl fmt::Display for CompressError {
@@ -199,6 +217,12 @@ impl fmt::Display for CompressError {
             }
             CompressError::IndicesNotSorted { segment } => {
                 write!(f, "indices in segment {segment} are not strictly increasing")
+            }
+            CompressError::TileShape { rows, cols, br, bc } => {
+                write!(f, "tile shape {br}x{bc} does not divide array shape {rows}x{cols}")
+            }
+            CompressError::WireHeader { found } => {
+                write!(f, "missing or malformed v2 wire header: found bytes {found:02x?}")
             }
         }
     }

@@ -16,6 +16,7 @@ use crate::compress::{Ccs, CompressError, CompressKind, Crs, LocalCompressed};
 use crate::convert::IndexConverter;
 use crate::opcount::OpCounter;
 use crate::partition::Partition;
+use crate::wire::{self, IndexRunReader, IndexRunWriter, WireFormat};
 use sparsedist_multicomputer::pack::{PackBuffer, PatchError};
 
 /// Encode part `pid` of the global array into a special buffer.
@@ -41,9 +42,52 @@ pub fn encode_part(
         CompressKind::Ccs => (lcols, lrows),
     };
     let mut buf = PackBuffer::with_capacity(outer + 2 * (outer * inner) / 8 + 1);
+    encode_part_into(&mut buf, global, part, pid, kind, WireFormat::V1, ops)?;
+    Ok(buf)
+}
+
+/// Encode part `pid` of the global array into `buf` under the chosen
+/// [`WireFormat`] — the wire-aware, buffer-reusing core behind
+/// [`encode_part`].
+///
+/// `buf` is typically checked out of a `PackArena` so repeated runs reuse
+/// their allocations. Under [`WireFormat::V1`] the bytes appended are
+/// exactly [`encode_part`]'s; under [`WireFormat::V2`] a header is written
+/// and the `R_i` counts / `C_ij` indices use the negotiated compact
+/// encodings. The logical element count and op accounting are identical in
+/// both formats.
+///
+/// # Errors
+/// Same as [`encode_part`].
+pub fn encode_part_into(
+    buf: &mut PackBuffer,
+    global: &crate::dense::Dense2D,
+    part: &dyn Partition,
+    pid: usize,
+    kind: CompressKind,
+    format: WireFormat,
+    ops: &mut OpCounter,
+) -> Result<(), PatchError> {
+    let (lrows, lcols) = part.local_shape(pid);
+    let (outer, inner) = match kind {
+        CompressKind::Crs => (lrows, lcols),
+        CompressKind::Ccs => (lcols, lrows),
+    };
+    let (grows, gcols) = part.global_shape();
+    // V1 is the degenerate flag set: no header, every field fixed 8-byte.
+    let flags = match format {
+        WireFormat::V1 => 0,
+        WireFormat::V2 => {
+            let f = wire::negotiate(grows.max(gcols));
+            wire::write_header(buf, f);
+            f
+        }
+    };
+    let mut run = IndexRunWriter::new(flags);
     for o in 0..outer {
-        let slot = buf.push_u64_placeholder();
-        let mut count: u64 = 0;
+        let slot = wire::push_count_placeholder(buf, flags);
+        run.reset();
+        let mut count: usize = 0;
         for i in 0..inner {
             ops.tick();
             let (lr, lc) = match kind {
@@ -57,15 +101,15 @@ pub fn encode_part(
                     CompressKind::Crs => gc,
                     CompressKind::Ccs => gr,
                 };
-                buf.push_u64(travelling as u64);
+                run.push(buf, travelling);
                 buf.push_f64(v);
                 count += 1;
                 ops.add(3);
             }
         }
-        buf.patch_u64(slot, count)?;
+        wire::patch_count(buf, slot, count, flags)?;
     }
-    Ok(buf)
+    Ok(())
 }
 
 /// Decode a received special buffer into a compressed local array.
@@ -81,6 +125,27 @@ pub fn decode_part(
     kind: CompressKind,
     ops: &mut OpCounter,
 ) -> Result<LocalCompressed, CompressError> {
+    decode_part_wire(buf, part, pid, kind, WireFormat::V1, ops)
+}
+
+/// Decode a received special buffer in the chosen [`WireFormat`] — the
+/// wire-aware core behind [`decode_part`].
+///
+/// For [`WireFormat::V2`] the header is validated first
+/// ([`CompressError::WireHeader`] on mismatch) and the negotiated compact
+/// field encodings are read back; op accounting is identical to v1.
+///
+/// # Errors
+/// Same as [`decode_part`], plus [`CompressError::WireHeader`] for a v2
+/// stream whose header is missing or malformed.
+pub fn decode_part_wire(
+    buf: &PackBuffer,
+    part: &dyn Partition,
+    pid: usize,
+    kind: CompressKind,
+    format: WireFormat,
+    ops: &mut OpCounter,
+) -> Result<LocalCompressed, CompressError> {
     let (lrows, lcols) = part.local_shape(pid);
     let outer = match kind {
         CompressKind::Crs => lrows,
@@ -90,24 +155,28 @@ pub fn decode_part(
     let bound = converter.local_index_bound(kind);
 
     let mut cursor = buf.cursor();
+    let flags = match format {
+        WireFormat::V1 => 0,
+        WireFormat::V2 => wire::read_header(&mut cursor)?,
+    };
+    let mut run = IndexRunReader::new(flags);
     let mut pointer = Vec::with_capacity(outer + 1);
     pointer.push(0usize);
     ops.tick(); // pointer[0] initialisation (the formulas' trailing +1)
     let mut indices = Vec::new();
     let mut values = Vec::new();
     for seg in 0..outer {
-        let count = cursor
-            .try_read_u64()
-            .map_err(|_| CompressError::PointerLength { expected: outer + 1, actual: seg + 1 })?
-            as usize;
+        let count = wire::read_count(&mut cursor, flags)
+            .map_err(|_| CompressError::PointerLength { expected: outer + 1, actual: seg + 1 })?;
         ops.tick(); // RO[i+1] = RO[i] + R_i
         pointer.push(pointer[seg] + count);
+        run.reset();
         for _ in 0..count {
-            let travelling = cursor.try_read_u64().map_err(|_| CompressError::LengthMismatch {
+            let travelling = run.next(&mut cursor).map_err(|_| CompressError::LengthMismatch {
                 pointer_total: pointer[seg] + count,
                 indices: indices.len(),
                 values: values.len(),
-            })? as usize;
+            })?;
             ops.tick(); // move C_ij
             let local = converter.to_local(travelling, ops);
             indices.push(local);
@@ -289,6 +358,95 @@ mod tests {
         buf.patch_u64(0, 1_000).unwrap();
         let err = decode_part(&buf, &part, 0, CompressKind::Crs, &mut OpCounter::new());
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn v2_round_trips_with_same_elements_and_fewer_bytes() {
+        let a = paper_array_a();
+        let parts: Vec<Box<dyn Partition>> = vec![
+            Box::new(RowBlock::new(10, 8, 4)),
+            Box::new(ColBlock::new(10, 8, 4)),
+            Box::new(Mesh2D::new(10, 8, 2, 2)),
+        ];
+        for part in &parts {
+            for kind in [CompressKind::Crs, CompressKind::Ccs] {
+                for pid in 0..part.nparts() {
+                    let v1 =
+                        encode_part(&a, part.as_ref(), pid, kind, &mut OpCounter::new()).unwrap();
+                    let mut v2 = PackBuffer::new();
+                    let mut ops = OpCounter::new();
+                    encode_part_into(
+                        &mut v2,
+                        &a,
+                        part.as_ref(),
+                        pid,
+                        kind,
+                        WireFormat::V2,
+                        &mut ops,
+                    )
+                    .unwrap();
+                    let mut v1_ops = OpCounter::new();
+                    let mut check = PackBuffer::new();
+                    encode_part_into(
+                        &mut check,
+                        &a,
+                        part.as_ref(),
+                        pid,
+                        kind,
+                        WireFormat::V1,
+                        &mut v1_ops,
+                    )
+                    .unwrap();
+                    assert_eq!(check, v1, "V1 via encode_part_into must be byte-identical");
+                    assert_eq!(v2.elem_count(), v1.elem_count(), "elements are format-free");
+                    assert_eq!(ops.get(), v1_ops.get(), "op accounting is format-free");
+                    assert!(
+                        v2.byte_len() < v1.byte_len(),
+                        "{} {kind} part {pid}: v2 {} !< v1 {}",
+                        part.name(),
+                        v2.byte_len(),
+                        v1.byte_len()
+                    );
+                    let from_v2 = decode_part_wire(
+                        &v2,
+                        part.as_ref(),
+                        pid,
+                        kind,
+                        WireFormat::V2,
+                        &mut OpCounter::new(),
+                    )
+                    .unwrap();
+                    let mut v2_dec_ops = OpCounter::new();
+                    let mut v1_dec_ops = OpCounter::new();
+                    let _ = decode_part_wire(
+                        &v2,
+                        part.as_ref(),
+                        pid,
+                        kind,
+                        WireFormat::V2,
+                        &mut v2_dec_ops,
+                    )
+                    .unwrap();
+                    let from_v1 =
+                        decode_part(&v1, part.as_ref(), pid, kind, &mut v1_dec_ops).unwrap();
+                    assert_eq!(from_v2, from_v1, "decoded state is format-free");
+                    assert_eq!(v2_dec_ops.get(), v1_dec_ops.get(), "decode ops are format-free");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn v2_decode_rejects_headerless_stream() {
+        let a = paper_array_a();
+        let part = RowBlock::new(10, 8, 4);
+        let v1 = encode_part(&a, &part, 0, CompressKind::Crs, &mut OpCounter::new()).unwrap();
+        let err = decode_part_wire(&v1, &part, 0, CompressKind::Crs, WireFormat::V2,
+                                   &mut OpCounter::new());
+        assert!(
+            matches!(err, Err(CompressError::WireHeader { .. })),
+            "a v1 stream read as v2 must fail on the header, got {err:?}"
+        );
     }
 
     #[test]

@@ -81,6 +81,7 @@ pub mod opcount;
 pub mod partition;
 pub mod redistribute;
 pub mod schemes;
+pub mod wire;
 
 pub use compress::{Ccs, CompressKind, Coo, Crs, LocalCompressed};
 pub use dense::Dense2D;
@@ -89,4 +90,5 @@ pub use opcount::OpCounter;
 pub use partition::{ColBlock, Mesh2D, Partition, RowBlock};
 pub use gather::{gather_global, GatherRun, GatherStrategy};
 pub use redistribute::{redistribute, RedistRun, RedistStrategy};
-pub use schemes::{run_scheme, SchemeKind, SchemeRun};
+pub use schemes::{run_scheme, run_scheme_with, SchemeConfig, SchemeKind, SchemeRun};
+pub use wire::WireFormat;

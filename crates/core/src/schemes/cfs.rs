@@ -18,37 +18,40 @@ use crate::error::SparsedistError;
 use crate::opcount::OpCounter;
 use crate::partition::Partition;
 use crate::schemes::{
-    alive_ranks_of, assign_owners, collect_parts, SchemeKind, SchemeRun, SOURCE,
+    alive_ranks_of, assign_owners, collect_parts, map_parts, SchemeConfig, SchemeKind, SchemeRun,
+    SOURCE,
 };
+use crate::wire::{self, WireFormat};
 use sparsedist_multicomputer::pack::UnpackError;
 use sparsedist_multicomputer::{Multicomputer, PackBuffer, Phase};
 
-/// Compress part `pid` at the source (global indices) and pack it.
+/// Compress part `pid` at the source (global indices) and pack it into
+/// `buf` (typically checked out of the rank's arena).
+///
+/// The compressed arrays are packed straight from the borrowed `RO`/`CO`/
+/// `VL` slices — no intermediate `Vec` copies — and the wire layout is
+/// chosen by `format`. Pack cost stays one op per packed element (the
+/// paper's `2n²s + n + p` total), identical for both formats.
 fn compress_and_pack(
+    buf: &mut PackBuffer,
     global: &Dense2D,
     part: &dyn Partition,
     pid: usize,
     kind: CompressKind,
+    format: WireFormat,
     compress_ops: &mut OpCounter,
-    pack_ops: &mut OpCounter,
-) -> PackBuffer {
-    let (pointer, indices, values): (Vec<usize>, Vec<usize>, Vec<f64>) = match kind {
+) {
+    let (grows, gcols) = part.global_shape();
+    match kind {
         CompressKind::Crs => {
             let crs = Crs::from_part_global(global, part, pid, compress_ops);
-            (crs.ro().to_vec(), crs.co().to_vec(), crs.vl().to_vec())
+            wire::pack_triple_into(buf, crs.ro(), crs.co(), crs.vl(), gcols, format);
         }
         CompressKind::Ccs => {
             let ccs = Ccs::from_part_global(global, part, pid, compress_ops);
-            (ccs.cp().to_vec(), ccs.ri().to_vec(), ccs.vl().to_vec())
+            wire::pack_triple_into(buf, ccs.cp(), ccs.ri(), ccs.vl(), grows, format);
         }
-    };
-    let mut buf = PackBuffer::with_capacity(pointer.len() + indices.len() + values.len());
-    buf.push_usize_slice(&pointer);
-    buf.push_usize_slice(&indices);
-    buf.push_f64_slice(&values);
-    // One op per packed element (the paper's 2n²s + n + p total).
-    pack_ops.add((pointer.len() + indices.len() + values.len()) as u64);
-    buf
+    }
 }
 
 /// Unpack a received buffer into a compressed local array, converting
@@ -58,6 +61,7 @@ fn unpack(
     part: &dyn Partition,
     pid: usize,
     kind: CompressKind,
+    format: WireFormat,
     ops: &mut OpCounter,
 ) -> Result<LocalCompressed, SparsedistError> {
     let (lrows, lcols) = part.local_shape(pid);
@@ -69,21 +73,19 @@ fn unpack(
     let bound = converter.local_index_bound(kind);
 
     let mut cursor = buf.cursor();
-    let pointer = cursor.try_read_usize_vec(nsegments + 1)?;
+    let (pointer, travelling, values) = wire::unpack_triple(&mut cursor, nsegments, format)?;
     ops.add((nsegments + 1) as u64);
     let nnz = pointer[nsegments];
     let mut indices = Vec::with_capacity(nnz);
-    for _ in 0..nnz {
-        let travelling = cursor.try_read_usize()?;
+    for &t in &travelling {
         ops.tick();
-        indices.push(converter.to_local(travelling, ops));
+        indices.push(converter.to_local(t, ops));
     }
-    let values = cursor.try_read_f64_vec(nnz)?;
     ops.add(nnz as u64);
     if !cursor.is_exhausted() {
         // Longer than its own header describes: a framing mismatch.
         return Err(UnpackError {
-            at: (nsegments + 1 + 2 * nnz) * 8,
+            at: buf.byte_len() - cursor.remaining(),
             remaining: cursor.remaining(),
         }
         .into());
@@ -104,6 +106,7 @@ pub(crate) fn run(
     global: &Dense2D,
     part: &dyn Partition,
     kind: CompressKind,
+    config: SchemeConfig,
 ) -> Result<SchemeRun, SparsedistError> {
     let nparts = part.nparts();
     let owners = assign_owners(part, &alive_ranks_of(machine));
@@ -117,26 +120,22 @@ pub(crate) fn run(
             if me == SOURCE {
                 // Compression and packing are interleaved per part in the
                 // code but charged to their own phases, exactly as the paper
-                // accounts them.
-                let bufs: Vec<PackBuffer> = {
+                // accounts them. Packing cost is one op per packed element,
+                // which is exactly the buffers' element counts.
+                let (bufs, compress_total) = {
+                    let arena = env.arena();
                     let mut compress_ops = OpCounter::new();
-                    let mut pack_ops = OpCounter::new();
-                    let bufs: Vec<PackBuffer> = (0..nparts)
-                        .map(|pid| {
-                            compress_and_pack(
-                                global,
-                                part,
-                                pid,
-                                kind,
-                                &mut compress_ops,
-                                &mut pack_ops,
-                            )
-                        })
-                        .collect();
-                    env.phase(Phase::Compress, |env| env.charge_ops(compress_ops.take()));
-                    env.phase(Phase::Pack, |env| env.charge_ops(pack_ops.take()));
-                    bufs
+                    let bufs: Vec<PackBuffer> =
+                        map_parts(nparts, config.parallel, &mut compress_ops, &|pid, ops| {
+                            let mut buf = arena.checkout(0);
+                            compress_and_pack(&mut buf, global, part, pid, kind, config.wire, ops);
+                            buf
+                        });
+                    (bufs, compress_ops.take())
                 };
+                let pack_total: u64 = bufs.iter().map(PackBuffer::elem_count).sum();
+                env.phase(Phase::Compress, |env| env.charge_ops(compress_total));
+                env.phase(Phase::Pack, |env| env.charge_ops(pack_total));
                 env.phase(Phase::Send, |env| -> Result<(), SparsedistError> {
                     for (pid, buf) in bufs.into_iter().enumerate() {
                         env.send(owners_ref[pid], buf)?;
@@ -147,15 +146,40 @@ pub(crate) fn run(
             let mine: Vec<usize> =
                 (0..nparts).filter(|&pid| owners_ref[pid] == me).collect();
             let mut out = Vec::with_capacity(mine.len());
-            for pid in mine {
-                let msg = env.recv(SOURCE)?;
-                let local = env.phase(Phase::Unpack, |env| {
+            if config.parallel && mine.len() >= 2 {
+                // Receive everything first, then decode the parts on scoped
+                // host threads; the merged op total is charged once, so the
+                // Unpack phase total matches the sequential path exactly.
+                let mut msgs = Vec::with_capacity(mine.len());
+                for &pid in &mine {
+                    msgs.push((pid, env.recv(SOURCE)?));
+                }
+                let (locals, unpack_total) = {
+                    let msgs_ref = &msgs;
                     let mut ops = OpCounter::new();
-                    let local = unpack(&msg.payload, part, pid, kind, &mut ops);
-                    env.charge_ops(ops.take());
-                    local
-                })?;
-                out.push((pid, local));
+                    let locals = map_parts(msgs.len(), true, &mut ops, &|i, ops| {
+                        let (pid, msg) = &msgs_ref[i];
+                        unpack(&msg.payload, part, *pid, kind, config.wire, ops)
+                    });
+                    (locals, ops.take())
+                };
+                env.phase(Phase::Unpack, |env| env.charge_ops(unpack_total));
+                for (local, (pid, msg)) in locals.into_iter().zip(msgs) {
+                    env.arena().recycle_bytes(msg.payload.into_bytes());
+                    out.push((pid, local?));
+                }
+            } else {
+                for pid in mine {
+                    let msg = env.recv(SOURCE)?;
+                    let local = env.phase(Phase::Unpack, |env| {
+                        let mut ops = OpCounter::new();
+                        let local = unpack(&msg.payload, part, pid, kind, config.wire, &mut ops);
+                        env.charge_ops(ops.take());
+                        local
+                    })?;
+                    env.arena().recycle_bytes(msg.payload.into_bytes());
+                    out.push((pid, local));
+                }
             }
             Ok(out)
         },
@@ -191,7 +215,7 @@ mod tests {
         let a = paper_array_a();
         let part = RowBlock::new(10, 8, 4);
         let m = MachineModel::ibm_sp2();
-        let run = super::run(&sp2(4), &a, &part, CompressKind::Crs).unwrap();
+        let run = super::run(&sp2(4), &a, &part, CompressKind::Crs, SchemeConfig::default()).unwrap();
 
         let comp = run.t_compression().as_micros();
         assert!((comp - 128.0 * m.t_op).abs() < 1e-9, "compression: {comp}");
@@ -220,7 +244,7 @@ mod tests {
         let a = paper_array_a();
         let part = RowBlock::new(10, 8, 4);
         let m = MachineModel::ibm_sp2();
-        let run = super::run(&sp2(4), &a, &part, CompressKind::Ccs).unwrap();
+        let run = super::run(&sp2(4), &a, &part, CompressKind::Ccs, SchemeConfig::default()).unwrap();
         // P2 has 6 nonzeros: 9 + 18 = 27 ops.
         let unpack_max = run
             .ledgers
@@ -234,7 +258,7 @@ mod tests {
     fn receivers_hold_local_indices() {
         let a = paper_array_a();
         let part = RowBlock::new(10, 8, 4);
-        let run = super::run(&sp2(4), &a, &part, CompressKind::Ccs).unwrap();
+        let run = super::run(&sp2(4), &a, &part, CompressKind::Ccs, SchemeConfig::default()).unwrap();
         // P1's decoded CCS must be over local rows 0..3, matching the
         // direct local compression.
         let expect = Ccs::from_dense(&part.extract_dense(&a, 1), &mut OpCounter::new());
@@ -246,7 +270,7 @@ mod tests {
         let a = paper_array_a();
         let part = RowBlock::new(10, 8, 4);
         let m = MachineModel::ibm_sp2();
-        let run = super::run(&sp2(4), &a, &part, CompressKind::Crs).unwrap();
+        let run = super::run(&sp2(4), &a, &part, CompressKind::Crs, SchemeConfig::default()).unwrap();
         let send = run.ledgers[0].get(Phase::Send).as_micros();
         // 46 elements (see above) — far less than the 80 dense cells SFC
         // would send.

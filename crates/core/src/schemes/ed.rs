@@ -10,12 +10,13 @@
 
 use crate::compress::{CompressKind, LocalCompressed};
 use crate::dense::Dense2D;
-use crate::encode::{decode_part, encode_part};
+use crate::encode::{decode_part, decode_part_wire, encode_part, encode_part_into};
 use crate::error::SparsedistError;
 use crate::opcount::OpCounter;
 use crate::partition::Partition;
 use crate::schemes::{
-    alive_ranks_of, assign_owners, collect_parts, SchemeKind, SchemeRun, SOURCE,
+    alive_ranks_of, assign_owners, collect_parts, map_parts, SchemeConfig, SchemeKind, SchemeRun,
+    SOURCE,
 };
 use sparsedist_multicomputer::{Multicomputer, PackBuffer, Phase};
 
@@ -24,6 +25,7 @@ pub(crate) fn run(
     global: &Dense2D,
     part: &dyn Partition,
     kind: CompressKind,
+    config: SchemeConfig,
 ) -> Result<SchemeRun, SparsedistError> {
     let nparts = part.nparts();
     let owners = assign_owners(part, &alive_ranks_of(machine));
@@ -37,9 +39,17 @@ pub(crate) fn run(
             if me == SOURCE {
                 let bufs: Vec<PackBuffer> = env.phase(Phase::Encode, |env| {
                     let mut ops = OpCounter::new();
-                    let bufs = (0..nparts)
-                        .map(|pid| encode_part(global, part, pid, kind, &mut ops))
-                        .collect::<Result<Vec<_>, _>>();
+                    let bufs = {
+                        let arena = env.arena();
+                        map_parts(nparts, config.parallel, &mut ops, &|pid, ops| {
+                            let (lrows, lcols) = part.local_shape(pid);
+                            let mut buf = arena.checkout((lrows + lrows * lcols / 4 + 1) * 8);
+                            encode_part_into(&mut buf, global, part, pid, kind, config.wire, ops)
+                                .map(|()| buf)
+                        })
+                        .into_iter()
+                        .collect::<Result<Vec<_>, _>>()
+                    };
                     env.charge_ops(ops.take());
                     bufs
                 })?;
@@ -53,15 +63,43 @@ pub(crate) fn run(
             let mine: Vec<usize> =
                 (0..nparts).filter(|&pid| owners_ref[pid] == me).collect();
             let mut out = Vec::with_capacity(mine.len());
-            for pid in mine {
-                let msg = env.recv(SOURCE)?;
-                let local = env.phase(Phase::Decode, |env| {
+            if config.parallel && mine.len() >= 2 {
+                // Receive everything first, then decode the parts on scoped
+                // host threads; the merged op total is charged once, so the
+                // Decode phase total matches the sequential path exactly.
+                let mut msgs = Vec::with_capacity(mine.len());
+                for &pid in &mine {
+                    msgs.push((pid, env.recv(SOURCE)?));
+                }
+                let locals = env.phase(Phase::Decode, |env| {
                     let mut ops = OpCounter::new();
-                    let local = decode_part(&msg.payload, part, pid, kind, &mut ops);
+                    let locals = {
+                        let msgs_ref = &msgs;
+                        map_parts(msgs.len(), true, &mut ops, &|i, ops| {
+                            let (pid, msg) = &msgs_ref[i];
+                            decode_part_wire(&msg.payload, part, *pid, kind, config.wire, ops)
+                        })
+                    };
                     env.charge_ops(ops.take());
-                    local
-                })?;
-                out.push((pid, local));
+                    locals
+                });
+                for (local, (pid, msg)) in locals.into_iter().zip(msgs) {
+                    env.arena().recycle_bytes(msg.payload.into_bytes());
+                    out.push((pid, local?));
+                }
+            } else {
+                for pid in mine {
+                    let msg = env.recv(SOURCE)?;
+                    let local = env.phase(Phase::Decode, |env| {
+                        let mut ops = OpCounter::new();
+                        let local =
+                            decode_part_wire(&msg.payload, part, pid, kind, config.wire, &mut ops);
+                        env.charge_ops(ops.take());
+                        local
+                    })?;
+                    env.arena().recycle_bytes(msg.payload.into_bytes());
+                    out.push((pid, local));
+                }
             }
             Ok(out)
         },
@@ -169,7 +207,7 @@ mod tests {
         let a = paper_array_a();
         let part = RowBlock::new(10, 8, 4);
         let m = MachineModel::ibm_sp2();
-        let run = super::run(&sp2(4), &a, &part, CompressKind::Crs).unwrap();
+        let run = super::run(&sp2(4), &a, &part, CompressKind::Crs, SchemeConfig::default()).unwrap();
 
         let src = &run.ledgers[0];
         assert_eq!(src.get(Phase::Pack).as_micros(), 0.0);
@@ -193,7 +231,7 @@ mod tests {
         // the wire, on top of the removed pack/unpack passes).
         let a = paper_array_a();
         let part = RowBlock::new(10, 8, 4);
-        let ed = super::run(&sp2(4), &a, &part, CompressKind::Crs).unwrap();
+        let ed = super::run(&sp2(4), &a, &part, CompressKind::Crs, SchemeConfig::default()).unwrap();
         let cfs = crate::schemes::run_scheme(
             crate::schemes::SchemeKind::Cfs,
             &sp2(4),
@@ -215,7 +253,7 @@ mod tests {
         }
         let part = RowBlock::new(64, 64, 8);
         let m = sp2(8);
-        let plain = super::run(&m, &a, &part, CompressKind::Crs).unwrap();
+        let plain = super::run(&m, &a, &part, CompressKind::Crs, SchemeConfig::default()).unwrap();
         let over = run_overlapped(&m, &a, &part, CompressKind::Crs).unwrap();
         // Identical state and identical paper aggregates…
         assert_eq!(plain.locals, over.locals);
@@ -245,7 +283,7 @@ mod tests {
     fn decoded_state_matches_direct_compression() {
         let a = paper_array_a();
         let part = RowBlock::new(10, 8, 4);
-        let run = super::run(&sp2(4), &a, &part, CompressKind::Crs).unwrap();
+        let run = super::run(&sp2(4), &a, &part, CompressKind::Crs, SchemeConfig::default()).unwrap();
         for pid in 0..4 {
             let expect = crate::compress::Crs::from_dense(
                 &part.extract_dense(&a, pid),

@@ -27,9 +27,91 @@ pub use ed::run_overlapped as run_ed_overlapped;
 use crate::compress::{CompressKind, LocalCompressed};
 use crate::dense::Dense2D;
 use crate::error::SparsedistError;
+use crate::opcount::OpCounter;
 use crate::partition::Partition;
+use crate::wire::WireFormat;
 use sparsedist_multicomputer::{Multicomputer, Phase, PhaseLedger, VirtualTime};
 use std::fmt;
+
+/// Tuning knobs for a scheme run that change *how* the work is done on the
+/// host — never *what* is distributed or what the paper's cost model
+/// charges for it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct SchemeConfig {
+    /// Wire layout for every buffer the scheme sends. [`WireFormat::V1`]
+    /// (the default) reproduces the seed byte streams exactly;
+    /// [`WireFormat::V2`] negotiates compact index encodings per message.
+    pub wire: WireFormat,
+    /// Encode/compress the per-part buffers on scoped host threads at the
+    /// source (and decode in parallel on receivers owning several parts).
+    /// Per-part op counts are merged in part order and charged once, so
+    /// virtual-time phase totals are bit-identical to the sequential path.
+    pub parallel: bool,
+}
+
+impl SchemeConfig {
+    /// The compact, parallel configuration: v2 wire format plus host-side
+    /// parallel encode/compress — the distribution hot path at full tilt.
+    pub fn compact_parallel() -> Self {
+        SchemeConfig { wire: WireFormat::V2, parallel: true }
+    }
+}
+
+/// Map part ids `0..nparts` through `f`, sequentially or on scoped host
+/// threads, preserving part order in the returned vector.
+///
+/// Each parallel worker counts its ops into a private [`OpCounter`]; the
+/// counts (plain `u64`s, so addition is associative) are merged into `ops`
+/// in part order afterwards. The caller charges the merged total exactly
+/// once — the same single charge the sequential path makes — so the
+/// virtual clock cannot tell the two paths apart.
+pub(crate) fn map_parts<T: Send>(
+    nparts: usize,
+    parallel: bool,
+    ops: &mut OpCounter,
+    f: &(dyn Fn(usize, &mut OpCounter) -> T + Sync),
+) -> Vec<T> {
+    let workers = if parallel {
+        std::thread::available_parallelism().map_or(1, |n| n.get()).min(nparts)
+    } else {
+        1
+    };
+    if workers < 2 || nparts < 2 {
+        // Single-core hosts (and single parts) take the sequential path:
+        // threads could only add overhead, and the results are identical
+        // by construction.
+        return (0..nparts).map(|pid| f(pid, ops)).collect();
+    }
+    // Contiguous part chunks, one scoped thread each — never more threads
+    // than cores, so wide partitions don't oversubscribe the host.
+    let chunk = nparts.div_ceil(workers);
+    let per_chunk: Vec<Vec<(T, u64)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                s.spawn(move || {
+                    let lo = w * chunk;
+                    let hi = ((w + 1) * chunk).min(nparts);
+                    (lo..hi)
+                        .map(|pid| {
+                            let mut local = OpCounter::new();
+                            let out = f(pid, &mut local);
+                            (out, local.get())
+                        })
+                        .collect()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("part worker panicked")).collect()
+    });
+    let mut out = Vec::with_capacity(nparts);
+    for chunk_results in per_chunk {
+        for (t, n) in chunk_results {
+            ops.add(n);
+            out.push(t);
+        }
+    }
+    out
+}
 
 /// The source rank every provided driver distributes from.
 pub(crate) const SOURCE: usize = 0;
@@ -243,6 +325,28 @@ pub fn run_scheme(
     part: &dyn Partition,
     kind: CompressKind,
 ) -> Result<SchemeRun, SparsedistError> {
+    run_scheme_with(scheme, machine, global, part, kind, SchemeConfig::default())
+}
+
+/// [`run_scheme`] with explicit [`SchemeConfig`] knobs: wire format and
+/// host-side parallel encode/compress.
+///
+/// `run_scheme(…)` is exactly `run_scheme_with(…, SchemeConfig::default())`
+/// — v1 wire bytes and sequential host execution, the seed behaviour.
+///
+/// # Errors
+/// Same as [`run_scheme`].
+///
+/// # Panics
+/// Same as [`run_scheme`].
+pub fn run_scheme_with(
+    scheme: SchemeKind,
+    machine: &Multicomputer,
+    global: &Dense2D,
+    part: &dyn Partition,
+    kind: CompressKind,
+    config: SchemeConfig,
+) -> Result<SchemeRun, SparsedistError> {
     assert_eq!(
         machine.nprocs(),
         part.nparts(),
@@ -262,9 +366,9 @@ pub fn run_scheme(
         return Err(SparsedistError::SourceDead { rank: SOURCE });
     }
     match scheme {
-        SchemeKind::Sfc => sfc::run(machine, global, part, kind),
-        SchemeKind::Cfs => cfs::run(machine, global, part, kind),
-        SchemeKind::Ed => ed::run(machine, global, part, kind),
+        SchemeKind::Sfc => sfc::run(machine, global, part, kind, config),
+        SchemeKind::Cfs => cfs::run(machine, global, part, kind, config),
+        SchemeKind::Ed => ed::run(machine, global, part, kind, config),
     }
 }
 
@@ -408,6 +512,143 @@ mod tests {
         let r2 = run_scheme(SchemeKind::Ed, &machine(4), &a, &part, CompressKind::Ccs).unwrap();
         assert_eq!(r1.ledgers, r2.ledgers);
         assert_eq!(r1.locals, r2.locals);
+    }
+
+    #[test]
+    fn every_config_yields_identical_state_and_phase_totals() {
+        // The SchemeConfig knobs tune *how* the host does the work — wire
+        // layout and threading — never *what* is distributed or what the
+        // paper's clock charges. Compare every config against the default
+        // on every scheme × partition × kind: identical locals and
+        // identical non-Wait phase totals. (Wait is excluded because the
+        // parallel receiver path drains messages before decoding, which
+        // legitimately reshuffles waiting between recv calls.)
+        let a = paper_array_a();
+        let configs = [
+            SchemeConfig { wire: WireFormat::V2, parallel: false },
+            SchemeConfig { wire: WireFormat::V1, parallel: true },
+            SchemeConfig::compact_parallel(),
+        ];
+        let busy_phases = [
+            Phase::Pack,
+            Phase::Send,
+            Phase::Unpack,
+            Phase::Compress,
+            Phase::Encode,
+            Phase::Decode,
+        ];
+        for part in all_partitions(10, 8) {
+            for kind in [CompressKind::Crs, CompressKind::Ccs] {
+                for scheme in SchemeKind::ALL {
+                    let base = run_scheme(scheme, &machine(4), &a, part.as_ref(), kind).unwrap();
+                    for config in configs {
+                        let run = run_scheme_with(
+                            scheme,
+                            &machine(4),
+                            &a,
+                            part.as_ref(),
+                            kind,
+                            config,
+                        )
+                        .unwrap();
+                        let tag = format!("{scheme} {kind} {} {config:?}", part.name());
+                        assert_eq!(run.locals, base.locals, "{tag}");
+                        for (l, b) in run.ledgers.iter().zip(&base.ledgers) {
+                            for ph in busy_phases {
+                                assert_eq!(l.get(ph), b.get(ph), "{tag} {ph:?}");
+                            }
+                            // Same logical elements on the wire under every
+                            // config — T_Data cannot tell the formats apart.
+                            assert_eq!(
+                                l.wire().elements,
+                                b.wire().elements,
+                                "{tag} wire elements"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn v2_wire_sends_fewer_bytes_for_compressed_schemes() {
+        // The v2 saving on a sparse payload: CFS and ED index streams
+        // narrow to delta varints, so the source transmits strictly fewer
+        // bytes while SFC's pure-f64 stream only grows by the 3-byte
+        // headers.
+        let mut a = Dense2D::zeros(80, 80);
+        for i in 0..640 {
+            a.set((i * 7) % 80, (i * 13 + i / 80) % 80, 1.0 + i as f64);
+        }
+        let part = RowBlock::new(80, 80, 4);
+        for scheme in [SchemeKind::Cfs, SchemeKind::Ed] {
+            let v1 = run_scheme(scheme, &machine(4), &a, &part, CompressKind::Crs).unwrap();
+            let v2 = run_scheme_with(
+                scheme,
+                &machine(4),
+                &a,
+                &part,
+                CompressKind::Crs,
+                SchemeConfig { wire: WireFormat::V2, parallel: false },
+            )
+            .unwrap();
+            let (b1, b2) = (v1.ledgers[0].wire().bytes, v2.ledgers[0].wire().bytes);
+            assert!(
+                (b2 as f64) < 0.7 * b1 as f64,
+                "{scheme}: v2 {b2} bytes !< 70% of v1 {b1} bytes"
+            );
+            assert_eq!(v1.ledgers[0].wire().elements, v2.ledgers[0].wire().elements);
+        }
+    }
+
+    #[test]
+    fn parallel_receiver_path_matches_sequential_under_rank_death() {
+        // Fault-free every receiver owns one part, so the parallel decode
+        // path only wakes up when rank death re-homes parts. Kill a rank:
+        // its survivor owns two parts and decodes them on host threads —
+        // with the same state and the same busy-phase totals as the
+        // sequential walk.
+        use sparsedist_multicomputer::FaultPlan;
+        let a = paper_array_a();
+        let part = RowBlock::new(10, 8, 4);
+        let m = machine(4).with_faults(FaultPlan::new(7).with_dead_rank(2));
+        for kind in [CompressKind::Crs, CompressKind::Ccs] {
+            for scheme in SchemeKind::ALL {
+                let base = run_scheme(scheme, &m, &a, &part, kind).unwrap();
+                let par = run_scheme_with(
+                    scheme,
+                    &m,
+                    &a,
+                    &part,
+                    kind,
+                    SchemeConfig::compact_parallel(),
+                )
+                .unwrap();
+                assert_eq!(par.locals, base.locals, "{scheme} {kind}");
+                assert_eq!(par.reassemble(&part), a, "{scheme} {kind}");
+                for (l, b) in par.ledgers.iter().zip(&base.ledgers) {
+                    for ph in [Phase::Unpack, Phase::Compress, Phase::Decode] {
+                        assert_eq!(l.get(ph), b.get(ph), "{scheme} {kind} {ph:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compact_parallel_runs_are_deterministic() {
+        let a = paper_array_a();
+        let part = Mesh2D::new(10, 8, 2, 2);
+        let cfg = SchemeConfig::compact_parallel();
+        for scheme in SchemeKind::ALL {
+            let r1 =
+                run_scheme_with(scheme, &machine(4), &a, &part, CompressKind::Ccs, cfg).unwrap();
+            let r2 =
+                run_scheme_with(scheme, &machine(4), &a, &part, CompressKind::Ccs, cfg).unwrap();
+            assert_eq!(r1.ledgers, r2.ledgers, "{scheme}");
+            assert_eq!(r1.locals, r2.locals, "{scheme}");
+        }
     }
 
     #[test]

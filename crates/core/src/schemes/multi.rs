@@ -20,6 +20,8 @@ use crate::dense::Dense2D;
 use crate::error::SparsedistError;
 use crate::opcount::OpCounter;
 use crate::partition::Partition;
+use crate::schemes::{map_parts, SchemeConfig};
+use crate::wire::{self, IndexRunReader, IndexRunWriter, WireFormat};
 use sparsedist_multicomputer::pack::{PatchError, UnpackError};
 use sparsedist_multicomputer::{Multicomputer, PackBuffer, Phase, PhaseLedger, VirtualTime};
 
@@ -60,37 +62,50 @@ impl MultiSourceRun {
 /// Encode the rows of part `pid` that belong to stripe `stripe` (of
 /// `nsources`) into an ED buffer. Non-stripe rows are skipped entirely
 /// (they cost this source nothing).
+#[allow(clippy::too_many_arguments)]
 fn encode_stripe(
+    buf: &mut PackBuffer,
     global: &Dense2D,
     part: &dyn Partition,
     pid: usize,
     stripe: usize,
     nsources: usize,
+    format: WireFormat,
     ops: &mut OpCounter,
-) -> Result<PackBuffer, PatchError> {
+) -> Result<(), PatchError> {
     let (lrows, lcols) = part.local_shape(pid);
-    let mut buf = PackBuffer::new();
+    let flags = match format {
+        WireFormat::V1 => 0,
+        WireFormat::V2 => {
+            let (_, gcols) = part.global_shape();
+            let f = wire::negotiate(gcols);
+            wire::write_header(buf, f);
+            f
+        }
+    };
+    let mut run = IndexRunWriter::new(flags);
     for lr in 0..lrows {
         let (gr, _) = part.to_global(pid, lr, 0);
         if gr % nsources != stripe {
             continue;
         }
-        let slot = buf.push_u64_placeholder();
-        let mut count: u64 = 0;
+        let slot = wire::push_count_placeholder(buf, flags);
+        run.reset();
+        let mut count: usize = 0;
         for lc in 0..lcols {
             ops.tick();
             let (gr2, gc) = part.to_global(pid, lr, lc);
             let v = global.get(gr2, gc);
             if v != 0.0 {
-                buf.push_u64(gc as u64);
+                run.push(buf, gc);
                 buf.push_f64(v);
                 count += 1;
                 ops.add(3);
             }
         }
-        buf.patch_u64(slot, count)?;
+        wire::patch_count(buf, slot, count, flags)?;
     }
-    Ok(buf)
+    Ok(())
 }
 
 /// Run the ED scheme with `nsources` source processors (CRS only).
@@ -110,6 +125,25 @@ pub fn run_ed_multi_source(
     global: &Dense2D,
     part: &dyn Partition,
     nsources: usize,
+) -> Result<MultiSourceRun, SparsedistError> {
+    run_ed_multi_source_with(machine, global, part, nsources, SchemeConfig::default())
+}
+
+/// [`run_ed_multi_source`] with an explicit wire format and host-parallelism
+/// choice. The decoded state and the virtual-time phase totals are
+/// independent of `config`; only host wall time and bytes on the wire move.
+///
+/// # Errors
+/// Same failure modes as [`run_ed_multi_source`].
+///
+/// # Panics
+/// Same conditions as [`run_ed_multi_source`].
+pub fn run_ed_multi_source_with(
+    machine: &Multicomputer,
+    global: &Dense2D,
+    part: &dyn Partition,
+    nsources: usize,
+    config: SchemeConfig,
 ) -> Result<MultiSourceRun, SparsedistError> {
     let p = machine.nprocs();
     assert!(nsources > 0 && nsources <= p, "nsources {nsources} out of 1..={p}");
@@ -141,9 +175,20 @@ pub fn run_ed_multi_source(
             if me < nsources {
                 let bufs: Vec<PackBuffer> = env.phase(Phase::Encode, |env| {
                     let mut ops = OpCounter::new();
-                    let bufs = (0..p)
-                        .map(|pid| encode_stripe(global, part, pid, me, nsources, &mut ops))
-                        .collect::<Result<Vec<_>, _>>();
+                    let bufs = {
+                        let arena = env.arena();
+                        map_parts(p, config.parallel, &mut ops, &|pid, ops| {
+                            let (lrows, lcols) = part.local_shape(pid);
+                            let mut buf =
+                                arena.checkout((lrows / nsources + 1) * (lcols / 2 + 1) * 8);
+                            encode_stripe(
+                                &mut buf, global, part, pid, me, nsources, config.wire, ops,
+                            )
+                            .map(|()| buf)
+                        })
+                        .into_iter()
+                        .collect::<Result<Vec<_>, _>>()
+                    };
                     env.charge_ops(ops.take());
                     bufs
                 })?;
@@ -163,12 +208,22 @@ pub fn run_ed_multi_source(
             let msgs: Vec<PackBuffer> = (0..nsources)
                 .map(|src| env.recv(src).map(|m| m.payload))
                 .collect::<Result<Vec<_>, _>>()?;
-            env.phase(Phase::Decode, |env| -> Result<LocalCompressed, SparsedistError> {
+            let local = env.phase(Phase::Decode, |env| -> Result<LocalCompressed, SparsedistError> {
                 let mut ops = OpCounter::new();
                 let (lrows, _lcols) = part.local_shape(me);
                 let converter = IndexConverter::new(part, me, CompressKind::Crs);
                 let bound = converter.local_index_bound(CompressKind::Crs);
                 let mut cursors: Vec<_> = msgs.iter().map(|b| b.cursor()).collect();
+                // Each source negotiates its own flags; recover them per
+                // stream before touching any counts.
+                let mut readers = Vec::with_capacity(cursors.len());
+                for cursor in &mut cursors {
+                    let flags = match config.wire {
+                        WireFormat::V1 => 0,
+                        WireFormat::V2 => wire::read_header(cursor)?,
+                    };
+                    readers.push((flags, IndexRunReader::new(flags)));
+                }
                 let mut ro = Vec::with_capacity(lrows + 1);
                 ro.push(0usize);
                 ops.tick();
@@ -176,12 +231,15 @@ pub fn run_ed_multi_source(
                 let mut vl = Vec::new();
                 for lr in 0..lrows {
                     let (gr, _) = part.to_global(me, lr, 0);
-                    let cursor = &mut cursors[gr % nsources];
-                    let count = cursor.try_read_usize()?;
+                    let src = gr % nsources;
+                    let cursor = &mut cursors[src];
+                    let (flags, reader) = &mut readers[src];
+                    let count = wire::read_count(cursor, *flags)?;
+                    reader.reset();
                     ops.tick();
                     ro.push(ro[lr] + count);
                     for _ in 0..count {
-                        let travelling = cursor.try_read_usize()?;
+                        let travelling = reader.next(cursor)?;
                         ops.tick();
                         co.push(converter.to_local(travelling, &mut ops));
                         vl.push(cursor.try_read_f64()?);
@@ -195,7 +253,11 @@ pub fn run_ed_multi_source(
                 }
                 env.charge_ops(ops.take());
                 Ok(LocalCompressed::Crs(Crs::from_raw(lrows, bound, ro, co, vl)?))
-            })
+            });
+            for buf in msgs {
+                env.arena().recycle_bytes(buf.into_bytes());
+            }
+            local
         },
     );
     let locals = results.into_iter().collect::<Result<Vec<_>, _>>()?;
@@ -272,6 +334,28 @@ mod tests {
             four.t_distribution(),
             one.t_distribution()
         );
+    }
+
+    #[test]
+    fn compact_parallel_config_matches_default_run() {
+        // Wire format and host threading are transparent to both the
+        // decoded state and the paper's clock: elements on the wire and
+        // ops charged are identical under every config.
+        let a = paper_array_a();
+        let part = RowBlock::new(10, 8, 4);
+        for k in [1, 2, 4] {
+            let base = run_ed_multi_source(&machine(4), &a, &part, k).unwrap();
+            let v2 = run_ed_multi_source_with(
+                &machine(4),
+                &a,
+                &part,
+                k,
+                SchemeConfig::compact_parallel(),
+            )
+            .unwrap();
+            assert_eq!(base.locals, v2.locals, "k={k}");
+            assert_eq!(base.t_distribution(), v2.t_distribution(), "k={k}");
+        }
     }
 
     #[test]

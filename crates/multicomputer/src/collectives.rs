@@ -137,7 +137,10 @@ pub fn allgather(env: &mut Env, buf: PackBuffer) -> Result<Vec<PackBuffer>, Comm
 pub fn allreduce_sum(env: &mut Env, values: &[f64]) -> Result<Vec<f64>, CommError> {
     check_self_alive(env)?;
     let hub = *env.alive_ranks().first().expect("allreduce needs at least one alive rank");
-    let mut buf = PackBuffer::with_capacity(values.len() + 1);
+    // Checkout from the rank's arena: iterative solvers call allreduce
+    // every sweep, and recycling keeps the hub's p-fold churn off the
+    // allocator entirely after the first round.
+    let mut buf = env.arena().checkout((values.len() + 1) * 8);
     buf.push_u64(values.len() as u64);
     buf.push_f64_slice(values);
     env.send(hub, buf)?;
@@ -156,18 +159,22 @@ pub fn allreduce_sum(env: &mut Env, values: &[f64]) -> Result<Vec<f64>, CommErro
                 *slot += cursor.read_f64();
             }
             contributors += 1;
+            env.arena().recycle_bytes(msg.payload.into_bytes());
         }
         env.charge_ops(acc.len() as u64 * contributors);
         for dst in 0..env.nprocs() {
             if env.is_rank_dead(dst) {
                 continue;
             }
-            let mut b = PackBuffer::with_capacity(acc.len());
+            let mut b = env.arena().checkout(acc.len() * 8);
             b.push_f64_slice(&acc);
             env.send(dst, b)?;
         }
     }
-    Ok(env.recv(hub)?.payload.cursor().read_f64_vec(values.len()))
+    let msg = env.recv(hub)?;
+    let out = msg.payload.cursor().read_f64_vec(values.len());
+    env.arena().recycle_bytes(msg.payload.into_bytes());
+    Ok(out)
 }
 
 /// Synchronise all alive ranks: everyone reports to the lowest alive rank,

@@ -47,13 +47,14 @@
 
 use crate::fault::{FaultKind, FaultPlan, RetryPolicy};
 use crate::model::MachineModel;
-use crate::pack::PackBuffer;
+use crate::pack::{PackArena, PackBuffer};
 use crate::time::VirtualTime;
-use crate::timing::{Phase, PhaseLedger};
+use crate::timing::{Phase, PhaseLedger, WireStats};
 use crate::topology::Topology;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::fmt;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// How the machine keeps time.
@@ -166,6 +167,9 @@ pub struct Multicomputer {
     topology: Topology,
     faults: Option<FaultPlan>,
     retry: RetryPolicy,
+    /// One buffer-reuse arena per rank, persisting across `run_*` calls so
+    /// repeated distributions stop reallocating their send buffers.
+    arenas: Vec<Arc<PackArena>>,
 }
 
 impl Multicomputer {
@@ -201,7 +205,21 @@ impl Multicomputer {
         if let Topology::Mesh2D { pr, pc } | Topology::Torus2D { pr, pc } = topology {
             assert_eq!(pr * pc, nprocs, "topology grid {pr}x{pc} != {nprocs} processors");
         }
-        Multicomputer { nprocs, mode, topology, faults: None, retry: RetryPolicy::default() }
+        Multicomputer {
+            nprocs,
+            mode,
+            topology,
+            faults: None,
+            retry: RetryPolicy::default(),
+            arenas: (0..nprocs).map(|_| Arc::new(PackArena::new())).collect(),
+        }
+    }
+
+    /// Rank `rank`'s buffer-reuse arena. The same arena is handed to that
+    /// rank's [`Env`] on every `run_*` call, so allocations recycled in one
+    /// distribution are reused by the next.
+    pub fn arena(&self, rank: usize) -> &PackArena {
+        &self.arenas[rank]
     }
 
     /// Install a [`FaultPlan`]: all traffic now runs through the
@@ -275,6 +293,7 @@ impl Multicomputer {
         let topology = self.topology;
         let faults = &self.faults;
         let retry = self.retry;
+        let arenas = &self.arenas;
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(p);
             let rows = data_tx.into_iter().zip(data_rx).zip(ack_tx.into_iter().zip(ack_rx));
@@ -287,6 +306,7 @@ impl Multicomputer {
                         topology,
                         faults.clone(),
                         retry,
+                        Arc::clone(&arenas[rank]),
                         tx_row,
                         rx_row,
                         ack_tx_row,
@@ -350,6 +370,7 @@ pub struct Env {
     current_phase: Phase,
     plan: Option<FaultPlan>,
     retry: RetryPolicy,
+    arena: Arc<PackArena>,
     /// Next per-link sequence number, indexed by destination.
     send_seq: Vec<u64>,
     senders: Vec<Sender<Frame>>,
@@ -367,6 +388,7 @@ impl Env {
         topology: Topology,
         plan: Option<FaultPlan>,
         retry: RetryPolicy,
+        arena: Arc<PackArena>,
         senders: Vec<Sender<Frame>>,
         receivers: Vec<Receiver<Frame>>,
         ack_senders: Vec<Sender<AckMsg>>,
@@ -389,6 +411,7 @@ impl Env {
             current_phase: Phase::Other,
             plan,
             retry,
+            arena,
             send_seq: vec![0; nprocs],
             senders,
             receivers,
@@ -415,6 +438,18 @@ impl Env {
     /// True if the fault plan declares `rank` dead.
     pub fn is_rank_dead(&self, rank: usize) -> bool {
         self.plan.as_ref().is_some_and(|p| p.is_dead(rank))
+    }
+
+    /// This rank's buffer-reuse arena. Buffers checked out here and
+    /// recycled after use keep their allocations across distributions
+    /// (the arena lives on the [`Multicomputer`], not the `Env`).
+    pub fn arena(&self) -> &PackArena {
+        &self.arena
+    }
+
+    /// Count one physical transmission in the ledger's [`WireStats`].
+    fn record_tx(&mut self, elems: u64, bytes: usize) {
+        *self.ledger.wire_mut() += WireStats { messages: 1, elements: elems, bytes: bytes as u64 };
     }
 
     /// The ranks that are alive under the current fault plan, ascending
@@ -529,6 +564,7 @@ impl Env {
         let Some(plan) = self.plan.clone() else {
             // Fast path: the original engine, byte-for-byte cost behavior.
             let arrival = self.charge_wire(payload.elem_count(), hops, Phase::Send);
+            self.record_tx(payload.elem_count(), payload.byte_len());
             let frame =
                 Frame { seq, src: self.rank, payload, arrival, crc: 0, injected: None, failed: false };
             return self.push_frame(dst, frame);
@@ -537,11 +573,13 @@ impl Env {
         self.drain_acks(dst);
         let crc = payload.crc32();
         let elems = payload.elem_count();
+        let nbytes = payload.byte_len();
         let mut attempt: u32 = 0;
         loop {
             let fate = plan.decide(self.rank, dst, seq, attempt, self.current_phase);
             let wire_phase = if attempt == 0 { Phase::Send } else { Phase::Retry };
             let sent_at = self.charge_wire(elems, hops, wire_phase);
+            self.record_tx(elems, nbytes);
             match fate {
                 None | Some(FaultKind::Delay(_)) => {
                     let arrival = match fate {
@@ -935,6 +973,63 @@ mod tests {
         });
         assert_eq!(ledgers[0].get(Phase::Pack).as_micros(), 5.0);
         assert_eq!(ledgers[0].get(Phase::Unpack).as_micros(), 2.0);
+    }
+
+    #[test]
+    fn wire_stats_count_messages_elements_and_bytes() {
+        let m = Multicomputer::virtual_machine(2, model());
+        let (_, ledgers) = m.run_with_ledgers(|env| {
+            if env.rank() == 0 {
+                let mut b = PackBuffer::new();
+                b.push_u64_slice(&[1, 2, 3]); // 3 elems, 24 bytes
+                env.send(1, b).unwrap();
+                let mut c = PackBuffer::new();
+                c.push_raw(&[b'S', b'2', 0]);
+                c.push_varint(300); // 1 elem, 3 header + 2 varint bytes
+                env.send(1, c).unwrap();
+            } else {
+                env.recv(0).unwrap();
+                env.recv(0).unwrap();
+            }
+        });
+        let w = ledgers[0].wire();
+        assert_eq!(w, WireStats { messages: 2, elements: 4, bytes: 29 });
+        assert!(ledgers[1].wire().is_zero(), "receiving transmits nothing");
+    }
+
+    #[test]
+    fn wire_stats_count_retransmissions() {
+        let plan = FaultPlan::new(0).with_drop(1.0);
+        let m = Multicomputer::virtual_machine(2, model())
+            .with_faults(plan)
+            .with_retry_policy(RetryPolicy { max_retries: 2, timeout_us: 10.0, backoff: 2.0 });
+        let (_, ledgers) = m.run_with_ledgers(|env| {
+            if env.rank() == 0 {
+                let mut b = PackBuffer::new();
+                b.push_u64_slice(&[1, 2, 3]);
+                let _ = env.send(1, b);
+            } else {
+                let _ = env.recv(0);
+            }
+        });
+        // 3 physical attempts of the same 3-element, 24-byte frame; the
+        // poison frame is control traffic, not data.
+        assert_eq!(ledgers[0].wire(), WireStats { messages: 3, elements: 9, bytes: 72 });
+    }
+
+    #[test]
+    fn arena_persists_across_runs() {
+        let m = Multicomputer::virtual_machine(2, model());
+        m.run(|env| {
+            let mut b = env.arena().checkout(256);
+            b.push_u64(env.rank() as u64);
+            let arena = env.arena();
+            arena.recycle(b);
+        });
+        // The second run sees the allocations recycled by the first.
+        let pooled = m.run(|env| env.arena().pooled());
+        assert_eq!(pooled, vec![1, 1]);
+        assert_eq!(m.arena(0).pooled(), 1);
     }
 
     // ---- fault injection & reliable delivery ----

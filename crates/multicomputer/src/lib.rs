@@ -74,7 +74,7 @@ pub mod topology;
 pub use engine::{CommError, Env, Message, Multicomputer, TimingMode};
 pub use fault::{FaultKind, FaultPlan, FaultSpecError, LinkProbs, RetryPolicy};
 pub use model::MachineModel;
-pub use pack::{PackBuffer, PatchError, UnpackCursor};
+pub use pack::{PackArena, PackBuffer, PatchError, UnpackCursor};
 pub use time::VirtualTime;
-pub use timing::{render_fault_summary, FaultStats, Phase, PhaseLedger};
+pub use timing::{render_fault_summary, FaultStats, Phase, PhaseLedger, WireStats};
 pub use topology::Topology;

@@ -9,9 +9,44 @@
 //!
 //! Indices travel as `u64`, values as `f64`, both little-endian, so a
 //! buffer has a well-defined wire layout (8 bytes per element) that
-//! [`UnpackCursor`] can walk on the receiving side.
+//! [`UnpackCursor`] can walk on the receiving side. That is the **v1**
+//! layout; the compact **v2** layout built on the narrower primitives here
+//! (`u32` fields, LEB128 varints, raw framing bytes) is defined one level
+//! up, in `sparsedist-core`'s `wire` module. In every layout the element
+//! counter tracks *logical* elements — a varint-encoded index is still one
+//! element on the paper's cost model, however few bytes it occupies.
 
 use std::fmt;
+use std::sync::Mutex;
+
+/// Append a slice of 8-byte values to `out` as little-endian bytes in one
+/// `memcpy` when the host layout already matches the wire layout, falling
+/// back to a per-element loop on big-endian hosts.
+macro_rules! extend_le_bulk {
+    ($out:expr, $vs:expr, $ty:ty) => {{
+        #[cfg(target_endian = "little")]
+        {
+            // SAFETY: `$vs` is a valid slice of `$ty`, every bit pattern of
+            // which is a plain-old-data 8-byte value; reinterpreting its
+            // memory as bytes is sound, and on a little-endian host those
+            // bytes are exactly the wire encoding.
+            let bytes = unsafe {
+                std::slice::from_raw_parts(
+                    $vs.as_ptr() as *const u8,
+                    $vs.len() * std::mem::size_of::<$ty>(),
+                )
+            };
+            $out.extend_from_slice(bytes);
+        }
+        #[cfg(not(target_endian = "little"))]
+        {
+            $out.reserve($vs.len() * std::mem::size_of::<$ty>());
+            for &v in $vs {
+                $out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+    }};
+}
 
 /// A contiguous send buffer with typed append operations.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -43,31 +78,68 @@ impl PackBuffer {
         self.elems += 1;
     }
 
-    /// Append a run of index elements.
+    /// Append a run of index elements in one bulk byte copy.
     pub fn push_u64_slice(&mut self, vs: &[u64]) {
-        self.bytes.reserve(vs.len() * 8);
-        for &v in vs {
-            self.bytes.extend_from_slice(&v.to_le_bytes());
-        }
+        extend_le_bulk!(self.bytes, vs, u64);
         self.elems += vs.len() as u64;
     }
 
-    /// Append a run of `usize` indices (stored as `u64` on the wire).
+    /// Append a run of `usize` indices (stored as `u64` on the wire) in one
+    /// bulk byte copy where the host layout permits.
     pub fn push_usize_slice(&mut self, vs: &[usize]) {
-        self.bytes.reserve(vs.len() * 8);
-        for &v in vs {
-            self.bytes.extend_from_slice(&(v as u64).to_le_bytes());
+        #[cfg(all(target_endian = "little", target_pointer_width = "64"))]
+        {
+            extend_le_bulk!(self.bytes, vs, usize);
+        }
+        #[cfg(not(all(target_endian = "little", target_pointer_width = "64")))]
+        {
+            self.bytes.reserve(vs.len() * 8);
+            for &v in vs {
+                self.bytes.extend_from_slice(&(v as u64).to_le_bytes());
+            }
         }
         self.elems += vs.len() as u64;
     }
 
-    /// Append a run of value elements.
+    /// Append a run of value elements in one bulk byte copy.
     pub fn push_f64_slice(&mut self, vs: &[f64]) {
-        self.bytes.reserve(vs.len() * 8);
-        for &v in vs {
-            self.bytes.extend_from_slice(&v.to_le_bytes());
-        }
+        extend_le_bulk!(self.bytes, vs, f64);
         self.elems += vs.len() as u64;
+    }
+
+    /// Append one narrow (4-byte) index element — the v2 wire format's
+    /// `IDX32` encoding for arrays whose dimensions fit in `u32`.
+    pub fn push_u32(&mut self, v: u32) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+        self.elems += 1;
+    }
+
+    /// Append a run of narrow index elements in one bulk byte copy.
+    pub fn push_u32_slice(&mut self, vs: &[u32]) {
+        extend_le_bulk!(self.bytes, vs, u32);
+        self.elems += vs.len() as u64;
+    }
+
+    /// Append one index element as an LEB128 varint (1–10 bytes). Counts as
+    /// one logical element regardless of its encoded width.
+    pub fn push_varint(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.bytes.push(byte);
+                break;
+            }
+            self.bytes.push(byte | 0x80);
+        }
+        self.elems += 1;
+    }
+
+    /// Append raw framing bytes (headers, magics) that are **not** logical
+    /// array elements: the element counter is unchanged, so `T_Data`
+    /// charges stay at paper semantics.
+    pub fn push_raw(&mut self, bytes: &[u8]) {
+        self.bytes.extend_from_slice(bytes);
     }
 
     /// Append a placeholder index element and return its byte offset for a
@@ -88,6 +160,25 @@ impl PackBuffer {
             return Err(PatchError { at, len: self.bytes.len() });
         }
         self.bytes[at..at + 8].copy_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    /// Append a placeholder narrow (4-byte) index element and return its
+    /// byte offset for a later [`PackBuffer::patch_u32`] — the v2 analogue
+    /// of [`PackBuffer::push_u64_placeholder`].
+    pub fn push_u32_placeholder(&mut self) -> usize {
+        let at = self.bytes.len();
+        self.push_u32(0);
+        at
+    }
+
+    /// Overwrite the 4 bytes at `at` (from [`PackBuffer::push_u32_placeholder`])
+    /// with `v`. Does not change the element count.
+    pub fn patch_u32(&mut self, at: usize, v: u32) -> Result<(), PatchError> {
+        if at + 4 > self.bytes.len() {
+            return Err(PatchError { at, len: self.bytes.len() });
+        }
+        self.bytes[at..at + 4].copy_from_slice(&v.to_le_bytes());
         Ok(())
     }
 
@@ -132,6 +223,72 @@ impl PackBuffer {
         let nbits = self.bytes.len() as u64 * 8;
         let bit = bit % nbits;
         self.bytes[(bit / 8) as usize] ^= 1 << (bit % 8);
+    }
+
+    /// Consume the buffer, returning its backing byte storage (for
+    /// recycling through a [`PackArena`]).
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+/// A per-rank pool of backing byte vectors for [`PackBuffer`]s.
+///
+/// Repeated distributions allocate and drop one send buffer per part per
+/// run; the arena keeps the freed allocations so the next run's
+/// [`PackArena::checkout`] reuses them instead of growing fresh vectors
+/// from zero. Thread-safe (the engine hands one arena per rank across
+/// scoped threads) and deterministic: recycling only changes *where* the
+/// bytes live, never what is written into them.
+#[derive(Debug, Default)]
+pub struct PackArena {
+    free: Mutex<Vec<Vec<u8>>>,
+}
+
+impl PackArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        PackArena::default()
+    }
+
+    /// Take a cleared buffer with at least `cap_bytes` of capacity,
+    /// preferring a recycled allocation over a fresh one.
+    pub fn checkout(&self, cap_bytes: usize) -> PackBuffer {
+        let mut free = self.free.lock().expect("pack arena poisoned");
+        // Largest vectors are kept at the back; take the biggest available
+        // so one hot buffer stops the whole pool from re-growing.
+        let bytes = match free.pop() {
+            Some(mut v) => {
+                v.clear();
+                if v.capacity() < cap_bytes {
+                    v.reserve(cap_bytes);
+                }
+                v
+            }
+            None => Vec::with_capacity(cap_bytes),
+        };
+        PackBuffer { bytes, elems: 0 }
+    }
+
+    /// Return a buffer's backing storage to the pool.
+    pub fn recycle(&self, buf: PackBuffer) {
+        self.recycle_bytes(buf.into_bytes());
+    }
+
+    /// Return raw backing storage to the pool (what
+    /// [`PackBuffer::into_bytes`] yields).
+    pub fn recycle_bytes(&self, bytes: Vec<u8>) {
+        if bytes.capacity() == 0 {
+            return;
+        }
+        let mut free = self.free.lock().expect("pack arena poisoned");
+        free.push(bytes);
+        free.sort_by_key(Vec::capacity);
+    }
+
+    /// Number of pooled allocations currently available.
+    pub fn pooled(&self) -> usize {
+        self.free.lock().expect("pack arena poisoned").len()
     }
 }
 
@@ -244,6 +401,63 @@ impl<'a> UnpackCursor<'a> {
     /// Fallible read of one index element.
     pub fn try_read_u64(&mut self) -> Result<u64, UnpackError> {
         self.take8().map(u64::from_le_bytes)
+    }
+
+    /// Fallible read of one narrow (4-byte) index element.
+    pub fn try_read_u32(&mut self) -> Result<u32, UnpackError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(UnpackError { at: self.pos, remaining: self.bytes.len() - self.pos });
+        }
+        let mut out = [0u8; 4];
+        out.copy_from_slice(&self.bytes[self.pos..end]);
+        self.pos = end;
+        Ok(u32::from_le_bytes(out))
+    }
+
+    /// Read one narrow index element, panicking on truncation.
+    pub fn read_u32(&mut self) -> u32 {
+        self.try_read_u32().expect("truncated pack buffer")
+    }
+
+    /// Fallible read of one LEB128 varint element (at most 10 bytes).
+    /// Reports truncation and over-long encodings as an [`UnpackError`] at
+    /// the varint's first byte.
+    pub fn try_read_varint(&mut self) -> Result<u64, UnpackError> {
+        let start = self.pos;
+        let mut out: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let Some(&byte) = self.bytes.get(self.pos) else {
+                return Err(UnpackError { at: start, remaining: self.bytes.len() - start });
+            };
+            self.pos += 1;
+            if shift == 63 && byte > 1 {
+                // An over-long encoding would overflow 64 bits.
+                return Err(UnpackError { at: start, remaining: self.bytes.len() - start });
+            }
+            out |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(out);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Read one varint element, panicking on truncation.
+    pub fn read_varint(&mut self) -> u64 {
+        self.try_read_varint().expect("truncated pack buffer")
+    }
+
+    /// Fallible read of `n` raw framing bytes (headers, magics).
+    pub fn try_read_raw(&mut self, n: usize) -> Result<&'a [u8], UnpackError> {
+        let end = self.pos + n;
+        if end > self.bytes.len() {
+            return Err(UnpackError { at: self.pos, remaining: self.bytes.len() - self.pos });
+        }
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
     }
 
     /// Fallible read of one value element.
@@ -415,5 +629,114 @@ mod tests {
         assert!(b.is_empty());
         assert_eq!(b.elem_count(), 0);
         assert!(b.cursor().is_exhausted());
+    }
+
+    #[test]
+    fn bulk_slice_pushes_match_scalar_pushes() {
+        let us: Vec<usize> = vec![0, 1, 255, 256, 1 << 20, usize::MAX >> 1];
+        let fs: Vec<f64> = vec![0.0, -0.0, 1.5, f64::MAX, f64::MIN_POSITIVE, -7.25];
+        let mut bulk = PackBuffer::new();
+        bulk.push_usize_slice(&us);
+        bulk.push_f64_slice(&fs);
+        bulk.push_u64_slice(&[3, u64::MAX]);
+        let mut scalar = PackBuffer::new();
+        for &v in &us {
+            scalar.push_u64(v as u64);
+        }
+        for &v in &fs {
+            scalar.push_f64(v);
+        }
+        scalar.push_u64(3);
+        scalar.push_u64(u64::MAX);
+        assert_eq!(bulk, scalar, "bulk pushes must be byte-identical to scalar pushes");
+    }
+
+    #[test]
+    fn u32_round_trip_and_placeholder() {
+        let mut b = PackBuffer::new();
+        let slot = b.push_u32_placeholder();
+        b.push_u32_slice(&[7, u32::MAX]);
+        b.patch_u32(slot, 42).unwrap();
+        assert_eq!(b.elem_count(), 3);
+        assert_eq!(b.byte_len(), 12);
+        let mut c = b.cursor();
+        assert_eq!(c.read_u32(), 42);
+        assert_eq!(c.read_u32(), 7);
+        assert_eq!(c.read_u32(), u32::MAX);
+        assert!(c.is_exhausted());
+        assert_eq!(b.patch_u32(9, 0).unwrap_err(), PatchError { at: 9, len: 12 });
+    }
+
+    #[test]
+    fn varint_round_trip_boundaries() {
+        let vals = [0u64, 1, 127, 128, 16_383, 16_384, u64::from(u32::MAX), u64::MAX];
+        let mut b = PackBuffer::new();
+        for &v in &vals {
+            b.push_varint(v);
+        }
+        assert_eq!(b.elem_count(), vals.len() as u64);
+        let mut c = b.cursor();
+        for &v in &vals {
+            assert_eq!(c.read_varint(), v);
+        }
+        assert!(c.is_exhausted());
+        // Encoded widths: 0..127 take one byte, u64::MAX takes ten.
+        let mut one = PackBuffer::new();
+        one.push_varint(127);
+        assert_eq!(one.byte_len(), 1);
+        let mut ten = PackBuffer::new();
+        ten.push_varint(u64::MAX);
+        assert_eq!(ten.byte_len(), 10);
+    }
+
+    #[test]
+    fn varint_truncation_and_overlong_are_errors() {
+        let mut b = PackBuffer::new();
+        b.push_raw(&[0x80, 0x80]); // continuation bits with no terminator
+        assert!(b.cursor().try_read_varint().is_err());
+        let mut o = PackBuffer::new();
+        o.push_raw(&[0xff; 10]); // 10th byte would overflow 64 bits
+        assert!(o.cursor().try_read_varint().is_err());
+    }
+
+    #[test]
+    fn raw_bytes_do_not_count_as_elements() {
+        let mut b = PackBuffer::new();
+        b.push_raw(&[b'S', b'2', 3]);
+        b.push_u64(5);
+        assert_eq!(b.elem_count(), 1, "framing bytes are not logical elements");
+        assert_eq!(b.byte_len(), 11);
+        let mut c = b.cursor();
+        assert_eq!(c.try_read_raw(3).unwrap(), &[b'S', b'2', 3]);
+        assert_eq!(c.read_u64(), 5);
+        assert!(c.try_read_raw(1).is_err());
+    }
+
+    #[test]
+    fn arena_recycles_backing_storage() {
+        let arena = PackArena::new();
+        let mut b = arena.checkout(1024);
+        b.push_u64_slice(&[1, 2, 3]);
+        let cap = b.bytes.capacity();
+        arena.recycle(b);
+        assert_eq!(arena.pooled(), 1);
+        let b2 = arena.checkout(8);
+        assert_eq!(arena.pooled(), 0, "checkout must reuse the pooled allocation");
+        assert!(b2.is_empty(), "recycled buffers come back cleared");
+        assert!(b2.bytes.capacity() >= cap);
+        // Recycling an unallocated buffer is a no-op.
+        arena.recycle(PackBuffer::new());
+        assert_eq!(arena.pooled(), 0);
+    }
+
+    #[test]
+    fn arena_hands_out_largest_allocation_first() {
+        let arena = PackArena::new();
+        arena.recycle_bytes(Vec::with_capacity(16));
+        arena.recycle_bytes(Vec::with_capacity(4096));
+        arena.recycle_bytes(Vec::with_capacity(256));
+        let b = arena.checkout(0);
+        assert!(b.bytes.capacity() >= 4096);
+        assert_eq!(arena.pooled(), 2);
     }
 }

@@ -164,12 +164,53 @@ impl AddAssign for FaultStats {
     }
 }
 
+/// Bytes-on-the-wire counters for one simulated processor.
+///
+/// The paper's cost model charges `T_Data` per *logical element*, which is
+/// what the virtual clock books — but with the compact v2 wire format a
+/// logical element no longer costs a fixed 8 bytes, so the engine also
+/// counts every **physical transmission** here: one record per data frame
+/// leaving this rank (retransmissions included), with its logical element
+/// count and its actual encoded byte size. Comparing `elements * 8` with
+/// `bytes` is exactly the v1-vs-v2 wire saving.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireStats {
+    /// Data frames transmitted from this rank (retransmissions included).
+    pub messages: u64,
+    /// Logical elements across those frames (what `T_Data` was charged on).
+    pub elements: u64,
+    /// Encoded payload bytes across those frames.
+    pub bytes: u64,
+}
+
+impl WireStats {
+    /// True when nothing has been transmitted.
+    pub fn is_zero(&self) -> bool {
+        self.messages == 0 && self.elements == 0 && self.bytes == 0
+    }
+
+    /// Mean encoded bytes per logical element (8.0 for the v1 layout;
+    /// `None` when no elements have been sent).
+    pub fn bytes_per_element(&self) -> Option<f64> {
+        (self.elements > 0).then(|| self.bytes as f64 / self.elements as f64)
+    }
+}
+
+impl AddAssign for WireStats {
+    fn add_assign(&mut self, rhs: WireStats) {
+        self.messages += rhs.messages;
+        self.elements += rhs.elements;
+        self.bytes += rhs.bytes;
+    }
+}
+
 /// Time accumulated per [`Phase`] on one simulated processor, plus the
 /// fault/recovery counters of the reliable-delivery layer.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct PhaseLedger {
     spans: [VirtualTime; 12],
     faults: FaultStats,
+    wire: WireStats,
 }
 
 impl PhaseLedger {
@@ -219,6 +260,16 @@ impl PhaseLedger {
     pub fn faults_mut(&mut self) -> &mut FaultStats {
         &mut self.faults
     }
+
+    /// The bytes-on-wire counters.
+    pub fn wire(&self) -> WireStats {
+        self.wire
+    }
+
+    /// Mutable access for the engine's wire bookkeeping.
+    pub fn wire_mut(&mut self) -> &mut WireStats {
+        &mut self.wire
+    }
 }
 
 impl Add for PhaseLedger {
@@ -235,6 +286,7 @@ impl AddAssign for PhaseLedger {
             self.spans[i] += rhs.spans[i];
         }
         self.faults += rhs.faults;
+        self.wire += rhs.wire;
     }
 }
 
@@ -289,7 +341,15 @@ pub fn render_timeline(ledgers: &[PhaseLedger], width: usize) -> String {
         }
         bar.truncate(width);
         let total = l.busy_total() + l.get(Phase::Wait);
-        out.push_str(&format!("P{rank:<3}|{bar:<width$}| {total}\n"));
+        let wire = l.wire();
+        if wire.is_zero() {
+            out.push_str(&format!("P{rank:<3}|{bar:<width$}| {total}\n"));
+        } else {
+            out.push_str(&format!(
+                "P{rank:<3}|{bar:<width$}| {total} tx={}B/{}el\n",
+                wire.bytes, wire.elements
+            ));
+        }
     }
     out
 }
@@ -445,6 +505,31 @@ mod tests {
         assert_eq!(bar(lines[0]).matches('c').count(), 40, "{s}");
         assert_eq!(bar(lines[1]).matches('.').count(), 10, "{s}");
         assert_eq!(bar(lines[1]).matches('u').count(), 10, "{s}");
+    }
+
+    #[test]
+    fn wire_stats_merge_and_derive() {
+        let mut a = PhaseLedger::new();
+        *a.wire_mut() += WireStats { messages: 2, elements: 10, bytes: 80 };
+        let mut b = PhaseLedger::new();
+        *b.wire_mut() += WireStats { messages: 1, elements: 6, bytes: 20 };
+        let c = a + b;
+        assert_eq!(c.wire(), WireStats { messages: 3, elements: 16, bytes: 100 });
+        assert_eq!(c.wire().bytes_per_element(), Some(6.25));
+        assert!(PhaseLedger::new().wire().is_zero());
+        assert_eq!(WireStats::default().bytes_per_element(), None);
+    }
+
+    #[test]
+    fn timeline_appends_wire_column_after_the_bars() {
+        let mut l = PhaseLedger::new();
+        l.record(Phase::Send, us(10.0));
+        *l.wire_mut() += WireStats { messages: 1, elements: 5, bytes: 17 };
+        let s = render_timeline(&[l], 20);
+        let line = s.lines().next().unwrap();
+        // The bar stays between the pipes; the wire column rides after.
+        assert_eq!(line.split('|').count(), 3, "{s}");
+        assert!(line.ends_with("tx=17B/5el"), "{s}");
     }
 
     #[test]

@@ -36,6 +36,9 @@ pub mod prelude {
     pub use sparsedist_core::partition::{
         BlockCyclic, ColBlock, ColCyclic, Mesh2D, Partition, RowBlock, RowCyclic,
     };
-    pub use sparsedist_core::schemes::{run_scheme, SchemeKind, SchemeRun};
+    pub use sparsedist_core::schemes::{
+        run_scheme, run_scheme_with, SchemeConfig, SchemeKind, SchemeRun,
+    };
+    pub use sparsedist_core::wire::WireFormat;
     pub use sparsedist_multicomputer::{MachineModel, Multicomputer, Phase};
 }

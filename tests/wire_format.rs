@@ -1,0 +1,233 @@
+//! Byte-exact goldens for the v1 and v2 wire layouts, plus property tests
+//! showing the two formats decode to identical compressed state.
+//!
+//! The expected byte streams are written out field by field, independently
+//! of the packing code, so any layout drift — field order, widths, varint
+//! encoding, header bytes — fails here even if both ends of the pipeline
+//! drift together.
+
+use proptest::prelude::*;
+use sparsedist::core::compress::CompressKind;
+use sparsedist::core::dense::paper_array_a;
+use sparsedist::core::encode::{decode_part_wire, encode_part_into};
+use sparsedist::core::opcount::OpCounter;
+use sparsedist::core::wire::{self, WireFormat};
+use sparsedist::multicomputer::PackBuffer;
+use sparsedist::prelude::*;
+
+/// Append a little-endian `u64` field to an expected stream.
+fn le64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a little-endian `u32` field to an expected stream.
+fn le32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a little-endian `f64` field to an expected stream.
+fn lef(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// The CFS wire triple of Figure 7's flavour: a 3-segment compressed part
+/// with pointer `[0,2,2,5]`, global indices `[1,6 | — | 0,3,7]` and five
+/// values.
+const POINTER: [usize; 4] = [0, 2, 2, 5];
+const INDICES: [usize; 5] = [1, 6, 0, 3, 7];
+const VALUES: [f64; 5] = [1.5, 2.5, 3.5, 4.5, 5.5];
+
+#[test]
+fn cfs_triple_v1_bytes_golden() {
+    let mut buf = PackBuffer::new();
+    wire::pack_triple_into(&mut buf, &POINTER, &INDICES, &VALUES, 8, WireFormat::V1);
+
+    // v1: pointer and indices as raw LE u64, values as LE f64 — no header.
+    let mut expect = Vec::new();
+    for p in POINTER {
+        le64(&mut expect, p as u64);
+    }
+    for i in INDICES {
+        le64(&mut expect, i as u64);
+    }
+    for v in VALUES {
+        lef(&mut expect, v);
+    }
+    assert_eq!(buf.as_bytes(), expect.as_slice());
+    assert_eq!(buf.byte_len(), 9 * 8 + 5 * 8);
+    assert_eq!(buf.elem_count(), 4 + 2 * 5);
+}
+
+#[test]
+fn cfs_triple_v2_bytes_golden() {
+    let mut buf = PackBuffer::new();
+    wire::pack_triple_into(&mut buf, &POINTER, &INDICES, &VALUES, 8, WireFormat::V2);
+
+    // v2: "S2" magic + flags (DELTA|IDX32 = 0b11), the pointer as an
+    // absolute varint then deltas, each segment's indices as an absolute
+    // varint then deltas (run state resets at segment boundaries), then
+    // the values still as raw LE f64.
+    let mut expect: Vec<u8> = vec![b'S', b'2', 0b11];
+    expect.extend_from_slice(&[0, 2, 0, 3]); // pointer 0, +2, +0, +3
+    expect.extend_from_slice(&[1, 5]); // segment 0: 1, +5
+    expect.extend_from_slice(&[0, 3, 4]); // segment 2: 0, +3, +4
+    for v in VALUES {
+        lef(&mut expect, v);
+    }
+    assert_eq!(buf.as_bytes(), expect.as_slice());
+    assert_eq!(buf.byte_len(), 3 + 4 + 5 + 40);
+    // Same logical elements as v1: the virtual clock sees no difference.
+    assert_eq!(buf.elem_count(), 4 + 2 * 5);
+}
+
+#[test]
+fn ed_buffer_v1_bytes_golden() {
+    // ED special buffer B for P0 of the paper's Figure 1 array under the
+    // row partition: rows 0..3 hold (r0: col 1 → 1.0), (r1: col 6 → 2.0),
+    // (r2: cols 0,7 → 3.0, 4.0). v1 interleaves LE u64 counts, LE u64
+    // global indices and LE f64 values.
+    let a = paper_array_a();
+    let part = RowBlock::new(10, 8, 4);
+    let mut buf = PackBuffer::new();
+    encode_part_into(&mut buf, &a, &part, 0, CompressKind::Crs, WireFormat::V1, &mut OpCounter::new())
+        .unwrap();
+
+    let mut expect = Vec::new();
+    le64(&mut expect, 1); // R_0
+    le64(&mut expect, 1);
+    lef(&mut expect, 1.0);
+    le64(&mut expect, 1); // R_1
+    le64(&mut expect, 6);
+    lef(&mut expect, 2.0);
+    le64(&mut expect, 2); // R_2
+    le64(&mut expect, 0);
+    lef(&mut expect, 3.0);
+    le64(&mut expect, 7);
+    lef(&mut expect, 4.0);
+    assert_eq!(buf.as_bytes(), expect.as_slice());
+    assert_eq!(buf.byte_len(), 11 * 8);
+    assert_eq!(buf.elem_count(), 3 + 2 * 4);
+}
+
+#[test]
+fn ed_buffer_v2_bytes_golden() {
+    // The same buffer under v2: header, u32 counts (IDX32), delta-varint
+    // indices resetting per row, raw f64 values.
+    let a = paper_array_a();
+    let part = RowBlock::new(10, 8, 4);
+    let mut buf = PackBuffer::new();
+    encode_part_into(&mut buf, &a, &part, 0, CompressKind::Crs, WireFormat::V2, &mut OpCounter::new())
+        .unwrap();
+
+    let mut expect: Vec<u8> = vec![b'S', b'2', 0b11];
+    le32(&mut expect, 1); // R_0
+    expect.push(1);
+    lef(&mut expect, 1.0);
+    le32(&mut expect, 1); // R_1
+    expect.push(6);
+    lef(&mut expect, 2.0);
+    le32(&mut expect, 2); // R_2
+    expect.push(0);
+    lef(&mut expect, 3.0);
+    expect.push(7);
+    lef(&mut expect, 4.0);
+    assert_eq!(buf.as_bytes(), expect.as_slice());
+    assert_eq!(buf.byte_len(), 3 + 3 * 4 + 4 + 4 * 8);
+    assert_eq!(buf.elem_count(), 3 + 2 * 4);
+}
+
+/// An arbitrary small sparse array: shape up to 20×20, each cell nonzero
+/// with probability ~1/5.
+fn arb_dense() -> impl Strategy<Value = Dense2D> {
+    (1usize..20, 1usize..20)
+        .prop_flat_map(|(r, c)| {
+            (
+                Just(r),
+                Just(c),
+                proptest::collection::vec(
+                    prop_oneof![4 => Just(0.0f64), 1 => -100.0f64..100.0],
+                    r * c,
+                ),
+            )
+        })
+        .prop_map(|(r, c, data)| {
+            let data = data.into_iter().map(|v| if v.abs() < 1e-9 { 0.0 } else { v }).collect();
+            Dense2D::from_vec(r, c, data)
+        })
+}
+
+proptest! {
+    #[test]
+    fn v2_triple_round_trips_to_v1_state(a in arb_dense(), nparts in 1usize..5) {
+        // The CFS wire path: compress at the source with global indices,
+        // pack under both formats, unpack both — identical RO/CO/VL and
+        // identical logical element counts.
+        let part = RowBlock::new(a.rows(), a.cols(), nparts);
+        for pid in 0..nparts {
+            let crs = sparsedist::core::compress::Crs::from_part_global(
+                &a, &part, pid, &mut OpCounter::new(),
+            );
+            let (lrows, _) = part.local_shape(pid);
+            let mut v1 = PackBuffer::new();
+            let mut v2 = PackBuffer::new();
+            wire::pack_triple_into(&mut v1, crs.ro(), crs.co(), crs.vl(), a.cols(), WireFormat::V1);
+            wire::pack_triple_into(&mut v2, crs.ro(), crs.co(), crs.vl(), a.cols(), WireFormat::V2);
+            prop_assert_eq!(v1.elem_count(), v2.elem_count());
+            prop_assert!(v2.byte_len() <= v1.byte_len() + wire::HEADER_LEN);
+
+            let from_v1 =
+                wire::unpack_triple(&mut v1.cursor(), lrows, WireFormat::V1).unwrap();
+            let from_v2 =
+                wire::unpack_triple(&mut v2.cursor(), lrows, WireFormat::V2).unwrap();
+            prop_assert_eq!(&from_v1, &from_v2);
+            prop_assert_eq!(from_v1.0.as_slice(), crs.ro());
+            prop_assert_eq!(from_v1.1.as_slice(), crs.co());
+            prop_assert_eq!(from_v1.2.as_slice(), crs.vl());
+        }
+    }
+
+    #[test]
+    fn v2_encode_decodes_to_v1_state(a in arb_dense(), nparts in 1usize..5) {
+        // The ED wire path: encode under both formats, decode each with
+        // its own format — identical compressed local state and ops.
+        let part = RowBlock::new(a.rows(), a.cols(), nparts);
+        for kind in [CompressKind::Crs, CompressKind::Ccs] {
+            for pid in 0..nparts {
+                let mut v1 = PackBuffer::new();
+                let mut v2 = PackBuffer::new();
+                let mut ops1 = OpCounter::new();
+                let mut ops2 = OpCounter::new();
+                encode_part_into(&mut v1, &a, &part, pid, kind, WireFormat::V1, &mut ops1).unwrap();
+                encode_part_into(&mut v2, &a, &part, pid, kind, WireFormat::V2, &mut ops2).unwrap();
+                prop_assert_eq!(ops1.get(), ops2.get());
+                prop_assert_eq!(v1.elem_count(), v2.elem_count());
+
+                let d1 = decode_part_wire(&v1, &part, pid, kind, WireFormat::V1, &mut ops1).unwrap();
+                let d2 = decode_part_wire(&v2, &part, pid, kind, WireFormat::V2, &mut ops2).unwrap();
+                prop_assert_eq!(&d1, &d2);
+                prop_assert_eq!(ops1.get(), ops2.get());
+            }
+        }
+    }
+
+    #[test]
+    fn schemes_agree_across_formats_end_to_end(seed_nnz in 1usize..60) {
+        // Full distribution on a virtual machine under every scheme:
+        // compact-parallel config reproduces the default's locals exactly.
+        let mut a = Dense2D::zeros(12, 12);
+        for i in 0..seed_nnz {
+            a.set((i * 5) % 12, (i * 7 + i / 12) % 12, 1.0 + i as f64);
+        }
+        let part = RowBlock::new(12, 12, 4);
+        let m = Multicomputer::virtual_machine(4, MachineModel::ibm_sp2());
+        for scheme in SchemeKind::ALL {
+            let base = run_scheme(scheme, &m, &a, &part, CompressKind::Crs).unwrap();
+            let fast = run_scheme_with(
+                scheme, &m, &a, &part, CompressKind::Crs, SchemeConfig::compact_parallel(),
+            )
+            .unwrap();
+            prop_assert_eq!(&base.locals, &fast.locals);
+            prop_assert_eq!(fast.reassemble(&part), a.clone());
+        }
+    }
+}

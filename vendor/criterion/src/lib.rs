@@ -54,6 +54,13 @@ pub enum Throughput {
     Bytes(u64),
 }
 
+/// True when the binary was invoked as `bench -- --test` (real criterion's
+/// smoke mode): run every routine exactly once with no warm-up, so CI can
+/// check the benches still execute without paying the measurement windows.
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
 /// Timing loop handle passed to benchmark closures.
 pub struct Bencher {
     warm_up: Duration,
@@ -64,7 +71,15 @@ pub struct Bencher {
 
 impl Bencher {
     /// Time `routine`, first warming up, then measuring for the window.
+    /// Under `--test` the routine runs once, untimed-in-spirit (a single
+    /// measured iteration), so smoke runs finish in milliseconds.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if test_mode() {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.measured = Some((start.elapsed(), 1));
+            return;
+        }
         let warm_deadline = Instant::now() + self.warm_up;
         while Instant::now() < warm_deadline {
             std::hint::black_box(routine());
