@@ -15,7 +15,10 @@ fn bench_kinds(c: &mut Criterion) {
     let n = 400;
     let m = MachineModel::ibm_sp2();
     eprintln!("\nAblation: CRS vs CCS, n={n}, p=4, s=0.1 — T_Distribution / T_Compression (ms)");
-    eprintln!("{:<10}{:<8}{:>16}{:>16}", "partition", "scheme", "CRS", "CCS");
+    eprintln!(
+        "{:<10}{:<8}{:>16}{:>16}",
+        "partition", "scheme", "CRS", "CCS"
+    );
     for (table, pc, label) in [
         (PaperTable::Table3Row, ProcConfig::Flat(4), "row"),
         (PaperTable::Table4Column, ProcConfig::Flat(4), "column"),

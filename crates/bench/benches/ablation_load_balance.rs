@@ -33,10 +33,22 @@ fn bench_load_balance(c: &mut Criterion) {
     );
     for (name, part) in &parts {
         let prof = part.nnz_profile(&a);
-        let sfc =
-            run_scheme(SchemeKind::Sfc, &machine, &a, part.as_ref(), CompressKind::Crs).unwrap();
-        let ed =
-            run_scheme(SchemeKind::Ed, &machine, &a, part.as_ref(), CompressKind::Crs).unwrap();
+        let sfc = run_scheme(
+            SchemeKind::Sfc,
+            &machine,
+            &a,
+            part.as_ref(),
+            CompressKind::Crs,
+        )
+        .unwrap();
+        let ed = run_scheme(
+            SchemeKind::Ed,
+            &machine,
+            &a,
+            part.as_ref(),
+            CompressKind::Crs,
+        )
+        .unwrap();
         eprintln!(
             "{name:<16}{:>8.4}{:>11.3}ms{:>11.3}ms{:>11.3}ms",
             prof.s_max,

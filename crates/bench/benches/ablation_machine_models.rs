@@ -26,11 +26,21 @@ fn models() -> [(&'static str, MachineModel); 3] {
 fn bench_models(c: &mut Criterion) {
     let n = 400;
     eprintln!("\nAblation: overall time (ms) vs machine model, row partition, n={n}, p=4, s=0.1");
-    eprintln!("{:<16}{:>10}{:>12}{:>12}{:>12}", "model", "Td/Top", "SFC", "CFS", "ED");
+    eprintln!(
+        "{:<16}{:>10}{:>12}{:>12}{:>12}",
+        "model", "Td/Top", "SFC", "CFS", "ED"
+    );
     for (name, m) in models() {
         let mut row = format!("{name:<16}{:>10.2}", m.data_op_ratio());
         for scheme in SchemeKind::ALL {
-            let run = run_cell(PaperTable::Table3Row, scheme, n, ProcConfig::Flat(4), CompressKind::Crs, m);
+            let run = run_cell(
+                PaperTable::Table3Row,
+                scheme,
+                n,
+                ProcConfig::Flat(4),
+                CompressKind::Crs,
+                m,
+            );
             row.push_str(&format!("{:>12.3}", run.t_total().as_millis()));
         }
         eprintln!("{row}");

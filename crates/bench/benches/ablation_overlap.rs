@@ -50,7 +50,9 @@ fn bench_overlap(c: &mut Criterion) {
     let (_, lg) = distributed_spmv_ledgers(&machine, &plain, &part, &x).unwrap();
     let (_, lr) = distributed_spmv_rowwise_ledgers(&machine, &plain, &part, &x).unwrap();
     let send_max = |ls: &[sparsedist_multicomputer::PhaseLedger]| -> f64 {
-        ls.iter().map(|l| l.get(Phase::Send).as_micros()).fold(0.0, f64::max)
+        ls.iter()
+            .map(|l| l.get(Phase::Send).as_micros())
+            .fold(0.0, f64::max)
     };
     eprintln!("\nDistributed SpMV root hotspot (max per-rank send):");
     eprintln!("  reduce-based:  {:.3}ms", send_max(&lg) / 1000.0);
@@ -62,7 +64,15 @@ fn bench_overlap(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(300))
         .measurement_time(Duration::from_secs(1));
     g.bench_function(BenchmarkId::new("ed", "plain"), |b| {
-        b.iter(|| black_box(run_scheme(SchemeKind::Ed, &machine, &a, &part, CompressKind::Crs)))
+        b.iter(|| {
+            black_box(run_scheme(
+                SchemeKind::Ed,
+                &machine,
+                &a,
+                &part,
+                CompressKind::Crs,
+            ))
+        })
     });
     g.bench_function(BenchmarkId::new("ed", "overlapped"), |b| {
         b.iter(|| black_box(run_overlapped(&machine, &a, &part, CompressKind::Crs)))
@@ -71,7 +81,11 @@ fn bench_overlap(c: &mut Criterion) {
         b.iter(|| black_box(distributed_spmv_ledgers(&machine, &plain, &part, &x)))
     });
     g.bench_function(BenchmarkId::new("spmv", "rowwise"), |b| {
-        b.iter(|| black_box(distributed_spmv_rowwise_ledgers(&machine, &plain, &part, &x)))
+        b.iter(|| {
+            black_box(distributed_spmv_rowwise_ledgers(
+                &machine, &plain, &part, &x,
+            ))
+        })
     });
     g.finish();
 }

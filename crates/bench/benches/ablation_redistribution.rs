@@ -18,8 +18,9 @@ fn measure(n: usize, p: usize, strategy: RedistStrategy) -> f64 {
     let from = RowBlock::new(n, n, p);
     let to = Mesh2D::new(n, n, 4, p / 4);
     let machine = Multicomputer::virtual_machine(p, MachineModel::ibm_sp2());
-    let owned =
-        run_scheme(SchemeKind::Ed, &machine, &a, &from, CompressKind::Crs).unwrap().locals;
+    let owned = run_scheme(SchemeKind::Ed, &machine, &a, &from, CompressKind::Crs)
+        .unwrap()
+        .locals;
     redistribute(&machine, &owned, &from, &to, CompressKind::Crs, strategy)
         .unwrap()
         .t_total()
@@ -28,8 +29,14 @@ fn measure(n: usize, p: usize, strategy: RedistStrategy) -> f64 {
 
 fn bench_redistribution(c: &mut Criterion) {
     let p = 16;
-    eprintln!("\nRedistribution row → 4x{} mesh, p={p}, s=0.1 (virtual ms):", p / 4);
-    eprintln!("{:>8}{:>14}{:>14}{:>10}", "n", "Direct", "ViaSource", "winner");
+    eprintln!(
+        "\nRedistribution row → 4x{} mesh, p={p}, s=0.1 (virtual ms):",
+        p / 4
+    );
+    eprintln!(
+        "{:>8}{:>14}{:>14}{:>10}",
+        "n", "Direct", "ViaSource", "winner"
+    );
     for n in [40usize, 80, 160, 320, 640] {
         let d = measure(n, p, RedistStrategy::Direct);
         let v = measure(n, p, RedistStrategy::ViaSource);
@@ -46,11 +53,9 @@ fn bench_redistribution(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(1));
     for n in [80usize, 320] {
         for strategy in [RedistStrategy::Direct, RedistStrategy::ViaSource] {
-            g.bench_with_input(
-                BenchmarkId::new(format!("{strategy:?}"), n),
-                &n,
-                |b, &n| b.iter(|| black_box(measure(n, p, strategy))),
-            );
+            g.bench_with_input(BenchmarkId::new(format!("{strategy:?}"), n), &n, |b, &n| {
+                b.iter(|| black_box(measure(n, p, strategy)))
+            });
         }
     }
     g.finish();

@@ -20,7 +20,8 @@ fn footprint_report(name: &str, a: &Dense2D) {
     let crs = Crs::from_dense(a, &mut OpCounter::new());
     let dia = Dia::from_dense(a, &mut OpCounter::new());
     let jds = Jds::from_dense(a, &mut OpCounter::new());
-    let bsr = Bsr::from_dense(a, 4, 4, &mut OpCounter::new()).expect("4x4 tiles divide the workload");
+    let bsr =
+        Bsr::from_dense(a, 4, 4, &mut OpCounter::new()).expect("4x4 tiles divide the workload");
     eprintln!(
         "{name:<12} nnz={:<8} crs={:<8} dia={:<8} jds={:<8} bsr4x4={:<8} (stored elements)",
         a.nnz(),
@@ -61,7 +62,8 @@ fn bench_formats(c: &mut Criterion) {
 
         let crs = Crs::from_dense(a, &mut OpCounter::new());
         let jds = Jds::from_dense(a, &mut OpCounter::new());
-        let bsr = Bsr::from_dense(a, 4, 4, &mut OpCounter::new()).expect("4x4 tiles divide the workload");
+        let bsr =
+            Bsr::from_dense(a, 4, 4, &mut OpCounter::new()).expect("4x4 tiles divide the workload");
         let x: Vec<f64> = (0..n).map(|i| 1.0 + (i % 9) as f64).collect();
         g.bench_with_input(BenchmarkId::new("spmv_crs", wname), &crs, |b, m| {
             b.iter(|| black_box(crs_spmv(m, &x)))

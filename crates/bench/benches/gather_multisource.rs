@@ -21,7 +21,11 @@ fn bench_gather_and_multisource(c: &mut Criterion) {
     let dist = run_scheme(SchemeKind::Ed, &machine, &a, &part, CompressKind::Crs).unwrap();
 
     eprintln!("\nGather strategies (n={n}, p={p}, s=0.1): source busy time");
-    for strategy in [GatherStrategy::Dense, GatherStrategy::Compressed, GatherStrategy::Encoded] {
+    for strategy in [
+        GatherStrategy::Dense,
+        GatherStrategy::Compressed,
+        GatherStrategy::Encoded,
+    ] {
         let run =
             gather_global(&machine, &dist.locals, &part, CompressKind::Crs, strategy).unwrap();
         eprintln!("  {strategy:?}: {}", run.t_gather());

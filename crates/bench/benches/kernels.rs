@@ -33,7 +33,13 @@ fn bench_kernels(c: &mut Criterion) {
         let part = RowBlock::new(n, n, 4);
         g.bench_with_input(BenchmarkId::new("ed_encode_part", n), &a, |b, a| {
             b.iter(|| {
-                black_box(encode_part(a, &part, 0, CompressKind::Crs, &mut OpCounter::new()))
+                black_box(encode_part(
+                    a,
+                    &part,
+                    0,
+                    CompressKind::Crs,
+                    &mut OpCounter::new(),
+                ))
             })
         });
         let buf = encode_part(&a, &part, 0, CompressKind::Crs, &mut OpCounter::new()).unwrap();

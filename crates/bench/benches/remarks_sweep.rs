@@ -33,7 +33,9 @@ fn measured_crossover(table: PaperTable, pc: ProcConfig, n: usize) -> f64 {
 fn bench_sweep(c: &mut Criterion) {
     let s = 0.1;
     let n = 400;
-    eprintln!("\nRemark 5 crossover (ED vs SFC overall), measured vs paper threshold, s={s}, n={n}");
+    eprintln!(
+        "\nRemark 5 crossover (ED vs SFC overall), measured vs paper threshold, s={s}, n={n}"
+    );
     let row_pred = (1.0 + 3.0 * s) / (1.0 - 2.0 * s);
     let cm_pred = 3.0 * s / (1.0 - 2.0 * s);
     let row_meas = measured_crossover(PaperTable::Table3Row, ProcConfig::Flat(4), n);

@@ -22,7 +22,10 @@ const N: usize = 1000;
 const P: usize = 4;
 
 fn array(s: f64) -> sparsedist_core::dense::Dense2D {
-    SparseRandom::new(N, N).sparse_ratio(s).seed(0xC0FFEE).generate()
+    SparseRandom::new(N, N)
+        .sparse_ratio(s)
+        .seed(0xC0FFEE)
+        .generate()
 }
 
 /// Bytes the source transmits for one scheme run under `format`.
@@ -39,7 +42,10 @@ fn source_bytes(
         a,
         part,
         CompressKind::Crs,
-        SchemeConfig { wire: format, parallel: false },
+        SchemeConfig {
+            wire: format,
+            parallel: false,
+        },
     )
     .expect("bench distribution run");
     run.ledgers[0].wire().bytes
@@ -52,8 +58,16 @@ fn host_cores() -> usize {
 fn encode_one(a: &sparsedist_core::dense::Dense2D, part: &dyn Partition, pid: usize) -> usize {
     let mut buf = PackBuffer::new();
     let mut ops = OpCounter::new();
-    encode_part_into(&mut buf, a, part, pid, CompressKind::Crs, WireFormat::V2, &mut ops)
-        .unwrap();
+    encode_part_into(
+        &mut buf,
+        a,
+        part,
+        pid,
+        CompressKind::Crs,
+        WireFormat::V2,
+        &mut ops,
+    )
+    .unwrap();
     buf.byte_len()
 }
 
@@ -110,8 +124,11 @@ fn emit_json(c: &mut Criterion) {
     lines.push(format!("  \"n\": {N},\n  \"p\": {P},"));
     lines.push("  \"bytes\": {".to_string());
     let sparsities = [(0.01, "s0.01"), (0.1, "s0.1"), (0.5, "s0.5")];
-    let schemes =
-        [(SchemeKind::Sfc, "sfc"), (SchemeKind::Cfs, "cfs"), (SchemeKind::Ed, "ed")];
+    let schemes = [
+        (SchemeKind::Sfc, "sfc"),
+        (SchemeKind::Cfs, "cfs"),
+        (SchemeKind::Ed, "ed"),
+    ];
     for (si, (s, slabel)) in sparsities.iter().enumerate() {
         let a = array(*s);
         lines.push(format!("    \"{slabel}\": {{"));
@@ -167,18 +184,24 @@ fn bench_pack_roundtrip(c: &mut Criterion) {
     g.sample_size(20)
         .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_secs(1));
-    g.throughput(Throughput::Elements((crs.ro().len() + 2 * crs.nnz()) as u64));
+    g.throughput(Throughput::Elements(
+        (crs.ro().len() + 2 * crs.nnz()) as u64,
+    ));
     for format in [WireFormat::V1, WireFormat::V2] {
-        g.bench_with_input(BenchmarkId::new("cfs_triple", format), &format, |b, &format| {
-            b.iter(|| {
-                let mut buf = arena.checkout(crs.nnz() * 16 + crs.ro().len() * 8);
-                wire::pack_triple_into(&mut buf, crs.ro(), crs.co(), crs.vl(), N, format);
-                let out =
-                    wire::unpack_triple(&mut buf.cursor(), lrows, format).expect("round trip");
-                arena.recycle(buf);
-                black_box(out)
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("cfs_triple", format),
+            &format,
+            |b, &format| {
+                b.iter(|| {
+                    let mut buf = arena.checkout(crs.nnz() * 16 + crs.ro().len() * 8);
+                    wire::pack_triple_into(&mut buf, crs.ro(), crs.co(), crs.vl(), N, format);
+                    let out =
+                        wire::unpack_triple(&mut buf.cursor(), lrows, format).expect("round trip");
+                    arena.recycle(buf);
+                    black_box(out)
+                })
+            },
+        );
     }
     g.finish();
 }
@@ -192,12 +215,19 @@ fn bench_encode_parallel(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(1));
     g.throughput(Throughput::Elements((N * N) as u64));
     for (label, parallel) in [("sequential", false), ("parallel", true)] {
-        g.bench_with_input(BenchmarkId::new("encode", label), &parallel, |b, &parallel| {
-            b.iter(|| black_box(encode_all(&a, &part, parallel).1))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("encode", label),
+            &parallel,
+            |b, &parallel| b.iter(|| black_box(encode_all(&a, &part, parallel).1)),
+        );
     }
     g.finish();
 }
 
-criterion_group!(benches, emit_json, bench_pack_roundtrip, bench_encode_parallel);
+criterion_group!(
+    benches,
+    emit_json,
+    bench_pack_roundtrip,
+    bench_encode_parallel
+);
 criterion_main!(benches);

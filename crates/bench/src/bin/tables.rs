@@ -52,7 +52,11 @@ fn main() {
         ("table5", PaperTable::Table5Mesh),
     ] {
         if all || which.contains(&key) {
-            let spec = if quick { table.spec().quick() } else { table.spec() };
+            let spec = if quick {
+                table.spec().quick()
+            } else {
+                table.spec()
+            };
             let t = run_table(&spec, model);
             println!("{}", render_table(&t));
             if csv_path.is_some() {
@@ -124,7 +128,10 @@ fn print_analytic(quick: bool, model: MachineModel) {
 fn print_remarks(quick: bool, model: MachineModel) {
     let n = if quick { 400 } else { 1000 };
     let s = sparsedist_bench::PAPER_SPARSE_RATIO;
-    println!("Remark verdicts at n={n}, s={s}, T_Data/T_Op={:.2}", model.data_op_ratio());
+    println!(
+        "Remark verdicts at n={n}, s={s}, T_Data/T_Op={:.2}",
+        model.data_op_ratio()
+    );
 
     let cell = |table, scheme, pc| run_cell(table, scheme, n, pc, CompressKind::Crs, model);
 
@@ -163,9 +170,21 @@ fn print_remarks(quick: bool, model: MachineModel) {
         cfs.t_total() < sfc.t_total(),
     );
 
-    let sfc = cell(PaperTable::Table4Column, SchemeKind::Sfc, ProcConfig::Flat(4));
-    let cfs = cell(PaperTable::Table4Column, SchemeKind::Cfs, ProcConfig::Flat(4));
-    let ed = cell(PaperTable::Table4Column, SchemeKind::Ed, ProcConfig::Flat(4));
+    let sfc = cell(
+        PaperTable::Table4Column,
+        SchemeKind::Sfc,
+        ProcConfig::Flat(4),
+    );
+    let cfs = cell(
+        PaperTable::Table4Column,
+        SchemeKind::Cfs,
+        ProcConfig::Flat(4),
+    );
+    let ed = cell(
+        PaperTable::Table4Column,
+        SchemeKind::Ed,
+        ProcConfig::Flat(4),
+    );
     println!(
         "  Remark 5 column (ED beats SFC):    predicted {} measured {}",
         remarks::remark5_colmesh_ed_beats_sfc(s, &model),

@@ -68,13 +68,21 @@ impl PaperTable {
             PaperTable::Table3Row => TableSpec {
                 title: "Table 3: row partition method (CRS)",
                 sizes: vec![200, 400, 800, 1000, 2000],
-                procs: vec![ProcConfig::Flat(4), ProcConfig::Flat(16), ProcConfig::Flat(32)],
+                procs: vec![
+                    ProcConfig::Flat(4),
+                    ProcConfig::Flat(16),
+                    ProcConfig::Flat(32),
+                ],
                 table: *self,
             },
             PaperTable::Table4Column => TableSpec {
                 title: "Table 4: column partition method (CRS)",
                 sizes: vec![200, 400, 800, 1000, 2000],
-                procs: vec![ProcConfig::Flat(4), ProcConfig::Flat(16), ProcConfig::Flat(32)],
+                procs: vec![
+                    ProcConfig::Flat(4),
+                    ProcConfig::Flat(16),
+                    ProcConfig::Flat(32),
+                ],
                 table: *self,
             },
             PaperTable::Table5Mesh => TableSpec {
@@ -204,8 +212,7 @@ pub fn run_table(spec: &TableSpec, model: MachineModel) -> MeasuredTable {
                     spec.sizes
                         .iter()
                         .map(|&n| {
-                            let run =
-                                run_cell(spec.table, scheme, n, pc, CompressKind::Crs, model);
+                            let run = run_cell(spec.table, scheme, n, pc, CompressKind::Crs, model);
                             CellTimes::from(&run)
                         })
                         .collect()
@@ -213,7 +220,10 @@ pub fn run_table(spec: &TableSpec, model: MachineModel) -> MeasuredTable {
                 .collect()
         })
         .collect();
-    MeasuredTable { spec: spec.clone(), grid }
+    MeasuredTable {
+        spec: spec.clone(),
+        grid,
+    }
 }
 
 /// Render a measured table in the paper's layout.
@@ -229,16 +239,21 @@ pub fn render_table(t: &MeasuredTable) -> String {
     out.push_str(&format!("{}\n", "-".repeat(dashes)));
     for (pi, &pc) in t.spec.procs.iter().enumerate() {
         for (si, scheme) in SchemeKind::ALL.iter().enumerate() {
-            for (cost_label, pick) in [
-                ("T_Distribution", 0usize),
-                ("T_Compression", 1usize),
-            ] {
-                let proc_label = if si == 0 && pick == 0 { pc.label() } else { String::new() };
+            for (cost_label, pick) in [("T_Distribution", 0usize), ("T_Compression", 1usize)] {
+                let proc_label = if si == 0 && pick == 0 {
+                    pc.label()
+                } else {
+                    String::new()
+                };
                 let scheme_label = if pick == 0 { scheme.label() } else { "" };
                 out.push_str(&format!("{proc_label:<8}{scheme_label:<8}{cost_label:<16}"));
                 for (ni, _) in t.spec.sizes.iter().enumerate() {
                     let cell = t.grid[pi][si][ni];
-                    let v = if pick == 0 { cell.dist_ms } else { cell.comp_ms };
+                    let v = if pick == 0 {
+                        cell.dist_ms
+                    } else {
+                        cell.comp_ms
+                    };
                     out.push_str(&format!("{v:>12.3}"));
                 }
                 out.push('\n');
@@ -313,13 +328,18 @@ pub fn analytic_comparison(
     let a = workload(n);
     let part = table.partition(n, pc);
     let prof = part.nnz_profile(&a);
-    let inp = CostInput { n, p: pc.nprocs(), s: a.sparse_ratio(), s_max: prof.s_max };
+    let inp = CostInput {
+        n,
+        p: pc.nprocs(),
+        s: a.sparse_ratio(),
+        s_max: prof.s_max,
+    };
     let machine = Multicomputer::virtual_machine(pc.nprocs(), model);
     SchemeKind::ALL
         .iter()
         .map(|&scheme| {
-            let run = run_scheme(scheme, &machine, &a, part.as_ref(), kind)
-                .expect("fault-free run");
+            let run =
+                run_scheme(scheme, &machine, &a, part.as_ref(), kind).expect("fault-free run");
             AnalyticCell {
                 scheme,
                 predicted: predict(scheme, table.method(pc), kind, &inp, &model),

@@ -28,7 +28,11 @@ impl fmt::Display for ArgError {
         match self {
             ArgError::MissingValue(flag) => write!(f, "flag --{flag} needs a value"),
             ArgError::NoCommand => write!(f, "no command given (try 'sparsedist help')"),
-            ArgError::BadValue { flag, value, expected } => {
+            ArgError::BadValue {
+                flag,
+                value,
+                expected,
+            } => {
                 write!(f, "--{flag} {value}: expected {expected}")
             }
             ArgError::Missing(what) => write!(f, "missing required {what}"),
@@ -54,10 +58,15 @@ impl Parsed {
     pub fn parse(argv: &[String]) -> Result<Parsed, ArgError> {
         let mut it = argv.iter().peekable();
         let command = it.next().cloned().ok_or(ArgError::NoCommand)?;
-        let mut out = Parsed { command, ..Parsed::default() };
+        let mut out = Parsed {
+            command,
+            ..Parsed::default()
+        };
         while let Some(arg) = it.next() {
             if let Some(name) = arg.strip_prefix("--") {
-                let value = it.next().ok_or_else(|| ArgError::MissingValue(name.into()))?;
+                let value = it
+                    .next()
+                    .ok_or_else(|| ArgError::MissingValue(name.into()))?;
                 out.flags.insert(name.to_string(), value.clone());
             } else {
                 out.positional.push(arg.clone());
@@ -97,7 +106,10 @@ impl Parsed {
 
     /// Positional argument `i`, or an error naming it.
     pub fn positional(&self, i: usize, what: &'static str) -> Result<&str, ArgError> {
-        self.positional.get(i).map(String::as_str).ok_or(ArgError::Missing(what))
+        self.positional
+            .get(i)
+            .map(String::as_str)
+            .ok_or(ArgError::Missing(what))
     }
 }
 

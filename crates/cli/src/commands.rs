@@ -1,18 +1,18 @@
 //! The `sparsedist` subcommands.
 
 use crate::args::Parsed;
+use sparsedist::array::DistributedSparseArray;
 use sparsedist_core::compress::{CompressKind, Coo};
 use sparsedist_core::cost::{predict, CostInput, PartitionMethod};
 use sparsedist_core::dense::Dense2D;
+use sparsedist_core::gather::GatherStrategy;
 use sparsedist_core::partition::{ColBlock, ColCyclic, Mesh2D, Partition, RowBlock, RowCyclic};
+use sparsedist_core::redistribute::RedistStrategy;
 use sparsedist_core::schemes::{run_scheme, run_scheme_with, SchemeConfig, SchemeKind};
 use sparsedist_core::wire::WireFormat;
 use sparsedist_gen::{matrixmarket, patterns, SparseRandom};
 use sparsedist_multicomputer::timing::{render_fault_summary, render_timeline};
 use sparsedist_multicomputer::{FaultPlan, MachineModel, Multicomputer, Phase, RetryPolicy};
-use sparsedist::array::DistributedSparseArray;
-use sparsedist_core::gather::GatherStrategy;
-use sparsedist_core::redistribute::RedistStrategy;
 use sparsedist_ops::spmv::distributed_spmv;
 use std::fmt::Write as _;
 
@@ -78,7 +78,9 @@ fn parse_model(s: &str) -> Result<MachineModel, CmdError> {
 }
 
 fn parse_grid(s: &str) -> Result<(usize, usize), CmdError> {
-    let (a, b) = s.split_once('x').ok_or_else(|| format!("grid '{s}' must look like 2x2"))?;
+    let (a, b) = s
+        .split_once('x')
+        .ok_or_else(|| format!("grid '{s}' must look like 2x2"))?;
     let pr = a.parse().map_err(|_| format!("bad grid rows '{a}'"))?;
     let pc = b.parse().map_err(|_| format!("bad grid cols '{b}'"))?;
     Ok((pr, pc))
@@ -107,7 +109,6 @@ fn build_partition(
         )),
     }
 }
-
 
 /// Build the simulated machine, honouring the shared `--faults SPEC` and
 /// `--retries N` flags.
@@ -138,7 +139,10 @@ pub fn generate(p: &Parsed) -> Result<String, CmdError> {
     let ratio = p.f64_or("ratio", 0.1).map_err(|e| e.to_string())?;
     let seed = p.usize_or("seed", 0).map_err(|e| e.to_string())? as u64;
     let a = match p.flag_or("pattern", "uniform") {
-        "uniform" => SparseRandom::new(rows, cols).sparse_ratio(ratio).seed(seed).generate(),
+        "uniform" => SparseRandom::new(rows, cols)
+            .sparse_ratio(ratio)
+            .seed(seed)
+            .generate(),
         "banded" => {
             let bw = p.usize_or("bandwidth", 2).map_err(|e| e.to_string())?;
             if rows != cols {
@@ -149,7 +153,9 @@ pub fn generate(p: &Parsed) -> Result<String, CmdError> {
         "laplacian" => {
             let k = (rows as f64).sqrt().round() as usize;
             if k * k != rows {
-                return Err(format!("laplacian needs --rows to be a perfect square, got {rows}"));
+                return Err(format!(
+                    "laplacian needs --rows to be a perfect square, got {rows}"
+                ));
             }
             patterns::five_point_laplacian(k)
         }
@@ -206,7 +212,10 @@ pub fn distribute(p: &Parsed) -> Result<String, CmdError> {
     let kind = parse_kind(p.flag_or("kind", "crs"))?;
     let model = parse_model(p.flag_or("model", "sp2"))?;
     let wire = parse_wire(p.flag_or("wire", "v1"))?;
-    let config = SchemeConfig { wire, parallel: p.flag_or("parallel", "no") == "yes" };
+    let config = SchemeConfig {
+        wire,
+        parallel: p.flag_or("parallel", "no") == "yes",
+    };
     let part = build_partition(p, a.rows(), a.cols(), procs)?;
     let machine = build_machine(p, procs, model)?;
     let run = run_scheme_with(scheme, &machine, &a, part.as_ref(), kind, config)
@@ -233,7 +242,11 @@ pub fn distribute(p: &Parsed) -> Result<String, CmdError> {
     let _ = writeln!(
         out,
         "  wire ({wire}):      {msgs} messages, {elems} elements, {bytes} bytes ({:.2} B/elem)",
-        if elems == 0 { 0.0 } else { bytes as f64 / elems as f64 }
+        if elems == 0 {
+            0.0
+        } else {
+            bytes as f64 / elems as f64
+        }
     );
     if p.flag_or("timeline", "no") == "yes" {
         let _ = writeln!(out, "  per-rank timeline (c=compress e=encode p=pack s=send u=unpack d=decode !=retry .=wait):");
@@ -262,7 +275,10 @@ pub fn distribute(p: &Parsed) -> Result<String, CmdError> {
         }
     }
     if run.reassemble(part.as_ref()) == a {
-        let _ = writeln!(out, "  verified: distributed state reassembles the input exactly");
+        let _ = writeln!(
+            out,
+            "  verified: distributed state reassembles the input exactly"
+        );
     } else {
         return Err("internal error: reassembly mismatch".into());
     }
@@ -280,7 +296,12 @@ pub fn advise(p: &Parsed) -> Result<String, CmdError> {
     }
     let part = RowBlock::new(a.rows(), a.cols(), procs);
     let prof = part.nnz_profile(&a);
-    let inp = CostInput { n: a.rows(), p: procs, s: a.sparse_ratio(), s_max: prof.s_max };
+    let inp = CostInput {
+        n: a.rows(),
+        p: procs,
+        s: a.sparse_ratio(),
+        s_max: prof.s_max,
+    };
 
     let mut out = String::new();
     let _ = writeln!(
@@ -293,7 +314,13 @@ pub fn advise(p: &Parsed) -> Result<String, CmdError> {
     );
     let mut best: Option<(SchemeKind, f64)> = None;
     for scheme in SchemeKind::ALL {
-        let c = predict(scheme, PartitionMethod::Row, CompressKind::Crs, &inp, &model);
+        let c = predict(
+            scheme,
+            PartitionMethod::Row,
+            CompressKind::Crs,
+            &inp,
+            &model,
+        );
         let total = c.t_total().as_millis();
         let _ = writeln!(
             out,
@@ -343,7 +370,9 @@ pub fn spmv(p: &Parsed) -> Result<String, CmdError> {
 /// distributed state.
 pub fn checkpoint_cmd(p: &Parsed) -> Result<String, CmdError> {
     let path = p.positional(0, "input file").map_err(|e| e.to_string())?;
-    let dir = p.positional(1, "checkpoint directory").map_err(|e| e.to_string())?;
+    let dir = p
+        .positional(1, "checkpoint directory")
+        .map_err(|e| e.to_string())?;
     let a = load(path)?;
     let procs = p.usize_or("procs", 4).map_err(|e| e.to_string())?;
     let scheme = parse_scheme(p.flag_or("scheme", "ed"))?;
@@ -363,19 +392,27 @@ pub fn checkpoint_cmd(p: &Parsed) -> Result<String, CmdError> {
 /// `sparsedist restore DIR OUT.mtx …` — resume a checkpoint, gather and
 /// write the array back out as MatrixMarket.
 pub fn restore_cmd(p: &Parsed) -> Result<String, CmdError> {
-    let dir = p.positional(0, "checkpoint directory").map_err(|e| e.to_string())?;
-    let out = p.positional(1, "output .mtx path").map_err(|e| e.to_string())?;
+    let dir = p
+        .positional(0, "checkpoint directory")
+        .map_err(|e| e.to_string())?;
+    let out = p
+        .positional(1, "output .mtx path")
+        .map_err(|e| e.to_string())?;
     let procs = p.usize_or("procs", 4).map_err(|e| e.to_string())?;
     let rows = p.usize_or("rows", 0).map_err(|e| e.to_string())?;
     let cols = p.usize_or("cols", rows).map_err(|e| e.to_string())?;
     if rows == 0 {
-        return Err("restore needs --rows (and --cols for non-square) of the original array".into());
+        return Err(
+            "restore needs --rows (and --cols for non-square) of the original array".into(),
+        );
     }
     let part = build_partition(p, rows, cols, procs)?;
     let machine = Multicomputer::virtual_machine(procs, MachineModel::ibm_sp2());
     let dist = DistributedSparseArray::resume(&machine, part, CompressKind::Crs, dir)
         .map_err(|e| e.to_string())?;
-    let dense = dist.gather_dense(GatherStrategy::Encoded).map_err(|e| e.to_string())?;
+    let dense = dist
+        .gather_dense(GatherStrategy::Encoded)
+        .map_err(|e| e.to_string())?;
     matrixmarket::write_file(out, &Coo::from_dense(&dense)).map_err(|e| e.to_string())?;
     Ok(format!(
         "restored {rows}x{cols} ({} nonzeros) from {dir} and wrote {out}\n",
@@ -391,7 +428,10 @@ pub fn pipeline_cmd(p: &Parsed) -> Result<String, CmdError> {
     let procs = p.usize_or("procs", 4).map_err(|e| e.to_string())?;
     let grid = parse_grid(p.flag_or("grid", "2x2"))?;
     if grid.0 * grid.1 != procs {
-        return Err(format!("grid {}x{} does not match --procs {procs}", grid.0, grid.1));
+        return Err(format!(
+            "grid {}x{} does not match --procs {procs}",
+            grid.0, grid.1
+        ));
     }
     let machine = build_machine(p, procs, MachineModel::ibm_sp2())?;
     let mut out = String::new();
@@ -404,16 +444,30 @@ pub fn pipeline_cmd(p: &Parsed) -> Result<String, CmdError> {
         CompressKind::Crs,
     )
     .map_err(|e| e.to_string())?;
-    let _ = writeln!(out, "1. ED distribution (row):   busy max {}", dist.last_busy_max());
+    let _ = writeln!(
+        out,
+        "1. ED distribution (row):   busy max {}",
+        dist.last_busy_max()
+    );
     let y = dist.spmv(&vec![1.0; a.cols()]).map_err(|e| e.to_string())?;
-    let _ = writeln!(out, "2. SpMV checksum:           {:.6}", y.iter().sum::<f64>());
+    let _ = writeln!(
+        out,
+        "2. SpMV checksum:           {:.6}",
+        y.iter().sum::<f64>()
+    );
     dist.repartition(
         Box::new(Mesh2D::new(a.rows(), a.cols(), grid.0, grid.1)),
         RedistStrategy::Direct,
     )
     .map_err(|e| e.to_string())?;
-    let _ = writeln!(out, "3. repartition to mesh:     busy max {}", dist.last_busy_max());
-    let back = dist.gather_dense(GatherStrategy::Encoded).map_err(|e| e.to_string())?;
+    let _ = writeln!(
+        out,
+        "3. repartition to mesh:     busy max {}",
+        dist.last_busy_max()
+    );
+    let back = dist
+        .gather_dense(GatherStrategy::Encoded)
+        .map_err(|e| e.to_string())?;
     if back != a {
         return Err("internal error: gathered array differs from input".into());
     }
@@ -423,7 +477,6 @@ pub fn pipeline_cmd(p: &Parsed) -> Result<String, CmdError> {
 
 #[cfg(test)]
 mod tests {
-    
 
     fn argv(s: &str) -> Vec<String> {
         s.split_whitespace().map(String::from).collect()
@@ -462,7 +515,10 @@ mod tests {
     #[test]
     fn distribute_wire_v2_saves_bytes_at_equal_virtual_time() {
         let path = tmp("gen_wire.mtx");
-        crate::run(&argv(&format!("gen {path} --rows 40 --ratio 0.2 --seed 11"))).unwrap();
+        crate::run(&argv(&format!(
+            "gen {path} --rows 40 --ratio 0.2 --seed 11"
+        )))
+        .unwrap();
         let v1 = crate::run(&argv(&format!("distribute {path} --scheme ed --procs 4"))).unwrap();
         let v2 = crate::run(&argv(&format!(
             "distribute {path} --scheme ed --procs 4 --wire v2 --parallel yes"
@@ -473,7 +529,10 @@ mod tests {
         assert!(v2.contains("verified"), "{v2}");
         // The cost model charges logical elements, so the virtual times match…
         let line = |s: &str, key: &str| {
-            s.lines().find(|l| l.contains(key)).map(str::to_owned).unwrap()
+            s.lines()
+                .find(|l| l.contains(key))
+                .map(str::to_owned)
+                .unwrap()
         };
         assert_eq!(line(&v1, "T_Distribution"), line(&v2, "T_Distribution"));
         // …while the compact format moves fewer bytes for the same elements.
@@ -536,8 +595,12 @@ mod tests {
         let r = crate::run(&argv(&format!("restore {dir} {out} --procs 4 --rows 48"))).unwrap();
         assert!(r.contains("restored 48x48"), "{r}");
         // The round-tripped file holds the same array.
-        let orig = sparsedist_gen::matrixmarket::read_file(&mtx).unwrap().to_dense();
-        let back = sparsedist_gen::matrixmarket::read_file(&out).unwrap().to_dense();
+        let orig = sparsedist_gen::matrixmarket::read_file(&mtx)
+            .unwrap()
+            .to_dense();
+        let back = sparsedist_gen::matrixmarket::read_file(&out)
+            .unwrap()
+            .to_dense();
         assert_eq!(orig, back);
         std::fs::remove_dir_all(&dir).ok();
     }

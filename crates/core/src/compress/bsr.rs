@@ -80,7 +80,15 @@ impl Bsr {
             }
             block_ro.push(block_co.len());
         }
-        Ok(Bsr { rows: a.rows(), cols: a.cols(), br, bc, block_ro, block_co, blocks })
+        Ok(Bsr {
+            rows: a.rows(),
+            cols: a.cols(),
+            br,
+            bc,
+            block_ro,
+            block_co,
+            blocks,
+        })
     }
 
     /// Number of rows.
@@ -118,7 +126,12 @@ impl Bsr {
     /// # Panics
     /// Panics on out-of-bounds indices.
     pub fn get(&self, r: usize, c: usize) -> f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of {}x{}", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of {}x{}",
+            self.rows,
+            self.cols
+        );
         let (gi, gj) = (r / self.br, c / self.bc);
         let run = &self.block_co[self.block_ro[gi]..self.block_ro[gi + 1]];
         match run.binary_search(&gj) {
@@ -155,7 +168,13 @@ impl Bsr {
     /// # Panics
     /// Panics if `x.len() != cols`.
     pub fn spmv(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.cols, "x length {} != cols {}", x.len(), self.cols);
+        assert_eq!(
+            x.len(),
+            self.cols,
+            "x length {} != cols {}",
+            x.len(),
+            self.cols
+        );
         let mut y = vec![0.0; self.rows];
         let grows = self.rows / self.br;
         for gi in 0..grows {
@@ -230,10 +249,26 @@ mod tests {
     fn indivisible_tiles_rejected() {
         let a = paper_array_a();
         let err = Bsr::from_dense(&a, 3, 3, &mut OpCounter::new()).unwrap_err();
-        assert_eq!(err, CompressError::TileShape { rows: 10, cols: 8, br: 3, bc: 3 });
+        assert_eq!(
+            err,
+            CompressError::TileShape {
+                rows: 10,
+                cols: 8,
+                br: 3,
+                bc: 3
+            }
+        );
         assert!(err.to_string().contains("does not divide"), "{err}");
         let err = Bsr::from_dense(&a, 0, 2, &mut OpCounter::new()).unwrap_err();
-        assert_eq!(err, CompressError::TileShape { rows: 10, cols: 8, br: 0, bc: 2 });
+        assert_eq!(
+            err,
+            CompressError::TileShape {
+                rows: 10,
+                cols: 8,
+                br: 0,
+                bc: 2
+            }
+        );
     }
 
     #[test]

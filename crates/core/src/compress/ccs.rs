@@ -46,7 +46,13 @@ impl Ccs {
             }
             cp.push(ri.len());
         }
-        Ccs { rows: a.rows(), cols: a.cols(), cp, ri, vl }
+        Ccs {
+            rows: a.rows(),
+            cols: a.cols(),
+            cp,
+            ri,
+            vl,
+        }
     }
 
     /// Compress one part of a partitioned global array straight from the
@@ -77,7 +83,13 @@ impl Ccs {
             cp.push(ri.len());
         }
         let (grows, _) = part.global_shape();
-        Ccs { rows: grows, cols: lcols, cp, ri, vl }
+        Ccs {
+            rows: grows,
+            cols: lcols,
+            cp,
+            ri,
+            vl,
+        }
     }
 
     /// Build from unsorted `(row, col, value)` triplets by counting sort
@@ -93,7 +105,10 @@ impl Ccs {
     ) -> Ccs {
         let mut counts = vec![0usize; cols + 1];
         for &(r, c, _) in trips {
-            assert!(r < rows && c < cols, "triplet ({r},{c}) out of {rows}x{cols}");
+            assert!(
+                r < rows && c < cols,
+                "triplet ({r},{c}) out of {rows}x{cols}"
+            );
             counts[c + 1] += 1;
             ops.tick();
         }
@@ -113,11 +128,20 @@ impl Ccs {
             let run = &mut placed[cp[c]..cp[c + 1]];
             run.sort_unstable_by_key(|&(r, _)| r);
             ops.add(run.len() as u64);
-            assert!(run.windows(2).all(|w| w[0].0 < w[1].0), "duplicate row in column {c}");
+            assert!(
+                run.windows(2).all(|w| w[0].0 < w[1].0),
+                "duplicate row in column {c}"
+            );
         }
         let ri = placed.iter().map(|&(r, _)| r).collect();
         let vl = placed.iter().map(|&(_, v)| v).collect();
-        Ccs { rows, cols, cp, ri, vl }
+        Ccs {
+            rows,
+            cols,
+            cp,
+            ri,
+            vl,
+        }
     }
 
     /// Assemble from raw arrays with full validation.
@@ -129,7 +153,13 @@ impl Ccs {
         vl: Vec<f64>,
     ) -> Result<Ccs, CompressError> {
         validate_layout(&cp, &ri, &vl, cols, rows)?;
-        Ok(Ccs { rows, cols, cp, ri, vl })
+        Ok(Ccs {
+            rows,
+            cols,
+            cp,
+            ri,
+            vl,
+        })
     }
 
     /// Row-index bound (global at a CFS source, local at a receiver).
@@ -179,7 +209,12 @@ impl Ccs {
 
     /// Value at `(r, c)` (0 if not stored).
     pub fn get(&self, r: usize, c: usize) -> f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of {}x{}", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of {}x{}",
+            self.rows,
+            self.cols
+        );
         match self.col_rows(c).binary_search(&r) {
             Ok(k) => self.col_vals(c)[k],
             Err(_) => 0.0,

@@ -21,7 +21,11 @@ pub struct Coo {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CooError {
     /// An entry's coordinates exceed the declared shape.
-    OutOfBounds { position: usize, row: usize, col: usize },
+    OutOfBounds {
+        position: usize,
+        row: usize,
+        col: usize,
+    },
     /// Two entries share the same coordinates.
     Duplicate { row: usize, col: usize },
 }
@@ -42,12 +46,20 @@ impl std::error::Error for CooError {}
 impl Coo {
     /// An empty triplet list with the given shape.
     pub fn new(rows: usize, cols: usize) -> Self {
-        Coo { rows, cols, entries: Vec::new() }
+        Coo {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
     }
 
     /// Build from triplets.
     pub fn from_entries(rows: usize, cols: usize, entries: Vec<(usize, usize, f64)>) -> Self {
-        Coo { rows, cols, entries }
+        Coo {
+            rows,
+            cols,
+            entries,
+        }
     }
 
     /// Extract every nonzero of a dense array.
@@ -93,14 +105,22 @@ impl Coo {
     pub fn validate(&self) -> Result<(), CooError> {
         for (pos, &(r, c, _)) in self.entries.iter().enumerate() {
             if r >= self.rows || c >= self.cols {
-                return Err(CooError::OutOfBounds { position: pos, row: r, col: c });
+                return Err(CooError::OutOfBounds {
+                    position: pos,
+                    row: r,
+                    col: c,
+                });
             }
         }
-        let mut sorted: Vec<(usize, usize)> = self.entries.iter().map(|&(r, c, _)| (r, c)).collect();
+        let mut sorted: Vec<(usize, usize)> =
+            self.entries.iter().map(|&(r, c, _)| (r, c)).collect();
         sorted.sort_unstable();
         for w in sorted.windows(2) {
             if w[0] == w[1] {
-                return Err(CooError::Duplicate { row: w[0].0, col: w[0].1 });
+                return Err(CooError::Duplicate {
+                    row: w[0].0,
+                    col: w[0].1,
+                });
             }
         }
         Ok(())
@@ -170,7 +190,11 @@ mod tests {
         let coo = Coo::from_entries(2, 2, vec![(0, 0, 1.0), (5, 0, 2.0)]);
         assert_eq!(
             coo.validate(),
-            Err(CooError::OutOfBounds { position: 1, row: 5, col: 0 })
+            Err(CooError::OutOfBounds {
+                position: 1,
+                row: 5,
+                col: 0
+            })
         );
     }
 

@@ -44,7 +44,13 @@ impl Crs {
             }
             ro.push(co.len());
         }
-        Crs { rows: a.rows(), cols: a.cols(), ro, co, vl }
+        Crs {
+            rows: a.rows(),
+            cols: a.cols(),
+            ro,
+            co,
+            vl,
+        }
     }
 
     /// Compress one part of a partitioned global array directly from the
@@ -77,7 +83,13 @@ impl Crs {
             ro.push(co.len());
         }
         let (_, gcols) = part.global_shape();
-        Crs { rows: lrows, cols: gcols, ro, co, vl }
+        Crs {
+            rows: lrows,
+            cols: gcols,
+            ro,
+            co,
+            vl,
+        }
     }
 
     /// Build from unsorted `(row, col, value)` triplets by counting sort,
@@ -96,7 +108,10 @@ impl Crs {
     ) -> Crs {
         let mut counts = vec![0usize; rows + 1];
         for &(r, c, _) in trips {
-            assert!(r < rows && c < cols, "triplet ({r},{c}) out of {rows}x{cols}");
+            assert!(
+                r < rows && c < cols,
+                "triplet ({r},{c}) out of {rows}x{cols}"
+            );
             counts[r + 1] += 1;
             ops.tick();
         }
@@ -123,7 +138,13 @@ impl Crs {
         }
         let co = placed.iter().map(|&(c, _)| c).collect();
         let vl = placed.iter().map(|&(_, v)| v).collect();
-        Crs { rows, cols, ro, co, vl }
+        Crs {
+            rows,
+            cols,
+            ro,
+            co,
+            vl,
+        }
     }
 
     /// Assemble from raw arrays, validating every structural invariant
@@ -137,7 +158,13 @@ impl Crs {
         vl: Vec<f64>,
     ) -> Result<Crs, CompressError> {
         validate_layout(&ro, &co, &vl, rows, cols)?;
-        Ok(Crs { rows, cols, ro, co, vl })
+        Ok(Crs {
+            rows,
+            cols,
+            ro,
+            co,
+            vl,
+        })
     }
 
     /// Number of rows.
@@ -187,7 +214,12 @@ impl Crs {
 
     /// Value at `(r, c)` (0 if not stored). Binary search within the row.
     pub fn get(&self, r: usize, c: usize) -> f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of {}x{}", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of {}x{}",
+            self.rows,
+            self.cols
+        );
         match self.row_cols(r).binary_search(&c) {
             Ok(k) => self.row_vals(r)[k],
             Err(_) => 0.0,
@@ -256,7 +288,11 @@ mod tests {
         let expect: [(&[usize], &[usize], &[f64]); 4] = [
             (&[1, 2, 3, 5], &[2, 7, 1, 8], &[1., 2., 3., 4.]),
             (&[1, 2, 3, 4], &[6, 4, 5], &[5., 6., 7.]),
-            (&[1, 2, 4, 7], &[7, 5, 8, 2, 3, 5], &[8., 9., 10., 11., 12., 13.]),
+            (
+                &[1, 2, 4, 7],
+                &[7, 5, 8, 2, 3, 5],
+                &[8., 9., 10., 11., 12., 13.],
+            ),
             (&[1, 4], &[1, 4, 7], &[14., 15., 16.]),
         ];
         for (pid, (ro, co, vl)) in expect.iter().enumerate() {

@@ -54,7 +54,12 @@ impl Dia {
             data[d * a.rows() + r] = v;
             ops.add(2);
         }
-        Dia { rows: a.rows(), cols: a.cols(), offsets, data }
+        Dia {
+            rows: a.rows(),
+            cols: a.cols(),
+            offsets,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -82,7 +87,12 @@ impl Dia {
     /// # Panics
     /// Panics on out-of-bounds indices.
     pub fn get(&self, r: usize, c: usize) -> f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of {}x{}", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of {}x{}",
+            self.rows,
+            self.cols
+        );
         let k = c as isize - r as isize;
         match self.offsets.binary_search(&k) {
             Ok(d) => self.data[d * self.rows + r],
@@ -156,7 +166,11 @@ mod tests {
         assert_eq!(dia.to_dense(), a);
         assert_eq!(dia.nnz(), 16);
         // Scattered sparsity populates many strips: the padding blow-up.
-        assert!(dia.stored_elements() > 3 * a.nnz(), "{}", dia.stored_elements());
+        assert!(
+            dia.stored_elements() > 3 * a.nnz(),
+            "{}",
+            dia.stored_elements()
+        );
     }
 
     #[test]

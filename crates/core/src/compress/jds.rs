@@ -54,7 +54,14 @@ impl Jds {
             }
             jd_ptr.push(col_ind.len());
         }
-        Jds { rows, cols: a.cols(), perm, jd_ptr, col_ind, values }
+        Jds {
+            rows,
+            cols: a.cols(),
+            perm,
+            jd_ptr,
+            col_ind,
+            values,
+        }
     }
 
     /// Build straight from a dense array (CRS as an intermediate).
@@ -113,7 +120,13 @@ impl Jds {
     /// # Panics
     /// Panics if `x.len() != cols`.
     pub fn spmv(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.cols, "x length {} != cols {}", x.len(), self.cols);
+        assert_eq!(
+            x.len(),
+            self.cols,
+            "x length {} != cols {}",
+            x.len(),
+            self.cols
+        );
         let mut y_perm = vec![0.0; self.rows];
         for d in 0..self.njd() {
             let (cols, vals) = self.diag(d);

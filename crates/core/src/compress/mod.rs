@@ -208,21 +208,41 @@ impl fmt::Display for CompressError {
             CompressError::PointerNotMonotone { at } => {
                 write!(f, "pointer array decreases at position {at}")
             }
-            CompressError::LengthMismatch { pointer_total, indices, values } => write!(
+            CompressError::LengthMismatch {
+                pointer_total,
+                indices,
+                values,
+            } => write!(
                 f,
                 "pointer total {pointer_total} disagrees with {indices} indices / {values} values"
             ),
-            CompressError::IndexOutOfBounds { position, index, bound } => {
-                write!(f, "index {index} at position {position} exceeds bound {bound}")
+            CompressError::IndexOutOfBounds {
+                position,
+                index,
+                bound,
+            } => {
+                write!(
+                    f,
+                    "index {index} at position {position} exceeds bound {bound}"
+                )
             }
             CompressError::IndicesNotSorted { segment } => {
-                write!(f, "indices in segment {segment} are not strictly increasing")
+                write!(
+                    f,
+                    "indices in segment {segment} are not strictly increasing"
+                )
             }
             CompressError::TileShape { rows, cols, br, bc } => {
-                write!(f, "tile shape {br}x{bc} does not divide array shape {rows}x{cols}")
+                write!(
+                    f,
+                    "tile shape {br}x{bc} does not divide array shape {rows}x{cols}"
+                )
             }
             CompressError::WireHeader { found } => {
-                write!(f, "missing or malformed v2 wire header: found bytes {found:02x?}")
+                write!(
+                    f,
+                    "missing or malformed v2 wire header: found bytes {found:02x?}"
+                )
             }
         }
     }
@@ -239,7 +259,10 @@ pub(crate) fn validate_layout(
     index_bound: usize,
 ) -> Result<(), CompressError> {
     if pointer.len() != nsegments + 1 {
-        return Err(CompressError::PointerLength { expected: nsegments + 1, actual: pointer.len() });
+        return Err(CompressError::PointerLength {
+            expected: nsegments + 1,
+            actual: pointer.len(),
+        });
     }
     if pointer[0] != 0 {
         return Err(CompressError::PointerStart);
@@ -259,7 +282,11 @@ pub(crate) fn validate_layout(
     }
     for (pos, &idx) in indices.iter().enumerate() {
         if idx >= index_bound {
-            return Err(CompressError::IndexOutOfBounds { position: pos, index: idx, bound: index_bound });
+            return Err(CompressError::IndexOutOfBounds {
+                position: pos,
+                index: idx,
+                bound: index_bound,
+            });
         }
     }
     for seg in 0..nsegments {
@@ -294,7 +321,10 @@ mod tests {
         assert!(validate_layout(&[0, 1, 3], &[2, 0, 3], &[1., 2., 3.], 2, 4).is_ok());
         assert_eq!(
             validate_layout(&[0, 1], &[0], &[1.], 2, 4),
-            Err(CompressError::PointerLength { expected: 3, actual: 2 })
+            Err(CompressError::PointerLength {
+                expected: 3,
+                actual: 2
+            })
         );
         assert_eq!(
             validate_layout(&[1, 1, 1], &[], &[], 2, 4),
@@ -306,11 +336,19 @@ mod tests {
         );
         assert_eq!(
             validate_layout(&[0, 1, 3], &[0, 1], &[1., 2., 3.], 2, 4),
-            Err(CompressError::LengthMismatch { pointer_total: 3, indices: 2, values: 3 })
+            Err(CompressError::LengthMismatch {
+                pointer_total: 3,
+                indices: 2,
+                values: 3
+            })
         );
         assert_eq!(
             validate_layout(&[0, 1, 2], &[0, 9], &[1., 2.], 2, 4),
-            Err(CompressError::IndexOutOfBounds { position: 1, index: 9, bound: 4 })
+            Err(CompressError::IndexOutOfBounds {
+                position: 1,
+                index: 9,
+                bound: 4
+            })
         );
         assert_eq!(
             validate_layout(&[0, 2, 2], &[3, 1], &[1., 2.], 2, 4),

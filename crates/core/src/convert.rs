@@ -71,7 +71,11 @@ pub struct IndexConverter<'a> {
 impl<'a> IndexConverter<'a> {
     /// Build the converter for `pid` under the given compression method.
     pub fn new(part: &'a dyn Partition, pid: usize, kind: CompressKind) -> Self {
-        IndexConverter { part, pid, case: conversion_case(part, kind) }
+        IndexConverter {
+            part,
+            pid,
+            case: conversion_case(part, kind),
+        }
     }
 
     /// The case in force.
@@ -132,21 +136,42 @@ mod tests {
         let col = ColBlock::new(8, 8, 4);
         let mesh = Mesh2D::new(8, 8, 2, 2);
         // Case 3.2.1 / 3.3.1: row+CRS, column+CCS → no conversion.
-        assert_eq!(conversion_case(&row, CompressKind::Crs), ConversionCase::None);
-        assert_eq!(conversion_case(&col, CompressKind::Ccs), ConversionCase::None);
+        assert_eq!(
+            conversion_case(&row, CompressKind::Crs),
+            ConversionCase::None
+        );
+        assert_eq!(
+            conversion_case(&col, CompressKind::Ccs),
+            ConversionCase::None
+        );
         // Case 3.2.2 / 3.3.2: row+CCS subtracts rows; column+CRS subtracts
         // columns.
-        assert_eq!(conversion_case(&row, CompressKind::Ccs), ConversionCase::ConvertRows);
-        assert_eq!(conversion_case(&col, CompressKind::Crs), ConversionCase::ConvertCols);
+        assert_eq!(
+            conversion_case(&row, CompressKind::Ccs),
+            ConversionCase::ConvertRows
+        );
+        assert_eq!(
+            conversion_case(&col, CompressKind::Crs),
+            ConversionCase::ConvertCols
+        );
         // Case 3.2.3 / 3.3.3: mesh converts both ways depending on method.
-        assert_eq!(conversion_case(&mesh, CompressKind::Crs), ConversionCase::ConvertCols);
-        assert_eq!(conversion_case(&mesh, CompressKind::Ccs), ConversionCase::ConvertRows);
+        assert_eq!(
+            conversion_case(&mesh, CompressKind::Crs),
+            ConversionCase::ConvertCols
+        );
+        assert_eq!(
+            conversion_case(&mesh, CompressKind::Ccs),
+            ConversionCase::ConvertRows
+        );
     }
 
     #[test]
     fn single_processor_never_converts() {
         let row = RowBlock::new(8, 8, 1);
-        assert_eq!(conversion_case(&row, CompressKind::Ccs), ConversionCase::None);
+        assert_eq!(
+            conversion_case(&row, CompressKind::Ccs),
+            ConversionCase::None
+        );
     }
 
     #[test]
@@ -163,7 +188,10 @@ mod tests {
             paper_case_label("3.2", "mesh", CompressKind::Ccs).as_deref(),
             Some("Case 3.2.3")
         );
-        assert_eq!(paper_case_label("3.2", "row-cyclic", CompressKind::Crs), None);
+        assert_eq!(
+            paper_case_label("3.2", "row-cyclic", CompressKind::Crs),
+            None
+        );
     }
 
     #[test]

@@ -31,9 +31,7 @@ pub fn predict_gather_row_crs(
         // Expand its local dense (np·n ops), ship np·n elements.
         GatherStrategy::Dense => (np * n, np * n),
         // Pack pointer + indices + values: (np+1) + 2·nnz/p each.
-        GatherStrategy::Compressed => {
-            (np + 1.0 + 2.0 * nnz / p, np + 1.0 + 2.0 * nnz / p)
-        }
+        GatherStrategy::Compressed => (np + 1.0 + 2.0 * nnz / p, np + 1.0 + 2.0 * nnz / p),
         // Counts + pairs: np + 2·nnz/p.
         GatherStrategy::Encoded => (np + 2.0 * nnz / p, np + 2.0 * nnz / p),
     };
@@ -113,17 +111,22 @@ mod tests {
         let machine = Multicomputer::virtual_machine(p, MachineModel::ibm_sp2());
         let run = run_scheme(SchemeKind::Ed, &machine, &a, &part, CompressKind::Crs).unwrap();
         let inp = CostInput::uniform(n, p, a.sparse_ratio());
-        for strategy in
-            [GatherStrategy::Dense, GatherStrategy::Compressed, GatherStrategy::Encoded]
-        {
-            let g = gather_global(&machine, &run.locals, &part, CompressKind::Crs, strategy).unwrap();
+        for strategy in [
+            GatherStrategy::Dense,
+            GatherStrategy::Compressed,
+            GatherStrategy::Encoded,
+        ] {
+            let g =
+                gather_global(&machine, &run.locals, &part, CompressKind::Crs, strategy).unwrap();
             let meas = g.t_gather().as_micros();
-            let pred =
-                predict_gather_row_crs(strategy, &inp, &MachineModel::ibm_sp2()).as_micros();
+            let pred = predict_gather_row_crs(strategy, &inp, &MachineModel::ibm_sp2()).as_micros();
             let err = (pred - meas).abs() / meas;
             // Per-part nonzero fluctuation shifts rank 0's own slice by a
             // few percent; the model captures the rest.
-            assert!(err < 0.05, "{strategy:?}: pred {pred} meas {meas} err {err}");
+            assert!(
+                err < 0.05,
+                "{strategy:?}: pred {pred} meas {meas} err {err}"
+            );
         }
     }
 
@@ -146,8 +149,9 @@ mod tests {
         let from = RowBlock::new(n, n, p);
         let to = Mesh2D::new(n, n, 2, 2);
         let machine = Multicomputer::virtual_machine(p, MachineModel::ibm_sp2());
-        let owned =
-            run_scheme(SchemeKind::Ed, &machine, &a, &from, CompressKind::Crs).unwrap().locals;
+        let owned = run_scheme(SchemeKind::Ed, &machine, &a, &from, CompressKind::Crs)
+            .unwrap()
+            .locals;
         let run = redistribute(
             &machine,
             &owned,

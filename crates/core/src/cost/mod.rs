@@ -123,7 +123,7 @@ pub fn predict(
     };
     let lcells = lrows * lcols;
     let nnz_max = sm * lcells; // slowest part's nonzeros
-    // Count/pointer segments per part: rows for CRS, columns for CCS.
+                               // Count/pointer segments per part: rows for CRS, columns for CCS.
     let segs = match kind {
         CompressKind::Crs => lrows,
         CompressKind::Ccs => lcols,
@@ -149,7 +149,10 @@ pub fn predict(
                 dist += (cells + lcells) * m.t_op;
             }
             let comp = lcells * (1.0 + 3.0 * sm) * m.t_op;
-            SchemeCost { t_distribution: vt(dist), t_compression: vt(comp) }
+            SchemeCost {
+                t_distribution: vt(dist),
+                t_compression: vt(comp),
+            }
         }
         SchemeKind::Cfs => {
             // Wire and pack: every part's pointer array (segs + 1 entries)
@@ -159,7 +162,10 @@ pub fn predict(
             let unpack = (segs + 1.0) + (2.0 + conv) * nnz_max;
             let dist = p * m.t_startup + wire * m.t_data + (pack + unpack) * m.t_op;
             let comp = cells * (1.0 + 3.0 * s) * m.t_op;
-            SchemeCost { t_distribution: vt(dist), t_compression: vt(comp) }
+            SchemeCost {
+                t_distribution: vt(dist),
+                t_compression: vt(comp),
+            }
         }
         SchemeKind::Ed => {
             // Wire: every part's counts (segs entries) plus the pairs.
@@ -167,7 +173,10 @@ pub fn predict(
             let dist = p * m.t_startup + wire * m.t_data;
             let decode = 1.0 + segs + (2.0 + conv) * nnz_max;
             let comp = (cells * (1.0 + 3.0 * s) + decode) * m.t_op;
-            SchemeCost { t_distribution: vt(dist), t_compression: vt(comp) }
+            SchemeCost {
+                t_distribution: vt(dist),
+                t_compression: vt(comp),
+            }
         }
     }
 }
@@ -196,12 +205,9 @@ mod tests {
                 t_compression: vt(np * n * (1.0 + 3.0 * sm) * m.t_op),
             },
             Cfs => SchemeCost {
-                t_distribution: vt(
-                    p * m.t_startup
-                        + (2.0 * n * n * s + n + p) * m.t_data
-                        + (2.0 * n * n * s + np * n * (2.0 * sm + 1.0 / n) + n + p + 1.0)
-                            * m.t_op,
-                ),
+                t_distribution: vt(p * m.t_startup
+                    + (2.0 * n * n * s + n + p) * m.t_data
+                    + (2.0 * n * n * s + np * n * (2.0 * sm + 1.0 / n) + n + p + 1.0) * m.t_op),
                 t_compression: vt(n * n * (1.0 + 3.0 * s) * m.t_op),
             },
             Ed => SchemeCost {
@@ -271,8 +277,14 @@ mod tests {
                     let sfc = predict(Sfc, method, kind, &inp, &m);
                     let cfs = predict(Cfs, method, kind, &inp, &m);
                     let ed = predict(Ed, method, kind, &inp, &m);
-                    assert!(ed.t_distribution < cfs.t_distribution, "s={s} ratio={ratio}");
-                    assert!(ed.t_distribution < sfc.t_distribution, "s={s} ratio={ratio}");
+                    assert!(
+                        ed.t_distribution < cfs.t_distribution,
+                        "s={s} ratio={ratio}"
+                    );
+                    assert!(
+                        ed.t_distribution < sfc.t_distribution,
+                        "s={s} ratio={ratio}"
+                    );
                 }
             }
         }
@@ -331,7 +343,10 @@ mod tests {
         assert!(sfc.t_total() < cfs.t_total());
         assert!(sfc.t_total() < ed.t_total());
 
-        for method in [PartitionMethod::Column, PartitionMethod::Mesh { pr: 2, pc: 2 }] {
+        for method in [
+            PartitionMethod::Column,
+            PartitionMethod::Mesh { pr: 2, pc: 2 },
+        ] {
             let sfc = predict(Sfc, method, Crs, &inp, &m);
             let cfs = predict(Cfs, method, Crs, &inp, &m);
             let ed = predict(Ed, method, Crs, &inp, &m);
@@ -344,6 +359,12 @@ mod tests {
     #[should_panic(expected = "mesh grid")]
     fn bad_mesh_grid_panics() {
         let inp = CostInput::uniform(100, 4, 0.1);
-        let _ = predict(Sfc, PartitionMethod::Mesh { pr: 3, pc: 2 }, Crs, &inp, &sp2());
+        let _ = predict(
+            Sfc,
+            PartitionMethod::Mesh { pr: 3, pc: 2 },
+            Crs,
+            &inp,
+            &sp2(),
+        );
     }
 }

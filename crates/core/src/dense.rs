@@ -23,7 +23,11 @@ impl Dense2D {
     /// Zero dimensions are allowed: a ragged ceil-block partition can assign
     /// an empty local array to a trailing processor.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Dense2D { rows, cols, data: vec![0.0; rows * cols] }
+        Dense2D {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Build from a row-major data vector.
@@ -45,10 +49,19 @@ impl Dense2D {
         assert!(cols > 0, "need at least one column");
         let mut data = Vec::with_capacity(rows.len() * cols);
         for (i, r) in rows.iter().enumerate() {
-            assert_eq!(r.len(), cols, "row {i} has length {} but row 0 has {cols}", r.len());
+            assert_eq!(
+                r.len(),
+                cols,
+                "row {i} has length {} but row 0 has {cols}",
+                r.len()
+            );
             data.extend_from_slice(r);
         }
-        Dense2D { rows: rows.len(), cols, data }
+        Dense2D {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -77,7 +90,12 @@ impl Dense2D {
     /// Panics on out-of-bounds access.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of {}x{}", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of {}x{}",
+            self.rows,
+            self.cols
+        );
         self.data[r * self.cols + c]
     }
 
@@ -87,7 +105,12 @@ impl Dense2D {
     /// Panics on out-of-bounds access.
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: f64) {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of {}x{}", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of {}x{}",
+            self.rows,
+            self.cols
+        );
         self.data[r * self.cols + c] = v;
     }
 
@@ -119,9 +142,10 @@ impl Dense2D {
 
     /// Iterate `(row, col, value)` over nonzero cells in row-major order.
     pub fn iter_nonzero(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
-        self.data.iter().enumerate().filter_map(move |(i, &v)| {
-            (v != 0.0).then_some((i / self.cols, i % self.cols, v))
-        })
+        self.data
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, &v)| (v != 0.0).then_some((i / self.cols, i % self.cols, v)))
     }
 
     /// Copy the rectangular block `[r0, r0+h) × [c0, c0+w)` into a new array.
@@ -129,7 +153,10 @@ impl Dense2D {
     /// # Panics
     /// Panics if the block exceeds the bounds.
     pub fn block(&self, r0: usize, c0: usize, h: usize, w: usize) -> Dense2D {
-        assert!(r0 + h <= self.rows && c0 + w <= self.cols, "block out of bounds");
+        assert!(
+            r0 + h <= self.rows && c0 + w <= self.cols,
+            "block out of bounds"
+        );
         let mut out = Dense2D::zeros(h, w);
         for r in 0..h {
             let src = &self.data[(r0 + r) * self.cols + c0..(r0 + r) * self.cols + c0 + w];
@@ -141,7 +168,11 @@ impl Dense2D {
     /// Maximum absolute difference to `other` (for approximate comparisons
     /// after numeric pipelines).
     pub fn max_abs_diff(&self, other: &Dense2D) -> f64 {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "shape mismatch"
+        );
         self.data
             .iter()
             .zip(&other.data)
@@ -239,11 +270,7 @@ mod tests {
 
     #[test]
     fn block_extraction() {
-        let a = Dense2D::from_rows(&[
-            &[1., 2., 3.],
-            &[4., 5., 6.],
-            &[7., 8., 9.],
-        ]);
+        let a = Dense2D::from_rows(&[&[1., 2., 3.], &[4., 5., 6.], &[7., 8., 9.]]);
         let b = a.block(1, 1, 2, 2);
         assert_eq!(b, Dense2D::from_rows(&[&[5., 6.], &[8., 9.]]));
     }

@@ -166,25 +166,32 @@ pub fn decode_part_wire(
     let mut indices = Vec::new();
     let mut values = Vec::new();
     for seg in 0..outer {
-        let count = wire::read_count(&mut cursor, flags)
-            .map_err(|_| CompressError::PointerLength { expected: outer + 1, actual: seg + 1 })?;
+        let count =
+            wire::read_count(&mut cursor, flags).map_err(|_| CompressError::PointerLength {
+                expected: outer + 1,
+                actual: seg + 1,
+            })?;
         ops.tick(); // RO[i+1] = RO[i] + R_i
         pointer.push(pointer[seg] + count);
         run.reset();
         for _ in 0..count {
-            let travelling = run.next(&mut cursor).map_err(|_| CompressError::LengthMismatch {
-                pointer_total: pointer[seg] + count,
-                indices: indices.len(),
-                values: values.len(),
-            })?;
+            let travelling = run
+                .next(&mut cursor)
+                .map_err(|_| CompressError::LengthMismatch {
+                    pointer_total: pointer[seg] + count,
+                    indices: indices.len(),
+                    values: values.len(),
+                })?;
             ops.tick(); // move C_ij
             let local = converter.to_local(travelling, ops);
             indices.push(local);
-            let v = cursor.try_read_f64().map_err(|_| CompressError::LengthMismatch {
-                pointer_total: pointer[seg] + count,
-                indices: indices.len(),
-                values: values.len(),
-            })?;
+            let v = cursor
+                .try_read_f64()
+                .map_err(|_| CompressError::LengthMismatch {
+                    pointer_total: pointer[seg] + count,
+                    indices: indices.len(),
+                    values: values.len(),
+                })?;
             ops.tick(); // move V_ij
             values.push(v);
         }
@@ -268,7 +275,8 @@ mod tests {
         for part in &parts {
             for kind in [CompressKind::Crs, CompressKind::Ccs] {
                 for pid in 0..part.nparts() {
-                    let buf = encode_part(&a, part.as_ref(), pid, kind, &mut OpCounter::new()).unwrap();
+                    let buf =
+                        encode_part(&a, part.as_ref(), pid, kind, &mut OpCounter::new()).unwrap();
                     let got =
                         decode_part(&buf, part.as_ref(), pid, kind, &mut OpCounter::new()).unwrap();
                     assert_eq!(
@@ -325,7 +333,8 @@ mod tests {
         let a = paper_array_a();
         let part = ColBlock::new(10, 8, 4);
         for pid in 0..4 {
-            let buf = encode_part(&a, &part, pid, CompressKind::Crs, &mut OpCounter::new()).unwrap();
+            let buf =
+                encode_part(&a, &part, pid, CompressKind::Crs, &mut OpCounter::new()).unwrap();
             let nnz = part.nnz_profile(&a).per_part[pid] as u64;
             // CRS over a column part: 10 rows per part.
             assert_eq!(buf.elem_count(), 10 + 2 * nnz);
@@ -430,7 +439,11 @@ mod tests {
                     let from_v1 =
                         decode_part(&v1, part.as_ref(), pid, kind, &mut v1_dec_ops).unwrap();
                     assert_eq!(from_v2, from_v1, "decoded state is format-free");
-                    assert_eq!(v2_dec_ops.get(), v1_dec_ops.get(), "decode ops are format-free");
+                    assert_eq!(
+                        v2_dec_ops.get(),
+                        v1_dec_ops.get(),
+                        "decode ops are format-free"
+                    );
                 }
             }
         }
@@ -441,8 +454,14 @@ mod tests {
         let a = paper_array_a();
         let part = RowBlock::new(10, 8, 4);
         let v1 = encode_part(&a, &part, 0, CompressKind::Crs, &mut OpCounter::new()).unwrap();
-        let err = decode_part_wire(&v1, &part, 0, CompressKind::Crs, WireFormat::V2,
-                                   &mut OpCounter::new());
+        let err = decode_part_wire(
+            &v1,
+            &part,
+            0,
+            CompressKind::Crs,
+            WireFormat::V2,
+            &mut OpCounter::new(),
+        );
         assert!(
             matches!(err, Err(CompressError::WireHeader { .. })),
             "a v1 stream read as v2 must fail on the header, got {err:?}"

@@ -121,10 +121,20 @@ pub fn gather_global(
     strategy: GatherStrategy,
 ) -> Result<GatherRun, SparsedistError> {
     let p = machine.nprocs();
-    assert_eq!(part.nparts(), p, "partition has {} parts, machine {p}", part.nparts());
+    assert_eq!(
+        part.nparts(),
+        p,
+        "partition has {} parts, machine {p}",
+        part.nparts()
+    );
     assert_eq!(locals.len(), p, "need one local array per processor");
     for (pid, l) in locals.iter().enumerate() {
-        assert_eq!(l.kind(), kind, "local array {pid} is {} but gather kind is {kind}", l.kind());
+        assert_eq!(
+            l.kind(),
+            kind,
+            "local array {pid} is {} but gather kind is {kind}",
+            l.kind()
+        );
     }
     let (grows, gcols) = part.global_shape();
     if machine.fault_plan().is_some_and(|pl| pl.is_dead(0)) {
@@ -133,211 +143,213 @@ pub fn gather_global(
     let owners = assign_owners(part, &alive_ranks_of(machine));
     let owners_ref = &owners;
 
-    let (globals, ledgers) = machine.run_with_ledgers(
-        |env| -> Result<Option<LocalCompressed>, SparsedistError> {
-        let me = env.rank();
-        if env.is_rank_dead(me) {
-            return Ok(None);
-        }
+    let (globals, ledgers) =
+        machine.run_with_ledgers(|env| -> Result<Option<LocalCompressed>, SparsedistError> {
+            let me = env.rank();
+            if env.is_rank_dead(me) {
+                return Ok(None);
+            }
 
-        // Sender side: build and ship one buffer per owned part (exactly
-        // one — this rank's own — when every rank is alive).
-        let mine: Vec<usize> = (0..p).filter(|&pid| owners_ref[pid] == me).collect();
-        for &pid in &mine {
-        let buf = env.phase(Phase::Pack, |env| {
+            // Sender side: build and ship one buffer per owned part (exactly
+            // one — this rank's own — when every rank is alive).
+            let mine: Vec<usize> = (0..p).filter(|&pid| owners_ref[pid] == me).collect();
+            for &pid in &mine {
+                let buf = env.phase(Phase::Pack, |env| {
+                    let mut ops = OpCounter::new();
+                    let buf = match strategy {
+                        GatherStrategy::Dense => {
+                            let dense = locals[pid].to_dense();
+                            let (lr, lc) = (dense.rows(), dense.cols());
+                            let mut buf = PackBuffer::with_capacity(lr * lc);
+                            for r in 0..lr {
+                                buf.push_f64_slice(dense.row(r));
+                            }
+                            // Expansion cost: one op per cell written.
+                            ops.add((lr * lc) as u64);
+                            buf
+                        }
+                        GatherStrategy::Compressed => {
+                            // Ship count + (travelling-global index, value) runs per
+                            // segment pointer, i.e. the CFS layout in reverse:
+                            // pointer array then indices (globalised) then values.
+                            let mut buf = PackBuffer::new();
+                            match &locals[pid] {
+                                LocalCompressed::Crs(a) => {
+                                    buf.push_usize_slice(a.ro());
+                                    ops.add(a.ro().len() as u64);
+                                    for (lr, lc, _) in a.iter() {
+                                        let g = globalise(part, pid, kind, lr, lc, &mut ops);
+                                        buf.push_u64(g as u64);
+                                        ops.tick();
+                                    }
+                                    buf.push_f64_slice(a.vl());
+                                    ops.add(a.vl().len() as u64);
+                                }
+                                LocalCompressed::Ccs(a) => {
+                                    buf.push_usize_slice(a.cp());
+                                    ops.add(a.cp().len() as u64);
+                                    for (lr, lc, _) in a.iter() {
+                                        let g = globalise(part, pid, kind, lr, lc, &mut ops);
+                                        buf.push_u64(g as u64);
+                                        ops.tick();
+                                    }
+                                    buf.push_f64_slice(a.vl());
+                                    ops.add(a.vl().len() as u64);
+                                }
+                            }
+                            buf
+                        }
+                        GatherStrategy::Encoded => {
+                            // ED layout per segment: count, then (global index,
+                            // value) pairs.
+                            let mut buf = PackBuffer::new();
+                            match &locals[pid] {
+                                LocalCompressed::Crs(a) => {
+                                    for r in 0..a.rows() {
+                                        buf.push_u64(a.row_nnz(r) as u64);
+                                        ops.tick();
+                                        for (&c, &v) in a.row_cols(r).iter().zip(a.row_vals(r)) {
+                                            let g = globalise(part, pid, kind, r, c, &mut ops);
+                                            buf.push_u64(g as u64);
+                                            buf.push_f64(v);
+                                            ops.add(2);
+                                        }
+                                    }
+                                }
+                                LocalCompressed::Ccs(a) => {
+                                    for c in 0..a.cols() {
+                                        buf.push_u64(a.col_nnz(c) as u64);
+                                        ops.tick();
+                                        for (&r, &v) in a.col_rows(c).iter().zip(a.col_vals(c)) {
+                                            let g = globalise(part, pid, kind, r, c, &mut ops);
+                                            buf.push_u64(g as u64);
+                                            buf.push_f64(v);
+                                            ops.add(2);
+                                        }
+                                    }
+                                }
+                            }
+                            buf
+                        }
+                    };
+                    env.charge_ops(ops.take());
+                    buf
+                });
+                env.phase(Phase::Send, |env| env.send(0, buf))?;
+            }
+
+            if me != 0 {
+                return Ok(None);
+            }
+
+            // Source side: merge one message per part (arriving from each
+            // part's owner) into global triplets.
+            let mut trips: Vec<(usize, usize, f64)> = Vec::new();
             let mut ops = OpCounter::new();
-            let buf = match strategy {
-                GatherStrategy::Dense => {
-                    let dense = locals[pid].to_dense();
-                    let (lr, lc) = (dense.rows(), dense.cols());
-                    let mut buf = PackBuffer::with_capacity(lr * lc);
-                    for r in 0..lr {
-                        buf.push_f64_slice(dense.row(r));
-                    }
-                    // Expansion cost: one op per cell written.
-                    ops.add((lr * lc) as u64);
-                    buf
-                }
-                GatherStrategy::Compressed => {
-                    // Ship count + (travelling-global index, value) runs per
-                    // segment pointer, i.e. the CFS layout in reverse:
-                    // pointer array then indices (globalised) then values.
-                    let mut buf = PackBuffer::new();
-                    match &locals[pid] {
-                        LocalCompressed::Crs(a) => {
-                            buf.push_usize_slice(a.ro());
-                            ops.add(a.ro().len() as u64);
-                            for (lr, lc, _) in a.iter() {
-                                let g = globalise(part, pid, kind, lr, lc, &mut ops);
-                                buf.push_u64(g as u64);
-                                ops.tick();
-                            }
-                            buf.push_f64_slice(a.vl());
-                            ops.add(a.vl().len() as u64);
-                        }
-                        LocalCompressed::Ccs(a) => {
-                            buf.push_usize_slice(a.cp());
-                            ops.add(a.cp().len() as u64);
-                            for (lr, lc, _) in a.iter() {
-                                let g = globalise(part, pid, kind, lr, lc, &mut ops);
-                                buf.push_u64(g as u64);
-                                ops.tick();
-                            }
-                            buf.push_f64_slice(a.vl());
-                            ops.add(a.vl().len() as u64);
-                        }
-                    }
-                    buf
-                }
-                GatherStrategy::Encoded => {
-                    // ED layout per segment: count, then (global index,
-                    // value) pairs.
-                    let mut buf = PackBuffer::new();
-                    match &locals[pid] {
-                        LocalCompressed::Crs(a) => {
-                            for r in 0..a.rows() {
-                                buf.push_u64(a.row_nnz(r) as u64);
-                                ops.tick();
-                                for (&c, &v) in a.row_cols(r).iter().zip(a.row_vals(r)) {
-                                    let g = globalise(part, pid, kind, r, c, &mut ops);
-                                    buf.push_u64(g as u64);
-                                    buf.push_f64(v);
-                                    ops.add(2);
+            for (src, &owner) in owners_ref.iter().enumerate().take(p) {
+                let msg = env.recv(owner)?;
+                env.phase(Phase::Unpack, |_env| -> Result<(), SparsedistError> {
+                    let mut cursor = msg.payload.cursor();
+                    let (lrows, lcols) = part.local_shape(src);
+                    match strategy {
+                        GatherStrategy::Dense => {
+                            for lr in 0..lrows {
+                                for lc in 0..lcols {
+                                    let v = cursor.try_read_f64()?;
+                                    ops.tick();
+                                    if v != 0.0 {
+                                        let (gr, gc) = part.to_global(src, lr, lc);
+                                        trips.push((gr, gc, v));
+                                        ops.add(2);
+                                    }
                                 }
                             }
                         }
-                        LocalCompressed::Ccs(a) => {
-                            for c in 0..a.cols() {
-                                buf.push_u64(a.col_nnz(c) as u64);
-                                ops.tick();
-                                for (&r, &v) in a.col_rows(c).iter().zip(a.col_vals(c)) {
-                                    let g = globalise(part, pid, kind, r, c, &mut ops);
-                                    buf.push_u64(g as u64);
-                                    buf.push_f64(v);
-                                    ops.add(2);
+                        GatherStrategy::Compressed => {
+                            let nsegs = match kind {
+                                CompressKind::Crs => lrows,
+                                CompressKind::Ccs => lcols,
+                            };
+                            let pointer = cursor.try_read_usize_vec(nsegs + 1)?;
+                            ops.add((nsegs + 1) as u64);
+                            let nnz = pointer[nsegs];
+                            let travelling = cursor.try_read_usize_vec(nnz)?;
+                            let values = cursor.try_read_f64_vec(nnz)?;
+                            ops.add(2 * nnz as u64);
+                            let mut k = 0;
+                            for seg in 0..nsegs {
+                                for _ in pointer[seg]..pointer[seg + 1] {
+                                    let (gr, gc) = match kind {
+                                        CompressKind::Crs => {
+                                            let (gr, _) = part.to_global(src, seg, 0);
+                                            (gr, travelling[k])
+                                        }
+                                        CompressKind::Ccs => {
+                                            let (_, gc) = part.to_global(src, 0, seg);
+                                            (travelling[k], gc)
+                                        }
+                                    };
+                                    trips.push((gr, gc, values[k]));
+                                    ops.tick();
+                                    k += 1;
                                 }
                             }
                         }
-                    }
-                    buf
-                }
-            };
-            env.charge_ops(ops.take());
-            buf
-        });
-        env.phase(Phase::Send, |env| env.send(0, buf))?;
-        }
-
-        if me != 0 {
-            return Ok(None);
-        }
-
-        // Source side: merge one message per part (arriving from each
-        // part's owner) into global triplets.
-        let mut trips: Vec<(usize, usize, f64)> = Vec::new();
-        let mut ops = OpCounter::new();
-        for (src, &owner) in owners_ref.iter().enumerate().take(p) {
-            let msg = env.recv(owner)?;
-            env.phase(Phase::Unpack, |_env| -> Result<(), SparsedistError> {
-                let mut cursor = msg.payload.cursor();
-                let (lrows, lcols) = part.local_shape(src);
-                match strategy {
-                    GatherStrategy::Dense => {
-                        for lr in 0..lrows {
-                            for lc in 0..lcols {
-                                let v = cursor.try_read_f64()?;
+                        GatherStrategy::Encoded => {
+                            let nsegs = match kind {
+                                CompressKind::Crs => lrows,
+                                CompressKind::Ccs => lcols,
+                            };
+                            for seg in 0..nsegs {
+                                let count = cursor.try_read_usize()?;
                                 ops.tick();
-                                if v != 0.0 {
-                                    let (gr, gc) = part.to_global(src, lr, lc);
+                                for _ in 0..count {
+                                    let g = cursor.try_read_usize()?;
+                                    let v = cursor.try_read_f64()?;
+                                    ops.add(2);
+                                    let (gr, gc) = match kind {
+                                        CompressKind::Crs => {
+                                            let (gr, _) = part.to_global(src, seg, 0);
+                                            (gr, g)
+                                        }
+                                        CompressKind::Ccs => {
+                                            let (_, gc) = part.to_global(src, 0, seg);
+                                            (g, gc)
+                                        }
+                                    };
                                     trips.push((gr, gc, v));
-                                    ops.add(2);
+                                    ops.tick();
                                 }
                             }
                         }
                     }
-                    GatherStrategy::Compressed => {
-                        let nsegs = match kind {
-                            CompressKind::Crs => lrows,
-                            CompressKind::Ccs => lcols,
-                        };
-                        let pointer = cursor.try_read_usize_vec(nsegs + 1)?;
-                        ops.add((nsegs + 1) as u64);
-                        let nnz = pointer[nsegs];
-                        let travelling = cursor.try_read_usize_vec(nnz)?;
-                        let values = cursor.try_read_f64_vec(nnz)?;
-                        ops.add(2 * nnz as u64);
-                        let mut k = 0;
-                        for seg in 0..nsegs {
-                            for _ in pointer[seg]..pointer[seg + 1] {
-                                let (gr, gc) = match kind {
-                                    CompressKind::Crs => {
-                                        let (gr, _) = part.to_global(src, seg, 0);
-                                        (gr, travelling[k])
-                                    }
-                                    CompressKind::Ccs => {
-                                        let (_, gc) = part.to_global(src, 0, seg);
-                                        (travelling[k], gc)
-                                    }
-                                };
-                                trips.push((gr, gc, values[k]));
-                                ops.tick();
-                                k += 1;
-                            }
+                    if !cursor.is_exhausted() {
+                        return Err(UnpackError {
+                            at: 0,
+                            remaining: cursor.remaining(),
                         }
+                        .into());
                     }
-                    GatherStrategy::Encoded => {
-                        let nsegs = match kind {
-                            CompressKind::Crs => lrows,
-                            CompressKind::Ccs => lcols,
-                        };
-                        for seg in 0..nsegs {
-                            let count = cursor.try_read_usize()?;
-                            ops.tick();
-                            for _ in 0..count {
-                                let g = cursor.try_read_usize()?;
-                                let v = cursor.try_read_f64()?;
-                                ops.add(2);
-                                let (gr, gc) = match kind {
-                                    CompressKind::Crs => {
-                                        let (gr, _) = part.to_global(src, seg, 0);
-                                        (gr, g)
-                                    }
-                                    CompressKind::Ccs => {
-                                        let (_, gc) = part.to_global(src, 0, seg);
-                                        (g, gc)
-                                    }
-                                };
-                                trips.push((gr, gc, v));
-                                ops.tick();
-                            }
-                        }
-                    }
-                }
-                if !cursor.is_exhausted() {
-                    return Err(
-                        UnpackError { at: 0, remaining: cursor.remaining() }.into()
-                    );
-                }
-                Ok(())
-            })?;
-        }
-        env.phase(Phase::Unpack, |env| env.charge_ops(ops.take()));
+                    Ok(())
+                })?;
+            }
+            env.phase(Phase::Unpack, |env| env.charge_ops(ops.take()));
 
-        // Build the global compressed array.
-        Ok(Some(env.phase(Phase::Compress, |env| {
-            let mut ops = OpCounter::new();
-            let global = match kind {
-                CompressKind::Crs => {
-                    LocalCompressed::Crs(Crs::from_triplets(grows, gcols, &trips, &mut ops))
-                }
-                CompressKind::Ccs => {
-                    LocalCompressed::Ccs(Ccs::from_triplets(grows, gcols, &trips, &mut ops))
-                }
-            };
-            env.charge_ops(ops.take());
-            global
-        })))
-    });
+            // Build the global compressed array.
+            Ok(Some(env.phase(Phase::Compress, |env| {
+                let mut ops = OpCounter::new();
+                let global = match kind {
+                    CompressKind::Crs => {
+                        LocalCompressed::Crs(Crs::from_triplets(grows, gcols, &trips, &mut ops))
+                    }
+                    CompressKind::Ccs => {
+                        LocalCompressed::Ccs(Ccs::from_triplets(grows, gcols, &trips, &mut ops))
+                    }
+                };
+                env.charge_ops(ops.take());
+                global
+            })))
+        });
 
     let mut iter = globals.into_iter();
     let global = match iter.next() {
@@ -350,7 +362,11 @@ pub fn gather_global(
         Some(Err(e)) => return Err(e),
         _ => unreachable!("rank 0 is alive and returns the global array"),
     };
-    Ok(GatherRun { strategy, ledgers, global })
+    Ok(GatherRun {
+        strategy,
+        ledgers,
+        global,
+    })
 }
 
 #[cfg(test)]
@@ -382,9 +398,8 @@ mod tests {
                     GatherStrategy::Compressed,
                     GatherStrategy::Encoded,
                 ] {
-                    let g =
-                        gather_global(&machine(4), &run.locals, part.as_ref(), kind, strategy)
-                            .unwrap();
+                    let g = gather_global(&machine(4), &run.locals, part.as_ref(), kind, strategy)
+                        .unwrap();
                     assert_eq!(
                         g.global.to_dense(),
                         a,
@@ -403,9 +418,14 @@ mod tests {
         let a = paper_array_a();
         let part = RowBlock::new(10, 8, 4);
         let run = run_scheme(SchemeKind::Ed, &machine(4), &a, &part, CompressKind::Crs).unwrap();
-        let dense =
-            gather_global(&machine(4), &run.locals, &part, CompressKind::Crs, GatherStrategy::Dense)
-                .unwrap();
+        let dense = gather_global(
+            &machine(4),
+            &run.locals,
+            &part,
+            CompressKind::Crs,
+            GatherStrategy::Dense,
+        )
+        .unwrap();
         let enc = gather_global(
             &machine(4),
             &run.locals,
@@ -415,7 +435,10 @@ mod tests {
         )
         .unwrap();
         let send = |g: &GatherRun| -> f64 {
-            g.ledgers.iter().map(|l| l.get(Phase::Send).as_micros()).sum()
+            g.ledgers
+                .iter()
+                .map(|l| l.get(Phase::Send).as_micros())
+                .sum()
         };
         assert!(send(&enc) < send(&dense));
     }
@@ -444,7 +467,10 @@ mod tests {
         )
         .unwrap();
         let send = |g: &GatherRun| -> f64 {
-            g.ledgers.iter().map(|l| l.get(Phase::Send).as_micros()).sum()
+            g.ledgers
+                .iter()
+                .map(|l| l.get(Phase::Send).as_micros())
+                .sum()
         };
         assert!(send(&enc) < send(&comp));
     }
@@ -453,8 +479,7 @@ mod tests {
     fn gather_of_empty_array() {
         let a = crate::dense::Dense2D::zeros(12, 12);
         let part = RowBlock::new(12, 12, 4);
-        let run =
-            run_scheme(SchemeKind::Cfs, &machine(4), &a, &part, CompressKind::Crs).unwrap();
+        let run = run_scheme(SchemeKind::Cfs, &machine(4), &a, &part, CompressKind::Crs).unwrap();
         let g = gather_global(
             &machine(4),
             &run.locals,

@@ -86,9 +86,9 @@ pub mod wire;
 pub use compress::{Ccs, CompressKind, Coo, Crs, LocalCompressed};
 pub use dense::Dense2D;
 pub use error::SparsedistError;
+pub use gather::{gather_global, GatherRun, GatherStrategy};
 pub use opcount::OpCounter;
 pub use partition::{ColBlock, Mesh2D, Partition, RowBlock};
-pub use gather::{gather_global, GatherRun, GatherStrategy};
 pub use redistribute::{redistribute, RedistRun, RedistStrategy};
 pub use schemes::{run_scheme, run_scheme_with, SchemeConfig, SchemeKind, SchemeRun};
 pub use wire::WireFormat;

@@ -42,7 +42,15 @@ impl BalancedRows {
             local_of[r] = rows_of[part].len();
             rows_of[part].push(r);
         }
-        BalancedRows { rows: a.rows(), cols: a.cols(), p, contiguous, owner, local_of, rows_of }
+        BalancedRows {
+            rows: a.rows(),
+            cols: a.cols(),
+            p,
+            contiguous,
+            owner,
+            local_of,
+            rows_of,
+        }
     }
 
     /// Contiguous variable-height row bands with ≈ equal nonzero counts.
@@ -234,7 +242,10 @@ mod tests {
         use sparsedist_multicomputer::{MachineModel, Multicomputer};
         let a = skewed(24, 12);
         let machine = Multicomputer::virtual_machine(4, MachineModel::ibm_sp2());
-        for part in [BalancedRows::contiguous(&a, 4), BalancedRows::bin_packed(&a, 4)] {
+        for part in [
+            BalancedRows::contiguous(&a, 4),
+            BalancedRows::bin_packed(&a, 4),
+        ] {
             for scheme in SchemeKind::ALL {
                 for kind in [CompressKind::Crs, CompressKind::Ccs] {
                     let run = run_scheme(scheme, &machine, &a, &part, kind).unwrap();

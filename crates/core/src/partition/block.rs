@@ -203,7 +203,10 @@ impl Partition for Mesh2D {
 
     fn local_shape(&self, part: usize) -> (usize, usize) {
         let (i, j) = self.grid_coords(part);
-        (block_extent(self.rows, self.pr, i), block_extent(self.cols, self.pc, j))
+        (
+            block_extent(self.rows, self.pr, i),
+            block_extent(self.cols, self.pc, j),
+        )
     }
 
     fn owner_of(&self, r: usize, c: usize) -> usize {
@@ -258,7 +261,14 @@ mod tests {
 
     #[test]
     fn row_block_laws() {
-        for (rows, cols, p) in [(10, 8, 4), (9, 4, 4), (16, 16, 4), (7, 3, 7), (5, 5, 1), (3, 3, 5)] {
+        for (rows, cols, p) in [
+            (10, 8, 4),
+            (9, 4, 4),
+            (16, 16, 4),
+            (7, 3, 7),
+            (5, 5, 1),
+            (3, 3, 5),
+        ] {
             check_laws(&RowBlock::new(rows, cols, p));
         }
     }
@@ -272,7 +282,13 @@ mod tests {
 
     #[test]
     fn mesh_laws() {
-        for (rows, cols, pr, pc) in [(10, 8, 2, 2), (12, 12, 3, 4), (9, 7, 4, 2), (6, 6, 1, 3), (5, 5, 5, 5)] {
+        for (rows, cols, pr, pc) in [
+            (10, 8, 2, 2),
+            (12, 12, 3, 4),
+            (9, 7, 4, 2),
+            (6, 6, 1, 3),
+            (5, 5, 5, 5),
+        ] {
             check_laws(&Mesh2D::new(rows, cols, pr, pc));
         }
     }

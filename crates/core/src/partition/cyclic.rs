@@ -49,7 +49,11 @@ impl Partition for RowCyclic {
     fn local_shape(&self, part: usize) -> (usize, usize) {
         assert!(part < self.p);
         // Rows r with r % p == part: count = ceil((rows - part) / p).
-        let nrows = if part < self.rows { ceil_div(self.rows - part, self.p) } else { 0 };
+        let nrows = if part < self.rows {
+            ceil_div(self.rows - part, self.p)
+        } else {
+            0
+        };
         (nrows, self.cols)
     }
 
@@ -120,7 +124,11 @@ impl Partition for ColCyclic {
 
     fn local_shape(&self, part: usize) -> (usize, usize) {
         assert!(part < self.p);
-        let ncols = if part < self.cols { ceil_div(self.cols - part, self.p) } else { 0 };
+        let ncols = if part < self.cols {
+            ceil_div(self.cols - part, self.p)
+        } else {
+            0
+        };
         (self.rows, ncols)
     }
 
@@ -177,7 +185,14 @@ impl BlockCyclic {
         assert!(rows > 0 && cols > 0, "array dimensions must be positive");
         assert!(br > 0 && bc > 0, "block dimensions must be positive");
         assert!(pr > 0 && pc > 0, "grid dimensions must be positive");
-        BlockCyclic { rows, cols, br, bc, pr, pc }
+        BlockCyclic {
+            rows,
+            cols,
+            br,
+            bc,
+            pr,
+            pc,
+        }
     }
 
     /// Local extent along one dimension: how many of `len` indices land on
@@ -189,7 +204,6 @@ impl BlockCyclic {
         let extra = rem.saturating_sub(g * b).min(b);
         full_cycles * b + extra
     }
-
 }
 
 impl Partition for BlockCyclic {

@@ -160,12 +160,28 @@ pub(crate) mod lawtests {
         for r in 0..rows {
             for c in 0..cols {
                 let (part, lr, lc) = p.to_local(r, c);
-                assert_eq!(part, p.owner_of(r, c), "to_local/owner_of disagree at ({r},{c})");
+                assert_eq!(
+                    part,
+                    p.owner_of(r, c),
+                    "to_local/owner_of disagree at ({r},{c})"
+                );
                 let (lr_max, lc_max) = p.local_shape(part);
                 assert!(lr < lr_max && lc < lc_max, "local index out of local shape");
-                assert_eq!(p.to_global(part, lr, lc), (r, c), "round trip failed at ({r},{c})");
-                assert_eq!(p.row_to_local(part, r), lr, "row_to_local inconsistent at ({r},{c})");
-                assert_eq!(p.col_to_local(part, c), lc, "col_to_local inconsistent at ({r},{c})");
+                assert_eq!(
+                    p.to_global(part, lr, lc),
+                    (r, c),
+                    "round trip failed at ({r},{c})"
+                );
+                assert_eq!(
+                    p.row_to_local(part, r),
+                    lr,
+                    "row_to_local inconsistent at ({r},{c})"
+                );
+                assert_eq!(
+                    p.col_to_local(part, c),
+                    lc,
+                    "col_to_local inconsistent at ({r},{c})"
+                );
                 seen[part] += 1;
             }
         }
@@ -173,7 +189,11 @@ pub(crate) mod lawtests {
         let mut total = 0usize;
         for (part, &seen_cells) in seen.iter().enumerate() {
             let (lr, lc) = p.local_shape(part);
-            assert_eq!(seen_cells, lr * lc, "part {part} shape does not match owned cells");
+            assert_eq!(
+                seen_cells,
+                lr * lc,
+                "part {part} shape does not match owned cells"
+            );
             total += lr * lc;
         }
         assert_eq!(total, rows * cols, "parts must tile the global array");

@@ -97,7 +97,10 @@ fn unpack_bucket(
     }
     if !cursor.is_exhausted() {
         // Longer than its own header describes: a framing mismatch.
-        return Err(UnpackError { at: (1 + 3 * n) * 8, remaining: cursor.remaining() });
+        return Err(UnpackError {
+            at: (1 + 3 * n) * 8,
+            remaining: cursor.remaining(),
+        });
     }
     Ok(out)
 }
@@ -151,12 +154,8 @@ fn build_local(
         ops.add(2);
     }
     match kind {
-        CompressKind::Crs => {
-            LocalCompressed::Crs(Crs::from_triplets(lrows, lcols, &trips, ops))
-        }
-        CompressKind::Ccs => {
-            LocalCompressed::Ccs(Ccs::from_triplets(lrows, lcols, &trips, ops))
-        }
+        CompressKind::Crs => LocalCompressed::Crs(Crs::from_triplets(lrows, lcols, &trips, ops)),
+        CompressKind::Ccs => LocalCompressed::Ccs(Ccs::from_triplets(lrows, lcols, &trips, ops)),
     }
 }
 
@@ -204,9 +203,23 @@ pub fn redistribute(
     strategy: RedistStrategy,
 ) -> Result<RedistRun, SparsedistError> {
     let p = machine.nprocs();
-    assert_eq!(from.nparts(), p, "source partition has {} parts, machine {p}", from.nparts());
-    assert_eq!(to.nparts(), p, "target partition has {} parts, machine {p}", to.nparts());
-    assert_eq!(from.global_shape(), to.global_shape(), "partitions describe different arrays");
+    assert_eq!(
+        from.nparts(),
+        p,
+        "source partition has {} parts, machine {p}",
+        from.nparts()
+    );
+    assert_eq!(
+        to.nparts(),
+        p,
+        "target partition has {} parts, machine {p}",
+        to.nparts()
+    );
+    assert_eq!(
+        from.global_shape(),
+        to.global_shape(),
+        "partitions describe different arrays"
+    );
     assert_eq!(locals.len(), p, "need one local array per processor");
 
     let alive = alive_ranks_of(machine);
@@ -217,145 +230,151 @@ pub fn redistribute(
 
     let (results, ledgers) = machine.run_with_ledgers(
         |env| -> Result<Vec<(usize, LocalCompressed)>, SparsedistError> {
-        let me = env.rank();
-        if env.is_rank_dead(me) {
-            return Ok(Vec::new());
-        }
-        // Bucket every nonzero this rank holds (all its owned `from`
-        // parts — exactly its own when every rank is alive) by target pid.
-        let from_mine: Vec<usize> = (0..p).filter(|&pid| from_ref[pid] == me).collect();
-        let buckets = env.phase(Phase::Pack, |env| {
-            let mut ops = OpCounter::new();
-            let mut buckets: Vec<Vec<(usize, usize, f64)>> = vec![Vec::new(); p];
-            for &fpid in &from_mine {
-                for (tpid, b) in bucket_by_new_owner(fpid, &locals[fpid], from, to, p, &mut ops)
-                    .into_iter()
-                    .enumerate()
-                {
-                    buckets[tpid].extend(b);
-                }
+            let me = env.rank();
+            if env.is_rank_dead(me) {
+                return Ok(Vec::new());
             }
-            env.charge_ops(ops.take());
-            buckets
-        });
-        let to_mine: Vec<usize> = (0..p).filter(|&pid| to_ref[pid] == me).collect();
-
-        let mut incoming: Vec<Vec<(usize, usize, f64)>> = vec![Vec::new(); to_mine.len()];
-        match strategy {
-            RedistStrategy::Direct => {
-                // All-to-all: pack + send one bucket per target part, to
-                // whichever rank owns it.
-                let bufs: Vec<PackBuffer> = env.phase(Phase::Pack, |env| {
-                    let mut ops = OpCounter::new();
-                    let bufs = buckets.iter().map(|b| pack_bucket(b, &mut ops)).collect();
-                    env.charge_ops(ops.take());
-                    bufs
-                });
-                env.phase(Phase::Send, |env| -> Result<(), SparsedistError> {
-                    for (tpid, buf) in bufs.into_iter().enumerate() {
-                        env.send(to_ref[tpid], buf)?;
-                    }
-                    Ok(())
-                })?;
-                for (slot, _tpid) in to_mine.iter().enumerate() {
-                    for &src in alive_ref {
-                        let msg = env.recv(src)?;
-                        let got = env.phase(Phase::Unpack, |env| {
-                            let mut ops = OpCounter::new();
-                            let got = unpack_bucket(&msg.payload, &mut ops);
-                            env.charge_ops(ops.take());
-                            got
-                        })?;
-                        incoming[slot].extend(got);
+            // Bucket every nonzero this rank holds (all its owned `from`
+            // parts — exactly its own when every rank is alive) by target pid.
+            let from_mine: Vec<usize> = (0..p).filter(|&pid| from_ref[pid] == me).collect();
+            let buckets = env.phase(Phase::Pack, |env| {
+                let mut ops = OpCounter::new();
+                let mut buckets: Vec<Vec<(usize, usize, f64)>> = vec![Vec::new(); p];
+                for &fpid in &from_mine {
+                    for (tpid, b) in bucket_by_new_owner(fpid, &locals[fpid], from, to, p, &mut ops)
+                        .into_iter()
+                        .enumerate()
+                    {
+                        buckets[tpid].extend(b);
                     }
                 }
-            }
-            RedistStrategy::ViaSource => {
-                // Leg 1: everyone ships all triplets to the hub, tagged by
-                // destination (p buckets concatenated with headers).
-                let buf = env.phase(Phase::Pack, |env| {
-                    let mut ops = OpCounter::new();
-                    let mut buf = PackBuffer::new();
-                    for b in &buckets {
-                        let packed = pack_bucket(b, &mut ops);
-                        // Concatenate: count + triplets per destination.
-                        let mut cursor = packed.cursor();
-                        let n = cursor.read_u64();
-                        buf.push_u64(n);
-                        for _ in 0..n {
-                            buf.push_u64(cursor.read_u64());
-                            buf.push_u64(cursor.read_u64());
-                            buf.push_f64(cursor.read_f64());
-                        }
-                    }
-                    env.charge_ops(ops.take());
-                    buf
-                });
-                env.phase(Phase::Send, |env| env.send(hub, buf))?;
+                env.charge_ops(ops.take());
+                buckets
+            });
+            let to_mine: Vec<usize> = (0..p).filter(|&pid| to_ref[pid] == me).collect();
 
-                if me == hub {
-                    // Hub: merge the per-destination streams and forward.
-                    let mut forward: Vec<Vec<(usize, usize, f64)>> = vec![Vec::new(); p];
-                    let mut ops = OpCounter::new();
-                    for &src in alive_ref {
-                        let msg = env.recv(src)?;
-                        let merge = |cursor: &mut sparsedist_multicomputer::pack::UnpackCursor,
-                                     forward: &mut Vec<Vec<(usize, usize, f64)>>,
-                                     ops: &mut OpCounter|
-                         -> Result<(), UnpackError> {
-                            for fwd in forward.iter_mut() {
-                                let n = cursor.try_read_usize()?;
-                                for _ in 0..n {
-                                    let r = cursor.try_read_usize()?;
-                                    let c = cursor.try_read_usize()?;
-                                    let v = cursor.try_read_f64()?;
-                                    ops.add(3);
-                                    fwd.push((r, c, v));
-                                }
-                            }
-                            Ok(())
-                        };
-                        let mut cursor = msg.payload.cursor();
-                        merge(&mut cursor, &mut forward, &mut ops)?;
-                    }
-                    let bufs: Vec<PackBuffer> =
-                        forward.iter().map(|b| pack_bucket(b, &mut ops)).collect();
-                    env.phase(Phase::Unpack, |env| env.charge_ops(ops.take()));
+            let mut incoming: Vec<Vec<(usize, usize, f64)>> = vec![Vec::new(); to_mine.len()];
+            match strategy {
+                RedistStrategy::Direct => {
+                    // All-to-all: pack + send one bucket per target part, to
+                    // whichever rank owns it.
+                    let bufs: Vec<PackBuffer> = env.phase(Phase::Pack, |env| {
+                        let mut ops = OpCounter::new();
+                        let bufs = buckets.iter().map(|b| pack_bucket(b, &mut ops)).collect();
+                        env.charge_ops(ops.take());
+                        bufs
+                    });
                     env.phase(Phase::Send, |env| -> Result<(), SparsedistError> {
                         for (tpid, buf) in bufs.into_iter().enumerate() {
                             env.send(to_ref[tpid], buf)?;
                         }
                         Ok(())
                     })?;
+                    for (slot, _tpid) in to_mine.iter().enumerate() {
+                        for &src in alive_ref {
+                            let msg = env.recv(src)?;
+                            let got = env.phase(Phase::Unpack, |env| {
+                                let mut ops = OpCounter::new();
+                                let got = unpack_bucket(&msg.payload, &mut ops);
+                                env.charge_ops(ops.take());
+                                got
+                            })?;
+                            incoming[slot].extend(got);
+                        }
+                    }
                 }
-                // Leg 2: receive one forwarded bucket per owned target part.
-                for slot in incoming.iter_mut() {
-                    let msg = env.recv(hub)?;
-                    *slot = env.phase(Phase::Unpack, |env| {
+                RedistStrategy::ViaSource => {
+                    // Leg 1: everyone ships all triplets to the hub, tagged by
+                    // destination (p buckets concatenated with headers).
+                    let buf = env.phase(Phase::Pack, |env| {
                         let mut ops = OpCounter::new();
-                        let got = unpack_bucket(&msg.payload, &mut ops);
+                        let mut buf = PackBuffer::new();
+                        for b in &buckets {
+                            let packed = pack_bucket(b, &mut ops);
+                            // Concatenate: count + triplets per destination.
+                            let mut cursor = packed.cursor();
+                            let n = cursor.read_u64();
+                            buf.push_u64(n);
+                            for _ in 0..n {
+                                buf.push_u64(cursor.read_u64());
+                                buf.push_u64(cursor.read_u64());
+                                buf.push_f64(cursor.read_f64());
+                            }
+                        }
                         env.charge_ops(ops.take());
-                        got
-                    })?;
+                        buf
+                    });
+                    env.phase(Phase::Send, |env| env.send(hub, buf))?;
+
+                    if me == hub {
+                        // Hub: merge the per-destination streams and forward.
+                        let mut forward: Vec<Vec<(usize, usize, f64)>> = vec![Vec::new(); p];
+                        let mut ops = OpCounter::new();
+                        for &src in alive_ref {
+                            let msg = env.recv(src)?;
+                            let merge =
+                                |cursor: &mut sparsedist_multicomputer::pack::UnpackCursor,
+                                 forward: &mut Vec<Vec<(usize, usize, f64)>>,
+                                 ops: &mut OpCounter|
+                                 -> Result<(), UnpackError> {
+                                    for fwd in forward.iter_mut() {
+                                        let n = cursor.try_read_usize()?;
+                                        for _ in 0..n {
+                                            let r = cursor.try_read_usize()?;
+                                            let c = cursor.try_read_usize()?;
+                                            let v = cursor.try_read_f64()?;
+                                            ops.add(3);
+                                            fwd.push((r, c, v));
+                                        }
+                                    }
+                                    Ok(())
+                                };
+                            let mut cursor = msg.payload.cursor();
+                            merge(&mut cursor, &mut forward, &mut ops)?;
+                        }
+                        let bufs: Vec<PackBuffer> =
+                            forward.iter().map(|b| pack_bucket(b, &mut ops)).collect();
+                        env.phase(Phase::Unpack, |env| env.charge_ops(ops.take()));
+                        env.phase(Phase::Send, |env| -> Result<(), SparsedistError> {
+                            for (tpid, buf) in bufs.into_iter().enumerate() {
+                                env.send(to_ref[tpid], buf)?;
+                            }
+                            Ok(())
+                        })?;
+                    }
+                    // Leg 2: receive one forwarded bucket per owned target part.
+                    for slot in incoming.iter_mut() {
+                        let msg = env.recv(hub)?;
+                        *slot = env.phase(Phase::Unpack, |env| {
+                            let mut ops = OpCounter::new();
+                            let got = unpack_bucket(&msg.payload, &mut ops);
+                            env.charge_ops(ops.take());
+                            got
+                        })?;
+                    }
                 }
             }
-        }
 
-        let mut out = Vec::with_capacity(to_mine.len());
-        for (slot, &tpid) in to_mine.iter().enumerate() {
-            let trips = std::mem::take(&mut incoming[slot]);
-            let local = env.phase(Phase::Compress, |env| {
-                let mut ops = OpCounter::new();
-                let local = build_local(tpid, trips, to, kind, &mut ops);
-                env.charge_ops(ops.take());
-                local
-            });
-            out.push((tpid, local));
-        }
-        Ok(out)
-    });
+            let mut out = Vec::with_capacity(to_mine.len());
+            for (slot, &tpid) in to_mine.iter().enumerate() {
+                let trips = std::mem::take(&mut incoming[slot]);
+                let local = env.phase(Phase::Compress, |env| {
+                    let mut ops = OpCounter::new();
+                    let local = build_local(tpid, trips, to, kind, &mut ops);
+                    env.charge_ops(ops.take());
+                    local
+                });
+                out.push((tpid, local));
+            }
+            Ok(out)
+        },
+    );
     let new_locals = collect_parts(results, p)?;
-    Ok(RedistRun { strategy, ledgers, locals: new_locals })
+    Ok(RedistRun {
+        strategy,
+        ledgers,
+        locals: new_locals,
+    })
 }
 
 #[cfg(test)]
@@ -370,12 +389,11 @@ mod tests {
         Multicomputer::virtual_machine(p, MachineModel::ibm_sp2())
     }
 
-    fn distribute(
-        part: &dyn Partition,
-        kind: CompressKind,
-    ) -> Vec<LocalCompressed> {
+    fn distribute(part: &dyn Partition, kind: CompressKind) -> Vec<LocalCompressed> {
         let a = paper_array_a();
-        run_scheme(SchemeKind::Ed, &machine(part.nparts()), &a, part, kind).unwrap().locals
+        run_scheme(SchemeKind::Ed, &machine(part.nparts()), &a, part, kind)
+            .unwrap()
+            .locals
     }
 
     #[test]
@@ -394,16 +412,9 @@ mod tests {
             for to in &targets {
                 let want = distribute(to.as_ref(), kind);
                 for strategy in [RedistStrategy::Direct, RedistStrategy::ViaSource] {
-                    let run =
-                        redistribute(&machine(4), &owned, &from, to.as_ref(), kind, strategy)
-                            .unwrap();
-                    assert_eq!(
-                        run.locals,
-                        want,
-                        "{kind} {:?} to {}",
-                        strategy,
-                        to.name()
-                    );
+                    let run = redistribute(&machine(4), &owned, &from, to.as_ref(), kind, strategy)
+                        .unwrap();
+                    assert_eq!(run.locals, want, "{kind} {:?} to {}", strategy, to.name());
                     assert_eq!(run.total_nnz(), 16);
                 }
             }
@@ -431,9 +442,15 @@ mod tests {
         let from = RowBlock::new(10, 8, 4);
         let to = Mesh2D::new(10, 8, 2, 2);
         let owned = distribute(&from, CompressKind::Crs);
-        let direct =
-            redistribute(&machine(4), &owned, &from, &to, CompressKind::Crs, RedistStrategy::Direct)
-                .unwrap();
+        let direct = redistribute(
+            &machine(4),
+            &owned,
+            &from,
+            &to,
+            CompressKind::Crs,
+            RedistStrategy::Direct,
+        )
+        .unwrap();
         let hub = redistribute(
             &machine(4),
             &owned,
@@ -444,7 +461,10 @@ mod tests {
         )
         .unwrap();
         let send = |r: &RedistRun| -> f64 {
-            r.ledgers.iter().map(|l| l.get(Phase::Send).as_micros()).sum()
+            r.ledgers
+                .iter()
+                .map(|l| l.get(Phase::Send).as_micros())
+                .sum()
         };
         // Direct: 16 messages (p²); ViaSource: 8 (p to hub + p from hub)
         // but every nonzero crosses twice, so more data volume. With tiny
@@ -454,7 +474,10 @@ mod tests {
         let direct_sends = send(&direct);
         let hub_sends = send(&hub);
         // p² startups vs 2p startups on a 16-nonzero array: Direct pays more.
-        assert!(direct_sends > hub_sends, "direct {direct_sends} hub {hub_sends}");
+        assert!(
+            direct_sends > hub_sends,
+            "direct {direct_sends} hub {hub_sends}"
+        );
         // But the hub's own send ledger (forwarding everything) exceeds any
         // single direct rank's.
         let max_direct_rank = direct
@@ -470,11 +493,18 @@ mod tests {
         let from = RowBlock::new(12, 12, 4);
         let to = Mesh2D::new(12, 12, 2, 2);
         let a = crate::dense::Dense2D::zeros(12, 12);
-        let owned =
-            run_scheme(SchemeKind::Cfs, &machine(4), &a, &from, CompressKind::Crs).unwrap().locals;
-        let run =
-            redistribute(&machine(4), &owned, &from, &to, CompressKind::Crs, RedistStrategy::Direct)
-                .unwrap();
+        let owned = run_scheme(SchemeKind::Cfs, &machine(4), &a, &from, CompressKind::Crs)
+            .unwrap()
+            .locals;
+        let run = redistribute(
+            &machine(4),
+            &owned,
+            &from,
+            &to,
+            CompressKind::Crs,
+            RedistStrategy::Direct,
+        )
+        .unwrap();
         assert_eq!(run.total_nnz(), 0);
         for (pid, l) in run.locals.iter().enumerate() {
             assert_eq!(l.shape(), to.local_shape(pid));

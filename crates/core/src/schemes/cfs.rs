@@ -143,8 +143,7 @@ pub(crate) fn run(
                     Ok(())
                 })?;
             }
-            let mine: Vec<usize> =
-                (0..nparts).filter(|&pid| owners_ref[pid] == me).collect();
+            let mine: Vec<usize> = (0..nparts).filter(|&pid| owners_ref[pid] == me).collect();
             let mut out = Vec::with_capacity(mine.len());
             if config.parallel && mine.len() >= 2 {
                 // Receive everything first, then decode the parts on scoped
@@ -215,7 +214,14 @@ mod tests {
         let a = paper_array_a();
         let part = RowBlock::new(10, 8, 4);
         let m = MachineModel::ibm_sp2();
-        let run = super::run(&sp2(4), &a, &part, CompressKind::Crs, SchemeConfig::default()).unwrap();
+        let run = super::run(
+            &sp2(4),
+            &a,
+            &part,
+            CompressKind::Crs,
+            SchemeConfig::default(),
+        )
+        .unwrap();
 
         let comp = run.t_compression().as_micros();
         assert!((comp - 128.0 * m.t_op).abs() < 1e-9, "compression: {comp}");
@@ -234,7 +240,10 @@ mod tests {
             .iter()
             .map(|l| l.get(Phase::Unpack).as_micros())
             .fold(0.0f64, f64::max);
-        assert!((unpack_max - 16.0 * m.t_op).abs() < 1e-9, "unpack {unpack_max}");
+        assert!(
+            (unpack_max - 16.0 * m.t_op).abs() < 1e-9,
+            "unpack {unpack_max}"
+        );
     }
 
     #[test]
@@ -244,21 +253,38 @@ mod tests {
         let a = paper_array_a();
         let part = RowBlock::new(10, 8, 4);
         let m = MachineModel::ibm_sp2();
-        let run = super::run(&sp2(4), &a, &part, CompressKind::Ccs, SchemeConfig::default()).unwrap();
+        let run = super::run(
+            &sp2(4),
+            &a,
+            &part,
+            CompressKind::Ccs,
+            SchemeConfig::default(),
+        )
+        .unwrap();
         // P2 has 6 nonzeros: 9 + 18 = 27 ops.
         let unpack_max = run
             .ledgers
             .iter()
             .map(|l| l.get(Phase::Unpack).as_micros())
             .fold(0.0f64, f64::max);
-        assert!((unpack_max - 27.0 * m.t_op).abs() < 1e-9, "unpack {unpack_max}");
+        assert!(
+            (unpack_max - 27.0 * m.t_op).abs() < 1e-9,
+            "unpack {unpack_max}"
+        );
     }
 
     #[test]
     fn receivers_hold_local_indices() {
         let a = paper_array_a();
         let part = RowBlock::new(10, 8, 4);
-        let run = super::run(&sp2(4), &a, &part, CompressKind::Ccs, SchemeConfig::default()).unwrap();
+        let run = super::run(
+            &sp2(4),
+            &a,
+            &part,
+            CompressKind::Ccs,
+            SchemeConfig::default(),
+        )
+        .unwrap();
         // P1's decoded CCS must be over local rows 0..3, matching the
         // direct local compression.
         let expect = Ccs::from_dense(&part.extract_dense(&a, 1), &mut OpCounter::new());
@@ -270,7 +296,14 @@ mod tests {
         let a = paper_array_a();
         let part = RowBlock::new(10, 8, 4);
         let m = MachineModel::ibm_sp2();
-        let run = super::run(&sp2(4), &a, &part, CompressKind::Crs, SchemeConfig::default()).unwrap();
+        let run = super::run(
+            &sp2(4),
+            &a,
+            &part,
+            CompressKind::Crs,
+            SchemeConfig::default(),
+        )
+        .unwrap();
         let send = run.ledgers[0].get(Phase::Send).as_micros();
         // 46 elements (see above) — far less than the 80 dense cells SFC
         // would send.

@@ -60,8 +60,7 @@ pub(crate) fn run(
                     Ok(())
                 })?;
             }
-            let mine: Vec<usize> =
-                (0..nparts).filter(|&pid| owners_ref[pid] == me).collect();
+            let mine: Vec<usize> = (0..nparts).filter(|&pid| owners_ref[pid] == me).collect();
             let mut out = Vec::with_capacity(mine.len());
             if config.parallel && mine.len() >= 2 {
                 // Receive everything first, then decode the parts on scoped
@@ -133,7 +132,11 @@ pub fn run_overlapped(
     part: &dyn Partition,
     kind: CompressKind,
 ) -> Result<SchemeRun, SparsedistError> {
-    assert_eq!(machine.nprocs(), part.nparts(), "partition/machine size mismatch");
+    assert_eq!(
+        machine.nprocs(),
+        part.nparts(),
+        "partition/machine size mismatch"
+    );
     assert_eq!(
         part.global_shape(),
         (global.rows(), global.cols()),
@@ -162,8 +165,7 @@ pub fn run_overlapped(
                     env.phase(Phase::Send, |env| env.send(owner, buf))?;
                 }
             }
-            let mine: Vec<usize> =
-                (0..nparts).filter(|&pid| owners_ref[pid] == me).collect();
+            let mine: Vec<usize> = (0..nparts).filter(|&pid| owners_ref[pid] == me).collect();
             let mut out = Vec::with_capacity(mine.len());
             for pid in mine {
                 let msg = env.recv(SOURCE)?;
@@ -207,7 +209,14 @@ mod tests {
         let a = paper_array_a();
         let part = RowBlock::new(10, 8, 4);
         let m = MachineModel::ibm_sp2();
-        let run = super::run(&sp2(4), &a, &part, CompressKind::Crs, SchemeConfig::default()).unwrap();
+        let run = super::run(
+            &sp2(4),
+            &a,
+            &part,
+            CompressKind::Crs,
+            SchemeConfig::default(),
+        )
+        .unwrap();
 
         let src = &run.ledgers[0];
         assert_eq!(src.get(Phase::Pack).as_micros(), 0.0);
@@ -216,7 +225,10 @@ mod tests {
         }
         // Wire: per part rows_i + 2·nnz_i elements → total 10 + 32 = 42.
         let dist = run.t_distribution().as_micros();
-        assert!((dist - (4.0 * m.t_startup + 42.0 * m.t_data)).abs() < 1e-9, "dist {dist}");
+        assert!(
+            (dist - (4.0 * m.t_startup + 42.0 * m.t_data)).abs() < 1e-9,
+            "dist {dist}"
+        );
 
         // Encode = 128 ops (cells + 3·nnz); max decode = P2's
         // 1 + 3 rows + 2·6 = 16 ops (Case 3.3.1, no conversion).
@@ -231,7 +243,14 @@ mod tests {
         // the wire, on top of the removed pack/unpack passes).
         let a = paper_array_a();
         let part = RowBlock::new(10, 8, 4);
-        let ed = super::run(&sp2(4), &a, &part, CompressKind::Crs, SchemeConfig::default()).unwrap();
+        let ed = super::run(
+            &sp2(4),
+            &a,
+            &part,
+            CompressKind::Crs,
+            SchemeConfig::default(),
+        )
+        .unwrap();
         let cfs = crate::schemes::run_scheme(
             crate::schemes::SchemeKind::Cfs,
             &sp2(4),
@@ -283,7 +302,14 @@ mod tests {
     fn decoded_state_matches_direct_compression() {
         let a = paper_array_a();
         let part = RowBlock::new(10, 8, 4);
-        let run = super::run(&sp2(4), &a, &part, CompressKind::Crs, SchemeConfig::default()).unwrap();
+        let run = super::run(
+            &sp2(4),
+            &a,
+            &part,
+            CompressKind::Crs,
+            SchemeConfig::default(),
+        )
+        .unwrap();
         for pid in 0..4 {
             let expect = crate::compress::Crs::from_dense(
                 &part.extract_dense(&a, pid),

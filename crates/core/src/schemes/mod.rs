@@ -53,7 +53,10 @@ impl SchemeConfig {
     /// The compact, parallel configuration: v2 wire format plus host-side
     /// parallel encode/compress — the distribution hot path at full tilt.
     pub fn compact_parallel() -> Self {
-        SchemeConfig { wire: WireFormat::V2, parallel: true }
+        SchemeConfig {
+            wire: WireFormat::V2,
+            parallel: true,
+        }
     }
 }
 
@@ -72,7 +75,9 @@ pub(crate) fn map_parts<T: Send>(
     f: &(dyn Fn(usize, &mut OpCounter) -> T + Sync),
 ) -> Vec<T> {
     let workers = if parallel {
-        std::thread::available_parallelism().map_or(1, |n| n.get()).min(nparts)
+        std::thread::available_parallelism()
+            .map_or(1, |n| n.get())
+            .min(nparts)
     } else {
         1
     };
@@ -101,7 +106,10 @@ pub(crate) fn map_parts<T: Send>(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("part worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("part worker panicked"))
+            .collect()
     });
     let mut out = Vec::with_capacity(nparts);
     for chunk_results in per_chunk {
@@ -158,8 +166,10 @@ pub fn assign_owners(part: &dyn Partition, alive: &[usize]) -> Vec<usize> {
     // the lowest rank — BTreeMap iteration order makes this deterministic).
     orphans.sort_by_key(|&pid| std::cmp::Reverse(cells(pid)));
     for pid in orphans {
-        let (&best, _) =
-            load.iter().min_by_key(|&(&r, &l)| (l, r)).expect("at least one alive rank");
+        let (&best, _) = load
+            .iter()
+            .min_by_key(|&(&r, &l)| (l, r))
+            .expect("at least one alive rank");
         owners[pid] = best;
         *load.get_mut(&best).expect("chosen rank is alive") += cells(pid);
     }
@@ -281,7 +291,11 @@ impl SchemeRun {
     /// pipelining effects — e.g. overlapping encode with send shortens the
     /// makespan without changing any phase total.
     pub fn t_makespan(&self) -> VirtualTime {
-        vmax(self.ledgers.iter().map(|l| l.busy_total() + l.get(Phase::Wait)))
+        vmax(
+            self.ledgers
+                .iter()
+                .map(|l| l.busy_total() + l.get(Phase::Wait)),
+        )
     }
 
     /// Total nonzeros across all local arrays.
@@ -419,8 +433,10 @@ mod tests {
         let a = paper_array_a();
         for part in all_partitions(10, 8) {
             for kind in [CompressKind::Crs, CompressKind::Ccs] {
-                let sfc = run_scheme(SchemeKind::Sfc, &machine(4), &a, part.as_ref(), kind).unwrap();
-                let cfs = run_scheme(SchemeKind::Cfs, &machine(4), &a, part.as_ref(), kind).unwrap();
+                let sfc =
+                    run_scheme(SchemeKind::Sfc, &machine(4), &a, part.as_ref(), kind).unwrap();
+                let cfs =
+                    run_scheme(SchemeKind::Cfs, &machine(4), &a, part.as_ref(), kind).unwrap();
                 let ed = run_scheme(SchemeKind::Ed, &machine(4), &a, part.as_ref(), kind).unwrap();
                 assert_eq!(sfc.locals, cfs.locals, "{kind} {}", part.name());
                 assert_eq!(cfs.locals, ed.locals, "{kind} {}", part.name());
@@ -464,7 +480,8 @@ mod tests {
         let a = paper_array_a();
         for part in all_partitions(10, 8) {
             for kind in [CompressKind::Crs, CompressKind::Ccs] {
-                let cfs = run_scheme(SchemeKind::Cfs, &machine(4), &a, part.as_ref(), kind).unwrap();
+                let cfs =
+                    run_scheme(SchemeKind::Cfs, &machine(4), &a, part.as_ref(), kind).unwrap();
                 let ed = run_scheme(SchemeKind::Ed, &machine(4), &a, part.as_ref(), kind).unwrap();
                 assert!(
                     ed.t_total() < cfs.t_total(),
@@ -525,8 +542,14 @@ mod tests {
         // legitimately reshuffles waiting between recv calls.)
         let a = paper_array_a();
         let configs = [
-            SchemeConfig { wire: WireFormat::V2, parallel: false },
-            SchemeConfig { wire: WireFormat::V1, parallel: true },
+            SchemeConfig {
+                wire: WireFormat::V2,
+                parallel: false,
+            },
+            SchemeConfig {
+                wire: WireFormat::V1,
+                parallel: true,
+            },
             SchemeConfig::compact_parallel(),
         ];
         let busy_phases = [
@@ -542,15 +565,9 @@ mod tests {
                 for scheme in SchemeKind::ALL {
                     let base = run_scheme(scheme, &machine(4), &a, part.as_ref(), kind).unwrap();
                     for config in configs {
-                        let run = run_scheme_with(
-                            scheme,
-                            &machine(4),
-                            &a,
-                            part.as_ref(),
-                            kind,
-                            config,
-                        )
-                        .unwrap();
+                        let run =
+                            run_scheme_with(scheme, &machine(4), &a, part.as_ref(), kind, config)
+                                .unwrap();
                         let tag = format!("{scheme} {kind} {} {config:?}", part.name());
                         assert_eq!(run.locals, base.locals, "{tag}");
                         for (l, b) in run.ledgers.iter().zip(&base.ledgers) {
@@ -559,11 +576,7 @@ mod tests {
                             }
                             // Same logical elements on the wire under every
                             // config — T_Data cannot tell the formats apart.
-                            assert_eq!(
-                                l.wire().elements,
-                                b.wire().elements,
-                                "{tag} wire elements"
-                            );
+                            assert_eq!(l.wire().elements, b.wire().elements, "{tag} wire elements");
                         }
                     }
                 }
@@ -590,7 +603,10 @@ mod tests {
                 &a,
                 &part,
                 CompressKind::Crs,
-                SchemeConfig { wire: WireFormat::V2, parallel: false },
+                SchemeConfig {
+                    wire: WireFormat::V2,
+                    parallel: false,
+                },
             )
             .unwrap();
             let (b1, b2) = (v1.ledgers[0].wire().bytes, v2.ledgers[0].wire().bytes);
@@ -695,7 +711,10 @@ mod tests {
         let part = RowBlock::new(10, 8, 4);
         let m = machine(4).with_faults(FaultPlan::new(7).with_dead_rank(0));
         let err = run_scheme(SchemeKind::Ed, &m, &a, &part, CompressKind::Crs);
-        assert_eq!(err.unwrap_err(), crate::error::SparsedistError::SourceDead { rank: 0 });
+        assert_eq!(
+            err.unwrap_err(),
+            crate::error::SparsedistError::SourceDead { rank: 0 }
+        );
     }
 
     #[test]

@@ -146,8 +146,16 @@ pub fn run_ed_multi_source_with(
     config: SchemeConfig,
 ) -> Result<MultiSourceRun, SparsedistError> {
     let p = machine.nprocs();
-    assert!(nsources > 0 && nsources <= p, "nsources {nsources} out of 1..={p}");
-    assert_eq!(part.nparts(), p, "partition has {} parts, machine {p}", part.nparts());
+    assert!(
+        nsources > 0 && nsources <= p,
+        "nsources {nsources} out of 1..={p}"
+    );
+    assert_eq!(
+        part.nparts(),
+        p,
+        "partition has {} parts, machine {p}",
+        part.nparts()
+    );
     assert_eq!(
         part.global_shape(),
         (global.rows(), global.cols()),
@@ -159,8 +167,8 @@ pub fn run_ed_multi_source_with(
         }
     }
 
-    let (results, ledgers) = machine.run_with_ledgers(
-        |env| -> Result<LocalCompressed, SparsedistError> {
+    let (results, ledgers) =
+        machine.run_with_ledgers(|env| -> Result<LocalCompressed, SparsedistError> {
             let me = env.rank();
             if env.is_rank_dead(me) {
                 // A dead destination holds nothing; its slot reports an
@@ -168,9 +176,13 @@ pub fn run_ed_multi_source_with(
                 let (lrows, _) = part.local_shape(me);
                 let converter = IndexConverter::new(part, me, CompressKind::Crs);
                 let bound = converter.local_index_bound(CompressKind::Crs);
-                return Ok(LocalCompressed::Crs(
-                    Crs::from_raw(lrows, bound, vec![0; lrows + 1], vec![], vec![])?,
-                ));
+                return Ok(LocalCompressed::Crs(Crs::from_raw(
+                    lrows,
+                    bound,
+                    vec![0; lrows + 1],
+                    vec![],
+                    vec![],
+                )?));
             }
             if me < nsources {
                 let bufs: Vec<PackBuffer> = env.phase(Phase::Encode, |env| {
@@ -182,7 +194,14 @@ pub fn run_ed_multi_source_with(
                             let mut buf =
                                 arena.checkout((lrows / nsources + 1) * (lcols / 2 + 1) * 8);
                             encode_stripe(
-                                &mut buf, global, part, pid, me, nsources, config.wire, ops,
+                                &mut buf,
+                                global,
+                                part,
+                                pid,
+                                me,
+                                nsources,
+                                config.wire,
+                                ops,
                             )
                             .map(|()| buf)
                         })
@@ -208,60 +227,72 @@ pub fn run_ed_multi_source_with(
             let msgs: Vec<PackBuffer> = (0..nsources)
                 .map(|src| env.recv(src).map(|m| m.payload))
                 .collect::<Result<Vec<_>, _>>()?;
-            let local = env.phase(Phase::Decode, |env| -> Result<LocalCompressed, SparsedistError> {
-                let mut ops = OpCounter::new();
-                let (lrows, _lcols) = part.local_shape(me);
-                let converter = IndexConverter::new(part, me, CompressKind::Crs);
-                let bound = converter.local_index_bound(CompressKind::Crs);
-                let mut cursors: Vec<_> = msgs.iter().map(|b| b.cursor()).collect();
-                // Each source negotiates its own flags; recover them per
-                // stream before touching any counts.
-                let mut readers = Vec::with_capacity(cursors.len());
-                for cursor in &mut cursors {
-                    let flags = match config.wire {
-                        WireFormat::V1 => 0,
-                        WireFormat::V2 => wire::read_header(cursor)?,
-                    };
-                    readers.push((flags, IndexRunReader::new(flags)));
-                }
-                let mut ro = Vec::with_capacity(lrows + 1);
-                ro.push(0usize);
-                ops.tick();
-                let mut co = Vec::new();
-                let mut vl = Vec::new();
-                for lr in 0..lrows {
-                    let (gr, _) = part.to_global(me, lr, 0);
-                    let src = gr % nsources;
-                    let cursor = &mut cursors[src];
-                    let (flags, reader) = &mut readers[src];
-                    let count = wire::read_count(cursor, *flags)?;
-                    reader.reset();
+            let local = env.phase(
+                Phase::Decode,
+                |env| -> Result<LocalCompressed, SparsedistError> {
+                    let mut ops = OpCounter::new();
+                    let (lrows, _lcols) = part.local_shape(me);
+                    let converter = IndexConverter::new(part, me, CompressKind::Crs);
+                    let bound = converter.local_index_bound(CompressKind::Crs);
+                    let mut cursors: Vec<_> = msgs.iter().map(|b| b.cursor()).collect();
+                    // Each source negotiates its own flags; recover them per
+                    // stream before touching any counts.
+                    let mut readers = Vec::with_capacity(cursors.len());
+                    for cursor in &mut cursors {
+                        let flags = match config.wire {
+                            WireFormat::V1 => 0,
+                            WireFormat::V2 => wire::read_header(cursor)?,
+                        };
+                        readers.push((flags, IndexRunReader::new(flags)));
+                    }
+                    let mut ro = Vec::with_capacity(lrows + 1);
+                    ro.push(0usize);
                     ops.tick();
-                    ro.push(ro[lr] + count);
-                    for _ in 0..count {
-                        let travelling = reader.next(cursor)?;
+                    let mut co = Vec::new();
+                    let mut vl = Vec::new();
+                    for lr in 0..lrows {
+                        let (gr, _) = part.to_global(me, lr, 0);
+                        let src = gr % nsources;
+                        let cursor = &mut cursors[src];
+                        let (flags, reader) = &mut readers[src];
+                        let count = wire::read_count(cursor, *flags)?;
+                        reader.reset();
                         ops.tick();
-                        co.push(converter.to_local(travelling, &mut ops));
-                        vl.push(cursor.try_read_f64()?);
-                        ops.tick();
+                        ro.push(ro[lr] + count);
+                        for _ in 0..count {
+                            let travelling = reader.next(cursor)?;
+                            ops.tick();
+                            co.push(converter.to_local(travelling, &mut ops));
+                            vl.push(cursor.try_read_f64()?);
+                            ops.tick();
+                        }
                     }
-                }
-                for c in cursors.iter() {
-                    if !c.is_exhausted() {
-                        return Err(UnpackError { at: 0, remaining: c.remaining() }.into());
+                    for c in cursors.iter() {
+                        if !c.is_exhausted() {
+                            return Err(UnpackError {
+                                at: 0,
+                                remaining: c.remaining(),
+                            }
+                            .into());
+                        }
                     }
-                }
-                env.charge_ops(ops.take());
-                Ok(LocalCompressed::Crs(Crs::from_raw(lrows, bound, ro, co, vl)?))
-            });
+                    env.charge_ops(ops.take());
+                    Ok(LocalCompressed::Crs(Crs::from_raw(
+                        lrows, bound, ro, co, vl,
+                    )?))
+                },
+            );
             for buf in msgs {
                 env.arena().recycle_bytes(buf.into_bytes());
             }
             local
-        },
-    );
+        });
     let locals = results.into_iter().collect::<Result<Vec<_>, _>>()?;
-    Ok(MultiSourceRun { nsources, ledgers, locals })
+    Ok(MultiSourceRun {
+        nsources,
+        ledgers,
+        locals,
+    })
 }
 
 #[cfg(test)]
@@ -286,9 +317,14 @@ mod tests {
             Box::new(RowCyclic::new(10, 8, 4)),
         ];
         for part in &parts {
-            let single =
-                run_scheme(SchemeKind::Ed, &machine(4), &a, part.as_ref(), CompressKind::Crs)
-                    .unwrap();
+            let single = run_scheme(
+                SchemeKind::Ed,
+                &machine(4),
+                &a,
+                part.as_ref(),
+                CompressKind::Crs,
+            )
+            .unwrap();
             for k in [1, 2, 3, 4] {
                 let multi = run_ed_multi_source(&machine(4), &a, part.as_ref(), k).unwrap();
                 assert_eq!(multi.locals, single.locals, "k={k} {}", part.name());
@@ -313,7 +349,10 @@ mod tests {
         assert!(encode_max(&multi) < encode_max(&single) / 2.0);
         // Total encode work is unchanged (sum over sources).
         let total = |r: &MultiSourceRun| -> f64 {
-            r.ledgers.iter().map(|l| l.get(Phase::Encode).as_micros()).sum()
+            r.ledgers
+                .iter()
+                .map(|l| l.get(Phase::Encode).as_micros())
+                .sum()
         };
         assert!((total(&multi) - total(&single)).abs() < 1e-9);
     }

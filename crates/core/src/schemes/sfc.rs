@@ -124,8 +124,7 @@ pub(crate) fn run(
                     Ok(())
                 })?;
             }
-            let mine: Vec<usize> =
-                (0..nparts).filter(|&pid| owners_ref[pid] == me).collect();
+            let mine: Vec<usize> = (0..nparts).filter(|&pid| owners_ref[pid] == me).collect();
             let mut out = Vec::with_capacity(mine.len());
             if config.parallel && mine.len() >= 2 {
                 // Receive everything first, then unpack and compress the
@@ -216,24 +215,44 @@ mod tests {
         let a = paper_array_a();
         let part = RowBlock::new(10, 8, 4);
         let m = MachineModel::ibm_sp2();
-        let run = super::run(&sp2(4), &a, &part, CompressKind::Crs, SchemeConfig::default()).unwrap();
+        let run = super::run(
+            &sp2(4),
+            &a,
+            &part,
+            CompressKind::Crs,
+            SchemeConfig::default(),
+        )
+        .unwrap();
 
         let dist = run.t_distribution().as_micros();
         let expect_dist = 4.0 * m.t_startup + 80.0 * m.t_data;
-        assert!((dist - expect_dist).abs() < 1e-9, "dist {dist} vs {expect_dist}");
+        assert!(
+            (dist - expect_dist).abs() < 1e-9,
+            "dist {dist} vs {expect_dist}"
+        );
 
         // The slowest *compressor* is the part maximising cells + 3·nnz:
         // P0/P1/P2 have 24 cells; P2 has 6 nonzeros → 24 + 18 = 42 ops.
         let comp = run.t_compression().as_micros();
         let expect_comp = 42.0 * m.t_op;
-        assert!((comp - expect_comp).abs() < 1e-9, "comp {comp} vs {expect_comp}");
+        assert!(
+            (comp - expect_comp).abs() < 1e-9,
+            "comp {comp} vs {expect_comp}"
+        );
     }
 
     #[test]
     fn row_partition_charges_no_pack_ops() {
         let a = paper_array_a();
         let part = RowBlock::new(10, 8, 4);
-        let run = super::run(&sp2(4), &a, &part, CompressKind::Crs, SchemeConfig::default()).unwrap();
+        let run = super::run(
+            &sp2(4),
+            &a,
+            &part,
+            CompressKind::Crs,
+            SchemeConfig::default(),
+        )
+        .unwrap();
         assert_eq!(run.ledgers[0].get(Phase::Pack).as_micros(), 0.0);
         for l in &run.ledgers {
             assert_eq!(l.get(Phase::Unpack).as_micros(), 0.0);
@@ -245,7 +264,14 @@ mod tests {
         let a = paper_array_a();
         let part = ColBlock::new(10, 8, 4);
         let m = MachineModel::ibm_sp2();
-        let run = super::run(&sp2(4), &a, &part, CompressKind::Crs, SchemeConfig::default()).unwrap();
+        let run = super::run(
+            &sp2(4),
+            &a,
+            &part,
+            CompressKind::Crs,
+            SchemeConfig::default(),
+        )
+        .unwrap();
         // Source packs all 80 cells at 1 op each.
         let pack = run.ledgers[0].get(Phase::Pack).as_micros();
         assert!((pack - 80.0 * m.t_op).abs() < 1e-9);
@@ -261,7 +287,14 @@ mod tests {
         let a = paper_array_a();
         let part = RowBlock::new(10, 8, 4);
         let m = MachineModel::ibm_sp2();
-        let run = super::run(&sp2(4), &a, &part, CompressKind::Crs, SchemeConfig::default()).unwrap();
+        let run = super::run(
+            &sp2(4),
+            &a,
+            &part,
+            CompressKind::Crs,
+            SchemeConfig::default(),
+        )
+        .unwrap();
         let send = run.ledgers[0].get(Phase::Send).as_micros();
         assert!((send - (4.0 * m.t_startup + 80.0 * m.t_data)).abs() < 1e-9);
     }

@@ -99,7 +99,11 @@ pub fn negotiate(max_field: usize) -> u8 {
 /// Append a v2 header carrying `flags`. Framing bytes only: the buffer's
 /// element count is unchanged.
 pub fn write_header(buf: &mut PackBuffer, flags: u8) {
-    debug_assert_eq!(flags & !FLAG_MASK, 0, "unknown wire flag bits: {flags:#04x}");
+    debug_assert_eq!(
+        flags & !FLAG_MASK,
+        0,
+        "unknown wire flag bits: {flags:#04x}"
+    );
     buf.push_raw(&[MAGIC[0], MAGIC[1], flags]);
 }
 
@@ -112,11 +116,15 @@ pub fn read_header(cursor: &mut UnpackCursor<'_>) -> Result<u8, CompressError> {
     let mut found = [0u8; HEADER_LEN];
     if cursor.remaining() < HEADER_LEN {
         let n = cursor.remaining();
-        let partial = cursor.try_read_raw(n).expect("remaining() bytes are readable");
+        let partial = cursor
+            .try_read_raw(n)
+            .expect("remaining() bytes are readable");
         found[..n].copy_from_slice(partial);
         return Err(CompressError::WireHeader { found });
     }
-    let h = cursor.try_read_raw(HEADER_LEN).expect("length checked above");
+    let h = cursor
+        .try_read_raw(HEADER_LEN)
+        .expect("length checked above");
     found.copy_from_slice(h);
     if found[0] != MAGIC[0] || found[1] != MAGIC[1] || found[2] & !FLAG_MASK != 0 {
         return Err(CompressError::WireHeader { found });
@@ -127,7 +135,10 @@ pub fn read_header(cursor: &mut UnpackCursor<'_>) -> Result<u8, CompressError> {
 /// Append one count/index field at the fixed width the flags select.
 pub fn push_count(buf: &mut PackBuffer, v: usize, flags: u8) {
     if flags & FLAG_IDX32 != 0 {
-        debug_assert!(v <= u32::MAX as usize, "IDX32 negotiated but field {v} overflows u32");
+        debug_assert!(
+            v <= u32::MAX as usize,
+            "IDX32 negotiated but field {v} overflows u32"
+        );
         buf.push_u32(v as u32);
     } else {
         buf.push_u64(v as u64);
@@ -159,7 +170,10 @@ pub fn push_count_placeholder(buf: &mut PackBuffer, flags: u8) -> usize {
 /// with the same flags) with `v`.
 pub fn patch_count(buf: &mut PackBuffer, at: usize, v: usize, flags: u8) -> Result<(), PatchError> {
     if flags & FLAG_IDX32 != 0 {
-        debug_assert!(v <= u32::MAX as usize, "IDX32 negotiated but field {v} overflows u32");
+        debug_assert!(
+            v <= u32::MAX as usize,
+            "IDX32 negotiated but field {v} overflows u32"
+        );
         buf.patch_u32(at, v as u32)
     } else {
         buf.patch_u64(at, v as u64)
@@ -229,7 +243,11 @@ impl IndexRunWriter {
     /// A writer for one message's negotiated flags, positioned at a
     /// segment boundary.
     pub fn new(flags: u8) -> Self {
-        IndexRunWriter { flags, prev: 0, fresh: true }
+        IndexRunWriter {
+            flags,
+            prev: 0,
+            fresh: true,
+        }
     }
 
     /// Mark a segment boundary: the next index is written absolute.
@@ -266,7 +284,11 @@ pub struct IndexRunReader {
 impl IndexRunReader {
     /// A reader for the flags recovered from the message header.
     pub fn new(flags: u8) -> Self {
-        IndexRunReader { flags, prev: 0, fresh: true }
+        IndexRunReader {
+            flags,
+            prev: 0,
+            fresh: true,
+        }
     }
 
     /// Mark a segment boundary: the next index read is absolute.
@@ -382,7 +404,11 @@ mod tests {
     fn fig7_triple() -> (Vec<usize>, Vec<usize>, Vec<f64>) {
         // CRS of the paper's Figure 2 array restricted to one part:
         // 3 segments, 5 nonzeros, sorted indices within each segment.
-        (vec![0, 2, 2, 5], vec![1, 6, 0, 3, 7], vec![1.0, 2.0, 3.0, 4.0, 5.0])
+        (
+            vec![0, 2, 2, 5],
+            vec![1, 6, 0, 3, 7],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0],
+        )
     }
 
     #[test]
@@ -398,14 +424,19 @@ mod tests {
         write_header(&mut b, FLAG_DELTA | FLAG_IDX32);
         assert_eq!(b.elem_count(), 0, "header bytes are framing, not elements");
         assert_eq!(b.byte_len(), HEADER_LEN);
-        assert_eq!(read_header(&mut b.cursor()).unwrap(), FLAG_DELTA | FLAG_IDX32);
+        assert_eq!(
+            read_header(&mut b.cursor()).unwrap(),
+            FLAG_DELTA | FLAG_IDX32
+        );
 
         // Wrong magic.
         let mut bad = PackBuffer::new();
         bad.push_raw(&[b'X', b'2', 0]);
         assert_eq!(
             read_header(&mut bad.cursor()),
-            Err(CompressError::WireHeader { found: [b'X', b'2', 0] })
+            Err(CompressError::WireHeader {
+                found: [b'X', b'2', 0]
+            })
         );
         // Unknown flag bits.
         let mut bad = PackBuffer::new();
@@ -416,7 +447,9 @@ mod tests {
         short.push_raw(b"S");
         assert_eq!(
             read_header(&mut short.cursor()),
-            Err(CompressError::WireHeader { found: [b'S', 0, 0] })
+            Err(CompressError::WireHeader {
+                found: [b'S', 0, 0]
+            })
         );
     }
 
@@ -449,7 +482,11 @@ mod tests {
         // Delta encoding of small steps is ~1 byte per field.
         let mut b = PackBuffer::new();
         push_monotone_run(&mut b, &run, FLAG_DELTA);
-        assert!(b.byte_len() <= 9, "7 small deltas should take ≤9 bytes, got {}", b.byte_len());
+        assert!(
+            b.byte_len() <= 9,
+            "7 small deltas should take ≤9 bytes, got {}",
+            b.byte_len()
+        );
     }
 
     #[test]
@@ -493,7 +530,11 @@ mod tests {
             let mut c = b.cursor();
             let (ro2, co2, vl2) = unpack_triple(&mut c, ro.len() - 1, format).unwrap();
             assert!(c.is_exhausted(), "{format}");
-            assert_eq!((ro2, co2, vl2), (ro.clone(), co.clone(), vl.clone()), "{format}");
+            assert_eq!(
+                (ro2, co2, vl2),
+                (ro.clone(), co.clone(), vl.clone()),
+                "{format}"
+            );
         }
     }
 

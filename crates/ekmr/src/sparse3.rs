@@ -2,8 +2,8 @@
 
 use sparsedist_core::compress::CompressKind;
 use sparsedist_core::dense::Dense2D;
-use sparsedist_core::partition::Partition;
 use sparsedist_core::error::SparsedistError;
+use sparsedist_core::partition::Partition;
 use sparsedist_core::schemes::{run_scheme, SchemeKind, SchemeRun};
 use sparsedist_multicomputer::Multicomputer;
 use std::collections::BTreeMap;
@@ -26,7 +26,12 @@ impl Sparse3D {
     /// Panics if any dimension is zero.
     pub fn new(n1: usize, n2: usize, n3: usize) -> Self {
         assert!(n1 > 0 && n2 > 0 && n3 > 0, "dimensions must be positive");
-        Sparse3D { n1, n2, n3, entries: BTreeMap::new() }
+        Sparse3D {
+            n1,
+            n2,
+            n3,
+            entries: BTreeMap::new(),
+        }
     }
 
     /// Dimensions `(n1, n2, n3)`.
@@ -49,7 +54,10 @@ impl Sparse3D {
     /// # Panics
     /// Panics on out-of-bounds indices.
     pub fn set(&mut self, i: usize, j: usize, k: usize, v: f64) {
-        assert!(i < self.n1 && j < self.n2 && k < self.n3, "({i},{j},{k}) out of bounds");
+        assert!(
+            i < self.n1 && j < self.n2 && k < self.n3,
+            "({i},{j},{k}) out of bounds"
+        );
         if v == 0.0 {
             self.entries.remove(&(i, j, k));
         } else {
@@ -62,7 +70,10 @@ impl Sparse3D {
     /// # Panics
     /// Panics on out-of-bounds indices.
     pub fn get(&self, i: usize, j: usize, k: usize) -> f64 {
-        assert!(i < self.n1 && j < self.n2 && k < self.n3, "({i},{j},{k}) out of bounds");
+        assert!(
+            i < self.n1 && j < self.n2 && k < self.n3,
+            "({i},{j},{k}) out of bounds"
+        );
         self.entries.get(&(i, j, k)).copied().unwrap_or(0.0)
     }
 
@@ -77,7 +88,12 @@ impl Sparse3D {
         for (&(i, j, k), &v) in &self.entries {
             plane.set(j, k * self.n1 + i, v);
         }
-        Ekmr3 { n1: self.n1, n2: self.n2, n3: self.n3, plane }
+        Ekmr3 {
+            n1: self.n1,
+            n2: self.n2,
+            n3: self.n3,
+            plane,
+        }
     }
 }
 
@@ -105,13 +121,19 @@ impl Ekmr3 {
 
     /// Plane coordinates of `A[i][j][k]`.
     pub fn plane_coords(&self, i: usize, j: usize, k: usize) -> (usize, usize) {
-        assert!(i < self.n1 && j < self.n2 && k < self.n3, "({i},{j},{k}) out of bounds");
+        assert!(
+            i < self.n1 && j < self.n2 && k < self.n3,
+            "({i},{j},{k}) out of bounds"
+        );
         (j, k * self.n1 + i)
     }
 
     /// Inverse mapping: the `(i, j, k)` stored at plane cell `(r, c)`.
     pub fn array_coords(&self, r: usize, c: usize) -> (usize, usize, usize) {
-        assert!(r < self.plane.rows() && c < self.plane.cols(), "({r},{c}) out of plane");
+        assert!(
+            r < self.plane.rows() && c < self.plane.cols(),
+            "({r},{c}) out of plane"
+        );
         (c % self.n1, r, c / self.n1)
     }
 

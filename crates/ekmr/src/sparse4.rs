@@ -2,8 +2,8 @@
 
 use sparsedist_core::compress::CompressKind;
 use sparsedist_core::dense::Dense2D;
-use sparsedist_core::partition::Partition;
 use sparsedist_core::error::SparsedistError;
+use sparsedist_core::partition::Partition;
 use sparsedist_core::schemes::{run_scheme, SchemeKind, SchemeRun};
 use sparsedist_multicomputer::Multicomputer;
 use std::collections::BTreeMap;
@@ -24,8 +24,17 @@ impl Sparse4D {
     /// # Panics
     /// Panics if any dimension is zero.
     pub fn new(n1: usize, n2: usize, n3: usize, n4: usize) -> Self {
-        assert!(n1 > 0 && n2 > 0 && n3 > 0 && n4 > 0, "dimensions must be positive");
-        Sparse4D { n1, n2, n3, n4, entries: BTreeMap::new() }
+        assert!(
+            n1 > 0 && n2 > 0 && n3 > 0 && n4 > 0,
+            "dimensions must be positive"
+        );
+        Sparse4D {
+            n1,
+            n2,
+            n3,
+            n4,
+            entries: BTreeMap::new(),
+        }
     }
 
     /// Dimensions `(n1, n2, n3, n4)`.
@@ -73,7 +82,13 @@ impl Sparse4D {
         for (&(i, j, k, l), &v) in &self.entries {
             plane.set(l * self.n2 + j, k * self.n1 + i, v);
         }
-        Ekmr4 { n1: self.n1, n2: self.n2, n3: self.n3, n4: self.n4, plane }
+        Ekmr4 {
+            n1: self.n1,
+            n2: self.n2,
+            n3: self.n3,
+            n4: self.n4,
+            plane,
+        }
     }
 }
 
@@ -109,7 +124,10 @@ impl Ekmr4 {
 
     /// Inverse mapping for plane cell `(r, c)`.
     pub fn array_coords(&self, r: usize, c: usize) -> (usize, usize, usize, usize) {
-        assert!(r < self.plane.rows() && c < self.plane.cols(), "({r},{c}) out of plane");
+        assert!(
+            r < self.plane.rows() && c < self.plane.cols(),
+            "({r},{c}) out of plane"
+        );
         (c % self.n1, r % self.n2, c / self.n1, r / self.n2)
     }
 
@@ -157,7 +175,7 @@ mod tests {
         let e = a.to_ekmr();
         assert_eq!(e.plane().rows(), 15); // n4·n2 = 5·3
         assert_eq!(e.plane().cols(), 8); // n3·n1 = 4·2
-        // A[1][2][3][4] → (4·3+2, 3·2+1) = (14, 7).
+                                         // A[1][2][3][4] → (4·3+2, 3·2+1) = (14, 7).
         assert_eq!(e.plane().get(14, 7), 2.0);
         assert_eq!(e.array_coords(14, 7), (1, 2, 3, 4));
     }

@@ -103,7 +103,10 @@ fn encode(local: &LocalCompressed) -> PackBuffer {
 }
 
 fn decode(rank: usize, bytes: &[u8]) -> Result<LocalCompressed, CkptError> {
-    let corrupt = |reason: &str| CkptError::Corrupt { rank, reason: reason.into() };
+    let corrupt = |reason: &str| CkptError::Corrupt {
+        rank,
+        reason: reason.into(),
+    };
     if !bytes.len().is_multiple_of(8) {
         return Err(corrupt("length not a multiple of 8"));
     }
@@ -139,8 +142,12 @@ fn decode(rank: usize, bytes: &[u8]) -> Result<LocalCompressed, CkptError> {
         buf.push_u64(u64::from_le_bytes(w));
     }
     let mut c = buf.cursor();
-    let mut next =
-        |what: &str| c.try_read_u64().map_err(|_| CkptError::Corrupt { rank, reason: format!("truncated at {what}") });
+    let mut next = |what: &str| {
+        c.try_read_u64().map_err(|_| CkptError::Corrupt {
+            rank,
+            reason: format!("truncated at {what}"),
+        })
+    };
     if next("magic")? != MAGIC {
         return Err(corrupt("bad magic"));
     }
@@ -168,10 +175,10 @@ fn decode(rank: usize, bytes: &[u8]) -> Result<LocalCompressed, CkptError> {
     }
     let mut values = Vec::with_capacity(nnz);
     for _ in 0..nnz {
-        values.push(
-            c.try_read_f64()
-                .map_err(|_| CkptError::Corrupt { rank, reason: "truncated at values".into() })?,
-        );
+        values.push(c.try_read_f64().map_err(|_| CkptError::Corrupt {
+            rank,
+            reason: "truncated at values".into(),
+        })?);
     }
     if !c.is_exhausted() {
         return Err(corrupt("trailing bytes"));
@@ -196,7 +203,10 @@ pub fn save(dir: impl AsRef<Path>, locals: &[LocalCompressed]) -> Result<(), Ckp
         format!("sparsedist-checkpoint v1\nranks {}\n", locals.len()),
     )?;
     for (rank, local) in locals.iter().enumerate() {
-        fs::write(dir.join(format!("rank_{rank}.sdc")), encode(local).as_bytes())?;
+        fs::write(
+            dir.join(format!("rank_{rank}.sdc")),
+            encode(local).as_bytes(),
+        )?;
     }
     Ok(())
 }
@@ -233,7 +243,9 @@ mod tests {
     use sparsedist_multicomputer::{MachineModel, Multicomputer};
 
     fn tmpdir(name: &str) -> std::path::PathBuf {
-        let d = std::env::temp_dir().join("sparsedist_ckpt_tests").join(name);
+        let d = std::env::temp_dir()
+            .join("sparsedist_ckpt_tests")
+            .join(name);
         let _ = fs::remove_dir_all(&d);
         d
     }
@@ -242,7 +254,9 @@ mod tests {
         let a = paper_array_a();
         let part = RowBlock::new(10, 8, 4);
         let machine = Multicomputer::virtual_machine(4, MachineModel::ibm_sp2());
-        run_scheme(SchemeKind::Ed, &machine, &a, &part, kind).unwrap().locals
+        run_scheme(SchemeKind::Ed, &machine, &a, &part, kind)
+            .unwrap()
+            .locals
     }
 
     #[test]

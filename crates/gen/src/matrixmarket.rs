@@ -47,7 +47,10 @@ impl From<std::io::Error> for MmError {
 }
 
 fn parse_err(line: usize, reason: impl Into<String>) -> MmError {
-    MmError::Parse { line, reason: reason.into() }
+    MmError::Parse {
+        line,
+        reason: reason.into(),
+    }
 }
 
 /// Parse a MatrixMarket `coordinate real general` document.
@@ -61,7 +64,10 @@ pub fn parse(text: &str) -> Result<Coo, MmError> {
     let (_, header) = lines.next().ok_or_else(|| parse_err(1, "empty document"))?;
     let h: Vec<&str> = header.split_whitespace().collect();
     if h.len() != 5 || !h[0].eq_ignore_ascii_case("%%MatrixMarket") {
-        return Err(parse_err(1, "expected '%%MatrixMarket matrix coordinate <field> <symmetry>'"));
+        return Err(parse_err(
+            1,
+            "expected '%%MatrixMarket matrix coordinate <field> <symmetry>'",
+        ));
     }
     if !h[1].eq_ignore_ascii_case("matrix") || !h[2].eq_ignore_ascii_case("coordinate") {
         return Err(MmError::Unsupported(format!("{} {}", h[1], h[2])));
@@ -86,9 +92,15 @@ pub fn parse(text: &str) -> Result<Coo, MmError> {
         if parts.len() != 3 {
             return Err(parse_err(i + 1, "size line must be 'rows cols nnz'"));
         }
-        let rows: usize = parts[0].parse().map_err(|_| parse_err(i + 1, "bad row count"))?;
-        let cols: usize = parts[1].parse().map_err(|_| parse_err(i + 1, "bad col count"))?;
-        let nnz: usize = parts[2].parse().map_err(|_| parse_err(i + 1, "bad nnz count"))?;
+        let rows: usize = parts[0]
+            .parse()
+            .map_err(|_| parse_err(i + 1, "bad row count"))?;
+        let cols: usize = parts[1]
+            .parse()
+            .map_err(|_| parse_err(i + 1, "bad col count"))?;
+        let nnz: usize = parts[2]
+            .parse()
+            .map_err(|_| parse_err(i + 1, "bad nnz count"))?;
         size = Some((rows, cols, nnz));
         break;
     }
@@ -106,15 +118,24 @@ pub fn parse(text: &str) -> Result<Coo, MmError> {
         if parts.len() != want {
             return Err(parse_err(i + 1, format!("entry must have {want} fields")));
         }
-        let r: usize = parts[0].parse().map_err(|_| parse_err(i + 1, "bad row index"))?;
-        let c: usize = parts[1].parse().map_err(|_| parse_err(i + 1, "bad col index"))?;
+        let r: usize = parts[0]
+            .parse()
+            .map_err(|_| parse_err(i + 1, "bad row index"))?;
+        let c: usize = parts[1]
+            .parse()
+            .map_err(|_| parse_err(i + 1, "bad col index"))?;
         if r == 0 || c == 0 || r > rows || c > cols {
-            return Err(parse_err(i + 1, format!("index ({r},{c}) out of 1..={rows} x 1..={cols}")));
+            return Err(parse_err(
+                i + 1,
+                format!("index ({r},{c}) out of 1..={rows} x 1..={cols}"),
+            ));
         }
         let v: f64 = if field == "pattern" {
             1.0
         } else {
-            parts[2].parse().map_err(|_| parse_err(i + 1, "bad value"))?
+            parts[2]
+                .parse()
+                .map_err(|_| parse_err(i + 1, "bad value"))?
         };
         coo.push(r - 1, c - 1, v);
         if symmetry == "symmetric" && r != c {
@@ -123,7 +144,10 @@ pub fn parse(text: &str) -> Result<Coo, MmError> {
         seen += 1;
     }
     if seen != nnz {
-        return Err(parse_err(0, format!("header promised {nnz} entries, found {seen}")));
+        return Err(parse_err(
+            0,
+            format!("header promised {nnz} entries, found {seen}"),
+        ));
     }
     Ok(coo)
 }
@@ -199,7 +223,10 @@ mod tests {
 
     #[test]
     fn error_on_bad_header() {
-        assert!(matches!(parse("garbage\n"), Err(MmError::Parse { line: 1, .. })));
+        assert!(matches!(
+            parse("garbage\n"),
+            Err(MmError::Parse { line: 1, .. })
+        ));
         assert!(matches!(
             parse("%%MatrixMarket matrix array real general\n"),
             Err(MmError::Unsupported(_))

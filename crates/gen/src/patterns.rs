@@ -95,7 +95,10 @@ pub fn block_clustered(n: usize, bsize: usize, nblocks: usize, seed: u64) -> Den
 /// paper's `s'` (max local ratio) diverge from `s`.
 pub fn row_skewed(n: usize, max_row_nnz: usize, seed: u64) -> Dense2D {
     assert!(n > 0, "array dimension must be positive");
-    assert!(max_row_nnz <= n, "row nonzeros cannot exceed the column count");
+    assert!(
+        max_row_nnz <= n,
+        "row nonzeros cannot exceed the column count"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut a = Dense2D::zeros(n, n);
     for r in 0..n {
@@ -124,7 +127,10 @@ pub fn row_skewed(n: usize, max_row_nnz: usize, seed: u64) -> Dense2D {
 pub fn zipf_rows(n: usize, total_nnz: usize, alpha: f64, seed: u64) -> Dense2D {
     assert!(n > 0, "array dimension must be positive");
     assert!(alpha.is_finite() && alpha > 0.0, "alpha must be positive");
-    assert!(total_nnz <= n * n, "cannot place {total_nnz} nonzeros in {n}x{n}");
+    assert!(
+        total_nnz <= n * n,
+        "cannot place {total_nnz} nonzeros in {n}x{n}"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
 
     // Zipf weights over shuffled row ranks.
@@ -133,7 +139,9 @@ pub fn zipf_rows(n: usize, total_nnz: usize, alpha: f64, seed: u64) -> Dense2D {
         let j = rng.random_range(0..=k);
         rows.swap(k, j);
     }
-    let weights: Vec<f64> = (0..n).map(|rank| 1.0 / ((rank + 1) as f64).powf(alpha)).collect();
+    let weights: Vec<f64> = (0..n)
+        .map(|rank| 1.0 / ((rank + 1) as f64).powf(alpha))
+        .collect();
     let wsum: f64 = weights.iter().sum();
 
     // Ideal per-row counts, then distribute the rounding remainder.
@@ -252,8 +260,12 @@ mod tests {
     #[test]
     fn row_skewed_increases_down_rows() {
         let a = row_skewed(64, 32, 1);
-        let top: usize = (0..8).map(|r| a.row(r).iter().filter(|&&v| v != 0.0).count()).sum();
-        let bottom: usize = (56..64).map(|r| a.row(r).iter().filter(|&&v| v != 0.0).count()).sum();
+        let top: usize = (0..8)
+            .map(|r| a.row(r).iter().filter(|&&v| v != 0.0).count())
+            .sum();
+        let bottom: usize = (56..64)
+            .map(|r| a.row(r).iter().filter(|&&v| v != 0.0).count())
+            .sum();
         assert!(bottom > top * 2, "bottom {bottom} top {top}");
         // And it produces the s' > s imbalance the paper's analysis keys on.
         let part = RowBlock::new(64, 64, 4);

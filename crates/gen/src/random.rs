@@ -41,7 +41,14 @@ impl SparseRandom {
     /// mode, seed 0, values in `[1, 2)`).
     pub fn new(rows: usize, cols: usize) -> Self {
         assert!(rows > 0 && cols > 0, "array dimensions must be positive");
-        SparseRandom { rows, cols, s: 0.1, seed: 0, mode: RatioMode::Exact, value_range: (1.0, 2.0) }
+        SparseRandom {
+            rows,
+            cols,
+            s: 0.1,
+            seed: 0,
+            mode: RatioMode::Exact,
+            value_range: (1.0, 2.0),
+        }
     }
 
     /// Target sparse ratio in `[0, 1]`.
@@ -49,7 +56,10 @@ impl SparseRandom {
     /// # Panics
     /// Panics if `s` is outside `[0, 1]`.
     pub fn sparse_ratio(mut self, s: f64) -> Self {
-        assert!((0.0..=1.0).contains(&s), "sparse ratio must be in [0,1], got {s}");
+        assert!(
+            (0.0..=1.0).contains(&s),
+            "sparse ratio must be in [0,1], got {s}"
+        );
         self.s = s;
         self
     }
@@ -168,7 +178,10 @@ mod tests {
 
     #[test]
     fn values_in_requested_range() {
-        let a = SparseRandom::new(40, 40).value_range(5.0, 6.0).seed(9).generate();
+        let a = SparseRandom::new(40, 40)
+            .value_range(5.0, 6.0)
+            .seed(9)
+            .generate();
         for (_, _, v) in a.iter_nonzero() {
             assert!((5.0..6.0).contains(&v));
         }

@@ -136,7 +136,10 @@ pub fn allgather(env: &mut Env, buf: PackBuffer) -> Result<Vec<PackBuffer>, Comm
 /// Panics if alive ranks contribute different lengths, or no rank is alive.
 pub fn allreduce_sum(env: &mut Env, values: &[f64]) -> Result<Vec<f64>, CommError> {
     check_self_alive(env)?;
-    let hub = *env.alive_ranks().first().expect("allreduce needs at least one alive rank");
+    let hub = *env
+        .alive_ranks()
+        .first()
+        .expect("allreduce needs at least one alive rank");
     // Checkout from the rank's arena: iterative solvers call allreduce
     // every sweep, and recycling keeps the hub's p-fold churn off the
     // allocator entirely after the first round.
@@ -154,7 +157,12 @@ pub fn allreduce_sum(env: &mut Env, values: &[f64]) -> Result<Vec<f64>, CommErro
             let msg = env.recv(src)?;
             let mut cursor = msg.payload.cursor();
             let len = cursor.read_usize();
-            assert_eq!(len, acc.len(), "rank {src} contributed length {len}, expected {}", acc.len());
+            assert_eq!(
+                len,
+                acc.len(),
+                "rank {src} contributed length {len}, expected {}",
+                acc.len()
+            );
             for slot in acc.iter_mut() {
                 *slot += cursor.read_f64();
             }
@@ -183,7 +191,10 @@ pub fn allreduce_sum(env: &mut Env, values: &[f64]) -> Result<Vec<f64>, CommErro
 /// [`Phase::Other`] to keep it out of scheme aggregates.
 pub fn barrier(env: &mut Env) -> Result<(), CommError> {
     check_self_alive(env)?;
-    let hub = *env.alive_ranks().first().expect("barrier needs at least one alive rank");
+    let hub = *env
+        .alive_ranks()
+        .first()
+        .expect("barrier needs at least one alive rank");
     env.phase(Phase::Other, |env| {
         env.send(hub, PackBuffer::new())?;
         if env.rank() == hub {
@@ -250,7 +261,9 @@ mod tests {
             let mut b = PackBuffer::new();
             b.push_u64(env.rank() as u64 * 10);
             let all = gather(env, 0, b).unwrap();
-            all.iter().map(|b| b.cursor().read_u64()).collect::<Vec<_>>()
+            all.iter()
+                .map(|b| b.cursor().read_u64())
+                .collect::<Vec<_>>()
         });
         assert_eq!(got[0], vec![0, 10, 20, 30]);
         assert!(got[1].is_empty());
@@ -288,7 +301,9 @@ mod tests {
             let mut b = PackBuffer::new();
             b.push_u64(env.rank() as u64 * 3);
             let all = allgather(env, b).unwrap();
-            all.iter().map(|b| b.cursor().read_u64()).collect::<Vec<_>>()
+            all.iter()
+                .map(|b| b.cursor().read_u64())
+                .collect::<Vec<_>>()
         });
         for ranks in got {
             assert_eq!(ranks, vec![0, 3, 6, 9]);
@@ -372,7 +387,11 @@ mod tests {
                 Err(_) => Vec::new(),
             }
         });
-        assert_eq!(got[0], vec![1, 0, 1], "dead rank 1 contributes an empty placeholder");
+        assert_eq!(
+            got[0],
+            vec![1, 0, 1],
+            "dead rank 1 contributes an empty placeholder"
+        );
     }
 
     #[test]

@@ -77,7 +77,10 @@ pub enum TimingMode {
 impl TimingMode {
     /// Wall-clock mode with no injected wire cost.
     pub fn wall() -> Self {
-        TimingMode::WallClock { wire_ns_per_elem: 0, wire_ns_startup: 0 }
+        TimingMode::WallClock {
+            wire_ns_per_elem: 0,
+            wire_ns_startup: 0,
+        }
     }
 }
 
@@ -110,7 +113,12 @@ pub enum CommError {
 impl fmt::Display for CommError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CommError::RetriesExhausted { src, dst, seq, attempts } => write!(
+            CommError::RetriesExhausted {
+                src,
+                dst,
+                seq,
+                attempts,
+            } => write!(
                 f,
                 "message {seq} from rank {src} to rank {dst} undelivered after {attempts} attempts"
             ),
@@ -203,7 +211,11 @@ impl Multicomputer {
         assert!(nprocs > 0, "a multicomputer needs at least one processor");
         // Validate grid topologies eagerly (hops would panic lazily).
         if let Topology::Mesh2D { pr, pc } | Topology::Torus2D { pr, pc } = topology {
-            assert_eq!(pr * pc, nprocs, "topology grid {pr}x{pc} != {nprocs} processors");
+            assert_eq!(
+                pr * pc,
+                nprocs,
+                "topology grid {pr}x{pc} != {nprocs} processors"
+            );
         }
         Multicomputer {
             nprocs,
@@ -296,7 +308,10 @@ impl Multicomputer {
         let arenas = &self.arenas;
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(p);
-            let rows = data_tx.into_iter().zip(data_rx).zip(ack_tx.into_iter().zip(ack_rx));
+            let rows = data_tx
+                .into_iter()
+                .zip(data_rx)
+                .zip(ack_tx.into_iter().zip(ack_rx));
             for (rank, ((tx_row, rx_row), (ack_tx_row, ack_rx_row))) in rows.enumerate() {
                 handles.push(scope.spawn(move || {
                     let mut env = Env::new(
@@ -346,15 +361,22 @@ fn channel_matrix<T>(p: usize) -> (Vec<Vec<Sender<T>>>, Vec<Vec<Receiver<T>>>) {
     let receivers = receivers
         .into_iter()
         .map(|row| {
-            row.into_iter().map(|r| r.expect("channel matrix fully populated")).collect()
+            row.into_iter()
+                .map(|r| r.expect("channel matrix fully populated"))
+                .collect()
         })
         .collect();
     (senders, receivers)
 }
 
 enum Clock {
-    Virtual { now: VirtualTime, model: MachineModel },
-    Wall { epoch: Instant },
+    Virtual {
+        now: VirtualTime,
+        model: MachineModel,
+    },
+    Wall {
+        epoch: Instant,
+    },
 }
 
 /// One simulated processor's execution environment: its rank, its channels
@@ -395,10 +417,24 @@ impl Env {
         ack_receivers: Vec<Receiver<AckMsg>>,
     ) -> Self {
         let (clock, wire_ns_per_elem, wire_ns_startup) = match mode {
-            TimingMode::Virtual(model) => (Clock::Virtual { now: VirtualTime::ZERO, model }, 0, 0),
-            TimingMode::WallClock { wire_ns_per_elem, wire_ns_startup } => {
-                (Clock::Wall { epoch: Instant::now() }, wire_ns_per_elem, wire_ns_startup)
-            }
+            TimingMode::Virtual(model) => (
+                Clock::Virtual {
+                    now: VirtualTime::ZERO,
+                    model,
+                },
+                0,
+                0,
+            ),
+            TimingMode::WallClock {
+                wire_ns_per_elem,
+                wire_ns_startup,
+            } => (
+                Clock::Wall {
+                    epoch: Instant::now(),
+                },
+                wire_ns_per_elem,
+                wire_ns_startup,
+            ),
         };
         Env {
             rank,
@@ -449,13 +485,19 @@ impl Env {
 
     /// Count one physical transmission in the ledger's [`WireStats`].
     fn record_tx(&mut self, elems: u64, bytes: usize) {
-        *self.ledger.wire_mut() += WireStats { messages: 1, elements: elems, bytes: bytes as u64 };
+        *self.ledger.wire_mut() += WireStats {
+            messages: 1,
+            elements: elems,
+            bytes: bytes as u64,
+        };
     }
 
     /// The ranks that are alive under the current fault plan, ascending
     /// (all ranks when no plan is installed).
     pub fn alive_ranks(&self) -> Vec<usize> {
-        (0..self.nprocs).filter(|&r| !self.is_rank_dead(r)).collect()
+        (0..self.nprocs)
+            .filter(|&r| !self.is_rank_dead(r))
+            .collect()
     }
 
     /// Current local clock reading.
@@ -565,8 +607,15 @@ impl Env {
             // Fast path: the original engine, byte-for-byte cost behavior.
             let arrival = self.charge_wire(payload.elem_count(), hops, Phase::Send);
             self.record_tx(payload.elem_count(), payload.byte_len());
-            let frame =
-                Frame { seq, src: self.rank, payload, arrival, crc: 0, injected: None, failed: false };
+            let frame = Frame {
+                seq,
+                src: self.rank,
+                payload,
+                arrival,
+                crc: 0,
+                injected: None,
+                failed: false,
+            };
             return self.push_frame(dst, frame);
         };
 
@@ -577,16 +626,18 @@ impl Env {
         let mut attempt: u32 = 0;
         loop {
             let fate = plan.decide(self.rank, dst, seq, attempt, self.current_phase);
-            let wire_phase = if attempt == 0 { Phase::Send } else { Phase::Retry };
+            let wire_phase = if attempt == 0 {
+                Phase::Send
+            } else {
+                Phase::Retry
+            };
             let sent_at = self.charge_wire(elems, hops, wire_phase);
             self.record_tx(elems, nbytes);
             match fate {
                 None | Some(FaultKind::Delay(_)) => {
                     let arrival = match fate {
                         Some(FaultKind::Delay(extra_us)) => match self.clock {
-                            Clock::Virtual { .. } => {
-                                sent_at + VirtualTime::from_micros(extra_us)
-                            }
+                            Clock::Virtual { .. } => sent_at + VirtualTime::from_micros(extra_us),
                             Clock::Wall { .. } => sent_at,
                         },
                         _ => sent_at,
@@ -648,7 +699,9 @@ impl Env {
     }
 
     fn push_frame(&mut self, dst: usize, frame: Frame) -> Result<(), CommError> {
-        self.senders[dst].send(frame).map_err(|_| CommError::Disconnected { peer: dst })
+        self.senders[dst]
+            .send(frame)
+            .map_err(|_| CommError::Disconnected { peer: dst })
     }
 
     /// Blocking receive of the next message from `src`.
@@ -703,7 +756,9 @@ impl Env {
                 _ => {}
             }
             // CRC verification walks every payload element once.
-            self.phase(Phase::Recv, |env| env.charge_ops(frame.payload.elem_count()));
+            self.phase(Phase::Recv, |env| {
+                env.charge_ops(frame.payload.elem_count())
+            });
             let ok = frame.payload.crc32() == frame.crc;
             self.send_ack(src, AckMsg { seq: frame.seq, ok });
             if ok {
@@ -720,7 +775,11 @@ impl Env {
             *now = now.max(frame.arrival);
             self.ledger.record(Phase::Wait, jump);
         }
-        Message { src: frame.src, payload: frame.payload, arrival: frame.arrival }
+        Message {
+            src: frame.src,
+            payload: frame.payload,
+            arrival: frame.arrival,
+        }
     }
 
     /// Emit an ack/nack control frame and charge its wire cost (a one-
@@ -908,7 +967,9 @@ mod tests {
                 }
                 Vec::new()
             } else {
-                (0..10).map(|_| env.recv(0).unwrap().payload.cursor().read_u64()).collect()
+                (0..10)
+                    .map(|_| env.recv(0).unwrap().payload.cursor().read_u64())
+                    .collect()
             }
         });
         assert_eq!(results[1], (0..10).collect::<Vec<_>>());
@@ -957,8 +1018,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "topology grid")]
     fn mismatched_topology_grid_rejected() {
-        let _ =
-            Multicomputer::virtual_with_topology(6, model(), Topology::Mesh2D { pr: 2, pc: 2 });
+        let _ = Multicomputer::virtual_with_topology(6, model(), Topology::Mesh2D { pr: 2, pc: 2 });
     }
 
     #[test]
@@ -993,7 +1053,14 @@ mod tests {
             }
         });
         let w = ledgers[0].wire();
-        assert_eq!(w, WireStats { messages: 2, elements: 4, bytes: 29 });
+        assert_eq!(
+            w,
+            WireStats {
+                messages: 2,
+                elements: 4,
+                bytes: 29
+            }
+        );
         assert!(ledgers[1].wire().is_zero(), "receiving transmits nothing");
     }
 
@@ -1002,7 +1069,11 @@ mod tests {
         let plan = FaultPlan::new(0).with_drop(1.0);
         let m = Multicomputer::virtual_machine(2, model())
             .with_faults(plan)
-            .with_retry_policy(RetryPolicy { max_retries: 2, timeout_us: 10.0, backoff: 2.0 });
+            .with_retry_policy(RetryPolicy {
+                max_retries: 2,
+                timeout_us: 10.0,
+                backoff: 2.0,
+            });
         let (_, ledgers) = m.run_with_ledgers(|env| {
             if env.rank() == 0 {
                 let mut b = PackBuffer::new();
@@ -1014,7 +1085,14 @@ mod tests {
         });
         // 3 physical attempts of the same 3-element, 24-byte frame; the
         // poison frame is control traffic, not data.
-        assert_eq!(ledgers[0].wire(), WireStats { messages: 3, elements: 9, bytes: 72 });
+        assert_eq!(
+            ledgers[0].wire(),
+            WireStats {
+                messages: 3,
+                elements: 9,
+                bytes: 72
+            }
+        );
     }
 
     #[test]
@@ -1069,7 +1147,11 @@ mod tests {
         let plan = FaultPlan::new(7).with_drop(0.5);
         let m = Multicomputer::virtual_machine(2, model())
             .with_faults(plan)
-            .with_retry_policy(RetryPolicy { max_retries: 16, timeout_us: 50.0, backoff: 2.0 });
+            .with_retry_policy(RetryPolicy {
+                max_retries: 16,
+                timeout_us: 50.0,
+                backoff: 2.0,
+            });
         let (results, ledgers) = m.run_with_ledgers(|env| {
             if env.rank() == 0 {
                 for i in 0..20u64 {
@@ -1079,14 +1161,23 @@ mod tests {
                 }
                 Vec::new()
             } else {
-                (0..20).map(|_| env.recv(0).unwrap().payload.cursor().read_u64()).collect()
+                (0..20)
+                    .map(|_| env.recv(0).unwrap().payload.cursor().read_u64())
+                    .collect()
             }
         });
         assert_eq!(results[1], (0..20).collect::<Vec<_>>());
         let retries = ledgers[0].faults().retries;
         assert!(retries > 0, "a 50% drop rate must force retries");
-        assert_eq!(ledgers[1].faults().drops, retries, "every retry answers one lost frame");
-        assert!(ledgers[0].get(Phase::Retry).as_micros() > 0.0, "retries must be charged");
+        assert_eq!(
+            ledgers[1].faults().drops,
+            retries,
+            "every retry answers one lost frame"
+        );
+        assert!(
+            ledgers[0].get(Phase::Retry).as_micros() > 0.0,
+            "retries must be charged"
+        );
     }
 
     #[test]
@@ -1094,7 +1185,11 @@ mod tests {
         let plan = FaultPlan::new(3).with_corrupt(0.5);
         let m = Multicomputer::virtual_machine(2, model())
             .with_faults(plan)
-            .with_retry_policy(RetryPolicy { max_retries: 16, timeout_us: 10.0, backoff: 1.5 });
+            .with_retry_policy(RetryPolicy {
+                max_retries: 16,
+                timeout_us: 10.0,
+                backoff: 1.5,
+            });
         let (results, ledgers) = m.run_with_ledgers(|env| {
             if env.rank() == 0 {
                 for i in 0..20u64 {
@@ -1116,7 +1211,10 @@ mod tests {
         });
         let want: Vec<(u64, f64)> = (0..20).map(|i| (i * 1000, i as f64)).collect();
         assert_eq!(results[1], want, "all payloads must arrive uncorrupted");
-        assert!(ledgers[1].faults().corrupts > 0, "a 50% corrupt rate must hit some frames");
+        assert!(
+            ledgers[1].faults().corrupts > 0,
+            "a 50% corrupt rate must hit some frames"
+        );
         assert_eq!(ledgers[1].faults().nacks, ledgers[1].faults().corrupts);
         assert_eq!(ledgers[1].faults().acks, 20);
     }
@@ -1137,23 +1235,40 @@ mod tests {
             }
         });
         // Send costs 10 + 1*2 = 12 µs, plus the injected 500 µs delay.
-        assert!(results[1] >= 512.0, "receiver clock must include the delay, got {}", results[1]);
+        assert!(
+            results[1] >= 512.0,
+            "receiver clock must include the delay, got {}",
+            results[1]
+        );
         assert_eq!(ledgers[1].faults().delays, 1);
     }
 
     #[test]
     fn retries_exhausted_errors_both_sides_without_deadlock() {
-        let plan = FaultPlan::new(0).with_link(0, 1, LinkProbs { drop: 1.0, ..Default::default() });
+        let plan = FaultPlan::new(0).with_link(
+            0,
+            1,
+            LinkProbs {
+                drop: 1.0,
+                ..Default::default()
+            },
+        );
         let m = Multicomputer::virtual_machine(2, model())
             .with_faults(plan)
-            .with_retry_policy(RetryPolicy { max_retries: 2, timeout_us: 10.0, backoff: 2.0 });
+            .with_retry_policy(RetryPolicy {
+                max_retries: 2,
+                timeout_us: 10.0,
+                backoff: 2.0,
+            });
         let results = m.run(|env| {
             if env.rank() == 0 {
                 let mut b = PackBuffer::new();
                 b.push_u64(1);
                 env.send(1, b).map(|_| 0u64).map_err(|e| e.to_string())
             } else {
-                env.recv(0).map(|m| m.payload.cursor().read_u64()).map_err(|e| e.to_string())
+                env.recv(0)
+                    .map(|m| m.payload.cursor().read_u64())
+                    .map_err(|e| e.to_string())
             }
         });
         let sender_err = results[0].clone().unwrap_err();
@@ -1167,7 +1282,11 @@ mod tests {
         let plan = FaultPlan::new(0).with_drop(1.0);
         let m = Multicomputer::virtual_machine(2, model())
             .with_faults(plan)
-            .with_retry_policy(RetryPolicy { max_retries: 2, timeout_us: 10.0, backoff: 2.0 });
+            .with_retry_policy(RetryPolicy {
+                max_retries: 2,
+                timeout_us: 10.0,
+                backoff: 2.0,
+            });
         let (_, ledgers) = m.run_with_ledgers(|env| {
             if env.rank() == 0 {
                 let mut b = PackBuffer::new();
@@ -1188,10 +1307,17 @@ mod tests {
     #[test]
     fn fault_runs_are_deterministic() {
         let run_once = || {
-            let plan = FaultPlan::new(11).with_drop(0.3).with_corrupt(0.2).with_delay(0.1, 80.0);
+            let plan = FaultPlan::new(11)
+                .with_drop(0.3)
+                .with_corrupt(0.2)
+                .with_delay(0.1, 80.0);
             let m = Multicomputer::virtual_machine(3, model())
                 .with_faults(plan)
-                .with_retry_policy(RetryPolicy { max_retries: 20, timeout_us: 25.0, backoff: 2.0 });
+                .with_retry_policy(RetryPolicy {
+                    max_retries: 20,
+                    timeout_us: 25.0,
+                    backoff: 2.0,
+                });
             m.run_with_ledgers(|env| {
                 if env.rank() == 0 {
                     for dst in 1..env.nprocs() {
@@ -1203,14 +1329,19 @@ mod tests {
                     }
                     0
                 } else {
-                    (0..10).map(|_| env.recv(0).unwrap().payload.elem_count()).sum::<u64>()
+                    (0..10)
+                        .map(|_| env.recv(0).unwrap().payload.elem_count())
+                        .sum::<u64>()
                 }
             })
         };
         let (ra, la) = run_once();
         let (rb, lb) = run_once();
         assert_eq!(ra, rb);
-        assert_eq!(la, lb, "ledgers (including fault stats) must be byte-identical");
+        assert_eq!(
+            la, lb,
+            "ledgers (including fault stats) must be byte-identical"
+        );
     }
 
     #[test]
@@ -1255,7 +1386,11 @@ mod tests {
         let plan = FaultPlan::new(21).with_drop(0.4).with_corrupt(0.2);
         let m = Multicomputer::wall_clock(2)
             .with_faults(plan)
-            .with_retry_policy(RetryPolicy { max_retries: 24, timeout_us: 1.0, backoff: 1.1 });
+            .with_retry_policy(RetryPolicy {
+                max_retries: 24,
+                timeout_us: 1.0,
+                backoff: 1.1,
+            });
         let results = m.run(|env| {
             if env.rank() == 0 {
                 for i in 0..30u64 {
@@ -1265,7 +1400,9 @@ mod tests {
                 }
                 0
             } else {
-                (0..30).map(|_| env.recv(0).unwrap().payload.cursor().read_u64()).sum::<u64>()
+                (0..30)
+                    .map(|_| env.recv(0).unwrap().payload.cursor().read_u64())
+                    .sum::<u64>()
             }
         });
         assert_eq!(results[1], (0..30).sum::<u64>());

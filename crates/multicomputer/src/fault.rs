@@ -46,7 +46,11 @@ pub struct LinkProbs {
 
 impl LinkProbs {
     fn validate(&self) {
-        for (name, p) in [("drop", self.drop), ("corrupt", self.corrupt), ("delay", self.delay)] {
+        for (name, p) in [
+            ("drop", self.drop),
+            ("corrupt", self.corrupt),
+            ("delay", self.delay),
+        ] {
             assert!(
                 p.is_finite() && (0.0..=1.0).contains(&p),
                 "{name} probability must be in [0, 1], got {p}"
@@ -242,16 +246,16 @@ impl FaultPlan {
             reason: why.to_string(),
         };
         let prob = |tok: &str, v: &str| -> Result<f64, FaultSpecError> {
-            let p: f64 =
-                v.parse().map_err(|_| bad(tok, "expected a probability"))?;
+            let p: f64 = v.parse().map_err(|_| bad(tok, "expected a probability"))?;
             if !(0.0..=1.0).contains(&p) || !p.is_finite() {
                 return Err(bad(tok, "probability must be in [0, 1]"));
             }
             Ok(p)
         };
         for tok in spec.split(',').map(str::trim).filter(|t| !t.is_empty()) {
-            let (key, value) =
-                tok.split_once('=').ok_or_else(|| bad(tok, "expected key=value"))?;
+            let (key, value) = tok
+                .split_once('=')
+                .ok_or_else(|| bad(tok, "expected key=value"))?;
             if let Some((fault, link)) = key.split_once('@') {
                 let (s, d) = link
                     .split_once('-')
@@ -274,7 +278,9 @@ impl FaultPlan {
             }
             match key {
                 "seed" => {
-                    plan.seed = value.parse().map_err(|_| bad(tok, "expected an integer seed"))?;
+                    plan.seed = value
+                        .parse()
+                        .map_err(|_| bad(tok, "expected an integer seed"))?;
                 }
                 "drop" => {
                     plan.base.drop = prob(tok, value)?;
@@ -299,8 +305,7 @@ impl FaultPlan {
                 }
                 "dead" => {
                     for r in value.split('+') {
-                        let rank: usize =
-                            r.parse().map_err(|_| bad(tok, "bad dead rank"))?;
+                        let rank: usize = r.parse().map_err(|_| bad(tok, "bad dead rank"))?;
                         plan.dead.insert(rank);
                     }
                 }
@@ -358,7 +363,10 @@ impl RetryPolicy {
     /// A policy with the given retry budget and default timing (100 µs
     /// initial timeout, doubling per attempt).
     pub fn with_retries(max_retries: u32) -> Self {
-        RetryPolicy { max_retries, ..RetryPolicy::default() }
+        RetryPolicy {
+            max_retries,
+            ..RetryPolicy::default()
+        }
     }
 
     /// The timeout charged for the failed `attempt` (0-based):
@@ -370,7 +378,11 @@ impl RetryPolicy {
 
 impl Default for RetryPolicy {
     fn default() -> Self {
-        RetryPolicy { max_retries: 6, timeout_us: 100.0, backoff: 2.0 }
+        RetryPolicy {
+            max_retries: 6,
+            timeout_us: 100.0,
+            backoff: 2.0,
+        }
     }
 }
 
@@ -378,7 +390,10 @@ impl Default for RetryPolicy {
 fn mix(words: &[u64]) -> u64 {
     let mut h: u64 = 0x9e37_79b9_7f4a_7c15;
     for &w in words {
-        h ^= w.wrapping_add(0x9e37_79b9_7f4a_7c15).wrapping_add(h << 6).wrapping_add(h >> 2);
+        h ^= w
+            .wrapping_add(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(h << 6)
+            .wrapping_add(h >> 2);
         h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
         h ^= h >> 27;
         h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -393,7 +408,10 @@ mod tests {
 
     #[test]
     fn decisions_are_deterministic() {
-        let plan = FaultPlan::new(9).with_drop(0.3).with_corrupt(0.1).with_delay(0.1, 50.0);
+        let plan = FaultPlan::new(9)
+            .with_drop(0.3)
+            .with_corrupt(0.1)
+            .with_delay(0.1, 50.0);
         for seq in 0..200 {
             let a = plan.decide(0, 1, seq, 0, Phase::Send);
             let b = plan.decide(0, 1, seq, 0, Phase::Send);
@@ -413,8 +431,9 @@ mod tests {
     #[test]
     fn attempts_roll_independently() {
         let plan = FaultPlan::new(5).with_drop(0.5);
-        let fates: Vec<_> =
-            (0..16).map(|attempt| plan.decide(0, 1, 0, attempt, Phase::Send)).collect();
+        let fates: Vec<_> = (0..16)
+            .map(|attempt| plan.decide(0, 1, 0, attempt, Phase::Send))
+            .collect();
         // With p = 0.5 over 16 attempts it would be a 1-in-2^15 fluke for
         // all to agree; the seed is fixed so this is a stable assertion.
         assert!(fates.windows(2).any(|w| w[0] != w[1]), "{fates:?}");
@@ -422,9 +441,14 @@ mod tests {
 
     #[test]
     fn link_overrides_take_precedence() {
-        let plan = FaultPlan::new(0)
-            .with_drop(0.0)
-            .with_link(2, 3, LinkProbs { drop: 1.0, ..LinkProbs::default() });
+        let plan = FaultPlan::new(0).with_drop(0.0).with_link(
+            2,
+            3,
+            LinkProbs {
+                drop: 1.0,
+                ..LinkProbs::default()
+            },
+        );
         assert_eq!(plan.decide(0, 1, 0, 0, Phase::Send), None);
         assert_eq!(plan.decide(2, 3, 0, 0, Phase::Send), Some(FaultKind::Drop));
     }
@@ -445,9 +469,10 @@ mod tests {
 
     #[test]
     fn parse_full_spec() {
-        let plan =
-            FaultPlan::parse("seed=42, drop=0.1, corrupt=0.05, delay=0.2:300, dead=1+4, corrupt@0-3=0.5")
-                .unwrap();
+        let plan = FaultPlan::parse(
+            "seed=42, drop=0.1, corrupt=0.05, delay=0.2:300, dead=1+4, corrupt@0-3=0.5",
+        )
+        .unwrap();
         assert_eq!(plan.seed(), 42);
         assert_eq!(plan.link_probs(9, 9).drop, 0.1);
         assert_eq!(plan.link_probs(9, 9).corrupt, 0.05);
@@ -486,7 +511,11 @@ mod tests {
 
     #[test]
     fn retry_policy_backoff_grows() {
-        let rp = RetryPolicy { max_retries: 3, timeout_us: 10.0, backoff: 2.0 };
+        let rp = RetryPolicy {
+            max_retries: 3,
+            timeout_us: 10.0,
+            backoff: 2.0,
+        };
         assert_eq!(rp.timeout_for(0), 10.0);
         assert_eq!(rp.timeout_for(1), 20.0);
         assert_eq!(rp.timeout_for(3), 80.0);

@@ -63,7 +63,10 @@ impl PackBuffer {
 
     /// An empty buffer with room for `elems` 8-byte elements.
     pub fn with_capacity(elems: usize) -> Self {
-        PackBuffer { bytes: Vec::with_capacity(elems * 8), elems: 0 }
+        PackBuffer {
+            bytes: Vec::with_capacity(elems * 8),
+            elems: 0,
+        }
     }
 
     /// Append one index element.
@@ -157,7 +160,10 @@ impl PackBuffer {
     /// valid 8-byte slot.
     pub fn patch_u64(&mut self, at: usize, v: u64) -> Result<(), PatchError> {
         if at + 8 > self.bytes.len() {
-            return Err(PatchError { at, len: self.bytes.len() });
+            return Err(PatchError {
+                at,
+                len: self.bytes.len(),
+            });
         }
         self.bytes[at..at + 8].copy_from_slice(&v.to_le_bytes());
         Ok(())
@@ -176,7 +182,10 @@ impl PackBuffer {
     /// with `v`. Does not change the element count.
     pub fn patch_u32(&mut self, at: usize, v: u32) -> Result<(), PatchError> {
         if at + 4 > self.bytes.len() {
-            return Err(PatchError { at, len: self.bytes.len() });
+            return Err(PatchError {
+                at,
+                len: self.bytes.len(),
+            });
         }
         self.bytes[at..at + 4].copy_from_slice(&v.to_le_bytes());
         Ok(())
@@ -200,7 +209,10 @@ impl PackBuffer {
 
     /// Begin unpacking from the start of the buffer.
     pub fn cursor(&self) -> UnpackCursor<'_> {
-        UnpackCursor { bytes: &self.bytes, pos: 0 }
+        UnpackCursor {
+            bytes: &self.bytes,
+            pos: 0,
+        }
     }
 
     /// The raw wire bytes.
@@ -300,7 +312,11 @@ pub fn crc32(bytes: &[u8]) -> u32 {
         for (i, slot) in t.iter_mut().enumerate() {
             let mut c = i as u32;
             for _ in 0..8 {
-                c = if c & 1 != 0 { 0xedb8_8320 ^ (c >> 1) } else { c >> 1 };
+                c = if c & 1 != 0 {
+                    0xedb8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
             }
             *slot = c;
         }
@@ -336,7 +352,12 @@ impl std::error::Error for PatchError {}
 
 impl fmt::Display for PackBuffer {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "PackBuffer({} elems, {} bytes)", self.elems, self.bytes.len())
+        write!(
+            f,
+            "PackBuffer({} elems, {} bytes)",
+            self.elems,
+            self.bytes.len()
+        )
     }
 }
 
@@ -373,7 +394,10 @@ impl<'a> UnpackCursor<'a> {
     fn take8(&mut self) -> Result<[u8; 8], UnpackError> {
         let end = self.pos + 8;
         if end > self.bytes.len() {
-            return Err(UnpackError { at: self.pos, remaining: self.bytes.len() - self.pos });
+            return Err(UnpackError {
+                at: self.pos,
+                remaining: self.bytes.len() - self.pos,
+            });
         }
         let mut out = [0u8; 8];
         out.copy_from_slice(&self.bytes[self.pos..end]);
@@ -407,7 +431,10 @@ impl<'a> UnpackCursor<'a> {
     pub fn try_read_u32(&mut self) -> Result<u32, UnpackError> {
         let end = self.pos + 4;
         if end > self.bytes.len() {
-            return Err(UnpackError { at: self.pos, remaining: self.bytes.len() - self.pos });
+            return Err(UnpackError {
+                at: self.pos,
+                remaining: self.bytes.len() - self.pos,
+            });
         }
         let mut out = [0u8; 4];
         out.copy_from_slice(&self.bytes[self.pos..end]);
@@ -429,12 +456,18 @@ impl<'a> UnpackCursor<'a> {
         let mut shift = 0u32;
         loop {
             let Some(&byte) = self.bytes.get(self.pos) else {
-                return Err(UnpackError { at: start, remaining: self.bytes.len() - start });
+                return Err(UnpackError {
+                    at: start,
+                    remaining: self.bytes.len() - start,
+                });
             };
             self.pos += 1;
             if shift == 63 && byte > 1 {
                 // An over-long encoding would overflow 64 bits.
-                return Err(UnpackError { at: start, remaining: self.bytes.len() - start });
+                return Err(UnpackError {
+                    at: start,
+                    remaining: self.bytes.len() - start,
+                });
             }
             out |= u64::from(byte & 0x7f) << shift;
             if byte & 0x80 == 0 {
@@ -453,7 +486,10 @@ impl<'a> UnpackCursor<'a> {
     pub fn try_read_raw(&mut self, n: usize) -> Result<&'a [u8], UnpackError> {
         let end = self.pos + n;
         if end > self.bytes.len() {
-            return Err(UnpackError { at: self.pos, remaining: self.bytes.len() - self.pos });
+            return Err(UnpackError {
+                at: self.pos,
+                remaining: self.bytes.len() - self.pos,
+            });
         }
         let out = &self.bytes[self.pos..end];
         self.pos = end;
@@ -544,7 +580,13 @@ mod tests {
         let mut c = b.cursor();
         c.read_u64();
         let err = c.try_read_u64().unwrap_err();
-        assert_eq!(err, UnpackError { at: 8, remaining: 0 });
+        assert_eq!(
+            err,
+            UnpackError {
+                at: 8,
+                remaining: 0
+            }
+        );
         assert!(err.to_string().contains("offset 8"));
     }
 
@@ -648,7 +690,10 @@ mod tests {
         }
         scalar.push_u64(3);
         scalar.push_u64(u64::MAX);
-        assert_eq!(bulk, scalar, "bulk pushes must be byte-identical to scalar pushes");
+        assert_eq!(
+            bulk, scalar,
+            "bulk pushes must be byte-identical to scalar pushes"
+        );
     }
 
     #[test]
@@ -664,12 +709,24 @@ mod tests {
         assert_eq!(c.read_u32(), 7);
         assert_eq!(c.read_u32(), u32::MAX);
         assert!(c.is_exhausted());
-        assert_eq!(b.patch_u32(9, 0).unwrap_err(), PatchError { at: 9, len: 12 });
+        assert_eq!(
+            b.patch_u32(9, 0).unwrap_err(),
+            PatchError { at: 9, len: 12 }
+        );
     }
 
     #[test]
     fn varint_round_trip_boundaries() {
-        let vals = [0u64, 1, 127, 128, 16_383, 16_384, u64::from(u32::MAX), u64::MAX];
+        let vals = [
+            0u64,
+            1,
+            127,
+            128,
+            16_383,
+            16_384,
+            u64::from(u32::MAX),
+            u64::MAX,
+        ];
         let mut b = PackBuffer::new();
         for &v in &vals {
             b.push_varint(v);
@@ -721,7 +778,11 @@ mod tests {
         arena.recycle(b);
         assert_eq!(arena.pooled(), 1);
         let b2 = arena.checkout(8);
-        assert_eq!(arena.pooled(), 0, "checkout must reuse the pooled allocation");
+        assert_eq!(
+            arena.pooled(),
+            0,
+            "checkout must reuse the pooled allocation"
+        );
         assert!(b2.is_empty(), "recycled buffers come back cleared");
         assert!(b2.bytes.capacity() >= cap);
         // Recycling an unallocated buffer is a no-op.

@@ -125,9 +125,7 @@ mod tests {
 
     #[test]
     fn sum_of_spans() {
-        let total: VirtualTime = (1..=4)
-            .map(|i| VirtualTime::from_micros(i as f64))
-            .sum();
+        let total: VirtualTime = (1..=4).map(|i| VirtualTime::from_micros(i as f64)).sum();
         assert_eq!(total.as_micros(), 10.0);
     }
 

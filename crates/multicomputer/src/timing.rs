@@ -498,7 +498,10 @@ mod tests {
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 2);
         let bar = |line: &str| -> String {
-            line.split('|').nth(1).expect("bar between pipes").to_string()
+            line.split('|')
+                .nth(1)
+                .expect("bar between pipes")
+                .to_string()
         };
         // Rank 0 fills the width with 'c'; rank 1 is half as long,
         // half 'u' and half wait-dots.
@@ -510,11 +513,26 @@ mod tests {
     #[test]
     fn wire_stats_merge_and_derive() {
         let mut a = PhaseLedger::new();
-        *a.wire_mut() += WireStats { messages: 2, elements: 10, bytes: 80 };
+        *a.wire_mut() += WireStats {
+            messages: 2,
+            elements: 10,
+            bytes: 80,
+        };
         let mut b = PhaseLedger::new();
-        *b.wire_mut() += WireStats { messages: 1, elements: 6, bytes: 20 };
+        *b.wire_mut() += WireStats {
+            messages: 1,
+            elements: 6,
+            bytes: 20,
+        };
         let c = a + b;
-        assert_eq!(c.wire(), WireStats { messages: 3, elements: 16, bytes: 100 });
+        assert_eq!(
+            c.wire(),
+            WireStats {
+                messages: 3,
+                elements: 16,
+                bytes: 100
+            }
+        );
         assert_eq!(c.wire().bytes_per_element(), Some(6.25));
         assert!(PhaseLedger::new().wire().is_zero());
         assert_eq!(WireStats::default().bytes_per_element(), None);
@@ -524,7 +542,11 @@ mod tests {
     fn timeline_appends_wire_column_after_the_bars() {
         let mut l = PhaseLedger::new();
         l.record(Phase::Send, us(10.0));
-        *l.wire_mut() += WireStats { messages: 1, elements: 5, bytes: 17 };
+        *l.wire_mut() += WireStats {
+            messages: 1,
+            elements: 5,
+            bytes: 17,
+        };
         let s = render_timeline(&[l], 20);
         let line = s.lines().next().unwrap();
         // The bar stays between the pipes; the wire column rides after.

@@ -114,100 +114,104 @@ pub fn distributed_transpose(
     assert_eq!(to.nparts(), p, "target partition size");
     let (fr, fc) = from.global_shape();
     let (tr, tc) = to.global_shape();
-    assert_eq!((fr, fc), (tc, tr), "target must describe the transposed shape");
+    assert_eq!(
+        (fr, fc),
+        (tc, tr),
+        "target must describe the transposed shape"
+    );
     assert_eq!(locals.len(), p, "one local array per processor");
 
-    let (results, ledgers) = machine.run_with_ledgers(
-        |env| -> Result<LocalCompressed, SparsedistError> {
-        let me = env.rank();
-        // Bucket transposed triplets by new owner.
-        let buckets: Vec<Vec<(usize, usize, f64)>> = env.phase(Phase::Pack, |env| {
-            let mut buckets: Vec<Vec<(usize, usize, f64)>> = vec![Vec::new(); p];
-            let mut ops = 0u64;
-            let mut push = |lr: usize, lc: usize, v: f64, ops: &mut u64| {
-                let (gr, gc) = from.to_global(me, lr, lc);
-                let dest = to.owner_of(gc, gr); // transposed coordinates
-                *ops += 2;
-                buckets[dest].push((gc, gr, v));
-            };
-            match &locals[me] {
-                LocalCompressed::Crs(a) => {
-                    for (lr, lc, v) in a.iter() {
-                        push(lr, lc, v, &mut ops);
+    let (results, ledgers) =
+        machine.run_with_ledgers(|env| -> Result<LocalCompressed, SparsedistError> {
+            let me = env.rank();
+            // Bucket transposed triplets by new owner.
+            let buckets: Vec<Vec<(usize, usize, f64)>> = env.phase(Phase::Pack, |env| {
+                let mut buckets: Vec<Vec<(usize, usize, f64)>> = vec![Vec::new(); p];
+                let mut ops = 0u64;
+                let mut push = |lr: usize, lc: usize, v: f64, ops: &mut u64| {
+                    let (gr, gc) = from.to_global(me, lr, lc);
+                    let dest = to.owner_of(gc, gr); // transposed coordinates
+                    *ops += 2;
+                    buckets[dest].push((gc, gr, v));
+                };
+                match &locals[me] {
+                    LocalCompressed::Crs(a) => {
+                        for (lr, lc, v) in a.iter() {
+                            push(lr, lc, v, &mut ops);
+                        }
+                    }
+                    LocalCompressed::Ccs(a) => {
+                        for (lr, lc, v) in a.iter() {
+                            push(lr, lc, v, &mut ops);
+                        }
                     }
                 }
-                LocalCompressed::Ccs(a) => {
-                    for (lr, lc, v) in a.iter() {
-                        push(lr, lc, v, &mut ops);
-                    }
-                }
-            }
-            env.charge_ops(ops);
-            buckets
-        });
+                env.charge_ops(ops);
+                buckets
+            });
 
-        // All-to-all.
-        let bufs: Vec<PackBuffer> = env.phase(Phase::Pack, |env| {
-            let mut ops = 0u64;
-            let bufs = buckets
-                .iter()
-                .map(|b| {
-                    let mut buf = PackBuffer::with_capacity(1 + b.len() * 3);
-                    buf.push_u64(b.len() as u64);
-                    for &(r, c, v) in b {
-                        buf.push_u64(r as u64);
-                        buf.push_u64(c as u64);
-                        buf.push_f64(v);
+            // All-to-all.
+            let bufs: Vec<PackBuffer> = env.phase(Phase::Pack, |env| {
+                let mut ops = 0u64;
+                let bufs = buckets
+                    .iter()
+                    .map(|b| {
+                        let mut buf = PackBuffer::with_capacity(1 + b.len() * 3);
+                        buf.push_u64(b.len() as u64);
+                        for &(r, c, v) in b {
+                            buf.push_u64(r as u64);
+                            buf.push_u64(c as u64);
+                            buf.push_f64(v);
+                            ops += 3;
+                        }
+                        buf
+                    })
+                    .collect();
+                env.charge_ops(ops);
+                bufs
+            });
+            env.phase(Phase::Send, |env| -> Result<(), SparsedistError> {
+                for (dst, buf) in bufs.into_iter().enumerate() {
+                    env.send(dst, buf)?;
+                }
+                Ok(())
+            })?;
+
+            let mut trips: Vec<(usize, usize, f64)> = Vec::new();
+            env.phase(Phase::Unpack, |env| -> Result<(), SparsedistError> {
+                let mut ops = 0u64;
+                for src in 0..p {
+                    let msg = env.recv(src)?;
+                    let mut cursor = msg.payload.cursor();
+                    let n = cursor.try_read_usize()?;
+                    for _ in 0..n {
+                        let r = cursor.try_read_usize()?;
+                        let c = cursor.try_read_usize()?;
+                        let v = cursor.try_read_f64()?;
                         ops += 3;
+                        let (_, lr, lc) = to.to_local(r, c);
+                        trips.push((lr, lc, v));
                     }
-                    buf
-                })
-                .collect();
-            env.charge_ops(ops);
-            bufs
+                }
+                env.charge_ops(ops);
+                Ok(())
+            })?;
+
+            Ok(env.phase(Phase::Compress, |env| {
+                let mut ops = sparsedist_core::opcount::OpCounter::new();
+                let (lrows, lcols) = to.local_shape(me);
+                let out = match kind {
+                    CompressKind::Crs => {
+                        LocalCompressed::Crs(Crs::from_triplets(lrows, lcols, &trips, &mut ops))
+                    }
+                    CompressKind::Ccs => {
+                        LocalCompressed::Ccs(Ccs::from_triplets(lrows, lcols, &trips, &mut ops))
+                    }
+                };
+                env.charge_ops(ops.take());
+                out
+            }))
         });
-        env.phase(Phase::Send, |env| -> Result<(), SparsedistError> {
-            for (dst, buf) in bufs.into_iter().enumerate() {
-                env.send(dst, buf)?;
-            }
-            Ok(())
-        })?;
-
-        let mut trips: Vec<(usize, usize, f64)> = Vec::new();
-        env.phase(Phase::Unpack, |env| -> Result<(), SparsedistError> {
-            let mut ops = 0u64;
-            for src in 0..p {
-                let msg = env.recv(src)?;
-                let mut cursor = msg.payload.cursor();
-                let n = cursor.try_read_usize()?;
-                for _ in 0..n {
-                    let r = cursor.try_read_usize()?;
-                    let c = cursor.try_read_usize()?;
-                    let v = cursor.try_read_f64()?;
-                    ops += 3;
-                    let (_, lr, lc) = to.to_local(r, c);
-                    trips.push((lr, lc, v));
-                }
-            }
-            env.charge_ops(ops);
-            Ok(())
-        })?;
-
-        Ok(env.phase(Phase::Compress, |env| {
-            let mut ops = sparsedist_core::opcount::OpCounter::new();
-            let (lrows, lcols) = to.local_shape(me);
-            let out = match kind {
-                CompressKind::Crs => {
-                    LocalCompressed::Crs(Crs::from_triplets(lrows, lcols, &trips, &mut ops))
-                }
-                CompressKind::Ccs => {
-                    LocalCompressed::Ccs(Ccs::from_triplets(lrows, lcols, &trips, &mut ops))
-                }
-            };
-            env.charge_ops(ops.take());
-            out
-        }))
-    });
     let locals = results.into_iter().collect::<Result<Vec<_>, _>>()?;
     Ok((locals, ledgers))
 }
@@ -227,14 +231,20 @@ mod tests {
     fn distribute(kind: CompressKind) -> (SchemeRun, RowBlock) {
         let a = paper_array_a();
         let part = RowBlock::new(10, 8, 4);
-        (run_scheme(SchemeKind::Ed, &machine(4), &a, &part, kind).unwrap(), part)
+        (
+            run_scheme(SchemeKind::Ed, &machine(4), &a, &part, kind).unwrap(),
+            part,
+        )
     }
 
     #[test]
     fn scale_scales_every_local() {
         let (run, part) = distribute(CompressKind::Crs);
         let scaled = distributed_scale(&machine(4), &run.locals, 3.0);
-        let rebuilt = SchemeRun { locals: scaled, ..run.clone() };
+        let rebuilt = SchemeRun {
+            locals: scaled,
+            ..run.clone()
+        };
         let d = rebuilt.reassemble(&part);
         for (r, c, v) in paper_array_a().iter_nonzero() {
             assert_eq!(d.get(r, c), 3.0 * v);
@@ -245,7 +255,10 @@ mod tests {
     fn scale_works_on_ccs_locals() {
         let (run, part) = distribute(CompressKind::Ccs);
         let scaled = distributed_scale(&machine(4), &run.locals, -1.0);
-        let rebuilt = SchemeRun { locals: scaled, ..run.clone() };
+        let rebuilt = SchemeRun {
+            locals: scaled,
+            ..run.clone()
+        };
         assert_eq!(rebuilt.reassemble(&part).get(2, 0), -3.0);
     }
 
@@ -253,7 +266,10 @@ mod tests {
     fn add_combines_distributions() {
         let (run, part) = distribute(CompressKind::Crs);
         let doubled = distributed_add(&machine(4), &run.locals, &run.locals);
-        let rebuilt = SchemeRun { locals: doubled, ..run.clone() };
+        let rebuilt = SchemeRun {
+            locals: doubled,
+            ..run.clone()
+        };
         let d = rebuilt.reassemble(&part);
         for (r, c, v) in paper_array_a().iter_nonzero() {
             assert_eq!(d.get(r, c), 2.0 * v);
@@ -277,9 +293,11 @@ mod tests {
         // shape.
         let to = ColBlock::new(8, 10, 4);
         let (tlocals, _) =
-            distributed_transpose(&machine(4), &run.locals, &from, &to, CompressKind::Crs)
-                .unwrap();
-        let trun = SchemeRun { locals: tlocals, ..run.clone() };
+            distributed_transpose(&machine(4), &run.locals, &from, &to, CompressKind::Crs).unwrap();
+        let trun = SchemeRun {
+            locals: tlocals,
+            ..run.clone()
+        };
         let t = trun.reassemble(&to);
         assert_eq!((t.rows(), t.cols()), (8, 10));
         for (r, c, v) in a.iter_nonzero() {

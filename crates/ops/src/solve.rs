@@ -70,15 +70,28 @@ pub fn jacobi(
         let r: Vec<f64> = b.iter().zip(&ax).map(|(bi, yi)| bi - yi).collect();
         let rn = norm2(&r);
         if rn <= tol {
-            return Ok(Solution { x, stop: Stop::Converged(it), residual: rn });
+            return Ok(Solution {
+                x,
+                stop: Stop::Converged(it),
+                residual: rn,
+            });
         }
         for i in 0..grows {
             x[i] += r[i] / diag[i];
         }
     }
     let ax = distributed_spmv(machine, run, part, &x)?;
-    let rn = norm2(&b.iter().zip(&ax).map(|(bi, yi)| bi - yi).collect::<Vec<_>>());
-    Ok(Solution { x, stop: Stop::MaxIters(rn), residual: rn })
+    let rn = norm2(
+        &b.iter()
+            .zip(&ax)
+            .map(|(bi, yi)| bi - yi)
+            .collect::<Vec<_>>(),
+    );
+    Ok(Solution {
+        x,
+        stop: Stop::MaxIters(rn),
+        residual: rn,
+    })
 }
 
 /// Conjugate gradient for symmetric positive-definite systems, with every
@@ -107,7 +120,11 @@ pub fn conjugate_gradient(
     let mut p = r.clone();
     let mut rr = dot(&r, &r);
     if rr.sqrt() <= tol {
-        return Ok(Solution { x, stop: Stop::Converged(0), residual: rr.sqrt() });
+        return Ok(Solution {
+            x,
+            stop: Stop::Converged(0),
+            residual: rr.sqrt(),
+        });
     }
     for it in 0..max_iters {
         let ap = distributed_spmv(machine, run, part, &p)?;
@@ -132,7 +149,11 @@ pub fn conjugate_gradient(
         }
         rr = rr_next;
     }
-    Ok(Solution { x, stop: Stop::MaxIters(rr.sqrt()), residual: rr.sqrt() })
+    Ok(Solution {
+        x,
+        stop: Stop::MaxIters(rr.sqrt()),
+        residual: rr.sqrt(),
+    })
 }
 
 #[cfg(test)]
@@ -148,7 +169,12 @@ mod tests {
     fn setup(
         k: usize,
         p: usize,
-    ) -> (Multicomputer, SchemeRun, RowBlock, sparsedist_core::dense::Dense2D) {
+    ) -> (
+        Multicomputer,
+        SchemeRun,
+        RowBlock,
+        sparsedist_core::dense::Dense2D,
+    ) {
         let a = five_point_laplacian(k);
         let n = a.rows();
         let machine = Multicomputer::virtual_machine(p, MachineModel::ibm_sp2());
@@ -166,7 +192,12 @@ mod tests {
         assert!(matches!(sol.stop, Stop::Converged(_)), "{:?}", sol.stop);
         // Verify against a dense residual.
         let ax = dense_spmv(&a, &sol.x);
-        let rn = ax.iter().zip(&b).map(|(y, bi)| (y - bi).powi(2)).sum::<f64>().sqrt();
+        let rn = ax
+            .iter()
+            .zip(&b)
+            .map(|(y, bi)| (y - bi).powi(2))
+            .sum::<f64>()
+            .sqrt();
         assert!(rn < 1e-8, "residual {rn}");
     }
 
@@ -200,12 +231,11 @@ mod tests {
         let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
         let cg = conjugate_gradient(&machine, &run, &part, &b, 1e-11, 1000).unwrap();
         let ja = jacobi(&machine, &run, &part, &diag, &b, 1e-11, 20000).unwrap();
-        let diff = cg
-            .x
-            .iter()
-            .zip(&ja.x)
-            .map(|(u, v)| (u - v).abs())
-            .fold(0.0f64, f64::max);
+        let diff =
+            cg.x.iter()
+                .zip(&ja.x)
+                .map(|(u, v)| (u - v).abs())
+                .fold(0.0f64, f64::max);
         assert!(diff < 1e-7, "solvers disagree by {diff}");
     }
 

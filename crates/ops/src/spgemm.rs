@@ -90,7 +90,10 @@ mod tests {
         let a = crs(&Dense2D::from_rows(&[&[1., 2.], &[0., 3.]]));
         let b = crs(&Dense2D::from_rows(&[&[4., 0.], &[5., 6.]]));
         let c = spgemm(&a, &b);
-        assert_eq!(c.to_dense(), Dense2D::from_rows(&[&[14., 12.], &[15., 18.]]));
+        assert_eq!(
+            c.to_dense(),
+            Dense2D::from_rows(&[&[14., 12.], &[15., 18.]])
+        );
     }
 
     #[test]

@@ -12,7 +12,13 @@ use sparsedist_multicomputer::{Multicomputer, PackBuffer, Phase, PhaseLedger};
 /// # Panics
 /// Panics if `x.len() != a.cols()`.
 pub fn crs_spmv(a: &Crs, x: &[f64]) -> Vec<f64> {
-    assert_eq!(x.len(), a.cols(), "x length {} != cols {}", x.len(), a.cols());
+    assert_eq!(
+        x.len(),
+        a.cols(),
+        "x length {} != cols {}",
+        x.len(),
+        a.cols()
+    );
     let mut y = vec![0.0; a.rows()];
     for (r, slot) in y.iter_mut().enumerate() {
         let mut acc = 0.0;
@@ -29,7 +35,13 @@ pub fn crs_spmv(a: &Crs, x: &[f64]) -> Vec<f64> {
 /// # Panics
 /// Panics if `x.len() != a.cols()`.
 pub fn ccs_spmv(a: &Ccs, x: &[f64]) -> Vec<f64> {
-    assert_eq!(x.len(), a.cols(), "x length {} != cols {}", x.len(), a.cols());
+    assert_eq!(
+        x.len(),
+        a.cols(),
+        "x length {} != cols {}",
+        x.len(),
+        a.cols()
+    );
     let mut y = vec![0.0; a.rows()];
     for (c, &xc) in x.iter().enumerate() {
         if xc == 0.0 {
@@ -47,7 +59,13 @@ pub fn ccs_spmv(a: &Ccs, x: &[f64]) -> Vec<f64> {
 /// # Panics
 /// Panics if `x.len() != a.cols()`.
 pub fn dense_spmv(a: &Dense2D, x: &[f64]) -> Vec<f64> {
-    assert_eq!(x.len(), a.cols(), "x length {} != cols {}", x.len(), a.cols());
+    assert_eq!(
+        x.len(),
+        a.cols(),
+        "x length {} != cols {}",
+        x.len(),
+        a.cols()
+    );
     (0..a.rows())
         .map(|r| a.row(r).iter().zip(x).map(|(&v, &xv)| v * xv).sum())
         .collect()
@@ -90,11 +108,19 @@ pub fn distributed_spmv_ledgers(
     x: &[f64],
 ) -> Result<(Vec<f64>, Vec<PhaseLedger>), SparsedistError> {
     let (grows, gcols) = part.global_shape();
-    assert_eq!(x.len(), gcols, "x length {} != global cols {gcols}", x.len());
-    assert_eq!(machine.nprocs(), run.locals.len(), "machine size != run size");
+    assert_eq!(
+        x.len(),
+        gcols,
+        "x length {} != global cols {gcols}",
+        x.len()
+    );
+    assert_eq!(
+        machine.nprocs(),
+        run.locals.len(),
+        "machine size != run size"
+    );
 
-    let (results, ledgers) = machine.run_with_ledgers(
-        |env| -> Result<Vec<f64>, SparsedistError> {
+    let (results, ledgers) = machine.run_with_ledgers(|env| -> Result<Vec<f64>, SparsedistError> {
         let me = env.rank();
         // Local partial: iterate the local compressed array, map to global.
         let partial: Vec<f64> = env.phase(Phase::Compute, |env| {
@@ -199,21 +225,33 @@ pub fn distributed_spmv_rowwise_ledgers(
     x: &[f64],
 ) -> Result<(Vec<f64>, Vec<PhaseLedger>), SparsedistError> {
     let (grows, gcols) = part.global_shape();
-    assert!(!part.splits_cols(), "row-conformal SpMV needs a row-family partition");
+    assert!(
+        !part.splits_cols(),
+        "row-conformal SpMV needs a row-family partition"
+    );
     assert_eq!(grows, gcols, "row-conformal SpMV needs a square array");
-    assert_eq!(x.len(), gcols, "x length {} != global cols {gcols}", x.len());
-    assert_eq!(machine.nprocs(), run.locals.len(), "machine size != run size");
+    assert_eq!(
+        x.len(),
+        gcols,
+        "x length {} != global cols {gcols}",
+        x.len()
+    );
+    assert_eq!(
+        machine.nprocs(),
+        run.locals.len(),
+        "machine size != run size"
+    );
 
-    let (results, ledgers) = machine.run_with_ledgers(
-        |env| -> Result<Vec<f64>, SparsedistError> {
+    let (results, ledgers) = machine.run_with_ledgers(|env| -> Result<Vec<f64>, SparsedistError> {
         let me = env.rank();
         let p = env.nprocs();
         let (lrows, _) = part.local_shape(me);
 
         // My conformal slice of x: entries at my global row indices.
         let my_slice: Vec<f64> = env.phase(Phase::Pack, |env| {
-            let slice: Vec<f64> =
-                (0..lrows).map(|lr| x[part.to_global(me, lr, 0).0]).collect();
+            let slice: Vec<f64> = (0..lrows)
+                .map(|lr| x[part.to_global(me, lr, 0).0])
+                .collect();
             env.charge_ops(lrows as u64);
             slice
         });
@@ -341,8 +379,11 @@ mod tests {
                 for kind in [CompressKind::Crs, CompressKind::Ccs] {
                     let run = run_scheme(scheme, &machine, &a, part.as_ref(), kind).unwrap();
                     let y = distributed_spmv(&machine, &run, part.as_ref(), &x).unwrap();
-                    let err: f64 =
-                        y.iter().zip(&want).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+                    let err: f64 = y
+                        .iter()
+                        .zip(&want)
+                        .map(|(a, b)| (a - b).abs())
+                        .fold(0.0, f64::max);
                     assert!(err < 1e-12, "{scheme} {kind} {}: err {err}", part.name());
                 }
             }
@@ -386,12 +427,22 @@ mod tests {
             Box::new(BalancedRows::bin_packed(&a, 4)),
         ];
         for part in &parts {
-            let run = run_scheme(SchemeKind::Ed, &machine, &a, part.as_ref(), CompressKind::Crs)
-                .unwrap();
+            let run = run_scheme(
+                SchemeKind::Ed,
+                &machine,
+                &a,
+                part.as_ref(),
+                CompressKind::Crs,
+            )
+            .unwrap();
             let general = distributed_spmv(&machine, &run, part.as_ref(), &x).unwrap();
             let rowwise = distributed_spmv_rowwise(&machine, &run, part.as_ref(), &x).unwrap();
             for ((u, v), w) in rowwise.iter().zip(&general).zip(&want) {
-                assert!((u - v).abs() < 1e-12 && (u - w).abs() < 1e-12, "{}", part.name());
+                assert!(
+                    (u - v).abs() < 1e-12 && (u - w).abs() < 1e-12,
+                    "{}",
+                    part.name()
+                );
             }
         }
     }
@@ -416,7 +467,9 @@ mod tests {
         let (yr, lr) = distributed_spmv_rowwise_ledgers(&machine, &run, &part, &x).unwrap();
         assert_eq!(yg, yr);
         let send_max = |ls: &[PhaseLedger]| -> f64 {
-            ls.iter().map(|l| l.get(Phase::Send).as_micros()).fold(0.0, f64::max)
+            ls.iter()
+                .map(|l| l.get(Phase::Send).as_micros())
+                .fold(0.0, f64::max)
         };
         assert!(
             send_max(&lr) < send_max(&lg),

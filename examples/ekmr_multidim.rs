@@ -21,7 +21,11 @@ fn main() {
     }
     println!(
         "3-D sparse array {}x{}x{}: nnz = {}, s = {:.4}",
-        n1, n2, n3, a.nnz(), a.sparse_ratio()
+        n1,
+        n2,
+        n3,
+        a.nnz(),
+        a.sparse_ratio()
     );
 
     let ekmr = a.to_ekmr();

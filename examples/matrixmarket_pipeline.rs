@@ -50,7 +50,11 @@ fn main() {
     let x: Vec<f64> = (0..96).map(|i| (i % 7) as f64).collect();
     let y = distributed_spmv(&machine, &run, &part, &x).unwrap();
     let want = dense_spmv(&b, &x);
-    let err = y.iter().zip(&want).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+    let err = y
+        .iter()
+        .zip(&want)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max);
     println!("distributed SpMV max error vs dense: {err:.2e}");
     assert!(err < 1e-12);
 

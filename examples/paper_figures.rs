@@ -19,7 +19,12 @@ fn main() {
     let a = paper_array_a();
     let part = RowBlock::new(10, 8, 4);
 
-    println!("Figure 1: sparse array A ({}x{}, {} nonzeros)", a.rows(), a.cols(), a.nnz());
+    println!(
+        "Figure 1: sparse array A ({}x{}, {} nonzeros)",
+        a.rows(),
+        a.cols(),
+        a.nnz()
+    );
     print!("{a}");
 
     println!("\nFigure 2: row partition over 4 processors");

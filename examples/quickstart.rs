@@ -12,7 +12,11 @@ fn main() {
     // A 400×400 sparse array with the paper's sparse ratio of 0.1.
     let n = 400;
     let a = SparseRandom::new(n, n).sparse_ratio(0.1).seed(7).generate();
-    println!("global array: {n}x{n}, nnz = {}, s = {:.3}", a.nnz(), a.sparse_ratio());
+    println!(
+        "global array: {n}x{n}, nnz = {}, s = {:.3}",
+        a.nnz(),
+        a.sparse_ratio()
+    );
 
     // Four simulated processors with the paper's IBM SP2-calibrated costs.
     let p = 4;
@@ -39,7 +43,13 @@ fn main() {
 
     // The analytic model predicts the same numbers without running anything.
     let inp = CostInput::uniform(n, p, 0.1);
-    let pred = predict(SchemeKind::Ed, PartitionMethod::Row, CompressKind::Crs, &inp, &MachineModel::ibm_sp2());
+    let pred = predict(
+        SchemeKind::Ed,
+        PartitionMethod::Row,
+        CompressKind::Crs,
+        &inp,
+        &MachineModel::ibm_sp2(),
+    );
     println!(
         "\nclosed-form prediction for ED: dist {} comp {}",
         pred.t_distribution, pred.t_compression

@@ -19,7 +19,10 @@ use sparsedist::prelude::*;
 fn main() {
     let n = 240;
     let p = 16;
-    let a = SparseRandom::new(n, n).sparse_ratio(0.1).seed(42).generate();
+    let a = SparseRandom::new(n, n)
+        .sparse_ratio(0.1)
+        .seed(42)
+        .generate();
     let machine = Multicomputer::virtual_machine(p, MachineModel::ibm_sp2());
     println!("{n}x{n} sparse array, nnz = {}, {p} processors\n", a.nnz());
 
@@ -35,7 +38,10 @@ fn main() {
     // 2. Compute under the row partition.
     let x = vec![1.0; n];
     let y1 = distributed_spmv(&machine, &dist, &rows, &x).unwrap();
-    println!("2. distributed SpMV:           checksum {:.3}", y1.iter().sum::<f64>());
+    println!(
+        "2. distributed SpMV:           checksum {:.3}",
+        y1.iter().sum::<f64>()
+    );
 
     // 3. Redistribute to a 4×4 mesh without touching the source.
     let mesh = Mesh2D::new(n, n, 4, 4);
@@ -48,7 +54,10 @@ fn main() {
         RedistStrategy::Direct,
     )
     .unwrap();
-    println!("3. redistribution row→mesh:    busy max {}", redist.t_total());
+    println!(
+        "3. redistribution row→mesh:    busy max {}",
+        redist.t_total()
+    );
 
     // 4. Compute under the mesh partition; the answer must not change.
     let fake_run = SchemeRun {
@@ -60,7 +69,11 @@ fn main() {
         owners: (0..p).collect(),
     };
     let y2 = distributed_spmv(&machine, &fake_run, &mesh, &x).unwrap();
-    let drift = y1.iter().zip(&y2).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+    let drift = y1
+        .iter()
+        .zip(&y2)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max);
     println!("4. SpMV after repartition:     max drift {drift:.2e}");
     assert!(drift < 1e-12);
 
@@ -79,6 +92,10 @@ fn main() {
 
     // Cross-check the computation against a dense baseline.
     let want = dense_spmv(&a, &x);
-    let err = y2.iter().zip(&want).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+    let err = y2
+        .iter()
+        .zip(&want)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max);
     println!("dense-verified SpMV error: {err:.2e}");
 }

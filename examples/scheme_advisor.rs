@@ -60,8 +60,12 @@ fn main() {
             let measured_best = SchemeKind::ALL
                 .into_iter()
                 .min_by(|&x, &y| {
-                    let cx = run_scheme(x, &machine, &a, &part, CompressKind::Crs).unwrap().t_total();
-                    let cy = run_scheme(y, &machine, &a, &part, CompressKind::Crs).unwrap().t_total();
+                    let cx = run_scheme(x, &machine, &a, &part, CompressKind::Crs)
+                        .unwrap()
+                        .t_total();
+                    let cy = run_scheme(y, &machine, &a, &part, CompressKind::Crs)
+                        .unwrap()
+                        .t_total();
                     cx.partial_cmp(&cy).expect("finite")
                 })
                 .expect("three schemes");

@@ -51,9 +51,15 @@ fn main() {
     let diag: Vec<f64> = (0..n).map(|i| a.get(i, i)).collect();
 
     let ja = jacobi(&machine, &run, &part, &diag, &b, 1e-6, 10_000).unwrap();
-    println!("\nJacobi:             {:?}, residual {:.2e}", ja.stop, ja.residual);
+    println!(
+        "\nJacobi:             {:?}, residual {:.2e}",
+        ja.stop, ja.residual
+    );
     let cg = conjugate_gradient(&machine, &run, &part, &b, 1e-10, 1_000).unwrap();
-    println!("conjugate gradient: {:?}, residual {:.2e}", cg.stop, cg.residual);
+    println!(
+        "conjugate gradient: {:?}, residual {:.2e}",
+        cg.stop, cg.residual
+    );
 
     // CG should crush Jacobi on iteration count for this SPD system.
     let (Stop::Converged(ji), Stop::Converged(ci)) = (ja.stop, cg.stop) else {
@@ -64,7 +70,11 @@ fn main() {
 
     // Spot-check CG's answer against a direct dense residual.
     let y = sparsedist::ops::spmv::dense_spmv(&a, &cg.x);
-    let err = y.iter().zip(&b).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+    let err = y
+        .iter()
+        .zip(&b)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max);
     println!("dense-verified residual: {err:.2e}");
     assert!(err < 1e-6);
 }

@@ -88,11 +88,19 @@ impl<'m> DistributedSparseArray<'m> {
         kind: CompressKind,
         locals: Vec<LocalCompressed>,
     ) -> Self {
-        assert_eq!(machine.nprocs(), partition.nparts(), "machine/partition size mismatch");
+        assert_eq!(
+            machine.nprocs(),
+            partition.nparts(),
+            "machine/partition size mismatch"
+        );
         assert_eq!(locals.len(), partition.nparts(), "one local array per part");
         for (pid, l) in locals.iter().enumerate() {
             assert_eq!(l.kind(), kind, "local {pid} kind mismatch");
-            assert_eq!(l.shape(), partition.local_shape(pid), "local {pid} shape mismatch");
+            assert_eq!(
+                l.shape(),
+                partition.local_shape(pid),
+                "local {pid} shape mismatch"
+            );
         }
         let p = locals.len();
         DistributedSparseArray {
@@ -329,11 +337,15 @@ mod tests {
 
         // Scale and norm.
         a.scale(2.0);
-        let want: f64 = (1..=16).map(|v| (2.0 * v as f64).powi(2)).sum::<f64>().sqrt();
+        let want: f64 = (1..=16)
+            .map(|v| (2.0 * v as f64).powi(2))
+            .sum::<f64>()
+            .sqrt();
         assert!((a.frobenius_norm().unwrap() - want).abs() < 1e-9);
 
         // Repartition to a mesh; content unchanged.
-        a.repartition(Box::new(Mesh2D::new(10, 8, 2, 2)), RedistStrategy::Direct).unwrap();
+        a.repartition(Box::new(Mesh2D::new(10, 8, 2, 2)), RedistStrategy::Direct)
+            .unwrap();
         assert_eq!(a.nnz(), 16);
         let d = a.gather_dense(GatherStrategy::Encoded).unwrap();
         assert_eq!(d.get(2, 0), 6.0); // 2 × 3
@@ -379,7 +391,10 @@ mod tests {
         )
         .unwrap();
         assert_eq!(b.locals(), a.locals());
-        assert_eq!(b.gather_dense(GatherStrategy::Encoded).unwrap(), paper_array_a());
+        assert_eq!(
+            b.gather_dense(GatherStrategy::Encoded).unwrap(),
+            paper_array_a()
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -23,13 +23,26 @@ fn partitions(rows: usize, cols: usize, p: usize) -> Vec<Box<dyn Partition>> {
 #[test]
 fn every_workload_every_scheme_round_trips() {
     let workloads = vec![
-        ("uniform", SparseRandom::new(60, 48).sparse_ratio(0.1).seed(1).generate()),
+        (
+            "uniform",
+            SparseRandom::new(60, 48)
+                .sparse_ratio(0.1)
+                .seed(1)
+                .generate(),
+        ),
         (
             "bernoulli",
-            SparseRandom::new(60, 48).sparse_ratio(0.15).mode(RatioMode::Bernoulli).seed(2).generate(),
+            SparseRandom::new(60, 48)
+                .sparse_ratio(0.15)
+                .mode(RatioMode::Bernoulli)
+                .seed(2)
+                .generate(),
         ),
         ("banded", banded(60, 2).block(0, 0, 60, 48)),
-        ("clustered", block_clustered(60, 8, 5, 3).block(0, 0, 60, 48)),
+        (
+            "clustered",
+            block_clustered(60, 8, 5, 3).block(0, 0, 60, 48),
+        ),
         ("skewed", row_skewed(60, 30, 4).block(0, 0, 60, 48)),
     ];
     let machine = Multicomputer::virtual_machine(4, MachineModel::ibm_sp2());
@@ -57,34 +70,57 @@ fn distributed_spmv_matches_dense_on_fem_matrix() {
     let x: Vec<f64> = (0..100).map(|i| (i as f64).sin()).collect();
     let want = dense_spmv(&a, &x);
     for part in partitions(100, 100, 4) {
-        let run = run_scheme(SchemeKind::Ed, &machine, &a, part.as_ref(), CompressKind::Crs).unwrap();
+        let run = run_scheme(
+            SchemeKind::Ed,
+            &machine,
+            &a,
+            part.as_ref(),
+            CompressKind::Crs,
+        )
+        .unwrap();
         let y = distributed_spmv(&machine, &run, part.as_ref(), &x).unwrap();
-        let err = y.iter().zip(&want).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+        let err = y
+            .iter()
+            .zip(&want)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
         assert!(err < 1e-10, "{}: err {err}", part.name());
     }
 }
 
 #[test]
 fn wall_clock_and_virtual_agree_on_state() {
-    let a = SparseRandom::new(40, 40).sparse_ratio(0.1).seed(9).generate();
+    let a = SparseRandom::new(40, 40)
+        .sparse_ratio(0.1)
+        .seed(9)
+        .generate();
     let part = RowBlock::new(40, 40, 4);
     let virt = Multicomputer::virtual_machine(4, MachineModel::ibm_sp2());
     let wall = Multicomputer::wall_clock(4);
     for scheme in SchemeKind::ALL {
         let rv = run_scheme(scheme, &virt, &a, &part, CompressKind::Crs).unwrap();
         let rw = run_scheme(scheme, &wall, &a, &part, CompressKind::Crs).unwrap();
-        assert_eq!(rv.locals, rw.locals, "{scheme}: timing mode must not change results");
+        assert_eq!(
+            rv.locals, rw.locals,
+            "{scheme}: timing mode must not change results"
+        );
     }
 }
 
 #[test]
 fn wall_clock_with_injected_wire_cost_runs() {
     use sparsedist::multicomputer::TimingMode;
-    let a = SparseRandom::new(64, 64).sparse_ratio(0.1).seed(5).generate();
+    let a = SparseRandom::new(64, 64)
+        .sparse_ratio(0.1)
+        .seed(5)
+        .generate();
     let part = RowBlock::new(64, 64, 4);
     let machine = Multicomputer::with_mode(
         4,
-        TimingMode::WallClock { wire_ns_per_elem: 50, wire_ns_startup: 1_000 },
+        TimingMode::WallClock {
+            wire_ns_per_elem: 50,
+            wire_ns_startup: 1_000,
+        },
     );
     let sfc = run_scheme(SchemeKind::Sfc, &machine, &a, &part, CompressKind::Crs).unwrap();
     let ed = run_scheme(SchemeKind::Ed, &machine, &a, &part, CompressKind::Crs).unwrap();
@@ -102,7 +138,10 @@ fn wall_clock_with_injected_wire_cost_runs() {
 
 #[test]
 fn larger_processor_counts() {
-    let a = SparseRandom::new(96, 96).sparse_ratio(0.1).seed(11).generate();
+    let a = SparseRandom::new(96, 96)
+        .sparse_ratio(0.1)
+        .seed(11)
+        .generate();
     for p in [1, 2, 8, 16, 32] {
         let machine = Multicomputer::virtual_machine(p, MachineModel::ibm_sp2());
         let part = RowBlock::new(96, 96, p);
@@ -122,7 +161,10 @@ fn empty_and_dense_extremes() {
     let part = RowBlock::new(32, 32, 4);
 
     let empty = Dense2D::zeros(32, 32);
-    let full = SparseRandom::new(32, 32).sparse_ratio(1.0).seed(1).generate();
+    let full = SparseRandom::new(32, 32)
+        .sparse_ratio(1.0)
+        .seed(1)
+        .generate();
     for a in [&empty, &full] {
         for scheme in SchemeKind::ALL {
             let run = run_scheme(scheme, &machine, a, &part, CompressKind::Crs).unwrap();
@@ -134,7 +176,10 @@ fn empty_and_dense_extremes() {
 #[test]
 fn ragged_sizes_with_empty_parts() {
     // 9 rows over 4 processors leaves P3 empty (⌈9/4⌉ = 3 → 3,3,3,0).
-    let a = SparseRandom::new(9, 17).sparse_ratio(0.2).seed(2).generate();
+    let a = SparseRandom::new(9, 17)
+        .sparse_ratio(0.2)
+        .seed(2)
+        .generate();
     let machine = Multicomputer::virtual_machine(4, MachineModel::ibm_sp2());
     let part = RowBlock::new(9, 17, 4);
     for scheme in SchemeKind::ALL {

@@ -35,8 +35,7 @@ fn truncated_ed_buffer_reports_error_not_panic() {
 fn corrupted_counts_detected() {
     let a = paper_array_a();
     let part = RowBlock::new(10, 8, 4);
-    let mut buf =
-        encode_part(&a, &part, 0, CompressKind::Crs, &mut OpCounter::new()).unwrap();
+    let mut buf = encode_part(&a, &part, 0, CompressKind::Crs, &mut OpCounter::new()).unwrap();
     buf.patch_u64(0, u64::MAX / 16).unwrap(); // absurd R_0
     let r = decode_part(&buf, &part, 0, CompressKind::Crs, &mut OpCounter::new());
     assert!(r.is_err());
@@ -79,10 +78,10 @@ fn from_raw_rejects_each_invariant_violation() {
 #[test]
 fn matrixmarket_rejects_malformed_documents() {
     for bad in [
-        "",                                                       // empty
-        "%%MatrixMarket matrix coordinate real general\n",        // no size
-        "%%MatrixMarket matrix coordinate real general\nx y z\n", // bad size
-        "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n", // short entry
+        "",                                                                // empty
+        "%%MatrixMarket matrix coordinate real general\n",                 // no size
+        "%%MatrixMarket matrix coordinate real general\nx y z\n",          // bad size
+        "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n",     // short entry
         "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 5.0\n", // 0-based index
         "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 5.0\n", // count mismatch
     ] {

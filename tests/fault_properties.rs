@@ -42,7 +42,11 @@ fn arb_partition(rows: usize, cols: usize) -> impl Strategy<Value = Box<dyn Part
 }
 
 fn arb_scheme() -> impl Strategy<Value = SchemeKind> {
-    prop_oneof![Just(SchemeKind::Sfc), Just(SchemeKind::Cfs), Just(SchemeKind::Ed)]
+    prop_oneof![
+        Just(SchemeKind::Sfc),
+        Just(SchemeKind::Cfs),
+        Just(SchemeKind::Ed)
+    ]
 }
 
 fn arb_kind() -> impl Strategy<Value = CompressKind> {

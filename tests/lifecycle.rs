@@ -12,7 +12,10 @@ use sparsedist::prelude::*;
 fn distribute_redistribute_gather_round_trip() {
     let n = 48;
     let p = 4;
-    let a = SparseRandom::new(n, n).sparse_ratio(0.15).seed(21).generate();
+    let a = SparseRandom::new(n, n)
+        .sparse_ratio(0.15)
+        .seed(21)
+        .generate();
     let machine = Multicomputer::virtual_machine(p, MachineModel::ibm_sp2());
     let rows = RowBlock::new(n, n, p);
     let mesh = Mesh2D::new(n, n, 2, 2);
@@ -22,9 +25,11 @@ fn distribute_redistribute_gather_round_trip() {
             let dist = run_scheme(scheme, &machine, &a, &rows, kind).unwrap();
             for rstrat in [RedistStrategy::Direct, RedistStrategy::ViaSource] {
                 let re = redistribute(&machine, &dist.locals, &rows, &mesh, kind, rstrat).unwrap();
-                for gstrat in
-                    [GatherStrategy::Dense, GatherStrategy::Compressed, GatherStrategy::Encoded]
-                {
+                for gstrat in [
+                    GatherStrategy::Dense,
+                    GatherStrategy::Compressed,
+                    GatherStrategy::Encoded,
+                ] {
                     let g = gather_global(&machine, &re.locals, &mesh, kind, gstrat).unwrap();
                     assert_eq!(
                         g.global.to_dense(),
@@ -75,7 +80,11 @@ fn computation_is_invariant_under_repartitioning() {
         };
         let y = distributed_spmv(&machine, &run, to.as_ref(), &x).unwrap();
         for ((u, v), w) in y.iter().zip(&y0).zip(&want) {
-            assert!((u - v).abs() < 1e-10 && (u - w).abs() < 1e-10, "{}", to.name());
+            assert!(
+                (u - v).abs() < 1e-10 && (u - w).abs() < 1e-10,
+                "{}",
+                to.name()
+            );
         }
     }
 }
@@ -101,7 +110,10 @@ fn schemes_work_on_every_topology() {
             totals.push(run.t_distribution());
         }
         // Remark 1's ordering survives every interconnect.
-        assert!(totals[2] < totals[1] && totals[1] < totals[0], "{topo:?}: {totals:?}");
+        assert!(
+            totals[2] < totals[1] && totals[1] < totals[0],
+            "{topo:?}: {totals:?}"
+        );
     }
 }
 

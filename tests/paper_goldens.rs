@@ -41,7 +41,11 @@ fn figure4_crs_of_each_processor() {
     let expect: [(&[usize], &[usize], &[f64]); 4] = [
         (&[1, 2, 3, 5], &[2, 7, 1, 8], &[1., 2., 3., 4.]),
         (&[1, 2, 3, 4], &[6, 4, 5], &[5., 6., 7.]),
-        (&[1, 2, 4, 7], &[7, 5, 8, 2, 3, 5], &[8., 9., 10., 11., 12., 13.]),
+        (
+            &[1, 2, 4, 7],
+            &[7, 5, 8, 2, 3, 5],
+            &[8., 9., 10., 11., 12., 13.],
+        ),
         (&[1, 4], &[1, 4, 7], &[14., 15., 16.]),
     ];
     for (pid, (ro, co, vl)) in expect.iter().enumerate() {
@@ -89,7 +93,10 @@ fn figure7_ed_p1_decode() {
 fn section5_observations_hold_on_reduced_grid() {
     let model = MachineModel::ibm_sp2();
     for &n in &[200usize, 400] {
-        let a = SparseRandom::new(n, n).sparse_ratio(0.1).seed(n as u64).generate();
+        let a = SparseRandom::new(n, n)
+            .sparse_ratio(0.1)
+            .seed(n as u64)
+            .generate();
         for &p in &[4usize] {
             let machine = Multicomputer::virtual_machine(p, model);
             let configs: Vec<(&str, Box<dyn Partition>)> = vec![
@@ -98,9 +105,30 @@ fn section5_observations_hold_on_reduced_grid() {
                 ("mesh", Box::new(Mesh2D::new(n, n, 2, 2))),
             ];
             for (name, part) in configs {
-                let sfc = run_scheme(SchemeKind::Sfc, &machine, &a, part.as_ref(), CompressKind::Crs).unwrap();
-                let cfs = run_scheme(SchemeKind::Cfs, &machine, &a, part.as_ref(), CompressKind::Crs).unwrap();
-                let ed = run_scheme(SchemeKind::Ed, &machine, &a, part.as_ref(), CompressKind::Crs).unwrap();
+                let sfc = run_scheme(
+                    SchemeKind::Sfc,
+                    &machine,
+                    &a,
+                    part.as_ref(),
+                    CompressKind::Crs,
+                )
+                .unwrap();
+                let cfs = run_scheme(
+                    SchemeKind::Cfs,
+                    &machine,
+                    &a,
+                    part.as_ref(),
+                    CompressKind::Crs,
+                )
+                .unwrap();
+                let ed = run_scheme(
+                    SchemeKind::Ed,
+                    &machine,
+                    &a,
+                    part.as_ref(),
+                    CompressKind::Crs,
+                )
+                .unwrap();
 
                 // §5 observation (all tables): ED dist < CFS dist < SFC dist.
                 assert!(ed.t_distribution() < cfs.t_distribution(), "{name} n={n}");
@@ -145,7 +173,13 @@ fn table3_scaling_shape_in_p() {
     }
     // Distribution grows slightly with p (startup terms only).
     assert!(dist[2] > dist[0]);
-    assert!(dist[2] < dist[0] * 1.2, "SFC dist should be nearly flat in p: {dist:?}");
+    assert!(
+        dist[2] < dist[0] * 1.2,
+        "SFC dist should be nearly flat in p: {dist:?}"
+    );
     // Compression shrinks roughly linearly in p.
-    assert!(comp[0] > comp[1] * 2.0 && comp[1] > comp[2] * 1.5, "{comp:?}");
+    assert!(
+        comp[0] > comp[1] * 2.0 && comp[1] > comp[2] * 1.5,
+        "{comp:?}"
+    );
 }

@@ -25,7 +25,10 @@ fn arb_dense() -> impl Strategy<Value = Dense2D> {
         .prop_map(|(r, c, data)| {
             // Reject exact-zero draws from the nonzero branch so nnz is
             // well-defined under the `v != 0.0` convention.
-            let data = data.into_iter().map(|v| if v.abs() < 1e-9 { 0.0 } else { v }).collect();
+            let data = data
+                .into_iter()
+                .map(|v| if v.abs() < 1e-9 { 0.0 } else { v })
+                .collect();
             Dense2D::from_vec(r, c, data)
         })
 }

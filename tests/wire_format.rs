@@ -89,8 +89,16 @@ fn ed_buffer_v1_bytes_golden() {
     let a = paper_array_a();
     let part = RowBlock::new(10, 8, 4);
     let mut buf = PackBuffer::new();
-    encode_part_into(&mut buf, &a, &part, 0, CompressKind::Crs, WireFormat::V1, &mut OpCounter::new())
-        .unwrap();
+    encode_part_into(
+        &mut buf,
+        &a,
+        &part,
+        0,
+        CompressKind::Crs,
+        WireFormat::V1,
+        &mut OpCounter::new(),
+    )
+    .unwrap();
 
     let mut expect = Vec::new();
     le64(&mut expect, 1); // R_0
@@ -116,8 +124,16 @@ fn ed_buffer_v2_bytes_golden() {
     let a = paper_array_a();
     let part = RowBlock::new(10, 8, 4);
     let mut buf = PackBuffer::new();
-    encode_part_into(&mut buf, &a, &part, 0, CompressKind::Crs, WireFormat::V2, &mut OpCounter::new())
-        .unwrap();
+    encode_part_into(
+        &mut buf,
+        &a,
+        &part,
+        0,
+        CompressKind::Crs,
+        WireFormat::V2,
+        &mut OpCounter::new(),
+    )
+    .unwrap();
 
     let mut expect: Vec<u8> = vec![b'S', b'2', 0b11];
     le32(&mut expect, 1); // R_0
@@ -151,7 +167,10 @@ fn arb_dense() -> impl Strategy<Value = Dense2D> {
             )
         })
         .prop_map(|(r, c, data)| {
-            let data = data.into_iter().map(|v| if v.abs() < 1e-9 { 0.0 } else { v }).collect();
+            let data = data
+                .into_iter()
+                .map(|v| if v.abs() < 1e-9 { 0.0 } else { v })
+                .collect();
             Dense2D::from_vec(r, c, data)
         })
 }

@@ -18,12 +18,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// `BenchmarkId::new("crs_from_dense", 200)` → `crs_from_dense/200`.
     pub fn new<S: Into<String>, P: fmt::Display>(function_id: S, parameter: P) -> Self {
-        BenchmarkId { id: format!("{}/{}", function_id.into(), parameter) }
+        BenchmarkId {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
     }
 
     /// Bare parameter-only id (`from_parameter`).
     pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 

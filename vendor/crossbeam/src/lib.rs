@@ -58,14 +58,18 @@ pub mod channel {
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            Sender { inner: self.inner.clone() }
+            Sender {
+                inner: self.inner.clone(),
+            }
         }
     }
 
     impl<T> Sender<T> {
         /// Enqueue `msg`, failing only if the receiver is gone.
         pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
-            self.inner.send(msg).map_err(|mpsc::SendError(v)| SendError(v))
+            self.inner
+                .send(msg)
+                .map_err(|mpsc::SendError(v)| SendError(v))
         }
     }
 

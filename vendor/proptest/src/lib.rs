@@ -153,8 +153,7 @@ mod tests {
     fn oneof_respects_weights_roughly() {
         let strat = prop_oneof![4 => Just(0u8), 1 => Just(1u8)];
         let mut rng = TestRng::for_test("weights");
-        let ones: usize =
-            (0..5000).map(|_| strat.sample(&mut rng) as usize).sum();
+        let ones: usize = (0..5000).map(|_| strat.sample(&mut rng) as usize).sum();
         // Expect ~1000 ones out of 5000; allow a generous band.
         assert!((500..1500).contains(&ones), "ones = {ones}");
     }

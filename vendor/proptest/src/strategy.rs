@@ -100,7 +100,10 @@ pub struct Union<T> {
 impl<T> Union<T> {
     /// Start a union with its first weighted arm.
     pub fn of<S: Strategy<Value = T> + 'static>(weight: u32, strat: S) -> Self {
-        Union { arms: vec![(weight, Box::new(strat))], total: weight as u64 }
+        Union {
+            arms: vec![(weight, Box::new(strat))],
+            total: weight as u64,
+        }
     }
 
     /// Add a further weighted arm.
@@ -114,7 +117,10 @@ impl<T> Union<T> {
 impl<T> Strategy for Union<T> {
     type Value = T;
     fn sample(&self, rng: &mut TestRng) -> T {
-        assert!(self.total > 0, "prop_oneof! needs at least one positive weight");
+        assert!(
+            self.total > 0,
+            "prop_oneof! needs at least one positive weight"
+        );
         let mut roll = rng.below(self.total);
         for (w, strat) in &self.arms {
             if roll < *w as u64 {

@@ -40,7 +40,9 @@ impl TestRng {
             h ^= b as u64;
             h = h.wrapping_mul(0x100_0000_01b3);
         }
-        TestRng { inner: StdRng::seed_from_u64(h) }
+        TestRng {
+            inner: StdRng::seed_from_u64(h),
+        }
     }
 
     /// Uniform draw in `[0, bound)`.
