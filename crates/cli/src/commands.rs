@@ -5,6 +5,7 @@ use sparsedist::array::DistributedSparseArray;
 use sparsedist_core::compress::{CompressKind, Coo};
 use sparsedist_core::cost::{predict, CostInput, PartitionMethod};
 use sparsedist_core::dense::Dense2D;
+use sparsedist_core::error::SparsedistError;
 use sparsedist_core::gather::GatherStrategy;
 use sparsedist_core::partition::{ColBlock, ColCyclic, Mesh2D, Partition, RowBlock, RowCyclic};
 use sparsedist_core::redistribute::RedistStrategy;
@@ -12,9 +13,13 @@ use sparsedist_core::schemes::{run_scheme, run_scheme_with, SchemeConfig, Scheme
 use sparsedist_core::wire::WireFormat;
 use sparsedist_gen::{matrixmarket, patterns, SparseRandom};
 use sparsedist_multicomputer::timing::{render_fault_summary, render_timeline};
-use sparsedist_multicomputer::{FaultPlan, MachineModel, Multicomputer, Phase, RetryPolicy};
+use sparsedist_multicomputer::{
+    chrome_trace_json, metrics_json, render_phase_table, render_waterfall, FaultPlan, MachineModel,
+    MemorySink, Multicomputer, Phase, RankTrace, RetryPolicy,
+};
 use sparsedist_ops::spmv::distributed_spmv;
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 /// Help text.
 pub const USAGE: &str = "\
@@ -27,11 +32,15 @@ USAGE:
   sparsedist distribute FILE.mtx [--scheme sfc|cfs|ed] [--partition row|column|mesh|rowcyclic|colcyclic]
                          [--procs P] [--grid RxC] [--kind crs|ccs] [--model sp2|compute|network]
                          [--timeline yes] [--faults SPEC] [--retries N]
-                         [--wire v1|v2] [--parallel yes]
+                         [--wire v1|v2] [--parallel yes] [--trace OUT.json]
 
   --faults takes comma-separated key=value tokens, e.g.
   'seed=7,drop=0.2' or 'dead=2' or 'corrupt@0-1=0.5,phase=send';
-  --retries bounds retransmissions per message (default 6).
+  --retries bounds retransmissions per message (default 6);
+  --trace writes a Chrome-trace JSON of the run (load in Perfetto).
+  sparsedist trace FILE.mtx [--scheme …] [--partition …] [--procs P] [--kind …]
+                         [--model …] [--wire …] [--parallel yes] [--width N]
+                         [--out TRACE.json] [--metrics METRICS.json]
   sparsedist advise FILE.mtx [--procs P] [--model sp2|compute|network]
   sparsedist spmv FILE.mtx [--procs P] [--scheme ed]
   sparsedist checkpoint FILE.mtx DIR [--procs P] [--scheme ed] [--partition …]
@@ -131,6 +140,12 @@ fn load(path: &str) -> Result<Dense2D, CmdError> {
     Ok(coo.to_dense())
 }
 
+/// Write `text` to `path`, funnelling I/O failures through
+/// [`SparsedistError::Io`] instead of panicking.
+fn write_text(path: &str, text: &str) -> Result<(), CmdError> {
+    std::fs::write(path, text).map_err(|e| SparsedistError::io(path, e).to_string())
+}
+
 /// `sparsedist gen OUT.mtx …`
 pub fn generate(p: &Parsed) -> Result<String, CmdError> {
     let out = p.positional(0, "output path").map_err(|e| e.to_string())?;
@@ -217,7 +232,15 @@ pub fn distribute(p: &Parsed) -> Result<String, CmdError> {
         parallel: p.flag_or("parallel", "no") == "yes",
     };
     let part = build_partition(p, a.rows(), a.cols(), procs)?;
-    let machine = build_machine(p, procs, model)?;
+    let mut machine = build_machine(p, procs, model)?;
+    let sink = p
+        .flags
+        .contains_key("trace")
+        .then(MemorySink::new)
+        .map(Arc::new);
+    if let Some(s) = &sink {
+        machine = machine.with_trace_sink(s.clone());
+    }
     let run = run_scheme_with(scheme, &machine, &a, part.as_ref(), kind, config)
         .map_err(|e| e.to_string())?;
 
@@ -281,6 +304,71 @@ pub fn distribute(p: &Parsed) -> Result<String, CmdError> {
         );
     } else {
         return Err("internal error: reassembly mismatch".into());
+    }
+    if let Some(s) = &sink {
+        let trace_path = p.flags.get("trace").expect("sink exists only with --trace");
+        let traces = s.take();
+        write_text(trace_path, &chrome_trace_json(&traces))?;
+        let spans: usize = traces.iter().map(|t| t.spans.len()).sum();
+        let _ = writeln!(
+            out,
+            "  trace:          {spans} spans over {} ranks written to {trace_path}",
+            traces.len()
+        );
+    }
+    Ok(out)
+}
+
+/// `sparsedist trace FILE.mtx …` — run one traced distribution and render
+/// a per-rank phase waterfall plus a phase × rank summary table. Optional
+/// `--out` exports Chrome-trace JSON (load in Perfetto / chrome://tracing)
+/// and `--metrics` exports the per-rank counters and histograms as JSON.
+pub fn trace_cmd(p: &Parsed) -> Result<String, CmdError> {
+    let path = p.positional(0, "input file").map_err(|e| e.to_string())?;
+    let a = load(path)?;
+    let procs = p.usize_or("procs", 4).map_err(|e| e.to_string())?;
+    let scheme = parse_scheme(p.flag_or("scheme", "ed"))?;
+    let kind = parse_kind(p.flag_or("kind", "crs"))?;
+    let model = parse_model(p.flag_or("model", "sp2"))?;
+    let wire = parse_wire(p.flag_or("wire", "v1"))?;
+    let width = p.usize_or("width", 60).map_err(|e| e.to_string())?;
+    let config = SchemeConfig {
+        wire,
+        parallel: p.flag_or("parallel", "no") == "yes",
+    };
+    let part = build_partition(p, a.rows(), a.cols(), procs)?;
+    let sink = Arc::new(MemorySink::new());
+    let machine = build_machine(p, procs, model)?.with_trace_sink(sink.clone());
+    run_scheme_with(scheme, &machine, &a, part.as_ref(), kind, config)
+        .map_err(|e| e.to_string())?;
+    let traces: Vec<RankTrace> = sink.take();
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} over {procs} processors ({} partition, {} compression, {wire} wire):",
+        scheme.label(),
+        part.name(),
+        kind.label()
+    );
+    let _ = writeln!(
+        out,
+        "  waterfall (c=compress e=encode p=pack s=send u=unpack d=decode k=pack !=retry .=wait):"
+    );
+    for line in render_waterfall(&traces, width).lines() {
+        let _ = writeln!(out, "    {line}");
+    }
+    let _ = writeln!(out, "  phase summary:");
+    for line in render_phase_table(&traces).lines() {
+        let _ = writeln!(out, "    {line}");
+    }
+    if let Some(trace_path) = p.flags.get("out") {
+        write_text(trace_path, &chrome_trace_json(&traces))?;
+        let _ = writeln!(out, "  trace written to {trace_path}");
+    }
+    if let Some(metrics_path) = p.flags.get("metrics") {
+        write_text(metrics_path, &metrics_json(&traces))?;
+        let _ = writeln!(out, "  metrics written to {metrics_path}");
     }
     Ok(out)
 }
@@ -660,5 +748,53 @@ mod tests {
     fn help_prints_usage() {
         let h = crate::run(&argv("help")).unwrap();
         assert!(h.contains("USAGE"));
+    }
+
+    #[test]
+    fn distribute_trace_flag_writes_chrome_json() {
+        let mtx = tmp("gen_trace.mtx");
+        let trace = tmp("gen_trace.json");
+        crate::run(&argv(&format!("gen {mtx} --rows 32 --ratio 0.2 --seed 4"))).unwrap();
+        let d = crate::run(&argv(&format!(
+            "distribute {mtx} --scheme ed --procs 4 --trace {trace}"
+        )))
+        .unwrap();
+        assert!(d.contains("verified"), "{d}");
+        assert!(d.contains("spans over 4 ranks"), "{d}");
+        let json = std::fs::read_to_string(&trace).unwrap();
+        assert!(json.starts_with("{\"traceEvents\":["), "{json}");
+        assert!(json.contains("\"cat\":\"ED\""), "{json}");
+    }
+
+    #[test]
+    fn trace_subcommand_renders_waterfall_and_table() {
+        let mtx = tmp("trace_cmd.mtx");
+        let trace = tmp("trace_cmd.json");
+        let metrics = tmp("trace_cmd_metrics.json");
+        crate::run(&argv(&format!("gen {mtx} --rows 32 --ratio 0.2 --seed 4"))).unwrap();
+        let t = crate::run(&argv(&format!(
+            "trace {mtx} --scheme cfs --procs 4 --out {trace} --metrics {metrics}"
+        )))
+        .unwrap();
+        assert!(t.contains("waterfall"), "{t}");
+        assert!(t.contains("phase summary"), "{t}");
+        assert!(t.contains("P0") && t.contains("P3"), "{t}");
+        assert!(std::fs::read_to_string(&trace)
+            .unwrap()
+            .contains("\"cat\":\"CFS\""));
+        assert!(std::fs::read_to_string(&metrics)
+            .unwrap()
+            .contains("\"ops.total\""));
+    }
+
+    #[test]
+    fn trace_io_failure_is_a_typed_error_not_a_panic() {
+        let mtx = tmp("trace_io.mtx");
+        crate::run(&argv(&format!("gen {mtx} --rows 16"))).unwrap();
+        let err = crate::run(&argv(&format!(
+            "trace {mtx} --procs 4 --out /no/such/dir/trace.json"
+        )))
+        .unwrap_err();
+        assert!(err.contains("/no/such/dir/trace.json"), "{err}");
     }
 }

@@ -42,7 +42,7 @@ impl Bsr {
         bc: usize,
         ops: &mut OpCounter,
     ) -> Result<Bsr, CompressError> {
-        if br == 0 || bc == 0 || !a.rows().is_multiple_of(br) || !a.cols().is_multiple_of(bc) {
+        if br == 0 || bc == 0 || a.rows() % br != 0 || a.cols() % bc != 0 {
             return Err(CompressError::TileShape {
                 rows: a.rows(),
                 cols: a.cols(),

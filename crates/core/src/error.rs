@@ -31,6 +31,25 @@ pub enum SparsedistError {
         /// The dead source rank.
         rank: usize,
     },
+    /// A host filesystem operation failed (trace export, ledger dumps).
+    /// Carries the path and the rendered `io::Error` — `std::io::Error` is
+    /// neither `Clone` nor `PartialEq`, which this enum requires.
+    Io {
+        /// The path the operation touched.
+        path: String,
+        /// The underlying I/O error, rendered.
+        message: String,
+    },
+}
+
+impl SparsedistError {
+    /// Wrap an `io::Error` from an operation on `path`.
+    pub fn io(path: impl Into<String>, err: std::io::Error) -> Self {
+        SparsedistError::Io {
+            path: path.into(),
+            message: err.to_string(),
+        }
+    }
 }
 
 impl fmt::Display for SparsedistError {
@@ -42,6 +61,9 @@ impl fmt::Display for SparsedistError {
             SparsedistError::Patch(e) => write!(f, "encode back-patch failed: {e}"),
             SparsedistError::SourceDead { rank } => {
                 write!(f, "source rank {rank} is dead; nothing can be distributed")
+            }
+            SparsedistError::Io { path, message } => {
+                write!(f, "{path}: {message}")
             }
         }
     }
@@ -55,6 +77,7 @@ impl std::error::Error for SparsedistError {
             SparsedistError::Unpack(e) => Some(e),
             SparsedistError::Patch(e) => Some(e),
             SparsedistError::SourceDead { .. } => None,
+            SparsedistError::Io { .. } => None,
         }
     }
 }
@@ -93,6 +116,17 @@ mod tests {
         assert!(e.to_string().contains("rank 3 is dead"), "{e}");
         let e = SparsedistError::SourceDead { rank: 0 };
         assert!(e.to_string().contains("source rank 0"), "{e}");
+    }
+
+    #[test]
+    fn io_variant_carries_path_and_message() {
+        let e = SparsedistError::io(
+            "/tmp/trace.json",
+            std::io::Error::new(std::io::ErrorKind::PermissionDenied, "denied"),
+        );
+        assert!(e.to_string().contains("/tmp/trace.json"), "{e}");
+        assert!(e.to_string().contains("denied"), "{e}");
+        assert_eq!(e.clone(), e);
     }
 
     #[test]

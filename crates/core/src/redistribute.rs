@@ -231,6 +231,7 @@ pub fn redistribute(
     let (results, ledgers) = machine.run_with_ledgers(
         |env| -> Result<Vec<(usize, LocalCompressed)>, SparsedistError> {
             let me = env.rank();
+            env.trace_scope("redistribute");
             if env.is_rank_dead(me) {
                 return Ok(Vec::new());
             }

@@ -18,8 +18,8 @@ use crate::error::SparsedistError;
 use crate::opcount::OpCounter;
 use crate::partition::Partition;
 use crate::schemes::{
-    alive_ranks_of, assign_owners, collect_parts, map_parts, SchemeConfig, SchemeKind, SchemeRun,
-    SOURCE,
+    alive_ranks_of, assign_owners, collect_parts, map_parts_counted, SchemeConfig, SchemeKind,
+    SchemeRun, SOURCE,
 };
 use crate::wire::{self, WireFormat};
 use sparsedist_multicomputer::pack::UnpackError;
@@ -114,6 +114,7 @@ pub(crate) fn run(
     let (results, ledgers) = machine.run_with_ledgers(
         |env| -> Result<Vec<(usize, LocalCompressed)>, SparsedistError> {
             let me = env.rank();
+            env.trace_scope("CFS");
             if env.is_rank_dead(me) {
                 return Ok(Vec::new());
             }
@@ -122,20 +123,41 @@ pub(crate) fn run(
                 // code but charged to their own phases, exactly as the paper
                 // accounts them. Packing cost is one op per packed element,
                 // which is exactly the buffers' element counts.
-                let (bufs, compress_total) = {
+                let (bufs, compress_total, compress_counts) = {
                     let arena = env.arena();
                     let mut compress_ops = OpCounter::new();
-                    let bufs: Vec<PackBuffer> =
-                        map_parts(nparts, config.parallel, &mut compress_ops, &|pid, ops| {
+                    let (bufs, counts) = map_parts_counted(
+                        nparts,
+                        config.parallel,
+                        &mut compress_ops,
+                        &|pid, ops| {
                             let mut buf = arena.checkout(0);
                             compress_and_pack(&mut buf, global, part, pid, kind, config.wire, ops);
                             buf
-                        });
-                    (bufs, compress_ops.take())
+                        },
+                    );
+                    (bufs, compress_ops.take(), counts)
                 };
                 let pack_total: u64 = bufs.iter().map(PackBuffer::elem_count).sum();
-                env.phase(Phase::Compress, |env| env.charge_ops(compress_total));
-                env.phase(Phase::Pack, |env| env.charge_ops(pack_total));
+                env.phase(Phase::Compress, |env| {
+                    if env.is_tracing() {
+                        let pairs: Vec<(usize, u64)> =
+                            compress_counts.into_iter().enumerate().collect();
+                        env.trace_part_ops(&pairs);
+                    }
+                    env.charge_ops(compress_total)
+                });
+                env.phase(Phase::Pack, |env| {
+                    if env.is_tracing() {
+                        let pairs: Vec<(usize, u64)> = bufs
+                            .iter()
+                            .map(PackBuffer::elem_count)
+                            .enumerate()
+                            .collect();
+                        env.trace_part_ops(&pairs);
+                    }
+                    env.charge_ops(pack_total)
+                });
                 env.phase(Phase::Send, |env| -> Result<(), SparsedistError> {
                     for (pid, buf) in bufs.into_iter().enumerate() {
                         env.send(owners_ref[pid], buf)?;
@@ -153,16 +175,27 @@ pub(crate) fn run(
                 for &pid in &mine {
                     msgs.push((pid, env.recv(SOURCE)?));
                 }
-                let (locals, unpack_total) = {
+                let (locals, unpack_total, unpack_counts) = {
                     let msgs_ref = &msgs;
                     let mut ops = OpCounter::new();
-                    let locals = map_parts(msgs.len(), true, &mut ops, &|i, ops| {
-                        let (pid, msg) = &msgs_ref[i];
-                        unpack(&msg.payload, part, *pid, kind, config.wire, ops)
-                    });
-                    (locals, ops.take())
+                    let (locals, counts) =
+                        map_parts_counted(msgs.len(), true, &mut ops, &|i, ops| {
+                            let (pid, msg) = &msgs_ref[i];
+                            unpack(&msg.payload, part, *pid, kind, config.wire, ops)
+                        });
+                    (locals, ops.take(), counts)
                 };
-                env.phase(Phase::Unpack, |env| env.charge_ops(unpack_total));
+                env.phase(Phase::Unpack, |env| {
+                    if env.is_tracing() {
+                        let pairs: Vec<(usize, u64)> = msgs
+                            .iter()
+                            .map(|(pid, _)| *pid)
+                            .zip(unpack_counts)
+                            .collect();
+                        env.trace_part_ops(&pairs);
+                    }
+                    env.charge_ops(unpack_total)
+                });
                 for (local, (pid, msg)) in locals.into_iter().zip(msgs) {
                     env.arena().recycle_bytes(msg.payload.into_bytes());
                     out.push((pid, local?));
@@ -173,7 +206,9 @@ pub(crate) fn run(
                     let local = env.phase(Phase::Unpack, |env| {
                         let mut ops = OpCounter::new();
                         let local = unpack(&msg.payload, part, pid, kind, config.wire, &mut ops);
-                        env.charge_ops(ops.take());
+                        let n = ops.take();
+                        env.trace_part_ops(&[(pid, n)]);
+                        env.charge_ops(n);
                         local
                     })?;
                     env.arena().recycle_bytes(msg.payload.into_bytes());

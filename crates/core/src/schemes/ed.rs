@@ -15,8 +15,8 @@ use crate::error::SparsedistError;
 use crate::opcount::OpCounter;
 use crate::partition::Partition;
 use crate::schemes::{
-    alive_ranks_of, assign_owners, collect_parts, map_parts, SchemeConfig, SchemeKind, SchemeRun,
-    SOURCE,
+    alive_ranks_of, assign_owners, collect_parts, map_parts_counted, SchemeConfig, SchemeKind,
+    SchemeRun, SOURCE,
 };
 use sparsedist_multicomputer::{Multicomputer, PackBuffer, Phase};
 
@@ -33,25 +33,28 @@ pub(crate) fn run(
     let (results, ledgers) = machine.run_with_ledgers(
         |env| -> Result<Vec<(usize, LocalCompressed)>, SparsedistError> {
             let me = env.rank();
+            env.trace_scope("ED");
             if env.is_rank_dead(me) {
                 return Ok(Vec::new());
             }
             if me == SOURCE {
                 let bufs: Vec<PackBuffer> = env.phase(Phase::Encode, |env| {
                     let mut ops = OpCounter::new();
-                    let bufs = {
+                    let (bufs, counts) = {
                         let arena = env.arena();
-                        map_parts(nparts, config.parallel, &mut ops, &|pid, ops| {
+                        map_parts_counted(nparts, config.parallel, &mut ops, &|pid, ops| {
                             let (lrows, lcols) = part.local_shape(pid);
                             let mut buf = arena.checkout((lrows + lrows * lcols / 4 + 1) * 8);
                             encode_part_into(&mut buf, global, part, pid, kind, config.wire, ops)
                                 .map(|()| buf)
                         })
-                        .into_iter()
-                        .collect::<Result<Vec<_>, _>>()
                     };
+                    if env.is_tracing() {
+                        let pairs: Vec<(usize, u64)> = counts.into_iter().enumerate().collect();
+                        env.trace_part_ops(&pairs);
+                    }
                     env.charge_ops(ops.take());
-                    bufs
+                    bufs.into_iter().collect::<Result<Vec<_>, _>>()
                 })?;
                 env.phase(Phase::Send, |env| -> Result<(), SparsedistError> {
                     for (pid, buf) in bufs.into_iter().enumerate() {
@@ -72,13 +75,18 @@ pub(crate) fn run(
                 }
                 let locals = env.phase(Phase::Decode, |env| {
                     let mut ops = OpCounter::new();
-                    let locals = {
+                    let (locals, counts) = {
                         let msgs_ref = &msgs;
-                        map_parts(msgs.len(), true, &mut ops, &|i, ops| {
+                        map_parts_counted(msgs.len(), true, &mut ops, &|i, ops| {
                             let (pid, msg) = &msgs_ref[i];
                             decode_part_wire(&msg.payload, part, *pid, kind, config.wire, ops)
                         })
                     };
+                    if env.is_tracing() {
+                        let pairs: Vec<(usize, u64)> =
+                            msgs.iter().map(|(pid, _)| *pid).zip(counts).collect();
+                        env.trace_part_ops(&pairs);
+                    }
                     env.charge_ops(ops.take());
                     locals
                 });
@@ -93,7 +101,9 @@ pub(crate) fn run(
                         let mut ops = OpCounter::new();
                         let local =
                             decode_part_wire(&msg.payload, part, pid, kind, config.wire, &mut ops);
-                        env.charge_ops(ops.take());
+                        let n = ops.take();
+                        env.trace_part_ops(&[(pid, n)]);
+                        env.charge_ops(n);
                         local
                     })?;
                     env.arena().recycle_bytes(msg.payload.into_bytes());
@@ -151,6 +161,7 @@ pub fn run_overlapped(
     let (results, ledgers) = machine.run_with_ledgers(
         |env| -> Result<Vec<(usize, LocalCompressed)>, SparsedistError> {
             let me = env.rank();
+            env.trace_scope("ed-overlap");
             if env.is_rank_dead(me) {
                 return Ok(Vec::new());
             }
@@ -159,7 +170,9 @@ pub fn run_overlapped(
                     let buf = env.phase(Phase::Encode, |env| {
                         let mut ops = OpCounter::new();
                         let buf = encode_part(global, part, pid, kind, &mut ops);
-                        env.charge_ops(ops.take());
+                        let n = ops.take();
+                        env.trace_part_ops(&[(pid, n)]);
+                        env.charge_ops(n);
                         buf
                     })?;
                     env.phase(Phase::Send, |env| env.send(owner, buf))?;
@@ -172,7 +185,9 @@ pub fn run_overlapped(
                 let local = env.phase(Phase::Decode, |env| {
                     let mut ops = OpCounter::new();
                     let local = decode_part(&msg.payload, part, pid, kind, &mut ops);
-                    env.charge_ops(ops.take());
+                    let n = ops.take();
+                    env.trace_part_ops(&[(pid, n)]);
+                    env.charge_ops(n);
                     local
                 })?;
                 out.push((pid, local));

@@ -61,19 +61,22 @@ impl SchemeConfig {
 }
 
 /// Map part ids `0..nparts` through `f`, sequentially or on scoped host
-/// threads, preserving part order in the returned vector.
+/// threads, preserving part order in the returned vector and additionally
+/// returning each part's own op count (`counts[pid]`).
 ///
-/// Each parallel worker counts its ops into a private [`OpCounter`]; the
-/// counts (plain `u64`s, so addition is associative) are merged into `ops`
-/// in part order afterwards. The caller charges the merged total exactly
-/// once — the same single charge the sequential path makes — so the
-/// virtual clock cannot tell the two paths apart.
-pub(crate) fn map_parts<T: Send>(
+/// Each part — on either path — counts its ops into a private
+/// [`OpCounter`]; the counts (plain `u64`s, so addition is associative)
+/// are merged into `ops` in part order afterwards. The caller charges the
+/// merged total exactly once, so the virtual clock cannot tell the two
+/// paths apart, and the per-part counts feed the tracing layer's sub-span
+/// attribution identically whether the parts ran sequentially or on host
+/// threads.
+pub(crate) fn map_parts_counted<T: Send>(
     nparts: usize,
     parallel: bool,
     ops: &mut OpCounter,
     f: &(dyn Fn(usize, &mut OpCounter) -> T + Sync),
-) -> Vec<T> {
+) -> (Vec<T>, Vec<u64>) {
     let workers = if parallel {
         std::thread::available_parallelism()
             .map_or(1, |n| n.get())
@@ -85,7 +88,16 @@ pub(crate) fn map_parts<T: Send>(
         // Single-core hosts (and single parts) take the sequential path:
         // threads could only add overhead, and the results are identical
         // by construction.
-        return (0..nparts).map(|pid| f(pid, ops)).collect();
+        let mut out = Vec::with_capacity(nparts);
+        let mut counts = Vec::with_capacity(nparts);
+        for pid in 0..nparts {
+            let mut local = OpCounter::new();
+            out.push(f(pid, &mut local));
+            let n = local.get();
+            counts.push(n);
+            ops.add(n);
+        }
+        return (out, counts);
     }
     // Contiguous part chunks, one scoped thread each — never more threads
     // than cores, so wide partitions don't oversubscribe the host.
@@ -112,13 +124,15 @@ pub(crate) fn map_parts<T: Send>(
             .collect()
     });
     let mut out = Vec::with_capacity(nparts);
+    let mut counts = Vec::with_capacity(nparts);
     for chunk_results in per_chunk {
         for (t, n) in chunk_results {
             ops.add(n);
+            counts.push(n);
             out.push(t);
         }
     }
-    out
+    (out, counts)
 }
 
 /// The source rank every provided driver distributes from.

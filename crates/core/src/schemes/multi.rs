@@ -20,7 +20,7 @@ use crate::dense::Dense2D;
 use crate::error::SparsedistError;
 use crate::opcount::OpCounter;
 use crate::partition::Partition;
-use crate::schemes::{map_parts, SchemeConfig};
+use crate::schemes::{map_parts_counted, SchemeConfig};
 use crate::wire::{self, IndexRunReader, IndexRunWriter, WireFormat};
 use sparsedist_multicomputer::pack::{PatchError, UnpackError};
 use sparsedist_multicomputer::{Multicomputer, PackBuffer, Phase, PhaseLedger, VirtualTime};
@@ -170,6 +170,7 @@ pub fn run_ed_multi_source_with(
     let (results, ledgers) =
         machine.run_with_ledgers(|env| -> Result<LocalCompressed, SparsedistError> {
             let me = env.rank();
+            env.trace_scope("ED-multi");
             if env.is_rank_dead(me) {
                 // A dead destination holds nothing; its slot reports an
                 // empty local array of its own shape.
@@ -187,9 +188,9 @@ pub fn run_ed_multi_source_with(
             if me < nsources {
                 let bufs: Vec<PackBuffer> = env.phase(Phase::Encode, |env| {
                     let mut ops = OpCounter::new();
-                    let bufs = {
+                    let (bufs, counts) = {
                         let arena = env.arena();
-                        map_parts(p, config.parallel, &mut ops, &|pid, ops| {
+                        map_parts_counted(p, config.parallel, &mut ops, &|pid, ops| {
                             let (lrows, lcols) = part.local_shape(pid);
                             let mut buf =
                                 arena.checkout((lrows / nsources + 1) * (lcols / 2 + 1) * 8);
@@ -205,11 +206,13 @@ pub fn run_ed_multi_source_with(
                             )
                             .map(|()| buf)
                         })
-                        .into_iter()
-                        .collect::<Result<Vec<_>, _>>()
                     };
+                    if env.is_tracing() {
+                        let pairs: Vec<(usize, u64)> = counts.into_iter().enumerate().collect();
+                        env.trace_part_ops(&pairs);
+                    }
                     env.charge_ops(ops.take());
-                    bufs
+                    bufs.into_iter().collect::<Result<Vec<_>, _>>()
                 })?;
                 env.phase(Phase::Send, |env| -> Result<(), SparsedistError> {
                     for (dst, buf) in bufs.into_iter().enumerate() {
@@ -276,7 +279,9 @@ pub fn run_ed_multi_source_with(
                             .into());
                         }
                     }
-                    env.charge_ops(ops.take());
+                    let n = ops.take();
+                    env.trace_part_ops(&[(me, n)]);
+                    env.charge_ops(n);
                     Ok(LocalCompressed::Crs(Crs::from_raw(
                         lrows, bound, ro, co, vl,
                     )?))

@@ -16,8 +16,8 @@ use crate::error::SparsedistError;
 use crate::opcount::OpCounter;
 use crate::partition::Partition;
 use crate::schemes::{
-    alive_ranks_of, assign_owners, collect_parts, map_parts, SchemeConfig, SchemeKind, SchemeRun,
-    SOURCE,
+    alive_ranks_of, assign_owners, collect_parts, map_parts_counted, SchemeConfig, SchemeKind,
+    SchemeRun, SOURCE,
 };
 use crate::wire::{self, WireFormat};
 use sparsedist_multicomputer::pack::UnpackError;
@@ -99,21 +99,26 @@ pub(crate) fn run(
     let (results, ledgers) = machine.run_with_ledgers(
         |env| -> Result<Vec<(usize, LocalCompressed)>, SparsedistError> {
             let me = env.rank();
+            env.trace_scope("SFC");
             if env.is_rank_dead(me) {
                 return Ok(Vec::new());
             }
             if me == SOURCE {
                 let bufs: Vec<PackBuffer> = env.phase(Phase::Pack, |env| {
                     let mut ops = OpCounter::new();
-                    let bufs = {
+                    let (bufs, counts) = {
                         let arena = env.arena();
-                        map_parts(nparts, config.parallel, &mut ops, &|pid, ops| {
+                        map_parts_counted(nparts, config.parallel, &mut ops, &|pid, ops| {
                             let (lrows, lcols) = part.local_shape(pid);
                             let mut buf = arena.checkout(lrows * lcols * 8 + wire::HEADER_LEN);
                             pack_dense_part(&mut buf, global, part, pid, config.wire, ops);
                             buf
                         })
                     };
+                    if env.is_tracing() {
+                        let pairs: Vec<(usize, u64)> = counts.into_iter().enumerate().collect();
+                        env.trace_part_ops(&pairs);
+                    }
                     env.charge_ops(ops.take());
                     bufs
                 });
@@ -137,13 +142,18 @@ pub(crate) fn run(
                 }
                 let denses = env.phase(Phase::Unpack, |env| {
                     let mut ops = OpCounter::new();
-                    let d = {
+                    let (d, counts) = {
                         let msgs_ref = &msgs;
-                        map_parts(msgs.len(), true, &mut ops, &|i, ops| {
+                        map_parts_counted(msgs.len(), true, &mut ops, &|i, ops| {
                             let (pid, msg) = &msgs_ref[i];
                             unpack_dense(&msg.payload, part, *pid, config.wire, ops)
                         })
                     };
+                    if env.is_tracing() {
+                        let pairs: Vec<(usize, u64)> =
+                            msgs.iter().map(|(pid, _)| *pid).zip(counts).collect();
+                        env.trace_part_ops(&pairs);
+                    }
                     env.charge_ops(ops.take());
                     d
                 });
@@ -154,12 +164,17 @@ pub(crate) fn run(
                 }
                 let compressed = env.phase(Phase::Compress, |env| {
                     let mut ops = OpCounter::new();
-                    let c = {
+                    let (c, counts) = {
                         let locals_ref = &locals;
-                        map_parts(locals.len(), true, &mut ops, &|i, ops| {
+                        map_parts_counted(locals.len(), true, &mut ops, &|i, ops| {
                             compress_dense(kind, &locals_ref[i].1, ops)
                         })
                     };
+                    if env.is_tracing() {
+                        let pairs: Vec<(usize, u64)> =
+                            locals.iter().map(|(pid, _)| *pid).zip(counts).collect();
+                        env.trace_part_ops(&pairs);
+                    }
                     env.charge_ops(ops.take());
                     c
                 });
@@ -170,14 +185,18 @@ pub(crate) fn run(
                     let local_dense = env.phase(Phase::Unpack, |env| {
                         let mut ops = OpCounter::new();
                         let d = unpack_dense(&msg.payload, part, pid, config.wire, &mut ops);
-                        env.charge_ops(ops.take());
+                        let n = ops.take();
+                        env.trace_part_ops(&[(pid, n)]);
+                        env.charge_ops(n);
                         d
                     })?;
                     env.arena().recycle_bytes(msg.payload.into_bytes());
                     let c = env.phase(Phase::Compress, |env| {
                         let mut ops = OpCounter::new();
                         let c = compress_dense(kind, &local_dense, &mut ops);
-                        env.charge_ops(ops.take());
+                        let n = ops.take();
+                        env.trace_part_ops(&[(pid, n)]);
+                        env.charge_ops(n);
                         c
                     });
                     out.push((pid, c));

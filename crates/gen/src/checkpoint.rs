@@ -107,7 +107,7 @@ fn decode(rank: usize, bytes: &[u8]) -> Result<LocalCompressed, CkptError> {
         rank,
         reason: reason.into(),
     };
-    if !bytes.len().is_multiple_of(8) {
+    if bytes.len() % 8 != 0 {
         return Err(corrupt("length not a multiple of 8"));
     }
     // The last word is a CRC32 over everything before it; reject early on a

@@ -49,16 +49,18 @@ pub fn scatterv(
     mut make_buf: impl FnMut(usize) -> PackBuffer,
 ) -> Result<PackBuffer, CommError> {
     check_self_alive(env)?;
-    if env.rank() == root {
-        for dst in 0..env.nprocs() {
-            if env.is_rank_dead(dst) {
-                continue;
+    env.span("scatterv", |env| {
+        if env.rank() == root {
+            for dst in 0..env.nprocs() {
+                if env.is_rank_dead(dst) {
+                    continue;
+                }
+                let buf = make_buf(dst);
+                env.send(dst, buf)?;
             }
-            let buf = make_buf(dst);
-            env.send(dst, buf)?;
         }
-    }
-    Ok(env.recv(root)?.payload)
+        Ok(env.recv(root)?.payload)
+    })
 }
 
 /// Gather one buffer from every rank at `root`.
@@ -69,20 +71,22 @@ pub fn scatterv(
 /// Non-root ranks return an empty vector.
 pub fn gather(env: &mut Env, root: usize, buf: PackBuffer) -> Result<Vec<PackBuffer>, CommError> {
     check_self_alive(env)?;
-    env.send(root, buf)?;
-    if env.rank() == root {
-        (0..env.nprocs())
-            .map(|src| {
-                if env.is_rank_dead(src) {
-                    Ok(PackBuffer::new())
-                } else {
-                    Ok(env.recv(src)?.payload)
-                }
-            })
-            .collect()
-    } else {
-        Ok(Vec::new())
-    }
+    env.span("gather", |env| {
+        env.send(root, buf)?;
+        if env.rank() == root {
+            (0..env.nprocs())
+                .map(|src| {
+                    if env.is_rank_dead(src) {
+                        Ok(PackBuffer::new())
+                    } else {
+                        Ok(env.recv(src)?.payload)
+                    }
+                })
+                .collect()
+        } else {
+            Ok(Vec::new())
+        }
+    })
 }
 
 /// Broadcast a buffer from `root` to every alive rank.
@@ -92,16 +96,18 @@ pub fn broadcast(
     buf: Option<PackBuffer>,
 ) -> Result<PackBuffer, CommError> {
     check_self_alive(env)?;
-    if env.rank() == root {
-        let buf = buf.expect("root must supply the broadcast buffer");
-        for dst in 0..env.nprocs() {
-            if env.is_rank_dead(dst) {
-                continue;
+    env.span("broadcast", |env| {
+        if env.rank() == root {
+            let buf = buf.expect("root must supply the broadcast buffer");
+            for dst in 0..env.nprocs() {
+                if env.is_rank_dead(dst) {
+                    continue;
+                }
+                env.send(dst, buf.clone())?;
             }
-            env.send(dst, buf.clone())?;
         }
-    }
-    Ok(env.recv(root)?.payload)
+        Ok(env.recv(root)?.payload)
+    })
 }
 
 /// Allgather: every alive rank contributes one buffer and receives
@@ -110,21 +116,23 @@ pub fn broadcast(
 /// sequential-send cost model used throughout.
 pub fn allgather(env: &mut Env, buf: PackBuffer) -> Result<Vec<PackBuffer>, CommError> {
     check_self_alive(env)?;
-    for dst in 0..env.nprocs() {
-        if env.is_rank_dead(dst) {
-            continue;
-        }
-        env.send(dst, buf.clone())?;
-    }
-    (0..env.nprocs())
-        .map(|src| {
-            if env.is_rank_dead(src) {
-                Ok(PackBuffer::new())
-            } else {
-                Ok(env.recv(src)?.payload)
+    env.span("allgather", |env| {
+        for dst in 0..env.nprocs() {
+            if env.is_rank_dead(dst) {
+                continue;
             }
-        })
-        .collect()
+            env.send(dst, buf.clone())?;
+        }
+        (0..env.nprocs())
+            .map(|src| {
+                if env.is_rank_dead(src) {
+                    Ok(PackBuffer::new())
+                } else {
+                    Ok(env.recv(src)?.payload)
+                }
+            })
+            .collect()
+    })
 }
 
 /// Elementwise sum-reduction of equal-length `f64` vectors over the alive
@@ -136,53 +144,55 @@ pub fn allgather(env: &mut Env, buf: PackBuffer) -> Result<Vec<PackBuffer>, Comm
 /// Panics if alive ranks contribute different lengths, or no rank is alive.
 pub fn allreduce_sum(env: &mut Env, values: &[f64]) -> Result<Vec<f64>, CommError> {
     check_self_alive(env)?;
-    let hub = *env
-        .alive_ranks()
-        .first()
-        .expect("allreduce needs at least one alive rank");
-    // Checkout from the rank's arena: iterative solvers call allreduce
-    // every sweep, and recycling keeps the hub's p-fold churn off the
-    // allocator entirely after the first round.
-    let mut buf = env.arena().checkout((values.len() + 1) * 8);
-    buf.push_u64(values.len() as u64);
-    buf.push_f64_slice(values);
-    env.send(hub, buf)?;
-    if env.rank() == hub {
-        let mut acc = vec![0.0f64; values.len()];
-        let mut contributors = 0u64;
-        for src in 0..env.nprocs() {
-            if env.is_rank_dead(src) {
-                continue;
+    env.span("allreduce_sum", |env| {
+        let hub = *env
+            .alive_ranks()
+            .first()
+            .expect("allreduce needs at least one alive rank");
+        // Checkout from the rank's arena: iterative solvers call allreduce
+        // every sweep, and recycling keeps the hub's p-fold churn off the
+        // allocator entirely after the first round.
+        let mut buf = env.arena().checkout((values.len() + 1) * 8);
+        buf.push_u64(values.len() as u64);
+        buf.push_f64_slice(values);
+        env.send(hub, buf)?;
+        if env.rank() == hub {
+            let mut acc = vec![0.0f64; values.len()];
+            let mut contributors = 0u64;
+            for src in 0..env.nprocs() {
+                if env.is_rank_dead(src) {
+                    continue;
+                }
+                let msg = env.recv(src)?;
+                let mut cursor = msg.payload.cursor();
+                let len = cursor.read_usize();
+                assert_eq!(
+                    len,
+                    acc.len(),
+                    "rank {src} contributed length {len}, expected {}",
+                    acc.len()
+                );
+                for slot in acc.iter_mut() {
+                    *slot += cursor.read_f64();
+                }
+                contributors += 1;
+                env.arena().recycle_bytes(msg.payload.into_bytes());
             }
-            let msg = env.recv(src)?;
-            let mut cursor = msg.payload.cursor();
-            let len = cursor.read_usize();
-            assert_eq!(
-                len,
-                acc.len(),
-                "rank {src} contributed length {len}, expected {}",
-                acc.len()
-            );
-            for slot in acc.iter_mut() {
-                *slot += cursor.read_f64();
+            env.charge_ops(acc.len() as u64 * contributors);
+            for dst in 0..env.nprocs() {
+                if env.is_rank_dead(dst) {
+                    continue;
+                }
+                let mut b = env.arena().checkout(acc.len() * 8);
+                b.push_f64_slice(&acc);
+                env.send(dst, b)?;
             }
-            contributors += 1;
-            env.arena().recycle_bytes(msg.payload.into_bytes());
         }
-        env.charge_ops(acc.len() as u64 * contributors);
-        for dst in 0..env.nprocs() {
-            if env.is_rank_dead(dst) {
-                continue;
-            }
-            let mut b = env.arena().checkout(acc.len() * 8);
-            b.push_f64_slice(&acc);
-            env.send(dst, b)?;
-        }
-    }
-    let msg = env.recv(hub)?;
-    let out = msg.payload.cursor().read_f64_vec(values.len());
-    env.arena().recycle_bytes(msg.payload.into_bytes());
-    Ok(out)
+        let msg = env.recv(hub)?;
+        let out = msg.payload.cursor().read_f64_vec(values.len());
+        env.arena().recycle_bytes(msg.payload.into_bytes());
+        Ok(out)
+    })
 }
 
 /// Synchronise all alive ranks: everyone reports to the lowest alive rank,
@@ -196,23 +206,25 @@ pub fn barrier(env: &mut Env) -> Result<(), CommError> {
         .first()
         .expect("barrier needs at least one alive rank");
     env.phase(Phase::Other, |env| {
-        env.send(hub, PackBuffer::new())?;
-        if env.rank() == hub {
-            for src in 0..env.nprocs() {
-                if env.is_rank_dead(src) {
-                    continue;
+        env.span("barrier", |env| {
+            env.send(hub, PackBuffer::new())?;
+            if env.rank() == hub {
+                for src in 0..env.nprocs() {
+                    if env.is_rank_dead(src) {
+                        continue;
+                    }
+                    env.recv(src)?;
                 }
-                env.recv(src)?;
-            }
-            for dst in 0..env.nprocs() {
-                if env.is_rank_dead(dst) {
-                    continue;
+                for dst in 0..env.nprocs() {
+                    if env.is_rank_dead(dst) {
+                        continue;
+                    }
+                    env.send(dst, PackBuffer::new())?;
                 }
-                env.send(dst, PackBuffer::new())?;
             }
-        }
-        env.recv(hub)?;
-        Ok(())
+            env.recv(hub)?;
+            Ok(())
+        })
     })
 }
 

@@ -51,6 +51,7 @@ use crate::pack::{PackArena, PackBuffer};
 use crate::time::VirtualTime;
 use crate::timing::{Phase, PhaseLedger, WireStats};
 use crate::topology::Topology;
+use crate::trace::{RankTrace, TraceSink, Tracer};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::fmt;
@@ -178,6 +179,9 @@ pub struct Multicomputer {
     /// One buffer-reuse arena per rank, persisting across `run_*` calls so
     /// repeated distributions stop reallocating their send buffers.
     arenas: Vec<Arc<PackArena>>,
+    /// Where completed rank traces go; `None` (the default) and disabled
+    /// sinks allocate no tracer at all.
+    sink: Option<Arc<dyn TraceSink>>,
 }
 
 impl Multicomputer {
@@ -224,6 +228,7 @@ impl Multicomputer {
             faults: None,
             retry: RetryPolicy::default(),
             arenas: (0..nprocs).map(|_| Arc::new(PackArena::new())).collect(),
+            sink: None,
         }
     }
 
@@ -246,6 +251,22 @@ impl Multicomputer {
     pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
         self
+    }
+
+    /// Install a [`TraceSink`]: every subsequent `run_*` call records one
+    /// [`RankTrace`] per rank (spans, counters, histograms) and hands them
+    /// to the sink in rank order after the run joins. Tracing is purely
+    /// observational — it never charges the virtual clock — and a sink
+    /// whose [`TraceSink::is_enabled`] is false (e.g.
+    /// [`crate::trace::NullSink`]) costs nothing at all.
+    pub fn with_trace_sink(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// The installed trace sink, if any.
+    pub fn trace_sink(&self) -> Option<&Arc<dyn TraceSink>> {
+        self.sink.as_ref()
     }
 
     /// The installed fault plan, if any.
@@ -306,7 +327,8 @@ impl Multicomputer {
         let faults = &self.faults;
         let retry = self.retry;
         let arenas = &self.arenas;
-        std::thread::scope(|scope| {
+        let tracing = self.sink.as_ref().is_some_and(|s| s.is_enabled());
+        let (results, ledgers, traces) = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(p);
             let rows = data_tx
                 .into_iter()
@@ -322,25 +344,35 @@ impl Multicomputer {
                         faults.clone(),
                         retry,
                         Arc::clone(&arenas[rank]),
+                        tracing,
                         tx_row,
                         rx_row,
                         ack_tx_row,
                         ack_rx_row,
                     );
                     let out = f(&mut env);
-                    let ledger = env.into_ledger();
-                    (out, ledger)
+                    let (ledger, trace) = env.into_parts();
+                    (out, ledger, trace)
                 }));
             }
             let mut results = Vec::with_capacity(p);
             let mut ledgers = Vec::with_capacity(p);
+            let mut traces = Vec::with_capacity(p);
             for h in handles {
-                let (r, l) = h.join().expect("simulated processor panicked");
+                let (r, l, t) = h.join().expect("simulated processor panicked");
                 results.push(r);
                 ledgers.push(l);
+                traces.push(t);
             }
-            (results, ledgers)
-        })
+            (results, ledgers, traces)
+        });
+        if let Some(sink) = &self.sink {
+            // Rank order by construction — sinks never need to re-sort.
+            for trace in traces.into_iter().flatten() {
+                sink.record(trace);
+            }
+        }
+        (results, ledgers)
     }
 }
 
@@ -390,6 +422,10 @@ pub struct Env {
     wire_ns_startup: u64,
     ledger: PhaseLedger,
     current_phase: Phase,
+    /// Span/metrics recorder; `None` unless an enabled [`TraceSink`] is
+    /// installed on the machine, so every hook below is a branch on `None`
+    /// in the untraced hot path.
+    tracer: Option<Tracer>,
     plan: Option<FaultPlan>,
     retry: RetryPolicy,
     arena: Arc<PackArena>,
@@ -411,6 +447,7 @@ impl Env {
         plan: Option<FaultPlan>,
         retry: RetryPolicy,
         arena: Arc<PackArena>,
+        tracing: bool,
         senders: Vec<Sender<Frame>>,
         receivers: Vec<Receiver<Frame>>,
         ack_senders: Vec<Sender<AckMsg>>,
@@ -445,6 +482,7 @@ impl Env {
             wire_ns_startup,
             ledger: PhaseLedger::new(),
             current_phase: Phase::Other,
+            tracer: tracing.then(|| Tracer::new(rank)),
             plan,
             retry,
             arena,
@@ -520,14 +558,102 @@ impl Env {
             Clock::Wall { epoch } => Some((*epoch, epoch.elapsed())),
             Clock::Virtual { .. } => None,
         };
+        self.trace_open(phase, String::new());
         let out = f(self);
         if let Some((epoch, start)) = wall_start {
             let span = epoch.elapsed().saturating_sub(start);
             self.ledger
                 .record(phase, VirtualTime::from_micros(span.as_secs_f64() * 1e6));
         }
+        self.trace_close();
         self.current_phase = prev;
         out
+    }
+
+    /// Run `f` as a labelled trace span inside the current phase — used by
+    /// the collectives so a `scatterv` or `allreduce` shows up as one unit
+    /// in the trace. A pure pass-through when tracing is off.
+    pub fn span<T>(&mut self, label: &str, f: impl FnOnce(&mut Env) -> T) -> T {
+        if self.tracer.is_none() {
+            return f(self);
+        }
+        self.trace_open(self.current_phase, label.to_string());
+        let out = f(self);
+        self.trace_close();
+        out
+    }
+
+    /// True when this run records spans (an enabled sink is installed).
+    pub fn is_tracing(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// Set the driver scope stamped on subsequent spans (`"SFC"`, `"ED"`,
+    /// `"redistribute"`, …). No-op when tracing is off.
+    pub fn trace_scope(&mut self, scope: &'static str) {
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.set_scope(scope);
+        }
+    }
+
+    /// Attach `(part id, ops)` pairs — merged in part order, exactly the
+    /// numbers `map_parts` produces — to the innermost open span. On close
+    /// the span subdivides into per-part child spans proportional to the
+    /// counts, which in virtual mode reproduces the sequential execution's
+    /// intervals exactly. No-op when tracing is off.
+    pub fn trace_part_ops(&mut self, parts: &[(usize, u64)]) {
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.part_ops(parts);
+        }
+    }
+
+    /// Bump a named metrics counter on this rank. No-op when tracing is
+    /// off.
+    pub fn trace_count(&mut self, name: &'static str, v: u64) {
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.metrics_mut().count(name, v);
+        }
+    }
+
+    fn trace_open(&mut self, phase: Phase, label: String) {
+        // Outer check first: `now()`/`wire()` borrow `self`, so they must
+        // be read before `tracer` is mutably borrowed.
+        if self.tracer.is_some() {
+            let now = self.now();
+            let wire = self.ledger.wire();
+            if let Some(tr) = self.tracer.as_mut() {
+                tr.open(phase, label, now, wire);
+            }
+        }
+    }
+
+    fn trace_close(&mut self) {
+        if self.tracer.is_some() {
+            let now = self.now();
+            let wire = self.ledger.wire();
+            if let Some(tr) = self.tracer.as_mut() {
+                tr.close(now, wire);
+            }
+        }
+    }
+
+    /// Record one physical transmission as a span plus a histogram sample.
+    fn trace_tx(&mut self, phase: Phase, dst: usize, t0: VirtualTime, elems: u64, bytes: usize) {
+        let t1 = self.now();
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.metrics_mut().observe("tx.elems", elems);
+            tr.emit(
+                phase,
+                format!("->{dst}"),
+                t0,
+                t1,
+                WireStats {
+                    messages: 1,
+                    elements: elems,
+                    bytes: bytes as u64,
+                },
+            );
+        }
     }
 
     /// Charge `n` element operations (`n × T_Operation`) to the local clock
@@ -537,6 +663,9 @@ impl Env {
             let cost = model.op_cost(n);
             *now += cost;
             self.ledger.record(self.current_phase, cost);
+        }
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.note_ops(n);
         }
     }
 
@@ -605,8 +734,18 @@ impl Env {
 
         let Some(plan) = self.plan.clone() else {
             // Fast path: the original engine, byte-for-byte cost behavior.
+            let t0 = self.tracer.is_some().then(|| self.now());
             let arrival = self.charge_wire(payload.elem_count(), hops, Phase::Send);
             self.record_tx(payload.elem_count(), payload.byte_len());
+            if let Some(t0) = t0 {
+                self.trace_tx(
+                    Phase::Send,
+                    dst,
+                    t0,
+                    payload.elem_count(),
+                    payload.byte_len(),
+                );
+            }
             let frame = Frame {
                 seq,
                 src: self.rank,
@@ -631,8 +770,12 @@ impl Env {
             } else {
                 Phase::Retry
             };
+            let t0 = self.tracer.is_some().then(|| self.now());
             let sent_at = self.charge_wire(elems, hops, wire_phase);
             self.record_tx(elems, nbytes);
+            if let Some(t0) = t0 {
+                self.trace_tx(wire_phase, dst, t0, elems, nbytes);
+            }
             match fate {
                 None | Some(FaultKind::Delay(_)) => {
                     let arrival = match fate {
@@ -690,7 +833,20 @@ impl Env {
                             attempts: attempt + 1,
                         });
                     }
+                    let t0 = self.tracer.is_some().then(|| self.now());
                     self.charge_timeout(self.retry.timeout_for(attempt));
+                    if let Some(t0) = t0 {
+                        let t1 = self.now();
+                        if let Some(tr) = self.tracer.as_mut() {
+                            tr.emit(
+                                Phase::Retry,
+                                format!("timeout->{dst}"),
+                                t0,
+                                t1,
+                                WireStats::default(),
+                            );
+                        }
+                    }
                     self.ledger.faults_mut().retries += 1;
                     attempt += 1;
                 }
@@ -771,9 +927,21 @@ impl Env {
     /// Clock-sync to the frame's arrival and hand it to the caller.
     fn deliver(&mut self, frame: Frame) -> Message {
         if let Clock::Virtual { now, .. } = &mut self.clock {
+            let pre = *now;
             let jump = frame.arrival.saturating_sub(*now);
             *now = now.max(frame.arrival);
             self.ledger.record(Phase::Wait, jump);
+            if jump.as_micros() > 0.0 {
+                if let Some(tr) = self.tracer.as_mut() {
+                    tr.emit(
+                        Phase::Wait,
+                        format!("<-{}", frame.src),
+                        pre,
+                        frame.arrival,
+                        WireStats::default(),
+                    );
+                }
+            }
         }
         Message {
             src: frame.src,
@@ -818,13 +986,22 @@ impl Env {
         &self.ledger
     }
 
-    fn into_ledger(mut self) -> PhaseLedger {
+    /// Finalize the rank: drain stray acks, fold arena statistics into the
+    /// metrics registry and close out the trace (when tracing).
+    fn into_parts(mut self) -> (PhaseLedger, Option<RankTrace>) {
         if self.plan.is_some() {
             for dst in 0..self.nprocs {
                 self.drain_acks(dst);
             }
         }
-        self.ledger
+        let trace = self.tracer.take().map(|mut tr| {
+            let st = self.arena.stats();
+            tr.metrics_mut().count("arena.checkouts", st.checkouts);
+            tr.metrics_mut().count("arena.reuses", st.reuses);
+            tr.metrics_mut().count("arena.recycles", st.recycles);
+            tr.finish(&self.ledger)
+        });
+        (self.ledger, trace)
     }
 }
 

@@ -41,6 +41,12 @@
 //! [`timing::FaultStats`]. Communication failures surface as
 //! [`CommError`] values, never panics.
 //!
+//! An **observability layer** ([`trace`]) records per-rank spans with
+//! virtual-clock stamps plus counters/histograms, delivered to a
+//! [`trace::TraceSink`] installed via [`Multicomputer::with_trace_sink`].
+//! Tracing is purely observational — the clocks and ledgers of a traced
+//! run are bit-identical to an untraced one.
+//!
 //! # Example
 //!
 //! ```
@@ -70,11 +76,16 @@ pub mod pack;
 pub mod time;
 pub mod timing;
 pub mod topology;
+pub mod trace;
 
 pub use engine::{CommError, Env, Message, Multicomputer, TimingMode};
 pub use fault::{FaultKind, FaultPlan, FaultSpecError, LinkProbs, RetryPolicy};
 pub use model::MachineModel;
-pub use pack::{PackArena, PackBuffer, PatchError, UnpackCursor};
+pub use pack::{ArenaStats, PackArena, PackBuffer, PatchError, UnpackCursor};
 pub use time::VirtualTime;
 pub use timing::{render_fault_summary, FaultStats, Phase, PhaseLedger, WireStats};
 pub use topology::Topology;
+pub use trace::{
+    chrome_trace_json, metrics_json, render_phase_table, render_waterfall, MemorySink,
+    MetricsRegistry, NullSink, RankTrace, Span, TraceSink,
+};

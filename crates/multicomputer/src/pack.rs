@@ -17,6 +17,7 @@
 //! element on the paper's cost model, however few bytes it occupies.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Append a slice of 8-byte values to `out` as little-endian bytes in one
@@ -255,6 +256,23 @@ impl PackBuffer {
 #[derive(Debug, Default)]
 pub struct PackArena {
     free: Mutex<Vec<Vec<u8>>>,
+    checkouts: AtomicU64,
+    reuses: AtomicU64,
+    recycles: AtomicU64,
+}
+
+/// Cumulative allocation-reuse counters of a [`PackArena`], since the
+/// arena was created (arenas persist across `run_*` calls). Counted with
+/// relaxed atomics — totals are exact, cross-thread ordering is not
+/// observable.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Buffers handed out by [`PackArena::checkout`].
+    pub checkouts: u64,
+    /// Checkouts served from the pool instead of a fresh allocation.
+    pub reuses: u64,
+    /// Allocations returned to the pool.
+    pub recycles: u64,
 }
 
 impl PackArena {
@@ -266,11 +284,13 @@ impl PackArena {
     /// Take a cleared buffer with at least `cap_bytes` of capacity,
     /// preferring a recycled allocation over a fresh one.
     pub fn checkout(&self, cap_bytes: usize) -> PackBuffer {
+        self.checkouts.fetch_add(1, Ordering::Relaxed);
         let mut free = self.free.lock().expect("pack arena poisoned");
         // Largest vectors are kept at the back; take the biggest available
         // so one hot buffer stops the whole pool from re-growing.
         let bytes = match free.pop() {
             Some(mut v) => {
+                self.reuses.fetch_add(1, Ordering::Relaxed);
                 v.clear();
                 if v.capacity() < cap_bytes {
                     v.reserve(cap_bytes);
@@ -293,6 +313,7 @@ impl PackArena {
         if bytes.capacity() == 0 {
             return;
         }
+        self.recycles.fetch_add(1, Ordering::Relaxed);
         let mut free = self.free.lock().expect("pack arena poisoned");
         free.push(bytes);
         free.sort_by_key(Vec::capacity);
@@ -301,6 +322,16 @@ impl PackArena {
     /// Number of pooled allocations currently available.
     pub fn pooled(&self) -> usize {
         self.free.lock().expect("pack arena poisoned").len()
+    }
+
+    /// Cumulative checkout/reuse/recycle counters — the engine folds these
+    /// into each rank's metrics registry when tracing.
+    pub fn stats(&self) -> ArenaStats {
+        ArenaStats {
+            checkouts: self.checkouts.load(Ordering::Relaxed),
+            reuses: self.reuses.load(Ordering::Relaxed),
+            recycles: self.recycles.load(Ordering::Relaxed),
+        }
     }
 }
 

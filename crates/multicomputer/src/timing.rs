@@ -328,6 +328,19 @@ pub fn render_timeline(ledgers: &[PhaseLedger], width: usize) -> String {
     } else {
         0.0
     };
+    // Pad the tx= column to the widest byte/element counts in the fleet,
+    // so rows stay aligned even when one rank shipped gigabytes and the
+    // rest sent a handful of elements.
+    let bytes_w = ledgers
+        .iter()
+        .map(|l| l.wire().bytes.to_string().len())
+        .max()
+        .unwrap_or(1);
+    let elems_w = ledgers
+        .iter()
+        .map(|l| l.wire().elements.to_string().len())
+        .max()
+        .unwrap_or(1);
     let mut out = String::new();
     for (rank, l) in ledgers.iter().enumerate() {
         let mut bar = String::new();
@@ -346,7 +359,7 @@ pub fn render_timeline(ledgers: &[PhaseLedger], width: usize) -> String {
             out.push_str(&format!("P{rank:<3}|{bar:<width$}| {total}\n"));
         } else {
             out.push_str(&format!(
-                "P{rank:<3}|{bar:<width$}| {total} tx={}B/{}el\n",
+                "P{rank:<3}|{bar:<width$}| {total} tx={:>bytes_w$}B/{:>elems_w$}el\n",
                 wire.bytes, wire.elements
             ));
         }
@@ -552,6 +565,33 @@ mod tests {
         // The bar stays between the pipes; the wire column rides after.
         assert_eq!(line.split('|').count(), 3, "{s}");
         assert!(line.ends_with("tx=17B/5el"), "{s}");
+    }
+
+    #[test]
+    fn timeline_wire_columns_align_across_disparate_ranks() {
+        // One rank shipped >1 GiB, the other a few bytes: the tx= column
+        // must pad to the widest counts so the rows line up.
+        let mut big = PhaseLedger::new();
+        big.record(Phase::Send, us(10.0));
+        *big.wire_mut() += WireStats {
+            messages: 1,
+            elements: 200_000_000,
+            bytes: 1_600_000_000,
+        };
+        let mut small = PhaseLedger::new();
+        small.record(Phase::Send, us(1.0));
+        *small.wire_mut() += WireStats {
+            messages: 1,
+            elements: 5,
+            bytes: 17,
+        };
+        let s = render_timeline(&[big, small], 20);
+        let lines: Vec<&str> = s.lines().collect();
+        let tx_at = |l: &str| l.find("tx=").expect("wire column present");
+        assert_eq!(tx_at(lines[0]), tx_at(lines[1]), "{s}");
+        assert_eq!(lines[0].len(), lines[1].len(), "{s}");
+        assert!(lines[0].ends_with("tx=1600000000B/200000000el"), "{s}");
+        assert!(lines[1].ends_with("tx=        17B/        5el"), "{s}");
     }
 
     #[test]

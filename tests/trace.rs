@@ -1,0 +1,137 @@
+//! Integration tests for the observability layer: golden Chrome-trace
+//! exports, tracing-is-observational guarantees, and sequential/parallel
+//! span equivalence.
+//!
+//! The golden fixtures live in `tests/goldens/trace_*_n64_p4.json`.
+//! Regenerate them after an intentional trace-schema change with
+//! `UPDATE_GOLDENS=1 cargo test --test trace` and review the diff.
+
+use proptest::prelude::*;
+use sparsedist::gen::SparseRandom;
+use sparsedist::multicomputer::{chrome_trace_json, MemorySink, NullSink, RankTrace};
+use sparsedist::prelude::*;
+use std::sync::Arc;
+
+/// One traced distribution of the fixture workload: uniform random 64×64 at
+/// 10% density, seed 7, four row bands on the paper's IBM SP2 model.
+fn traced_run(scheme: SchemeKind, config: SchemeConfig) -> (SchemeRun, Vec<RankTrace>) {
+    let a = SparseRandom::new(64, 64)
+        .sparse_ratio(0.1)
+        .seed(7)
+        .generate();
+    let part = RowBlock::new(64, 64, 4);
+    let sink = Arc::new(MemorySink::new());
+    let machine =
+        Multicomputer::virtual_machine(4, MachineModel::ibm_sp2()).with_trace_sink(sink.clone());
+    let run = run_scheme_with(scheme, &machine, &a, &part, CompressKind::Crs, config).unwrap();
+    (run, sink.take())
+}
+
+#[test]
+fn chrome_trace_export_matches_goldens() {
+    for (scheme, name) in [
+        (SchemeKind::Sfc, "sfc"),
+        (SchemeKind::Cfs, "cfs"),
+        (SchemeKind::Ed, "ed"),
+    ] {
+        let (_, traces) = traced_run(scheme, SchemeConfig::default());
+        let json = chrome_trace_json(&traces);
+        let path = format!(
+            "{}/tests/goldens/trace_{name}_n64_p4.json",
+            env!("CARGO_MANIFEST_DIR")
+        );
+        if std::env::var_os("UPDATE_GOLDENS").is_some() {
+            std::fs::write(&path, &json).expect("write golden");
+        }
+        let golden = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{path}: {e}; run with UPDATE_GOLDENS=1 to create it"));
+        assert_eq!(
+            json, golden,
+            "{name} trace drifted from its golden; if the change is \
+             intentional rerun with UPDATE_GOLDENS=1 and review the diff"
+        );
+    }
+}
+
+#[test]
+fn goldens_are_nontrivial() {
+    // Guard against an accidentally-empty fixture passing the byte
+    // comparison: every golden must carry real spans from every rank.
+    let (_, traces) = traced_run(SchemeKind::Ed, SchemeConfig::default());
+    assert_eq!(traces.len(), 4);
+    for t in &traces {
+        assert!(!t.spans.is_empty(), "rank {} recorded no spans", t.rank);
+        assert!(t.spans.iter().any(|s| s.scope == "ED"), "rank {}", t.rank);
+    }
+}
+
+/// Tracing is observational: a traced run's virtual clocks, ledgers and
+/// results are identical to an untraced run's, and the default
+/// [`NullSink`] behaves exactly like no sink at all.
+#[test]
+fn tracing_never_perturbs_the_run() {
+    for scheme in [SchemeKind::Sfc, SchemeKind::Cfs, SchemeKind::Ed] {
+        let a = SparseRandom::new(64, 64)
+            .sparse_ratio(0.1)
+            .seed(7)
+            .generate();
+        let part = RowBlock::new(64, 64, 4);
+        let model = MachineModel::ibm_sp2();
+
+        let bare = Multicomputer::virtual_machine(4, model);
+        let untraced = run_scheme(scheme, &bare, &a, &part, CompressKind::Crs).unwrap();
+
+        let nulled = Multicomputer::virtual_machine(4, model).with_trace_sink(Arc::new(NullSink));
+        let with_null = run_scheme(scheme, &nulled, &a, &part, CompressKind::Crs).unwrap();
+
+        let (traced, _) = traced_run(scheme, SchemeConfig::default());
+
+        assert_eq!(untraced.ledgers, with_null.ledgers, "{scheme}");
+        assert_eq!(untraced.ledgers, traced.ledgers, "{scheme}");
+        assert_eq!(untraced.locals, traced.locals, "{scheme}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Host-side parallelism is invisible to the trace: the per-part op
+    /// counts are merged in part order, so sequential and parallel runs
+    /// emit identical spans and identical ledgers (fault-free).
+    #[test]
+    fn parallel_and_sequential_runs_trace_identically(
+        seed in 0u64..1000,
+        n in 16usize..48,
+        p in 2usize..5,
+        scheme_ix in 0usize..3,
+        wire_ix in 0usize..2,
+    ) {
+        let scheme = [SchemeKind::Sfc, SchemeKind::Cfs, SchemeKind::Ed][scheme_ix];
+        let wire = [WireFormat::V1, WireFormat::V2][wire_ix];
+        let a = SparseRandom::new(n, n).sparse_ratio(0.15).seed(seed).generate();
+        let part = RowBlock::new(n, n, p);
+
+        let mut traces = Vec::new();
+        for parallel in [false, true] {
+            let sink = Arc::new(MemorySink::new());
+            let machine = Multicomputer::virtual_machine(p, MachineModel::ibm_sp2())
+                .with_trace_sink(sink.clone());
+            run_scheme_with(
+                scheme,
+                &machine,
+                &a,
+                &part,
+                CompressKind::Crs,
+                SchemeConfig { wire, parallel },
+            )
+            .unwrap();
+            traces.push(sink.take());
+        }
+        let (seq, par) = (&traces[0], &traces[1]);
+        prop_assert_eq!(seq.len(), par.len());
+        for (s, q) in seq.iter().zip(par) {
+            prop_assert_eq!(&s.spans, &q.spans, "rank {} spans differ", s.rank);
+            prop_assert_eq!(&s.ledger, &q.ledger, "rank {} ledger differs", s.rank);
+        }
+    }
+}
