@@ -129,7 +129,8 @@ fn build_machine(p: &Parsed, procs: usize, model: MachineModel) -> Result<Multic
     }
     if p.flags.contains_key("retries") {
         let retries = p.usize_or("retries", 6).map_err(|e| e.to_string())?;
-        machine = machine.with_retry_policy(RetryPolicy::with_retries(retries as u32));
+        let retries = u32::try_from(retries).unwrap_or(u32::MAX);
+        machine = machine.with_retry_policy(RetryPolicy::with_retries(retries));
     }
     Ok(machine)
 }
@@ -306,6 +307,7 @@ pub fn distribute(p: &Parsed) -> Result<String, CmdError> {
         return Err("internal error: reassembly mismatch".into());
     }
     if let Some(s) = &sink {
+        // lint: allow(E002) — the sink is constructed iff --trace was parsed above
         let trace_path = p.flags.get("trace").expect("sink exists only with --trace");
         let traces = s.take();
         write_text(trace_path, &chrome_trace_json(&traces))?;
@@ -422,6 +424,7 @@ pub fn advise(p: &Parsed) -> Result<String, CmdError> {
             best = Some((scheme, total));
         }
     }
+    // lint: allow(E002) — the loop above evaluates all three schemes, so best is Some
     let (winner, _) = best.expect("three schemes evaluated");
     let _ = writeln!(out, "  → recommended scheme: {}", winner.label());
     Ok(out)

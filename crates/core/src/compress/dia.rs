@@ -35,7 +35,8 @@ impl Dia {
             for c in 0..a.cols() {
                 ops.tick();
                 if a.get(r, c) != 0.0 {
-                    seen[(c as isize - r as isize + base) as usize] = true;
+                    // k + base = c − r + rows − 1, rewritten to stay in usize.
+                    seen[c + (a.rows() - 1 - r)] = true;
                 }
             }
         }
@@ -46,7 +47,7 @@ impl Dia {
             .collect();
         // Second pass: fill the strips.
         let mut data = vec![0.0; offsets.len() * a.rows()];
-        let strip_of: std::collections::HashMap<isize, usize> =
+        let strip_of: std::collections::BTreeMap<isize, usize> =
             offsets.iter().enumerate().map(|(d, &k)| (k, d)).collect();
         for (r, c, v) in a.iter_nonzero() {
             let k = c as isize - r as isize;
@@ -121,12 +122,12 @@ impl Dia {
         let mut out = Dense2D::zeros(self.rows, self.cols);
         for (d, &k) in self.offsets.iter().enumerate() {
             for r in 0..self.rows {
-                let c = r as isize + k;
-                if c >= 0 && (c as usize) < self.cols {
-                    let v = self.data[d * self.rows + r];
-                    if v != 0.0 {
-                        out.set(r, c as usize, v);
-                    }
+                let Some(c) = r.checked_add_signed(k).filter(|&c| c < self.cols) else {
+                    continue;
+                };
+                let v = self.data[d * self.rows + r];
+                if v != 0.0 {
+                    out.set(r, c, v);
                 }
             }
         }

@@ -112,6 +112,7 @@ impl LocalCompressed {
     pub fn as_crs(&self) -> &Crs {
         match self {
             LocalCompressed::Crs(c) => c,
+            // lint: allow(E003) — documented `# Panics` accessor; callers assert the variant
             LocalCompressed::Ccs(_) => panic!("expected CRS, found CCS"),
         }
     }
@@ -123,6 +124,7 @@ impl LocalCompressed {
     pub fn as_ccs(&self) -> &Ccs {
         match self {
             LocalCompressed::Ccs(c) => c,
+            // lint: allow(E003) — documented `# Panics` accessor; callers assert the variant
             LocalCompressed::Crs(_) => panic!("expected CCS, found CRS"),
         }
     }
@@ -272,6 +274,7 @@ pub(crate) fn validate_layout(
             return Err(CompressError::PointerNotMonotone { at: i });
         }
     }
+    // lint: allow(E002) — pointer.len() == nsegments + 1 ≥ 1, checked first above
     let total = *pointer.last().expect("pointer array is non-empty");
     if total != indices.len() || total != values.len() {
         return Err(CompressError::LengthMismatch {

@@ -103,6 +103,7 @@ impl BalancedRows {
         let mut load = vec![0usize; p];
         let mut owner = vec![0usize; a.rows()];
         for (r, n) in rows {
+            // lint: allow(E002) — `assert!(p > 0)` at entry makes 0..p non-empty
             let lightest = (0..p).min_by_key(|&k| (load[k], k)).expect("p > 0");
             owner[r] = lightest;
             load[lightest] += n;

@@ -223,9 +223,13 @@ pub fn redistribute(
     assert_eq!(locals.len(), p, "need one local array per processor");
 
     let alive = alive_ranks_of(machine);
+    // A fault plan that kills every rank leaves nobody to re-own parts or
+    // host the hub: surface it as an error instead of panicking host-side.
+    let Some(&hub) = alive.first() else {
+        return Err(SparsedistError::SourceDead { rank: 0 });
+    };
     let from_owners = assign_owners(from, &alive);
     let to_owners = assign_owners(to, &alive);
-    let hub = *alive.first().expect("at least one alive rank");
     let (alive_ref, from_ref, to_ref) = (&alive, &from_owners, &to_owners);
 
     let (results, ledgers) = machine.run_with_ledgers(
@@ -314,7 +318,7 @@ pub fn redistribute(
                         for &src in alive_ref {
                             let msg = env.recv(src)?;
                             let merge =
-                                |cursor: &mut sparsedist_multicomputer::pack::UnpackCursor,
+                                |cursor: &mut sparsedist_multicomputer::pack::UnpackCursor<'_>,
                                  forward: &mut Vec<Vec<(usize, usize, f64)>>,
                                  ops: &mut OpCounter|
                                  -> Result<(), UnpackError> {

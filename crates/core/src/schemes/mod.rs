@@ -120,6 +120,7 @@ pub(crate) fn map_parts_counted<T: Send>(
             .collect();
         handles
             .into_iter()
+            // lint: allow(E002) — a panicked worker must abort the run; propagate it
             .map(|h| h.join().expect("part worker panicked"))
             .collect()
     });
@@ -171,6 +172,7 @@ pub fn assign_owners(part: &dyn Partition, alive: &[usize]) -> Vec<usize> {
         // A part's home rank is the rank with its index (one part per rank).
         if alive_set.contains(&pid) {
             *owner = pid;
+            // lint: allow(E002) — load was seeded with one slot per alive rank above
             *load.get_mut(&pid).expect("alive rank has a load slot") += cells(pid);
         } else {
             orphans.push(pid);
@@ -183,8 +185,10 @@ pub fn assign_owners(part: &dyn Partition, alive: &[usize]) -> Vec<usize> {
         let (&best, _) = load
             .iter()
             .min_by_key(|&(&r, &l)| (l, r))
+            // lint: allow(E002) — `assert!(!alive.is_empty())` at entry keeps load non-empty
             .expect("at least one alive rank");
         owners[pid] = best;
+        // lint: allow(E002) — best was drawn from load's own iterator just above
         *load.get_mut(&best).expect("chosen rank is alive") += cells(pid);
     }
     owners
@@ -211,6 +215,7 @@ pub(crate) fn collect_parts(
     }
     Ok(slots
         .into_iter()
+        // lint: allow(E002) — assign_owners gives every part exactly one alive owner
         .map(|s| s.expect("every part has exactly one alive owner"))
         .collect())
 }

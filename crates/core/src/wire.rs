@@ -118,12 +118,14 @@ pub fn read_header(cursor: &mut UnpackCursor<'_>) -> Result<u8, CompressError> {
         let n = cursor.remaining();
         let partial = cursor
             .try_read_raw(n)
+            // lint: allow(E002) — n = remaining(), so this read cannot run short
             .expect("remaining() bytes are readable");
         found[..n].copy_from_slice(partial);
         return Err(CompressError::WireHeader { found });
     }
     let h = cursor
         .try_read_raw(HEADER_LEN)
+        // lint: allow(E002) — remaining() ≥ HEADER_LEN was just checked
         .expect("length checked above");
     found.copy_from_slice(h);
     if found[0] != MAGIC[0] || found[1] != MAGIC[1] || found[2] & !FLAG_MASK != 0 {
@@ -374,6 +376,7 @@ pub fn unpack_triple(
     match format {
         WireFormat::V1 => {
             let pointer = cursor.try_read_usize_vec(nsegments + 1)?;
+            // lint: allow(E002) — the vec was just read with nsegments + 1 ≥ 1 elements
             let nnz = *pointer.last().expect("pointer vec is non-empty");
             let indices = cursor.try_read_usize_vec(nnz)?;
             let values = cursor.try_read_f64_vec(nnz)?;
@@ -382,6 +385,7 @@ pub fn unpack_triple(
         WireFormat::V2 => {
             let flags = read_header(cursor)?;
             let pointer = read_monotone_run(cursor, nsegments + 1, flags)?;
+            // lint: allow(E002) — read_monotone_run returned nsegments + 1 ≥ 1 elements
             let nnz = *pointer.last().expect("pointer vec is non-empty");
             let mut indices = Vec::with_capacity(nnz);
             let mut run = IndexRunReader::new(flags);

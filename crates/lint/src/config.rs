@@ -1,0 +1,194 @@
+//! `lint.toml` — scoping the rule catalog to module globs.
+//!
+//! The checked-in `lint.toml` at the workspace root decides which files
+//! each rule polices. This module parses the small TOML subset that file
+//! uses (tables, string values, string arrays, `#` comments) with no
+//! external dependency; anything fancier is a configuration error, loudly
+//! reported rather than silently skipped.
+//!
+//! ```toml
+//! [files]
+//! include = ["crates/*/src/**/*.rs"]
+//! exclude = ["vendor/**"]
+//!
+//! [rules.D003]
+//! include = ["crates/multicomputer/src/engine.rs"]
+//! ```
+//!
+//! A `[rules.X]` table *overrides* that rule's built-in default scope;
+//! rules without a table keep their defaults (see [`crate::rules`]).
+
+use std::collections::BTreeMap;
+
+/// Scope override for one rule.
+#[derive(Debug, Default, Clone)]
+pub struct RuleScope {
+    /// Globs a file must match for the rule to apply (empty = keep the
+    /// rule's built-in include list).
+    pub include: Vec<String>,
+    /// Globs that exempt a file even when included.
+    pub exclude: Vec<String>,
+}
+
+/// The parsed configuration.
+#[derive(Debug, Default)]
+pub struct Config {
+    /// Files the walker considers at all.
+    pub files_include: Vec<String>,
+    /// Files the walker skips unconditionally.
+    pub files_exclude: Vec<String>,
+    /// Per-rule scope overrides, keyed by rule ID.
+    pub rules: BTreeMap<String, RuleScope>,
+}
+
+/// A configuration problem with its line number.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ConfigError {
+    /// 1-based line in `lint.toml`.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+/// Parse `lint.toml` text.
+pub fn parse(text: &str) -> Result<Config, ConfigError> {
+    let mut cfg = Config::default();
+    let mut section = String::new();
+    let mut lines = text.lines().enumerate().peekable();
+    while let Some((idx, raw)) = lines.next() {
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            section = name.trim().to_string();
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(ConfigError {
+                line: idx + 1,
+                message: format!("expected `key = value` or `[section]`, got `{line}`"),
+            });
+        };
+        let key = key.trim();
+        let mut value = value.trim().to_string();
+        // Multi-line arrays: accumulate until the closing bracket.
+        while value.starts_with('[') && !value.ends_with(']') {
+            match lines.next() {
+                Some((_, more)) => {
+                    value.push(' ');
+                    value.push_str(strip_comment(more).trim());
+                }
+                None => {
+                    return Err(ConfigError {
+                        line: idx + 1,
+                        message: "unterminated array".to_string(),
+                    })
+                }
+            }
+        }
+        let values = parse_string_array(&value).map_err(|message| ConfigError {
+            line: idx + 1,
+            message,
+        })?;
+        match (section.as_str(), key) {
+            ("files", "include") => cfg.files_include = values,
+            ("files", "exclude") => cfg.files_exclude = values,
+            (s, k) if s.starts_with("rules.") => {
+                let rule = s["rules.".len()..].to_string();
+                let scope = cfg.rules.entry(rule).or_default();
+                match k {
+                    "include" => scope.include = values,
+                    "exclude" => scope.exclude = values,
+                    other => {
+                        return Err(ConfigError {
+                            line: idx + 1,
+                            message: format!("unknown rule key `{other}` (want include/exclude)"),
+                        })
+                    }
+                }
+            }
+            (s, k) => {
+                return Err(ConfigError {
+                    line: idx + 1,
+                    message: format!("unknown setting `{k}` in section `[{s}]`"),
+                })
+            }
+        }
+    }
+    Ok(cfg)
+}
+
+/// Drop a trailing `#` comment (quote-aware).
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parse `["a", "b"]` or a single `"a"` into a vector of strings.
+fn parse_string_array(value: &str) -> Result<Vec<String>, String> {
+    let value = value.trim();
+    let inner = if let Some(i) = value.strip_prefix('[') {
+        i.strip_suffix(']')
+            .ok_or_else(|| "array missing `]`".to_string())?
+    } else {
+        value
+    };
+    let mut out = Vec::new();
+    for part in inner.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let s = part
+            .strip_prefix('"')
+            .and_then(|p| p.strip_suffix('"'))
+            .ok_or_else(|| format!("expected a quoted string, got `{part}`"))?;
+        out.push(s.to_string());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_files_and_rule_scopes() {
+        let cfg = parse(
+            "# top comment\n[files]\ninclude = [\"src/**/*.rs\", \"crates/*/src/**/*.rs\"]\nexclude = [\"vendor/**\"] # inline\n\n[rules.W001]\nexclude = [\"crates/core/src/wire.rs\"]\n",
+        )
+        .expect("parses");
+        assert_eq!(cfg.files_include.len(), 2);
+        assert_eq!(cfg.files_exclude, vec!["vendor/**"]);
+        assert_eq!(cfg.rules["W001"].exclude, vec!["crates/core/src/wire.rs"]);
+        assert!(cfg.rules["W001"].include.is_empty());
+    }
+
+    #[test]
+    fn multiline_arrays() {
+        let cfg = parse("[files]\ninclude = [\n  \"a/**\",\n  \"b/**\",\n]\n").expect("parses");
+        assert_eq!(cfg.files_include, vec!["a/**", "b/**"]);
+    }
+
+    #[test]
+    fn rejects_unknown_keys_with_line_numbers() {
+        let err = parse("[files]\nfrobnicate = 3\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = parse("[rules.E001]\nseverity = \"deny\"\n").unwrap_err();
+        assert!(err.message.contains("severity"), "{err}");
+    }
+}

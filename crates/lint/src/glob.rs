@@ -1,0 +1,107 @@
+//! A minimal `**`/`*` path-glob matcher.
+//!
+//! The lint configuration scopes rules to module globs
+//! (`crates/core/src/**`, `crates/*/src/schemes/*.rs`, …). Pulling in the
+//! `glob` crate would break the crate's dependency-free contract, and the
+//! subset the config actually needs is small:
+//!
+//! * `**` matches zero or more whole path segments;
+//! * `*` matches any run of characters within one segment;
+//! * everything else matches literally.
+//!
+//! Paths are compared with `/` separators regardless of host platform
+//! (callers normalise before matching).
+
+/// True if `path` (a `/`-separated relative path) matches `pattern`.
+pub fn glob_match(pattern: &str, path: &str) -> bool {
+    let pat: Vec<&str> = pattern.split('/').collect();
+    let segs: Vec<&str> = path.split('/').collect();
+    match_segments(&pat, &segs)
+}
+
+fn match_segments(pat: &[&str], segs: &[&str]) -> bool {
+    match pat.split_first() {
+        None => segs.is_empty(),
+        Some((&"**", rest)) => {
+            // `**` may swallow zero or more leading segments.
+            (0..=segs.len()).any(|skip| match_segments(rest, &segs[skip..]))
+        }
+        Some((first, rest)) => match segs.split_first() {
+            None => false,
+            Some((seg, seg_rest)) => match_segment(first, seg) && match_segments(rest, seg_rest),
+        },
+    }
+}
+
+/// Match one path segment against one pattern segment (`*` wildcards).
+fn match_segment(pat: &str, seg: &str) -> bool {
+    let p: Vec<char> = pat.chars().collect();
+    let s: Vec<char> = seg.chars().collect();
+    match_chars(&p, &s)
+}
+
+fn match_chars(pat: &[char], seg: &[char]) -> bool {
+    match pat.split_first() {
+        None => seg.is_empty(),
+        Some(('*', rest)) => (0..=seg.len()).any(|skip| match_chars(rest, &seg[skip..])),
+        Some((c, rest)) => match seg.split_first() {
+            Some((sc, seg_rest)) if sc == c => match_chars(rest, seg_rest),
+            _ => false,
+        },
+    }
+}
+
+/// True if `path` matches any pattern in `patterns`.
+pub fn matches_any(patterns: &[String], path: &str) -> bool {
+    patterns.iter().any(|p| glob_match(p, path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_and_star() {
+        assert!(glob_match("src/lib.rs", "src/lib.rs"));
+        assert!(!glob_match("src/lib.rs", "src/main.rs"));
+        assert!(glob_match("src/*.rs", "src/lib.rs"));
+        assert!(!glob_match("src/*.rs", "src/sub/lib.rs"));
+        assert!(glob_match("crates/*/src/*.rs", "crates/core/src/wire.rs"));
+    }
+
+    #[test]
+    fn double_star_spans_segments() {
+        assert!(glob_match("crates/core/src/**", "crates/core/src/wire.rs"));
+        assert!(glob_match(
+            "crates/core/src/**",
+            "crates/core/src/schemes/cfs.rs"
+        ));
+        assert!(!glob_match("crates/core/src/**", "crates/cli/src/main.rs"));
+        assert!(glob_match("**/*.rs", "a/b/c/d.rs"));
+        assert!(glob_match("**/*.rs", "d.rs"));
+        assert!(!glob_match("**/*.rs", "d.txt"));
+    }
+
+    #[test]
+    fn star_within_segment() {
+        assert!(glob_match(
+            "crates/*/src/**/*.rs",
+            "crates/multicomputer/src/engine.rs"
+        ));
+        assert!(glob_match(
+            "crates/core/src/schemes/*.rs",
+            "crates/core/src/schemes/ed.rs"
+        ));
+        assert!(!glob_match(
+            "crates/core/src/schemes/*.rs",
+            "crates/core/src/wire.rs"
+        ));
+    }
+
+    #[test]
+    fn empty_and_edge_cases() {
+        assert!(glob_match("**", "anything/at/all.rs"));
+        assert!(glob_match("*", "one"));
+        assert!(!glob_match("*", "two/segments"));
+    }
+}

@@ -1,0 +1,468 @@
+//! A small, comment- and string-aware lexer for Rust source.
+//!
+//! The lint pass does not parse Rust (no `syn` — the crate is
+//! dependency-free so it runs in the fully offline CI). Instead it
+//! classifies every character of a file as *code*, *comment* or *string*
+//! with a hand-rolled scanner, then hands rule checking three parallel
+//! views of the file:
+//!
+//! * `code_lines` — the source with comment and string-literal contents
+//!   blanked out (replaced by spaces), so token rules can match `as u32`
+//!   or `.unwrap()` without tripping over doc prose or log messages;
+//! * `comment_lines` — only the comment content (everything else
+//!   blanked), used for `// SAFETY:` and `// lint: allow(...)` parsing so
+//!   a string literal can never forge an annotation;
+//! * `raw_lines` — the untouched text, for rendering violations and for
+//!   doc-comment (`///`) structure checks.
+//!
+//! The scanner understands nested `/* */` block comments, `//` line
+//! comments, string/byte-string literals with escapes, raw strings
+//! (`r"…"`, `r#"…"#`, any hash depth), char literals, and the char-vs-
+//! lifetime ambiguity (`'a'` vs `'a`).
+//!
+//! Two derived overlays complete the picture:
+//!
+//! * a **test mask** marking lines inside `#[cfg(test)]` / `#[test]`
+//!   items (rules only police non-test code);
+//! * the **suppressions**: `// lint: allow(RULE_ID) — reason` comments,
+//!   which silence matching rules on their own and the following line and
+//!   are counted for the CI summary.
+
+/// One parsed inline suppression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// 1-based line the comment sits on; it covers this line and the next.
+    pub line: usize,
+    /// The rule IDs inside `allow(...)`, e.g. `["E002"]`.
+    pub rules: Vec<String>,
+    /// The justification after the closing paren (may be empty — the
+    /// checker rejects reason-less suppressions).
+    pub reason: String,
+}
+
+/// A lexed source file: raw, code-only and comment-only views plus
+/// derived overlays.
+#[derive(Debug)]
+pub struct LexedFile {
+    /// Untouched source lines.
+    pub raw_lines: Vec<String>,
+    /// Source lines with comments and string contents blanked to spaces.
+    pub code_lines: Vec<String>,
+    /// Source lines with everything *except* comment content blanked.
+    pub comment_lines: Vec<String>,
+    /// `test_mask[i]` is true when line `i` (0-based) belongs to a
+    /// `#[cfg(test)]` module or a `#[test]` function.
+    pub test_mask: Vec<bool>,
+    /// Inline `// lint: allow(...)` annotations, in line order.
+    pub suppressions: Vec<Suppression>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    /// Nesting depth rides along (Rust block comments nest).
+    BlockComment(u32),
+    Str,
+    /// Raw string with `n` hashes: terminated by `"` followed by n `#`s.
+    RawStr(u32),
+    Char,
+}
+
+/// Lex `text` into parallel raw/code/comment line views with overlays.
+pub fn lex(text: &str) -> LexedFile {
+    let raw_lines: Vec<String> = text.lines().map(|l| l.to_string()).collect();
+    let (code_lines, comment_lines) = split_views(text);
+    let test_mask = compute_test_mask(&code_lines);
+    let suppressions = parse_suppressions(&comment_lines);
+    LexedFile {
+        raw_lines,
+        code_lines,
+        comment_lines,
+        test_mask,
+        suppressions,
+    }
+}
+
+/// Split `text` into a code-only view and a comment-only view, both with
+/// the original line structure (non-view characters become spaces).
+fn split_views(text: &str) -> (Vec<String>, Vec<String>) {
+    let chars: Vec<char> = text.chars().collect();
+    let mut code = String::with_capacity(text.len());
+    let mut comment = String::with_capacity(text.len());
+    let mut state = State::Code;
+    let mut i = 0;
+    // Push to exactly one view per consumed char so the views stay
+    // line-aligned; newlines go to both.
+    macro_rules! emit {
+        (code $c:expr) => {{
+            code.push($c);
+            comment.push(if $c == '\n' { '\n' } else { ' ' });
+        }};
+        (comment $c:expr) => {{
+            comment.push($c);
+            code.push(if $c == '\n' { '\n' } else { ' ' });
+        }};
+        (blank $c:expr) => {{
+            let keep = if $c == '\n' { '\n' } else { ' ' };
+            code.push(keep);
+            comment.push(keep);
+        }};
+    }
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match state {
+            State::Code => match c {
+                '/' if next == Some('/') => {
+                    state = State::LineComment;
+                    emit!(blank '/');
+                    emit!(blank '/');
+                    i += 2;
+                }
+                '/' if next == Some('*') => {
+                    state = State::BlockComment(1);
+                    emit!(blank '/');
+                    emit!(blank '*');
+                    i += 2;
+                }
+                '"' => {
+                    state = State::Str;
+                    emit!(code '"');
+                    i += 1;
+                }
+                'r' | 'b' if starts_raw_string(&chars, i) => {
+                    let (hashes, consumed) = raw_string_open(&chars, i);
+                    state = State::RawStr(hashes);
+                    for _ in 0..consumed {
+                        emit!(blank ' ');
+                    }
+                    emit!(code '"');
+                    i += consumed + 1; // prefix + opening quote
+                }
+                'b' if next == Some('"') => {
+                    state = State::Str;
+                    emit!(blank 'b');
+                    emit!(code '"');
+                    i += 2;
+                }
+                '\'' => {
+                    state = if is_char_literal(&chars, i) {
+                        State::Char
+                    } else {
+                        State::Code // a lifetime: keep it as code
+                    };
+                    emit!(code '\'');
+                    i += 1;
+                }
+                _ => {
+                    emit!(code c);
+                    i += 1;
+                }
+            },
+            State::LineComment => {
+                if c == '\n' {
+                    state = State::Code;
+                    emit!(blank '\n');
+                } else {
+                    emit!(comment c);
+                }
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    emit!(blank '*');
+                    emit!(blank '/');
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    emit!(blank '/');
+                    emit!(blank '*');
+                    i += 2;
+                } else {
+                    emit!(comment c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    // Skip the escaped char entirely (handles \" and \\).
+                    emit!(blank ' ');
+                    if let Some(n) = next {
+                        emit!(blank n);
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                } else if c == '"' {
+                    state = State::Code;
+                    emit!(code '"');
+                    i += 1;
+                } else {
+                    emit!(blank c);
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && closes_raw(&chars, i, hashes) {
+                    state = State::Code;
+                    emit!(code '"');
+                    for _ in 0..hashes {
+                        emit!(blank ' ');
+                    }
+                    i += 1 + hashes as usize;
+                } else {
+                    emit!(blank c);
+                    i += 1;
+                }
+            }
+            State::Char => {
+                if c == '\\' && next.is_some() {
+                    emit!(blank ' ');
+                    emit!(blank ' ');
+                    i += 2;
+                } else if c == '\'' {
+                    state = State::Code;
+                    emit!(code '\'');
+                    i += 1;
+                } else {
+                    emit!(blank c);
+                    i += 1;
+                }
+            }
+        }
+    }
+    let code_lines = code.lines().map(|l| l.to_string()).collect();
+    let comment_lines = comment.lines().map(|l| l.to_string()).collect();
+    (code_lines, comment_lines)
+}
+
+/// Does `r"`, `r#"`, `br"`, `br#"` … start at `i`?
+fn starts_raw_string(chars: &[char], i: usize) -> bool {
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return false;
+    }
+    j += 1;
+    let mut hashes = 0;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    // `r#foo` (raw identifier) has exactly one hash then an ident char.
+    if hashes == 1
+        && chars
+            .get(j)
+            .is_some_and(|c| c.is_alphanumeric() || *c == '_')
+    {
+        return false;
+    }
+    // The `r`/`b` must start an identifier, not end one (`var"` etc.).
+    if i > 0 {
+        let prev = chars[i - 1];
+        if prev.is_alphanumeric() || prev == '_' {
+            return false;
+        }
+    }
+    chars.get(j) == Some(&'"')
+}
+
+/// Return (hash count, chars before the opening quote) for a raw string
+/// starting at `i`.
+fn raw_string_open(chars: &[char], i: usize) -> (u32, usize) {
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+    }
+    j += 1; // the `r`
+    let mut hashes = 0;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (hashes, j - i)
+}
+
+fn closes_raw(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Distinguish `'a'` / `'\n'` (char literal) from `'a` (lifetime).
+fn is_char_literal(chars: &[char], i: usize) -> bool {
+    match chars.get(i + 1) {
+        Some('\\') => true,
+        Some(_) => chars.get(i + 2) == Some(&'\''),
+        None => false,
+    }
+}
+
+/// Mark every line belonging to a `#[cfg(test)]` item or `#[test]` fn.
+fn compute_test_mask(code_lines: &[String]) -> Vec<bool> {
+    let mut mask = vec![false; code_lines.len()];
+    let mut i = 0;
+    while i < code_lines.len() {
+        let line = &code_lines[i];
+        let is_test_attr = line.contains("#[cfg(test)]")
+            || line.contains("#[test]")
+            || line.contains("#[cfg(all(test")
+            || line.contains("#[cfg(any(test");
+        if !is_test_attr {
+            i += 1;
+            continue;
+        }
+        // Find the opening brace of the decorated item and mark through
+        // its matching close. Attributes may stack; scanning forward for
+        // the first `{` handles `#[cfg(test)]\n#[allow(...)]\nmod tests {`.
+        let mut depth: i64 = 0;
+        let mut opened = false;
+        let mut j = i;
+        'outer: while j < code_lines.len() {
+            mask[j] = true;
+            for c in code_lines[j].chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => depth -= 1,
+                    // `mod tests;` before any brace: a semicolon-terminated
+                    // item ends the attribute's scope.
+                    ';' if !opened => break 'outer,
+                    _ => {}
+                }
+            }
+            if opened && depth <= 0 {
+                break;
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+    mask
+}
+
+/// Parse `lint: allow(RULE_ID[, RULE_ID…]) — reason` annotations from the
+/// comment-only view (so string literals can never forge one).
+fn parse_suppressions(comment_lines: &[String]) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for (idx, comment) in comment_lines.iter().enumerate() {
+        // The annotation must *start* the comment (`// lint: allow(...)`),
+        // so prose that merely mentions the syntax — e.g. doc comments,
+        // whose content starts with the third `/` or a `!` — never counts.
+        let trimmed = comment.trim_start();
+        let Some(after) = trimmed.strip_prefix("lint: allow(") else {
+            continue;
+        };
+        let Some(close) = after.find(')') else {
+            continue;
+        };
+        let rules: Vec<String> = after[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        let reason = after[close + 1..]
+            .trim_start_matches([' ', '\t'])
+            .trim_start_matches(['—', '-', ':', '–'])
+            .trim()
+            .to_string();
+        out.push(Suppression {
+            line: idx + 1,
+            rules,
+            reason,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let f = lex("let x = 1; // trailing .unwrap()\nlet s = \"panic!(inside)\";\n");
+        assert!(!f.code_lines[0].contains("unwrap"));
+        assert!(f.code_lines[0].contains("let x = 1;"));
+        assert!(f.comment_lines[0].contains("trailing .unwrap()"));
+        assert!(!f.code_lines[1].contains("panic!"));
+        assert!(f.code_lines[1].contains("let s = \""));
+        assert!(!f.comment_lines[1].contains("panic!"));
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let f = lex("a /* one /* two */ still */ b\n/* open\n.unwrap()\n*/ c\n");
+        assert!(f.code_lines[0].contains('a'));
+        assert!(f.code_lines[0].contains('b'));
+        assert!(!f.code_lines[0].contains("still"));
+        assert!(!f.code_lines[2].contains("unwrap"));
+        assert!(f.comment_lines[2].contains("unwrap"));
+        assert!(f.code_lines[3].contains('c'));
+    }
+
+    #[test]
+    fn raw_strings_any_hash_depth() {
+        let f = lex("let a = r#\"as u32 \"quoted\" inside\"#; let b = 2 as u64;\n");
+        assert!(!f.code_lines[0].contains("as u32"));
+        assert!(f.code_lines[0].contains("as u64"));
+    }
+
+    #[test]
+    fn chars_vs_lifetimes() {
+        let f = lex("fn f<'a>(x: &'a str) -> char { 'x' }\nlet q = '\\'';\n");
+        assert!(f.code_lines[0].contains("&'a str"));
+        assert!(f.code_lines[1].starts_with("let q = "));
+        assert!(f.code_lines[1].contains(';'));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let f = lex("let s = \"a\\\"b.unwrap()c\"; let t = 3;\n");
+        assert!(!f.code_lines[0].contains("unwrap"));
+        assert!(f.code_lines[0].contains("let t = 3;"));
+    }
+
+    #[test]
+    fn test_mask_covers_cfg_test_mod() {
+        let src = "fn real() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { x.unwrap(); }\n}\nfn after() {}\n";
+        let f = lex(src);
+        assert!(!f.test_mask[0]);
+        assert!(f.test_mask[1] && f.test_mask[2] && f.test_mask[4] && f.test_mask[5]);
+        assert!(!f.test_mask[6]);
+    }
+
+    #[test]
+    fn test_mask_covers_single_test_fn() {
+        let src = "#[test]\nfn t() {\n    a.unwrap();\n}\nfn real() {}\n";
+        let f = lex(src);
+        assert!(f.test_mask[0] && f.test_mask[2]);
+        assert!(!f.test_mask[4]);
+    }
+
+    #[test]
+    fn suppressions_parse_rules_and_reason() {
+        let src = "let t = Instant::now(); // lint: allow(D001) — wall-clock mode is real time\n// lint: allow(E001, E002): invariant\nx.unwrap();\n";
+        let f = lex(src);
+        assert_eq!(f.suppressions.len(), 2);
+        assert_eq!(f.suppressions[0].line, 1);
+        assert_eq!(f.suppressions[0].rules, vec!["D001"]);
+        assert_eq!(f.suppressions[0].reason, "wall-clock mode is real time");
+        assert_eq!(f.suppressions[1].rules, vec!["E001", "E002"]);
+        assert_eq!(f.suppressions[1].reason, "invariant");
+    }
+
+    #[test]
+    fn suppression_marker_inside_string_is_ignored() {
+        let f = lex("let s = \"// lint: allow(E001) — nope\";\n");
+        assert!(f.suppressions.is_empty());
+    }
+}

@@ -1,0 +1,179 @@
+//! `sparsedist-lint` — repo-invariant static analysis for the sparsedist
+//! workspace.
+//!
+//! The runtime proptests *sample* the determinism contract (bit-identical
+//! virtual clocks across sequential/parallel, traced/untraced and v1/v2
+//! wire runs); this crate checks it at the *source* level, where
+//! regressions actually enter: a stray `Instant::now()`, a `HashMap`
+//! iteration in a clock-bearing module, a truncating cast outside the
+//! wire module. See [`rules`] for the catalog (D/P/E/S/W families),
+//! [`lexer`] for the comment/string-aware scanner, [`config`] for
+//! `lint.toml` scoping and [`vendor`] for the offline-dependency audit.
+//!
+//! Dependency-free on purpose, like `bench_gate`: it must run in the
+//! fully offline CI before anything else is built.
+
+pub mod config;
+pub mod glob;
+pub mod lexer;
+pub mod rules;
+pub mod vendor;
+
+use config::Config;
+use rules::Violation;
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// The outcome of a full lint pass.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Findings across every file, in path order.
+    pub violations: Vec<Violation>,
+    /// `lint: allow` annotations seen, keyed by rule ID.
+    pub suppressions: BTreeMap<String, usize>,
+    /// Number of files checked.
+    pub files_checked: usize,
+}
+
+impl Report {
+    /// True when the tree is violation-free.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Total suppression count across rules.
+    pub fn suppression_total(&self) -> usize {
+        self.suppressions.values().sum()
+    }
+}
+
+/// Load `lint.toml` from `root` (falling back to built-in defaults when
+/// the file does not exist).
+pub fn load_config(root: &Path) -> Result<Config, String> {
+    let path = root.join("lint.toml");
+    if !path.exists() {
+        return Ok(default_config());
+    }
+    let text = fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    config::parse(&text).map_err(|e| e.to_string())
+}
+
+/// The scope used when no `lint.toml` is checked in: every first-party
+/// `.rs` file, nothing vendored or generated.
+pub fn default_config() -> Config {
+    Config {
+        files_include: vec![
+            "src/**/*.rs".to_string(),
+            "crates/*/src/**/*.rs".to_string(),
+            "crates/bench/benches/**/*.rs".to_string(),
+        ],
+        files_exclude: vec![
+            "vendor/**".to_string(),
+            "target/**".to_string(),
+            "crates/lint/tests/fixtures/**".to_string(),
+        ],
+        rules: BTreeMap::new(),
+    }
+}
+
+/// Recursively collect the `.rs` files under `root` selected by the
+/// config's include/exclude globs, as sorted workspace-relative paths.
+pub fn collect_files(root: &Path, cfg: &Config) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    walk(root, root, cfg, &mut out);
+    out.sort();
+    out
+}
+
+fn walk(root: &Path, dir: &Path, cfg: &Config, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let rel = relative(root, &path);
+        // Prune whole subtrees that cannot contain matches cheaply.
+        if path.is_dir() {
+            if rel == ".git" || rel == "target" || glob::matches_any(&cfg.files_exclude, &rel) {
+                continue;
+            }
+            walk(root, &path, cfg, out);
+        } else if path.extension().is_some_and(|e| e == "rs")
+            && glob::matches_any(&cfg.files_include, &rel)
+            && !glob::matches_any(&cfg.files_exclude, &rel)
+        {
+            out.push(path);
+        }
+    }
+}
+
+/// `path` relative to `root`, `/`-separated.
+pub fn relative(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Lint one file (already read) against the config.
+pub fn check_source(
+    rel: &str,
+    source: &str,
+    cfg: &Config,
+) -> (Vec<Violation>, BTreeMap<String, usize>) {
+    let lexed = lexer::lex(source);
+    rules::check_file(rel, &lexed, cfg)
+}
+
+/// Run the full pass over a workspace root.
+pub fn run(root: &Path, cfg: &Config) -> Result<Report, String> {
+    let mut report = Report::default();
+    for path in collect_files(root, cfg) {
+        let rel = relative(root, &path);
+        let source = fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let (violations, tally) = check_source(&rel, &source, cfg);
+        report.violations.extend(violations);
+        for (rule, n) in tally {
+            *report.suppressions.entry(rule).or_insert(0) += n;
+        }
+        report.files_checked += 1;
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_skips_vendor_and_fixtures() {
+        let cfg = default_config();
+        assert!(glob::matches_any(
+            &cfg.files_include,
+            "crates/core/src/wire.rs"
+        ));
+        assert!(glob::matches_any(
+            &cfg.files_exclude,
+            "vendor/rand/src/lib.rs"
+        ));
+        assert!(glob::matches_any(
+            &cfg.files_exclude,
+            "crates/lint/tests/fixtures/bad_d001.rs"
+        ));
+    }
+
+    #[test]
+    fn check_source_end_to_end() {
+        let (v, _) = check_source(
+            "crates/core/src/gather.rs",
+            "fn f() { let t = std::time::Instant::now(); }\n",
+            &default_config(),
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "D001");
+        assert_eq!(v[0].line, 1);
+    }
+}

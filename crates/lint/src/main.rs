@@ -1,0 +1,147 @@
+//! CLI entry point for `sparsedist-lint`.
+//!
+//! ```text
+//! cargo run -p sparsedist-lint                # lint the workspace
+//! cargo run -p sparsedist-lint -- --rules     # print the rule catalog
+//! cargo run -p sparsedist-lint -- --audit-vendor
+//! cargo run -p sparsedist-lint -- --root PATH --quiet
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations/audit findings, 2 usage or
+//! configuration errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    audit_vendor: bool,
+    list_rules: bool,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        audit_vendor: false,
+        list_rules: false,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--audit-vendor" => args.audit_vendor = true,
+            "--rules" => args.list_rules = true,
+            "--quiet" | "-q" => args.quiet = true,
+            "--root" => {
+                args.root =
+                    PathBuf::from(it.next().ok_or_else(|| "--root needs a path".to_string())?);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "sparsedist-lint: repo-invariant static analysis\n\n\
+                     USAGE: sparsedist-lint [--root PATH] [--quiet] [--rules] [--audit-vendor]\n\n\
+                     Default mode lints every first-party .rs file per lint.toml.\n\
+                     --rules          print the rule catalog and exit\n\
+                     --audit-vendor   cross-check vendor/ against Cargo.lock instead of linting\n\
+                     --quiet          suppress per-violation source context\n\
+                     --root PATH      workspace root (default: current directory)"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("sparsedist-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.list_rules {
+        for rule in sparsedist_lint::rules::RULES {
+            println!("{}  {}", rule.id, rule.summary);
+            println!("      fix: {}", rule.hint);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if args.audit_vendor {
+        return match sparsedist_lint::vendor::audit(&args.root) {
+            Ok(findings) if findings.is_empty() => {
+                println!("vendor audit: vendor/ and Cargo.lock agree; no external sources");
+                ExitCode::SUCCESS
+            }
+            Ok(findings) => {
+                for f in &findings {
+                    eprintln!("vendor audit: {}", f.message);
+                }
+                eprintln!("vendor audit: {} finding(s)", findings.len());
+                ExitCode::FAILURE
+            }
+            Err(e) => {
+                eprintln!("sparsedist-lint: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    let cfg = match sparsedist_lint::load_config(&args.root) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("sparsedist-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match sparsedist_lint::run(&args.root, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sparsedist-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for v in &report.violations {
+        if args.quiet {
+            println!("{}:{}: {} {}", v.path, v.line, v.rule, v.message);
+        } else {
+            println!("{v}\n");
+        }
+    }
+
+    // Suppression accounting — always printed so the CI job summary can
+    // surface it (the determinism contract includes knowing how many
+    // holes were punched in it, and why each one is written down).
+    if report.suppressions.is_empty() {
+        println!("suppressions: none");
+    } else {
+        let per_rule: Vec<String> = report
+            .suppressions
+            .iter()
+            .map(|(rule, n)| format!("{rule}={n}"))
+            .collect();
+        println!(
+            "suppressions: {} total ({})",
+            report.suppression_total(),
+            per_rule.join(", ")
+        );
+    }
+
+    if report.is_clean() {
+        println!("lint: {} files clean", report.files_checked);
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "lint: {} violation(s) across {} files",
+            report.violations.len(),
+            report.files_checked
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,214 @@
+//! `--audit-vendor`: keep the offline dependency story honest.
+//!
+//! The workspace builds with no registry access: every external
+//! dependency is a same-named shim crate under `vendor/`. That contract
+//! can rot in two directions —
+//!
+//! * someone adds a registry/git dependency that CI cannot fetch, or
+//! * a vendored shim drifts from (or disappears behind) `Cargo.lock`.
+//!
+//! This audit cross-checks three sources of truth: `Cargo.lock` package
+//! entries, the `vendor/*/Cargo.toml` manifests, and the workspace's own
+//! member manifests. Any mismatch is a finding with the same exit-code
+//! discipline as the lint pass.
+
+use std::fs;
+use std::path::Path;
+
+/// One audit finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditFinding {
+    /// What is wrong, with names and versions spelled out.
+    pub message: String,
+}
+
+/// A `[[package]]` entry from `Cargo.lock`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct LockPackage {
+    name: String,
+    version: String,
+    /// `Some` for registry/git packages; `None` for path (workspace or
+    /// vendored) packages.
+    source: Option<String>,
+}
+
+/// Parse the `[[package]]` blocks out of a `Cargo.lock`.
+fn parse_lock(text: &str) -> Vec<LockPackage> {
+    let mut out = Vec::new();
+    let mut cur: Option<LockPackage> = None;
+    for line in text.lines() {
+        let line = line.trim();
+        if line == "[[package]]" {
+            if let Some(p) = cur.take() {
+                out.push(p);
+            }
+            cur = Some(LockPackage {
+                name: String::new(),
+                version: String::new(),
+                source: None,
+            });
+            continue;
+        }
+        let Some(p) = cur.as_mut() else { continue };
+        if let Some(v) = toml_str_value(line, "name") {
+            p.name = v;
+        } else if let Some(v) = toml_str_value(line, "version") {
+            p.version = v;
+        } else if let Some(v) = toml_str_value(line, "source") {
+            p.source = Some(v);
+        }
+    }
+    if let Some(p) = cur.take() {
+        out.push(p);
+    }
+    out.retain(|p| !p.name.is_empty());
+    out
+}
+
+/// Extract `key = "value"` from a single TOML line.
+fn toml_str_value(line: &str, key: &str) -> Option<String> {
+    let rest = line.strip_prefix(key)?.trim_start().strip_prefix('=')?;
+    let rest = rest.trim();
+    rest.strip_prefix('"')
+        .and_then(|r| r.split('"').next())
+        .map(|s| s.to_string())
+}
+
+/// Read `[package] name`/`version` from a manifest (either may be
+/// workspace-inherited, in which case it is reported as `None`).
+fn manifest_name_version(path: &Path) -> Option<(String, Option<String>)> {
+    let text = fs::read_to_string(path).ok()?;
+    let mut in_package = false;
+    let mut name = None;
+    let mut version = None;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_package = line == "[package]";
+            continue;
+        }
+        if !in_package {
+            continue;
+        }
+        if let Some(v) = toml_str_value(line, "name") {
+            name = Some(v);
+        } else if let Some(v) = toml_str_value(line, "version") {
+            version = Some(v);
+        }
+    }
+    name.map(|n| (n, version))
+}
+
+/// List the package names (and explicit versions) of the manifests in
+/// the immediate subdirectories of `dir`.
+fn member_manifests(dir: &Path) -> Vec<(String, Option<String>)> {
+    let mut out = Vec::new();
+    let Ok(entries) = fs::read_dir(dir) else {
+        return out;
+    };
+    let mut paths: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for p in paths {
+        if let Some(nv) = manifest_name_version(&p.join("Cargo.toml")) {
+            out.push(nv);
+        }
+    }
+    out
+}
+
+/// Run the audit against a workspace root. Returns findings (empty =
+/// healthy).
+pub fn audit(root: &Path) -> Result<Vec<AuditFinding>, String> {
+    let lock_text = fs::read_to_string(root.join("Cargo.lock"))
+        .map_err(|e| format!("cannot read Cargo.lock: {e}"))?;
+    let lock = parse_lock(&lock_text);
+    let mut findings = Vec::new();
+
+    // 1. Nothing in the lockfile may come from a registry or git source:
+    //    the build environment cannot fetch it.
+    for p in &lock {
+        if let Some(src) = &p.source {
+            findings.push(AuditFinding {
+                message: format!(
+                    "{} v{} resolves to external source `{src}` — vendor it under vendor/ (offline CI cannot fetch)",
+                    p.name, p.version
+                ),
+            });
+        }
+    }
+
+    // Workspace-local packages: root, crates/*, vendor/*.
+    let mut local: Vec<(String, Option<String>)> = Vec::new();
+    if let Some(nv) = manifest_name_version(&root.join("Cargo.toml")) {
+        local.push(nv);
+    }
+    local.extend(member_manifests(&root.join("crates")));
+    let vendored = member_manifests(&root.join("vendor"));
+    local.extend(vendored.iter().cloned());
+
+    // 2. Every vendored shim must be what the lockfile resolved: same
+    //    name, same version. A version skew means the shim is stale.
+    for (name, version) in &vendored {
+        match lock.iter().find(|p| &p.name == name) {
+            None => findings.push(AuditFinding {
+                message: format!(
+                    "vendor/{name} is not in Cargo.lock — dead vendor copy or renamed crate"
+                ),
+            }),
+            Some(p) => {
+                if let Some(v) = version {
+                    if v != &p.version {
+                        findings.push(AuditFinding {
+                            message: format!(
+                                "vendor/{name} is v{v} but Cargo.lock resolved v{} — stale vendor copy",
+                                p.version
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // 3. Every path-resolved lockfile entry must exist in the workspace
+    //    (root package, crates/* or vendor/*).
+    for p in lock.iter().filter(|p| p.source.is_none()) {
+        if !local.iter().any(|(n, _)| n == &p.name) {
+            findings.push(AuditFinding {
+                message: format!(
+                    "Cargo.lock entry {} v{} has no matching workspace or vendor/ manifest",
+                    p.name, p.version
+                ),
+            });
+        }
+    }
+
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_parsing_extracts_name_version_source() {
+        let lock = "version = 4\n\n[[package]]\nname = \"rand\"\nversion = \"0.10.99\"\n\n[[package]]\nname = \"serde\"\nversion = \"1.0.0\"\nsource = \"registry+https://github.com/rust-lang/crates.io-index\"\n";
+        let pkgs = parse_lock(lock);
+        assert_eq!(pkgs.len(), 2);
+        assert_eq!(pkgs[0].name, "rand");
+        assert_eq!(pkgs[0].source, None);
+        assert_eq!(pkgs[1].name, "serde");
+        assert!(pkgs[1]
+            .source
+            .as_deref()
+            .unwrap_or("")
+            .starts_with("registry"));
+    }
+
+    #[test]
+    fn toml_str_value_ignores_other_keys() {
+        assert_eq!(toml_str_value("name = \"x\"", "name").as_deref(), Some("x"));
+        assert_eq!(toml_str_value("rename = \"x\"", "name"), None);
+        assert_eq!(toml_str_value("name = 3", "name"), None);
+    }
+}

@@ -1,0 +1,18 @@
+//! Known-bad determinism fixture: each D-rule fires at a fixed line.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+fn wall_clock() -> u64 {
+    let t = Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+fn entropy() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+fn unordered() -> HashMap<u32, u32> {
+    HashMap::new()
+}

@@ -1,0 +1,12 @@
+//! Known-bad error-hygiene fixture: every E-rule fires at a fixed line.
+
+use std::io;
+
+pub fn load(path: &str) -> io::Result<Vec<u8>> {
+    let bytes = std::fs::read(path).unwrap();
+    let n = bytes.first().expect("non-empty");
+    if *n == 0 {
+        panic!("zero byte");
+    }
+    todo!("finish loading")
+}

@@ -1,0 +1,17 @@
+//! Known-bad phase-discipline fixture: traffic and charges that bypass
+//! the engine's accounting.
+
+use crossbeam::channel::unbounded;
+
+fn side_channel() {
+    let (tx, rx) = unbounded::<u8>();
+    drop((tx, rx));
+}
+
+fn cook_the_books(ledger: &mut PhaseLedger, cost: VirtualTime) {
+    ledger.record(Phase::Compress, cost);
+}
+
+fn poke_faults(env: &mut Env) {
+    env.faults_mut().kill(3);
+}

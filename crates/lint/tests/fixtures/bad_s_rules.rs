@@ -1,0 +1,11 @@
+//! Known-bad unsafe-hygiene fixture: an undocumented block and an
+//! undocumented unsafe fn.
+
+fn reinterpret(bytes: &[u8]) -> u32 {
+    unsafe { *(bytes.as_ptr() as *const u32) }
+}
+
+/// Frees the buffer.
+pub unsafe fn free_raw(ptr: *mut u8) {
+    drop(Box::from_raw(ptr));
+}

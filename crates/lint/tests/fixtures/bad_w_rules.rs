@@ -1,0 +1,13 @@
+//! Known-bad width-discipline fixture: truncating casts outside wire.rs.
+
+fn narrow(big: u64) -> u32 {
+    big as u32
+}
+
+fn truncate_byte(big: u64) -> u8 {
+    (big & 0xffff) as u16 as u8
+}
+
+fn index(big: u64) -> usize {
+    big as usize
+}

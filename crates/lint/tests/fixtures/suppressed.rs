@@ -1,0 +1,17 @@
+//! Suppression semantics fixture: one justified, one reasonless, one
+//! naming a rule that does not exist.
+
+fn justified(big: u64) -> usize {
+    // lint: allow(W002) — the value was masked to 16 bits above
+    big as usize
+}
+
+fn reasonless(big: u64) -> usize {
+    // lint: allow(W002)
+    big as usize
+}
+
+fn unknown_rule() {
+    // lint: allow(Q999) — no such rule
+    let _ = 1;
+}

@@ -98,6 +98,7 @@ pub fn broadcast(
     check_self_alive(env)?;
     env.span("broadcast", |env| {
         if env.rank() == root {
+            // lint: allow(E002) — documented API contract: the root passes Some(buf)
             let buf = buf.expect("root must supply the broadcast buffer");
             for dst in 0..env.nprocs() {
                 if env.is_rank_dead(dst) {
@@ -148,6 +149,7 @@ pub fn allreduce_sum(env: &mut Env, values: &[f64]) -> Result<Vec<f64>, CommErro
         let hub = *env
             .alive_ranks()
             .first()
+            // lint: allow(E002) — check_self_alive passed, so alive_ranks() contains us
             .expect("allreduce needs at least one alive rank");
         // Checkout from the rank's arena: iterative solvers call allreduce
         // every sweep, and recycling keeps the hub's p-fold churn off the
@@ -204,6 +206,7 @@ pub fn barrier(env: &mut Env) -> Result<(), CommError> {
     let hub = *env
         .alive_ranks()
         .first()
+        // lint: allow(E002) — check_self_alive passed, so alive_ranks() contains us
         .expect("barrier needs at least one alive rank");
     env.phase(Phase::Other, |env| {
         env.span("barrier", |env| {

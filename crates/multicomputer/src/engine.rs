@@ -56,6 +56,7 @@ use crate::trace::{RankTrace, TraceSink, Tracer};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::fmt;
 use std::sync::Arc;
+// lint: allow(D001) — WallClock mode measures real elapsed time by design
 use std::time::Instant;
 
 /// How the machine keeps time.
@@ -359,6 +360,7 @@ impl Multicomputer {
             let mut ledgers = Vec::with_capacity(p);
             let mut traces = Vec::with_capacity(p);
             for h in handles {
+                // lint: allow(E002) — a panicked rank must abort the simulation; propagate
                 let (r, l, t) = h.join().expect("simulated processor panicked");
                 results.push(r);
                 ledgers.push(l);
@@ -394,6 +396,7 @@ fn channel_matrix<T>(p: usize) -> (Vec<Vec<Sender<T>>>, Vec<Vec<Receiver<T>>>) {
         .into_iter()
         .map(|row| {
             row.into_iter()
+                // lint: allow(E002) — the p×p loop above filled every (src, dst) slot
                 .map(|r| r.expect("channel matrix fully populated"))
                 .collect()
         })
@@ -407,6 +410,7 @@ enum Clock {
         model: MachineModel,
     },
     Wall {
+        // lint: allow(D001) — wall-clock epoch is the point of WallClock mode
         epoch: Instant,
     },
 }
@@ -467,6 +471,7 @@ impl Env {
                 wire_ns_startup,
             } => (
                 Clock::Wall {
+                    // lint: allow(D001) — WallClock mode anchors to real time on purpose
                     epoch: Instant::now(),
                 },
                 wire_ns_per_elem,
@@ -683,6 +688,7 @@ impl Env {
             Clock::Wall { .. } => {
                 let ns = self.wire_ns_startup + self.wire_ns_per_elem * elems;
                 if ns > 0 {
+                    // lint: allow(D001) — WallClock mode burns real nanoseconds here
                     let start = Instant::now();
                     while (start.elapsed().as_nanos() as u64) < ns {
                         std::hint::spin_loop();

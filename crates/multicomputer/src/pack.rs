@@ -128,6 +128,7 @@ impl PackBuffer {
     /// one logical element regardless of its encoded width.
     pub fn push_varint(&mut self, mut v: u64) {
         loop {
+            // lint: allow(W001) — masked to 7 bits, the cast cannot truncate
             let byte = (v & 0x7f) as u8;
             v >>= 7;
             if v == 0 {
@@ -235,6 +236,7 @@ impl PackBuffer {
         }
         let nbits = self.bytes.len() as u64 * 8;
         let bit = bit % nbits;
+        // lint: allow(W002) — bit < nbits = len·8, so bit/8 < len fits usize
         self.bytes[(bit / 8) as usize] ^= 1 << (bit % 8);
     }
 
@@ -285,6 +287,7 @@ impl PackArena {
     /// preferring a recycled allocation over a fresh one.
     pub fn checkout(&self, cap_bytes: usize) -> PackBuffer {
         self.checkouts.fetch_add(1, Ordering::Relaxed);
+        // lint: allow(E002) — a poisoned arena means a rank panicked; propagate
         let mut free = self.free.lock().expect("pack arena poisoned");
         // Largest vectors are kept at the back; take the biggest available
         // so one hot buffer stops the whole pool from re-growing.
@@ -314,6 +317,7 @@ impl PackArena {
             return;
         }
         self.recycles.fetch_add(1, Ordering::Relaxed);
+        // lint: allow(E002) — a poisoned arena means a rank panicked; propagate
         let mut free = self.free.lock().expect("pack arena poisoned");
         free.push(bytes);
         free.sort_by_key(Vec::capacity);
@@ -321,6 +325,7 @@ impl PackArena {
 
     /// Number of pooled allocations currently available.
     pub fn pooled(&self) -> usize {
+        // lint: allow(E002) — a poisoned arena means a rank panicked; propagate
         self.free.lock().expect("pack arena poisoned").len()
     }
 
@@ -341,6 +346,7 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     let table = TABLE.get_or_init(|| {
         let mut t = [0u32; 256];
         for (i, slot) in t.iter_mut().enumerate() {
+            // lint: allow(W001) — table index i < 256 always fits in u32
             let mut c = i as u32;
             for _ in 0..8 {
                 c = if c & 1 != 0 {
@@ -355,7 +361,8 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     });
     let mut c = !0u32;
     for &b in bytes {
-        c = table[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
+        // lint: allow(W002) — masked to 8 bits, the table index fits usize
+        c = table[((c ^ u32::from(b)) & 0xff) as usize] ^ (c >> 8);
     }
     !c
 }
@@ -440,16 +447,19 @@ impl<'a> UnpackCursor<'a> {
     /// scheme code, where the sender is in the same address space and the
     /// format is known).
     pub fn read_u64(&mut self) -> u64 {
+        // lint: allow(E002) — documented panicking convenience over try_read_u64
         self.try_read_u64().expect("truncated pack buffer")
     }
 
     /// Read one index element as `usize`.
     pub fn read_usize(&mut self) -> usize {
+        // lint: allow(W002) — same-address-space reads of values packed from usize
         self.read_u64() as usize
     }
 
     /// Read one value element.
     pub fn read_f64(&mut self) -> f64 {
+        // lint: allow(E002) — documented panicking convenience over try_read_f64
         self.try_read_f64().expect("truncated pack buffer")
     }
 
@@ -475,6 +485,7 @@ impl<'a> UnpackCursor<'a> {
 
     /// Read one narrow index element, panicking on truncation.
     pub fn read_u32(&mut self) -> u32 {
+        // lint: allow(E002) — documented panicking convenience over try_read_u32
         self.try_read_u32().expect("truncated pack buffer")
     }
 
@@ -510,6 +521,7 @@ impl<'a> UnpackCursor<'a> {
 
     /// Read one varint element, panicking on truncation.
     pub fn read_varint(&mut self) -> u64 {
+        // lint: allow(E002) — documented panicking convenience over try_read_varint
         self.try_read_varint().expect("truncated pack buffer")
     }
 
@@ -534,6 +546,7 @@ impl<'a> UnpackCursor<'a> {
 
     /// Fallible read of one index element as `usize`.
     pub fn try_read_usize(&mut self) -> Result<usize, UnpackError> {
+        // lint: allow(W002) — same-address-space reads of values packed from usize
         self.try_read_u64().map(|v| v as usize)
     }
 

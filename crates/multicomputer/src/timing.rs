@@ -346,6 +346,7 @@ pub fn render_timeline(ledgers: &[PhaseLedger], width: usize) -> String {
         let mut bar = String::new();
         for p in Phase::ALL {
             let span = l.get(p).as_micros();
+            // lint: allow(W002) — scale maps the longest ledger to width; small, non-negative
             let chars = (span * scale).round() as usize;
             let ch = p.timeline_char();
             for _ in 0..chars {

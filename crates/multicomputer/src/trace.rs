@@ -226,6 +226,7 @@ impl MemorySink {
 
     /// Drain the buffered traces, sorted by rank.
     pub fn take(&self) -> Vec<RankTrace> {
+        // lint: allow(E002) — a poisoned sink means a rank panicked; propagate
         let mut traces = std::mem::take(&mut *self.traces.lock().expect("trace sink poisoned"));
         traces.sort_by_key(|t| t.rank);
         traces
@@ -234,6 +235,7 @@ impl MemorySink {
 
 impl TraceSink for MemorySink {
     fn record(&self, trace: RankTrace) {
+        // lint: allow(E002) — a poisoned sink means a rank panicked; propagate
         self.traces.lock().expect("trace sink poisoned").push(trace);
     }
 }
@@ -308,6 +310,7 @@ impl Tracer {
     }
 
     pub(crate) fn close(&mut self, now: VirtualTime, wire: WireStats) {
+        // lint: allow(E002) — Env::span pairs every close with an open
         let open = self.open.pop().expect("span close without open");
         let span = Span {
             rank: self.rank,
@@ -440,8 +443,8 @@ fn json_escape(s: &str) -> String {
         match c {
             '"' => out.push_str("\\\""),
             '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
+            c if u32::from(c) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", u32::from(c));
             }
             c => out.push(c),
         }
@@ -578,16 +581,20 @@ pub fn render_waterfall(traces: &[RankTrace], width: usize) -> String {
             b.duration()
                 .as_micros()
                 .partial_cmp(&a.duration().as_micros())
+                // lint: allow(E002) — virtual micros are never NaN by construction
                 .expect("durations are finite")
                 .then(
                     a.start
                         .as_micros()
                         .partial_cmp(&b.start.as_micros())
+                        // lint: allow(E002) — virtual micros are never NaN by construction
                         .expect("starts are finite"),
                 )
         });
         for s in order {
+            // lint: allow(W002) — non-negative micros scaled into 0..=width
             let lo = (s.start.as_micros() * scale).floor() as usize;
+            // lint: allow(W002) — non-negative micros scaled into 0..=width
             let hi = ((s.end.as_micros() * scale).ceil() as usize).min(width);
             let ch = s.phase.timeline_char();
             for slot in row.iter_mut().take(hi).skip(lo) {
