@@ -1,17 +1,16 @@
 //! Ablation: encode-then-send-all vs overlapped encode/send in the ED
 //! scheme, and reduce-based vs row-conformal distributed SpMV.
 //!
-//! Both contrasts leave the paper's phase aggregates untouched and move a
-//! *scheduling* metric instead: overlap shrinks the mean completion time
-//! across receivers (the last receiver is unmoved, so the makespan is
-//! identical); the row-conformal SpMV relieves the root's send hotspot.
+//! With the pipeline driver's nonblocking sends (`SchemeConfig::overlap`),
+//! overlap shrinks the makespan and the mean completion time across
+//! receivers while leaving every non-`Send` phase aggregate untouched;
+//! the row-conformal SpMV relieves the root's send hotspot.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sparsedist_bench::workload;
 use sparsedist_core::compress::CompressKind;
 use sparsedist_core::partition::RowBlock;
-use sparsedist_core::schemes::run_ed_overlapped as run_overlapped;
-use sparsedist_core::schemes::{run_scheme, SchemeKind, SchemeRun};
+use sparsedist_core::schemes::{run_scheme, run_scheme_with, SchemeConfig, SchemeKind, SchemeRun};
 use sparsedist_multicomputer::{MachineModel, Multicomputer, Phase};
 use sparsedist_ops::spmv::{distributed_spmv_ledgers, distributed_spmv_rowwise_ledgers};
 use std::hint::black_box;
@@ -33,7 +32,15 @@ fn bench_overlap(c: &mut Criterion) {
     let machine = Multicomputer::virtual_machine(p, MachineModel::ibm_sp2());
 
     let plain = run_scheme(SchemeKind::Ed, &machine, &a, &part, CompressKind::Crs).unwrap();
-    let over = run_overlapped(&machine, &a, &part, CompressKind::Crs).unwrap();
+    let over = run_scheme_with(
+        SchemeKind::Ed,
+        &machine,
+        &a,
+        &part,
+        CompressKind::Crs,
+        SchemeConfig::overlapped(),
+    )
+    .unwrap();
     eprintln!("\nED send discipline (n={n}, p={p}, s=0.1):");
     eprintln!(
         "  encode-all-then-send: makespan {}  mean completion {:.3}ms",
@@ -75,7 +82,16 @@ fn bench_overlap(c: &mut Criterion) {
         })
     });
     g.bench_function(BenchmarkId::new("ed", "overlapped"), |b| {
-        b.iter(|| black_box(run_overlapped(&machine, &a, &part, CompressKind::Crs)))
+        b.iter(|| {
+            black_box(run_scheme_with(
+                SchemeKind::Ed,
+                &machine,
+                &a,
+                &part,
+                CompressKind::Crs,
+                SchemeConfig::overlapped(),
+            ))
+        })
     });
     g.bench_function(BenchmarkId::new("spmv", "reduce"), |b| {
         b.iter(|| black_box(distributed_spmv_ledgers(&machine, &plain, &part, &x)))

@@ -7,6 +7,7 @@
 //! encode speedup, so CI can archive the wire saving as an artifact.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sparsedist_bench::upsert_bench_sections;
 use sparsedist_core::compress::{CompressKind, Crs};
 use sparsedist_core::encode::encode_part_into;
 use sparsedist_core::opcount::OpCounter;
@@ -16,6 +17,7 @@ use sparsedist_core::wire::{self, WireFormat};
 use sparsedist_gen::SparseRandom;
 use sparsedist_multicomputer::{MachineModel, Multicomputer, PackArena, PackBuffer};
 use std::hint::black_box;
+use std::path::Path;
 use std::time::{Duration, Instant};
 
 const N: usize = 1000;
@@ -44,7 +46,7 @@ fn source_bytes(
         CompressKind::Crs,
         SchemeConfig {
             wire: format,
-            parallel: false,
+            ..SchemeConfig::default()
         },
     )
     .expect("bench distribution run");
@@ -120,9 +122,7 @@ fn encode_best_us(
 
 fn emit_json(c: &mut Criterion) {
     let part = RowBlock::new(N, N, P);
-    let mut lines = Vec::new();
-    lines.push(format!("  \"n\": {N},\n  \"p\": {P},"));
-    lines.push("  \"bytes\": {".to_string());
+    let mut lines = vec!["{".to_string()];
     let sparsities = [(0.01, "s0.01"), (0.1, "s0.1"), (0.5, "s0.5")];
     let schemes = [
         (SchemeKind::Sfc, "sfc"),
@@ -149,7 +149,8 @@ fn emit_json(c: &mut Criterion) {
         let comma = if si + 1 < sparsities.len() { "," } else { "" };
         lines.push(format!("    }}{comma}"));
     }
-    lines.push("  },".to_string());
+    lines.push("  }".to_string());
+    let bytes_section = lines.join("\n");
 
     let a = array(0.1);
     let (seq_us, par_us) = encode_best_us(7, &a, &part);
@@ -159,16 +160,27 @@ fn emit_json(c: &mut Criterion) {
         "encode {P} parts on {cores} core(s): sequential {seq_us:.0} us, \
          parallel {par_us:.0} us ({speedup:.2}x)"
     );
-    lines.push(format!(
-        "  \"encode_parallel\": {{\"parts\": {P}, \"host_cores\": {cores}, \
+    let encode_section = format!(
+        "{{\"parts\": {P}, \"host_cores\": {cores}, \
          \"sequential_us\": {seq_us:.1}, \"parallel_us\": {par_us:.1}, \
          \"speedup\": {speedup:.3}}}"
-    ));
+    );
 
-    let json = format!("{{\n{}\n}}\n", lines.join("\n"));
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_wire.json");
-    std::fs::write(path, json).expect("write BENCH_wire.json");
-    eprintln!("wrote {path}");
+    let path = Path::new(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_wire.json"
+    ));
+    upsert_bench_sections(
+        path,
+        &[
+            ("n", N.to_string()),
+            ("p", P.to_string()),
+            ("bytes", bytes_section),
+            ("encode_parallel", encode_section),
+        ],
+    )
+    .expect("write BENCH_wire.json");
+    eprintln!("wrote {}", path.display());
 
     let _ = c;
 }

@@ -331,4 +331,31 @@ mod tests {
         let fresh = flatten_numbers(r#"{"new_bytes": 5}"#).unwrap();
         assert!(compare(&base, &fresh, 0.10).is_empty());
     }
+
+    #[test]
+    fn pipeline_overlap_makespans_are_gated() {
+        // The virtual-time makespans the pipeline_overlap bench emits are
+        // deterministic, so the gate pins them exactly like byte counts:
+        // a slower overlapped schedule is a regression, the dimensionless
+        // speedup ratio is not tracked.
+        let doc = r#"{"pipeline_overlap": {
+            "ed": {"staged_us": 156025.2, "overlap_us": 132626.5,
+                   "speedup": 1.176, "overlap_bytes": 1608000}}}"#;
+        let base = flatten_numbers(doc).unwrap();
+        assert!(is_tracked("pipeline_overlap.ed.staged_us"));
+        assert!(is_tracked("pipeline_overlap.ed.overlap_bytes"));
+        assert!(!is_tracked("pipeline_overlap.ed.speedup"));
+        let fresh = flatten_numbers(
+            r#"{"pipeline_overlap": {
+            "ed": {"staged_us": 156025.2, "overlap_us": 155000.0,
+                   "speedup": 1.007, "overlap_bytes": 1608000}}}"#,
+        )
+        .unwrap();
+        let rows = compare(&base, &fresh, 0.10);
+        let slow = rows
+            .iter()
+            .find(|r| r.key == "pipeline_overlap.ed.overlap_us")
+            .expect("overlap_us is compared");
+        assert!(slow.regressed, "losing the overlap win must trip the gate");
+    }
 }

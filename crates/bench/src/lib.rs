@@ -349,6 +349,107 @@ pub fn analytic_comparison(
         .collect()
 }
 
+/// Split the top level of a JSON object into `(key, raw value)` pairs,
+/// preserving order and each value's original formatting. Only the
+/// shallow structure is parsed — values stay verbatim text, so a section
+/// written by one bench survives a rewrite by another.
+pub fn split_bench_sections(json: &str) -> Result<Vec<(String, String)>, String> {
+    let inner = json
+        .trim()
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or("top level is not a JSON object")?;
+    let bytes = inner.as_bytes();
+    let mut sections = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i >= bytes.len() {
+            break;
+        }
+        if bytes[i] != b'"' {
+            return Err(format!("expected a key at byte {i}"));
+        }
+        let kstart = i + 1;
+        let mut j = kstart;
+        while j < bytes.len() && bytes[j] != b'"' {
+            j += if bytes[j] == b'\\' { 2 } else { 1 };
+        }
+        if j >= bytes.len() {
+            return Err("unterminated key".to_string());
+        }
+        let key = inner[kstart..j].to_string();
+        i = j + 1;
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i >= bytes.len() || bytes[i] != b':' {
+            return Err(format!("missing `:` after key {key:?}"));
+        }
+        i += 1;
+        while i < bytes.len() && bytes[i] == b' ' {
+            i += 1;
+        }
+        let vstart = i;
+        let mut depth: i64 = 0;
+        let mut in_str = false;
+        while i < bytes.len() {
+            let c = bytes[i];
+            if in_str {
+                if c == b'\\' {
+                    i += 1;
+                } else if c == b'"' {
+                    in_str = false;
+                }
+            } else {
+                match c {
+                    b'"' => in_str = true,
+                    b'{' | b'[' => depth += 1,
+                    b'}' | b']' => depth -= 1,
+                    b',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        if depth != 0 || in_str {
+            return Err(format!("unbalanced value for key {key:?}"));
+        }
+        sections.push((key, inner[vstart..i].trim_end().to_string()));
+        i += 1; // past the separating comma, if any
+    }
+    Ok(sections)
+}
+
+/// Merge `sections` into the top level of the JSON object at `path` and
+/// write it back: existing keys are replaced in place (order preserved),
+/// new keys are appended, and every section some other bench wrote is
+/// kept verbatim. A missing or unparseable file starts from `{}` — the
+/// benches must be runnable on a clean checkout.
+pub fn upsert_bench_sections(
+    path: &std::path::Path,
+    sections: &[(&str, String)],
+) -> std::io::Result<()> {
+    let mut merged = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| split_bench_sections(&text).ok())
+        .unwrap_or_default();
+    for (key, value) in sections {
+        match merged.iter_mut().find(|(k, _)| k == key) {
+            Some(slot) => slot.1 = value.clone(),
+            None => merged.push((key.to_string(), value.clone())),
+        }
+    }
+    let body = merged
+        .iter()
+        .map(|(k, v)| format!("  \"{k}\": {v}"))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    std::fs::write(path, format!("{{\n{body}\n}}\n"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -357,6 +458,50 @@ mod tests {
     fn workload_has_exact_ratio() {
         let a = workload(200);
         assert_eq!(a.nnz(), 4000);
+    }
+
+    #[test]
+    fn split_bench_sections_keeps_raw_text() {
+        let json = "{\n  \"n\": 1000,\n  \"bytes\": {\n    \"s0.1\": {\"sfc\": 1}\n  },\n  \"note\": \"a, b\"\n}\n";
+        let got = split_bench_sections(json).unwrap();
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0], ("n".to_string(), "1000".to_string()));
+        assert_eq!(got[1].0, "bytes");
+        assert!(got[1].1.starts_with('{') && got[1].1.ends_with('}'));
+        assert!(got[1].1.contains("\"s0.1\""));
+        // A comma inside a string does not split the section.
+        assert_eq!(got[2], ("note".to_string(), "\"a, b\"".to_string()));
+    }
+
+    #[test]
+    fn split_bench_sections_rejects_non_objects() {
+        assert!(split_bench_sections("[1, 2]").is_err());
+        assert!(split_bench_sections("{\"k\": {").is_err());
+    }
+
+    #[test]
+    fn upsert_replaces_updates_and_appends() {
+        let path = std::env::temp_dir().join(format!("bench_upsert_{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        // Missing file: starts from an empty object.
+        upsert_bench_sections(
+            &path,
+            &[("a", "1".to_string()), ("b", "{\"x\": 2}".to_string())],
+        )
+        .unwrap();
+        // A second writer updates one section and adds its own; the
+        // section it never mentions (`b`) survives verbatim.
+        upsert_bench_sections(
+            &path,
+            &[("a", "3".to_string()), ("c", "[4, 5]".to_string())],
+        )
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(
+            text,
+            "{\n  \"a\": 3,\n  \"b\": {\"x\": 2},\n  \"c\": [4, 5]\n}\n"
+        );
     }
 
     #[test]

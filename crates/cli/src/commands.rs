@@ -32,14 +32,18 @@ USAGE:
   sparsedist distribute FILE.mtx [--scheme sfc|cfs|ed] [--partition row|column|mesh|rowcyclic|colcyclic]
                          [--procs P] [--grid RxC] [--kind crs|ccs] [--model sp2|compute|network]
                          [--timeline yes] [--faults SPEC] [--retries N]
-                         [--wire v1|v2] [--parallel yes] [--trace OUT.json]
+                         [--wire v1|v2] [--parallel yes] [--overlap yes]
+                         [--chunk-elems N] [--trace OUT.json]
 
   --faults takes comma-separated key=value tokens, e.g.
   'seed=7,drop=0.2' or 'dead=2' or 'corrupt@0-1=0.5,phase=send';
   --retries bounds retransmissions per message (default 6);
+  --overlap sends each part as soon as it is encoded (nonblocking isend);
+  --chunk-elems streams each part as framed chunks of at most N elements;
   --trace writes a Chrome-trace JSON of the run (load in Perfetto).
   sparsedist trace FILE.mtx [--scheme …] [--partition …] [--procs P] [--kind …]
-                         [--model …] [--wire …] [--parallel yes] [--width N]
+                         [--model …] [--wire …] [--parallel yes] [--overlap yes]
+                         [--chunk-elems N] [--width N]
                          [--out TRACE.json] [--metrics METRICS.json]
   sparsedist advise FILE.mtx [--procs P] [--model sp2|compute|network]
   sparsedist spmv FILE.mtx [--procs P] [--scheme ed]
@@ -231,6 +235,8 @@ pub fn distribute(p: &Parsed) -> Result<String, CmdError> {
     let config = SchemeConfig {
         wire,
         parallel: p.flag_or("parallel", "no") == "yes",
+        overlap: p.flag_or("overlap", "no") == "yes",
+        chunk_elems: p.usize_or("chunk-elems", 0).map_err(|e| e.to_string())?,
     };
     let part = build_partition(p, a.rows(), a.cols(), procs)?;
     let mut machine = build_machine(p, procs, model)?;
@@ -337,6 +343,8 @@ pub fn trace_cmd(p: &Parsed) -> Result<String, CmdError> {
     let config = SchemeConfig {
         wire,
         parallel: p.flag_or("parallel", "no") == "yes",
+        overlap: p.flag_or("overlap", "no") == "yes",
+        chunk_elems: p.usize_or("chunk-elems", 0).map_err(|e| e.to_string())?,
     };
     let part = build_partition(p, a.rows(), a.cols(), procs)?;
     let sink = Arc::new(MemorySink::new());
@@ -638,6 +646,58 @@ mod tests {
         assert!(bytes(&v2) < bytes(&v1), "v1: {v1}\nv2: {v2}");
 
         assert!(crate::run(&argv(&format!("distribute {path} --wire v3"))).is_err());
+    }
+
+    #[test]
+    fn distribute_overlap_and_chunking_flags() {
+        let path = tmp("gen_pipe.mtx");
+        crate::run(&argv(&format!("gen {path} --rows 40 --ratio 0.2 --seed 9"))).unwrap();
+        let ms = |s: &str, key: &str| -> f64 {
+            s.lines()
+                .find(|l| l.contains(key))
+                .and_then(|l| l.split_whitespace().last())
+                .and_then(|v| v.strip_suffix("ms"))
+                .unwrap()
+                .parse()
+                .unwrap()
+        };
+        let wire_stat = |s: &str, unit: &str| -> u64 {
+            let l = s.lines().find(|l| l.contains("wire (")).unwrap();
+            l.split_whitespace()
+                .zip(l.split_whitespace().skip(1))
+                .find(|(_, u)| u.trim_end_matches(',') == unit)
+                .map(|(n, _)| n.parse().unwrap())
+                .unwrap()
+        };
+
+        let staged =
+            crate::run(&argv(&format!("distribute {path} --scheme ed --procs 4"))).unwrap();
+        let over = crate::run(&argv(&format!(
+            "distribute {path} --scheme ed --procs 4 --overlap yes"
+        )))
+        .unwrap();
+        // Overlap hides wire time behind encode work: same bytes, same
+        // verified state, strictly smaller T_Distribution.
+        assert!(over.contains("verified"), "{over}");
+        assert_eq!(wire_stat(&staged, "bytes"), wire_stat(&over, "bytes"));
+        assert!(
+            ms(&over, "T_Distribution") < ms(&staged, "T_Distribution"),
+            "overlap did not shrink T_Distribution:\n{staged}\n{over}"
+        );
+
+        // Chunked streaming splits buffers into framed chunks: more
+        // messages on the wire, identical verified state.
+        let chunked = crate::run(&argv(&format!(
+            "distribute {path} --scheme ed --procs 4 --chunk-elems 16"
+        )))
+        .unwrap();
+        assert!(chunked.contains("verified"), "{chunked}");
+        assert!(
+            wire_stat(&chunked, "messages") > wire_stat(&staged, "messages"),
+            "staged: {staged}\nchunked: {chunked}"
+        );
+
+        assert!(crate::run(&argv(&format!("distribute {path} --chunk-elems nope"))).is_err());
     }
 
     #[test]

@@ -10,6 +10,9 @@
 //! Wire layout per part: the pointer array (its length is known to the
 //! receiver from the partition), then the index array, then the value
 //! array (the pointer's last entry tells the receiver the nonzero count).
+//!
+//! The driver flow (compress → pack → send → unpack) lives in the shared
+//! [`pipeline`] module; this file only supplies the stage hooks.
 
 use crate::compress::{Ccs, CompressKind, Crs, LocalCompressed};
 use crate::convert::IndexConverter;
@@ -17,88 +20,123 @@ use crate::dense::Dense2D;
 use crate::error::SparsedistError;
 use crate::opcount::OpCounter;
 use crate::partition::Partition;
-use crate::schemes::{
-    alive_ranks_of, assign_owners, collect_parts, map_parts_counted, SchemeConfig, SchemeKind,
-    SchemeRun, SOURCE,
-};
+use crate::schemes::pipeline::{self, SchemeStages, SourcePolicy};
+use crate::schemes::{SchemeConfig, SchemeKind, SchemeRun};
 use crate::wire::{self, WireFormat};
 use sparsedist_multicomputer::pack::UnpackError;
 use sparsedist_multicomputer::{Multicomputer, PackBuffer, Phase};
 
-/// Compress part `pid` at the source (global indices) and pack it into
-/// `buf` (typically checked out of the rank's arena).
-///
-/// The compressed arrays are packed straight from the borrowed `RO`/`CO`/
-/// `VL` slices — no intermediate `Vec` copies — and the wire layout is
-/// chosen by `format`. Pack cost stays one op per packed element (the
-/// paper's `2n²s + n + p` total), identical for both formats.
-fn compress_and_pack(
-    buf: &mut PackBuffer,
-    global: &Dense2D,
-    part: &dyn Partition,
-    pid: usize,
+pub(crate) struct Stages<'a> {
+    global: &'a Dense2D,
+    part: &'a dyn Partition,
     kind: CompressKind,
-    format: WireFormat,
-    compress_ops: &mut OpCounter,
-) {
-    let (grows, gcols) = part.global_shape();
-    match kind {
-        CompressKind::Crs => {
-            let crs = Crs::from_part_global(global, part, pid, compress_ops);
-            wire::pack_triple_into(buf, crs.ro(), crs.co(), crs.vl(), gcols, format);
-        }
-        CompressKind::Ccs => {
-            let ccs = Ccs::from_part_global(global, part, pid, compress_ops);
-            wire::pack_triple_into(buf, ccs.cp(), ccs.ri(), ccs.vl(), grows, format);
-        }
-    }
+    wire: WireFormat,
 }
 
-/// Unpack a received buffer into a compressed local array, converting
-/// indices where the partition requires it.
-fn unpack(
-    buf: &PackBuffer,
-    part: &dyn Partition,
-    pid: usize,
-    kind: CompressKind,
-    format: WireFormat,
-    ops: &mut OpCounter,
-) -> Result<LocalCompressed, SparsedistError> {
-    let (lrows, lcols) = part.local_shape(pid);
-    let nsegments = match kind {
-        CompressKind::Crs => lrows,
-        CompressKind::Ccs => lcols,
-    };
-    let converter = IndexConverter::new(part, pid, kind);
-    let bound = converter.local_index_bound(kind);
+impl SchemeStages for Stages<'_> {
+    type Mid = LocalCompressed;
 
-    let mut cursor = buf.cursor();
-    let (pointer, travelling, values) = wire::unpack_triple(&mut cursor, nsegments, format)?;
-    ops.add((nsegments + 1) as u64);
-    let nnz = pointer[nsegments];
-    let mut indices = Vec::with_capacity(nnz);
-    for &t in &travelling {
-        ops.tick();
-        indices.push(converter.to_local(t, ops));
-    }
-    ops.add(nnz as u64);
-    if !cursor.is_exhausted() {
-        // Longer than its own header describes: a framing mismatch.
-        return Err(UnpackError {
-            at: buf.byte_len() - cursor.remaining(),
-            remaining: cursor.remaining(),
-        }
-        .into());
+    fn scheme(&self) -> SchemeKind {
+        SchemeKind::Cfs
     }
 
-    Ok(match kind {
-        CompressKind::Crs => {
-            LocalCompressed::Crs(Crs::from_raw(lrows, bound, pointer, indices, values)?)
+    fn source_policy(&self) -> SourcePolicy {
+        SourcePolicy::CompressThenPack
+    }
+
+    fn recv_phase(&self) -> Phase {
+        Phase::Unpack
+    }
+
+    fn batch_decode_inside_phase(&self) -> bool {
+        false
+    }
+
+    fn buf_capacity(&self, _pid: usize) -> usize {
+        0
+    }
+
+    /// Compress part `pid` at the source (global indices) and pack it.
+    ///
+    /// The compressed arrays are packed straight from the borrowed `RO`/
+    /// `CO`/`VL` slices — no intermediate `Vec` copies — and the wire
+    /// layout is chosen by the configured format. `ops` counts only the
+    /// *compression* work; packing cost is one op per packed element
+    /// (exactly the buffer's element count), charged separately by the
+    /// driver's [`SourcePolicy::CompressThenPack`] policy.
+    fn encode_part(
+        &self,
+        buf: &mut PackBuffer,
+        pid: usize,
+        ops: &mut OpCounter,
+    ) -> Result<(), SparsedistError> {
+        let (grows, gcols) = self.part.global_shape();
+        match self.kind {
+            CompressKind::Crs => {
+                let crs = Crs::from_part_global(self.global, self.part, pid, ops);
+                wire::pack_triple_into(buf, crs.ro(), crs.co(), crs.vl(), gcols, self.wire);
+            }
+            CompressKind::Ccs => {
+                let ccs = Ccs::from_part_global(self.global, self.part, pid, ops);
+                wire::pack_triple_into(buf, ccs.cp(), ccs.ri(), ccs.vl(), grows, self.wire);
+            }
         }
-        CompressKind::Ccs => {
-            LocalCompressed::Ccs(Ccs::from_raw(bound, lcols, pointer, indices, values)?)
+        Ok(())
+    }
+
+    /// Unpack a received buffer into a compressed local array, converting
+    /// indices where the partition requires it.
+    fn decode_part(
+        &self,
+        payload: &PackBuffer,
+        pid: usize,
+        ops: &mut OpCounter,
+    ) -> Result<LocalCompressed, SparsedistError> {
+        let (lrows, lcols) = self.part.local_shape(pid);
+        let nsegments = match self.kind {
+            CompressKind::Crs => lrows,
+            CompressKind::Ccs => lcols,
+        };
+        let converter = IndexConverter::new(self.part, pid, self.kind);
+        let bound = converter.local_index_bound(self.kind);
+
+        let mut cursor = payload.cursor();
+        let (pointer, travelling, values) = wire::unpack_triple(&mut cursor, nsegments, self.wire)?;
+        ops.add((nsegments + 1) as u64);
+        let nnz = pointer[nsegments];
+        let mut indices = Vec::with_capacity(nnz);
+        for &t in &travelling {
+            ops.tick();
+            indices.push(converter.to_local(t, ops));
         }
-    })
+        ops.add(nnz as u64);
+        if !cursor.is_exhausted() {
+            // Longer than its own header describes: a framing mismatch.
+            return Err(UnpackError {
+                at: payload.byte_len() - cursor.remaining(),
+                remaining: cursor.remaining(),
+            }
+            .into());
+        }
+
+        Ok(match self.kind {
+            CompressKind::Crs => {
+                LocalCompressed::Crs(Crs::from_raw(lrows, bound, pointer, indices, values)?)
+            }
+            CompressKind::Ccs => {
+                LocalCompressed::Ccs(Ccs::from_raw(bound, lcols, pointer, indices, values)?)
+            }
+        })
+    }
+
+    fn finish_part(&self, mid: &LocalCompressed, _ops: &mut OpCounter) -> LocalCompressed {
+        // Never reached (finish_phase is None): decode already compressed.
+        mid.clone()
+    }
+
+    fn local_from(&self, mid: LocalCompressed) -> LocalCompressed {
+        mid
+    }
 }
 
 pub(crate) fn run(
@@ -108,240 +146,11 @@ pub(crate) fn run(
     kind: CompressKind,
     config: SchemeConfig,
 ) -> Result<SchemeRun, SparsedistError> {
-    let nparts = part.nparts();
-    let owners = assign_owners(part, &alive_ranks_of(machine));
-    let owners_ref = &owners;
-    let (results, ledgers) = machine.run_with_ledgers(
-        |env| -> Result<Vec<(usize, LocalCompressed)>, SparsedistError> {
-            let me = env.rank();
-            env.trace_scope("CFS");
-            if env.is_rank_dead(me) {
-                return Ok(Vec::new());
-            }
-            if me == SOURCE {
-                // Compression and packing are interleaved per part in the
-                // code but charged to their own phases, exactly as the paper
-                // accounts them. Packing cost is one op per packed element,
-                // which is exactly the buffers' element counts.
-                let (bufs, compress_total, compress_counts) = {
-                    let arena = env.arena();
-                    let mut compress_ops = OpCounter::new();
-                    let (bufs, counts) = map_parts_counted(
-                        nparts,
-                        config.parallel,
-                        &mut compress_ops,
-                        &|pid, ops| {
-                            let mut buf = arena.checkout(0);
-                            compress_and_pack(&mut buf, global, part, pid, kind, config.wire, ops);
-                            buf
-                        },
-                    );
-                    (bufs, compress_ops.take(), counts)
-                };
-                let pack_total: u64 = bufs.iter().map(PackBuffer::elem_count).sum();
-                env.phase(Phase::Compress, |env| {
-                    if env.is_tracing() {
-                        let pairs: Vec<(usize, u64)> =
-                            compress_counts.into_iter().enumerate().collect();
-                        env.trace_part_ops(&pairs);
-                    }
-                    env.charge_ops(compress_total)
-                });
-                env.phase(Phase::Pack, |env| {
-                    if env.is_tracing() {
-                        let pairs: Vec<(usize, u64)> = bufs
-                            .iter()
-                            .map(PackBuffer::elem_count)
-                            .enumerate()
-                            .collect();
-                        env.trace_part_ops(&pairs);
-                    }
-                    env.charge_ops(pack_total)
-                });
-                env.phase(Phase::Send, |env| -> Result<(), SparsedistError> {
-                    for (pid, buf) in bufs.into_iter().enumerate() {
-                        env.send(owners_ref[pid], buf)?;
-                    }
-                    Ok(())
-                })?;
-            }
-            let mine: Vec<usize> = (0..nparts).filter(|&pid| owners_ref[pid] == me).collect();
-            let mut out = Vec::with_capacity(mine.len());
-            if config.parallel && mine.len() >= 2 {
-                // Receive everything first, then decode the parts on scoped
-                // host threads; the merged op total is charged once, so the
-                // Unpack phase total matches the sequential path exactly.
-                let mut msgs = Vec::with_capacity(mine.len());
-                for &pid in &mine {
-                    msgs.push((pid, env.recv(SOURCE)?));
-                }
-                let (locals, unpack_total, unpack_counts) = {
-                    let msgs_ref = &msgs;
-                    let mut ops = OpCounter::new();
-                    let (locals, counts) =
-                        map_parts_counted(msgs.len(), true, &mut ops, &|i, ops| {
-                            let (pid, msg) = &msgs_ref[i];
-                            unpack(&msg.payload, part, *pid, kind, config.wire, ops)
-                        });
-                    (locals, ops.take(), counts)
-                };
-                env.phase(Phase::Unpack, |env| {
-                    if env.is_tracing() {
-                        let pairs: Vec<(usize, u64)> = msgs
-                            .iter()
-                            .map(|(pid, _)| *pid)
-                            .zip(unpack_counts)
-                            .collect();
-                        env.trace_part_ops(&pairs);
-                    }
-                    env.charge_ops(unpack_total)
-                });
-                for (local, (pid, msg)) in locals.into_iter().zip(msgs) {
-                    env.arena().recycle_bytes(msg.payload.into_bytes());
-                    out.push((pid, local?));
-                }
-            } else {
-                for pid in mine {
-                    let msg = env.recv(SOURCE)?;
-                    let local = env.phase(Phase::Unpack, |env| {
-                        let mut ops = OpCounter::new();
-                        let local = unpack(&msg.payload, part, pid, kind, config.wire, &mut ops);
-                        let n = ops.take();
-                        env.trace_part_ops(&[(pid, n)]);
-                        env.charge_ops(n);
-                        local
-                    })?;
-                    env.arena().recycle_bytes(msg.payload.into_bytes());
-                    out.push((pid, local));
-                }
-            }
-            Ok(out)
-        },
-    );
-    let locals = collect_parts(results, nparts)?;
-    Ok(SchemeRun {
-        scheme: SchemeKind::Cfs,
-        compress_kind: kind,
-        source: SOURCE,
-        ledgers,
-        locals,
-        owners,
-    })
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::dense::paper_array_a;
-    use crate::partition::RowBlock;
-    use sparsedist_multicomputer::MachineModel;
-
-    fn sp2(p: usize) -> Multicomputer {
-        Multicomputer::virtual_machine(p, MachineModel::ibm_sp2())
-    }
-
-    #[test]
-    fn row_crs_matches_table1_closed_form() {
-        // Table 1 CFS with n-not-square array generalised:
-        // compression = cells·(1+3s) ops; pack = 2·nnz + Σ(rows_i + 1);
-        // send = p·T_Startup + pack_elems·T_Data;
-        // unpack(max) = max_i (rows_i + 1 + 2·nnz_i).
-        let a = paper_array_a();
-        let part = RowBlock::new(10, 8, 4);
-        let m = MachineModel::ibm_sp2();
-        let run = super::run(
-            &sp2(4),
-            &a,
-            &part,
-            CompressKind::Crs,
-            SchemeConfig::default(),
-        )
-        .unwrap();
-
-        let comp = run.t_compression().as_micros();
-        assert!((comp - 128.0 * m.t_op).abs() < 1e-9, "compression: {comp}");
-
-        // pack elems: pointers (3+1)+(3+1)+(3+1)+(1+1) = 14, plus 2·16 = 32
-        // → 46 elements.
-        let src = &run.ledgers[0];
-        assert!((src.get(Phase::Pack).as_micros() - 46.0 * m.t_op).abs() < 1e-9);
-        let send = src.get(Phase::Send).as_micros();
-        assert!((send - (4.0 * m.t_startup + 46.0 * m.t_data)).abs() < 1e-9);
-
-        // unpack max: P2 has 4 pointers + 2·6 indices/values = 16 ops
-        // (Case 3.2.1: no conversion).
-        let unpack_max = run
-            .ledgers
-            .iter()
-            .map(|l| l.get(Phase::Unpack).as_micros())
-            .fold(0.0f64, f64::max);
-        assert!(
-            (unpack_max - 16.0 * m.t_op).abs() < 1e-9,
-            "unpack {unpack_max}"
-        );
-    }
-
-    #[test]
-    fn row_ccs_conversion_charged() {
-        // Row partition + CCS is Case 3.2.2: each index conversion costs
-        // one extra op → unpack per rank = (9 pointers) + 3·nnz_i.
-        let a = paper_array_a();
-        let part = RowBlock::new(10, 8, 4);
-        let m = MachineModel::ibm_sp2();
-        let run = super::run(
-            &sp2(4),
-            &a,
-            &part,
-            CompressKind::Ccs,
-            SchemeConfig::default(),
-        )
-        .unwrap();
-        // P2 has 6 nonzeros: 9 + 18 = 27 ops.
-        let unpack_max = run
-            .ledgers
-            .iter()
-            .map(|l| l.get(Phase::Unpack).as_micros())
-            .fold(0.0f64, f64::max);
-        assert!(
-            (unpack_max - 27.0 * m.t_op).abs() < 1e-9,
-            "unpack {unpack_max}"
-        );
-    }
-
-    #[test]
-    fn receivers_hold_local_indices() {
-        let a = paper_array_a();
-        let part = RowBlock::new(10, 8, 4);
-        let run = super::run(
-            &sp2(4),
-            &a,
-            &part,
-            CompressKind::Ccs,
-            SchemeConfig::default(),
-        )
-        .unwrap();
-        // P1's decoded CCS must be over local rows 0..3, matching the
-        // direct local compression.
-        let expect = Ccs::from_dense(&part.extract_dense(&a, 1), &mut OpCounter::new());
-        assert_eq!(run.locals[1].as_ccs(), &expect);
-    }
-
-    #[test]
-    fn wire_volume_scales_with_nnz_not_cells() {
-        let a = paper_array_a();
-        let part = RowBlock::new(10, 8, 4);
-        let m = MachineModel::ibm_sp2();
-        let run = super::run(
-            &sp2(4),
-            &a,
-            &part,
-            CompressKind::Crs,
-            SchemeConfig::default(),
-        )
-        .unwrap();
-        let send = run.ledgers[0].get(Phase::Send).as_micros();
-        // 46 elements (see above) — far less than the 80 dense cells SFC
-        // would send.
-        assert!(send < 4.0 * m.t_startup + 80.0 * m.t_data);
-    }
+    let stages = Stages {
+        global,
+        part,
+        kind,
+        wire: config.wire,
+    };
+    pipeline::run_pipeline(machine, &stages, part, kind, config)
 }

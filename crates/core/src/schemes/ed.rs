@@ -7,18 +7,82 @@
 //! `RO`/`CO`/`VL`, converting indices per Cases 3.3.1–3.3.3 on the fly.
 //! Compared with CFS this removes the separate pack and unpack passes —
 //! which is exactly why its distribution time wins (Remark 1).
+//!
+//! The driver flow (encode → send → decode) lives in the shared
+//! [`pipeline`] module; this file only supplies the stage hooks.
 
 use crate::compress::{CompressKind, LocalCompressed};
 use crate::dense::Dense2D;
-use crate::encode::{decode_part, decode_part_wire, encode_part, encode_part_into};
+use crate::encode::{decode_part_wire, encode_part_into};
 use crate::error::SparsedistError;
 use crate::opcount::OpCounter;
 use crate::partition::Partition;
-use crate::schemes::{
-    alive_ranks_of, assign_owners, collect_parts, map_parts_counted, SchemeConfig, SchemeKind,
-    SchemeRun, SOURCE,
-};
+use crate::schemes::pipeline::{self, SchemeStages, SourcePolicy};
+use crate::schemes::{SchemeConfig, SchemeKind, SchemeRun};
+use crate::wire::WireFormat;
 use sparsedist_multicomputer::{Multicomputer, PackBuffer, Phase};
+
+pub(crate) struct Stages<'a> {
+    global: &'a Dense2D,
+    part: &'a dyn Partition,
+    kind: CompressKind,
+    wire: WireFormat,
+}
+
+impl SchemeStages for Stages<'_> {
+    type Mid = LocalCompressed;
+
+    fn scheme(&self) -> SchemeKind {
+        SchemeKind::Ed
+    }
+
+    fn source_policy(&self) -> SourcePolicy {
+        SourcePolicy::Fused(Phase::Encode)
+    }
+
+    fn recv_phase(&self) -> Phase {
+        Phase::Decode
+    }
+
+    fn batch_decode_inside_phase(&self) -> bool {
+        true
+    }
+
+    fn buf_capacity(&self, pid: usize) -> usize {
+        let (lrows, lcols) = self.part.local_shape(pid);
+        (lrows + lrows * lcols / 4 + 1) * 8
+    }
+
+    fn encode_part(
+        &self,
+        buf: &mut PackBuffer,
+        pid: usize,
+        ops: &mut OpCounter,
+    ) -> Result<(), SparsedistError> {
+        encode_part_into(buf, self.global, self.part, pid, self.kind, self.wire, ops)?;
+        Ok(())
+    }
+
+    fn decode_part(
+        &self,
+        payload: &PackBuffer,
+        pid: usize,
+        ops: &mut OpCounter,
+    ) -> Result<LocalCompressed, SparsedistError> {
+        Ok(decode_part_wire(
+            payload, self.part, pid, self.kind, self.wire, ops,
+        )?)
+    }
+
+    fn finish_part(&self, mid: &LocalCompressed, _ops: &mut OpCounter) -> LocalCompressed {
+        // Never reached (finish_phase is None): decode already compressed.
+        mid.clone()
+    }
+
+    fn local_from(&self, mid: LocalCompressed) -> LocalCompressed {
+        mid
+    }
+}
 
 pub(crate) fn run(
     machine: &Multicomputer,
@@ -27,310 +91,47 @@ pub(crate) fn run(
     kind: CompressKind,
     config: SchemeConfig,
 ) -> Result<SchemeRun, SparsedistError> {
-    let nparts = part.nparts();
-    let owners = assign_owners(part, &alive_ranks_of(machine));
-    let owners_ref = &owners;
-    let (results, ledgers) = machine.run_with_ledgers(
-        |env| -> Result<Vec<(usize, LocalCompressed)>, SparsedistError> {
-            let me = env.rank();
-            env.trace_scope("ED");
-            if env.is_rank_dead(me) {
-                return Ok(Vec::new());
-            }
-            if me == SOURCE {
-                let bufs: Vec<PackBuffer> = env.phase(Phase::Encode, |env| {
-                    let mut ops = OpCounter::new();
-                    let (bufs, counts) = {
-                        let arena = env.arena();
-                        map_parts_counted(nparts, config.parallel, &mut ops, &|pid, ops| {
-                            let (lrows, lcols) = part.local_shape(pid);
-                            let mut buf = arena.checkout((lrows + lrows * lcols / 4 + 1) * 8);
-                            encode_part_into(&mut buf, global, part, pid, kind, config.wire, ops)
-                                .map(|()| buf)
-                        })
-                    };
-                    if env.is_tracing() {
-                        let pairs: Vec<(usize, u64)> = counts.into_iter().enumerate().collect();
-                        env.trace_part_ops(&pairs);
-                    }
-                    env.charge_ops(ops.take());
-                    bufs.into_iter().collect::<Result<Vec<_>, _>>()
-                })?;
-                env.phase(Phase::Send, |env| -> Result<(), SparsedistError> {
-                    for (pid, buf) in bufs.into_iter().enumerate() {
-                        env.send(owners_ref[pid], buf)?;
-                    }
-                    Ok(())
-                })?;
-            }
-            let mine: Vec<usize> = (0..nparts).filter(|&pid| owners_ref[pid] == me).collect();
-            let mut out = Vec::with_capacity(mine.len());
-            if config.parallel && mine.len() >= 2 {
-                // Receive everything first, then decode the parts on scoped
-                // host threads; the merged op total is charged once, so the
-                // Decode phase total matches the sequential path exactly.
-                let mut msgs = Vec::with_capacity(mine.len());
-                for &pid in &mine {
-                    msgs.push((pid, env.recv(SOURCE)?));
-                }
-                let locals = env.phase(Phase::Decode, |env| {
-                    let mut ops = OpCounter::new();
-                    let (locals, counts) = {
-                        let msgs_ref = &msgs;
-                        map_parts_counted(msgs.len(), true, &mut ops, &|i, ops| {
-                            let (pid, msg) = &msgs_ref[i];
-                            decode_part_wire(&msg.payload, part, *pid, kind, config.wire, ops)
-                        })
-                    };
-                    if env.is_tracing() {
-                        let pairs: Vec<(usize, u64)> =
-                            msgs.iter().map(|(pid, _)| *pid).zip(counts).collect();
-                        env.trace_part_ops(&pairs);
-                    }
-                    env.charge_ops(ops.take());
-                    locals
-                });
-                for (local, (pid, msg)) in locals.into_iter().zip(msgs) {
-                    env.arena().recycle_bytes(msg.payload.into_bytes());
-                    out.push((pid, local?));
-                }
-            } else {
-                for pid in mine {
-                    let msg = env.recv(SOURCE)?;
-                    let local = env.phase(Phase::Decode, |env| {
-                        let mut ops = OpCounter::new();
-                        let local =
-                            decode_part_wire(&msg.payload, part, pid, kind, config.wire, &mut ops);
-                        let n = ops.take();
-                        env.trace_part_ops(&[(pid, n)]);
-                        env.charge_ops(n);
-                        local
-                    })?;
-                    env.arena().recycle_bytes(msg.payload.into_bytes());
-                    out.push((pid, local));
-                }
-            }
-            Ok(out)
-        },
-    );
-    let locals = collect_parts(results, nparts)?;
-    Ok(SchemeRun {
-        scheme: SchemeKind::Ed,
-        compress_kind: kind,
-        source: SOURCE,
-        ledgers,
-        locals,
-        owners,
-    })
+    let stages = Stages {
+        global,
+        part,
+        kind,
+        wire: config.wire,
+    };
+    pipeline::run_pipeline(machine, &stages, part, kind, config)
 }
 
-/// Overlapped variant of the ED scheme: the source sends each processor's
-/// special buffer **as soon as it is encoded** instead of encoding all `p`
-/// buffers first.
+/// Overlapped variant of the ED scheme, superseded by the pipeline driver's
+/// [`SchemeConfig::overlap`] flag — this shim forwards to
+/// `run_scheme_with(Ed, …, SchemeConfig { overlap: true, .. })`.
 ///
-/// The phase totals (and thus the paper's `T_Distribution` /
-/// `T_Compression`) are identical to [`run`] — the same work happens — but
-/// early receivers stop waiting sooner, so the *makespan*
-/// ([`crate::schemes::SchemeRun::t_makespan`]) shrinks. The
-/// `ablation_overlap` bench quantifies the gap.
+/// Semantics upgrade relative to the historical special case: sends are now
+/// posted nonblocking on the engine's NIC progress model, so the source's
+/// encode genuinely overlaps the transfers and the *makespan and
+/// `T_Distribution` shrink* (the old per-part blocking interleave only
+/// reduced mean completion time). Locals, `T_Compression` and bytes on the
+/// wire are unchanged.
 ///
 /// # Errors
 /// Same failure modes as [`crate::schemes::run_scheme`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use run_scheme_with(…, SchemeConfig { overlap: true, ..Default::default() })"
+)]
 pub fn run_overlapped(
     machine: &Multicomputer,
     global: &Dense2D,
     part: &dyn Partition,
     kind: CompressKind,
 ) -> Result<SchemeRun, SparsedistError> {
-    assert_eq!(
-        machine.nprocs(),
-        part.nparts(),
-        "partition/machine size mismatch"
-    );
-    assert_eq!(
-        part.global_shape(),
-        (global.rows(), global.cols()),
-        "partition/array shape mismatch"
-    );
-    if machine.fault_plan().is_some_and(|p| p.is_dead(SOURCE)) {
-        return Err(SparsedistError::SourceDead { rank: SOURCE });
-    }
-    let nparts = part.nparts();
-    let owners = assign_owners(part, &alive_ranks_of(machine));
-    let owners_ref = &owners;
-    let (results, ledgers) = machine.run_with_ledgers(
-        |env| -> Result<Vec<(usize, LocalCompressed)>, SparsedistError> {
-            let me = env.rank();
-            env.trace_scope("ed-overlap");
-            if env.is_rank_dead(me) {
-                return Ok(Vec::new());
-            }
-            if me == SOURCE {
-                for (pid, &owner) in owners_ref.iter().enumerate() {
-                    let buf = env.phase(Phase::Encode, |env| {
-                        let mut ops = OpCounter::new();
-                        let buf = encode_part(global, part, pid, kind, &mut ops);
-                        let n = ops.take();
-                        env.trace_part_ops(&[(pid, n)]);
-                        env.charge_ops(n);
-                        buf
-                    })?;
-                    env.phase(Phase::Send, |env| env.send(owner, buf))?;
-                }
-            }
-            let mine: Vec<usize> = (0..nparts).filter(|&pid| owners_ref[pid] == me).collect();
-            let mut out = Vec::with_capacity(mine.len());
-            for pid in mine {
-                let msg = env.recv(SOURCE)?;
-                let local = env.phase(Phase::Decode, |env| {
-                    let mut ops = OpCounter::new();
-                    let local = decode_part(&msg.payload, part, pid, kind, &mut ops);
-                    let n = ops.take();
-                    env.trace_part_ops(&[(pid, n)]);
-                    env.charge_ops(n);
-                    local
-                })?;
-                out.push((pid, local));
-            }
-            Ok(out)
+    crate::schemes::run_scheme_with(
+        SchemeKind::Ed,
+        machine,
+        global,
+        part,
+        kind,
+        SchemeConfig {
+            overlap: true,
+            ..SchemeConfig::default()
         },
-    );
-    let locals = collect_parts(results, nparts)?;
-    Ok(SchemeRun {
-        scheme: SchemeKind::Ed,
-        compress_kind: kind,
-        source: SOURCE,
-        ledgers,
-        locals,
-        owners,
-    })
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::dense::paper_array_a;
-    use crate::partition::RowBlock;
-    use sparsedist_multicomputer::MachineModel;
-
-    fn sp2(p: usize) -> Multicomputer {
-        Multicomputer::virtual_machine(p, MachineModel::ibm_sp2())
-    }
-
-    #[test]
-    fn row_crs_matches_table1_closed_form() {
-        // Table 1 ED: T_Distribution = p·T_Startup + (2·nnz + rows)·T_Data
-        // (no pack/unpack ops at all); T_Compression = encode + max decode.
-        let a = paper_array_a();
-        let part = RowBlock::new(10, 8, 4);
-        let m = MachineModel::ibm_sp2();
-        let run = super::run(
-            &sp2(4),
-            &a,
-            &part,
-            CompressKind::Crs,
-            SchemeConfig::default(),
-        )
-        .unwrap();
-
-        let src = &run.ledgers[0];
-        assert_eq!(src.get(Phase::Pack).as_micros(), 0.0);
-        for l in &run.ledgers {
-            assert_eq!(l.get(Phase::Unpack).as_micros(), 0.0);
-        }
-        // Wire: per part rows_i + 2·nnz_i elements → total 10 + 32 = 42.
-        let dist = run.t_distribution().as_micros();
-        assert!(
-            (dist - (4.0 * m.t_startup + 42.0 * m.t_data)).abs() < 1e-9,
-            "dist {dist}"
-        );
-
-        // Encode = 128 ops (cells + 3·nnz); max decode = P2's
-        // 1 + 3 rows + 2·6 = 16 ops (Case 3.3.1, no conversion).
-        let comp = run.t_compression().as_micros();
-        assert!((comp - (128.0 + 16.0) * m.t_op).abs() < 1e-9, "comp {comp}");
-    }
-
-    #[test]
-    fn ed_wire_volume_beats_cfs() {
-        // ED ships rows + 2·nnz; CFS ships (rows + p) + 2·nnz. The
-        // difference is the p extra pointer entries (Remark 1's margin on
-        // the wire, on top of the removed pack/unpack passes).
-        let a = paper_array_a();
-        let part = RowBlock::new(10, 8, 4);
-        let ed = super::run(
-            &sp2(4),
-            &a,
-            &part,
-            CompressKind::Crs,
-            SchemeConfig::default(),
-        )
-        .unwrap();
-        let cfs = crate::schemes::run_scheme(
-            crate::schemes::SchemeKind::Cfs,
-            &sp2(4),
-            &a,
-            &part,
-            CompressKind::Crs,
-        )
-        .unwrap();
-        let ed_send = ed.ledgers[0].get(Phase::Send);
-        let cfs_send = cfs.ledgers[0].get(Phase::Send);
-        assert!(ed_send < cfs_send);
-    }
-
-    #[test]
-    fn overlapped_variant_same_state_same_totals_shorter_makespan() {
-        let mut a = crate::dense::Dense2D::zeros(64, 64);
-        for i in 0..410 {
-            a.set((i * 7) % 64, (i * 13 + i / 64) % 64, 1.0 + i as f64);
-        }
-        let part = RowBlock::new(64, 64, 8);
-        let m = sp2(8);
-        let plain = super::run(&m, &a, &part, CompressKind::Crs, SchemeConfig::default()).unwrap();
-        let over = run_overlapped(&m, &a, &part, CompressKind::Crs).unwrap();
-        // Identical state and identical paper aggregates…
-        assert_eq!(plain.locals, over.locals);
-        assert_eq!(plain.t_distribution(), over.t_distribution());
-        assert_eq!(plain.t_compression(), over.t_compression());
-        // …and an identical makespan: the *last* destination's buffer is
-        // still encoded and sent last, so the slowest finisher is unmoved.
-        assert_eq!(plain.t_makespan(), over.t_makespan());
-        // What overlap buys is earlier completion for everyone else:
-        // strictly smaller mean completion time across ranks.
-        let mean = |r: &crate::schemes::SchemeRun| -> f64 {
-            r.ledgers
-                .iter()
-                .map(|l| (l.busy_total() + l.get(Phase::Wait)).as_micros())
-                .sum::<f64>()
-                / r.ledgers.len() as f64
-        };
-        assert!(
-            mean(&over) < mean(&plain) * 0.99,
-            "overlapped mean {} !< plain mean {}",
-            mean(&over),
-            mean(&plain)
-        );
-    }
-
-    #[test]
-    fn decoded_state_matches_direct_compression() {
-        let a = paper_array_a();
-        let part = RowBlock::new(10, 8, 4);
-        let run = super::run(
-            &sp2(4),
-            &a,
-            &part,
-            CompressKind::Crs,
-            SchemeConfig::default(),
-        )
-        .unwrap();
-        for pid in 0..4 {
-            let expect = crate::compress::Crs::from_dense(
-                &part.extract_dense(&a, pid),
-                &mut OpCounter::new(),
-            );
-            assert_eq!(run.locals[pid].as_crs(), &expect, "P{pid}");
-        }
-    }
+    )
 }

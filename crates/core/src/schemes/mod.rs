@@ -20,8 +20,10 @@
 mod cfs;
 mod ed;
 pub mod multi;
+mod pipeline;
 mod sfc;
 
+#[allow(deprecated)]
 pub use ed::run_overlapped as run_ed_overlapped;
 
 use crate::compress::{CompressKind, LocalCompressed};
@@ -47,6 +49,23 @@ pub struct SchemeConfig {
     /// Per-part op counts are merged in part order and charged once, so
     /// virtual-time phase totals are bit-identical to the sequential path.
     pub parallel: bool,
+    /// Overlap encode/compress with the transfers: the source sends each
+    /// part **as soon as it is encoded** via the engine's nonblocking
+    /// [`sparsedist_multicomputer::engine::Env::isend`], draining the NIC
+    /// once at the end. Locals, bytes on the wire and every non-`Send`
+    /// phase total are unchanged; the `Send` total (and with it the
+    /// makespan and `T_Distribution`) shrinks to the wire time the CPU
+    /// could not hide. Under a fault plan the posts degrade to blocking
+    /// sends and the run is bit-identical to the staged one.
+    pub overlap: bool,
+    /// When nonzero, split each part's wire buffer into framed chunks of at
+    /// most this many elements ([`crate::schemes`] pipeline framing), so
+    /// large parts travel as bounded messages instead of one. Costs one
+    /// prefix element (8 bytes) per logical message plus `T_Startup` per
+    /// additional chunk; retransmissions under a fault plan are then
+    /// charged per chunk. `0` (the default) sends whole buffers — the seed
+    /// byte streams.
+    pub chunk_elems: usize,
 }
 
 impl SchemeConfig {
@@ -56,6 +75,15 @@ impl SchemeConfig {
         SchemeConfig {
             wire: WireFormat::V2,
             parallel: true,
+            ..SchemeConfig::default()
+        }
+    }
+
+    /// The default configuration with communication/compute overlap on.
+    pub fn overlapped() -> Self {
+        SchemeConfig {
+            overlap: true,
+            ..SchemeConfig::default()
         }
     }
 }
@@ -563,11 +591,11 @@ mod tests {
         let configs = [
             SchemeConfig {
                 wire: WireFormat::V2,
-                parallel: false,
+                ..SchemeConfig::default()
             },
             SchemeConfig {
-                wire: WireFormat::V1,
                 parallel: true,
+                ..SchemeConfig::default()
             },
             SchemeConfig::compact_parallel(),
         ];
@@ -624,7 +652,7 @@ mod tests {
                 CompressKind::Crs,
                 SchemeConfig {
                     wire: WireFormat::V2,
-                    parallel: false,
+                    ..SchemeConfig::default()
                 },
             )
             .unwrap();

@@ -20,6 +20,7 @@ use crate::dense::Dense2D;
 use crate::error::SparsedistError;
 use crate::opcount::OpCounter;
 use crate::partition::Partition;
+use crate::schemes::pipeline::{recv_part, send_part};
 use crate::schemes::{map_parts_counted, SchemeConfig};
 use crate::wire::{self, IndexRunReader, IndexRunWriter, WireFormat};
 use sparsedist_multicomputer::pack::{PatchError, UnpackError};
@@ -186,49 +187,90 @@ pub fn run_ed_multi_source_with(
                 )?));
             }
             if me < nsources {
-                let bufs: Vec<PackBuffer> = env.phase(Phase::Encode, |env| {
-                    let mut ops = OpCounter::new();
-                    let (bufs, counts) = {
-                        let arena = env.arena();
-                        map_parts_counted(p, config.parallel, &mut ops, &|pid, ops| {
-                            let (lrows, lcols) = part.local_shape(pid);
-                            let mut buf =
-                                arena.checkout((lrows / nsources + 1) * (lcols / 2 + 1) * 8);
-                            encode_stripe(
+                if config.overlap {
+                    // Overlapped: post each stripe buffer nonblocking as
+                    // soon as it is encoded, then drain the NIC once. The
+                    // per-destination encode charges sum to the batch
+                    // path's Encode total.
+                    // Dead destinations' stripes are still encoded (and
+                    // charged), exactly like the staged path — only the
+                    // send is skipped.
+                    for dst in 0..p {
+                        let buf = env.phase(Phase::Encode, |env| {
+                            let mut ops = OpCounter::new();
+                            let (lrows, lcols) = part.local_shape(dst);
+                            let mut buf = env
+                                .arena()
+                                .checkout((lrows / nsources + 1) * (lcols / 2 + 1) * 8);
+                            let r = encode_stripe(
                                 &mut buf,
                                 global,
                                 part,
-                                pid,
+                                dst,
                                 me,
                                 nsources,
                                 config.wire,
-                                ops,
+                                &mut ops,
                             )
-                            .map(|()| buf)
-                        })
-                    };
-                    if env.is_tracing() {
-                        let pairs: Vec<(usize, u64)> = counts.into_iter().enumerate().collect();
-                        env.trace_part_ops(&pairs);
-                    }
-                    env.charge_ops(ops.take());
-                    bufs.into_iter().collect::<Result<Vec<_>, _>>()
-                })?;
-                env.phase(Phase::Send, |env| -> Result<(), SparsedistError> {
-                    for (dst, buf) in bufs.into_iter().enumerate() {
+                            .map(|()| buf);
+                            let n = ops.take();
+                            env.trace_part_ops(&[(dst, n)]);
+                            env.charge_ops(n);
+                            r
+                        })?;
                         if env.is_rank_dead(dst) {
                             continue;
                         }
-                        env.send(dst, buf)?;
+                        env.phase(Phase::Send, |env| {
+                            send_part(env, dst, buf, config.chunk_elems, true)
+                        })?;
                     }
-                    Ok(())
-                })?;
+                    env.phase(Phase::Send, |env| env.wait_all());
+                } else {
+                    let bufs: Vec<PackBuffer> = env.phase(Phase::Encode, |env| {
+                        let mut ops = OpCounter::new();
+                        let (bufs, counts) = {
+                            let arena = env.arena();
+                            map_parts_counted(p, config.parallel, &mut ops, &|pid, ops| {
+                                let (lrows, lcols) = part.local_shape(pid);
+                                let mut buf =
+                                    arena.checkout((lrows / nsources + 1) * (lcols / 2 + 1) * 8);
+                                encode_stripe(
+                                    &mut buf,
+                                    global,
+                                    part,
+                                    pid,
+                                    me,
+                                    nsources,
+                                    config.wire,
+                                    ops,
+                                )
+                                .map(|()| buf)
+                            })
+                        };
+                        if env.is_tracing() {
+                            let pairs: Vec<(usize, u64)> = counts.into_iter().enumerate().collect();
+                            env.trace_part_ops(&pairs);
+                        }
+                        env.charge_ops(ops.take());
+                        bufs.into_iter().collect::<Result<Vec<_>, _>>()
+                    })?;
+                    env.phase(Phase::Send, |env| -> Result<(), SparsedistError> {
+                        for (dst, buf) in bufs.into_iter().enumerate() {
+                            if env.is_rank_dead(dst) {
+                                continue;
+                            }
+                            send_part(env, dst, buf, config.chunk_elems, false)?;
+                        }
+                        Ok(())
+                    })?;
+                }
             }
 
             // Receive one buffer per source and decode, steering each
             // segment to the source that owns its stripe.
             let msgs: Vec<PackBuffer> = (0..nsources)
-                .map(|src| env.recv(src).map(|m| m.payload))
+                .map(|src| recv_part(env, src, config.chunk_elems))
                 .collect::<Result<Vec<_>, _>>()?;
             let local = env.phase(
                 Phase::Decode,
@@ -399,6 +441,65 @@ mod tests {
             .unwrap();
             assert_eq!(base.locals, v2.locals, "k={k}");
             assert_eq!(base.t_distribution(), v2.t_distribution(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn overlap_preserves_state_and_shrinks_distribution() {
+        let mut a = Dense2D::zeros(64, 64);
+        for i in 0..410 {
+            a.set((i * 7) % 64, (i * 13 + i / 64) % 64, 1.0 + i as f64);
+        }
+        let part = RowBlock::new(64, 64, 8);
+        for k in [1, 2, 4] {
+            let plain = run_ed_multi_source(&machine(8), &a, &part, k).unwrap();
+            let over =
+                run_ed_multi_source_with(&machine(8), &a, &part, k, SchemeConfig::overlapped())
+                    .unwrap();
+            assert_eq!(plain.locals, over.locals, "k={k}");
+            // Per-destination encode charges sum to the batch total (up to
+            // f64 summation order), and the NIC hides transfers behind the
+            // next stripe's encode.
+            for (rank, (p, o)) in plain.ledgers.iter().zip(&over.ledgers).enumerate() {
+                let (pe, oe) = (
+                    p.get(Phase::Encode).as_micros(),
+                    o.get(Phase::Encode).as_micros(),
+                );
+                assert!((pe - oe).abs() < 1e-6, "k={k} rank {rank}: {pe} vs {oe}");
+                assert_eq!(p.get(Phase::Decode), o.get(Phase::Decode), "k={k} {rank}");
+            }
+            assert!(
+                over.t_distribution() < plain.t_distribution(),
+                "k={k}: {} !< {}",
+                over.t_distribution(),
+                plain.t_distribution()
+            );
+        }
+    }
+
+    #[test]
+    fn chunking_preserves_state_and_adds_prefix_elements() {
+        let a = paper_array_a();
+        let part = RowBlock::new(10, 8, 4);
+        for k in [1, 2, 4] {
+            let plain = run_ed_multi_source(&machine(4), &a, &part, k).unwrap();
+            let chunked = run_ed_multi_source_with(
+                &machine(4),
+                &a,
+                &part,
+                k,
+                SchemeConfig {
+                    chunk_elems: 3,
+                    ..SchemeConfig::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(plain.locals, chunked.locals, "k={k}");
+            let elems =
+                |r: &MultiSourceRun| -> u64 { r.ledgers.iter().map(|l| l.wire().elements).sum() };
+            // One u64 chunk-count prefix per logical message: each of the
+            // k sources sends one stripe buffer to each of the 4 ranks.
+            assert_eq!(elems(&chunked), elems(&plain) + 4 * k as u64, "k={k}");
         }
     }
 

@@ -9,81 +9,125 @@
 //! elements, charged at one operation per element on each side (this is the
 //! reason the paper's measured SFC distribution time in Tables 4–5 is so
 //! much higher than in Table 3).
+//!
+//! The driver flow (pack → send → unpack → compress) lives in the shared
+//! [`pipeline`] module; this file only supplies the stage hooks.
 
 use crate::compress::{compress_dense, CompressKind, LocalCompressed};
 use crate::dense::Dense2D;
 use crate::error::SparsedistError;
 use crate::opcount::OpCounter;
 use crate::partition::Partition;
-use crate::schemes::{
-    alive_ranks_of, assign_owners, collect_parts, map_parts_counted, SchemeConfig, SchemeKind,
-    SchemeRun, SOURCE,
-};
+use crate::schemes::pipeline::{self, SchemeStages, SourcePolicy};
+use crate::schemes::{SchemeConfig, SchemeKind, SchemeRun};
 use crate::wire::{self, WireFormat};
 use sparsedist_multicomputer::pack::UnpackError;
 use sparsedist_multicomputer::{Multicomputer, PackBuffer, Phase};
 
-/// Pack one part's dense local array for the wire into `buf`.
-///
-/// SFC payloads are pure `f64` runs, which v2 cannot shrink — under
-/// [`WireFormat::V2`] only the self-describing header is added (with no
-/// flag bits in play), so the stream is still recognisably v2 to a
-/// receiver that negotiates per message.
-fn pack_dense_part(
-    buf: &mut PackBuffer,
-    global: &Dense2D,
-    part: &dyn Partition,
-    pid: usize,
-    format: WireFormat,
-    ops: &mut OpCounter,
-) {
-    let (lrows, lcols) = part.local_shape(pid);
-    if format == WireFormat::V2 {
-        wire::write_header(buf, wire::FLAG_DELTA | wire::FLAG_IDX32);
-    }
-    if part.row_contiguous() {
-        // A contiguous row band: DMA straight from the global array.
-        for lr in 0..lrows {
-            let (gr, _) = part.to_global(pid, lr, 0);
-            buf.push_f64_slice(global.row(gr));
-        }
-    } else {
-        for lr in 0..lrows {
-            for lc in 0..lcols {
-                let (gr, gc) = part.to_global(pid, lr, lc);
-                buf.push_f64(global.get(gr, gc));
-                ops.tick();
-            }
-        }
-    }
+pub(crate) struct Stages<'a> {
+    global: &'a Dense2D,
+    part: &'a dyn Partition,
+    kind: CompressKind,
+    wire: WireFormat,
 }
 
-/// Unpack a received dense local array.
-fn unpack_dense(
-    buf: &PackBuffer,
-    part: &dyn Partition,
-    pid: usize,
-    format: WireFormat,
-    ops: &mut OpCounter,
-) -> Result<Dense2D, SparsedistError> {
-    let (lrows, lcols) = part.local_shape(pid);
-    let mut cursor = buf.cursor();
-    if format == WireFormat::V2 {
-        let _flags = wire::read_header(&mut cursor)?;
+impl SchemeStages for Stages<'_> {
+    type Mid = Dense2D;
+
+    fn scheme(&self) -> SchemeKind {
+        SchemeKind::Sfc
     }
-    let data = cursor.try_read_f64_vec(lrows * lcols)?;
-    if !cursor.is_exhausted() {
-        // Longer than the local shape: a framing mismatch, not just noise.
-        return Err(UnpackError {
-            at: buf.byte_len() - cursor.remaining(),
-            remaining: cursor.remaining(),
+
+    fn source_policy(&self) -> SourcePolicy {
+        SourcePolicy::Fused(Phase::Pack)
+    }
+
+    fn recv_phase(&self) -> Phase {
+        Phase::Unpack
+    }
+
+    fn batch_decode_inside_phase(&self) -> bool {
+        true
+    }
+
+    fn buf_capacity(&self, pid: usize) -> usize {
+        let (lrows, lcols) = self.part.local_shape(pid);
+        lrows * lcols * 8 + wire::HEADER_LEN
+    }
+
+    /// Pack one part's dense local array for the wire.
+    ///
+    /// SFC payloads are pure `f64` runs, which v2 cannot shrink — under
+    /// [`WireFormat::V2`] only the self-describing header is added (with no
+    /// flag bits in play), so the stream is still recognisably v2 to a
+    /// receiver that negotiates per message.
+    fn encode_part(
+        &self,
+        buf: &mut PackBuffer,
+        pid: usize,
+        ops: &mut OpCounter,
+    ) -> Result<(), SparsedistError> {
+        let (lrows, lcols) = self.part.local_shape(pid);
+        if self.wire == WireFormat::V2 {
+            wire::write_header(buf, wire::FLAG_DELTA | wire::FLAG_IDX32);
         }
-        .into());
+        if self.part.row_contiguous() {
+            // A contiguous row band: DMA straight from the global array.
+            for lr in 0..lrows {
+                let (gr, _) = self.part.to_global(pid, lr, 0);
+                buf.push_f64_slice(self.global.row(gr));
+            }
+        } else {
+            for lr in 0..lrows {
+                for lc in 0..lcols {
+                    let (gr, gc) = self.part.to_global(pid, lr, lc);
+                    buf.push_f64(self.global.get(gr, gc));
+                    ops.tick();
+                }
+            }
+        }
+        Ok(())
     }
-    if !part.row_contiguous() {
-        ops.add((lrows * lcols) as u64);
+
+    /// Unpack a received dense local array.
+    fn decode_part(
+        &self,
+        payload: &PackBuffer,
+        pid: usize,
+        ops: &mut OpCounter,
+    ) -> Result<Dense2D, SparsedistError> {
+        let (lrows, lcols) = self.part.local_shape(pid);
+        let mut cursor = payload.cursor();
+        if self.wire == WireFormat::V2 {
+            let _flags = wire::read_header(&mut cursor)?;
+        }
+        let data = cursor.try_read_f64_vec(lrows * lcols)?;
+        if !cursor.is_exhausted() {
+            // Longer than the local shape: a framing mismatch, not just noise.
+            return Err(UnpackError {
+                at: payload.byte_len() - cursor.remaining(),
+                remaining: cursor.remaining(),
+            }
+            .into());
+        }
+        if !self.part.row_contiguous() {
+            ops.add((lrows * lcols) as u64);
+        }
+        Ok(Dense2D::from_vec(lrows, lcols, data))
     }
-    Ok(Dense2D::from_vec(lrows, lcols, data))
+
+    fn finish_phase(&self) -> Option<Phase> {
+        Some(Phase::Compress)
+    }
+
+    fn finish_part(&self, mid: &Dense2D, ops: &mut OpCounter) -> LocalCompressed {
+        compress_dense(self.kind, mid, ops)
+    }
+
+    fn local_from(&self, mid: Dense2D) -> LocalCompressed {
+        // Never reached (finish_phase is Some), but semantically correct.
+        compress_dense(self.kind, &mid, &mut OpCounter::new())
+    }
 }
 
 pub(crate) fn run(
@@ -93,228 +137,11 @@ pub(crate) fn run(
     kind: CompressKind,
     config: SchemeConfig,
 ) -> Result<SchemeRun, SparsedistError> {
-    let nparts = part.nparts();
-    let owners = assign_owners(part, &alive_ranks_of(machine));
-    let owners_ref = &owners;
-    let (results, ledgers) = machine.run_with_ledgers(
-        |env| -> Result<Vec<(usize, LocalCompressed)>, SparsedistError> {
-            let me = env.rank();
-            env.trace_scope("SFC");
-            if env.is_rank_dead(me) {
-                return Ok(Vec::new());
-            }
-            if me == SOURCE {
-                let bufs: Vec<PackBuffer> = env.phase(Phase::Pack, |env| {
-                    let mut ops = OpCounter::new();
-                    let (bufs, counts) = {
-                        let arena = env.arena();
-                        map_parts_counted(nparts, config.parallel, &mut ops, &|pid, ops| {
-                            let (lrows, lcols) = part.local_shape(pid);
-                            let mut buf = arena.checkout(lrows * lcols * 8 + wire::HEADER_LEN);
-                            pack_dense_part(&mut buf, global, part, pid, config.wire, ops);
-                            buf
-                        })
-                    };
-                    if env.is_tracing() {
-                        let pairs: Vec<(usize, u64)> = counts.into_iter().enumerate().collect();
-                        env.trace_part_ops(&pairs);
-                    }
-                    env.charge_ops(ops.take());
-                    bufs
-                });
-                env.phase(Phase::Send, |env| -> Result<(), SparsedistError> {
-                    for (pid, buf) in bufs.into_iter().enumerate() {
-                        env.send(owners_ref[pid], buf)?;
-                    }
-                    Ok(())
-                })?;
-            }
-            let mine: Vec<usize> = (0..nparts).filter(|&pid| owners_ref[pid] == me).collect();
-            let mut out = Vec::with_capacity(mine.len());
-            if config.parallel && mine.len() >= 2 {
-                // Receive everything first, then unpack and compress the
-                // parts on scoped host threads; each phase's merged op
-                // total equals the sequential path's sum of per-part
-                // charges, so the virtual clock cannot tell them apart.
-                let mut msgs = Vec::with_capacity(mine.len());
-                for &pid in &mine {
-                    msgs.push((pid, env.recv(SOURCE)?));
-                }
-                let denses = env.phase(Phase::Unpack, |env| {
-                    let mut ops = OpCounter::new();
-                    let (d, counts) = {
-                        let msgs_ref = &msgs;
-                        map_parts_counted(msgs.len(), true, &mut ops, &|i, ops| {
-                            let (pid, msg) = &msgs_ref[i];
-                            unpack_dense(&msg.payload, part, *pid, config.wire, ops)
-                        })
-                    };
-                    if env.is_tracing() {
-                        let pairs: Vec<(usize, u64)> =
-                            msgs.iter().map(|(pid, _)| *pid).zip(counts).collect();
-                        env.trace_part_ops(&pairs);
-                    }
-                    env.charge_ops(ops.take());
-                    d
-                });
-                let mut locals = Vec::with_capacity(denses.len());
-                for (dense, (pid, msg)) in denses.into_iter().zip(msgs) {
-                    env.arena().recycle_bytes(msg.payload.into_bytes());
-                    locals.push((pid, dense?));
-                }
-                let compressed = env.phase(Phase::Compress, |env| {
-                    let mut ops = OpCounter::new();
-                    let (c, counts) = {
-                        let locals_ref = &locals;
-                        map_parts_counted(locals.len(), true, &mut ops, &|i, ops| {
-                            compress_dense(kind, &locals_ref[i].1, ops)
-                        })
-                    };
-                    if env.is_tracing() {
-                        let pairs: Vec<(usize, u64)> =
-                            locals.iter().map(|(pid, _)| *pid).zip(counts).collect();
-                        env.trace_part_ops(&pairs);
-                    }
-                    env.charge_ops(ops.take());
-                    c
-                });
-                out.extend(locals.iter().map(|(pid, _)| *pid).zip(compressed));
-            } else {
-                for pid in mine {
-                    let msg = env.recv(SOURCE)?;
-                    let local_dense = env.phase(Phase::Unpack, |env| {
-                        let mut ops = OpCounter::new();
-                        let d = unpack_dense(&msg.payload, part, pid, config.wire, &mut ops);
-                        let n = ops.take();
-                        env.trace_part_ops(&[(pid, n)]);
-                        env.charge_ops(n);
-                        d
-                    })?;
-                    env.arena().recycle_bytes(msg.payload.into_bytes());
-                    let c = env.phase(Phase::Compress, |env| {
-                        let mut ops = OpCounter::new();
-                        let c = compress_dense(kind, &local_dense, &mut ops);
-                        let n = ops.take();
-                        env.trace_part_ops(&[(pid, n)]);
-                        env.charge_ops(n);
-                        c
-                    });
-                    out.push((pid, c));
-                }
-            }
-            Ok(out)
-        },
-    );
-    let locals = collect_parts(results, nparts)?;
-    Ok(SchemeRun {
-        scheme: SchemeKind::Sfc,
-        compress_kind: kind,
-        source: SOURCE,
-        ledgers,
-        locals,
-        owners,
-    })
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::dense::paper_array_a;
-    use crate::partition::{ColBlock, RowBlock};
-    use sparsedist_multicomputer::MachineModel;
-
-    fn sp2(p: usize) -> Multicomputer {
-        Multicomputer::virtual_machine(p, MachineModel::ibm_sp2())
-    }
-
-    #[test]
-    fn row_partition_matches_table1_closed_form() {
-        // Table 1 SFC: T_Distribution = p·T_Startup + n²·T_Data,
-        // T_Compression = ⌈n/p⌉·n·(1+3s')·T_Operation.
-        let a = paper_array_a();
-        let part = RowBlock::new(10, 8, 4);
-        let m = MachineModel::ibm_sp2();
-        let run = super::run(
-            &sp2(4),
-            &a,
-            &part,
-            CompressKind::Crs,
-            SchemeConfig::default(),
-        )
-        .unwrap();
-
-        let dist = run.t_distribution().as_micros();
-        let expect_dist = 4.0 * m.t_startup + 80.0 * m.t_data;
-        assert!(
-            (dist - expect_dist).abs() < 1e-9,
-            "dist {dist} vs {expect_dist}"
-        );
-
-        // The slowest *compressor* is the part maximising cells + 3·nnz:
-        // P0/P1/P2 have 24 cells; P2 has 6 nonzeros → 24 + 18 = 42 ops.
-        let comp = run.t_compression().as_micros();
-        let expect_comp = 42.0 * m.t_op;
-        assert!(
-            (comp - expect_comp).abs() < 1e-9,
-            "comp {comp} vs {expect_comp}"
-        );
-    }
-
-    #[test]
-    fn row_partition_charges_no_pack_ops() {
-        let a = paper_array_a();
-        let part = RowBlock::new(10, 8, 4);
-        let run = super::run(
-            &sp2(4),
-            &a,
-            &part,
-            CompressKind::Crs,
-            SchemeConfig::default(),
-        )
-        .unwrap();
-        assert_eq!(run.ledgers[0].get(Phase::Pack).as_micros(), 0.0);
-        for l in &run.ledgers {
-            assert_eq!(l.get(Phase::Unpack).as_micros(), 0.0);
-        }
-    }
-
-    #[test]
-    fn column_partition_charges_strided_pack() {
-        let a = paper_array_a();
-        let part = ColBlock::new(10, 8, 4);
-        let m = MachineModel::ibm_sp2();
-        let run = super::run(
-            &sp2(4),
-            &a,
-            &part,
-            CompressKind::Crs,
-            SchemeConfig::default(),
-        )
-        .unwrap();
-        // Source packs all 80 cells at 1 op each.
-        let pack = run.ledgers[0].get(Phase::Pack).as_micros();
-        assert!((pack - 80.0 * m.t_op).abs() < 1e-9);
-        // Each receiver unpacks its 10×2 = 20 cells.
-        for l in &run.ledgers {
-            assert!((l.get(Phase::Unpack).as_micros() - 20.0 * m.t_op).abs() < 1e-9);
-        }
-    }
-
-    #[test]
-    fn wire_volume_is_the_full_dense_array() {
-        // SFC always ships n·m dense elements regardless of sparsity.
-        let a = paper_array_a();
-        let part = RowBlock::new(10, 8, 4);
-        let m = MachineModel::ibm_sp2();
-        let run = super::run(
-            &sp2(4),
-            &a,
-            &part,
-            CompressKind::Crs,
-            SchemeConfig::default(),
-        )
-        .unwrap();
-        let send = run.ledgers[0].get(Phase::Send).as_micros();
-        assert!((send - (4.0 * m.t_startup + 80.0 * m.t_data)).abs() < 1e-9);
-    }
+    let stages = Stages {
+        global,
+        part,
+        kind,
+        wire: config.wire,
+    };
+    pipeline::run_pipeline(machine, &stages, part, kind, config)
 }

@@ -41,6 +41,26 @@ fn d_rules_fire_at_exact_lines() {
 }
 
 #[test]
+fn d_rules_police_the_progress_engine() {
+    // The NIC progress model lives in the clock-bearing multicomputer
+    // crate: wall clocks, entropy, and unordered maps are all illegal
+    // there, whether in a field type or a function body.
+    assert_eq!(
+        check(
+            "crates/multicomputer/src/progress.rs",
+            "bad_progress_rules.rs"
+        ),
+        vec![
+            (4, "D003"),
+            (5, "D001"),
+            (8, "D001"),
+            (9, "D003"),
+            (13, "D002"),
+        ]
+    );
+}
+
+#[test]
 fn p_rules_fire_at_exact_lines() {
     assert_eq!(
         check("crates/core/src/fixture.rs", "bad_p_rules.rs"),
@@ -54,6 +74,37 @@ fn p_rules_exempt_the_engine() {
     // one module allowed to own channels.
     let hits = check("crates/multicomputer/src/engine.rs", "bad_p_rules.rs");
     assert!(hits.iter().all(|&(_, rule)| rule != "P001"), "{hits:?}");
+}
+
+#[test]
+fn checked_in_config_keeps_channels_out_of_the_pipeline() {
+    // The `[rules.P001]` table in lint.toml exempts ONLY engine.rs: the
+    // staged pipeline driver and the NIC progress model must compose
+    // Env::isend/irecv/wait_all, never raw channel endpoints.
+    let cfg = sparsedist_lint::load_config(&workspace_root()).expect("lint.toml parses");
+    for path in [
+        "crates/core/src/schemes/pipeline.rs",
+        "crates/multicomputer/src/progress.rs",
+    ] {
+        let (violations, _) = sparsedist_lint::check_source(path, &fixture("bad_p_rules.rs"), &cfg);
+        let got: Vec<(usize, &str)> = violations.iter().map(|v| (v.line, v.rule)).collect();
+        assert_eq!(
+            got,
+            vec![(4, "P001"), (7, "P001"), (12, "P002"), (16, "P002")],
+            "at pretend path {path}"
+        );
+    }
+    let (violations, _) = sparsedist_lint::check_source(
+        "crates/multicomputer/src/engine.rs",
+        &fixture("bad_p_rules.rs"),
+        &cfg,
+    );
+    assert!(
+        violations
+            .iter()
+            .all(|v| v.rule != "P001" && v.rule != "P002"),
+        "engine.rs keeps its channel/charging exemption under lint.toml"
+    );
 }
 
 #[test]

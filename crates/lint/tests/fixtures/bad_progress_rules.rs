@@ -1,0 +1,15 @@
+//! Known-bad progress-engine fixture: a NIC transmit-window tracker
+//! that breaks the determinism rules the real `progress.rs` honours.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+struct SloppyNic {
+    posted: Instant,
+    windows: HashMap<u64, f64>,
+}
+
+fn arrival_jitter() -> f64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}

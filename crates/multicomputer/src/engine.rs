@@ -48,6 +48,7 @@
 use crate::fault::{FaultKind, FaultPlan, RetryPolicy};
 use crate::model::MachineModel;
 use crate::pack::{PackArena, PackBuffer};
+use crate::progress::NicProgress;
 use crate::time::VirtualTime;
 use crate::timing::{Phase, PhaseLedger, WireStats};
 use crate::topology::Topology;
@@ -144,6 +145,21 @@ pub struct Message {
     /// Sender-side clock at the moment transmission completed (virtual
     /// mode only; `ZERO` in wall-clock mode).
     pub arrival: VirtualTime,
+}
+
+/// A posted nonblocking receive (see [`Env::irecv`]). Redeem it with
+/// [`Env::wait_recv`]; handles for the same source complete in FIFO order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "an irecv completes nothing until passed to wait_recv"]
+pub struct RecvHandle {
+    src: usize,
+}
+
+impl RecvHandle {
+    /// The source rank this receive was posted against.
+    pub fn src(&self) -> usize {
+        self.src
+    }
 }
 
 /// What actually travels on a channel: a framed payload with the metadata
@@ -433,6 +449,8 @@ pub struct Env {
     plan: Option<FaultPlan>,
     retry: RetryPolicy,
     arena: Arc<PackArena>,
+    /// Outgoing-link progress state for nonblocking sends ([`Env::isend`]).
+    nic: NicProgress,
     /// Next per-link sequence number, indexed by destination.
     send_seq: Vec<u64>,
     senders: Vec<Sender<Frame>>,
@@ -491,6 +509,7 @@ impl Env {
             plan,
             retry,
             arena,
+            nic: NicProgress::new(),
             send_seq: vec![0; nprocs],
             senders,
             receivers,
@@ -864,6 +883,137 @@ impl Env {
         self.senders[dst]
             .send(frame)
             .map_err(|_| CommError::Disconnected { peer: dst })
+    }
+
+    /// Nonblocking send: post `payload` to this rank's NIC and return
+    /// immediately **without advancing the local clock**.
+    ///
+    /// The NIC serialises the rank's outgoing transmissions (see
+    /// [`crate::progress::NicProgress`]): the frame occupies the wire from
+    /// `max(now, nic_free)` for the usual `T_Startup + hops·T_Hop +
+    /// elems·T_Data`, and its arrival is stamped accordingly — so compute
+    /// performed between `isend` calls genuinely overlaps with the
+    /// transfers. Call [`Env::wait_all`] to rejoin the NIC; the completion
+    /// jump is booked into the phase current *at the wait*.
+    ///
+    /// Two deliberate degradations keep semantics honest:
+    ///
+    /// * with a [`FaultPlan`] installed the call falls back to the blocking
+    ///   [`Env::send`] — the ARQ layer needs the sender to drive timeouts
+    ///   and retransmissions synchronously;
+    /// * in wall-clock mode there is no virtual NIC to model, so the call
+    ///   is also a plain `send`.
+    ///
+    /// # Errors
+    /// Same failure modes as [`Env::send`].
+    ///
+    /// # Panics
+    /// Panics if `dst` is out of range (API misuse, like slice indexing).
+    pub fn isend(&mut self, dst: usize, payload: PackBuffer) -> Result<(), CommError> {
+        assert!(dst < self.nprocs, "isend to rank {dst} of {}", self.nprocs);
+        if self.plan.is_some() || !self.is_virtual() {
+            return self.send(dst, payload);
+        }
+        if self.is_rank_dead(dst) {
+            return Err(CommError::PeerDead { rank: dst });
+        }
+        if self.is_rank_dead(self.rank) {
+            return Err(CommError::PeerDead { rank: self.rank });
+        }
+        let hops = self.topology.hops(self.rank, dst, self.nprocs);
+        let seq = self.send_seq[dst];
+        self.send_seq[dst] += 1;
+        let elems = payload.elem_count();
+        let nbytes = payload.byte_len();
+        let window = match &self.clock {
+            Clock::Virtual { now, model } => {
+                let cost = model.message_cost_hops(elems, hops.max(1));
+                self.nic.begin_tx(*now, cost)
+            }
+            // Unreachable: the !is_virtual() guard above already bailed.
+            Clock::Wall { .. } => return self.send(dst, payload),
+        };
+        self.record_tx(elems, nbytes);
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.metrics_mut().observe("tx.elems", elems);
+            tr.emit(
+                Phase::Send,
+                format!("->{dst} (nb)"),
+                window.start,
+                window.arrival,
+                WireStats {
+                    messages: 1,
+                    elements: elems,
+                    bytes: nbytes as u64,
+                },
+            );
+        }
+        let frame = Frame {
+            seq,
+            src: self.rank,
+            payload,
+            arrival: window.arrival,
+            crc: 0,
+            injected: None,
+            failed: false,
+        };
+        self.push_frame(dst, frame)
+    }
+
+    /// Complete every transmission posted with [`Env::isend`]: the local
+    /// clock jumps forward to the NIC-idle instant (if it is ahead) and the
+    /// jump is booked into the **current phase** — wrap the call in
+    /// `env.phase(Phase::Send, |env| env.wait_all())` to attribute the
+    /// drain to the send phase. A no-op in wall-clock mode, with no posted
+    /// sends, or when the CPU already ran past the NIC.
+    pub fn wait_all(&mut self) {
+        let target = self.nic.drain();
+        let pre = match &self.clock {
+            Clock::Virtual { now, .. } => *now,
+            Clock::Wall { .. } => return,
+        };
+        let jump = target.saturating_sub(pre);
+        if jump.as_micros() <= 0.0 {
+            return;
+        }
+        if let Clock::Virtual { now, .. } = &mut self.clock {
+            *now = target;
+        }
+        let phase = self.current_phase;
+        self.ledger.record(phase, jump);
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.emit(
+                phase,
+                "wait_all".to_string(),
+                pre,
+                target,
+                WireStats::default(),
+            );
+        }
+    }
+
+    /// Post a nonblocking receive for the next message from `src`.
+    ///
+    /// Posting costs nothing — the matching [`Env::wait_recv`] performs the
+    /// actual (deterministic, arrival-stamped) receive. Handles from the
+    /// same `src` complete in FIFO order, mirroring the channel.
+    pub fn irecv(&mut self, src: usize) -> RecvHandle {
+        assert!(
+            src < self.nprocs,
+            "irecv from rank {src} of {}",
+            self.nprocs
+        );
+        RecvHandle { src }
+    }
+
+    /// Complete a receive posted with [`Env::irecv`]. Identical semantics
+    /// to calling [`Env::recv`] at this point: the clock syncs to the
+    /// message's arrival and any forward jump books as [`Phase::Wait`].
+    ///
+    /// # Errors
+    /// Same failure modes as [`Env::recv`].
+    pub fn wait_recv(&mut self, handle: RecvHandle) -> Result<Message, CommError> {
+        self.recv(handle.src)
     }
 
     /// Blocking receive of the next message from `src`.
@@ -1589,5 +1739,180 @@ mod tests {
             }
         });
         assert_eq!(results[1], (0..30).sum::<u64>());
+    }
+
+    // ---- nonblocking sends (isend / wait_all / irecv) ----
+
+    #[test]
+    fn isend_overlaps_compute_with_transfer() {
+        // Sender posts a 5-elem message (cost 20 µs), computes 12 µs while
+        // the NIC drains, then waits: makespan is max(20, 12) = 20 µs, not
+        // the blocking 20 + 12 = 32 µs.
+        let m = Multicomputer::virtual_machine(2, model());
+        let (_, ledgers) = m.run_with_ledgers(|env| {
+            if env.rank() == 0 {
+                let mut b = PackBuffer::new();
+                b.push_u64_slice(&[1, 2, 3, 4, 5]);
+                env.phase(Phase::Send, |env| env.isend(1, b)).unwrap();
+                env.phase(Phase::Encode, |env| env.charge_ops(12));
+                env.phase(Phase::Send, |env| env.wait_all());
+            } else {
+                env.recv(0).unwrap();
+            }
+        });
+        // isend itself is free; wait_all books the 20 − 12 = 8 µs drain.
+        assert_eq!(ledgers[0].get(Phase::Encode).as_micros(), 12.0);
+        assert_eq!(ledgers[0].get(Phase::Send).as_micros(), 8.0);
+        assert_eq!(ledgers[0].busy_total().as_micros(), 20.0);
+        // The receiver still observes arrival at t = 20 µs.
+        assert_eq!(ledgers[1].get(Phase::Wait).as_micros(), 20.0);
+    }
+
+    #[test]
+    fn isend_serialises_on_the_nic_and_preserves_wire_stats() {
+        // Two back-to-back posts share the outgoing link: arrivals at 20
+        // and 20 + 12 = 32 µs, exactly the blocking totals — only the
+        // sender-side attribution moves.
+        let m = Multicomputer::virtual_machine(3, model());
+        let (_, ledgers) = m.run_with_ledgers(|env| {
+            if env.rank() == 0 {
+                let mut a = PackBuffer::new();
+                a.push_u64_slice(&[1, 2, 3, 4, 5]); // 10 + 5·2 = 20 µs
+                let mut b = PackBuffer::new();
+                b.push_u64(9); // 10 + 1·2 = 12 µs
+                env.phase(Phase::Send, |env| {
+                    env.isend(1, a)?;
+                    env.isend(2, b)?;
+                    env.wait_all();
+                    Ok::<(), CommError>(())
+                })
+                .unwrap();
+            } else {
+                env.recv(0).unwrap();
+            }
+        });
+        assert_eq!(ledgers[0].get(Phase::Send).as_micros(), 32.0);
+        assert_eq!(
+            ledgers[0].wire(),
+            WireStats {
+                messages: 2,
+                elements: 6,
+                bytes: 48
+            }
+        );
+        assert_eq!(ledgers[1].get(Phase::Wait).as_micros(), 20.0);
+        assert_eq!(ledgers[2].get(Phase::Wait).as_micros(), 32.0);
+    }
+
+    #[test]
+    fn wait_all_is_a_noop_when_cpu_ran_past_the_nic() {
+        let m = Multicomputer::virtual_machine(2, model());
+        let (_, ledgers) = m.run_with_ledgers(|env| {
+            if env.rank() == 0 {
+                env.phase(Phase::Send, |env| env.isend(1, PackBuffer::new()))
+                    .unwrap();
+                env.charge_ops(1_000); // sails far past the 10 µs arrival
+                env.phase(Phase::Send, |env| env.wait_all());
+                env.wait_all(); // second drain: nothing left
+            } else {
+                env.recv(0).unwrap();
+            }
+        });
+        assert_eq!(ledgers[0].get(Phase::Send).as_micros(), 0.0);
+        assert_eq!(ledgers[0].busy_total().as_micros(), 1_000.0);
+    }
+
+    #[test]
+    fn isend_with_fault_plan_matches_blocking_send() {
+        // With a plan installed isend degrades to the blocking ARQ path:
+        // ledgers must be bit-identical to the plain-send run.
+        let run = |nonblocking: bool| {
+            let plan = FaultPlan::new(7).with_drop(0.5);
+            let m = Multicomputer::virtual_machine(2, model())
+                .with_faults(plan)
+                .with_retry_policy(RetryPolicy {
+                    max_retries: 16,
+                    timeout_us: 50.0,
+                    backoff: 2.0,
+                });
+            let (_, ledgers) = m.run_with_ledgers(move |env| {
+                if env.rank() == 0 {
+                    for i in 0..8u64 {
+                        let mut b = PackBuffer::new();
+                        b.push_u64(i);
+                        if nonblocking {
+                            env.phase(Phase::Send, |env| env.isend(1, b)).unwrap();
+                        } else {
+                            env.phase(Phase::Send, |env| env.send(1, b)).unwrap();
+                        }
+                    }
+                    env.wait_all();
+                } else {
+                    for _ in 0..8 {
+                        env.recv(0).unwrap();
+                    }
+                }
+            });
+            ledgers
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn isend_works_in_wall_clock_mode() {
+        let m = Multicomputer::wall_clock(2);
+        let results = m.run(|env| {
+            if env.rank() == 0 {
+                let mut b = PackBuffer::new();
+                b.push_u64(41);
+                env.isend(1, b).unwrap();
+                env.wait_all();
+                0
+            } else {
+                let h = env.irecv(0);
+                env.wait_recv(h).unwrap().payload.cursor().read_u64()
+            }
+        });
+        assert_eq!(results, vec![0, 41]);
+    }
+
+    #[test]
+    fn irecv_completes_in_fifo_order() {
+        let m = Multicomputer::virtual_machine(2, model());
+        let results = m.run(|env| {
+            if env.rank() == 0 {
+                for i in 0..3u64 {
+                    let mut b = PackBuffer::new();
+                    b.push_u64(i);
+                    env.isend(1, b).unwrap();
+                }
+                env.wait_all();
+                Vec::new()
+            } else {
+                let handles: Vec<_> = (0..3).map(|_| env.irecv(0)).collect();
+                handles
+                    .into_iter()
+                    .map(|h| env.wait_recv(h).unwrap().payload.cursor().read_u64())
+                    .collect()
+            }
+        });
+        assert_eq!(results[1], vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn isend_to_dead_rank_errors() {
+        let plan = FaultPlan::new(0).with_dead_rank(1);
+        let m = Multicomputer::virtual_machine(2, model()).with_faults(plan);
+        let errs = m.run(|env| {
+            if env.rank() == 0 {
+                matches!(
+                    env.isend(1, PackBuffer::new()),
+                    Err(CommError::PeerDead { rank: 1 })
+                )
+            } else {
+                true
+            }
+        });
+        assert!(errs[0]);
     }
 }

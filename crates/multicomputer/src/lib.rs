@@ -73,15 +73,17 @@ pub mod engine;
 pub mod fault;
 pub mod model;
 pub mod pack;
+pub mod progress;
 pub mod time;
 pub mod timing;
 pub mod topology;
 pub mod trace;
 
-pub use engine::{CommError, Env, Message, Multicomputer, TimingMode};
+pub use engine::{CommError, Env, Message, Multicomputer, RecvHandle, TimingMode};
 pub use fault::{FaultKind, FaultPlan, FaultSpecError, LinkProbs, RetryPolicy};
 pub use model::MachineModel;
 pub use pack::{ArenaStats, PackArena, PackBuffer, PatchError, UnpackCursor};
+pub use progress::{NicProgress, TxWindow};
 pub use time::VirtualTime;
 pub use timing::{render_fault_summary, FaultStats, Phase, PhaseLedger, WireStats};
 pub use topology::Topology;

@@ -147,6 +147,17 @@ impl PackBuffer {
         self.bytes.extend_from_slice(bytes);
     }
 
+    /// Append a byte range that *does* represent logical elements, crediting
+    /// exactly `elems` of them. This is the chunked-streaming primitive: a
+    /// large packed buffer is split into byte ranges (which need not align
+    /// with element boundaries) and each chunk frame re-credits its share of
+    /// the original element count, so the per-chunk wire charges sum to the
+    /// unchunked `T_Data` total.
+    pub fn push_chunk(&mut self, bytes: &[u8], elems: u64) {
+        self.bytes.extend_from_slice(bytes);
+        self.elems += elems;
+    }
+
     /// Append a placeholder index element and return its byte offset for a
     /// later [`PackBuffer::patch_u64`]. The ED encoder uses this to write
     /// each `R_i` count before the row's `(C_ij, V_ij)` pairs are known
@@ -811,6 +822,27 @@ mod tests {
         assert_eq!(c.try_read_raw(3).unwrap(), &[b'S', b'2', 3]);
         assert_eq!(c.read_u64(), 5);
         assert!(c.try_read_raw(1).is_err());
+    }
+
+    #[test]
+    fn chunks_credit_their_element_share() {
+        // Split a 3-element buffer into two byte-level chunks; the credited
+        // element counts sum back to the original regardless of where the
+        // byte split landed.
+        let mut whole = PackBuffer::new();
+        whole.push_u64_slice(&[7, 8, 9]);
+        let bytes = whole.as_bytes();
+        let mut first = PackBuffer::new();
+        first.push_chunk(&bytes[..10], 2);
+        let mut second = PackBuffer::new();
+        second.push_chunk(&bytes[10..], 1);
+        assert_eq!(first.elem_count() + second.elem_count(), whole.elem_count());
+        assert_eq!(first.byte_len() + second.byte_len(), whole.byte_len());
+        let mut joined = PackBuffer::new();
+        joined.push_chunk(first.as_bytes(), first.elem_count());
+        joined.push_chunk(second.as_bytes(), second.elem_count());
+        assert_eq!(joined.as_bytes(), whole.as_bytes());
+        assert_eq!(joined.elem_count(), 3);
     }
 
     #[test]

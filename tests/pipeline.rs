@@ -1,0 +1,174 @@
+//! Integration properties of the unified pipeline driver.
+//!
+//! Every scheme now runs through the same staged driver
+//! (`sparsedist_core::schemes::pipeline`), so one property covers them
+//! all: whatever knobs `SchemeConfig` turns — wire format, host-side
+//! parallel encode, overlapped nonblocking sends, chunked streaming —
+//! and whatever fault plan the machine carries, the distributed state
+//! (`SchemeRun::locals`) and the reassembled array are identical to the
+//! default staged run's. The knobs trade scheduling and byte layout,
+//! never data.
+//!
+//! The second half pins the headline of the tentpole at the paper's
+//! scale: at n = 1000, s = 0.1, overlapping encode with the transfers
+//! strictly beats the staged schedule on makespan for ED and CFS while
+//! moving exactly the same bytes.
+
+use proptest::prelude::*;
+use sparsedist::gen::SparseRandom;
+use sparsedist::multicomputer::{FaultPlan, RetryPolicy};
+use sparsedist::prelude::*;
+
+/// A small random sparse array (≤ 16×16, density ~1/5).
+fn arb_dense() -> impl Strategy<Value = Dense2D> {
+    (2usize..16, 2usize..16)
+        .prop_flat_map(|(r, c)| {
+            (
+                Just(r),
+                Just(c),
+                proptest::collection::vec(
+                    prop_oneof![4 => Just(0.0f64), 1 => 1.0f64..100.0],
+                    r * c,
+                ),
+            )
+        })
+        .prop_map(|(r, c, data)| Dense2D::from_vec(r, c, data))
+}
+
+fn arb_partition(rows: usize, cols: usize) -> impl Strategy<Value = Box<dyn Partition>> {
+    (2usize..5, 0usize..4).prop_map(move |(p, which)| -> Box<dyn Partition> {
+        match which {
+            0 => Box::new(RowBlock::new(rows, cols, p)),
+            1 => Box::new(ColBlock::new(rows, cols, p)),
+            2 => Box::new(RowCyclic::new(rows, cols, p)),
+            _ => Box::new(Mesh2D::new(rows, cols, p, 2)),
+        }
+    })
+}
+
+fn arb_scheme() -> impl Strategy<Value = SchemeKind> {
+    prop_oneof![
+        Just(SchemeKind::Sfc),
+        Just(SchemeKind::Cfs),
+        Just(SchemeKind::Ed)
+    ]
+}
+
+fn arb_config() -> impl Strategy<Value = SchemeConfig> {
+    let arb_bool = || prop_oneof![Just(false), Just(true)];
+    (
+        prop_oneof![Just(WireFormat::V1), Just(WireFormat::V2)],
+        arb_bool(),
+        arb_bool(),
+        prop_oneof![Just(0usize), 1usize..64],
+    )
+        .prop_map(|(wire, parallel, overlap, chunk_elems)| SchemeConfig {
+            wire,
+            parallel,
+            overlap,
+            chunk_elems,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The unified driver's state is config-invariant: any combination of
+    /// wire format, parallel encode, overlap and chunking — fault-free or
+    /// under a recoverable drop plan — delivers exactly the locals (and
+    /// therefore the reassembled array) of the default staged run.
+    #[test]
+    fn every_config_delivers_the_default_runs_state(
+        (a, part) in arb_dense().prop_flat_map(|a| {
+            let (r, c) = (a.rows(), a.cols());
+            (Just(a), arb_partition(r, c))
+        }),
+        scheme in arb_scheme(),
+        config in arb_config(),
+        faults in prop_oneof![
+            2 => Just(None),
+            3 => (0u64..1_000_000u64, 0.01f64..0.15).prop_map(Some),
+        ],
+    ) {
+        let p = part.nparts();
+        let baseline = Multicomputer::virtual_machine(p, MachineModel::ibm_sp2());
+        let want = run_scheme(scheme, &baseline, &a, part.as_ref(), CompressKind::Crs).unwrap();
+
+        let mut machine = Multicomputer::virtual_machine(p, MachineModel::ibm_sp2());
+        if let Some((seed, drop)) = faults {
+            machine = machine
+                .with_faults(FaultPlan::new(seed).with_drop(drop))
+                .with_retry_policy(RetryPolicy::with_retries(16));
+        }
+        let got =
+            run_scheme_with(scheme, &machine, &a, part.as_ref(), CompressKind::Crs, config)
+                .unwrap();
+
+        prop_assert_eq!(&got.locals, &want.locals, "{} under {:?}", scheme, config);
+        prop_assert_eq!(got.reassemble(part.as_ref()), a.clone());
+
+        // Fault-free scheduling guarantees: overlap never slows the run
+        // down, and chunking only ever adds messages.
+        if faults.is_none() {
+            if config.overlap && config.chunk_elems == 0 {
+                prop_assert!(
+                    got.t_makespan() <= want.t_makespan(),
+                    "{} overlap worsened makespan: {} > {}",
+                    scheme, got.t_makespan(), want.t_makespan()
+                );
+            }
+            if config.wire == WireFormat::V1 && config.chunk_elems > 0 {
+                let (m0, m1) = (
+                    want.ledgers.iter().map(|l| l.wire().messages).sum::<u64>(),
+                    got.ledgers.iter().map(|l| l.wire().messages).sum::<u64>(),
+                );
+                prop_assert!(m1 >= m0, "chunking lost messages: {m1} < {m0}");
+            }
+        }
+    }
+}
+
+/// At the paper's experimental scale the overlap win is strict and the
+/// wire volume untouched — the assertion backing the `pipeline_overlap`
+/// bench numbers in `BENCH_wire.json`.
+#[test]
+fn overlap_beats_staged_at_paper_scale() {
+    let n = 1000;
+    let p = 16;
+    let a = SparseRandom::new(n, n)
+        .sparse_ratio(0.1)
+        .seed(0xC0FFEE ^ n as u64)
+        .generate();
+    assert!(a.nnz() > 90_000, "workload density collapsed: {}", a.nnz());
+    let part = RowBlock::new(n, n, p);
+    let machine = Multicomputer::virtual_machine(p, MachineModel::ibm_sp2());
+
+    for scheme in [SchemeKind::Ed, SchemeKind::Cfs] {
+        let staged = run_scheme(scheme, &machine, &a, &part, CompressKind::Crs).unwrap();
+        let over = run_scheme_with(
+            scheme,
+            &machine,
+            &a,
+            &part,
+            CompressKind::Crs,
+            SchemeConfig::overlapped(),
+        )
+        .unwrap();
+        assert_eq!(
+            over.locals, staged.locals,
+            "{scheme}: overlap changed state"
+        );
+        let bytes = |r: &SchemeRun| r.ledgers.iter().map(|l| l.wire().bytes).sum::<u64>();
+        assert_eq!(
+            bytes(&over),
+            bytes(&staged),
+            "{scheme}: overlap changed bytes"
+        );
+        assert!(
+            over.t_makespan() < staged.t_makespan(),
+            "{scheme}: overlap did not beat staged ({} >= {})",
+            over.t_makespan(),
+            staged.t_makespan()
+        );
+    }
+}

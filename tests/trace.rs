@@ -122,7 +122,11 @@ proptest! {
                 &a,
                 &part,
                 CompressKind::Crs,
-                SchemeConfig { wire, parallel },
+                SchemeConfig {
+                    wire,
+                    parallel,
+                    ..SchemeConfig::default()
+                },
             )
             .unwrap();
             traces.push(sink.take());
