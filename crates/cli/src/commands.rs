@@ -36,7 +36,8 @@ USAGE:
                          [--chunk-elems N] [--trace OUT.json]
 
   --faults takes comma-separated key=value tokens, e.g.
-  'seed=7,drop=0.2' or 'dead=2' or 'corrupt@0-1=0.5,phase=send';
+  'seed=7,drop=0.2' or 'dead=2' or 'corrupt@0-1=0.5,phase=send' or
+  'die=1:500' (rank 1 dies 500 µs into the run; parts re-homed mid-stream);
   --retries bounds retransmissions per message (default 6);
   --overlap sends each part as soon as it is encoded (nonblocking isend);
   --chunk-elems streams each part as framed chunks of at most N elements;
@@ -45,6 +46,16 @@ USAGE:
                          [--model …] [--wire …] [--parallel yes] [--overlap yes]
                          [--chunk-elems N] [--width N]
                          [--out TRACE.json] [--metrics METRICS.json]
+  sparsedist chaos [--seeds N] [--procs P] [--rows N] [--ratio S]
+                         [--scheme sfc|cfs|ed|all] [--retries N]
+                         [--wire v1|v2] [--parallel yes] [--overlap yes]
+                         [--chunk-elems N] [--watchdog-ms MS]
+
+  chaos sweeps N deterministically seeded fault plans (drops, corruption,
+  delays, mid-run rank deaths) over the chosen scheme(s), verifying that
+  every run either reconstructs the golden array exactly or fails with a
+  typed error — never a panic or a hang (a virtual-clock watchdog trips
+  protocol stalls). The same seeds always generate the same plans.
   sparsedist advise FILE.mtx [--procs P] [--model sp2|compute|network]
   sparsedist spmv FILE.mtx [--procs P] [--scheme ed]
   sparsedist checkpoint FILE.mtx DIR [--procs P] [--scheme ed] [--partition …]
@@ -380,6 +391,111 @@ pub fn trace_cmd(p: &Parsed) -> Result<String, CmdError> {
         write_text(metrics_path, &metrics_json(&traces))?;
         let _ = writeln!(out, "  metrics written to {metrics_path}");
     }
+    Ok(out)
+}
+
+/// `sparsedist chaos …` — sweep seeded fault plans over the schemes and
+/// verify the golden-reconstruction-or-typed-error contract.
+pub fn chaos_cmd(p: &Parsed) -> Result<String, CmdError> {
+    let seeds = p.usize_or("seeds", 100).map_err(|e| e.to_string())?;
+    let procs = p.usize_or("procs", 8).map_err(|e| e.to_string())?;
+    let rows = p.usize_or("rows", 48).map_err(|e| e.to_string())?;
+    let ratio = p.f64_or("ratio", 0.1).map_err(|e| e.to_string())?;
+    let retries = p.usize_or("retries", 10).map_err(|e| e.to_string())?;
+    let watchdog_ms = p
+        .usize_or("watchdog-ms", 10_000)
+        .map_err(|e| e.to_string())?;
+    let schemes: Vec<SchemeKind> = match p.flag_or("scheme", "all") {
+        "all" => SchemeKind::ALL.to_vec(),
+        s => vec![parse_scheme(s)?],
+    };
+    let config = SchemeConfig {
+        wire: parse_wire(p.flag_or("wire", "v1"))?,
+        parallel: p.flag_or("parallel", "no") == "yes",
+        overlap: p.flag_or("overlap", "no") == "yes",
+        chunk_elems: p.usize_or("chunk-elems", 0).map_err(|e| e.to_string())?,
+    };
+    if procs < 2 {
+        return Err("chaos needs --procs >= 2".into());
+    }
+    let a = SparseRandom::new(rows, rows)
+        .sparse_ratio(ratio)
+        .seed(0xC0FFEE)
+        .generate();
+    let part = RowBlock::new(rows, rows, procs);
+
+    let (mut clean, mut recovered, mut typed) = (0u64, 0u64, 0u64);
+    let mut by_kind: std::collections::BTreeMap<&'static str, u64> = Default::default();
+    for seed in 0..seeds as u64 {
+        let plan = FaultPlan::chaos(seed, procs);
+        for &scheme in &schemes {
+            let machine = Multicomputer::virtual_machine(procs, MachineModel::ibm_sp2())
+                .with_faults(plan.clone())
+                .with_retry_policy(RetryPolicy::with_retries(
+                    u32::try_from(retries).unwrap_or(u32::MAX),
+                ))
+                .with_watchdog(std::time::Duration::from_millis(watchdog_ms as u64));
+            match run_scheme_with(scheme, &machine, &a, &part, CompressKind::Crs, config) {
+                Ok(run) => {
+                    if run.reassemble(&part) != a {
+                        return Err(format!(
+                            "seed {seed} {}: run succeeded but reconstruction differs — data loss",
+                            scheme.label()
+                        ));
+                    }
+                    let rework: u64 = run.ledgers.iter().map(|l| l.faults().retries).sum();
+                    let rehomed = run.owners.iter().enumerate().any(|(pid, &o)| pid != o);
+                    if rework > 0 || rehomed {
+                        recovered += 1;
+                    } else {
+                        clean += 1;
+                    }
+                }
+                Err(e) => {
+                    let msg = e.to_string();
+                    if msg.contains("watchdog") {
+                        return Err(format!(
+                            "seed {seed} {}: protocol stall — {msg}",
+                            scheme.label()
+                        ));
+                    }
+                    typed += 1;
+                    let kind = match &e {
+                        SparsedistError::Comm(_) => "communication",
+                        SparsedistError::SourceDead { .. } => "source dead",
+                        SparsedistError::NoSurvivors { .. } => "no survivors",
+                        SparsedistError::Compress(_) | SparsedistError::Unpack(_) => {
+                            "stream validation"
+                        }
+                        _ => "other",
+                    };
+                    *by_kind.entry(kind).or_default() += 1;
+                }
+            }
+        }
+    }
+
+    let total = clean + recovered + typed;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "chaos: {seeds} seeded plans x {} scheme(s) over {procs} processors ({rows}x{rows}, s={ratio}):",
+        schemes.len()
+    );
+    let _ = writeln!(out, "  {total} runs, 0 panics, 0 stalls");
+    let _ = writeln!(out, "  clean:             {clean}");
+    let _ = writeln!(
+        out,
+        "  recovered:         {recovered} (retries or re-homed parts)"
+    );
+    let _ = writeln!(out, "  typed errors:      {typed}");
+    for (kind, n) in &by_kind {
+        let _ = writeln!(out, "    {kind}: {n}");
+    }
+    let _ = writeln!(
+        out,
+        "  every surviving run reconstructed the golden array exactly"
+    );
     Ok(out)
 }
 
@@ -799,6 +915,24 @@ mod tests {
         )))
         .unwrap_err();
         assert!(err.contains("probability"), "{err}");
+    }
+
+    #[test]
+    fn chaos_small_sweep_reports_every_outcome() {
+        let out = crate::run(&argv(
+            "chaos --seeds 25 --procs 4 --rows 24 --ratio 0.15 --scheme ed",
+        ))
+        .unwrap();
+        assert!(out.contains("25 seeded plans"), "{out}");
+        assert!(out.contains("0 panics, 0 stalls"), "{out}");
+        assert!(out.contains("clean:"), "{out}");
+        assert!(out.contains("golden array exactly"), "{out}");
+    }
+
+    #[test]
+    fn chaos_rejects_single_rank() {
+        let err = crate::run(&argv("chaos --seeds 1 --procs 1")).unwrap_err();
+        assert!(err.contains("--procs"), "{err}");
     }
 
     #[test]

@@ -18,6 +18,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "info" => commands::info(&parsed).map_err(|e| e.to_string()),
         "distribute" => commands::distribute(&parsed).map_err(|e| e.to_string()),
         "trace" => commands::trace_cmd(&parsed).map_err(|e| e.to_string()),
+        "chaos" => commands::chaos_cmd(&parsed).map_err(|e| e.to_string()),
         "advise" => commands::advise(&parsed).map_err(|e| e.to_string()),
         "spmv" => commands::spmv(&parsed).map_err(|e| e.to_string()),
         "checkpoint" => commands::checkpoint_cmd(&parsed).map_err(|e| e.to_string()),

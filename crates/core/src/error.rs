@@ -31,6 +31,12 @@ pub enum SparsedistError {
         /// The dead source rank.
         rank: usize,
     },
+    /// Mid-stream recovery failed: a destination died and no surviving
+    /// rank remains to re-home its parts onto.
+    NoSurvivors {
+        /// The part that could not be re-homed.
+        part: usize,
+    },
     /// A host filesystem operation failed (trace export, ledger dumps).
     /// Carries the path and the rendered `io::Error` — `std::io::Error` is
     /// neither `Clone` nor `PartialEq`, which this enum requires.
@@ -62,6 +68,9 @@ impl fmt::Display for SparsedistError {
             SparsedistError::SourceDead { rank } => {
                 write!(f, "source rank {rank} is dead; nothing can be distributed")
             }
+            SparsedistError::NoSurvivors { part } => {
+                write!(f, "no surviving rank left to re-home part {part} onto")
+            }
             SparsedistError::Io { path, message } => {
                 write!(f, "{path}: {message}")
             }
@@ -77,6 +86,7 @@ impl std::error::Error for SparsedistError {
             SparsedistError::Unpack(e) => Some(e),
             SparsedistError::Patch(e) => Some(e),
             SparsedistError::SourceDead { .. } => None,
+            SparsedistError::NoSurvivors { .. } => None,
             SparsedistError::Io { .. } => None,
         }
     }

@@ -10,13 +10,13 @@
 //! **partition**, **distribution**, **compression** — and the paper studies
 //! the three possible orderings of the last two:
 //!
-//! * [`schemes::sfc`] — **Send Followed Compress** (the baseline, as used by
+//! * `schemes::sfc` — **Send Followed Compress** (the baseline, as used by
 //!   the Block Row Scatter scheme of Zapata et al.): each processor receives
 //!   its *dense* local array and compresses it locally;
-//! * [`schemes::cfs`] — **Compress Followed Send**: the source compresses
+//! * `schemes::cfs` — **Compress Followed Send**: the source compresses
 //!   every local array first (CRS/CCS with *global* indices) and ships the
 //!   packed `RO`/`CO`/`VL` triples; receivers unpack and convert indices;
-//! * [`schemes::ed`] — **Encoding–Decoding**: the source *encodes* each
+//! * `schemes::ed` — **Encoding–Decoding**: the source *encodes* each
 //!   local array into a single interleaved buffer
 //!   `B = R_0, (C_0j, V_0j)…, R_1, …`; receivers *decode* `B` straight into
 //!   `RO`/`CO`/`VL`, converting indices on the fly.
@@ -33,7 +33,7 @@
 //! * [`convert`] — the index-conversion Cases 3.2.1–3.3.3;
 //! * [`cost`] — the closed-form analytic model of Tables 1–2 and the
 //!   Remark 1–5 predicates;
-//! * [`redistribute`] — repartitioning an already-distributed sparse array
+//! * [`redistribute`](mod@redistribute) — repartitioning an already-distributed sparse array
 //!   (all-to-all or hub-routed), after Bandera & Zapata's redistribution
 //!   line of work;
 //! * [`gather`] — the inverse of distribution: collecting the distributed

@@ -99,39 +99,3 @@ pub(crate) fn run(
     };
     pipeline::run_pipeline(machine, &stages, part, kind, config)
 }
-
-/// Overlapped variant of the ED scheme, superseded by the pipeline driver's
-/// [`SchemeConfig::overlap`] flag — this shim forwards to
-/// `run_scheme_with(Ed, …, SchemeConfig { overlap: true, .. })`.
-///
-/// Semantics upgrade relative to the historical special case: sends are now
-/// posted nonblocking on the engine's NIC progress model, so the source's
-/// encode genuinely overlaps the transfers and the *makespan and
-/// `T_Distribution` shrink* (the old per-part blocking interleave only
-/// reduced mean completion time). Locals, `T_Compression` and bytes on the
-/// wire are unchanged.
-///
-/// # Errors
-/// Same failure modes as [`crate::schemes::run_scheme`].
-#[deprecated(
-    since = "0.1.0",
-    note = "use run_scheme_with(…, SchemeConfig { overlap: true, ..Default::default() })"
-)]
-pub fn run_overlapped(
-    machine: &Multicomputer,
-    global: &Dense2D,
-    part: &dyn Partition,
-    kind: CompressKind,
-) -> Result<SchemeRun, SparsedistError> {
-    crate::schemes::run_scheme_with(
-        SchemeKind::Ed,
-        machine,
-        global,
-        part,
-        kind,
-        SchemeConfig {
-            overlap: true,
-            ..SchemeConfig::default()
-        },
-    )
-}

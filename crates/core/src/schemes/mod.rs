@@ -23,9 +23,6 @@ pub mod multi;
 mod pipeline;
 mod sfc;
 
-#[allow(deprecated)]
-pub use ed::run_overlapped as run_ed_overlapped;
-
 use crate::compress::{CompressKind, LocalCompressed};
 use crate::dense::Dense2D;
 use crate::error::SparsedistError;
@@ -55,8 +52,12 @@ pub struct SchemeConfig {
     /// once at the end. Locals, bytes on the wire and every non-`Send`
     /// phase total are unchanged; the `Send` total (and with it the
     /// makespan and `T_Distribution`) shrinks to the wire time the CPU
-    /// could not hide. Under a fault plan the posts degrade to blocking
-    /// sends and the run is bit-identical to the staged one.
+    /// could not hide. Fault plans compose: the NIC runs the ARQ schedule
+    /// asynchronously, so posts stay nonblocking and recovery time
+    /// (retransmissions plus timeouts) that the CPU could not hide is
+    /// charged to `Phase::Retry` when the final `wait_all` drains the
+    /// link — delivering the same payloads as the blocking path under the
+    /// identical deterministic fate sequence.
     pub overlap: bool,
     /// When nonzero, split each part's wire buffer into framed chunks of at
     /// most this many elements ([`crate::schemes`] pipeline framing), so

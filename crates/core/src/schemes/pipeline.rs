@@ -39,6 +39,7 @@ use crate::schemes::{
     SchemeRun, SOURCE,
 };
 use sparsedist_multicomputer::{CommError, Env, Multicomputer, PackBuffer, Phase};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// How a scheme's source-side encode is charged to the virtual clock.
 pub(crate) enum SourcePolicy {
@@ -425,6 +426,14 @@ fn receive_parts<S: SchemeStages>(
 /// The one SPMD driver behind `run_scheme`: owner assignment, source
 /// encode+send (staged or overlapped), receiver decode (+finish), and
 /// result collection.
+///
+/// Fault plans that schedule *timed* rank deaths
+/// ([`sparsedist_multicomputer::FaultPlan::with_death_at`]) switch the run
+/// onto the routed recovery protocol ([`run_pipeline_routed`]): parts are
+/// announced with headers, dead destinations are re-homed mid-stream, and
+/// the final owner map reflects where each part actually landed. Plans
+/// without timed deaths (including drop/corrupt/delay-only plans) take the
+/// plain path below, byte-identical to the seed behaviour.
 pub(crate) fn run_pipeline<S: SchemeStages>(
     machine: &Multicomputer,
     stages: &S,
@@ -432,6 +441,9 @@ pub(crate) fn run_pipeline<S: SchemeStages>(
     kind: CompressKind,
     config: SchemeConfig,
 ) -> Result<SchemeRun, SparsedistError> {
+    if machine.fault_plan().is_some_and(|p| p.has_timed_deaths()) {
+        return run_pipeline_routed(machine, stages, part, kind, config);
+    }
     let nparts = part.nparts();
     let owners = assign_owners(part, &alive_ranks_of(machine));
     let owners_ref = &owners;
@@ -454,6 +466,401 @@ pub(crate) fn run_pipeline<S: SchemeStages>(
         },
     );
     let locals = collect_parts(results, nparts)?;
+    Ok(SchemeRun {
+        scheme: stages.scheme(),
+        compress_kind: kind,
+        source: SOURCE,
+        ledgers,
+        locals,
+        owners,
+    })
+}
+
+// ----------------------------------------------------------------------
+// Routed recovery: the driver used when the fault plan schedules timed
+// rank deaths.
+// ----------------------------------------------------------------------
+
+/// Routed-stream header tag announcing "no more parts for you".
+const ROUTED_DONE: u64 = u64::MAX;
+
+/// Source-side state for the routed recovery protocol.
+///
+/// Each part travels as a 1-element *header* message carrying its part id,
+/// followed by the part body via [`send_part`]. When a send trips a timed
+/// death ([`CommError::PeerDead`]) the router marks the destination dead,
+/// re-homes every part it owned — both the already-delivered ones (lost
+/// with the rank) and the queued remainder — onto the least-loaded
+/// surviving compute rank, and replays them under [`Phase::Retry`]
+/// (re-encode plus blocking resend: recovery work, not pipeline work).
+/// After the queue drains, each surviving rank gets a [`ROUTED_DONE`]
+/// header in ascending rank order; a death detected on the DONE send
+/// triggers the same re-home-and-replay before the walk continues. Ranks
+/// that already received DONE have left their receive loop, so they are
+/// never re-home targets. The source itself is not a fallback owner: when
+/// the last compute rank dies the distribution has failed, reported as
+/// [`SparsedistError::NoSurvivors`].
+struct Router<'a, S: SchemeStages> {
+    stages: &'a S,
+    config: SchemeConfig,
+    /// Per-part cell counts, for least-loaded re-home placement.
+    cells: &'a [usize],
+    /// The evolving owner map (starts as [`assign_owners`]' placement).
+    owners: Vec<usize>,
+    /// Parts still to deliver, with a replay flag.
+    work: VecDeque<(usize, bool)>,
+    /// Parts fully delivered to each rank (replayed if the rank dies).
+    delivered: Vec<Vec<usize>>,
+    /// Ranks observed dead mid-run.
+    dead: BTreeSet<usize>,
+    /// Ranks that already received their DONE header.
+    finished: BTreeSet<usize>,
+}
+
+impl<'a, S: SchemeStages> Router<'a, S> {
+    fn new(
+        stages: &'a S,
+        config: SchemeConfig,
+        cells: &'a [usize],
+        owners: Vec<usize>,
+        nprocs: usize,
+    ) -> Self {
+        let work = (0..owners.len()).map(|pid| (pid, false)).collect();
+        let delivered = vec![Vec::new(); nprocs];
+        Router {
+            stages,
+            config,
+            cells,
+            owners,
+            work,
+            delivered,
+            dead: BTreeSet::new(),
+            finished: BTreeSet::new(),
+        }
+    }
+
+    /// Drive the whole source side: deliver every part, drain the NIC when
+    /// overlapping, then walk the DONE headers in `done_order`.
+    ///
+    /// `done_order` lists the ranks sorted by scheduled death time,
+    /// earliest first (the fault plan is shared deterministic state).
+    /// Flushing the doomed ranks first means a death discovered on a DONE
+    /// send still finds unfinished survivors to adopt the lost parts; a
+    /// naive ascending walk can strand a late death's parts after every
+    /// other rank has already left its receive loop.
+    fn run(&mut self, env: &mut Env, done_order: &[usize]) -> Result<(), SparsedistError> {
+        self.drain(env)?;
+        if self.config.overlap {
+            env.phase(Phase::Send, |env| env.wait_all());
+        }
+        for &r in done_order {
+            if env.is_rank_dead(r) || self.dead.contains(&r) {
+                continue;
+            }
+            let mut header = env.arena().checkout(8);
+            header.push_u64(ROUTED_DONE);
+            match env.phase(Phase::Send, |env| env.send(r, header)) {
+                Ok(()) => {
+                    self.finished.insert(r);
+                }
+                Err(CommError::PeerDead { rank }) => {
+                    self.on_death(env, rank, None)?;
+                    self.drain(env)?;
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(())
+    }
+
+    /// Pop and deliver queued parts until the queue is empty.
+    fn drain(&mut self, env: &mut Env) -> Result<(), SparsedistError> {
+        while let Some((pid, replay)) = self.work.pop_front() {
+            self.deliver(env, pid, replay)?;
+        }
+        Ok(())
+    }
+
+    /// Encode and ship one part to its current owner, handling a death on
+    /// the way out by re-homing and requeueing.
+    fn deliver(&mut self, env: &mut Env, pid: usize, replay: bool) -> Result<(), SparsedistError> {
+        let dst = self.owners[pid];
+        let res = if replay {
+            // Recovery work: the re-encode and the resend are both charged
+            // to Retry, and the resend is blocking — replays are rare and
+            // correctness of the failure ordering beats pipelining them.
+            env.phase(Phase::Retry, |env| -> Result<(), SparsedistError> {
+                let mut ops = OpCounter::new();
+                let mut buf = env.arena().checkout(self.stages.buf_capacity(pid));
+                self.stages.encode_part(&mut buf, pid, &mut ops)?;
+                env.charge_ops(ops.take());
+                self.ship(env, dst, pid, buf, false)
+            })
+        } else {
+            let buf = self.encode_charged(env, pid)?;
+            let nb = self.config.overlap;
+            env.phase(Phase::Send, |env| self.ship(env, dst, pid, buf, nb))
+        };
+        match res {
+            Ok(()) => {
+                self.delivered[dst].push(pid);
+                Ok(())
+            }
+            Err(SparsedistError::Comm(CommError::PeerDead { rank })) => {
+                self.on_death(env, rank, Some(pid))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Per-part encode with the same phase charging as the overlapped
+    /// source path (per part, not fused).
+    fn encode_charged(&self, env: &mut Env, pid: usize) -> Result<PackBuffer, SparsedistError> {
+        match self.stages.source_policy() {
+            SourcePolicy::Fused(phase) => env.phase(phase, |env| {
+                let mut ops = OpCounter::new();
+                let mut buf = env.arena().checkout(self.stages.buf_capacity(pid));
+                let r = self
+                    .stages
+                    .encode_part(&mut buf, pid, &mut ops)
+                    .map(|()| buf);
+                let n = ops.take();
+                env.trace_part_ops(&[(pid, n)]);
+                env.charge_ops(n);
+                r
+            }),
+            SourcePolicy::CompressThenPack => {
+                let mut ops = OpCounter::new();
+                let mut buf = env.arena().checkout(self.stages.buf_capacity(pid));
+                self.stages.encode_part(&mut buf, pid, &mut ops)?;
+                let n = ops.take();
+                env.phase(Phase::Compress, |env| {
+                    env.trace_part_ops(&[(pid, n)]);
+                    env.charge_ops(n);
+                });
+                let packed = buf.elem_count();
+                env.phase(Phase::Pack, |env| {
+                    env.trace_part_ops(&[(pid, packed)]);
+                    env.charge_ops(packed);
+                });
+                Ok(buf)
+            }
+        }
+    }
+
+    /// One header + part-body transmission to `dst`.
+    fn ship(
+        &self,
+        env: &mut Env,
+        dst: usize,
+        pid: usize,
+        buf: PackBuffer,
+        nonblocking: bool,
+    ) -> Result<(), SparsedistError> {
+        let mut header = env.arena().checkout(8);
+        // lint: allow(W002) — part ids are bounded by the partition's part count
+        header.push_u64(pid as u64);
+        if nonblocking {
+            env.isend(dst, header)?;
+        } else {
+            env.send(dst, header)?;
+        }
+        send_part(env, dst, buf, self.config.chunk_elems, nonblocking)?;
+        Ok(())
+    }
+
+    /// React to a [`CommError::PeerDead`] observed while sending: the
+    /// source's own death is terminal ([`SparsedistError::SourceDead`]);
+    /// a destination's death re-homes its parts and requeues the in-flight
+    /// one (if any) as a replay.
+    fn on_death(
+        &mut self,
+        env: &Env,
+        rank: usize,
+        in_flight: Option<usize>,
+    ) -> Result<(), SparsedistError> {
+        if rank == SOURCE {
+            return Err(SparsedistError::SourceDead { rank: SOURCE });
+        }
+        self.dead.insert(rank);
+        self.rehome(env, rank)?;
+        if let Some(pid) = in_flight {
+            self.work.push_back((pid, true));
+        }
+        Ok(())
+    }
+
+    /// Move every part owned by `casualty` onto the least-loaded surviving
+    /// compute rank (ties to the lowest rank — deterministic), and requeue
+    /// the parts it had already received as replays.
+    fn rehome(&mut self, env: &Env, casualty: usize) -> Result<(), SparsedistError> {
+        let orphans: Vec<usize> = (0..self.owners.len())
+            .filter(|&pid| self.owners[pid] == casualty)
+            .collect();
+        if orphans.is_empty() {
+            return Ok(());
+        }
+        let survivors: Vec<usize> = (0..env.nprocs())
+            .filter(|&r| {
+                r != SOURCE
+                    && !env.is_rank_dead(r)
+                    && !self.dead.contains(&r)
+                    && !self.finished.contains(&r)
+            })
+            .collect();
+        if survivors.is_empty() {
+            return Err(SparsedistError::NoSurvivors { part: orphans[0] });
+        }
+        let mut load: BTreeMap<usize, usize> = survivors.iter().map(|&r| (r, 0)).collect();
+        for pid in 0..self.owners.len() {
+            if let Some(l) = load.get_mut(&self.owners[pid]) {
+                *l += self.cells[pid];
+            }
+        }
+        for &pid in &orphans {
+            let (&best, _) = load
+                .iter()
+                .min_by_key(|&(&r, &l)| (l, r))
+                // lint: allow(E002) — survivors is non-empty, checked above
+                .expect("at least one survivor");
+            self.owners[pid] = best;
+            // lint: allow(E002) — best was drawn from load's own iterator just above
+            *load.get_mut(&best).expect("chosen rank survives") += self.cells[pid];
+        }
+        let lost = std::mem::take(&mut self.delivered[casualty]);
+        self.work.extend(lost.into_iter().map(|pid| (pid, true)));
+        Ok(())
+    }
+}
+
+/// Receiver side of the routed protocol: consume `(header, part)` pairs
+/// from the source until a [`ROUTED_DONE`] header arrives.
+///
+/// Replayed parts are deduplicated by part id — a part already decoded is
+/// received and discarded, so replays are idempotent. A death notice for
+/// *this* rank ends the loop with an empty contribution (the source
+/// observed the same death and re-homed everything this rank held); any
+/// other communication failure surfaces as a typed error.
+fn routed_receive<S: SchemeStages>(
+    env: &mut Env,
+    stages: &S,
+    config: SchemeConfig,
+) -> Result<Vec<(usize, LocalCompressed)>, SparsedistError> {
+    let me = env.rank();
+    let mut got: BTreeMap<usize, LocalCompressed> = BTreeMap::new();
+    loop {
+        let header = match env.recv(SOURCE) {
+            Ok(msg) => msg.payload,
+            Err(CommError::PeerDead { rank }) if rank == me => return Ok(Vec::new()),
+            Err(e) => return Err(e.into()),
+        };
+        let tag = header.cursor().try_read_u64()?;
+        env.arena().recycle_bytes(header.into_bytes());
+        if tag == ROUTED_DONE {
+            break;
+        }
+        // lint: allow(W002) — the tag is a part id bounded by the part count
+        let pid = tag as usize;
+        let payload = match recv_part(env, SOURCE, config.chunk_elems) {
+            Ok(p) => p,
+            Err(SparsedistError::Comm(CommError::PeerDead { rank })) if rank == me => {
+                return Ok(Vec::new())
+            }
+            Err(e) => return Err(e),
+        };
+        if got.contains_key(&pid) {
+            env.arena().recycle_bytes(payload.into_bytes());
+            continue;
+        }
+        let mid = env.phase(stages.recv_phase(), |env| {
+            let mut ops = OpCounter::new();
+            let mid = stages.decode_part(&payload, pid, &mut ops);
+            let n = ops.take();
+            env.trace_part_ops(&[(pid, n)]);
+            env.charge_ops(n);
+            mid
+        })?;
+        env.arena().recycle_bytes(payload.into_bytes());
+        let local = if let Some(fphase) = stages.finish_phase() {
+            env.phase(fphase, |env| {
+                let mut ops = OpCounter::new();
+                let local = stages.finish_part(&mid, &mut ops);
+                let n = ops.take();
+                env.trace_part_ops(&[(pid, n)]);
+                env.charge_ops(n);
+                local
+            })
+        } else {
+            stages.local_from(mid)
+        };
+        got.insert(pid, local);
+    }
+    Ok(got.into_iter().collect())
+}
+
+/// [`run_pipeline`] for fault plans with timed deaths: the routed recovery
+/// protocol. The returned [`SchemeRun::owners`] is rebuilt from where each
+/// part actually landed, so mid-stream re-homes are visible to callers.
+fn run_pipeline_routed<S: SchemeStages>(
+    machine: &Multicomputer,
+    stages: &S,
+    part: &dyn Partition,
+    kind: CompressKind,
+    config: SchemeConfig,
+) -> Result<SchemeRun, SparsedistError> {
+    let nparts = part.nparts();
+    let owners0 = assign_owners(part, &alive_ranks_of(machine));
+    let cells: Vec<usize> = (0..nparts)
+        .map(|pid| {
+            let (r, c) = part.local_shape(pid);
+            r * c
+        })
+        .collect();
+    // DONE walk order: scheduled deaths earliest first (ties and immortal
+    // ranks by ascending rank) — see `Router::run`.
+    let deaths: BTreeMap<usize, f64> = machine
+        .fault_plan()
+        .map(|p| p.dying_ranks().collect())
+        .unwrap_or_default();
+    let mut done_order: Vec<usize> = (0..machine.nprocs()).collect();
+    done_order.sort_by(|&x, &y| {
+        let kx = deaths.get(&x).copied().unwrap_or(f64::INFINITY);
+        let ky = deaths.get(&y).copied().unwrap_or(f64::INFINITY);
+        kx.partial_cmp(&ky)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(x.cmp(&y))
+    });
+    let owners_ref = &owners0;
+    let cells_ref = &cells;
+    let order_ref = &done_order;
+    let (results, ledgers) = machine.run_with_ledgers(
+        |env| -> Result<Vec<(usize, LocalCompressed)>, SparsedistError> {
+            let me = env.rank();
+            env.trace_scope(stages.scheme().label());
+            if env.is_rank_dead(me) {
+                return Ok(Vec::new());
+            }
+            if me == SOURCE {
+                let mut router =
+                    Router::new(stages, config, cells_ref, owners_ref.clone(), env.nprocs());
+                router.run(env, order_ref)?;
+            }
+            routed_receive(env, stages, config)
+        },
+    );
+    let mut owners = vec![usize::MAX; nparts];
+    let mut slots: Vec<Option<LocalCompressed>> = (0..nparts).map(|_| None).collect();
+    for (rank, res) in results.into_iter().enumerate() {
+        for (pid, local) in res? {
+            owners[pid] = rank;
+            slots[pid] = Some(local);
+        }
+    }
+    let locals = slots
+        .into_iter()
+        .enumerate()
+        .map(|(pid, s)| s.ok_or(SparsedistError::NoSurvivors { part: pid }))
+        .collect::<Result<Vec<_>, _>>()?;
     Ok(SchemeRun {
         scheme: stages.scheme(),
         compress_kind: kind,
@@ -875,12 +1282,10 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn ed_overlap_shim_shrinks_makespan_and_distribution() {
-        // The deprecated `run_overlapped` shim routes through
-        // `SchemeConfig { overlap: true }`. Unlike the historical blocking
-        // interleave (equal makespan, better mean completion), nonblocking
-        // sends genuinely shorten both the makespan and `T_Distribution`.
+    fn ed_overlap_shrinks_makespan_and_distribution() {
+        // Unlike the historical blocking interleave (equal makespan, better
+        // mean completion), nonblocking sends genuinely shorten both the
+        // makespan and `T_Distribution`.
         let (a, part) = scattered();
         let m = sp2(8);
         let plain = run(
@@ -891,7 +1296,15 @@ mod tests {
             CompressKind::Crs,
             SchemeConfig::default(),
         );
-        let over = crate::schemes::run_ed_overlapped(&m, &a, &part, CompressKind::Crs).unwrap();
+        let over = run_scheme_with(
+            SchemeKind::Ed,
+            &m,
+            &a,
+            &part,
+            CompressKind::Crs,
+            SchemeConfig::overlapped(),
+        )
+        .unwrap();
         assert_eq!(plain.locals, over.locals);
         assert!(
             (plain.t_compression().as_micros() - over.t_compression().as_micros()).abs() < 1e-6,
@@ -1104,6 +1517,227 @@ mod tests {
                 "seed {seed}: fault plan never fired — weak test"
             );
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Routed recovery under timed rank death.
+    // ------------------------------------------------------------------
+
+    fn death_machine(p: usize, victim: usize, t_us: f64) -> Multicomputer {
+        Multicomputer::virtual_machine(p, MachineModel::new(10.0, 2.0, 1.0))
+            .with_faults(FaultPlan::new(3).with_death_at(victim, t_us))
+    }
+
+    #[test]
+    fn timed_death_rehomes_parts_and_reassembles() {
+        // Kill rank 3 at various points of the stream, across every config
+        // shape. The run must always either deliver the golden array with
+        // part 3 re-homed to a survivor, or (late deaths) behave as if no
+        // death happened. At least one death time per config must actually
+        // trigger a mid-stream re-home, or the test is vacuous.
+        let (a, part) = scattered();
+        for config in [
+            SchemeConfig::default(),
+            SchemeConfig::overlapped(),
+            SchemeConfig {
+                chunk_elems: 16,
+                ..SchemeConfig::default()
+            },
+            SchemeConfig {
+                overlap: true,
+                chunk_elems: 16,
+                parallel: true,
+                ..SchemeConfig::default()
+            },
+        ] {
+            let mut rehomed = 0;
+            for t in [60.0, 400.0, 900.0, 2500.0, 1e9] {
+                let m = death_machine(8, 3, t);
+                let run = run_scheme_with(SchemeKind::Ed, &m, &a, &part, CompressKind::Crs, config)
+                    .unwrap_or_else(|e| panic!("t={t} {config:?}: {e}"));
+                assert_eq!(run.reassemble(&part), a, "t={t} {config:?}");
+                assert_eq!(run.total_nnz(), a.nnz(), "t={t} {config:?}");
+                if run.owners[3] != 3 {
+                    rehomed += 1;
+                    assert!(
+                        run.owners.iter().all(|&o| o != 3),
+                        "t={t} {config:?}: dead rank still owns a part: {:?}",
+                        run.owners
+                    );
+                }
+            }
+            assert!(rehomed >= 1, "{config:?}: no death time re-homed anything");
+        }
+    }
+
+    #[test]
+    fn every_death_time_reassembles_for_every_scheme() {
+        // A dense sweep of death times across the whole run — including the
+        // narrow windows around part boundaries and the DONE walk — on all
+        // three schemes. Every instant must recover to the golden array
+        // (7 survivors always remain).
+        let a = paper_array_a();
+        let part = RowBlock::new(10, 8, 3);
+        for scheme in SchemeKind::ALL {
+            for step in 0..80 {
+                let t = 5.0 + 25.0 * step as f64;
+                let m = death_machine(3, 2, t);
+                let run = run_scheme(scheme, &m, &a, &part, CompressKind::Crs)
+                    .unwrap_or_else(|e| panic!("{scheme} t={t}: {e}"));
+                assert_eq!(run.reassemble(&part), a, "{scheme} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn no_survivors_is_a_typed_error() {
+        // Two ranks: the only non-source compute rank dies immediately, so
+        // part 1 has nowhere to go.
+        let a = paper_array_a();
+        let part = RowBlock::new(10, 8, 2);
+        let m = death_machine(2, 1, 1.0);
+        let err = run_scheme(SchemeKind::Ed, &m, &a, &part, CompressKind::Crs).unwrap_err();
+        assert_eq!(err, SparsedistError::NoSurvivors { part: 1 });
+        assert!(err.to_string().contains("re-home part 1"), "{err}");
+    }
+
+    #[test]
+    fn routed_death_runs_are_deterministic() {
+        let (a, part) = scattered();
+        let go = || {
+            let m = death_machine(8, 3, 900.0);
+            run_scheme_with(
+                SchemeKind::Cfs,
+                &m,
+                &a,
+                &part,
+                CompressKind::Crs,
+                SchemeConfig {
+                    overlap: true,
+                    chunk_elems: 32,
+                    ..SchemeConfig::default()
+                },
+            )
+            .unwrap()
+        };
+        let (r1, r2) = (go(), go());
+        assert_eq!(r1.ledgers, r2.ledgers);
+        assert_eq!(r1.locals, r2.locals);
+        assert_eq!(r1.owners, r2.owners);
+    }
+
+    #[test]
+    fn late_death_matches_plain_locals() {
+        // A death scheduled far beyond the run horizon never fires: the
+        // routed protocol must deliver the same locals and owner map as the
+        // unrouted path (ledgers differ by the header traffic, by design).
+        let (a, part) = scattered();
+        let plain = run(
+            SchemeKind::Ed,
+            &sp2(8),
+            &a,
+            &part,
+            CompressKind::Crs,
+            SchemeConfig::default(),
+        );
+        let m = Multicomputer::virtual_machine(8, MachineModel::ibm_sp2())
+            .with_faults(FaultPlan::new(3).with_death_at(5, 1e12));
+        let routed = run_scheme(SchemeKind::Ed, &m, &a, &part, CompressKind::Crs).unwrap();
+        assert_eq!(routed.locals, plain.locals);
+        assert_eq!(routed.owners, plain.owners);
+    }
+
+    /// A minimal passthrough scheme for driving the routed receiver by
+    /// hand: each part is one u64, decoded into a 1×1 CRS local.
+    struct EchoStages;
+
+    impl SchemeStages for EchoStages {
+        type Mid = LocalCompressed;
+
+        fn scheme(&self) -> SchemeKind {
+            SchemeKind::Ed
+        }
+        fn source_policy(&self) -> SourcePolicy {
+            SourcePolicy::Fused(Phase::Encode)
+        }
+        fn recv_phase(&self) -> Phase {
+            Phase::Decode
+        }
+        fn batch_decode_inside_phase(&self) -> bool {
+            true
+        }
+        fn buf_capacity(&self, _pid: usize) -> usize {
+            8
+        }
+        fn encode_part(
+            &self,
+            buf: &mut PackBuffer,
+            pid: usize,
+            ops: &mut OpCounter,
+        ) -> Result<(), SparsedistError> {
+            buf.push_u64(pid as u64);
+            ops.add(1);
+            Ok(())
+        }
+        fn decode_part(
+            &self,
+            payload: &PackBuffer,
+            _pid: usize,
+            ops: &mut OpCounter,
+        ) -> Result<LocalCompressed, SparsedistError> {
+            ops.add(1);
+            let mut d = Dense2D::zeros(1, 1);
+            d.set(0, 0, payload.cursor().read_u64() as f64 + 1.0);
+            Ok(LocalCompressed::Crs(Crs::from_dense(
+                &d,
+                &mut OpCounter::new(),
+            )))
+        }
+        fn finish_part(&self, mid: &LocalCompressed, _ops: &mut OpCounter) -> LocalCompressed {
+            mid.clone()
+        }
+        fn local_from(&self, mid: LocalCompressed) -> LocalCompressed {
+            mid
+        }
+    }
+
+    #[test]
+    fn routed_receiver_dedups_replayed_parts() {
+        // Deliver the same part twice (a replay a conservative source might
+        // issue) followed by DONE: the receiver must keep exactly one copy
+        // and charge the decode exactly once — replays are idempotent.
+        let m = Multicomputer::virtual_machine(2, MachineModel::new(10.0, 2.0, 1.0));
+        let (results, ledgers) = m.run_with_ledgers(
+            |env| -> Result<Vec<(usize, LocalCompressed)>, SparsedistError> {
+                if env.rank() == 0 {
+                    env.phase(Phase::Send, |env| -> Result<(), SparsedistError> {
+                        for _ in 0..2 {
+                            let mut header = env.arena().checkout(8);
+                            header.push_u64(0);
+                            env.send(1, header)?;
+                            let mut buf = env.arena().checkout(8);
+                            buf.push_u64(7);
+                            send_part(env, 1, buf, 0, false)?;
+                        }
+                        let mut done = env.arena().checkout(8);
+                        done.push_u64(u64::MAX);
+                        env.send(1, done)?;
+                        Ok(())
+                    })?;
+                    Ok(Vec::new())
+                } else {
+                    routed_receive(env, &EchoStages, SchemeConfig::default())
+                }
+            },
+        );
+        let mut out = results.into_iter();
+        out.next().unwrap().unwrap();
+        let got = out.next().unwrap().unwrap();
+        assert_eq!(got.len(), 1, "duplicate survived dedup");
+        assert_eq!(got[0].0, 0);
+        assert_eq!(got[0].1.nnz(), 1);
+        // Decode charged once: 1 op at T_Operation = 1 µs.
+        assert_eq!(ledgers[1].get(Phase::Decode).as_micros(), 1.0);
     }
 
     #[test]

@@ -42,6 +42,32 @@
 //! receiver always has something to reject; a `Drop` tag means "this frame
 //! never arrived" and is skipped without cost.
 //!
+//! The nonblocking path carries the same guarantees: under a plan,
+//! [`Env::isend`] runs the whole ARQ schedule *on the NIC timeline* —
+//! doomed attempts, backoff timeouts and retransmissions are scheduled as
+//! labelled spans in [`crate::progress::NicProgress`] without advancing
+//! the CPU clock, and [`Env::wait_all`] books whatever slice of the drain
+//! was recovery work to [`Phase::Retry`]. Recovery that hides behind
+//! compute costs nothing, exactly like hidden first attempts.
+//!
+//! # Mid-run rank death and the watchdog
+//!
+//! A plan may schedule a rank to die at a virtual-time instant
+//! ([`FaultPlan::with_death_at`], CLI `die=R:T`). In virtual mode every
+//! send checks the frame's would-be arrival against the destination's
+//! death time: a frame that cannot land in time fails with
+//! [`CommError::PeerDead`] at the sender, and a *death notice* frame is
+//! pushed so the dying receiver observes its own death at the matching
+//! point in its stream — sender detection and receiver observation always
+//! agree, keeping recovery protocols deterministic.
+//!
+//! Structurally the engine cannot hang on an early error: when a rank's
+//! closure returns, its channel senders drop and every peer blocked in
+//! `recv` gets [`CommError::Disconnected`]. [`Multicomputer::with_watchdog`]
+//! adds a belt-and-braces wall-clock bound for chaos harnesses: a `recv`
+//! that sees no frame within the limit returns [`CommError::Stalled`]
+//! instead of blocking forever. It only fires on protocol bugs.
+//!
 //! Without a plan the fast path is exactly the original engine: no CRC
 //! work, no acks, identical charges — the paper's tables are unaffected.
 
@@ -54,9 +80,10 @@ use crate::timing::{Phase, PhaseLedger, WireStats};
 use crate::topology::Topology;
 use crate::trace::{RankTrace, TraceSink, Tracer};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use std::fmt;
 use std::sync::Arc;
+use std::time::Duration;
 // lint: allow(D001) — WallClock mode measures real elapsed time by design
 use std::time::Instant;
 
@@ -111,6 +138,16 @@ pub enum CommError {
         /// The vanished peer.
         peer: usize,
     },
+    /// The engine watchdog fired: no frame arrived from the peer within
+    /// the wall-clock bound set by [`Multicomputer::with_watchdog`]. Only
+    /// reachable through a protocol bug — a healthy run, however slow its
+    /// virtual timeline, keeps frames flowing.
+    Stalled {
+        /// The rank being waited on.
+        src: usize,
+        /// The wall-clock bound that elapsed, in milliseconds.
+        waited_ms: u64,
+    },
 }
 
 impl fmt::Display for CommError {
@@ -129,6 +166,10 @@ impl fmt::Display for CommError {
             CommError::Disconnected { peer } => {
                 write!(f, "rank {peer} hung up: peer processor exited early")
             }
+            CommError::Stalled { src, waited_ms } => write!(
+                f,
+                "watchdog: no frame from rank {src} within {waited_ms} ms (protocol stall)"
+            ),
         }
     }
 }
@@ -177,6 +218,10 @@ struct Frame {
     injected: Option<FaultKind>,
     /// True on the poison frame a sender emits after exhausting retries.
     failed: bool,
+    /// A death notice: the rank that died (possibly the sender itself),
+    /// pushed so the receiver observes the death at the matching point in
+    /// its frame stream. Consuming one yields [`CommError::PeerDead`].
+    dead: Option<usize>,
 }
 
 /// Receiver → sender control frame of the ack/nack protocol.
@@ -193,6 +238,7 @@ pub struct Multicomputer {
     topology: Topology,
     faults: Option<FaultPlan>,
     retry: RetryPolicy,
+    watchdog: Option<Duration>,
     /// One buffer-reuse arena per rank, persisting across `run_*` calls so
     /// repeated distributions stop reallocating their send buffers.
     arenas: Vec<Arc<PackArena>>,
@@ -244,6 +290,7 @@ impl Multicomputer {
             topology,
             faults: None,
             retry: RetryPolicy::default(),
+            watchdog: None,
             arenas: (0..nprocs).map(|_| Arc::new(PackArena::new())).collect(),
             sink: None,
         }
@@ -268,6 +315,23 @@ impl Multicomputer {
     pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
         self
+    }
+
+    /// Bound every blocking receive by a *wall-clock* watchdog: a `recv`
+    /// that sees no frame within `limit` returns [`CommError::Stalled`]
+    /// instead of blocking forever. The engine already cannot hang on an
+    /// early peer error (a returning rank drops its channels, unblocking
+    /// every peer with [`CommError::Disconnected`]), so the watchdog is a
+    /// last-resort bound for chaos harnesses — it fires only on protocol
+    /// bugs and never charges the virtual clock.
+    pub fn with_watchdog(mut self, limit: Duration) -> Self {
+        self.watchdog = Some(limit);
+        self
+    }
+
+    /// The installed watchdog bound, if any.
+    pub fn watchdog(&self) -> Option<Duration> {
+        self.watchdog
     }
 
     /// Install a [`TraceSink`]: every subsequent `run_*` call records one
@@ -343,6 +407,7 @@ impl Multicomputer {
         let topology = self.topology;
         let faults = &self.faults;
         let retry = self.retry;
+        let watchdog = self.watchdog;
         let arenas = &self.arenas;
         let tracing = self.sink.as_ref().is_some_and(|s| s.is_enabled());
         let (results, ledgers, traces) = std::thread::scope(|scope| {
@@ -360,6 +425,7 @@ impl Multicomputer {
                         topology,
                         faults.clone(),
                         retry,
+                        watchdog,
                         Arc::clone(&arenas[rank]),
                         tracing,
                         tx_row,
@@ -448,6 +514,7 @@ pub struct Env {
     tracer: Option<Tracer>,
     plan: Option<FaultPlan>,
     retry: RetryPolicy,
+    watchdog: Option<Duration>,
     arena: Arc<PackArena>,
     /// Outgoing-link progress state for nonblocking sends ([`Env::isend`]).
     nic: NicProgress,
@@ -468,6 +535,7 @@ impl Env {
         topology: Topology,
         plan: Option<FaultPlan>,
         retry: RetryPolicy,
+        watchdog: Option<Duration>,
         arena: Arc<PackArena>,
         tracing: bool,
         senders: Vec<Sender<Frame>>,
@@ -508,6 +576,7 @@ impl Env {
             tracer: tracing.then(|| Tracer::new(rank)),
             plan,
             retry,
+            watchdog,
             arena,
             nic: NicProgress::new(),
             send_seq: vec![0; nprocs],
@@ -536,6 +605,57 @@ impl Env {
     /// True if the fault plan declares `rank` dead.
     pub fn is_rank_dead(&self, rank: usize) -> bool {
         self.plan.as_ref().is_some_and(|p| p.is_dead(rank))
+    }
+
+    /// The virtual-time instant (µs) the plan schedules `rank` to die.
+    fn death_time_us(&self, rank: usize) -> Option<f64> {
+        self.plan.as_ref().and_then(|p| p.death_time(rank))
+    }
+
+    /// Push a death-notice frame for `died` onto the link to `dst`, so the
+    /// receiver observes the death at the matching point in its stream.
+    /// Best-effort: the peer may already have exited.
+    fn push_death_notice(&mut self, dst: usize, died: usize, seq: u64) {
+        let frame = Frame {
+            seq,
+            src: self.rank,
+            payload: PackBuffer::new(),
+            arrival: self.now(),
+            crc: 0,
+            injected: None,
+            failed: false,
+            dead: Some(died),
+        };
+        let _ = self.push_frame(dst, frame);
+    }
+
+    /// Death check for one attempt of a blocking or nonblocking send:
+    /// `start` is when the sender commits the frame to the wire, `arrival`
+    /// when it would land (including any injected delay). Returns the
+    /// `PeerDead` error — after pushing the matching death notice — if the
+    /// sender is already past its own death or the frame cannot land
+    /// before the destination dies. Timed deaths are a virtual-time
+    /// concept; wall-clock mode never reaches this.
+    fn check_timed_death(
+        &mut self,
+        dst: usize,
+        seq: u64,
+        start: VirtualTime,
+        arrival: VirtualTime,
+    ) -> Result<(), CommError> {
+        if let Some(t) = self.death_time_us(self.rank) {
+            if start.as_micros() > t {
+                self.push_death_notice(dst, self.rank, seq);
+                return Err(CommError::PeerDead { rank: self.rank });
+            }
+        }
+        if let Some(t) = self.death_time_us(dst) {
+            if arrival.as_micros() > t {
+                self.push_death_notice(dst, dst, seq);
+                return Err(CommError::PeerDead { rank: dst });
+            }
+        }
+        Ok(())
     }
 
     /// This rank's buffer-reuse arena. Buffers checked out here and
@@ -779,6 +899,7 @@ impl Env {
                 crc: 0,
                 injected: None,
                 failed: false,
+                dead: None,
             };
             return self.push_frame(dst, frame);
         };
@@ -790,6 +911,16 @@ impl Env {
         let mut attempt: u32 = 0;
         loop {
             let fate = plan.decide(self.rank, dst, seq, attempt, self.current_phase);
+            if plan.has_timed_deaths() {
+                if let Clock::Virtual { now, model } = &self.clock {
+                    let start = *now;
+                    let mut would_arrive = start + model.message_cost_hops(elems, hops.max(1));
+                    if let Some(FaultKind::Delay(extra)) = fate {
+                        would_arrive += VirtualTime::from_micros(extra);
+                    }
+                    self.check_timed_death(dst, seq, start, would_arrive)?;
+                }
+            }
             let wire_phase = if attempt == 0 {
                 Phase::Send
             } else {
@@ -818,6 +949,7 @@ impl Env {
                         crc,
                         injected: fate,
                         failed: false,
+                        dead: None,
                     };
                     return self.push_frame(dst, frame);
                 }
@@ -836,6 +968,7 @@ impl Env {
                         crc,
                         injected: Some(fault),
                         failed: false,
+                        dead: None,
                     };
                     self.push_frame(dst, frame)?;
                     if attempt >= self.retry.max_retries {
@@ -849,6 +982,7 @@ impl Env {
                             crc: 0,
                             injected: None,
                             failed: true,
+                            dead: None,
                         };
                         self.push_frame(dst, poison)?;
                         return Err(CommError::RetriesExhausted {
@@ -885,6 +1019,31 @@ impl Env {
             .map_err(|_| CommError::Disconnected { peer: dst })
     }
 
+    /// Emit one nonblocking transmission span into the trace.
+    fn trace_tx_nb(
+        &mut self,
+        phase: Phase,
+        dst: usize,
+        window: crate::progress::TxWindow,
+        elems: u64,
+        nbytes: usize,
+    ) {
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.metrics_mut().observe("tx.elems", elems);
+            tr.emit(
+                phase,
+                format!("->{dst} (nb)"),
+                window.start,
+                window.arrival,
+                WireStats {
+                    messages: 1,
+                    elements: elems,
+                    bytes: nbytes as u64,
+                },
+            );
+        }
+    }
+
     /// Nonblocking send: post `payload` to this rank's NIC and return
     /// immediately **without advancing the local clock**.
     ///
@@ -896,13 +1055,22 @@ impl Env {
     /// transfers. Call [`Env::wait_all`] to rejoin the NIC; the completion
     /// jump is booked into the phase current *at the wait*.
     ///
-    /// Two deliberate degradations keep semantics honest:
+    /// With a [`FaultPlan`] installed the ARQ runs **on the NIC timeline**
+    /// instead of degrading to the blocking [`Env::send`]. Fault fates are
+    /// pure hashes shared with the receiver, so the whole retransmit
+    /// schedule is computable at post time: doomed attempts occupy the
+    /// wire, each followed by its [`RetryPolicy::timeout_for`] backoff gap,
+    /// until a clean (or delayed) attempt is committed — all as labelled
+    /// NIC spans, with the CPU clock untouched. `wait_all` later books the
+    /// recovery slice of the drain to [`Phase::Retry`] and the rest to the
+    /// waiting phase, so a run with no compute between post and wait
+    /// charges exactly the blocking totals, while recovery hidden behind
+    /// compute costs nothing. Retry exhaustion surfaces here, at post
+    /// time, as [`CommError::RetriesExhausted`] (the receiver is unblocked
+    /// by a poison frame, as on the blocking path).
     ///
-    /// * with a [`FaultPlan`] installed the call falls back to the blocking
-    ///   [`Env::send`] — the ARQ layer needs the sender to drive timeouts
-    ///   and retransmissions synchronously;
-    /// * in wall-clock mode there is no virtual NIC to model, so the call
-    ///   is also a plain `send`.
+    /// In wall-clock mode there is no virtual NIC to model, so the call
+    /// falls back to a plain `send`.
     ///
     /// # Errors
     /// Same failure modes as [`Env::send`].
@@ -911,7 +1079,7 @@ impl Env {
     /// Panics if `dst` is out of range (API misuse, like slice indexing).
     pub fn isend(&mut self, dst: usize, payload: PackBuffer) -> Result<(), CommError> {
         assert!(dst < self.nprocs, "isend to rank {dst} of {}", self.nprocs);
-        if self.plan.is_some() || !self.is_virtual() {
+        if !self.is_virtual() {
             return self.send(dst, payload);
         }
         if self.is_rank_dead(dst) {
@@ -925,53 +1093,146 @@ impl Env {
         self.send_seq[dst] += 1;
         let elems = payload.elem_count();
         let nbytes = payload.byte_len();
-        let window = match &self.clock {
-            Clock::Virtual { now, model } => {
-                let cost = model.message_cost_hops(elems, hops.max(1));
-                self.nic.begin_tx(*now, cost)
-            }
+        let (now, cost) = match &self.clock {
+            Clock::Virtual { now, model } => (*now, model.message_cost_hops(elems, hops.max(1))),
             // Unreachable: the !is_virtual() guard above already bailed.
             Clock::Wall { .. } => return self.send(dst, payload),
         };
-        self.record_tx(elems, nbytes);
-        if let Some(tr) = self.tracer.as_mut() {
-            tr.metrics_mut().observe("tx.elems", elems);
-            tr.emit(
-                Phase::Send,
-                format!("->{dst} (nb)"),
-                window.start,
-                window.arrival,
-                WireStats {
-                    messages: 1,
-                    elements: elems,
-                    bytes: nbytes as u64,
-                },
-            );
-        }
-        let frame = Frame {
-            seq,
-            src: self.rank,
-            payload,
-            arrival: window.arrival,
-            crc: 0,
-            injected: None,
-            failed: false,
+
+        let Some(plan) = self.plan.clone() else {
+            // Fast path: clean single transmission on the NIC.
+            let window = self.nic.begin_tx(now, cost);
+            self.record_tx(elems, nbytes);
+            self.trace_tx_nb(Phase::Send, dst, window, elems, nbytes);
+            let frame = Frame {
+                seq,
+                src: self.rank,
+                payload,
+                arrival: window.arrival,
+                crc: 0,
+                injected: None,
+                failed: false,
+                dead: None,
+            };
+            return self.push_frame(dst, frame);
         };
-        self.push_frame(dst, frame)
+
+        // Async ARQ: walk the deterministic attempt schedule on the NIC.
+        self.drain_acks(dst);
+        let crc = payload.crc32();
+        let mut attempt: u32 = 0;
+        loop {
+            let fate = plan.decide(self.rank, dst, seq, attempt, self.current_phase);
+            if plan.has_timed_deaths() {
+                let start = now.max(self.nic.free_at());
+                let mut would_arrive = start + cost;
+                if let Some(FaultKind::Delay(extra)) = fate {
+                    would_arrive += VirtualTime::from_micros(extra);
+                }
+                // The sender commits the frame at post time, not at the
+                // scheduled wire start: `now` is when it acts.
+                self.check_timed_death(dst, seq, now, would_arrive)?;
+            }
+            let window = if attempt == 0 {
+                self.nic.begin_tx(now, cost)
+            } else {
+                self.nic.begin_retry_tx(now, cost)
+            };
+            self.record_tx(elems, nbytes);
+            let wire_phase = if attempt == 0 {
+                Phase::Send
+            } else {
+                Phase::Retry
+            };
+            self.trace_tx_nb(wire_phase, dst, window, elems, nbytes);
+            match fate {
+                None | Some(FaultKind::Delay(_)) => {
+                    let arrival = match fate {
+                        Some(FaultKind::Delay(extra_us)) => {
+                            window.arrival + VirtualTime::from_micros(extra_us)
+                        }
+                        _ => window.arrival,
+                    };
+                    let frame = Frame {
+                        seq,
+                        src: self.rank,
+                        payload,
+                        arrival,
+                        crc,
+                        injected: fate,
+                        failed: false,
+                        dead: None,
+                    };
+                    return self.push_frame(dst, frame);
+                }
+                Some(fault @ (FaultKind::Drop | FaultKind::Corrupt)) => {
+                    // Transmit the doomed frame so the receiver can observe
+                    // (and for corruption, CRC-reject) it.
+                    let mut wire_payload = payload.clone();
+                    if fault == FaultKind::Corrupt {
+                        wire_payload.flip_bit(plan.aux_roll(self.rank, dst, seq, attempt));
+                    }
+                    let frame = Frame {
+                        seq,
+                        src: self.rank,
+                        payload: wire_payload,
+                        arrival: window.arrival,
+                        crc,
+                        injected: Some(fault),
+                        failed: false,
+                        dead: None,
+                    };
+                    self.push_frame(dst, frame)?;
+                    if attempt >= self.retry.max_retries {
+                        let poison = Frame {
+                            seq,
+                            src: self.rank,
+                            payload: PackBuffer::new(),
+                            arrival: window.arrival,
+                            crc: 0,
+                            injected: None,
+                            failed: true,
+                            dead: None,
+                        };
+                        self.push_frame(dst, poison)?;
+                        return Err(CommError::RetriesExhausted {
+                            src: self.rank,
+                            dst,
+                            seq,
+                            attempts: attempt + 1,
+                        });
+                    }
+                    self.nic
+                        .timeout_gap(VirtualTime::from_micros(self.retry.timeout_for(attempt)));
+                    self.ledger.faults_mut().retries += 1;
+                    attempt += 1;
+                }
+            }
+        }
     }
 
     /// Complete every transmission posted with [`Env::isend`]: the local
     /// clock jumps forward to the NIC-idle instant (if it is ahead) and the
     /// jump is booked into the **current phase** — wrap the call in
     /// `env.phase(Phase::Send, |env| env.wait_all())` to attribute the
-    /// drain to the send phase. A no-op in wall-clock mode, with no posted
-    /// sends, or when the CPU already ran past the NIC.
+    /// drain to the send phase. Any slice of the jump the NIC spent on ARQ
+    /// recovery (retransmission wire time and backoff timeouts, see
+    /// [`Env::isend`]) is booked to [`Phase::Retry`] instead, mirroring the
+    /// blocking sender's attribution. A no-op in wall-clock mode, with no
+    /// posted sends, or when the CPU already ran past the NIC (in which
+    /// case even recovery time was hidden and costs nothing).
     pub fn wait_all(&mut self) {
-        let target = self.nic.drain();
         let pre = match &self.clock {
             Clock::Virtual { now, .. } => *now,
-            Clock::Wall { .. } => return,
+            Clock::Wall { .. } => {
+                self.nic.drain();
+                return;
+            }
         };
+        let target = self.nic.free_at();
+        // Compute the recovery slice before the drain clears the timeline.
+        let retry = self.nic.retry_within(pre, target);
+        self.nic.drain();
         let jump = target.saturating_sub(pre);
         if jump.as_micros() <= 0.0 {
             return;
@@ -980,7 +1241,10 @@ impl Env {
             *now = target;
         }
         let phase = self.current_phase;
-        self.ledger.record(phase, jump);
+        if retry.as_micros() > 0.0 {
+            self.ledger.record(Phase::Retry, retry);
+        }
+        self.ledger.record(phase, jump.saturating_sub(retry));
         if let Some(tr) = self.tracer.as_mut() {
             tr.emit(
                 phase,
@@ -1040,9 +1304,10 @@ impl Env {
             return Err(CommError::PeerDead { rank: self.rank });
         }
         loop {
-            let frame = self.receivers[src]
-                .recv()
-                .map_err(|_| CommError::Disconnected { peer: src })?;
+            let frame = self.next_frame(src)?;
+            if let Some(rank) = frame.dead {
+                return Err(CommError::PeerDead { rank });
+            }
             if frame.failed {
                 return Err(CommError::RetriesExhausted {
                     src,
@@ -1077,6 +1342,24 @@ impl Env {
                 return Ok(self.deliver(frame));
             }
             self.ledger.faults_mut().corrupts += 1;
+        }
+    }
+
+    /// Pull the next frame from `src`, honouring the wall-clock watchdog
+    /// when one is installed (see [`Multicomputer::with_watchdog`]).
+    fn next_frame(&mut self, src: usize) -> Result<Frame, CommError> {
+        match self.watchdog {
+            None => self.receivers[src]
+                .recv()
+                .map_err(|_| CommError::Disconnected { peer: src }),
+            Some(limit) => match self.receivers[src].recv_timeout(limit) {
+                Ok(frame) => Ok(frame),
+                Err(RecvTimeoutError::Disconnected) => Err(CommError::Disconnected { peer: src }),
+                Err(RecvTimeoutError::Timeout) => Err(CommError::Stalled {
+                    src,
+                    waited_ms: limit.as_millis() as u64,
+                }),
+            },
         }
     }
 
@@ -1822,10 +2105,13 @@ mod tests {
         assert_eq!(ledgers[0].busy_total().as_micros(), 1_000.0);
     }
 
+    // ---- async ARQ: nonblocking sends under a fault plan ----
+
     #[test]
-    fn isend_with_fault_plan_matches_blocking_send() {
-        // With a plan installed isend degrades to the blocking ARQ path:
-        // ledgers must be bit-identical to the plain-send run.
+    fn async_arq_matches_blocking_totals_when_not_overlapped() {
+        // With no compute between the posts and the wait, the NIC schedule
+        // is exactly the blocking sender's timeline, so the ledgers —
+        // phases, wire stats, fault stats — must be bit-identical.
         let run = |nonblocking: bool| {
             let plan = FaultPlan::new(7).with_drop(0.5);
             let m = Multicomputer::virtual_machine(2, model())
@@ -1846,7 +2132,7 @@ mod tests {
                             env.phase(Phase::Send, |env| env.send(1, b)).unwrap();
                         }
                     }
-                    env.wait_all();
+                    env.phase(Phase::Send, |env| env.wait_all());
                 } else {
                     for _ in 0..8 {
                         env.recv(0).unwrap();
@@ -1855,7 +2141,268 @@ mod tests {
             });
             ledgers
         };
-        assert_eq!(run(true), run(false));
+        let (nb, blocking) = (run(true), run(false));
+        assert!(
+            blocking[0].faults().retries > 0,
+            "the seed must actually force retries"
+        );
+        assert_eq!(nb, blocking);
+    }
+
+    #[test]
+    fn async_arq_exhaustion_errors_at_post_time_and_charges_backoff_series() {
+        // The nonblocking twin of exhausted_send_charges_backoff_series:
+        // certain drop, 3 attempts of a 16 µs frame with 10/20 µs backoffs.
+        // Exhaustion surfaces from isend itself; wait_all splits the drain
+        // into Send = 16 and Retry = 16 + 10 + 16 + 20 = 62 µs.
+        let plan = FaultPlan::new(0).with_drop(1.0);
+        let m = Multicomputer::virtual_machine(2, model())
+            .with_faults(plan)
+            .with_retry_policy(RetryPolicy {
+                max_retries: 2,
+                timeout_us: 10.0,
+                backoff: 2.0,
+            });
+        let (_, ledgers) = m.run_with_ledgers(|env| {
+            if env.rank() == 0 {
+                let mut b = PackBuffer::new();
+                b.push_u64_slice(&[1, 2, 3]);
+                let err = env.phase(Phase::Send, |env| env.isend(1, b)).unwrap_err();
+                assert!(matches!(
+                    err,
+                    CommError::RetriesExhausted { attempts: 3, .. }
+                ));
+                env.phase(Phase::Send, |env| env.wait_all());
+            } else {
+                let err = env.recv(0).unwrap_err();
+                assert!(matches!(err, CommError::RetriesExhausted { .. }));
+            }
+        });
+        assert_eq!(ledgers[0].get(Phase::Send).as_micros(), 16.0);
+        assert_eq!(ledgers[0].get(Phase::Retry).as_micros(), 62.0);
+        assert_eq!(ledgers[0].faults().retries, 2);
+        assert_eq!(
+            ledgers[0].wire(),
+            WireStats {
+                messages: 3,
+                elements: 9,
+                bytes: 72
+            }
+        );
+    }
+
+    #[test]
+    fn async_arq_recovery_hides_behind_compute() {
+        // The point of the tentpole: ARQ recovery runs on the NIC while the
+        // CPU computes, so a long enough compute block swallows wire time,
+        // timeouts and retransmissions alike.
+        let plan = FaultPlan::new(7).with_drop(0.3);
+        let m = Multicomputer::virtual_machine(2, model())
+            .with_faults(plan)
+            .with_retry_policy(RetryPolicy {
+                max_retries: 16,
+                timeout_us: 10.0,
+                backoff: 1.5,
+            });
+        let (_, ledgers) = m.run_with_ledgers(|env| {
+            if env.rank() == 0 {
+                for i in 0..12u64 {
+                    let mut b = PackBuffer::new();
+                    b.push_u64(i);
+                    env.phase(Phase::Send, |env| env.isend(1, b)).unwrap();
+                }
+                env.phase(Phase::Encode, |env| env.charge_ops(10_000));
+                env.phase(Phase::Send, |env| env.wait_all());
+            } else {
+                for _ in 0..12 {
+                    env.recv(0).unwrap();
+                }
+            }
+        });
+        assert!(
+            ledgers[0].faults().retries > 0,
+            "a 30% drop rate over 12 messages must force retries"
+        );
+        // Everything the NIC did — including recovery — was hidden.
+        assert_eq!(ledgers[0].get(Phase::Retry).as_micros(), 0.0);
+        assert_eq!(ledgers[0].get(Phase::Send).as_micros(), 0.0);
+        assert_eq!(ledgers[0].busy_total().as_micros(), 10_000.0);
+    }
+
+    #[test]
+    fn async_fault_runs_are_bit_deterministic() {
+        let run_once = || {
+            let plan = FaultPlan::new(11)
+                .with_drop(0.3)
+                .with_corrupt(0.2)
+                .with_delay(0.1, 80.0);
+            let m = Multicomputer::virtual_machine(3, model())
+                .with_faults(plan)
+                .with_retry_policy(RetryPolicy {
+                    max_retries: 20,
+                    timeout_us: 25.0,
+                    backoff: 2.0,
+                });
+            m.run_with_ledgers(|env| {
+                if env.rank() == 0 {
+                    for dst in 1..env.nprocs() {
+                        for i in 0..10u64 {
+                            let mut b = PackBuffer::new();
+                            b.push_u64_slice(&[i; 5]);
+                            env.phase(Phase::Send, |env| env.isend(dst, b)).unwrap();
+                        }
+                        env.phase(Phase::Encode, |env| env.charge_ops(37));
+                    }
+                    env.phase(Phase::Send, |env| env.wait_all());
+                    0
+                } else {
+                    (0..10)
+                        .map(|_| env.recv(0).unwrap().payload.elem_count())
+                        .sum::<u64>()
+                }
+            })
+        };
+        let (ra, la) = run_once();
+        let (rb, lb) = run_once();
+        assert_eq!(ra, rb);
+        assert_eq!(la, lb, "async fault ledgers must be byte-identical");
+        // And the data still arrives intact.
+        assert_eq!(ra[1], 50);
+        assert_eq!(ra[2], 50);
+    }
+
+    // ---- timed rank death ----
+
+    #[test]
+    fn sends_past_a_timed_death_error_on_both_sides() {
+        // 1-elem frames cost 12 µs: the first lands at 12 ≤ 20, the second
+        // would land at 24 > 20 — rank 1 is gone. The sender detects it,
+        // the dying receiver observes it via the death notice.
+        let plan = FaultPlan::new(0).with_death_at(1, 20.0);
+        let m = Multicomputer::virtual_machine(2, model()).with_faults(plan);
+        let results = m.run(|env| {
+            if env.rank() == 0 {
+                let mut b = PackBuffer::new();
+                b.push_u64(1);
+                env.send(1, b).unwrap();
+                let mut b = PackBuffer::new();
+                b.push_u64(2);
+                let err = env.send(1, b).unwrap_err();
+                assert_eq!(err, CommError::PeerDead { rank: 1 });
+                "detected"
+            } else {
+                assert_eq!(env.recv(0).unwrap().payload.cursor().read_u64(), 1);
+                let err = env.recv(0).unwrap_err();
+                assert_eq!(err, CommError::PeerDead { rank: 1 });
+                "observed"
+            }
+        });
+        assert_eq!(results, vec!["detected", "observed"]);
+    }
+
+    #[test]
+    fn isend_respects_timed_death_on_the_nic_schedule() {
+        // Both frames are posted at t = 0, but the NIC serialises them:
+        // scheduled arrivals 12 and 24 µs, so the second post already
+        // cannot land before rank 1 dies at t = 20.
+        let plan = FaultPlan::new(0).with_death_at(1, 20.0);
+        let m = Multicomputer::virtual_machine(2, model()).with_faults(plan);
+        m.run(|env| {
+            if env.rank() == 0 {
+                env.phase(Phase::Send, |env| {
+                    let mut b = PackBuffer::new();
+                    b.push_u64(1);
+                    env.isend(1, b).unwrap();
+                    let mut b = PackBuffer::new();
+                    b.push_u64(2);
+                    let err = env.isend(1, b).unwrap_err();
+                    assert_eq!(err, CommError::PeerDead { rank: 1 });
+                    env.wait_all();
+                });
+            } else {
+                env.recv(0).unwrap();
+                let err = env.recv(0).unwrap_err();
+                assert_eq!(err, CommError::PeerDead { rank: 1 });
+            }
+        });
+    }
+
+    #[test]
+    fn a_rank_past_its_own_death_cannot_send() {
+        let plan = FaultPlan::new(0).with_death_at(0, 50.0);
+        let m = Multicomputer::virtual_machine(2, model()).with_faults(plan);
+        m.run(|env| {
+            if env.rank() == 0 {
+                env.charge_ops(100); // sail past the death instant
+                let err = env.send(1, PackBuffer::new()).unwrap_err();
+                assert_eq!(err, CommError::PeerDead { rank: 0 });
+            } else {
+                let err = env.recv(0).unwrap_err();
+                assert_eq!(err, CommError::PeerDead { rank: 0 });
+            }
+        });
+    }
+
+    #[test]
+    fn timed_death_runs_are_deterministic() {
+        let run_once = || {
+            let plan = FaultPlan::new(3).with_drop(0.2).with_death_at(1, 300.0);
+            let m = Multicomputer::virtual_machine(3, model())
+                .with_faults(plan)
+                .with_retry_policy(RetryPolicy::with_retries(10));
+            m.run_with_ledgers(|env| {
+                if env.rank() == 0 {
+                    let mut delivered = 0u64;
+                    for i in 0..20u64 {
+                        let mut b = PackBuffer::new();
+                        b.push_u64_slice(&[i; 4]);
+                        let dst = 1 + (i % 2) as usize;
+                        if env.send(dst, b).is_ok() {
+                            delivered += 1;
+                        }
+                    }
+                    delivered
+                } else {
+                    let mut got = 0u64;
+                    while let Ok(m) = env.recv(0) {
+                        got += m.payload.elem_count();
+                    }
+                    got
+                }
+            })
+        };
+        let (ra, la) = run_once();
+        let (rb, lb) = run_once();
+        assert_eq!(ra, rb);
+        assert_eq!(la, lb);
+        // Rank 2 outlives the run and keeps receiving after rank 1 died.
+        assert!(ra[2] > ra[1], "{ra:?}");
+    }
+
+    // ---- watchdog ----
+
+    #[test]
+    fn watchdog_unblocks_a_protocol_stall() {
+        // Both ranks wait on each other without anyone sending — a
+        // deliberate protocol bug that would deadlock forever. The
+        // watchdog turns it into a typed error.
+        let m = Multicomputer::virtual_machine(2, model()).with_watchdog(Duration::from_millis(50));
+        let results = m.run(|env| {
+            let peer = 1 - env.rank();
+            env.recv(peer)
+                .map(|_| String::new())
+                .unwrap_err()
+                .to_string()
+        });
+        // Whichever rank times out first unblocks the other by dropping
+        // its channels, so the peer may see a disconnect instead.
+        for err in &results {
+            assert!(err.contains("watchdog") || err.contains("hung up"), "{err}");
+        }
+        assert!(
+            results.iter().any(|e| e.contains("watchdog")),
+            "{results:?}"
+        );
     }
 
     #[test]

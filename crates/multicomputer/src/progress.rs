@@ -14,9 +14,21 @@
 //!   NIC: the local clock jumps to `nic_free` (if it is ahead) and the jump
 //!   is booked into the caller's current phase.
 //!
+//! # ARQ on the NIC
+//!
+//! Under a fault plan the NIC also owns the retransmit schedule: a doomed
+//! attempt's wire time, the ARQ timeout that follows it
+//! ([`NicProgress::timeout_gap`]), and every retransmission's wire time are
+//! *labelled* spans on the NIC timeline (`NicSpan::retry`), while
+//! first-attempt wire time stays unlabelled. At `wait_all` the engine asks
+//! [`NicProgress::retry_within`] how much of the clock jump was recovery
+//! work and books that slice to `Phase::Retry`, attributing the rest to the
+//! caller's current phase — so retransmissions hidden behind compute cost
+//! nothing, exactly like hidden first attempts.
+//!
 //! Everything is pure arithmetic on [`VirtualTime`] — no channels, no host
-//! clocks — so nonblocking runs stay bit-deterministic exactly like
-//! blocking ones.
+//! clocks, and no ledger access (the engine does all phase booking) — so
+//! nonblocking runs stay bit-deterministic exactly like blocking ones.
 
 use crate::time::VirtualTime;
 
@@ -29,11 +41,23 @@ pub struct TxWindow {
     pub arrival: VirtualTime,
 }
 
-/// Per-rank NIC state: when the (single) outgoing link is free again.
+/// One labelled span of NIC activity since the last drain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct NicSpan {
+    start: VirtualTime,
+    end: VirtualTime,
+    /// True for ARQ recovery time: retransmission wire occupancy and
+    /// timeout gaps. False for first-attempt wire time.
+    retry: bool,
+}
+
+/// Per-rank NIC state: when the (single) outgoing link is free again, plus
+/// the labelled activity timeline accumulated since the last drain.
 #[derive(Debug, Clone, Default)]
 pub struct NicProgress {
     free_at: VirtualTime,
     in_flight: usize,
+    spans: Vec<NicSpan>,
 }
 
 impl NicProgress {
@@ -42,14 +66,45 @@ impl NicProgress {
         NicProgress::default()
     }
 
-    /// Schedule one transmission of wire cost `cost` posted at local time
-    /// `now`. Returns its window and marks the NIC busy until the arrival.
+    /// Schedule one first-attempt transmission of wire cost `cost` posted
+    /// at local time `now`. Returns its window and marks the NIC busy until
+    /// the arrival.
     pub fn begin_tx(&mut self, now: VirtualTime, cost: VirtualTime) -> TxWindow {
+        self.begin_tx_labeled(now, cost, false)
+    }
+
+    /// Schedule one retransmission: identical to [`NicProgress::begin_tx`]
+    /// but the wire occupancy is labelled as ARQ recovery time, so
+    /// [`NicProgress::retry_within`] will report it.
+    pub fn begin_retry_tx(&mut self, now: VirtualTime, cost: VirtualTime) -> TxWindow {
+        self.begin_tx_labeled(now, cost, true)
+    }
+
+    fn begin_tx_labeled(&mut self, now: VirtualTime, cost: VirtualTime, retry: bool) -> TxWindow {
         let start = now.max(self.free_at);
         let arrival = start + cost;
         self.free_at = arrival;
         self.in_flight += 1;
+        self.spans.push(NicSpan {
+            start,
+            end: arrival,
+            retry,
+        });
         TxWindow { start, arrival }
+    }
+
+    /// Occupy the NIC's ARQ engine for `span` starting at the current
+    /// `free_at` — the timeout between a doomed attempt and its
+    /// retransmission. Subsequent transmissions queue behind the gap, and
+    /// the gap counts as recovery time for [`NicProgress::retry_within`].
+    pub fn timeout_gap(&mut self, span: VirtualTime) {
+        let start = self.free_at;
+        self.free_at = start + span;
+        self.spans.push(NicSpan {
+            start,
+            end: self.free_at,
+            retry: true,
+        });
     }
 
     /// When the NIC next becomes idle (equals the last scheduled arrival).
@@ -62,13 +117,30 @@ impl NicProgress {
         self.in_flight
     }
 
+    /// Total ARQ recovery time (retransmission wire occupancy plus timeout
+    /// gaps) falling inside the window `[lo, hi]` of the current timeline.
+    pub fn retry_within(&self, lo: VirtualTime, hi: VirtualTime) -> VirtualTime {
+        let mut total = VirtualTime::ZERO;
+        for s in &self.spans {
+            if !s.retry {
+                continue;
+            }
+            let a = s.start.max(lo);
+            let b = s.end.min(hi);
+            total += b.saturating_sub(a);
+        }
+        total
+    }
+
     /// Complete every posted transmission: returns the time the caller's
-    /// clock must reach (the NIC-idle instant) and resets the in-flight
-    /// count. The NIC stays "warm" — a later `begin_tx` before `free_at`
-    /// still queues behind the drained traffic, which is physically right:
-    /// draining is the CPU catching up, not the wire resetting.
+    /// clock must reach (the NIC-idle instant), resets the in-flight count
+    /// and clears the labelled timeline. The NIC stays "warm" — a later
+    /// `begin_tx` before `free_at` still queues behind the drained traffic,
+    /// which is physically right: draining is the CPU catching up, not the
+    /// wire resetting.
     pub fn drain(&mut self) -> VirtualTime {
         self.in_flight = 0;
+        self.spans.clear();
         self.free_at
     }
 }
@@ -131,5 +203,45 @@ mod tests {
         // still queues behind the already-transmitted frames.
         let w = nic.begin_tx(us(5.0), us(1.0));
         assert_eq!(w.start, us(8.0));
+    }
+
+    #[test]
+    fn arq_schedule_labels_retry_time() {
+        let mut nic = NicProgress::new();
+        // Attempt 0 (doomed): wire [0, 16]; timeout [16, 26]; retransmit
+        // [26, 42] — exactly the blocking ARQ timeline for a 16 µs frame
+        // with a 10 µs first timeout.
+        nic.begin_tx(us(0.0), us(16.0));
+        nic.timeout_gap(us(10.0));
+        nic.begin_retry_tx(us(0.0), us(16.0));
+        assert_eq!(nic.free_at(), us(42.0));
+        // The whole window: 26 µs of recovery, 16 µs of first-attempt wire.
+        assert_eq!(nic.retry_within(us(0.0), us(42.0)), us(26.0));
+        // A clipped window only counts the overlapping recovery slices.
+        assert_eq!(nic.retry_within(us(20.0), us(30.0)), us(10.0));
+        // Everything before the timeout is first-attempt time.
+        assert_eq!(nic.retry_within(us(0.0), us(16.0)), us(0.0));
+    }
+
+    #[test]
+    fn drain_clears_the_labelled_timeline() {
+        let mut nic = NicProgress::new();
+        nic.begin_tx(us(0.0), us(4.0));
+        nic.timeout_gap(us(6.0));
+        nic.begin_retry_tx(us(0.0), us(4.0));
+        assert_eq!(nic.retry_within(us(0.0), us(14.0)), us(10.0));
+        nic.drain();
+        assert_eq!(nic.retry_within(us(0.0), us(100.0)), us(0.0));
+    }
+
+    #[test]
+    fn timeout_gap_queues_subsequent_traffic() {
+        let mut nic = NicProgress::new();
+        nic.begin_tx(us(0.0), us(5.0));
+        nic.timeout_gap(us(20.0));
+        // Posted "now" but the ARQ engine holds the link until 25.
+        let w = nic.begin_tx(us(1.0), us(5.0));
+        assert_eq!(w.start, us(25.0));
+        assert_eq!(w.arrival, us(30.0));
     }
 }

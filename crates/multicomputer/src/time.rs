@@ -53,6 +53,16 @@ impl VirtualTime {
         }
     }
 
+    /// The earlier of two instants (used when clipping a span to a
+    /// window).
+    pub fn min(self, other: VirtualTime) -> VirtualTime {
+        if other.0 < self.0 {
+            other
+        } else {
+            self
+        }
+    }
+
     /// Saturating difference: `self - other`, clamped at zero.
     pub fn saturating_sub(self, other: VirtualTime) -> VirtualTime {
         VirtualTime((self.0 - other.0).max(0.0))

@@ -140,3 +140,41 @@ proptest! {
         prop_assert_eq!(run.reassemble(part.as_ref()), a);
     }
 }
+
+/// When the backoff schedule runs dry mid-part on the chunked streaming
+/// path, the run fails with the typed `RetriesExhausted` error — not a
+/// panic, not a hang, and not a partial local that reassembles wrong.
+#[test]
+fn chunked_streaming_surfaces_retry_exhaustion_typed() {
+    use sparsedist::core::error::SparsedistError;
+    use sparsedist::multicomputer::engine::CommError;
+
+    let a = Dense2D::from_vec(8, 8, (0..64).map(|i| (i % 3) as f64).collect());
+    let part = RowBlock::new(8, 8, 4);
+    // A total blackout: every attempt of every frame is dropped, so the
+    // budget is exhausted on the very first chunk no matter its size.
+    let machine = Multicomputer::virtual_machine(4, MachineModel::ibm_sp2())
+        .with_faults(FaultPlan::new(7).with_drop(1.0))
+        .with_retry_policy(RetryPolicy::with_retries(2));
+    for chunk_elems in [2, 16] {
+        let config = SchemeConfig {
+            chunk_elems,
+            ..SchemeConfig::default()
+        };
+        let err = run_scheme_with(
+            SchemeKind::Ed,
+            &machine,
+            &a,
+            &part,
+            CompressKind::Crs,
+            config,
+        )
+        .unwrap_err();
+        match err {
+            SparsedistError::Comm(CommError::RetriesExhausted { attempts, .. }) => {
+                assert_eq!(attempts, 3, "initial transmission + the 2-retry budget");
+            }
+            other => panic!("chunk={chunk_elems}: expected RetriesExhausted, got {other}"),
+        }
+    }
+}
