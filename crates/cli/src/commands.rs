@@ -14,8 +14,8 @@ use sparsedist_core::wire::WireFormat;
 use sparsedist_gen::{matrixmarket, patterns, SparseRandom};
 use sparsedist_multicomputer::timing::{render_fault_summary, render_timeline};
 use sparsedist_multicomputer::{
-    chrome_trace_json, metrics_json, render_phase_table, render_waterfall, FaultPlan, MachineModel,
-    MemorySink, Multicomputer, Phase, RankTrace, RetryPolicy,
+    chrome_trace_json, metrics_json, render_phase_table, render_waterfall, EngineKind, FaultPlan,
+    MachineModel, MemorySink, Multicomputer, Phase, RankTrace, RetryPolicy,
 };
 use sparsedist_ops::spmv::distributed_spmv;
 use std::fmt::Write as _;
@@ -34,6 +34,7 @@ USAGE:
                          [--timeline yes] [--faults SPEC] [--retries N]
                          [--wire v1|v2] [--parallel yes] [--overlap yes]
                          [--chunk-elems N] [--trace OUT.json]
+                         [--engine auto|threaded|event]
 
   --faults takes comma-separated key=value tokens, e.g.
   'seed=7,drop=0.2' or 'dead=2' or 'corrupt@0-1=0.5,phase=send' or
@@ -41,7 +42,10 @@ USAGE:
   --retries bounds retransmissions per message (default 6);
   --overlap sends each part as soon as it is encoded (nonblocking isend);
   --chunk-elems streams each part as framed chunks of at most N elements;
-  --trace writes a Chrome-trace JSON of the run (load in Perfetto).
+  --trace writes a Chrome-trace JSON of the run (load in Perfetto);
+  --engine picks the SPMD backend: 'auto' (default) uses OS threads up
+  to 1024 ranks and the deterministic event loop above, 'threaded' and
+  'event' force a backend. Both produce bit-identical ledgers.
   sparsedist trace FILE.mtx [--scheme …] [--partition …] [--procs P] [--kind …]
                          [--model …] [--wire …] [--parallel yes] [--overlap yes]
                          [--chunk-elems N] [--width N]
@@ -50,6 +54,7 @@ USAGE:
                          [--scheme sfc|cfs|ed|all] [--retries N]
                          [--wire v1|v2] [--parallel yes] [--overlap yes]
                          [--chunk-elems N] [--watchdog-ms MS]
+                         [--engine auto|threaded|event]
 
   chaos sweeps N deterministically seeded fault plans (drops, corruption,
   delays, mid-run rank deaths) over the chosen scheme(s), verifying that
@@ -134,10 +139,34 @@ fn build_partition(
     }
 }
 
-/// Build the simulated machine, honouring the shared `--faults SPEC` and
-/// `--retries N` flags.
+fn parse_engine(s: &str) -> Result<Option<EngineKind>, CmdError> {
+    match s {
+        "auto" => Ok(None),
+        "threaded" => Ok(Some(EngineKind::Threaded)),
+        "event" => Ok(Some(EngineKind::EventLoop)),
+        other => Err(format!("unknown engine '{other}' (auto|threaded|event)")),
+    }
+}
+
+/// Reject `--procs` beyond what any engine backend can schedule, with a
+/// typed [`SparsedistError`] instead of whatever the machine constructor
+/// (or the OS thread spawner, on the threaded path) would do at the limit.
+fn check_procs(procs: usize) -> Result<(), CmdError> {
+    let max = EngineKind::EventLoop.max_procs();
+    if procs > max {
+        return Err(SparsedistError::MachineTooLarge { procs, max }.to_string());
+    }
+    Ok(())
+}
+
+/// Build the simulated machine, honouring the shared `--faults SPEC`,
+/// `--retries N` and `--engine` flags.
 fn build_machine(p: &Parsed, procs: usize, model: MachineModel) -> Result<Multicomputer, CmdError> {
+    check_procs(procs)?;
     let mut machine = Multicomputer::virtual_machine(procs, model);
+    if let Some(kind) = parse_engine(p.flag_or("engine", "auto"))? {
+        machine = machine.with_engine(kind);
+    }
     if let Some(spec) = p.flags.get("faults") {
         let plan = FaultPlan::parse(spec).map_err(|e| e.to_string())?;
         machine = machine.with_faults(plan);
@@ -418,6 +447,8 @@ pub fn chaos_cmd(p: &Parsed) -> Result<String, CmdError> {
     if procs < 2 {
         return Err("chaos needs --procs >= 2".into());
     }
+    check_procs(procs)?;
+    let engine = parse_engine(p.flag_or("engine", "auto"))?;
     let a = SparseRandom::new(rows, rows)
         .sparse_ratio(ratio)
         .seed(0xC0FFEE)
@@ -429,12 +460,15 @@ pub fn chaos_cmd(p: &Parsed) -> Result<String, CmdError> {
     for seed in 0..seeds as u64 {
         let plan = FaultPlan::chaos(seed, procs);
         for &scheme in &schemes {
-            let machine = Multicomputer::virtual_machine(procs, MachineModel::ibm_sp2())
+            let mut machine = Multicomputer::virtual_machine(procs, MachineModel::ibm_sp2())
                 .with_faults(plan.clone())
                 .with_retry_policy(RetryPolicy::with_retries(
                     u32::try_from(retries).unwrap_or(u32::MAX),
                 ))
                 .with_watchdog(std::time::Duration::from_millis(watchdog_ms as u64));
+            if let Some(kind) = engine {
+                machine = machine.with_engine(kind);
+            }
             match run_scheme_with(scheme, &machine, &a, &part, CompressKind::Crs, config) {
                 Ok(run) => {
                     if run.reassemble(&part) != a {
@@ -814,6 +848,39 @@ mod tests {
         );
 
         assert!(crate::run(&argv(&format!("distribute {path} --chunk-elems nope"))).is_err());
+    }
+
+    #[test]
+    fn oversized_procs_is_a_typed_error() {
+        let path = tmp("gen_procs_max.mtx");
+        crate::run(&argv(&format!("gen {path} --rows 16 --ratio 0.2"))).unwrap();
+        // Above the event loop's ceiling there is no backend left; the CLI
+        // must reject up front with the typed message, not spawn anything.
+        let err = crate::run(&argv(&format!("distribute {path} --procs 200000"))).unwrap_err();
+        assert!(err.contains("--procs 200000"), "{err}");
+        assert!(err.contains("131072"), "{err}");
+        let err = crate::run(&argv("chaos --seeds 1 --procs 200000")).unwrap_err();
+        assert!(err.contains("--procs 200000"), "{err}");
+        assert!(err.contains("largest supported machine"), "{err}");
+    }
+
+    #[test]
+    fn engine_flag_forces_backends_with_identical_output() {
+        let path = tmp("gen_engine.mtx");
+        crate::run(&argv(&format!("gen {path} --rows 40 --ratio 0.2 --seed 5"))).unwrap();
+        let threaded = crate::run(&argv(&format!(
+            "distribute {path} --scheme ed --procs 4 --engine threaded"
+        )))
+        .unwrap();
+        let event = crate::run(&argv(&format!(
+            "distribute {path} --scheme ed --procs 4 --engine event"
+        )))
+        .unwrap();
+        assert!(event.contains("verified"), "{event}");
+        // Ledgers are bit-identical across backends, so the whole report —
+        // timings, wire stats, per-rank lines — must match byte for byte.
+        assert_eq!(threaded, event);
+        assert!(crate::run(&argv(&format!("distribute {path} --engine warp"))).is_err());
     }
 
     #[test]

@@ -37,6 +37,16 @@ pub enum SparsedistError {
         /// The part that could not be re-homed.
         part: usize,
     },
+    /// The requested machine size exceeds what any engine backend can
+    /// schedule — above the event loop's ceiling there is no backend to
+    /// fall back to, so the request is rejected up front instead of
+    /// failing inside the scheduler (or, worse, at the OS thread limit).
+    MachineTooLarge {
+        /// The requested processor count.
+        procs: usize,
+        /// The largest machine any engine supports.
+        max: usize,
+    },
     /// A host filesystem operation failed (trace export, ledger dumps).
     /// Carries the path and the rendered `io::Error` — `std::io::Error` is
     /// neither `Clone` nor `PartialEq`, which this enum requires.
@@ -71,6 +81,12 @@ impl fmt::Display for SparsedistError {
             SparsedistError::NoSurvivors { part } => {
                 write!(f, "no surviving rank left to re-home part {part} onto")
             }
+            SparsedistError::MachineTooLarge { procs, max } => {
+                write!(
+                    f,
+                    "--procs {procs} exceeds the largest supported machine ({max} ranks)"
+                )
+            }
             SparsedistError::Io { path, message } => {
                 write!(f, "{path}: {message}")
             }
@@ -87,6 +103,7 @@ impl std::error::Error for SparsedistError {
             SparsedistError::Patch(e) => Some(e),
             SparsedistError::SourceDead { .. } => None,
             SparsedistError::NoSurvivors { .. } => None,
+            SparsedistError::MachineTooLarge { .. } => None,
             SparsedistError::Io { .. } => None,
         }
     }
@@ -126,6 +143,12 @@ mod tests {
         assert!(e.to_string().contains("rank 3 is dead"), "{e}");
         let e = SparsedistError::SourceDead { rank: 0 };
         assert!(e.to_string().contains("source rank 0"), "{e}");
+        let e = SparsedistError::MachineTooLarge {
+            procs: 200_000,
+            max: 131_072,
+        };
+        assert!(e.to_string().contains("--procs 200000"), "{e}");
+        assert!(e.to_string().contains("131072"), "{e}");
     }
 
     #[test]

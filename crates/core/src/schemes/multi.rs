@@ -24,7 +24,9 @@ use crate::schemes::pipeline::{recv_part, send_part};
 use crate::schemes::{map_parts_counted, SchemeConfig};
 use crate::wire::{self, IndexRunReader, IndexRunWriter, WireFormat};
 use sparsedist_multicomputer::pack::{PatchError, UnpackError};
-use sparsedist_multicomputer::{Multicomputer, PackBuffer, Phase, PhaseLedger, VirtualTime};
+use sparsedist_multicomputer::{Env, Multicomputer, PackBuffer, Phase, PhaseLedger, VirtualTime};
+use std::future::Future;
+use std::pin::Pin;
 
 /// Result of a multi-source ED run.
 #[derive(Debug, Clone)]
@@ -109,6 +111,193 @@ fn encode_stripe(
     Ok(())
 }
 
+/// Per-run state for one multi-source rank task, threaded through the
+/// task API's context parameter (the `for<'e>` spawning closure cannot
+/// capture these borrows itself).
+struct MultiCtx<'a> {
+    global: &'a Dense2D,
+    part: &'a dyn Partition,
+    nsources: usize,
+    config: SchemeConfig,
+}
+
+/// One rank of the multi-source ED run: encode+send this rank's stripes
+/// (sources only, fully synchronous), then receive one buffer per source
+/// and decode. Awaits only inside [`recv_part`].
+fn multi_task<'e>(
+    ctx: &'e MultiCtx<'_>,
+    env: &'e mut Env,
+) -> Pin<Box<dyn Future<Output = Result<LocalCompressed, SparsedistError>> + 'e>> {
+    let (global, part, nsources, config) = (ctx.global, ctx.part, ctx.nsources, ctx.config);
+    Box::pin(async move {
+        let p = env.nprocs();
+        let me = env.rank();
+        env.trace_scope("ED-multi");
+        if env.is_rank_dead(me) {
+            // A dead destination holds nothing; its slot reports an
+            // empty local array of its own shape.
+            let (lrows, _) = part.local_shape(me);
+            let converter = IndexConverter::new(part, me, CompressKind::Crs);
+            let bound = converter.local_index_bound(CompressKind::Crs);
+            return Ok(LocalCompressed::Crs(Crs::from_raw(
+                lrows,
+                bound,
+                vec![0; lrows + 1],
+                vec![],
+                vec![],
+            )?));
+        }
+        if me < nsources {
+            if config.overlap {
+                // Overlapped: post each stripe buffer nonblocking as
+                // soon as it is encoded, then drain the NIC once. The
+                // per-destination encode charges sum to the batch
+                // path's Encode total.
+                // Dead destinations' stripes are still encoded (and
+                // charged), exactly like the staged path — only the
+                // send is skipped.
+                for dst in 0..p {
+                    let buf = env.phase(Phase::Encode, |env| {
+                        let mut ops = OpCounter::new();
+                        let (lrows, lcols) = part.local_shape(dst);
+                        let mut buf = env
+                            .arena()
+                            .checkout((lrows / nsources + 1) * (lcols / 2 + 1) * 8);
+                        let r = encode_stripe(
+                            &mut buf,
+                            global,
+                            part,
+                            dst,
+                            me,
+                            nsources,
+                            config.wire,
+                            &mut ops,
+                        )
+                        .map(|()| buf);
+                        let n = ops.take();
+                        env.trace_part_ops(&[(dst, n)]);
+                        env.charge_ops(n);
+                        r
+                    })?;
+                    if env.is_rank_dead(dst) {
+                        continue;
+                    }
+                    env.phase(Phase::Send, |env| {
+                        send_part(env, dst, buf, config.chunk_elems, true)
+                    })?;
+                }
+                env.phase(Phase::Send, |env| env.wait_all());
+            } else {
+                let bufs: Vec<PackBuffer> = env.phase(Phase::Encode, |env| {
+                    let mut ops = OpCounter::new();
+                    let (bufs, counts) = {
+                        let arena = env.arena();
+                        map_parts_counted(p, config.parallel, &mut ops, &|pid, ops| {
+                            let (lrows, lcols) = part.local_shape(pid);
+                            let mut buf =
+                                arena.checkout((lrows / nsources + 1) * (lcols / 2 + 1) * 8);
+                            encode_stripe(
+                                &mut buf,
+                                global,
+                                part,
+                                pid,
+                                me,
+                                nsources,
+                                config.wire,
+                                ops,
+                            )
+                            .map(|()| buf)
+                        })
+                    };
+                    if env.is_tracing() {
+                        let pairs: Vec<(usize, u64)> = counts.into_iter().enumerate().collect();
+                        env.trace_part_ops(&pairs);
+                    }
+                    env.charge_ops(ops.take());
+                    bufs.into_iter().collect::<Result<Vec<_>, _>>()
+                })?;
+                env.phase(Phase::Send, |env| -> Result<(), SparsedistError> {
+                    for (dst, buf) in bufs.into_iter().enumerate() {
+                        if env.is_rank_dead(dst) {
+                            continue;
+                        }
+                        send_part(env, dst, buf, config.chunk_elems, false)?;
+                    }
+                    Ok(())
+                })?;
+            }
+        }
+
+        // Receive one buffer per source and decode, steering each
+        // segment to the source that owns its stripe.
+        let mut msgs: Vec<PackBuffer> = Vec::with_capacity(nsources);
+        for src in 0..nsources {
+            msgs.push(recv_part(env, src, config.chunk_elems).await?);
+        }
+        let local = env.phase(
+            Phase::Decode,
+            |env| -> Result<LocalCompressed, SparsedistError> {
+                let mut ops = OpCounter::new();
+                let (lrows, _lcols) = part.local_shape(me);
+                let converter = IndexConverter::new(part, me, CompressKind::Crs);
+                let bound = converter.local_index_bound(CompressKind::Crs);
+                let mut cursors: Vec<_> = msgs.iter().map(|b| b.cursor()).collect();
+                // Each source negotiates its own flags; recover them per
+                // stream before touching any counts.
+                let mut readers = Vec::with_capacity(cursors.len());
+                for cursor in &mut cursors {
+                    let flags = match config.wire {
+                        WireFormat::V1 => 0,
+                        WireFormat::V2 => wire::read_header(cursor)?,
+                    };
+                    readers.push((flags, IndexRunReader::new(flags)));
+                }
+                let mut ro = Vec::with_capacity(lrows + 1);
+                ro.push(0usize);
+                ops.tick();
+                let mut co = Vec::new();
+                let mut vl = Vec::new();
+                for lr in 0..lrows {
+                    let (gr, _) = part.to_global(me, lr, 0);
+                    let src = gr % nsources;
+                    let cursor = &mut cursors[src];
+                    let (flags, reader) = &mut readers[src];
+                    let count = wire::read_count(cursor, *flags)?;
+                    reader.reset();
+                    ops.tick();
+                    ro.push(ro[lr] + count);
+                    for _ in 0..count {
+                        let travelling = reader.next(cursor)?;
+                        ops.tick();
+                        co.push(converter.to_local(travelling, &mut ops));
+                        vl.push(cursor.try_read_f64()?);
+                        ops.tick();
+                    }
+                }
+                for c in cursors.iter() {
+                    if !c.is_exhausted() {
+                        return Err(UnpackError {
+                            at: 0,
+                            remaining: c.remaining(),
+                        }
+                        .into());
+                    }
+                }
+                let n = ops.take();
+                env.trace_part_ops(&[(me, n)]);
+                env.charge_ops(n);
+                Ok(LocalCompressed::Crs(Crs::from_raw(
+                    lrows, bound, ro, co, vl,
+                )?))
+            },
+        );
+        for buf in msgs {
+            env.arena().recycle_bytes(buf.into_bytes());
+        }
+        local
+    })
+}
+
 /// Run the ED scheme with `nsources` source processors (CRS only).
 ///
 /// Ranks `0..nsources` act as sources, each holding the row stripe
@@ -168,172 +357,13 @@ pub fn run_ed_multi_source_with(
         }
     }
 
-    let (results, ledgers) =
-        machine.run_with_ledgers(|env| -> Result<LocalCompressed, SparsedistError> {
-            let me = env.rank();
-            env.trace_scope("ED-multi");
-            if env.is_rank_dead(me) {
-                // A dead destination holds nothing; its slot reports an
-                // empty local array of its own shape.
-                let (lrows, _) = part.local_shape(me);
-                let converter = IndexConverter::new(part, me, CompressKind::Crs);
-                let bound = converter.local_index_bound(CompressKind::Crs);
-                return Ok(LocalCompressed::Crs(Crs::from_raw(
-                    lrows,
-                    bound,
-                    vec![0; lrows + 1],
-                    vec![],
-                    vec![],
-                )?));
-            }
-            if me < nsources {
-                if config.overlap {
-                    // Overlapped: post each stripe buffer nonblocking as
-                    // soon as it is encoded, then drain the NIC once. The
-                    // per-destination encode charges sum to the batch
-                    // path's Encode total.
-                    // Dead destinations' stripes are still encoded (and
-                    // charged), exactly like the staged path — only the
-                    // send is skipped.
-                    for dst in 0..p {
-                        let buf = env.phase(Phase::Encode, |env| {
-                            let mut ops = OpCounter::new();
-                            let (lrows, lcols) = part.local_shape(dst);
-                            let mut buf = env
-                                .arena()
-                                .checkout((lrows / nsources + 1) * (lcols / 2 + 1) * 8);
-                            let r = encode_stripe(
-                                &mut buf,
-                                global,
-                                part,
-                                dst,
-                                me,
-                                nsources,
-                                config.wire,
-                                &mut ops,
-                            )
-                            .map(|()| buf);
-                            let n = ops.take();
-                            env.trace_part_ops(&[(dst, n)]);
-                            env.charge_ops(n);
-                            r
-                        })?;
-                        if env.is_rank_dead(dst) {
-                            continue;
-                        }
-                        env.phase(Phase::Send, |env| {
-                            send_part(env, dst, buf, config.chunk_elems, true)
-                        })?;
-                    }
-                    env.phase(Phase::Send, |env| env.wait_all());
-                } else {
-                    let bufs: Vec<PackBuffer> = env.phase(Phase::Encode, |env| {
-                        let mut ops = OpCounter::new();
-                        let (bufs, counts) = {
-                            let arena = env.arena();
-                            map_parts_counted(p, config.parallel, &mut ops, &|pid, ops| {
-                                let (lrows, lcols) = part.local_shape(pid);
-                                let mut buf =
-                                    arena.checkout((lrows / nsources + 1) * (lcols / 2 + 1) * 8);
-                                encode_stripe(
-                                    &mut buf,
-                                    global,
-                                    part,
-                                    pid,
-                                    me,
-                                    nsources,
-                                    config.wire,
-                                    ops,
-                                )
-                                .map(|()| buf)
-                            })
-                        };
-                        if env.is_tracing() {
-                            let pairs: Vec<(usize, u64)> = counts.into_iter().enumerate().collect();
-                            env.trace_part_ops(&pairs);
-                        }
-                        env.charge_ops(ops.take());
-                        bufs.into_iter().collect::<Result<Vec<_>, _>>()
-                    })?;
-                    env.phase(Phase::Send, |env| -> Result<(), SparsedistError> {
-                        for (dst, buf) in bufs.into_iter().enumerate() {
-                            if env.is_rank_dead(dst) {
-                                continue;
-                            }
-                            send_part(env, dst, buf, config.chunk_elems, false)?;
-                        }
-                        Ok(())
-                    })?;
-                }
-            }
-
-            // Receive one buffer per source and decode, steering each
-            // segment to the source that owns its stripe.
-            let msgs: Vec<PackBuffer> = (0..nsources)
-                .map(|src| recv_part(env, src, config.chunk_elems))
-                .collect::<Result<Vec<_>, _>>()?;
-            let local = env.phase(
-                Phase::Decode,
-                |env| -> Result<LocalCompressed, SparsedistError> {
-                    let mut ops = OpCounter::new();
-                    let (lrows, _lcols) = part.local_shape(me);
-                    let converter = IndexConverter::new(part, me, CompressKind::Crs);
-                    let bound = converter.local_index_bound(CompressKind::Crs);
-                    let mut cursors: Vec<_> = msgs.iter().map(|b| b.cursor()).collect();
-                    // Each source negotiates its own flags; recover them per
-                    // stream before touching any counts.
-                    let mut readers = Vec::with_capacity(cursors.len());
-                    for cursor in &mut cursors {
-                        let flags = match config.wire {
-                            WireFormat::V1 => 0,
-                            WireFormat::V2 => wire::read_header(cursor)?,
-                        };
-                        readers.push((flags, IndexRunReader::new(flags)));
-                    }
-                    let mut ro = Vec::with_capacity(lrows + 1);
-                    ro.push(0usize);
-                    ops.tick();
-                    let mut co = Vec::new();
-                    let mut vl = Vec::new();
-                    for lr in 0..lrows {
-                        let (gr, _) = part.to_global(me, lr, 0);
-                        let src = gr % nsources;
-                        let cursor = &mut cursors[src];
-                        let (flags, reader) = &mut readers[src];
-                        let count = wire::read_count(cursor, *flags)?;
-                        reader.reset();
-                        ops.tick();
-                        ro.push(ro[lr] + count);
-                        for _ in 0..count {
-                            let travelling = reader.next(cursor)?;
-                            ops.tick();
-                            co.push(converter.to_local(travelling, &mut ops));
-                            vl.push(cursor.try_read_f64()?);
-                            ops.tick();
-                        }
-                    }
-                    for c in cursors.iter() {
-                        if !c.is_exhausted() {
-                            return Err(UnpackError {
-                                at: 0,
-                                remaining: c.remaining(),
-                            }
-                            .into());
-                        }
-                    }
-                    let n = ops.take();
-                    env.trace_part_ops(&[(me, n)]);
-                    env.charge_ops(n);
-                    Ok(LocalCompressed::Crs(Crs::from_raw(
-                        lrows, bound, ro, co, vl,
-                    )?))
-                },
-            );
-            for buf in msgs {
-                env.arena().recycle_bytes(buf.into_bytes());
-            }
-            local
-        });
+    let ctx = MultiCtx {
+        global,
+        part,
+        nsources,
+        config,
+    };
+    let (results, ledgers) = machine.run_tasks_with_ledgers(&ctx, |ctx, env| multi_task(ctx, env));
     let locals = results.into_iter().collect::<Result<Vec<_>, _>>()?;
     Ok(MultiSourceRun {
         nsources,

@@ -40,6 +40,13 @@ use crate::schemes::{
 };
 use sparsedist_multicomputer::{CommError, Env, Multicomputer, PackBuffer, Phase};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+
+/// A rank task's boxed future, borrowing its context and [`Env`] for `'e`
+/// (the shape [`Multicomputer::run_tasks_with_ledgers`] expects back from
+/// its spawning closure).
+type TaskFuture<'e, T> = Pin<Box<dyn Future<Output = T> + 'e>>;
 
 /// How a scheme's source-side encode is charged to the virtual clock.
 pub(crate) enum SourcePolicy {
@@ -167,12 +174,15 @@ pub(crate) fn send_part(
 /// chunking is on; the chunk count itself travels in the first frame).
 /// The returned buffer's element count equals the sender's pre-chunking
 /// count, so downstream recycling and accounting are chunking-agnostic.
-pub(crate) fn recv_part(
+///
+/// Async so the event-loop engine can park the rank between frames; on
+/// the threaded engine each `.await` resolves in the same poll.
+pub(crate) async fn recv_part(
     env: &mut Env,
     src: usize,
     chunk_elems: usize,
 ) -> Result<PackBuffer, SparsedistError> {
-    let first = env.recv(src)?.payload;
+    let first = env.recv_async(src).await?.payload;
     if chunk_elems == 0 {
         return Ok(first);
     }
@@ -181,7 +191,7 @@ pub(crate) fn recv_part(
     out.push_chunk(&first.as_bytes()[8..], first.elem_count() - 1);
     env.arena().recycle_bytes(first.into_bytes());
     for _ in 1..k {
-        let chunk = env.recv(src)?.payload;
+        let chunk = env.recv_async(src).await?.payload;
         out.push_chunk(chunk.as_bytes(), chunk.elem_count());
         env.arena().recycle_bytes(chunk.into_bytes());
     }
@@ -309,8 +319,8 @@ fn source_overlapped<S: SchemeStages>(
 
 /// Receiver side: collect the parts this rank owns, decode them (batched
 /// onto host threads when `parallel` and ≥ 2 parts land here), and run the
-/// optional finish stage.
-fn receive_parts<S: SchemeStages>(
+/// optional finish stage. Awaits only inside [`recv_part`].
+async fn receive_parts<S: SchemeStages>(
     env: &mut Env,
     stages: &S,
     mine: &[usize],
@@ -324,7 +334,7 @@ fn receive_parts<S: SchemeStages>(
         // them apart.
         let mut payloads = Vec::with_capacity(mine.len());
         for &pid in mine {
-            payloads.push((pid, recv_part(env, SOURCE, config.chunk_elems)?));
+            payloads.push((pid, recv_part(env, SOURCE, config.chunk_elems).await?));
         }
         let decode = |i: usize, ops: &mut OpCounter, payloads: &[(usize, PackBuffer)]| {
             let (pid, payload) = &payloads[i];
@@ -395,7 +405,7 @@ fn receive_parts<S: SchemeStages>(
         }
     } else {
         for &pid in mine {
-            let payload = recv_part(env, SOURCE, config.chunk_elems)?;
+            let payload = recv_part(env, SOURCE, config.chunk_elems).await?;
             let mid = env.phase(stages.recv_phase(), |env| {
                 let mut ops = OpCounter::new();
                 let mid = stages.decode_part(&payload, pid, &mut ops);
@@ -423,9 +433,48 @@ fn receive_parts<S: SchemeStages>(
     Ok(out)
 }
 
+/// Everything a plain (unrouted) rank task needs, threaded through
+/// [`Multicomputer::run_tasks_with_ledgers`]'s context parameter so the
+/// spawning closure itself stays capture-free (the `for<'e>` bound
+/// forbids it from holding these borrows directly).
+struct PlainCtx<'a, S: SchemeStages> {
+    stages: &'a S,
+    nparts: usize,
+    owners: &'a [usize],
+    config: SchemeConfig,
+}
+
+/// One rank of the plain pipeline as a boxed task: source encode+send
+/// (all synchronous — sends never block), then the async receive side.
+fn plain_task<'e, S: SchemeStages>(
+    ctx: &'e PlainCtx<'_, S>,
+    env: &'e mut Env,
+) -> TaskFuture<'e, Result<Vec<(usize, LocalCompressed)>, SparsedistError>> {
+    Box::pin(async move {
+        let me = env.rank();
+        env.trace_scope(ctx.stages.scheme().label());
+        if env.is_rank_dead(me) {
+            return Ok(Vec::new());
+        }
+        if me == SOURCE {
+            if ctx.config.overlap {
+                source_overlapped(env, ctx.stages, ctx.nparts, ctx.owners, ctx.config)?;
+            } else {
+                source_staged(env, ctx.stages, ctx.nparts, ctx.owners, ctx.config)?;
+            }
+        }
+        let mine: Vec<usize> = (0..ctx.nparts)
+            .filter(|&pid| ctx.owners[pid] == me)
+            .collect();
+        receive_parts(env, ctx.stages, &mine, ctx.config).await
+    })
+}
+
 /// The one SPMD driver behind `run_scheme`: owner assignment, source
 /// encode+send (staged or overlapped), receiver decode (+finish), and
-/// result collection.
+/// result collection. Runs through the task API, so machines past the
+/// threaded engine's processor cap transparently land on the event-loop
+/// backend with bit-identical ledgers.
 ///
 /// Fault plans that schedule *timed* rank deaths
 /// ([`sparsedist_multicomputer::FaultPlan::with_death_at`]) switch the run
@@ -446,25 +495,13 @@ pub(crate) fn run_pipeline<S: SchemeStages>(
     }
     let nparts = part.nparts();
     let owners = assign_owners(part, &alive_ranks_of(machine));
-    let owners_ref = &owners;
-    let (results, ledgers) = machine.run_with_ledgers(
-        |env| -> Result<Vec<(usize, LocalCompressed)>, SparsedistError> {
-            let me = env.rank();
-            env.trace_scope(stages.scheme().label());
-            if env.is_rank_dead(me) {
-                return Ok(Vec::new());
-            }
-            if me == SOURCE {
-                if config.overlap {
-                    source_overlapped(env, stages, nparts, owners_ref, config)?;
-                } else {
-                    source_staged(env, stages, nparts, owners_ref, config)?;
-                }
-            }
-            let mine: Vec<usize> = (0..nparts).filter(|&pid| owners_ref[pid] == me).collect();
-            receive_parts(env, stages, &mine, config)
-        },
-    );
+    let ctx = PlainCtx {
+        stages,
+        nparts,
+        owners: &owners,
+        config,
+    };
+    let (results, ledgers) = machine.run_tasks_with_ledgers(&ctx, |ctx, env| plain_task(ctx, env));
     let locals = collect_parts(results, nparts)?;
     Ok(SchemeRun {
         scheme: stages.scheme(),
@@ -741,7 +778,7 @@ impl<'a, S: SchemeStages> Router<'a, S> {
 /// *this* rank ends the loop with an empty contribution (the source
 /// observed the same death and re-homed everything this rank held); any
 /// other communication failure surfaces as a typed error.
-fn routed_receive<S: SchemeStages>(
+async fn routed_receive<S: SchemeStages>(
     env: &mut Env,
     stages: &S,
     config: SchemeConfig,
@@ -749,7 +786,7 @@ fn routed_receive<S: SchemeStages>(
     let me = env.rank();
     let mut got: BTreeMap<usize, LocalCompressed> = BTreeMap::new();
     loop {
-        let header = match env.recv(SOURCE) {
+        let header = match env.recv_async(SOURCE).await {
             Ok(msg) => msg.payload,
             Err(CommError::PeerDead { rank }) if rank == me => return Ok(Vec::new()),
             Err(e) => return Err(e.into()),
@@ -761,7 +798,7 @@ fn routed_receive<S: SchemeStages>(
         }
         // lint: allow(W002) — the tag is a part id bounded by the part count
         let pid = tag as usize;
-        let payload = match recv_part(env, SOURCE, config.chunk_elems) {
+        let payload = match recv_part(env, SOURCE, config.chunk_elems).await {
             Ok(p) => p,
             Err(SparsedistError::Comm(CommError::PeerDead { rank })) if rank == me => {
                 return Ok(Vec::new())
@@ -798,6 +835,43 @@ fn routed_receive<S: SchemeStages>(
     Ok(got.into_iter().collect())
 }
 
+/// Context for one routed-recovery rank task (see [`PlainCtx`] for why
+/// the borrows ride in a struct instead of the spawning closure).
+struct RoutedCtx<'a, S: SchemeStages> {
+    stages: &'a S,
+    config: SchemeConfig,
+    cells: &'a [usize],
+    owners0: &'a [usize],
+    done_order: &'a [usize],
+}
+
+/// One rank of the routed pipeline as a boxed task: the source drives the
+/// [`Router`] (synchronous — sends never block, deaths are observed on
+/// the send path), every rank then runs the async routed receive loop.
+fn routed_task<'e, S: SchemeStages>(
+    ctx: &'e RoutedCtx<'_, S>,
+    env: &'e mut Env,
+) -> TaskFuture<'e, Result<Vec<(usize, LocalCompressed)>, SparsedistError>> {
+    Box::pin(async move {
+        let me = env.rank();
+        env.trace_scope(ctx.stages.scheme().label());
+        if env.is_rank_dead(me) {
+            return Ok(Vec::new());
+        }
+        if me == SOURCE {
+            let mut router = Router::new(
+                ctx.stages,
+                ctx.config,
+                ctx.cells,
+                ctx.owners0.to_vec(),
+                env.nprocs(),
+            );
+            router.run(env, ctx.done_order)?;
+        }
+        routed_receive(env, ctx.stages, ctx.config).await
+    })
+}
+
 /// [`run_pipeline`] for fault plans with timed deaths: the routed recovery
 /// protocol. The returned [`SchemeRun::owners`] is rebuilt from where each
 /// part actually landed, so mid-stream re-homes are visible to callers.
@@ -830,24 +904,14 @@ fn run_pipeline_routed<S: SchemeStages>(
             .unwrap_or(std::cmp::Ordering::Equal)
             .then(x.cmp(&y))
     });
-    let owners_ref = &owners0;
-    let cells_ref = &cells;
-    let order_ref = &done_order;
-    let (results, ledgers) = machine.run_with_ledgers(
-        |env| -> Result<Vec<(usize, LocalCompressed)>, SparsedistError> {
-            let me = env.rank();
-            env.trace_scope(stages.scheme().label());
-            if env.is_rank_dead(me) {
-                return Ok(Vec::new());
-            }
-            if me == SOURCE {
-                let mut router =
-                    Router::new(stages, config, cells_ref, owners_ref.clone(), env.nprocs());
-                router.run(env, order_ref)?;
-            }
-            routed_receive(env, stages, config)
-        },
-    );
+    let ctx = RoutedCtx {
+        stages,
+        config,
+        cells: &cells,
+        owners0: &owners0,
+        done_order: &done_order,
+    };
+    let (results, ledgers) = machine.run_tasks_with_ledgers(&ctx, |ctx, env| routed_task(ctx, env));
     let mut owners = vec![usize::MAX; nparts];
     let mut slots: Vec<Option<LocalCompressed>> = (0..nparts).map(|_| None).collect();
     for (rank, res) in results.into_iter().enumerate() {
@@ -1427,25 +1491,27 @@ mod tests {
                 timeout_us: 100.0,
                 backoff: 2.0,
             });
-        let (results, ledgers) = m.run_with_ledgers(|env| -> Result<(), SparsedistError> {
-            if env.rank() == 0 {
-                let arena = PackArena::new();
-                let mut buf = arena.checkout(80);
-                for i in 0..10u64 {
-                    buf.push_u64(i);
+        let (results, ledgers) = m.run_tasks_with_ledgers(&(), move |(), env| {
+            Box::pin(async move {
+                if env.rank() == 0 {
+                    let arena = PackArena::new();
+                    let mut buf = arena.checkout(80);
+                    for i in 0..10u64 {
+                        buf.push_u64(i);
+                    }
+                    env.phase(Phase::Send, |env| {
+                        send_part(env, 1, buf, chunk_elems, false)
+                    })?;
+                } else {
+                    let got = recv_part(env, 0, chunk_elems).await?;
+                    assert_eq!(got.elem_count(), 10);
+                    let mut c = got.cursor();
+                    for i in 0..10u64 {
+                        assert_eq!(c.read_u64(), i);
+                    }
                 }
-                env.phase(Phase::Send, |env| {
-                    send_part(env, 1, buf, chunk_elems, false)
-                })?;
-            } else {
-                let got = recv_part(env, 0, chunk_elems)?;
-                assert_eq!(got.elem_count(), 10);
-                let mut c = got.cursor();
-                for i in 0..10u64 {
-                    assert_eq!(c.read_u64(), i);
-                }
-            }
-            Ok(())
+                Ok::<(), SparsedistError>(())
+            })
         });
         for r in results {
             r.unwrap();
@@ -1707,8 +1773,8 @@ mod tests {
         // issue) followed by DONE: the receiver must keep exactly one copy
         // and charge the decode exactly once — replays are idempotent.
         let m = Multicomputer::virtual_machine(2, MachineModel::new(10.0, 2.0, 1.0));
-        let (results, ledgers) = m.run_with_ledgers(
-            |env| -> Result<Vec<(usize, LocalCompressed)>, SparsedistError> {
+        let (results, ledgers) = m.run_tasks_with_ledgers(&(), |(), env| {
+            Box::pin(async move {
                 if env.rank() == 0 {
                     env.phase(Phase::Send, |env| -> Result<(), SparsedistError> {
                         for _ in 0..2 {
@@ -1726,10 +1792,10 @@ mod tests {
                     })?;
                     Ok(Vec::new())
                 } else {
-                    routed_receive(env, &EchoStages, SchemeConfig::default())
+                    routed_receive(env, &EchoStages, SchemeConfig::default()).await
                 }
-            },
-        );
+            })
+        });
         let mut out = results.into_iter();
         out.next().unwrap().unwrap();
         let got = out.next().unwrap().unwrap();

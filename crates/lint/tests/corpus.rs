@@ -61,6 +61,35 @@ fn d_rules_police_the_progress_engine() {
 }
 
 #[test]
+fn d_rules_police_the_event_loop_executor() {
+    // The event-loop executor replays rank tasks over virtual time; a
+    // wall clock, entropy, or an unordered map in its scheduler state
+    // would break bit-identical replay across runs and engines.
+    let expected = vec![
+        (5, "D003"),
+        (6, "D001"),
+        (9, "D003"),
+        (10, "D001"),
+        (14, "D002"),
+        (18, "D001"),
+    ];
+    assert_eq!(
+        check("crates/multicomputer/src/exec.rs", "bad_exec_rules.rs"),
+        expected
+    );
+    // And not just under the default config: the checked-in lint.toml
+    // must keep exec.rs inside D-rule territory too.
+    let cfg = sparsedist_lint::load_config(&workspace_root()).expect("lint.toml parses");
+    let (violations, _) = sparsedist_lint::check_source(
+        "crates/multicomputer/src/exec.rs",
+        &fixture("bad_exec_rules.rs"),
+        &cfg,
+    );
+    let got: Vec<(usize, &str)> = violations.iter().map(|v| (v.line, v.rule)).collect();
+    assert_eq!(got, expected);
+}
+
+#[test]
 fn p_rules_fire_at_exact_lines() {
     assert_eq!(
         check("crates/core/src/fixture.rs", "bad_p_rules.rs"),

@@ -1,0 +1,20 @@
+//! Known-bad executor fixture: an event-loop scheduler that breaks the
+//! determinism family the real `exec.rs` honours — unordered mailboxes,
+//! wall-clock deadlines, entropy in the ready-queue pick.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+struct SloppyFabric {
+    mailboxes: HashMap<usize, Vec<u8>>,
+    started: Instant,
+}
+
+fn pick_next_task(ready: &mut Vec<usize>) -> usize {
+    let mut rng = rand::thread_rng();
+    ready.swap_remove(rng.gen::<usize>() % ready.len())
+}
+
+fn stalled_after(deadline: std::time::Instant) -> bool {
+    deadline.elapsed().as_millis() > 10
+}

@@ -71,6 +71,7 @@
 //! Without a plan the fast path is exactly the original engine: no CRC
 //! work, no acks, identical charges — the paper's tables are unaffected.
 
+use crate::exec::{self, EngineKind, EventFabric};
 use crate::fault::{FaultKind, FaultPlan, RetryPolicy};
 use crate::model::MachineModel;
 use crate::pack::{PackArena, PackBuffer};
@@ -81,8 +82,13 @@ use crate::topology::Topology;
 use crate::trace::{RankTrace, TraceSink, Tracer};
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::collections::BTreeMap;
 use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
 use std::sync::Arc;
+use std::task::{Context, Poll};
 use std::time::Duration;
 // lint: allow(D001) — WallClock mode measures real elapsed time by design
 use std::time::Instant;
@@ -203,10 +209,11 @@ impl RecvHandle {
     }
 }
 
-/// What actually travels on a channel: a framed payload with the metadata
-/// the reliable-delivery layer needs.
+/// What actually travels on a link: a framed payload with the metadata
+/// the reliable-delivery layer needs. Crate-visible so the event-loop
+/// fabric ([`crate::exec`]) can carry the same frames as the channels.
 #[derive(Debug, Clone)]
-struct Frame {
+pub(crate) struct Frame {
     seq: u64,
     src: usize,
     payload: PackBuffer,
@@ -226,9 +233,24 @@ struct Frame {
 
 /// Receiver → sender control frame of the ack/nack protocol.
 #[derive(Debug, Clone, Copy)]
-struct AckMsg {
+pub(crate) struct AckMsg {
     seq: u64,
     ok: bool,
+}
+
+/// The transport seam between rank logic and the rest of the machine:
+/// per-peer crossbeam channels when each rank owns an OS thread, or the
+/// shared mailbox fabric when all ranks are tasks on the event loop. All
+/// charging, ARQ, fault and trace logic lives in [`Env`] *above* this
+/// enum, which is what makes the two engines bit-identical.
+enum Links {
+    Threaded {
+        senders: Vec<Sender<Frame>>,
+        receivers: Vec<Receiver<Frame>>,
+        ack_senders: Vec<Sender<AckMsg>>,
+        ack_receivers: Vec<Receiver<AckMsg>>,
+    },
+    Event(Rc<EventFabric>),
 }
 
 /// A simulated distributed-memory machine with `p` processors.
@@ -239,6 +261,9 @@ pub struct Multicomputer {
     faults: Option<FaultPlan>,
     retry: RetryPolicy,
     watchdog: Option<Duration>,
+    /// Forced execution backend for task runs (`None` = auto-select by
+    /// machine size; see [`Multicomputer::task_engine`]).
+    engine: Option<EngineKind>,
     /// One buffer-reuse arena per rank, persisting across `run_*` calls so
     /// repeated distributions stop reallocating their send buffers.
     arenas: Vec<Arc<PackArena>>,
@@ -284,6 +309,12 @@ impl Multicomputer {
                 "topology grid {pr}x{pc} != {nprocs} processors"
             );
         }
+        assert!(
+            nprocs <= EngineKind::EventLoop.max_procs(),
+            "{} processors exceeds the engine maximum of {}",
+            nprocs,
+            EngineKind::EventLoop.max_procs()
+        );
         Multicomputer {
             nprocs,
             mode,
@@ -291,8 +322,41 @@ impl Multicomputer {
             faults: None,
             retry: RetryPolicy::default(),
             watchdog: None,
+            engine: None,
             arenas: (0..nprocs).map(|_| Arc::new(PackArena::new())).collect(),
             sink: None,
+        }
+    }
+
+    /// Force the execution backend used by [`Multicomputer::run_tasks`] /
+    /// [`Multicomputer::run_tasks_with_ledgers`] instead of auto-selecting
+    /// by machine size. [`EngineKind::EventLoop`] only models virtual
+    /// time; in wall-clock mode the choice falls back to the threaded
+    /// engine (see [`Multicomputer::task_engine`]).
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = Some(engine);
+        self
+    }
+
+    /// The backend a task run will actually use: the forced choice if one
+    /// was installed, otherwise [`EngineKind::Threaded`] up to its
+    /// [`EngineKind::max_procs`] and [`EngineKind::EventLoop`] beyond —
+    /// with the caveat that wall-clock mode always keeps real threads
+    /// (there is no virtual timeline for the event loop to schedule).
+    ///
+    /// The closure-based [`Multicomputer::run`] /
+    /// [`Multicomputer::run_with_ledgers`] entry points are always
+    /// threaded: a synchronous closure has no yield points to schedule.
+    pub fn task_engine(&self) -> EngineKind {
+        let auto = if self.nprocs > EngineKind::Threaded.max_procs() {
+            EngineKind::EventLoop
+        } else {
+            EngineKind::Threaded
+        };
+        let kind = self.engine.unwrap_or(auto);
+        match (kind, self.mode) {
+            (EngineKind::EventLoop, TimingMode::Virtual(_)) => EngineKind::EventLoop,
+            _ => EngineKind::Threaded,
         }
     }
 
@@ -397,6 +461,12 @@ impl Multicomputer {
         R: Send,
     {
         let p = self.nprocs;
+        assert!(
+            p <= EngineKind::Threaded.max_procs(),
+            "the threaded engine supports at most {} processors; \
+             use run_tasks (event loop) for larger machines",
+            EngineKind::Threaded.max_procs()
+        );
         // Data frames: chans[src][dst]. Ack control frames flow the other
         // way on their own matrix so they never interleave with data.
         let (data_tx, data_rx) = channel_matrix::<Frame>(p);
@@ -428,10 +498,12 @@ impl Multicomputer {
                         watchdog,
                         Arc::clone(&arenas[rank]),
                         tracing,
-                        tx_row,
-                        rx_row,
-                        ack_tx_row,
-                        ack_rx_row,
+                        Links::Threaded {
+                            senders: tx_row,
+                            receivers: rx_row,
+                            ack_senders: ack_tx_row,
+                            ack_receivers: ack_rx_row,
+                        },
                     );
                     let out = f(&mut env);
                     let (ledger, trace) = env.into_parts();
@@ -457,6 +529,124 @@ impl Multicomputer {
             }
         }
         (results, ledgers)
+    }
+
+    /// Run an *asynchronous* rank program on every processor and collect
+    /// the return values in rank order — the scalable twin of
+    /// [`Multicomputer::run`].
+    ///
+    /// `f` is called once per rank with the shared read-only context
+    /// `ctx` and the rank's [`Env`], and returns that rank's task: a
+    /// boxed future borrowing both (in practice, a named `async fn`
+    /// wrapped in `Box::pin`). The context parameter exists because the
+    /// `for<'e>` closure bound forbids the *closure* from capturing
+    /// borrowed per-run state (owner maps, scheme tables) — thread it
+    /// through `ctx` instead, where the compiler can tie its lifetime to
+    /// each task's. Receives are the only awaited operations — sends,
+    /// nonblocking posts and `wait_all` never block on a peer — so on
+    /// the threaded backend the future completes in a single poll with
+    /// *exactly* the blocking engine's behavior, while on the event loop
+    /// ([`EngineKind::EventLoop`], auto-selected for machines beyond
+    /// [`EngineKind::max_procs`] threads) the awaits become yield points
+    /// and tens of thousands of ranks share one OS thread. Ledgers,
+    /// traces, wire stats and fault fates are bit-identical between the
+    /// two backends.
+    pub fn run_tasks<C, F, R>(&self, ctx: &C, f: F) -> Vec<R>
+    where
+        C: Sync + ?Sized,
+        F: for<'e> Fn(&'e C, &'e mut Env) -> Pin<Box<dyn Future<Output = R> + 'e>> + Sync,
+        R: Send,
+    {
+        self.run_tasks_with_ledgers(ctx, f).0
+    }
+
+    /// Like [`Multicomputer::run_tasks`], but also returns each rank's
+    /// [`PhaseLedger`] — the entry point for scheme drivers that need to
+    /// scale past the threaded engine.
+    pub fn run_tasks_with_ledgers<C, F, R>(&self, ctx: &C, f: F) -> (Vec<R>, Vec<PhaseLedger>)
+    where
+        C: Sync + ?Sized,
+        F: for<'e> Fn(&'e C, &'e mut Env) -> Pin<Box<dyn Future<Output = R> + 'e>> + Sync,
+        R: Send,
+    {
+        match self.task_engine() {
+            EngineKind::Threaded => self.run_with_ledgers(|env| poll_complete(f(ctx, env))),
+            EngineKind::EventLoop => self.run_tasks_event(ctx, &f),
+        }
+    }
+
+    /// Event-loop backend: all ranks as tasks on this thread, scheduled
+    /// by frame availability (see [`crate::exec`]).
+    fn run_tasks_event<C, F, R>(&self, ctx: &C, f: &F) -> (Vec<R>, Vec<PhaseLedger>)
+    where
+        C: Sync + ?Sized,
+        F: for<'e> Fn(&'e C, &'e mut Env) -> Pin<Box<dyn Future<Output = R> + 'e>> + Sync,
+        R: Send,
+    {
+        let p = self.nprocs;
+        let watchdog_ms = self
+            .watchdog
+            .map(|limit| limit.as_millis() as u64)
+            .unwrap_or(0);
+        let fabric = Rc::new(EventFabric::new(p, watchdog_ms));
+        let tracing = self.sink.as_ref().is_some_and(|s| s.is_enabled());
+        #[allow(clippy::type_complexity)]
+        let mut tasks: Vec<
+            Pin<Box<dyn Future<Output = (R, PhaseLedger, Option<RankTrace>)> + '_>>,
+        > = Vec::with_capacity(p);
+        for rank in 0..p {
+            let env = Env::new(
+                rank,
+                p,
+                self.mode,
+                self.topology,
+                self.faults.clone(),
+                self.retry,
+                self.watchdog,
+                Arc::clone(&self.arenas[rank]),
+                tracing,
+                Links::Event(Rc::clone(&fabric)),
+            );
+            // The env is moved *into* the task so the future is
+            // self-contained: no self-referential (env, future) pairs, no
+            // unsafe.
+            tasks.push(Box::pin(async move {
+                let mut env = env;
+                let out = f(ctx, &mut env).await;
+                let (ledger, trace) = env.into_parts();
+                (out, ledger, trace)
+            }));
+        }
+        let outs = exec::drive(tasks, &fabric);
+        let mut results = Vec::with_capacity(p);
+        let mut ledgers = Vec::with_capacity(p);
+        let mut traces = Vec::with_capacity(p);
+        for (r, l, t) in outs {
+            results.push(r);
+            ledgers.push(l);
+            traces.push(t);
+        }
+        if let Some(sink) = &self.sink {
+            for trace in traces.into_iter().flatten() {
+                sink.record(trace);
+            }
+        }
+        (results, ledgers)
+    }
+}
+
+/// Drive a rank future on the *threaded* engine, where every await point
+/// resolves immediately (receives block inside the poll, exactly like the
+/// synchronous engine): one poll always completes the task.
+fn poll_complete<R>(mut fut: Pin<Box<dyn Future<Output = R> + '_>>) -> R {
+    let waker = exec::noop_waker();
+    let mut cx = Context::from_waker(&waker);
+    match fut.as_mut().poll(&mut cx) {
+        Poll::Ready(r) => r,
+        // Unreachable by construction: the threaded transport never
+        // returns Pending — its receives block until a frame (or a
+        // disconnect/stall verdict) is available.
+        Poll::Pending => unreachable!("a threaded rank task pended"),
     }
 }
 
@@ -518,12 +708,11 @@ pub struct Env {
     arena: Arc<PackArena>,
     /// Outgoing-link progress state for nonblocking sends ([`Env::isend`]).
     nic: NicProgress,
-    /// Next per-link sequence number, indexed by destination.
-    send_seq: Vec<u64>,
-    senders: Vec<Sender<Frame>>,
-    receivers: Vec<Receiver<Frame>>,
-    ack_senders: Vec<Sender<AckMsg>>,
-    ack_receivers: Vec<Receiver<AckMsg>>,
+    /// Next per-link sequence number, keyed by destination. Sparse on
+    /// purpose: a rank at p = 65536 typically talks to a handful of peers,
+    /// and a dense per-rank `Vec` would cost O(p²) across the machine.
+    send_seq: BTreeMap<usize, u64>,
+    links: Links,
 }
 
 impl Env {
@@ -538,10 +727,7 @@ impl Env {
         watchdog: Option<Duration>,
         arena: Arc<PackArena>,
         tracing: bool,
-        senders: Vec<Sender<Frame>>,
-        receivers: Vec<Receiver<Frame>>,
-        ack_senders: Vec<Sender<AckMsg>>,
-        ack_receivers: Vec<Receiver<AckMsg>>,
+        links: Links,
     ) -> Self {
         let (clock, wire_ns_per_elem, wire_ns_startup) = match mode {
             TimingMode::Virtual(model) => (
@@ -579,12 +765,17 @@ impl Env {
             watchdog,
             arena,
             nic: NicProgress::new(),
-            send_seq: vec![0; nprocs],
-            senders,
-            receivers,
-            ack_senders,
-            ack_receivers,
+            send_seq: BTreeMap::new(),
+            links,
         }
+    }
+
+    /// Claim the next per-link sequence number for `dst`.
+    fn next_seq(&mut self, dst: usize) -> u64 {
+        let slot = self.send_seq.entry(dst).or_insert(0);
+        let seq = *slot;
+        *slot += 1;
+        seq
     }
 
     /// This processor's rank, `0..nprocs`.
@@ -874,8 +1065,7 @@ impl Env {
             return Err(CommError::PeerDead { rank: self.rank });
         }
         let hops = self.topology.hops(self.rank, dst, self.nprocs);
-        let seq = self.send_seq[dst];
-        self.send_seq[dst] += 1;
+        let seq = self.next_seq(dst);
 
         let Some(plan) = self.plan.clone() else {
             // Fast path: the original engine, byte-for-byte cost behavior.
@@ -1014,9 +1204,12 @@ impl Env {
     }
 
     fn push_frame(&mut self, dst: usize, frame: Frame) -> Result<(), CommError> {
-        self.senders[dst]
-            .send(frame)
-            .map_err(|_| CommError::Disconnected { peer: dst })
+        match &self.links {
+            Links::Threaded { senders, .. } => senders[dst]
+                .send(frame)
+                .map_err(|_| CommError::Disconnected { peer: dst }),
+            Links::Event(fabric) => fabric.push_frame(dst, self.rank, frame),
+        }
     }
 
     /// Emit one nonblocking transmission span into the trace.
@@ -1089,8 +1282,7 @@ impl Env {
             return Err(CommError::PeerDead { rank: self.rank });
         }
         let hops = self.topology.hops(self.rank, dst, self.nprocs);
-        let seq = self.send_seq[dst];
-        self.send_seq[dst] += 1;
+        let seq = self.next_seq(dst);
         let elems = payload.elem_count();
         let nbytes = payload.byte_len();
         let (now, cost) = match &self.clock {
@@ -1297,69 +1489,130 @@ impl Env {
     /// Panics if `src` is out of range (API misuse, like slice indexing).
     pub fn recv(&mut self, src: usize) -> Result<Message, CommError> {
         assert!(src < self.nprocs, "recv from rank {src} of {}", self.nprocs);
+        self.recv_preflight(src)?;
+        loop {
+            let frame = self.next_frame(src)?;
+            if let Some(msg) = self.process_frame(src, frame)? {
+                return Ok(msg);
+            }
+        }
+    }
+
+    /// Asynchronous twin of [`Env::recv`]: identical semantics, identical
+    /// charges, but the wait for a frame is an `await` point. On the
+    /// threaded engine the await resolves immediately (the transport
+    /// blocks inside the poll); on the event loop it parks the rank's task
+    /// until the frame is pushed. This is the *only* suspension point a
+    /// rank task has — sends and collectives built from sends never block
+    /// on a peer.
+    ///
+    /// # Errors
+    /// Same failure modes as [`Env::recv`].
+    ///
+    /// # Panics
+    /// Panics if `src` is out of range (API misuse, like slice indexing).
+    pub async fn recv_async(&mut self, src: usize) -> Result<Message, CommError> {
+        assert!(src < self.nprocs, "recv from rank {src} of {}", self.nprocs);
+        self.recv_preflight(src)?;
+        loop {
+            let frame = self.next_frame_async(src).await?;
+            if let Some(msg) = self.process_frame(src, frame)? {
+                return Ok(msg);
+            }
+        }
+    }
+
+    /// Dead-rank checks shared by the blocking and async receive paths.
+    fn recv_preflight(&self, src: usize) -> Result<(), CommError> {
         if self.is_rank_dead(src) {
             return Err(CommError::PeerDead { rank: src });
         }
         if self.is_rank_dead(self.rank) {
             return Err(CommError::PeerDead { rank: self.rank });
         }
-        loop {
-            let frame = self.next_frame(src)?;
-            if let Some(rank) = frame.dead {
-                return Err(CommError::PeerDead { rank });
-            }
-            if frame.failed {
-                return Err(CommError::RetriesExhausted {
-                    src,
-                    dst: self.rank,
-                    seq: frame.seq,
-                    attempts: self.retry.max_retries + 1,
-                });
-            }
-            if self.plan.is_none() {
-                // Fast path: deliver directly, original cost behavior.
-                return Ok(self.deliver(frame));
-            }
-            match frame.injected {
-                Some(FaultKind::Drop) => {
-                    // Lost on the wire: the receiver never saw it; only the
-                    // deterministic drop counter records it.
-                    self.ledger.faults_mut().drops += 1;
-                    continue;
-                }
-                Some(FaultKind::Delay(_)) => {
-                    self.ledger.faults_mut().delays += 1;
-                }
-                _ => {}
-            }
-            // CRC verification walks every payload element once.
-            self.phase(Phase::Recv, |env| {
-                env.charge_ops(frame.payload.elem_count())
-            });
-            let ok = frame.payload.crc32() == frame.crc;
-            self.send_ack(src, AckMsg { seq: frame.seq, ok });
-            if ok {
-                return Ok(self.deliver(frame));
-            }
-            self.ledger.faults_mut().corrupts += 1;
+        Ok(())
+    }
+
+    /// Consume one frame from `src`: deliver it (`Ok(Some)`), absorb it
+    /// and keep waiting (`Ok(None)` — injected drops and CRC-rejected
+    /// corruptions), or surface the failure it encodes. Every charge the
+    /// receive path makes happens here, shared verbatim by both engines.
+    fn process_frame(&mut self, src: usize, frame: Frame) -> Result<Option<Message>, CommError> {
+        if let Some(rank) = frame.dead {
+            return Err(CommError::PeerDead { rank });
         }
+        if frame.failed {
+            return Err(CommError::RetriesExhausted {
+                src,
+                dst: self.rank,
+                seq: frame.seq,
+                attempts: self.retry.max_retries + 1,
+            });
+        }
+        if self.plan.is_none() {
+            // Fast path: deliver directly, original cost behavior.
+            return Ok(Some(self.deliver(frame)));
+        }
+        match frame.injected {
+            Some(FaultKind::Drop) => {
+                // Lost on the wire: the receiver never saw it; only the
+                // deterministic drop counter records it.
+                self.ledger.faults_mut().drops += 1;
+                return Ok(None);
+            }
+            Some(FaultKind::Delay(_)) => {
+                self.ledger.faults_mut().delays += 1;
+            }
+            _ => {}
+        }
+        // CRC verification walks every payload element once.
+        self.phase(Phase::Recv, |env| {
+            env.charge_ops(frame.payload.elem_count())
+        });
+        let ok = frame.payload.crc32() == frame.crc;
+        self.send_ack(src, AckMsg { seq: frame.seq, ok });
+        if ok {
+            return Ok(Some(self.deliver(frame)));
+        }
+        self.ledger.faults_mut().corrupts += 1;
+        Ok(None)
     }
 
     /// Pull the next frame from `src`, honouring the wall-clock watchdog
-    /// when one is installed (see [`Multicomputer::with_watchdog`]).
+    /// when one is installed (see [`Multicomputer::with_watchdog`]). On an
+    /// event-loop env this cannot block (there is no thread to park), so
+    /// an empty link reports a stall — synchronous receives belong to the
+    /// threaded engine, asynchronous rank tasks await
+    /// [`Env::next_frame_async`] instead.
     fn next_frame(&mut self, src: usize) -> Result<Frame, CommError> {
-        match self.watchdog {
-            None => self.receivers[src]
-                .recv()
-                .map_err(|_| CommError::Disconnected { peer: src }),
-            Some(limit) => match self.receivers[src].recv_timeout(limit) {
-                Ok(frame) => Ok(frame),
-                Err(RecvTimeoutError::Disconnected) => Err(CommError::Disconnected { peer: src }),
-                Err(RecvTimeoutError::Timeout) => Err(CommError::Stalled {
-                    src,
-                    waited_ms: limit.as_millis() as u64,
-                }),
+        match &self.links {
+            Links::Threaded { receivers, .. } => match self.watchdog {
+                None => receivers[src]
+                    .recv()
+                    .map_err(|_| CommError::Disconnected { peer: src }),
+                Some(limit) => match receivers[src].recv_timeout(limit) {
+                    Ok(frame) => Ok(frame),
+                    Err(RecvTimeoutError::Disconnected) => {
+                        Err(CommError::Disconnected { peer: src })
+                    }
+                    Err(RecvTimeoutError::Timeout) => Err(CommError::Stalled {
+                        src,
+                        waited_ms: limit.as_millis() as u64,
+                    }),
+                },
             },
+            Links::Event(fabric) => fabric.try_next_frame(self.rank, src),
+        }
+    }
+
+    /// Await the next frame from `src`: the transport-level yield point of
+    /// a rank task. Threaded links resolve in the same poll by blocking;
+    /// event links park the task until the frame (or a disconnect/stall
+    /// verdict) is available.
+    async fn next_frame_async(&mut self, src: usize) -> Result<Frame, CommError> {
+        match &self.links {
+            Links::Threaded { .. } => self.next_frame(src),
+            Links::Event(fabric) => fabric.frame_wait(self.rank, src).await,
         }
     }
 
@@ -1404,19 +1657,37 @@ impl Env {
         }
         // The peer may already have finished — a vanished ack listener is
         // not an error; acks are confirmations, not data.
-        let _ = self.ack_senders[src].send(ack);
+        match &self.links {
+            Links::Threaded { ack_senders, .. } => {
+                let _ = ack_senders[src].send(ack);
+            }
+            Links::Event(fabric) => fabric.push_ack(src, self.rank, ack),
+        }
     }
 
     /// Opportunistically drain delivery confirmations from `dst`. The
     /// fault plan already told the sender everything the acks would (the
     /// decisions are shared), so these only sanity-check the protocol.
     fn drain_acks(&mut self, dst: usize) {
-        while let Ok(ack) = self.ack_receivers[dst].try_recv() {
+        let sent = self.send_seq.get(&dst).copied().unwrap_or(0);
+        let check = |ack: &AckMsg| {
             debug_assert!(
-                ack.seq < self.send_seq[dst],
+                ack.seq < sent,
                 "ack for a frame rank {} never sent to {dst}",
                 self.rank
             );
+        };
+        match &self.links {
+            Links::Threaded { ack_receivers, .. } => {
+                while let Ok(ack) = ack_receivers[dst].try_recv() {
+                    check(&ack);
+                }
+            }
+            Links::Event(fabric) => {
+                while let Some(ack) = fabric.pop_ack(self.rank, dst) {
+                    check(&ack);
+                }
+            }
         }
     }
 
@@ -2444,6 +2715,165 @@ mod tests {
             }
         });
         assert_eq!(results[1], vec![0, 1, 2]);
+    }
+
+    // ---- task engine (run_tasks / event loop) ----
+
+    /// A rank program exercising sends, faults and async receives: rank 0
+    /// fans out batches, everyone else receives until their link closes.
+    fn fan_out_task<'e>(env: &'e mut Env) -> Pin<Box<dyn Future<Output = u64> + 'e>> {
+        Box::pin(async move {
+            if env.rank() == 0 {
+                let mut delivered = 0u64;
+                for dst in 1..env.nprocs() {
+                    for i in 0..4u64 {
+                        let mut b = PackBuffer::new();
+                        b.push_u64_slice(&[i; 3]);
+                        if env.phase(Phase::Send, |env| env.send(dst, b)).is_ok() {
+                            delivered += 1;
+                        }
+                    }
+                }
+                delivered
+            } else {
+                let mut got = 0u64;
+                for _ in 0..4 {
+                    match env.recv_async(0).await {
+                        Ok(m) => got += m.payload.elem_count(),
+                        Err(_) => break,
+                    }
+                }
+                got
+            }
+        })
+    }
+
+    #[test]
+    fn task_engine_auto_selects_by_size_and_mode() {
+        let small = Multicomputer::virtual_machine(8, model());
+        assert_eq!(small.task_engine(), EngineKind::Threaded);
+        let big = Multicomputer::virtual_machine(4096, model());
+        assert_eq!(big.task_engine(), EngineKind::EventLoop);
+        // Wall-clock mode has no virtual timeline for the event loop.
+        let wall = Multicomputer::wall_clock(8).with_engine(EngineKind::EventLoop);
+        assert_eq!(wall.task_engine(), EngineKind::Threaded);
+    }
+
+    #[test]
+    fn event_loop_matches_threaded_results_and_ledgers() {
+        let run = |kind: EngineKind| {
+            let m = Multicomputer::virtual_machine(6, model()).with_engine(kind);
+            m.run_tasks_with_ledgers(&(), |(), env| fan_out_task(env))
+        };
+        let (rt, lt) = run(EngineKind::Threaded);
+        let (re, le) = run(EngineKind::EventLoop);
+        assert_eq!(rt, re);
+        assert_eq!(lt, le, "event-loop ledgers must be bit-identical");
+        assert_eq!(rt[1], 12, "4 messages x 3 elements each");
+    }
+
+    #[test]
+    fn event_loop_matches_threaded_under_faults() {
+        let run = |kind: EngineKind| {
+            let plan = FaultPlan::new(11)
+                .with_drop(0.3)
+                .with_corrupt(0.2)
+                .with_delay(0.1, 80.0);
+            let m = Multicomputer::virtual_machine(4, model())
+                .with_engine(kind)
+                .with_faults(plan)
+                .with_retry_policy(RetryPolicy {
+                    max_retries: 20,
+                    timeout_us: 25.0,
+                    backoff: 2.0,
+                });
+            m.run_tasks_with_ledgers(&(), |(), env| fan_out_task(env))
+        };
+        let (rt, lt) = run(EngineKind::Threaded);
+        let (re, le) = run(EngineKind::EventLoop);
+        assert_eq!(rt, re);
+        assert_eq!(lt, le, "faulted event-loop ledgers must be bit-identical");
+        assert!(
+            lt[0].faults().retries > 0,
+            "the seed must actually force retries"
+        );
+    }
+
+    #[test]
+    fn event_loop_runs_ten_thousand_ranks() {
+        // Far past any OS thread limit: a 10k-rank ring relay on one
+        // thread. Rank 0 seeds the token; everyone adds one and forwards.
+        let m = Multicomputer::virtual_machine(10_000, model());
+        assert_eq!(m.task_engine(), EngineKind::EventLoop);
+        let results = m.run_tasks(&(), |(), env| {
+            Box::pin(async move {
+                let me = env.rank();
+                let p = env.nprocs();
+                if me == 0 {
+                    let mut b = PackBuffer::new();
+                    b.push_u64(0);
+                    env.send(1, b).unwrap();
+                    0
+                } else {
+                    let got = env.recv_async(me - 1).await.unwrap();
+                    let v = got.payload.cursor().read_u64() + 1;
+                    if me + 1 < p {
+                        let mut b = PackBuffer::new();
+                        b.push_u64(v);
+                        env.send(me + 1, b).unwrap();
+                    }
+                    v
+                }
+            })
+        });
+        assert_eq!(results[9_999], 9_999);
+    }
+
+    #[test]
+    fn event_loop_detects_protocol_stalls_structurally() {
+        // The deadlock of watchdog_unblocks_a_protocol_stall, but on the
+        // event loop: detection is structural (everyone parked), so no
+        // wall-clock watchdog is needed and no real time is burned.
+        let m = Multicomputer::virtual_machine(2, model()).with_engine(EngineKind::EventLoop);
+        let results = m.run_tasks(&(), |(), env| {
+            Box::pin(async move {
+                let peer = 1 - env.rank();
+                env.recv_async(peer).await.unwrap_err().to_string()
+            })
+        });
+        // Whichever rank errors out first closes its links; the peer may
+        // observe either the stall or the disconnect.
+        for err in &results {
+            assert!(err.contains("watchdog") || err.contains("hung up"), "{err}");
+        }
+        assert!(
+            results.iter().any(|e| e.contains("watchdog")),
+            "{results:?}"
+        );
+    }
+
+    #[test]
+    fn event_loop_preserves_traces() {
+        use crate::trace::MemorySink;
+        let run = |kind: EngineKind| {
+            let sink = Arc::new(MemorySink::new());
+            let m = Multicomputer::virtual_machine(3, model())
+                .with_engine(kind)
+                .with_trace_sink(Arc::clone(&sink) as Arc<dyn TraceSink>);
+            m.run_tasks(&(), |(), env| fan_out_task(env));
+            sink.take()
+        };
+        let threaded = run(EngineKind::Threaded);
+        let event = run(EngineKind::EventLoop);
+        assert_eq!(threaded.len(), 3);
+        assert_eq!(threaded, event, "traces must be identical across engines");
+    }
+
+    #[test]
+    #[should_panic(expected = "threaded engine supports at most")]
+    fn threaded_closure_engine_rejects_oversized_machines() {
+        let m = Multicomputer::virtual_machine(2048, model());
+        let _ = m.run(|env| env.rank());
     }
 
     #[test]

@@ -70,6 +70,7 @@
 
 pub mod collectives;
 pub mod engine;
+pub mod exec;
 pub mod fault;
 pub mod model;
 pub mod pack;
@@ -80,6 +81,7 @@ pub mod topology;
 pub mod trace;
 
 pub use engine::{CommError, Env, Message, Multicomputer, RecvHandle, TimingMode};
+pub use exec::EngineKind;
 pub use fault::{FaultKind, FaultPlan, FaultSpecError, LinkProbs, RetryPolicy};
 pub use model::MachineModel;
 pub use pack::{ArenaStats, PackArena, PackBuffer, PatchError, UnpackCursor};

@@ -21,7 +21,7 @@
 
 use sparsedist::core::error::SparsedistError;
 use sparsedist::gen::SparseRandom;
-use sparsedist::multicomputer::{FaultPlan, RetryPolicy};
+use sparsedist::multicomputer::{EngineKind, FaultPlan, RetryPolicy};
 use sparsedist::prelude::*;
 use std::time::Duration;
 
@@ -60,16 +60,21 @@ fn golden() -> (Dense2D, RowBlock) {
     (a, part)
 }
 
-fn chaos_machine(seed: u64) -> Multicomputer {
+fn chaos_machine_on(seed: u64, engine: EngineKind) -> Multicomputer {
     // Every seventh seed runs on a starved retry budget: chaos drop
     // rates top out at 0.2, which a 10-retry ARQ window always rides
     // out, so without the tight class no plan would ever surface the
     // retries-exhausted path this sweep exists to pin.
     let retries = if seed % 7 == 0 { 1 } else { 10 };
     Multicomputer::virtual_machine(PROCS, MachineModel::ibm_sp2())
+        .with_engine(engine)
         .with_faults(FaultPlan::chaos(seed, PROCS))
         .with_retry_policy(RetryPolicy::with_retries(retries))
         .with_watchdog(Duration::from_secs(10))
+}
+
+fn chaos_machine(seed: u64) -> Multicomputer {
+    chaos_machine_on(seed, EngineKind::Threaded)
 }
 
 fn run_one(
@@ -161,6 +166,49 @@ fn chaos_replays_are_bit_identical() {
                     "seed {seed} {scheme}: outcome flipped between replays ({:?} vs {:?})",
                     a.map(|_| "ok"),
                     b.map(|_| "ok"),
+                ),
+            }
+        }
+    }
+}
+
+/// A subset of the chaos corpus replayed on the event-loop engine: every
+/// plan must produce byte-identical ledgers, locals and owners (or the
+/// identical typed error) to the threaded path. This is the contract that
+/// lets the event loop stand in for OS threads at any scale — the two
+/// backends share all charging/ARQ/fault logic above the transport seam,
+/// and this sweep pins that the seam itself is invisible.
+#[test]
+fn chaos_subset_is_bit_identical_across_engines() {
+    let (a, part) = golden();
+    for seed in (0..120u64).step_by(7) {
+        for scheme in SchemeKind::ALL {
+            let go = |engine: EngineKind| {
+                run_scheme_with(
+                    scheme,
+                    &chaos_machine_on(seed, engine),
+                    &a,
+                    &part,
+                    CompressKind::Crs,
+                    config_for(seed),
+                )
+            };
+            match (go(EngineKind::Threaded), go(EngineKind::EventLoop)) {
+                (Ok(t), Ok(e)) => {
+                    assert_eq!(
+                        t.ledgers, e.ledgers,
+                        "seed {seed} {scheme}: event-loop ledgers diverged"
+                    );
+                    assert_eq!(t.locals, e.locals, "seed {seed} {scheme}: locals diverged");
+                    assert_eq!(t.owners, e.owners, "seed {seed} {scheme}: owners diverged");
+                }
+                (Err(t), Err(e)) => {
+                    assert_eq!(t, e, "seed {seed} {scheme}: errors diverged");
+                }
+                (t, e) => panic!(
+                    "seed {seed} {scheme}: outcome flipped across engines ({:?} vs {:?})",
+                    t.map(|_| "ok"),
+                    e.map(|_| "ok"),
                 ),
             }
         }
