@@ -61,6 +61,19 @@ USAGE:
   every run either reconstructs the golden array exactly or fails with a
   typed error — never a panic or a hang (a virtual-clock watchdog trips
   protocol stalls). The same seeds always generate the same plans.
+  sparsedist simcheck [--procs P] [--rows N] [--ratio S] [--scheme sfc|cfs|ed]
+                         [--config pipeline|routed|chaos|all] [--seeds N]
+                         [--max-schedules N]
+
+  simcheck drives one scheme run on the deterministic event loop through
+  EVERY message-delivery interleaving (--procs 2..=4; the explorer
+  branches the scheduler wherever more than one rank is runnable and
+  sweeps the tree depth-first by replay) and verifies that ledgers,
+  local arrays and owner maps are bit-identical across all schedules
+  and that no schedule deadlocks — the dynamic twin of the lint C
+  rules. 'routed' injects a mid-stream rank death so parts re-home
+  while frames are in flight; 'chaos' sweeps --seeds seeded fault
+  plans. Nonzero exit on divergence, deadlock or truncation.
   sparsedist advise FILE.mtx [--procs P] [--model sp2|compute|network]
   sparsedist spmv FILE.mtx [--procs P] [--scheme ed]
   sparsedist checkpoint FILE.mtx DIR [--procs P] [--scheme ed] [--partition …]
@@ -533,6 +546,137 @@ pub fn chaos_cmd(p: &Parsed) -> Result<String, CmdError> {
     Ok(out)
 }
 
+/// `sparsedist simcheck …` — drive one scheme configuration through
+/// *every* message-delivery interleaving of a small event-loop machine
+/// and verify that ledgers, locals and owners are bit-identical across
+/// all schedules and that none deadlocks. The dynamic twin of the lint
+/// C rules (DESIGN.md §13).
+pub fn simcheck_cmd(p: &Parsed) -> Result<String, CmdError> {
+    let procs = p.usize_or("procs", 3).map_err(|e| e.to_string())?;
+    if !(2..=4).contains(&procs) {
+        return Err(format!(
+            "simcheck enumerates every delivery interleaving — the tree is \
+             exponential in machine size; --procs must be 2..=4, got {procs}"
+        ));
+    }
+    let rows = p.usize_or("rows", 6).map_err(|e| e.to_string())?;
+    let ratio = p.f64_or("ratio", 0.2).map_err(|e| e.to_string())?;
+    let seeds = p.usize_or("seeds", 2).map_err(|e| e.to_string())?;
+    let max_schedules = p
+        .usize_or("max-schedules", 60_000)
+        .map_err(|e| e.to_string())?;
+    let scheme = parse_scheme(p.flag_or("scheme", "ed"))?;
+    let which = p.flag_or("config", "all");
+    if !matches!(which, "pipeline" | "routed" | "chaos" | "all") {
+        return Err(format!(
+            "unknown config '{which}' (pipeline|routed|chaos|all)"
+        ));
+    }
+    let a = SparseRandom::new(rows, rows)
+        .sparse_ratio(ratio)
+        .seed(0xC0FFEE)
+        .generate();
+    let part = RowBlock::new(rows, rows, procs);
+
+    // One run under the current thread-local schedule, digested into the
+    // string that must be schedule-invariant.
+    let digest = |plan: Option<&FaultPlan>, config: SchemeConfig| {
+        let mut machine = Multicomputer::virtual_machine(procs, MachineModel::ibm_sp2())
+            .with_engine(EngineKind::EventLoop);
+        if let Some(plan) = plan {
+            machine = machine
+                .with_faults(plan.clone())
+                .with_retry_policy(RetryPolicy::with_retries(10));
+        }
+        match run_scheme_with(scheme, &machine, &a, &part, CompressKind::Crs, config) {
+            Ok(run) => format!(
+                "ok reassembled={} owners={:?} ledgers={:?} locals={:?}",
+                run.reassemble(&part) == a,
+                run.owners,
+                run.ledgers,
+                run.locals
+            ),
+            Err(e) => format!("err {e}"),
+        }
+    };
+
+    let mut jobs: Vec<(String, Option<FaultPlan>, SchemeConfig)> = Vec::new();
+    let overlap = SchemeConfig {
+        overlap: true,
+        ..SchemeConfig::default()
+    };
+    if matches!(which, "pipeline" | "all") {
+        let chunked = SchemeConfig {
+            chunk_elems: 6,
+            ..overlap
+        };
+        jobs.push(("pipeline".into(), None, chunked));
+    }
+    if matches!(which, "routed" | "all") {
+        // A mid-stream death of the last rank: its part re-homes to a
+        // survivor while frames are in flight — the hardest protocol.
+        let plan = FaultPlan::new(1).with_death_at(procs - 1, 200.0);
+        jobs.push(("routed-death".into(), Some(plan), overlap));
+    }
+    if matches!(which, "chaos" | "all") {
+        for seed in 0..seeds as u64 {
+            let plan = FaultPlan::chaos(seed, procs);
+            jobs.push((
+                format!("chaos seed {seed}"),
+                Some(plan),
+                SchemeConfig::default(),
+            ));
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "simcheck: {} over {procs} processors ({rows}x{rows}, s={ratio}), every delivery schedule:",
+        scheme.label()
+    );
+    let mut total = 0usize;
+    for (label, plan, config) in &jobs {
+        let report =
+            sparsedist_multicomputer::explore(|| digest(plan.as_ref(), *config), max_schedules);
+        if report.truncated {
+            return Err(format!(
+                "simcheck {label}: interleaving tree not exhausted within \
+                 --max-schedules {max_schedules} ({} branch points deep); \
+                 raise the cap or shrink --rows",
+                report.max_branch_points
+            ));
+        }
+        if let Some(d) = &report.divergence {
+            return Err(format!(
+                "simcheck {label}: outcome depends on delivery order!\n  \
+                 schedule 0 (FIFO): {}\n  schedule {} (choices {:?}): {}",
+                report.baseline, d.schedule, d.choices, d.outcome
+            ));
+        }
+        if report.baseline.contains("watchdog") {
+            return Err(format!(
+                "simcheck {label}: every schedule stalls — {}",
+                report.baseline
+            ));
+        }
+        total += report.schedules;
+        let _ = writeln!(
+            out,
+            "  {label}: {} schedules ({} branch points) — bit-identical, deadlock-free [{}]",
+            report.schedules,
+            report.max_branch_points,
+            report.baseline.split(" ledgers=").next().unwrap_or("ok")
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  {total} schedules explored exhaustively; ledgers, locals and owners \
+         are schedule-independent"
+    );
+    Ok(out)
+}
+
 /// `sparsedist advise FILE.mtx …`
 pub fn advise(p: &Parsed) -> Result<String, CmdError> {
     let path = p.positional(0, "input file").map_err(|e| e.to_string())?;
@@ -747,6 +891,33 @@ mod tests {
         let i = crate::run(&argv(&format!("info {path}"))).unwrap();
         assert!(i.contains("shape:        64x64"), "{i}");
         assert!(i.contains("nonzeros:     410"), "{i}");
+    }
+
+    #[test]
+    fn simcheck_explores_and_certifies_the_default_configs() {
+        let out = crate::run(&argv("simcheck --procs 3 --seeds 1")).unwrap();
+        assert!(out.contains("pipeline:"), "{out}");
+        assert!(out.contains("routed-death:"), "{out}");
+        assert!(out.contains("chaos seed 0:"), "{out}");
+        assert!(out.contains("bit-identical, deadlock-free"), "{out}");
+        assert!(out.contains("schedules explored exhaustively"), "{out}");
+    }
+
+    #[test]
+    fn simcheck_rejects_oversized_machines_and_bad_configs() {
+        let err = crate::run(&argv("simcheck --procs 5")).unwrap_err();
+        assert!(err.contains("--procs must be 2..=4"), "{err}");
+        let err = crate::run(&argv("simcheck --config nope")).unwrap_err();
+        assert!(err.contains("unknown config"), "{err}");
+    }
+
+    #[test]
+    fn simcheck_reports_truncation_as_an_error() {
+        let err = crate::run(&argv(
+            "simcheck --procs 3 --config routed --max-schedules 5",
+        ))
+        .unwrap_err();
+        assert!(err.contains("not exhausted"), "{err}");
     }
 
     #[test]

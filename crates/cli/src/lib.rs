@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! Implementation of the `sparsedist` command-line tool.
 //!
@@ -19,6 +20,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "distribute" => commands::distribute(&parsed).map_err(|e| e.to_string()),
         "trace" => commands::trace_cmd(&parsed).map_err(|e| e.to_string()),
         "chaos" => commands::chaos_cmd(&parsed).map_err(|e| e.to_string()),
+        "simcheck" => commands::simcheck_cmd(&parsed).map_err(|e| e.to_string()),
         "advise" => commands::advise(&parsed).map_err(|e| e.to_string()),
         "spmv" => commands::spmv(&parsed).map_err(|e| e.to_string()),
         "checkpoint" => commands::checkpoint_cmd(&parsed).map_err(|e| e.to_string()),

@@ -1,6 +1,8 @@
 //! `sparsedist` — the command-line front end. All logic lives in the
 //! library so it can be tested; this shim only handles process I/O.
 
+#![forbid(unsafe_code)]
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match sparsedist_cli::run(&argv) {

@@ -143,6 +143,7 @@ pub(crate) fn send_part(
 ) -> Result<(), CommError> {
     let post = |env: &mut Env, b: PackBuffer| {
         if nonblocking {
+            // lint: allow(C002) — send_part posts on behalf of its caller, who owns the eventual wait_all (drivers drain per stage)
             env.isend(dst, b)
         } else {
             env.send(dst, b)
@@ -698,6 +699,7 @@ impl<'a, S: SchemeStages> Router<'a, S> {
         // lint: allow(W002) — part ids are bounded by the partition's part count
         header.push_u64(pid as u64);
         if nonblocking {
+            // lint: allow(C002) — Router::ship pipelines posts across parts; Router::run wait_alls once after the routing loop completes
             env.isend(dst, header)?;
         } else {
             env.send(dst, header)?;

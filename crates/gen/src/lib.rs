@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! Workload generators and I/O for the `sparsedist` benchmarks.
 //!

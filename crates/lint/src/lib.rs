@@ -6,16 +6,22 @@
 //! wire runs); this crate checks it at the *source* level, where
 //! regressions actually enter: a stray `Instant::now()`, a `HashMap`
 //! iteration in a clock-bearing module, a truncating cast outside the
-//! wire module. See [`rules`] for the catalog (D/P/E/S/W families),
-//! [`lexer`] for the comment/string-aware scanner, [`config`] for
-//! `lint.toml` scoping and [`vendor`] for the offline-dependency audit.
+//! wire module. See [`rules`] for the catalog (D/P/E/S/W/C families),
+//! [`lexer`] for the comment/string-aware scanner, [`parse`] and
+//! [`flow`] for the syntax-aware layer behind the C (communication
+//! safety) rules, [`config`] for `lint.toml` scoping and [`vendor`] for
+//! the offline-dependency audit.
 //!
 //! Dependency-free on purpose, like `bench_gate`: it must run in the
 //! fully offline CI before anything else is built.
 
+#![forbid(unsafe_code)]
+
 pub mod config;
+pub mod flow;
 pub mod glob;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
 pub mod vendor;
 
@@ -46,6 +52,61 @@ impl Report {
     pub fn suppression_total(&self) -> usize {
         self.suppressions.values().sum()
     }
+}
+
+/// Escape `s` for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if u32::from(c) < 0x20 => out.push_str(&format!("\\u{:04x}", u32::from(c))),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a report as machine-readable JSON (`--format json`): findings,
+/// suppression tally and file count in one object, schema stable for CI
+/// consumers and the GitHub problem matcher pipeline.
+pub fn report_json(report: &Report) -> String {
+    let mut out = String::from("{\n  \"violations\": [");
+    for (i, v) in report.violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"path\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\", \"hint\": \"{}\"}}",
+            json_escape(&v.path),
+            v.line,
+            v.rule,
+            json_escape(&v.message),
+            json_escape(&v.hint)
+        ));
+    }
+    if report.violations.is_empty() {
+        out.push(']');
+    } else {
+        out.push_str("\n  ]");
+    }
+    out.push_str(",\n  \"suppressions\": {");
+    for (i, (rule, n)) in report.suppressions.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("\"{}\": {n}", json_escape(rule)));
+    }
+    out.push_str(&format!(
+        "}},\n  \"files_checked\": {},\n  \"clean\": {}\n}}\n",
+        report.files_checked,
+        report.is_clean()
+    ));
+    out
 }
 
 /// Load `lint.toml` from `root` (falling back to built-in defaults when
@@ -163,6 +224,27 @@ mod tests {
             &cfg.files_exclude,
             "crates/lint/tests/fixtures/bad_d001.rs"
         ));
+    }
+
+    #[test]
+    fn report_json_escapes_and_carries_the_tally() {
+        let (violations, _) = check_source(
+            "crates/core/src/gather.rs",
+            "fn f() { let t = std::time::Instant::now(); } // \"quoted\"\n",
+            &default_config(),
+        );
+        let mut report = Report {
+            violations,
+            suppressions: BTreeMap::new(),
+            files_checked: 1,
+        };
+        report.suppressions.insert("E002".to_string(), 3);
+        let json = report_json(&report);
+        assert!(json.contains("\"rule\": \"D001\""), "{json}");
+        assert!(json.contains("\"line\": 1"), "{json}");
+        assert!(json.contains("\"suppressions\": {\"E002\": 3}"), "{json}");
+        assert!(json.contains("\"clean\": false"), "{json}");
+        assert!(json_escape("a\"b\\c\nd").contains("a\\\"b\\\\c\\nd"));
     }
 
     #[test]

@@ -4,33 +4,53 @@
 //! cargo run -p sparsedist-lint                # lint the workspace
 //! cargo run -p sparsedist-lint -- --rules     # print the rule catalog
 //! cargo run -p sparsedist-lint -- --audit-vendor
-//! cargo run -p sparsedist-lint -- --root PATH --quiet
+//! cargo run -p sparsedist-lint -- --write-vendor-checksums
+//! cargo run -p sparsedist-lint -- --root PATH --quiet --format json
 //! ```
 //!
 //! Exit codes: 0 clean, 1 violations/audit findings, 2 usage or
 //! configuration errors.
 
+#![forbid(unsafe_code)]
+
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+enum Format {
+    Text,
+    Json,
+}
 
 struct Args {
     root: PathBuf,
     audit_vendor: bool,
+    write_checksums: bool,
     list_rules: bool,
     quiet: bool,
+    format: Format,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         root: PathBuf::from("."),
         audit_vendor: false,
+        write_checksums: false,
         list_rules: false,
         quiet: false,
+        format: Format::Text,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--audit-vendor" => args.audit_vendor = true,
+            "--write-vendor-checksums" => args.write_checksums = true,
+            "--format" => {
+                args.format = match it.next().as_deref() {
+                    Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    other => return Err(format!("--format wants `text` or `json`, got {other:?}")),
+                };
+            }
             "--rules" => args.list_rules = true,
             "--quiet" | "-q" => args.quiet = true,
             "--root" => {
@@ -40,12 +60,16 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "sparsedist-lint: repo-invariant static analysis\n\n\
-                     USAGE: sparsedist-lint [--root PATH] [--quiet] [--rules] [--audit-vendor]\n\n\
+                     USAGE: sparsedist-lint [--root PATH] [--quiet] [--format text|json]\n\
+                            [--rules] [--audit-vendor] [--write-vendor-checksums]\n\n\
                      Default mode lints every first-party .rs file per lint.toml.\n\
-                     --rules          print the rule catalog and exit\n\
-                     --audit-vendor   cross-check vendor/ against Cargo.lock instead of linting\n\
-                     --quiet          suppress per-violation source context\n\
-                     --root PATH      workspace root (default: current directory)"
+                     --rules            print the rule catalog and exit\n\
+                     --audit-vendor     cross-check vendor/ (incl. content digests) against\n\
+                                        Cargo.lock and vendor/CHECKSUMS.toml instead of linting\n\
+                     --write-vendor-checksums  re-pin vendor/CHECKSUMS.toml and exit\n\
+                     --format text|json lint output format (json is machine-readable)\n\
+                     --quiet            suppress per-violation source context\n\
+                     --root PATH        workspace root (default: current directory)"
                 );
                 std::process::exit(0);
             }
@@ -70,6 +94,19 @@ fn main() -> ExitCode {
             println!("      fix: {}", rule.hint);
         }
         return ExitCode::SUCCESS;
+    }
+
+    if args.write_checksums {
+        return match sparsedist_lint::vendor::write_checksums(&args.root) {
+            Ok(path) => {
+                println!("vendor checksums: pinned to {path}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("sparsedist-lint: {e}");
+                ExitCode::from(2)
+            }
+        };
     }
 
     if args.audit_vendor {
@@ -106,6 +143,15 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if matches!(args.format, Format::Json) {
+        print!("{}", sparsedist_lint::report_json(&report));
+        return if report.is_clean() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
 
     for v in &report.violations {
         if args.quiet {

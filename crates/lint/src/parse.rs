@@ -1,0 +1,478 @@
+//! A dependency-free token-tree parser over the lexer's code view.
+//!
+//! The C rule family (communication safety) needs more structure than
+//! per-line token matching: *which function* a call sits in, *what was
+//! awaited*, and *which paths* reach an exit. Full Rust parsing is out of
+//! scope (the crate is dependency-free so it runs in the offline CI), but
+//! Rust's brace/paren/bracket structure is enough: this module tokenizes
+//! the comment/string-blanked code view, builds **token trees** (atoms
+//! and delimiter groups, the same shape `proc_macro` exposes), and then
+//! extracts **function items** — name, declaration line, `async`-ness,
+//! the enclosing `impl` type, and the body group — skipping anything
+//! under the lexer's `#[cfg(test)]` mask.
+//!
+//! The walk is deliberately forgiving: an unclosed delimiter closes at
+//! end of file, a stray closer is dropped. Rule checks built on top (see
+//! [`crate::flow`]) are therefore *best-effort syntactic* analyses; the
+//! soundness caveats are catalogued in DESIGN.md §13.
+
+use crate::lexer::LexedFile;
+
+/// One lexical atom: an identifier/number/keyword or a punctuation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// The token text, e.g. `isend`, `::`, `=>`, `.`.
+    pub text: String,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// A token tree: an atom, or a delimited group of trees.
+#[derive(Debug)]
+pub enum Tree {
+    /// A single token.
+    Atom(Tok),
+    /// A `(…)`, `[…]` or `{…}` group.
+    Group(Group),
+}
+
+/// A delimited group of token trees.
+#[derive(Debug)]
+pub struct Group {
+    /// Opening delimiter: `(`, `[` or `{`.
+    pub delim: char,
+    /// 1-based line of the opening delimiter.
+    pub open_line: usize,
+    /// The trees between the delimiters.
+    pub children: Vec<Tree>,
+}
+
+/// One `fn` item with a body.
+#[derive(Debug)]
+pub struct FnItem {
+    /// The function name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Whether the declaration carries `async`.
+    pub is_async: bool,
+    /// The `impl`/`trait` type this method belongs to, if any (for a
+    /// trait impl `impl Tr for Ty`, this is `Ty`).
+    pub impl_ctx: Option<String>,
+    /// The `{…}` body group.
+    pub body: Group,
+}
+
+/// A parsed file: the token-tree forest plus the extracted functions.
+#[derive(Debug)]
+pub struct ParsedFile {
+    /// Top-level token trees (whole file).
+    pub roots: Vec<Tree>,
+    /// Every non-test `fn` with a body, in source order.
+    pub fns: Vec<FnItem>,
+}
+
+/// Parse a lexed file into token trees and function items.
+pub fn parse(lexed: &LexedFile) -> ParsedFile {
+    let toks = tokenize(&lexed.code_lines);
+    let roots = build_trees(&toks);
+    let mut fns = Vec::new();
+    collect_fns(&roots, None, lexed, &mut fns);
+    ParsedFile { roots, fns }
+}
+
+/// Multi-character punctuation we keep intact (everything the flow walk
+/// or the C rules pattern-match on).
+const MULTI_PUNCT: &[&str] = &["::", "=>", "->", "..", "&&", "||", "<<", ">>", "==", "!="];
+
+fn tokenize(code_lines: &[String]) -> Vec<Tok> {
+    let mut toks = Vec::new();
+    for (idx, line) in code_lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let chars: Vec<char> = line.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            if c.is_whitespace() {
+                i += 1;
+                continue;
+            }
+            if c.is_alphanumeric() || c == '_' {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    text: chars[start..i].iter().collect(),
+                    line: lineno,
+                });
+                continue;
+            }
+            let two: String = chars[i..chars.len().min(i + 2)].iter().collect();
+            if MULTI_PUNCT.contains(&two.as_str()) {
+                toks.push(Tok {
+                    text: two,
+                    line: lineno,
+                });
+                i += 2;
+                continue;
+            }
+            toks.push(Tok {
+                text: c.to_string(),
+                line: lineno,
+            });
+            i += 1;
+        }
+    }
+    toks
+}
+
+fn closer_of(open: char) -> char {
+    match open {
+        '(' => ')',
+        '[' => ']',
+        _ => '}',
+    }
+}
+
+/// Build the token-tree forest. Unclosed groups close at EOF; stray
+/// closers are dropped.
+fn build_trees(toks: &[Tok]) -> Vec<Tree> {
+    // Stack of (group-in-progress); the virtual bottom entry collects roots.
+    let mut stack: Vec<Group> = vec![Group {
+        delim: ' ',
+        open_line: 0,
+        children: Vec::new(),
+    }];
+    for t in toks {
+        match t.text.as_str() {
+            "(" | "[" | "{" => stack.push(Group {
+                delim: t.text.chars().next().unwrap_or('('),
+                open_line: t.line,
+                children: Vec::new(),
+            }),
+            ")" | "]" | "}" => {
+                // Close the innermost group whose closer matches; a stray
+                // closer (stack bottom) is dropped.
+                if stack.len() > 1 {
+                    let expected = closer_of(stack[stack.len() - 1].delim);
+                    if t.text.starts_with(expected) {
+                        let done = match stack.pop() {
+                            Some(g) => g,
+                            None => continue,
+                        };
+                        if let Some(parent) = stack.last_mut() {
+                            parent.children.push(Tree::Group(done));
+                        }
+                    }
+                }
+            }
+            _ => {
+                if let Some(top) = stack.last_mut() {
+                    top.children.push(Tree::Atom(t.clone()));
+                }
+            }
+        }
+    }
+    // Unclosed groups: fold into their parents.
+    while stack.len() > 1 {
+        let done = match stack.pop() {
+            Some(g) => g,
+            None => break,
+        };
+        if let Some(parent) = stack.last_mut() {
+            parent.children.push(Tree::Group(done));
+        }
+    }
+    stack.pop().map(|g| g.children).unwrap_or_default()
+}
+
+fn atom_text(tree: &Tree) -> Option<&str> {
+    match tree {
+        Tree::Atom(t) => Some(t.text.as_str()),
+        Tree::Group(_) => None,
+    }
+}
+
+fn is_masked(lexed: &LexedFile, lineno: usize) -> bool {
+    lexed
+        .test_mask
+        .get(lineno.saturating_sub(1))
+        .copied()
+        .unwrap_or(false)
+}
+
+/// The `impl`/`trait` target name from the trees between the keyword and
+/// the body group: skip generics (`<…>` at angle depth ≥ 1); a trait
+/// impl's target is the path after `for`, otherwise the first type path.
+fn impl_target(header: &[Tree]) -> Option<String> {
+    let mut angle: usize = 0;
+    let mut after_for = false;
+    let mut first: Option<String> = None;
+    let mut named_for: Option<String> = None;
+    for t in header {
+        let Some(text) = atom_text(t) else { continue };
+        match text {
+            "<" | "<<" => angle += text.len(),
+            ">" | ">>" => angle = angle.saturating_sub(text.len()),
+            "for" if angle == 0 => after_for = true,
+            "dyn" | "&" | "mut" | "'" | "::" | ".." => {}
+            w if angle == 0
+                && w.chars()
+                    .next()
+                    .is_some_and(|c| c.is_alphabetic() || c == '_') =>
+            {
+                if after_for {
+                    if named_for.is_none() {
+                        named_for = Some(w.to_string());
+                    }
+                } else if first.is_none() {
+                    first = Some(w.to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    named_for.or(first)
+}
+
+/// Walk a tree level, recursing into `mod`/`impl`/`trait` bodies, and
+/// collect every non-test `fn` that has a body.
+fn collect_fns(trees: &[Tree], ctx: Option<&str>, lexed: &LexedFile, out: &mut Vec<FnItem>) {
+    let mut i = 0;
+    // Atoms seen since the last item boundary, for `async fn` detection.
+    let mut modifiers: Vec<&str> = Vec::new();
+    while i < trees.len() {
+        match &trees[i] {
+            Tree::Atom(t) => match t.text.as_str() {
+                "impl" | "trait" | "mod" => {
+                    // Find the body `{}` group at this level; `mod x;` has none.
+                    let mut j = i + 1;
+                    let mut body_at = None;
+                    while j < trees.len() {
+                        match &trees[j] {
+                            Tree::Group(g) if g.delim == '{' => {
+                                body_at = Some(j);
+                                break;
+                            }
+                            Tree::Atom(a) if a.text == ";" => break,
+                            _ => j += 1,
+                        }
+                    }
+                    if let Some(at) = body_at {
+                        let name = if t.text == "impl" {
+                            impl_target(&trees[i + 1..at])
+                        } else {
+                            // `trait Name {…}` / `mod name {…}`: methods in a
+                            // trait body get the trait as context; plain
+                            // modules keep the outer context.
+                            match t.text.as_str() {
+                                "trait" => trees[i + 1..at]
+                                    .iter()
+                                    .find_map(atom_text)
+                                    .map(|s| s.to_string()),
+                                _ => ctx.map(|s| s.to_string()),
+                            }
+                        };
+                        if let Tree::Group(g) = &trees[at] {
+                            collect_fns(&g.children, name.as_deref(), lexed, out);
+                        }
+                        i = at + 1;
+                        modifiers.clear();
+                        continue;
+                    }
+                    i = j + 1;
+                    modifiers.clear();
+                    continue;
+                }
+                "fn" => {
+                    let decl_line = t.line;
+                    let name = trees
+                        .get(i + 1)
+                        .and_then(atom_text)
+                        .unwrap_or("")
+                        .to_string();
+                    // Scan forward for the body group, stopping at `;`
+                    // (trait method declarations have no body).
+                    let mut j = i + 2;
+                    let mut body_at = None;
+                    while j < trees.len() {
+                        match &trees[j] {
+                            Tree::Group(g) if g.delim == '{' => {
+                                body_at = Some(j);
+                                break;
+                            }
+                            Tree::Atom(a) if a.text == ";" => break,
+                            _ => j += 1,
+                        }
+                    }
+                    let is_async = modifiers.contains(&"async");
+                    if let Some(at) = body_at {
+                        if let Tree::Group(g) = &trees[at] {
+                            if !is_masked(lexed, decl_line) {
+                                out.push(FnItem {
+                                    name,
+                                    line: decl_line,
+                                    is_async,
+                                    impl_ctx: ctx.map(|s| s.to_string()),
+                                    body: Group {
+                                        delim: g.delim,
+                                        open_line: g.open_line,
+                                        children: clone_trees(&g.children),
+                                    },
+                                });
+                            }
+                        }
+                        i = at + 1;
+                    } else {
+                        i = j + 1;
+                    }
+                    modifiers.clear();
+                    continue;
+                }
+                ";" => {
+                    modifiers.clear();
+                }
+                _ => modifiers.push(t.text.as_str()),
+            },
+            Tree::Group(_) => modifiers.clear(),
+        }
+        i += 1;
+    }
+}
+
+fn clone_trees(trees: &[Tree]) -> Vec<Tree> {
+    trees
+        .iter()
+        .map(|t| match t {
+            Tree::Atom(a) => Tree::Atom(a.clone()),
+            Tree::Group(g) => Tree::Group(Group {
+                delim: g.delim,
+                open_line: g.open_line,
+                children: clone_trees(&g.children),
+            }),
+        })
+        .collect()
+}
+
+/// One `.await` site: the callee whose returned future is awaited (the
+/// identifier before the argument group, or the identifier itself for
+/// `fut.await`), plus the line of the `await` keyword.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AwaitSite {
+    /// `Some("recv_async")` for `env.recv_async(src).await`; `None` when
+    /// the awaited expression has no syntactic callee (e.g. a block).
+    pub callee: Option<String>,
+    /// 1-based line of the `await` keyword.
+    pub line: usize,
+}
+
+/// Every `.await` in the forest, recursively.
+pub fn awaits(trees: &[Tree]) -> Vec<AwaitSite> {
+    let mut out = Vec::new();
+    scan_awaits(trees, &mut out);
+    out
+}
+
+fn scan_awaits(trees: &[Tree], out: &mut Vec<AwaitSite>) {
+    for (i, tree) in trees.iter().enumerate() {
+        match tree {
+            Tree::Group(g) => scan_awaits(&g.children, out),
+            Tree::Atom(t) if t.text == "await" => {
+                let dotted = i >= 1 && atom_text(&trees[i - 1]) == Some(".");
+                if !dotted {
+                    continue;
+                }
+                let callee = match trees.get(i.wrapping_sub(2)) {
+                    // `callee(args).await` — the ident before the group.
+                    Some(Tree::Group(g)) if g.delim == '(' => trees
+                        .get(i.wrapping_sub(3))
+                        .and_then(atom_text)
+                        .filter(|s| is_ident_atom(s))
+                        .map(|s| s.to_string()),
+                    // `fut.await` — the ident itself.
+                    Some(Tree::Atom(a)) if is_ident_atom(&a.text) => Some(a.text.clone()),
+                    _ => None,
+                };
+                out.push(AwaitSite {
+                    callee,
+                    line: t.line,
+                });
+            }
+            Tree::Atom(_) => {}
+        }
+    }
+}
+
+pub(crate) fn is_ident_atom(s: &str) -> bool {
+    s.chars()
+        .next()
+        .is_some_and(|c| c.is_alphabetic() || c == '_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parsed(src: &str) -> ParsedFile {
+        parse(&lex(src))
+    }
+
+    #[test]
+    fn fns_are_extracted_with_context() {
+        let src = "impl<'a, S: Stages> Router<'a, S> {\n    async fn ship(&mut self) -> Result<(), E> {\n        self.go();\n    }\n}\nfn free() {}\n";
+        let p = parsed(src);
+        assert_eq!(p.fns.len(), 2);
+        assert_eq!(p.fns[0].name, "ship");
+        assert_eq!(p.fns[0].line, 2);
+        assert!(p.fns[0].is_async);
+        assert_eq!(p.fns[0].impl_ctx.as_deref(), Some("Router"));
+        assert_eq!(p.fns[1].name, "free");
+        assert!(!p.fns[1].is_async);
+        assert_eq!(p.fns[1].impl_ctx, None);
+    }
+
+    #[test]
+    fn trait_impl_context_is_the_self_type() {
+        let src = "impl Stages for EdStages {\n    fn f(&self) { self.x(); }\n}\n";
+        let p = parsed(src);
+        assert_eq!(p.fns[0].impl_ctx.as_deref(), Some("EdStages"));
+    }
+
+    #[test]
+    fn test_masked_fns_are_skipped() {
+        let src = "fn real() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn fake() {}\n}\n";
+        let p = parsed(src);
+        assert_eq!(p.fns.len(), 1);
+        assert_eq!(p.fns[0].name, "real");
+    }
+
+    #[test]
+    fn awaits_resolve_their_callee() {
+        let src = "async fn f(env: &mut Env) {\n    let m = env.recv_async(src).await?;\n    fut.await;\n    (make())().await;\n}\n";
+        let p = parsed(src);
+        let sites = awaits(&p.roots);
+        assert_eq!(sites.len(), 3);
+        assert_eq!(sites[0].callee.as_deref(), Some("recv_async"));
+        assert_eq!(sites[0].line, 2);
+        assert_eq!(sites[1].callee.as_deref(), Some("fut"));
+        assert_eq!(sites[2].callee, None);
+    }
+
+    #[test]
+    fn strings_and_comments_never_produce_trees() {
+        let src = "fn f() {\n    let s = \"isend( { ) await\"; // fn g() {\n}\n";
+        let p = parsed(src);
+        assert_eq!(p.fns.len(), 1);
+        assert!(awaits(&p.roots).is_empty());
+    }
+
+    #[test]
+    fn unbalanced_input_does_not_panic() {
+        let p = parsed("fn f() { if x { y(); }\n");
+        assert_eq!(p.fns.len(), 1);
+        let q = parsed(") } ] fn g() {}\n");
+        assert_eq!(q.fns.len(), 1);
+    }
+}

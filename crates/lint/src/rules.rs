@@ -21,6 +21,14 @@
 //!   `core/src/wire.rs` (the one place narrowing is the point) — all
 //!   other code uses `try_from` or documents why the cast cannot lose
 //!   bits.
+//! * **C — communication safety.** The async engine's protocol
+//!   invariants, checked syntactically via the token-tree parser
+//!   ([`crate::parse`]) and the per-function dataflow walk
+//!   ([`crate::flow`]): receives are the only yield points (C001),
+//!   every nonblocking post reaches a drain on all paths (C002), routed
+//!   sends carry part-id headers (C003), `Phase::Retry` is charged only
+//!   from recovery code (C004), and the transport seam never leaks out
+//!   of `crates/multicomputer` (C005).
 //!
 //! Scopes are module globs; the checked-in `lint.toml` can override the
 //! defaults per rule. Suppression is explicit and always carries a
@@ -30,8 +38,10 @@
 //! [`Phase`]: ../../multicomputer/timing/enum.Phase.html
 
 use crate::config::Config;
+use crate::flow;
 use crate::glob::matches_any;
 use crate::lexer::LexedFile;
+use crate::parse::{self, FnItem, ParsedFile};
 use std::collections::BTreeMap;
 
 /// How a rule inspects a file.
@@ -54,6 +64,37 @@ pub enum RuleKind {
     /// `unsafe fn` declarations must have a `# Safety` section in their
     /// doc comment.
     UnsafeFnSafetyDoc,
+    /// Every `.await` must await a call to one of these functions
+    /// (C001: receive is the engine's only yield point).
+    AwaitAllowlist(&'static [&'static str]),
+    /// Every *trigger* call must reach a *resolver* call on all non-`?`
+    /// paths to a function exit (C002: posts are drained).
+    PostsDrained(&'static [(&'static [&'static str], &'static [&'static str])]),
+    /// In functions whose name contains a `ctx_fn` marker or whose
+    /// `impl` type is in `ctx_impl`, every `trigger` call must be
+    /// preceded by a `guards` call on all paths (C003: headers first).
+    GuardBeforeCall {
+        /// The guarded call.
+        trigger: &'static str,
+        /// Calls that establish the guard.
+        guards: &'static [&'static str],
+        /// Function-name substrings selecting the protocol context.
+        ctx_fn: &'static [&'static str],
+        /// `impl` type names selecting the protocol context.
+        ctx_impl: &'static [&'static str],
+    },
+    /// `Phase::Retry` may be charged (`phase(`/`record(`/`charge(`)
+    /// only inside functions whose name or body shows recovery context
+    /// (C004: retry provenance).
+    RetryProvenance {
+        /// Function-name substrings that mark recovery code.
+        fn_markers: &'static [&'static str],
+        /// Body identifiers that mark recovery code.
+        body_markers: &'static [&'static str],
+    },
+    /// The file must contain this token in its code view (S003: crate
+    /// roots keep their `#![forbid(unsafe_code)]`).
+    RequiredHeader(&'static str),
 }
 
 /// One lint rule: identity, scope defaults, and what it matches.
@@ -208,6 +249,96 @@ pub const RULES: &[Rule] = &[
         include: CLOCK_BEARING,
         exclude: &["crates/core/src/wire.rs"],
     },
+    Rule {
+        id: "C001",
+        summary: "`.await` on a non-receive call (yield-point discipline)",
+        hint: "the event-loop engine parks tasks only at receives; await recv_async/recv_part/receive_parts/routed_receive (or the engine internals), never an arbitrary future",
+        kind: RuleKind::AwaitAllowlist(&[
+            "recv_async",
+            "next_frame_async",
+            "frame_wait",
+            "wait_recv_async",
+            "recv_part",
+            "receive_parts",
+            "routed_receive",
+        ]),
+        include: ALL_SRC,
+        exclude: &[],
+    },
+    Rule {
+        id: "C002",
+        summary: "nonblocking post can reach a function exit without a drain",
+        hint: "every isend must reach wait_all (and every irecv a wait_recv) on all paths, or the function must document that its caller owns the drain with a suppression",
+        kind: RuleKind::PostsDrained(&[
+            (&["isend"], &["wait_all"]),
+            (&["irecv"], &["wait_recv", "wait_recv_async"]),
+        ]),
+        include: ALL_SRC,
+        exclude: &["crates/multicomputer/src/engine.rs"],
+    },
+    Rule {
+        id: "C003",
+        summary: "routed-protocol send without a part-id header on every path",
+        hint: "routed frames are dedup'd by part id: push_u64(pid) into the header buffer before any send_part in Router/routed code",
+        kind: RuleKind::GuardBeforeCall {
+            trigger: "send_part",
+            guards: &["push_u64"],
+            ctx_fn: &["routed"],
+            ctx_impl: &["Router"],
+        },
+        include: CLOCK_BEARING,
+        exclude: &[],
+    },
+    Rule {
+        id: "C004",
+        summary: "`Phase::Retry` charged outside recovery code",
+        hint: "only the ARQ layer and recovery paths (replay/re-home/timeout handling) may book Phase::Retry; anything else corrupts the fault accounting the chaos tests pin",
+        kind: RuleKind::RetryProvenance {
+            fn_markers: &["retry", "replay", "recover", "redeliver", "timeout"],
+            body_markers: &[
+                "PeerDead",
+                "RetriesExhausted",
+                "retry_within",
+                "rehome",
+                "FaultKind",
+            ],
+        },
+        include: CLOCK_BEARING,
+        exclude: &[
+            "crates/multicomputer/src/engine.rs",
+            "crates/multicomputer/src/progress.rs",
+        ],
+    },
+    Rule {
+        id: "C005",
+        summary: "transport-seam access outside crates/multicomputer",
+        hint: "Links/EventFabric and the frame/ack mailboxes are the engine's private seam; schemes talk to Env only",
+        kind: RuleKind::Tokens(&[
+            "Links",
+            "EventFabric",
+            "push_frame",
+            "frame_wait",
+            "try_next_frame",
+            "push_ack",
+            "pop_ack",
+        ]),
+        include: ALL_SRC,
+        exclude: &["crates/multicomputer/src/**"],
+    },
+    Rule {
+        id: "S003",
+        summary: "crate root is missing `#![forbid(unsafe_code)]`",
+        hint: "crates with no unsafe code pin that fact at the root so a future unsafe block fails to compile instead of slipping in",
+        kind: RuleKind::RequiredHeader("forbid(unsafe_code)"),
+        include: &[
+            "crates/lint/src/lib.rs",
+            "crates/lint/src/main.rs",
+            "crates/gen/src/lib.rs",
+            "crates/cli/src/lib.rs",
+            "crates/cli/src/main.rs",
+        ],
+        exclude: &[],
+    },
 ];
 
 /// Look up a rule by ID.
@@ -344,6 +475,22 @@ pub fn check_file(
             .is_some_and(|rules| rules.iter().any(|r| r == rule))
     };
 
+    // The C rules and S003 need token trees; parse once, lazily.
+    let needs_parse = RULES.iter().any(|r| {
+        matches!(
+            r.kind,
+            RuleKind::AwaitAllowlist(_)
+                | RuleKind::PostsDrained(_)
+                | RuleKind::GuardBeforeCall { .. }
+                | RuleKind::RetryProvenance { .. }
+        ) && rule_applies(r, cfg, path)
+    });
+    let parsed: Option<ParsedFile> = if needs_parse {
+        Some(parse::parse(lexed))
+    } else {
+        None
+    };
+
     for rule in RULES {
         if !rule_applies(rule, cfg, path) {
             continue;
@@ -393,10 +540,107 @@ pub fn check_file(
                     flag(lineno);
                 }
             }
+            RuleKind::AwaitAllowlist(allowed_callees) => {
+                let Some(p) = parsed.as_ref() else { continue };
+                for site in parse::awaits(&p.roots) {
+                    if masked(lexed, site.line) {
+                        continue;
+                    }
+                    let ok = site
+                        .callee
+                        .as_deref()
+                        .is_some_and(|c| allowed_callees.contains(&c));
+                    if !ok {
+                        flag(site.line);
+                    }
+                }
+            }
+            RuleKind::PostsDrained(pairs) => {
+                let Some(p) = parsed.as_ref() else { continue };
+                for f in &p.fns {
+                    let events = flow::events_of(&f.body);
+                    for (triggers, resolvers) in pairs {
+                        for lineno in flow::pending_at_exit(&events, triggers, resolvers) {
+                            if !masked(lexed, lineno) {
+                                flag(lineno);
+                            }
+                        }
+                    }
+                }
+            }
+            RuleKind::GuardBeforeCall {
+                trigger,
+                guards,
+                ctx_fn,
+                ctx_impl,
+            } => {
+                let Some(p) = parsed.as_ref() else { continue };
+                for f in p
+                    .fns
+                    .iter()
+                    .filter(|f| in_protocol_ctx(f, ctx_fn, ctx_impl))
+                {
+                    let events = flow::events_of(&f.body);
+                    for lineno in flow::unguarded(&events, trigger, guards) {
+                        if !masked(lexed, lineno) {
+                            flag(lineno);
+                        }
+                    }
+                }
+            }
+            RuleKind::RetryProvenance {
+                fn_markers,
+                body_markers,
+            } => {
+                let Some(p) = parsed.as_ref() else { continue };
+                for f in &p.fns {
+                    let charges = flow::retry_charge_lines(&f.body.children);
+                    if charges.is_empty() || is_recovery_fn(f, fn_markers, body_markers) {
+                        continue;
+                    }
+                    for lineno in charges {
+                        if !masked(lexed, lineno) {
+                            flag(lineno);
+                        }
+                    }
+                }
+            }
+            RuleKind::RequiredHeader(token) => {
+                let present = lexed
+                    .code_lines
+                    .iter()
+                    .any(|l| !token_hits(l, token).is_empty());
+                if !present {
+                    flag(1);
+                }
+            }
         }
     }
     violations.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     (violations, tally)
+}
+
+fn masked(lexed: &LexedFile, lineno: usize) -> bool {
+    lexed
+        .test_mask
+        .get(lineno.saturating_sub(1))
+        .copied()
+        .unwrap_or(false)
+}
+
+/// C003 context: the function name carries a protocol marker, or the
+/// method belongs to a protocol `impl` type.
+fn in_protocol_ctx(f: &FnItem, ctx_fn: &[&str], ctx_impl: &[&str]) -> bool {
+    ctx_fn.iter().any(|m| f.name.contains(m))
+        || f.impl_ctx.as_deref().is_some_and(|c| ctx_impl.contains(&c))
+}
+
+/// C004 context: the function's name or body shows it is recovery code.
+fn is_recovery_fn(f: &FnItem, fn_markers: &[&str], body_markers: &[&str]) -> bool {
+    fn_markers.iter().any(|m| f.name.contains(m))
+        || body_markers
+            .iter()
+            .any(|m| flow::contains_ident(&f.body.children, m))
 }
 
 fn raw_line(lexed: &LexedFile, lineno: usize) -> String {

@@ -7,13 +7,29 @@
 //! * someone adds a registry/git dependency that CI cannot fetch, or
 //! * a vendored shim drifts from (or disappears behind) `Cargo.lock`.
 //!
-//! This audit cross-checks three sources of truth: `Cargo.lock` package
-//! entries, the `vendor/*/Cargo.toml` manifests, and the workspace's own
-//! member manifests. Any mismatch is a finding with the same exit-code
-//! discipline as the lint pass.
+//! This audit cross-checks four sources of truth: `Cargo.lock` package
+//! entries, the `vendor/*/Cargo.toml` manifests, the workspace's own
+//! member manifests, and `vendor/CHECKSUMS.toml` — a committed content
+//! digest per vendored crate. Any mismatch is a finding with the same
+//! exit-code discipline as the lint pass.
+//!
+//! # Content checksums
+//!
+//! Cargo records a registry `checksum` per `[[package]]`, but path
+//! dependencies (which is what every vendored shim is) carry none — so
+//! name/version agreement alone cannot detect a *tampered or drifted*
+//! vendor tree. [`crate_digest`] closes that hole: a deterministic
+//! FNV-1a-64 digest over every file in `vendor/<name>/` (sorted relative
+//! paths, length-prefixed contents), pinned in `vendor/CHECKSUMS.toml`
+//! and regenerated with `sparsedist-lint --write-vendor-checksums`. If a
+//! lockfile entry ever *does* carry a registry `checksum`, the audit
+//! cross-checks it against the pin as well.
 
 use std::fs;
 use std::path::Path;
+
+/// The committed digest pin file, relative to the workspace root.
+pub const CHECKSUMS_FILE: &str = "vendor/CHECKSUMS.toml";
 
 /// One audit finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,6 +46,8 @@ struct LockPackage {
     /// `Some` for registry/git packages; `None` for path (workspace or
     /// vendored) packages.
     source: Option<String>,
+    /// Registry content hash, when the lockfile carries one.
+    checksum: Option<String>,
 }
 
 /// Parse the `[[package]]` blocks out of a `Cargo.lock`.
@@ -46,6 +64,7 @@ fn parse_lock(text: &str) -> Vec<LockPackage> {
                 name: String::new(),
                 version: String::new(),
                 source: None,
+                checksum: None,
             });
             continue;
         }
@@ -56,6 +75,8 @@ fn parse_lock(text: &str) -> Vec<LockPackage> {
             p.version = v;
         } else if let Some(v) = toml_str_value(line, "source") {
             p.source = Some(v);
+        } else if let Some(v) = toml_str_value(line, "checksum") {
+            p.checksum = Some(v);
         }
     }
     if let Some(p) = cur.take() {
@@ -114,6 +135,137 @@ fn member_manifests(dir: &Path) -> Vec<(String, Option<String>)> {
         }
     }
     out
+}
+
+/// Deterministic FNV-1a-64 content digest of a vendored crate directory:
+/// every file, in sorted relative-path order, hashed as
+/// `path bytes · 0x00 · u64-LE length · contents`.
+pub fn crate_digest(dir: &Path) -> Result<String, String> {
+    let mut files = Vec::new();
+    collect_rel_files(dir, Path::new(""), &mut files)?;
+    files.sort();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    for rel in &files {
+        let bytes = fs::read(dir.join(rel))
+            .map_err(|e| format!("cannot read {}: {e}", dir.join(rel).display()))?;
+        eat(rel.as_bytes());
+        eat(&[0]);
+        eat(&u64::try_from(bytes.len()).unwrap_or(u64::MAX).to_le_bytes());
+        eat(&bytes);
+    }
+    Ok(format!("fnv1a64:{h:016x}"))
+}
+
+/// Collect `/`-separated relative file paths under `dir`, recursively.
+fn collect_rel_files(dir: &Path, rel: &Path, out: &mut Vec<String>) -> Result<(), String> {
+    let here = dir.join(rel);
+    let entries =
+        fs::read_dir(&here).map_err(|e| format!("cannot list {}: {e}", here.display()))?;
+    let mut paths: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for p in paths {
+        let Some(name) = p.file_name().map(|n| n.to_string_lossy().into_owned()) else {
+            continue;
+        };
+        let child = rel.join(&name);
+        if p.is_dir() {
+            collect_rel_files(dir, &child, out)?;
+        } else {
+            out.push(
+                child
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                    .collect::<Vec<_>>()
+                    .join("/"),
+            );
+        }
+    }
+    Ok(())
+}
+
+/// One pinned entry from `vendor/CHECKSUMS.toml`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChecksumPin {
+    /// Vendored crate name (the `vendor/<name>` directory).
+    pub name: String,
+    /// The version the pin was taken at (must match Cargo.lock).
+    pub version: String,
+    /// `fnv1a64:…` content digest from [`crate_digest`].
+    pub checksum: String,
+}
+
+/// Parse `vendor/CHECKSUMS.toml` (`[[vendor]]` blocks).
+pub fn parse_checksums(text: &str) -> Vec<ChecksumPin> {
+    let mut out = Vec::new();
+    let mut cur: Option<ChecksumPin> = None;
+    for line in text.lines() {
+        let line = line.trim();
+        if line == "[[vendor]]" {
+            if let Some(p) = cur.take() {
+                out.push(p);
+            }
+            cur = Some(ChecksumPin {
+                name: String::new(),
+                version: String::new(),
+                checksum: String::new(),
+            });
+            continue;
+        }
+        let Some(p) = cur.as_mut() else { continue };
+        if let Some(v) = toml_str_value(line, "name") {
+            p.name = v;
+        } else if let Some(v) = toml_str_value(line, "version") {
+            p.version = v;
+        } else if let Some(v) = toml_str_value(line, "checksum") {
+            p.checksum = v;
+        }
+    }
+    if let Some(p) = cur.take() {
+        out.push(p);
+    }
+    out.retain(|p| !p.name.is_empty());
+    out
+}
+
+/// Render the pin file for the current `vendor/` tree and `Cargo.lock`.
+pub fn render_checksums(root: &Path) -> Result<String, String> {
+    let lock_text = fs::read_to_string(root.join("Cargo.lock"))
+        .map_err(|e| format!("cannot read Cargo.lock: {e}"))?;
+    let lock = parse_lock(&lock_text);
+    let mut out = String::from(
+        "# Content digests of the vendored offline shims, one per\n\
+         # vendor/<name> directory. Verified by `sparsedist-lint\n\
+         # --audit-vendor`; regenerate with --write-vendor-checksums\n\
+         # after any intentional vendor change.\n",
+    );
+    for (name, version) in member_manifests(&root.join("vendor")) {
+        let digest = crate_digest(&root.join("vendor").join(&name))?;
+        let version = version
+            .or_else(|| {
+                lock.iter()
+                    .find(|p| p.name == name)
+                    .map(|p| p.version.clone())
+            })
+            .unwrap_or_default();
+        out.push_str(&format!(
+            "\n[[vendor]]\nname = \"{name}\"\nversion = \"{version}\"\nchecksum = \"{digest}\"\n"
+        ));
+    }
+    Ok(out)
+}
+
+/// Write `vendor/CHECKSUMS.toml`; returns the path written.
+pub fn write_checksums(root: &Path) -> Result<String, String> {
+    let rendered = render_checksums(root)?;
+    let path = root.join(CHECKSUMS_FILE);
+    fs::write(&path, rendered).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    Ok(path.display().to_string())
 }
 
 /// Run the audit against a workspace root. Returns findings (empty =
@@ -183,6 +335,75 @@ pub fn audit(root: &Path) -> Result<Vec<AuditFinding>, String> {
         }
     }
 
+    // 4. Content verification: every vendored crate's bytes must match
+    //    the committed pin, and the pin's version must be what the
+    //    lockfile resolved — name/version agreement alone cannot catch a
+    //    tampered or drifted shim.
+    let pins = match fs::read_to_string(root.join(CHECKSUMS_FILE)) {
+        Ok(text) => parse_checksums(&text),
+        Err(e) => {
+            findings.push(AuditFinding {
+                message: format!(
+                    "{CHECKSUMS_FILE} is missing ({e}) — run `sparsedist-lint --write-vendor-checksums`"
+                ),
+            });
+            Vec::new()
+        }
+    };
+    if !pins.is_empty() {
+        for (name, _) in &vendored {
+            let Some(pin) = pins.iter().find(|p| &p.name == name) else {
+                findings.push(AuditFinding {
+                    message: format!(
+                        "vendor/{name} has no entry in {CHECKSUMS_FILE} — unpinned vendor content"
+                    ),
+                });
+                continue;
+            };
+            let digest = crate_digest(&root.join("vendor").join(name))?;
+            if digest != pin.checksum {
+                findings.push(AuditFinding {
+                    message: format!(
+                        "vendor/{name} content digest {digest} does not match pinned {} — vendor tree modified without re-pinning",
+                        pin.checksum
+                    ),
+                });
+            }
+            if let Some(lockp) = lock.iter().find(|p| &p.name == name) {
+                if lockp.version != pin.version {
+                    findings.push(AuditFinding {
+                        message: format!(
+                            "{CHECKSUMS_FILE} pins {name} v{} but Cargo.lock resolved v{} — stale pin",
+                            pin.version, lockp.version
+                        ),
+                    });
+                }
+                // Registry checksums, when present, are a second source
+                // of truth the pin must agree with.
+                if let Some(lock_sum) = &lockp.checksum {
+                    if lock_sum != &pin.checksum && !pin.checksum.starts_with("fnv1a64:") {
+                        findings.push(AuditFinding {
+                            message: format!(
+                                "{CHECKSUMS_FILE} pins {name} checksum {} but Cargo.lock records {lock_sum}",
+                                pin.checksum
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        for pin in &pins {
+            if !vendored.iter().any(|(n, _)| n == &pin.name) {
+                findings.push(AuditFinding {
+                    message: format!(
+                        "{CHECKSUMS_FILE} pins {} but vendor/{} does not exist — dead pin",
+                        pin.name, pin.name
+                    ),
+                });
+            }
+        }
+    }
+
     Ok(findings)
 }
 
@@ -210,5 +431,132 @@ mod tests {
         assert_eq!(toml_str_value("name = \"x\"", "name").as_deref(), Some("x"));
         assert_eq!(toml_str_value("rename = \"x\"", "name"), None);
         assert_eq!(toml_str_value("name = 3", "name"), None);
+    }
+
+    #[test]
+    fn lock_parsing_extracts_registry_checksums() {
+        let lock = "[[package]]\nname = \"serde\"\nversion = \"1.0.0\"\nsource = \"registry+x\"\nchecksum = \"abc123\"\n";
+        let pkgs = parse_lock(lock);
+        assert_eq!(pkgs[0].checksum.as_deref(), Some("abc123"));
+    }
+
+    #[test]
+    fn checksum_pins_round_trip() {
+        let text = "# header\n\n[[vendor]]\nname = \"rand\"\nversion = \"0.10.99\"\nchecksum = \"fnv1a64:00ff\"\n";
+        let pins = parse_checksums(text);
+        assert_eq!(
+            pins,
+            vec![ChecksumPin {
+                name: "rand".to_string(),
+                version: "0.10.99".to_string(),
+                checksum: "fnv1a64:00ff".to_string(),
+            }]
+        );
+    }
+
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("sparsedist-lint-vendor-{tag}"));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(dir.join("src")).expect("mkdir");
+        dir
+    }
+
+    #[test]
+    fn crate_digest_is_deterministic_and_content_sensitive() {
+        let dir = scratch_dir("digest");
+        fs::write(dir.join("Cargo.toml"), "[package]\nname = \"x\"\n").expect("write");
+        fs::write(dir.join("src/lib.rs"), "pub fn f() {}\n").expect("write");
+        let d1 = crate_digest(&dir).expect("digest");
+        let d2 = crate_digest(&dir).expect("digest");
+        assert_eq!(d1, d2, "same bytes, same digest");
+        assert!(d1.starts_with("fnv1a64:"), "{d1}");
+        // One flipped byte changes the digest (tamper detection)…
+        fs::write(dir.join("src/lib.rs"), "pub fn f() {}!\n").expect("write");
+        assert_ne!(crate_digest(&dir).expect("digest"), d1);
+        // …and so does an extra file, even with the original restored.
+        fs::write(dir.join("src/lib.rs"), "pub fn f() {}\n").expect("write");
+        fs::write(dir.join("src/extra.rs"), "").expect("write");
+        assert_ne!(crate_digest(&dir).expect("digest"), d1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn audit_flags_tampered_vendor_content() {
+        // A miniature workspace: one vendored crate, lockfile, and pins.
+        let root = scratch_dir("audit");
+        fs::create_dir_all(root.join("vendor/tiny/src")).expect("mkdir");
+        fs::write(
+            root.join("vendor/tiny/Cargo.toml"),
+            "[package]\nname = \"tiny\"\nversion = \"1.0.0\"\n",
+        )
+        .expect("write");
+        fs::write(root.join("vendor/tiny/src/lib.rs"), "pub fn t() {}\n").expect("write");
+        fs::write(
+            root.join("Cargo.toml"),
+            "[package]\nname = \"ws\"\nversion = \"0.1.0\"\n",
+        )
+        .expect("write");
+        fs::write(
+            root.join("Cargo.lock"),
+            "version = 4\n\n[[package]]\nname = \"ws\"\nversion = \"0.1.0\"\n\n[[package]]\nname = \"tiny\"\nversion = \"1.0.0\"\n",
+        )
+        .expect("write");
+        write_checksums(&root).expect("pin");
+        assert_eq!(
+            audit(&root).expect("audit"),
+            vec![],
+            "freshly pinned tree is clean"
+        );
+        // Tamper with the vendored source: the digest catches it even
+        // though name and version still agree everywhere.
+        fs::write(root.join("vendor/tiny/src/lib.rs"), "pub fn evil() {}\n").expect("write");
+        let findings = audit(&root).expect("audit");
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.message.contains("content digest") && f.message.contains("tiny")),
+            "{findings:?}"
+        );
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn audit_flags_missing_pin_file_and_dead_pins() {
+        let root = scratch_dir("pins");
+        fs::create_dir_all(root.join("vendor/tiny")).expect("mkdir");
+        fs::write(
+            root.join("vendor/tiny/Cargo.toml"),
+            "[package]\nname = \"tiny\"\nversion = \"1.0.0\"\n",
+        )
+        .expect("write");
+        fs::write(
+            root.join("Cargo.lock"),
+            "version = 4\n\n[[package]]\nname = \"tiny\"\nversion = \"1.0.0\"\n",
+        )
+        .expect("write");
+        let findings = audit(&root).expect("audit");
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.message.contains("CHECKSUMS.toml is missing")),
+            "{findings:?}"
+        );
+        fs::write(
+            root.join(CHECKSUMS_FILE),
+            "[[vendor]]\nname = \"tiny\"\nversion = \"1.0.0\"\nchecksum = \"fnv1a64:deadbeefdeadbeef\"\n\n[[vendor]]\nname = \"ghost\"\nversion = \"9.9.9\"\nchecksum = \"fnv1a64:0\"\n",
+        )
+        .expect("write");
+        let findings = audit(&root).expect("audit");
+        assert!(
+            findings.iter().any(|f| f.message.contains("dead pin")),
+            "{findings:?}"
+        );
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.message.contains("content digest")),
+            "{findings:?}"
+        );
+        let _ = fs::remove_dir_all(&root);
     }
 }

@@ -186,6 +186,144 @@ fn w002_is_scoped_to_clock_bearing_crates() {
 }
 
 #[test]
+fn c001_fires_on_non_receive_awaits_only() {
+    assert_eq!(
+        check("crates/core/src/schemes/fixture.rs", "bad_c001.rs"),
+        vec![(6, "C001"), (7, "C001")]
+    );
+    assert_eq!(
+        check("crates/core/src/schemes/fixture.rs", "clean_c001.rs"),
+        vec![]
+    );
+}
+
+#[test]
+fn c002_fires_on_undrained_posts_only() {
+    assert_eq!(
+        check("crates/core/src/schemes/fixture.rs", "bad_c002.rs"),
+        vec![(4, "C002"), (9, "C002"), (17, "C002")]
+    );
+    assert_eq!(
+        check("crates/core/src/schemes/fixture.rs", "clean_c002.rs"),
+        vec![]
+    );
+    // The engine implements the post/drain API; it is exempt by scope.
+    assert_eq!(
+        check("crates/multicomputer/src/engine.rs", "bad_c002.rs"),
+        vec![]
+    );
+}
+
+#[test]
+fn c003_fires_on_headerless_routed_sends_only() {
+    assert_eq!(
+        check("crates/core/src/schemes/pipeline.rs", "bad_c003.rs"),
+        vec![(5, "C003"), (15, "C003")]
+    );
+    assert_eq!(
+        check("crates/core/src/schemes/pipeline.rs", "clean_c003.rs"),
+        vec![]
+    );
+}
+
+#[test]
+fn c004_fires_on_unprovenanced_retry_charges_only() {
+    assert_eq!(
+        check("crates/core/src/schemes/fixture.rs", "bad_c004.rs"),
+        vec![(4, "C004")]
+    );
+    assert_eq!(
+        check("crates/core/src/schemes/fixture.rs", "clean_c004.rs"),
+        vec![]
+    );
+    // The ARQ layer itself charges Retry freely.
+    assert_eq!(
+        check("crates/multicomputer/src/progress.rs", "bad_c004.rs"),
+        vec![]
+    );
+}
+
+#[test]
+fn c005_fires_outside_the_multicomputer_only() {
+    assert_eq!(
+        check("crates/core/src/fixture.rs", "bad_c005.rs"),
+        vec![(3, "C005"), (4, "C005"), (5, "C005")]
+    );
+    assert_eq!(check("crates/core/src/fixture.rs", "clean_c005.rs"), vec![]);
+    // Inside the engine crate the seam is legal — it *is* the seam.
+    assert_eq!(
+        check("crates/multicomputer/src/fixture.rs", "bad_c005.rs"),
+        vec![]
+    );
+}
+
+#[test]
+fn c_rules_hold_under_the_checked_in_config() {
+    // lint.toml must keep the C scoping: pipeline.rs in C002 territory,
+    // engine.rs exempt, and the multicomputer outside C005.
+    let cfg = sparsedist_lint::load_config(&workspace_root()).expect("lint.toml parses");
+    let (violations, _) = sparsedist_lint::check_source(
+        "crates/core/src/schemes/pipeline.rs",
+        &fixture("bad_c002.rs"),
+        &cfg,
+    );
+    let got: Vec<(usize, &str)> = violations.iter().map(|v| (v.line, v.rule)).collect();
+    assert_eq!(got, vec![(4, "C002"), (9, "C002"), (17, "C002")]);
+    let (engine, _) = sparsedist_lint::check_source(
+        "crates/multicomputer/src/engine.rs",
+        &fixture("bad_c002.rs"),
+        &cfg,
+    );
+    assert!(engine.iter().all(|v| v.rule != "C002"), "{engine:?}");
+    let (seam, _) = sparsedist_lint::check_source(
+        "crates/multicomputer/src/exec.rs",
+        &fixture("bad_c005.rs"),
+        &cfg,
+    );
+    assert!(seam.iter().all(|v| v.rule != "C005"), "{seam:?}");
+}
+
+#[test]
+fn c_suppressions_silence_tally_and_misfire() {
+    let (violations, tally) = sparsedist_lint::check_source(
+        "crates/core/src/schemes/fixture.rs",
+        &fixture("suppressed_c.rs"),
+        &Config::default(),
+    );
+    let got: Vec<(usize, &str)> = violations.iter().map(|v| (v.line, v.rule)).collect();
+    assert_eq!(got, vec![(11, "LINT"), (12, "C002")]);
+    assert_eq!(tally.get("C002"), Some(&1));
+}
+
+#[test]
+fn s003_pins_forbid_unsafe_code_in_the_unsafe_free_crate_roots() {
+    // The bad fixture fires at line 1…
+    assert_eq!(
+        check("crates/gen/src/lib.rs", "bad_s003.rs"),
+        vec![(1, "S003")]
+    );
+    // …and it stays out of scope for crates that do hold unsafe code.
+    assert_eq!(check("crates/core/src/lib.rs", "bad_s003.rs"), vec![]);
+    // The real crate roots all carry the attribute (S003-clean).
+    let root = workspace_root();
+    for rel in [
+        "crates/lint/src/lib.rs",
+        "crates/lint/src/main.rs",
+        "crates/gen/src/lib.rs",
+        "crates/cli/src/lib.rs",
+        "crates/cli/src/main.rs",
+    ] {
+        let src = std::fs::read_to_string(root.join(rel)).expect("crate root readable");
+        assert!(
+            src.contains("#![forbid(unsafe_code)]"),
+            "{rel} lost its #![forbid(unsafe_code)]"
+        );
+        let (v, _) = sparsedist_lint::check_source(rel, &src, &Config::default());
+        assert!(v.iter().all(|v| v.rule != "S003"), "{rel}: {v:?}");
+    }
+}
+
+#[test]
 fn suppressions_silence_tally_and_misfire() {
     let (violations, tally) = sparsedist_lint::check_source(
         "crates/core/src/fixture.rs",

@@ -1,0 +1,9 @@
+//! C001 fixture: awaits that are not receive-family calls.
+
+async fn task(env: &mut Env) -> Result<u64, CommError> {
+    let m = env.recv_async(0).await?;
+    let fut = make_future();
+    let x = fut.await;
+    let y = compute_async(env).await;
+    Ok(m.payload.cursor().read_u64() + x + y)
+}

@@ -1,0 +1,19 @@
+//! C002 fixture: posts that can exit undrained.
+
+fn leaky(env: &mut Env, dst: usize, buf: PackBuffer) -> Result<(), CommError> {
+    env.isend(dst, buf)?;
+    Ok(())
+}
+
+fn branch_leak(env: &mut Env, dst: usize, buf: PackBuffer) -> Result<(), CommError> {
+    env.isend(dst, buf)?;
+    if fast_path() {
+        env.wait_all()?;
+    }
+    Ok(())
+}
+
+fn irecv_leak(env: &mut Env, src: usize) {
+    let handle = env.irecv(src);
+    drop(handle);
+}

@@ -1,0 +1,17 @@
+//! C003 fixture: routed sends missing the part-id header.
+
+impl<'a, S> Router<'a, S> {
+    fn ship(&mut self, env: &mut Env, buf: PackBuffer) -> Result<(), CommError> {
+        send_part(env, self.dst, buf)?;
+        Ok(())
+    }
+}
+
+fn routed_replay(env: &mut Env, pid: u64, buf: PackBuffer) -> Result<(), CommError> {
+    let mut header = PackBuffer::new();
+    if short_circuit() {
+        header.push_u64(pid);
+    }
+    send_part(env, 1, buf)?;
+    Ok(())
+}

@@ -1,0 +1,5 @@
+//! C004 fixture: Phase::Retry charged outside recovery code.
+
+fn encode_stage(env: &mut Env, elems: u64) -> Result<(), CommError> {
+    env.phase(Phase::Retry, |env| env.charge_ops(elems))
+}

@@ -1,0 +1,3 @@
+//! A crate root that forgot to pin its unsafe-free status.
+
+fn entry() {}

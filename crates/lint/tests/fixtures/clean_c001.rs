@@ -1,0 +1,10 @@
+//! C001 clean fixture: every await is a receive-family call.
+
+async fn task(ctx: &PlainCtx, env: &mut Env) -> Result<(), CommError> {
+    let m = env.recv_async(0).await?;
+    let part = recv_part(env, 0).await?;
+    let parts = receive_parts(ctx, env).await?;
+    let routed = routed_receive(ctx, env).await?;
+    drop((m, part, parts, routed));
+    Ok(())
+}

@@ -1,0 +1,24 @@
+//! C002 clean fixture: every post reaches its drain on all paths.
+
+fn fanout(env: &mut Env, bufs: Vec<PackBuffer>) -> Result<(), CommError> {
+    for (dst, buf) in bufs.into_iter().enumerate() {
+        env.isend(dst, buf)?;
+    }
+    env.wait_all()?;
+    Ok(())
+}
+
+fn posted_receive(env: &mut Env, src: usize) -> Result<Message, CommError> {
+    let handle = env.irecv(src);
+    env.wait_recv(handle)
+}
+
+fn branchy(env: &mut Env, dst: usize, buf: PackBuffer) -> Result<(), CommError> {
+    env.isend(dst, buf)?;
+    if fast_path() {
+        env.wait_all()?;
+    } else {
+        env.wait_all()?;
+    }
+    Ok(())
+}

@@ -1,0 +1,21 @@
+//! C003 clean fixture: part-id headers precede every routed send, and
+//! the context gate leaves non-protocol code alone.
+
+impl<'a, S> Router<'a, S> {
+    fn ship(&mut self, env: &mut Env, pid: u64, buf: PackBuffer) -> Result<(), CommError> {
+        let mut header = env.arena().checkout(8);
+        header.push_u64(pid);
+        if self.nonblocking {
+            env.isend(self.dst, header)?;
+        } else {
+            env.send(self.dst, header)?;
+        }
+        send_part(env, self.dst, buf)?;
+        env.wait_all()?;
+        Ok(())
+    }
+}
+
+fn plain_send(env: &mut Env, buf: PackBuffer) -> Result<(), CommError> {
+    send_part(env, 0, buf)
+}

@@ -1,0 +1,12 @@
+//! C004 clean fixture: Retry charges carry recovery provenance.
+
+fn replay_part(env: &mut Env, elems: u64) -> Result<(), CommError> {
+    env.phase(Phase::Retry, |env| env.charge_ops(elems))
+}
+
+fn deliver(env: &mut Env, elems: u64) -> Result<(), CommError> {
+    match probe(env) {
+        Err(CommError::PeerDead { rank }) => env.phase(Phase::Retry, |env| env.charge_ops(elems)),
+        other => other,
+    }
+}

@@ -1,0 +1,5 @@
+//! C005 clean fixture: schemes talk to Env only.
+
+fn relay(env: &mut Env, dst: usize, buf: PackBuffer) -> Result<(), CommError> {
+    env.send(dst, buf)
+}

@@ -1,0 +1,14 @@
+//! Suppression fixture for the C family: a reasoned allow silences and
+//! tallies; a reasonless one is itself a violation and silences nothing.
+
+fn fire_and_forget(env: &mut Env, dst: usize, buf: PackBuffer) -> Result<(), CommError> {
+    // lint: allow(C002) — the caller owns the drain for this post
+    env.isend(dst, buf)?;
+    Ok(())
+}
+
+fn leaky(env: &mut Env, dst: usize, buf: PackBuffer) -> Result<(), CommError> {
+    // lint: allow(C002)
+    env.isend(dst, buf)?;
+    Ok(())
+}

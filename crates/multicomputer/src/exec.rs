@@ -201,6 +201,7 @@ impl EventFabric {
             fabric: Rc::clone(self),
             rank,
             src,
+            yielded: false,
         }
     }
 
@@ -227,6 +228,8 @@ pub(crate) struct FrameWait {
     fabric: Rc<EventFabric>,
     rank: usize,
     src: usize,
+    /// Whether the exploration-mode pre-consume yield already happened.
+    yielded: bool,
 }
 
 impl Future for FrameWait {
@@ -235,6 +238,17 @@ impl Future for FrameWait {
     fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
         let this = self.get_mut();
         let mut st = this.fabric.state.borrow_mut();
+        // Under an installed schedule override, every receive parks once
+        // *before* consuming, staying runnable: the scheduler may then
+        // interleave any other ready rank between two receives, which is
+        // exactly the "frame delivered later" case a production poll
+        // short-circuits past. This widens the explored interleaving
+        // space to per-receive granularity; plain runs skip it.
+        if !this.yielded && !st.stalled && exploring() {
+            this.yielded = true;
+            st.enqueue(this.rank);
+            return Poll::Pending;
+        }
         if let Some(frame) = st.frames[this.rank]
             .get_mut(&this.src)
             .and_then(VecDeque::pop_front)
@@ -255,6 +269,104 @@ impl Future for FrameWait {
         st.waiting_on[this.rank] = Some(this.src);
         st.waiters[this.src].push(this.rank);
         Poll::Pending
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pluggable scheduling (the `simcheck` seam)
+//
+// By default the loop pops the FIFO ready queue — one canonical schedule.
+// The explorer (`crate::explore`) installs a thread-local override that
+// picks *which* ready task runs at every step where the ready set offers
+// a real choice (width > 1), and records the (width, choice) trace so a
+// depth-first sweep can enumerate every delivery interleaving. The
+// override lives in a thread-local because the event loop is strictly
+// single-threaded and `Multicomputer` must stay `Sync`-agnostic.
+// ---------------------------------------------------------------------------
+
+/// A schedule override: replay `prefix` at the first branch points, then
+/// take choice 0; record every branch point taken.
+pub(crate) struct ScheduleState {
+    /// Choices to replay, one per branch point (ready width > 1).
+    prefix: Vec<usize>,
+    /// Recorded `(width, choice)` per branch point, in order.
+    pub(crate) trace: Vec<(usize, usize)>,
+    cursor: usize,
+}
+
+thread_local! {
+    static SCHEDULE: RefCell<Option<ScheduleState>> = const { RefCell::new(None) };
+}
+
+/// Whether a schedule override is installed on this thread (exploration
+/// mode): receives then park once before consuming so the sweep sees
+/// per-receive delivery granularity.
+fn exploring() -> bool {
+    SCHEDULE.with(|s| s.borrow().is_some())
+}
+
+/// Install a schedule override for the next event-loop run on this
+/// thread. The returned guard uninstalls on drop (panic-safe) and hands
+/// back the recorded trace via [`ScheduleGuard::finish`].
+pub(crate) struct ScheduleGuard;
+
+impl ScheduleGuard {
+    pub(crate) fn install(prefix: Vec<usize>) -> Self {
+        SCHEDULE.with(|s| {
+            *s.borrow_mut() = Some(ScheduleState {
+                prefix,
+                trace: Vec::new(),
+                cursor: 0,
+            });
+        });
+        ScheduleGuard
+    }
+
+    /// Uninstall and return the branch-point trace of the run.
+    pub(crate) fn finish(self) -> Vec<(usize, usize)> {
+        SCHEDULE
+            .with(|s| s.borrow_mut().take())
+            .map_or_else(Vec::new, |st| st.trace)
+    }
+}
+
+impl Drop for ScheduleGuard {
+    fn drop(&mut self) {
+        SCHEDULE.with(|s| {
+            s.borrow_mut().take();
+        });
+    }
+}
+
+/// Pick the next runnable rank: FIFO by default, or the installed
+/// schedule's choice at branch points. Decisions are recorded only where
+/// the ready set offers a real choice — a width-1 step has exactly one
+/// possible successor state, so exploring it adds nothing (the DPOR-lite
+/// reduction).
+fn pick_ready(st: &mut FabricState) -> Option<usize> {
+    let width = st.ready.len();
+    if width <= 1 {
+        return st.pop_ready();
+    }
+    let choice = SCHEDULE.with(|s| {
+        s.borrow_mut().as_mut().map(|sch| {
+            let c = if sch.cursor < sch.prefix.len() {
+                sch.prefix[sch.cursor].min(width - 1)
+            } else {
+                0
+            };
+            sch.cursor += 1;
+            sch.trace.push((width, c));
+            c
+        })
+    });
+    match choice {
+        None | Some(0) => st.pop_ready(),
+        Some(c) => {
+            let rank = st.ready.remove(c)?;
+            st.queued[rank] = false;
+            Some(rank)
+        }
     }
 }
 
@@ -295,7 +407,7 @@ pub(crate) fn drive<'f, T>(
     let waker = noop_waker();
     let mut cx = Context::from_waker(&waker);
     while remaining > 0 {
-        let next = fabric.state.borrow_mut().pop_ready();
+        let next = pick_ready(&mut fabric.state.borrow_mut());
         let rank = match next {
             Some(rank) => rank,
             None => {
@@ -325,9 +437,10 @@ pub(crate) fn drive<'f, T>(
                 st.wake_waiters_of(rank);
             }
             Poll::Pending => {
+                let st = fabric.state.borrow();
                 debug_assert!(
-                    fabric.state.borrow().waiting_on[rank].is_some(),
-                    "task {rank} pended without parking on a link"
+                    st.waiting_on[rank].is_some() || st.queued[rank],
+                    "task {rank} pended without parking or re-enqueueing"
                 );
             }
         }

@@ -71,6 +71,7 @@
 pub mod collectives;
 pub mod engine;
 pub mod exec;
+pub mod explore;
 pub mod fault;
 pub mod model;
 pub mod pack;
@@ -82,6 +83,7 @@ pub mod trace;
 
 pub use engine::{CommError, Env, Message, Multicomputer, RecvHandle, TimingMode};
 pub use exec::EngineKind;
+pub use explore::{explore, Divergence, Exploration};
 pub use fault::{FaultKind, FaultPlan, FaultSpecError, LinkProbs, RetryPolicy};
 pub use model::MachineModel;
 pub use pack::{ArenaStats, PackArena, PackBuffer, PatchError, UnpackCursor};

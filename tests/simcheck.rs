@@ -1,0 +1,169 @@
+//! Exhaustive schedule checking of whole scheme runs (`sparsedist
+//! simcheck`'s engine, driven directly): every message-delivery
+//! interleaving of a small machine must produce bit-identical ledgers,
+//! locals and owners, and none may deadlock.
+//!
+//! The static C rules (crates/lint) prove the syntactic half of the
+//! communication-safety story; these tests prove the semantic half on
+//! real configurations, including the hardest one — a routed pipeline
+//! with a mid-stream rank death, where parts re-home while frames are
+//! still in flight.
+
+use sparsedist_core::compress::CompressKind;
+use sparsedist_core::dense::Dense2D;
+use sparsedist_core::partition::RowBlock;
+use sparsedist_core::schemes::{run_scheme_with, SchemeConfig, SchemeKind};
+use sparsedist_gen::SparseRandom;
+use sparsedist_multicomputer::{
+    explore, EngineKind, Exploration, FaultPlan, MachineModel, Multicomputer, RetryPolicy,
+};
+
+fn array(rows: usize) -> Dense2D {
+    SparseRandom::new(rows, rows)
+        .sparse_ratio(0.2)
+        .seed(0xC0FFEE)
+        .generate()
+}
+
+/// One scheme run on the event loop, digested into a string covering
+/// everything that must be schedule-invariant: success/error kind,
+/// golden reconstruction, owner map, full ledgers and local arrays.
+fn digest_run(
+    scheme: SchemeKind,
+    procs: usize,
+    a: &Dense2D,
+    plan: Option<&FaultPlan>,
+    config: SchemeConfig,
+) -> String {
+    let part = RowBlock::new(a.rows(), a.cols(), procs);
+    let mut machine = Multicomputer::virtual_machine(procs, MachineModel::ibm_sp2())
+        .with_engine(EngineKind::EventLoop);
+    if let Some(plan) = plan {
+        machine = machine
+            .with_faults(plan.clone())
+            .with_retry_policy(RetryPolicy::with_retries(10));
+    }
+    match run_scheme_with(scheme, &machine, a, &part, CompressKind::Crs, config) {
+        Ok(run) => format!(
+            "ok reassembled={} owners={:?} ledgers={:?} locals={:?}",
+            run.reassemble(&part) == *a,
+            run.owners,
+            run.ledgers,
+            run.locals
+        ),
+        Err(e) => format!("err {e}"),
+    }
+}
+
+fn assert_schedule_independent(label: &str, report: &Exploration<String>) {
+    assert!(
+        !report.truncated,
+        "{label}: tree not exhausted in {} schedules",
+        report.schedules
+    );
+    assert!(
+        report.divergence.is_none(),
+        "{label}: outcome depends on delivery order — baseline {:?} vs {:?}",
+        report.baseline,
+        report.divergence
+    );
+    assert!(
+        !report.baseline.contains("watchdog"),
+        "{label}: every schedule deadlocks identically: {}",
+        report.baseline
+    );
+    println!(
+        "{label}: {} schedules, {} branch points max, baseline {}…",
+        report.schedules,
+        report.max_branch_points,
+        &report.baseline[..report.baseline.len().min(40)]
+    );
+}
+
+#[test]
+fn routed_death_p3_is_schedule_independent_across_100_plus_schedules() {
+    // The acceptance configuration: p=3, overlapped chunked pipeline,
+    // rank 2 dying mid-stream so its part re-homes while frames are in
+    // flight. Every delivery interleaving must reconstruct the golden
+    // array with identical ledgers.
+    let a = array(6);
+    let config = SchemeConfig {
+        overlap: true,
+        ..SchemeConfig::default()
+    };
+    let plan = FaultPlan::new(1).with_death_at(2, 200.0);
+    let report = explore(
+        || digest_run(SchemeKind::Ed, 3, &a, Some(&plan), config),
+        25_000,
+    );
+    assert_schedule_independent("routed-death p=3", &report);
+    assert!(
+        report.baseline.starts_with("ok reassembled=true"),
+        "routed run must survive the death: {}",
+        report.baseline
+    );
+    assert!(
+        report.baseline.contains("owners=[0, 1, 1]")
+            || report.baseline.contains("owners=[0, 0, 1]"),
+        "rank 2's part must have re-homed to a survivor: {}",
+        report.baseline
+    );
+    assert!(
+        report.schedules >= 100,
+        "need >= 100 distinct schedules for the exhaustiveness claim, got {}",
+        report.schedules
+    );
+}
+
+#[test]
+fn overlapped_pipeline_p3_is_schedule_independent() {
+    let a = array(6);
+    let config = SchemeConfig {
+        overlap: true,
+        chunk_elems: 6,
+        ..SchemeConfig::default()
+    };
+    for scheme in [SchemeKind::Sfc, SchemeKind::Cfs, SchemeKind::Ed] {
+        let report = explore(|| digest_run(scheme, 3, &a, None, config), 25_000);
+        assert_schedule_independent(&format!("pipeline p=3 {scheme:?}"), &report);
+        assert!(report.baseline.starts_with("ok reassembled=true"));
+    }
+}
+
+#[test]
+fn chaos_plans_p3_are_schedule_independent() {
+    // Seeded chaos plans (drops, corruption, delays, deaths): whatever
+    // the outcome — clean, recovered or typed error — it must be the
+    // same outcome under every delivery order.
+    let a = array(10);
+    for seed in 0..3u64 {
+        let plan = FaultPlan::chaos(seed, 3);
+        let report = explore(
+            || digest_run(SchemeKind::Ed, 3, &a, Some(&plan), SchemeConfig::default()),
+            60_000,
+        );
+        assert_schedule_independent(&format!("chaos seed {seed} p=3"), &report);
+    }
+}
+
+#[test]
+#[ignore]
+fn probe_tree_sizes() {
+    for (rows, chunk) in [(6usize, 4usize), (6, 6), (6, 0)] {
+        let a = array(rows);
+        let config = SchemeConfig {
+            overlap: true,
+            chunk_elems: chunk,
+            ..SchemeConfig::default()
+        };
+        let plan = FaultPlan::new(1).with_death_at(2, 200.0);
+        let _ = &plan;
+        for scheme in [SchemeKind::Sfc, SchemeKind::Cfs, SchemeKind::Ed] {
+            let pl = explore(|| digest_run(scheme, 3, &a, None, config), 120_000);
+            println!(
+                "rows={rows} chunk={chunk} {scheme:?}: pipeline {} (trunc={}, bp={})",
+                pl.schedules, pl.truncated, pl.max_branch_points
+            );
+        }
+    }
+}
