@@ -42,7 +42,7 @@ fn bench_kernels(c: &mut Criterion) {
                 ))
             })
         });
-        let buf = encode_part(&a, &part, 0, CompressKind::Crs, &mut OpCounter::new()).unwrap();
+        let buf = encode_part(&a, &part, 0, CompressKind::Crs, &mut OpCounter::new());
         g.bench_with_input(BenchmarkId::new("ed_decode_part", n), &buf, |b, buf| {
             b.iter(|| {
                 black_box(

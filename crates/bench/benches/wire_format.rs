@@ -1,10 +1,12 @@
-//! Wire-format shootout: v1 vs v2 packed bytes on the distribution hot
-//! path, and sequential vs parallel per-part encode at the source.
+//! Wire-format shootout: v1 vs v2 vs v3 packed bytes on the distribution
+//! hot path, and sequential vs parallel per-part encode at the source.
 //!
 //! Besides the Criterion timings (`pack_roundtrip`, `encode_parallel`),
 //! this bench writes `BENCH_wire.json` at the workspace root: packed-byte
-//! totals per scheme/format at three sparsities and the measured host-time
-//! encode speedup, so CI can archive the wire saving as an artifact.
+//! totals per scheme/format at three sparsities, the v2-vs-v3 virtual
+//! makespans (v3 charges zero extra ops, so these must stay equal), and
+//! the measured host-time encode speedup, so CI can archive the wire
+//! saving as an artifact.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use sparsedist_bench::upsert_bench_sections;
@@ -13,7 +15,7 @@ use sparsedist_core::encode::encode_part_into;
 use sparsedist_core::opcount::OpCounter;
 use sparsedist_core::partition::{Partition, RowBlock};
 use sparsedist_core::schemes::{run_scheme_with, SchemeConfig, SchemeKind};
-use sparsedist_core::wire::{self, WireFormat};
+use sparsedist_core::wire::{self, WireFormat, WirePolicy};
 use sparsedist_gen::SparseRandom;
 use sparsedist_multicomputer::{MachineModel, Multicomputer, PackArena, PackBuffer};
 use std::hint::black_box;
@@ -30,13 +32,14 @@ fn array(s: f64) -> sparsedist_core::dense::Dense2D {
         .generate()
 }
 
-/// Bytes the source transmits for one scheme run under `format`.
-fn source_bytes(
+/// Bytes the source transmits and the virtual makespan (microseconds)
+/// for one scheme run under `format` with the default codec choice.
+fn source_bytes_and_makespan(
     scheme: SchemeKind,
     a: &sparsedist_core::dense::Dense2D,
     part: &dyn Partition,
     format: WireFormat,
-) -> u64 {
+) -> (u64, f64) {
     let m = Multicomputer::virtual_machine(P, MachineModel::ibm_sp2());
     let run = run_scheme_with(
         scheme,
@@ -50,7 +53,7 @@ fn source_bytes(
         },
     )
     .expect("bench distribution run");
-    run.ledgers[0].wire().bytes
+    (run.ledgers[0].wire().bytes, run.t_makespan().as_micros())
 }
 
 fn host_cores() -> usize {
@@ -66,10 +69,9 @@ fn encode_one(a: &sparsedist_core::dense::Dense2D, part: &dyn Partition, pid: us
         part,
         pid,
         CompressKind::Crs,
-        WireFormat::V2,
+        &WirePolicy::of(WireFormat::V2),
         &mut ops,
-    )
-    .unwrap();
+    );
     buf.byte_len()
 }
 
@@ -129,21 +131,35 @@ fn emit_json(c: &mut Criterion) {
         (SchemeKind::Cfs, "cfs"),
         (SchemeKind::Ed, "ed"),
     ];
+    let mut makespan_lines = vec!["{".to_string()];
     for (si, (s, slabel)) in sparsities.iter().enumerate() {
         let a = array(*s);
         lines.push(format!("    \"{slabel}\": {{"));
         for (ki, (scheme, klabel)) in schemes.iter().enumerate() {
-            let v1 = source_bytes(*scheme, &a, &part, WireFormat::V1);
-            let v2 = source_bytes(*scheme, &a, &part, WireFormat::V2);
+            let (v1, _) = source_bytes_and_makespan(*scheme, &a, &part, WireFormat::V1);
+            let (v2, m2) = source_bytes_and_makespan(*scheme, &a, &part, WireFormat::V2);
+            let (v3, m3) = source_bytes_and_makespan(*scheme, &a, &part, WireFormat::V3);
             let saving = 1.0 - v2 as f64 / v1 as f64;
+            let saving_v3 = 1.0 - v3 as f64 / v2 as f64;
             let comma = if ki + 1 < schemes.len() { "," } else { "" };
             lines.push(format!(
                 "      \"{klabel}\": {{\"v1_bytes\": {v1}, \"v2_bytes\": {v2}, \
-                 \"saving\": {saving:.4}}}{comma}"
+                 \"v3_bytes\": {v3}, \"saving\": {saving:.4}, \
+                 \"saving_v3\": {saving_v3:.4}}}{comma}"
             ));
+            if *s == 0.1 {
+                // v3 spends host CPU, never virtual ops: equal makespans
+                // here are the element-transparency invariant, archived.
+                makespan_lines.push(format!(
+                    "    \"{klabel}\": {{\"v2_makespan_us\": {m2:.1}, \
+                     \"v3_makespan_us\": {m3:.1}}},"
+                ));
+            }
             eprintln!(
-                "wire bytes {klabel:>3} s={s:<5} v1={v1:>9} v2={v2:>9} saving={:5.1}%",
-                saving * 100.0
+                "wire bytes {klabel:>3} s={s:<5} v1={v1:>9} v2={v2:>9} v3={v3:>9} \
+                 saving={:5.1}% saving_v3={:5.1}%",
+                saving * 100.0,
+                saving_v3 * 100.0
             );
         }
         let comma = if si + 1 < sparsities.len() { "," } else { "" };
@@ -151,6 +167,11 @@ fn emit_json(c: &mut Criterion) {
     }
     lines.push("  }".to_string());
     let bytes_section = lines.join("\n");
+    if let Some(last) = makespan_lines.last_mut() {
+        *last = last.trim_end_matches(',').to_string();
+    }
+    makespan_lines.push("  }".to_string());
+    let makespan_section = makespan_lines.join("\n");
 
     let a = array(0.1);
     let (seq_us, par_us) = encode_best_us(7, &a, &part);
@@ -176,6 +197,7 @@ fn emit_json(c: &mut Criterion) {
             ("n", N.to_string()),
             ("p", P.to_string()),
             ("bytes", bytes_section),
+            ("makespan_s0.1", makespan_section),
             ("encode_parallel", encode_section),
         ],
     )
@@ -199,16 +221,17 @@ fn bench_pack_roundtrip(c: &mut Criterion) {
     g.throughput(Throughput::Elements(
         (crs.ro().len() + 2 * crs.nnz()) as u64,
     ));
-    for format in [WireFormat::V1, WireFormat::V2] {
+    for format in [WireFormat::V1, WireFormat::V2, WireFormat::V3] {
+        let policy = WirePolicy::of(format);
         g.bench_with_input(
             BenchmarkId::new("cfs_triple", format),
-            &format,
-            |b, &format| {
+            &policy,
+            |b, policy| {
                 b.iter(|| {
                     let mut buf = arena.checkout(crs.nnz() * 16 + crs.ro().len() * 8);
-                    wire::pack_triple_into(&mut buf, crs.ro(), crs.co(), crs.vl(), N, format);
-                    let out =
-                        wire::unpack_triple(&mut buf.cursor(), lrows, format).expect("round trip");
+                    wire::pack_triple_into(&mut buf, crs.ro(), crs.co(), crs.vl(), N, policy);
+                    let out = wire::unpack_triple(&mut buf.cursor(), lrows, policy.format)
+                        .expect("round trip");
                     arena.recycle(buf);
                     black_box(out)
                 })

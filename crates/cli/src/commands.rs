@@ -2,7 +2,7 @@
 
 use crate::args::Parsed;
 use sparsedist::array::DistributedSparseArray;
-use sparsedist_core::compress::{CompressKind, Coo};
+use sparsedist_core::compress::{Ccs, CompressKind, Coo, Crs};
 use sparsedist_core::cost::{predict, CostInput, PartitionMethod};
 use sparsedist_core::dense::Dense2D;
 use sparsedist_core::error::SparsedistError;
@@ -10,7 +10,7 @@ use sparsedist_core::gather::GatherStrategy;
 use sparsedist_core::partition::{ColBlock, ColCyclic, Mesh2D, Partition, RowBlock, RowCyclic};
 use sparsedist_core::redistribute::RedistStrategy;
 use sparsedist_core::schemes::{run_scheme, run_scheme_with, SchemeConfig, SchemeKind};
-use sparsedist_core::wire::WireFormat;
+use sparsedist_core::wire::{self, CodecChoice, StreamBytes, WireFormat, WirePolicy};
 use sparsedist_gen::{matrixmarket, patterns, SparseRandom};
 use sparsedist_multicomputer::timing::{render_fault_summary, render_timeline};
 use sparsedist_multicomputer::{
@@ -32,8 +32,9 @@ USAGE:
   sparsedist distribute FILE.mtx [--scheme sfc|cfs|ed] [--partition row|column|mesh|rowcyclic|colcyclic]
                          [--procs P] [--grid RxC] [--kind crs|ccs] [--model sp2|compute|network]
                          [--timeline yes] [--faults SPEC] [--retries N]
-                         [--wire v1|v2] [--parallel yes] [--overlap yes]
-                         [--chunk-elems N] [--trace OUT.json]
+                         [--wire v1|v2|v3] [--codec auto|raw|delta|packed]
+                         [--parallel yes] [--overlap yes]
+                         [--chunk-elems N] [--streams yes] [--trace OUT.json]
                          [--engine auto|threaded|event]
 
   --faults takes comma-separated key=value tokens, e.g.
@@ -42,6 +43,11 @@ USAGE:
   --retries bounds retransmissions per message (default 6);
   --overlap sends each part as soon as it is encoded (nonblocking isend);
   --chunk-elems streams each part as framed chunks of at most N elements;
+  --wire v3 layers per-stream codecs under a negotiation byte; --codec
+  forces one ('auto' prices encode CPU against wire bytes per message
+  with the --model coefficients — the Remark-5 crossover at runtime);
+  --streams prints the per-stream bytes report (indices vs values, raw
+  vs encoded) behind the README bytes/element table;
   --trace writes a Chrome-trace JSON of the run (load in Perfetto);
   --engine picks the SPMD backend: 'auto' (default) uses OS threads up
   to 1024 ranks and the deterministic event loop above, 'threaded' and
@@ -52,7 +58,8 @@ USAGE:
                          [--out TRACE.json] [--metrics METRICS.json]
   sparsedist chaos [--seeds N] [--procs P] [--rows N] [--ratio S]
                          [--scheme sfc|cfs|ed|all] [--retries N]
-                         [--wire v1|v2] [--parallel yes] [--overlap yes]
+                         [--wire v1|v2|v3] [--codec auto|raw|delta|packed]
+                         [--parallel yes] [--overlap yes]
                          [--chunk-elems N] [--watchdog-ms MS]
                          [--engine auto|threaded|event]
 
@@ -106,7 +113,18 @@ fn parse_wire(s: &str) -> Result<WireFormat, CmdError> {
     match s {
         "v1" => Ok(WireFormat::V1),
         "v2" => Ok(WireFormat::V2),
-        other => Err(format!("unknown wire format '{other}' (v1|v2)")),
+        "v3" => Ok(WireFormat::V3),
+        other => Err(format!("unknown wire format '{other}' (v1|v2|v3)")),
+    }
+}
+
+fn parse_codec(s: &str) -> Result<CodecChoice, CmdError> {
+    match s {
+        "auto" => Ok(CodecChoice::Auto),
+        "raw" => Ok(CodecChoice::Raw),
+        "delta" => Ok(CodecChoice::Delta),
+        "packed" => Ok(CodecChoice::Packed),
+        other => Err(format!("unknown codec '{other}' (auto|raw|delta|packed)")),
     }
 }
 
@@ -285,8 +303,10 @@ pub fn distribute(p: &Parsed) -> Result<String, CmdError> {
     let kind = parse_kind(p.flag_or("kind", "crs"))?;
     let model = parse_model(p.flag_or("model", "sp2"))?;
     let wire = parse_wire(p.flag_or("wire", "v1"))?;
+    let codec = parse_codec(p.flag_or("codec", "packed"))?;
     let config = SchemeConfig {
         wire,
+        codec,
         parallel: p.flag_or("parallel", "no") == "yes",
         overlap: p.flag_or("overlap", "no") == "yes",
         chunk_elems: p.usize_or("chunk-elems", 0).map_err(|e| e.to_string())?,
@@ -322,15 +342,73 @@ pub fn distribute(p: &Parsed) -> Result<String, CmdError> {
         let w = l.wire();
         (acc.0 + w.messages, acc.1 + w.elements, acc.2 + w.bytes)
     });
+    let wire_label = match wire {
+        WireFormat::V3 => format!("{wire}/{codec}"),
+        _ => wire.to_string(),
+    };
     let _ = writeln!(
         out,
-        "  wire ({wire}):      {msgs} messages, {elems} elements, {bytes} bytes ({:.2} B/elem)",
+        "  wire ({wire_label}):      {msgs} messages, {elems} elements, {bytes} bytes ({:.2} B/elem)",
         if elems == 0 {
             0.0
         } else {
             bytes as f64 / elems as f64
         }
     );
+    if p.flag_or("streams", "no") == "yes" {
+        let policy = WirePolicy::new(wire, codec, machine.model());
+        let (grows, gcols) = (a.rows(), a.cols());
+        let mut tally = StreamBytes::default();
+        for pid in 0..procs {
+            // Rebuild the exact per-part streams the compressed schemes
+            // put on the wire (travelling indices in the global
+            // co-dimension) and measure them columnar under the policy.
+            let mut ops = sparsedist_core::opcount::OpCounter::new();
+            let sb = match kind {
+                CompressKind::Crs => {
+                    let crs = Crs::from_part_global(&a, part.as_ref(), pid, &mut ops);
+                    wire::measure_streams(gcols, crs.ro(), crs.co(), crs.vl(), &policy)
+                }
+                CompressKind::Ccs => {
+                    let ccs = Ccs::from_part_global(&a, part.as_ref(), pid, &mut ops);
+                    wire::measure_streams(grows, ccs.cp(), ccs.ri(), ccs.vl(), &policy)
+                }
+            };
+            tally.add(sb);
+        }
+        let ratio = |raw: usize, enc: usize| {
+            if raw == 0 {
+                1.0
+            } else {
+                enc as f64 / raw as f64
+            }
+        };
+        let _ = writeln!(out, "  streams ({} triples, {wire_label}):", kind.label());
+        let _ = writeln!(
+            out,
+            "    indices: {} raw -> {} encoded bytes (x{:.2})",
+            tally.index_raw,
+            tally.index_encoded,
+            ratio(tally.index_raw, tally.index_encoded)
+        );
+        let _ = writeln!(
+            out,
+            "    values:  {} raw -> {} encoded bytes (x{:.2})",
+            tally.value_raw,
+            tally.value_encoded,
+            ratio(tally.value_raw, tally.value_encoded)
+        );
+        let (raw, enc) = (
+            tally.index_raw + tally.value_raw,
+            tally.index_encoded + tally.value_encoded,
+        );
+        let _ = writeln!(
+            out,
+            "    total:   {raw} raw -> {enc} encoded bytes, {:.2} B/elem over {} stream elements",
+            ratio(raw, enc) * 8.0,
+            raw / 8
+        );
+    }
     if p.flag_or("timeline", "no") == "yes" {
         let _ = writeln!(out, "  per-rank timeline (c=compress e=encode p=pack s=send u=unpack d=decode !=retry .=wait):");
         for line in render_timeline(&run.ledgers, 60).lines() {
@@ -395,6 +473,7 @@ pub fn trace_cmd(p: &Parsed) -> Result<String, CmdError> {
     let width = p.usize_or("width", 60).map_err(|e| e.to_string())?;
     let config = SchemeConfig {
         wire,
+        codec: parse_codec(p.flag_or("codec", "packed"))?,
         parallel: p.flag_or("parallel", "no") == "yes",
         overlap: p.flag_or("overlap", "no") == "yes",
         chunk_elems: p.usize_or("chunk-elems", 0).map_err(|e| e.to_string())?,
@@ -453,6 +532,7 @@ pub fn chaos_cmd(p: &Parsed) -> Result<String, CmdError> {
     };
     let config = SchemeConfig {
         wire: parse_wire(p.flag_or("wire", "v1"))?,
+        codec: parse_codec(p.flag_or("codec", "packed"))?,
         parallel: p.flag_or("parallel", "no") == "yes",
         overlap: p.flag_or("overlap", "no") == "yes",
         chunk_elems: p.usize_or("chunk-elems", 0).map_err(|e| e.to_string())?,
@@ -966,7 +1046,80 @@ mod tests {
         };
         assert!(bytes(&v2) < bytes(&v1), "v1: {v1}\nv2: {v2}");
 
-        assert!(crate::run(&argv(&format!("distribute {path} --wire v3"))).is_err());
+        assert!(crate::run(&argv(&format!("distribute {path} --wire v9"))).is_err());
+    }
+
+    #[test]
+    fn distribute_wire_v3_beats_v2_bytes_at_equal_virtual_time() {
+        let path = tmp("gen_wire_v3.mtx");
+        crate::run(&argv(&format!(
+            "gen {path} --rows 40 --ratio 0.2 --seed 11"
+        )))
+        .unwrap();
+        let line = |s: &str, key: &str| {
+            s.lines()
+                .find(|l| l.contains(key))
+                .map(str::to_owned)
+                .unwrap()
+        };
+        let bytes = |s: &str| {
+            let l = line(s, "wire (");
+            l.split_whitespace()
+                .zip(l.split_whitespace().skip(1))
+                .find(|(_, unit)| *unit == "bytes")
+                .map(|(n, _)| n.parse::<u64>().unwrap())
+                .unwrap()
+        };
+        for scheme in ["cfs", "ed"] {
+            let v2 = crate::run(&argv(&format!(
+                "distribute {path} --scheme {scheme} --procs 4 --wire v2"
+            )))
+            .unwrap();
+            let v3 = crate::run(&argv(&format!(
+                "distribute {path} --scheme {scheme} --procs 4 --wire v3"
+            )))
+            .unwrap();
+            assert!(v3.contains("wire (v3/packed)"), "{v3}");
+            assert!(v3.contains("verified"), "{v3}");
+            // The codec moves bytes, never ops: the virtual clock cannot
+            // tell the formats apart while the wire shrinks further.
+            assert_eq!(
+                line(&v2, "T_Distribution"),
+                line(&v3, "T_Distribution"),
+                "{scheme}"
+            );
+            assert!(
+                bytes(&v3) < bytes(&v2),
+                "{scheme}: v3 {} !< v2 {}",
+                bytes(&v3),
+                bytes(&v2)
+            );
+        }
+    }
+
+    #[test]
+    fn distribute_codec_flag_and_streams_report() {
+        let path = tmp("gen_streams.mtx");
+        crate::run(&argv(&format!("gen {path} --rows 40 --ratio 0.1 --seed 3"))).unwrap();
+        let d = crate::run(&argv(&format!(
+            "distribute {path} --scheme cfs --procs 4 --wire v3 --codec auto --streams yes"
+        )))
+        .unwrap();
+        assert!(d.contains("wire (v3/auto)"), "{d}");
+        assert!(d.contains("streams (crs triples"), "{d}");
+        assert!(d.contains("indices:"), "{d}");
+        assert!(d.contains("values:"), "{d}");
+        assert!(d.contains("B/elem"), "{d}");
+        assert!(d.contains("verified"), "{d}");
+        // The report works under every format (raw == encoded for v1).
+        let v1 = crate::run(&argv(&format!(
+            "distribute {path} --scheme ed --procs 4 --streams yes"
+        )))
+        .unwrap();
+        assert!(v1.contains("streams (crs triples"), "{v1}");
+        // A bad codec name is a typed CLI error.
+        let err = crate::run(&argv(&format!("distribute {path} --codec zstd"))).unwrap_err();
+        assert!(err.contains("unknown codec"), "{err}");
     }
 
     #[test]

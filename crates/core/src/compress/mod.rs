@@ -191,12 +191,19 @@ pub enum CompressError {
         /// Tile columns requested.
         bc: usize,
     },
-    /// A buffer expected to carry a v2 wire header starts with something
-    /// else (wrong magic, unknown flags, or too short to hold one).
+    /// A buffer expected to carry a versioned wire header starts with
+    /// something else (wrong magic, unknown flags, or too short to hold
+    /// one).
     WireHeader {
         /// The bytes found where the header should be (zero-padded when the
         /// buffer is shorter than a header).
         found: [u8; 3],
+    },
+    /// A codec payload is structurally invalid (bad value-plane tag,
+    /// dictionary code out of range, zero-length RLE run, …).
+    Codec {
+        /// What the decoder found wrong.
+        reason: &'static str,
     },
 }
 
@@ -243,8 +250,11 @@ impl fmt::Display for CompressError {
             CompressError::WireHeader { found } => {
                 write!(
                     f,
-                    "missing or malformed v2 wire header: found bytes {found:02x?}"
+                    "missing or malformed wire header: found bytes {found:02x?}"
                 )
+            }
+            CompressError::Codec { reason } => {
+                write!(f, "malformed codec stream: {reason}")
             }
         }
     }

@@ -1,93 +1,87 @@
 //! The ED scheme's special buffer `B` (paper §3.3, Figure 6).
 //!
 //! For the CRS method the buffer holds, for each row `i` of a local sparse
-//! array: the nonzero count `R_i`, followed by the alternating pairs
+//! array: the nonzero count `R_i`, followed by the row's pairs
 //! `C_i0, V_i0, C_i1, V_i1, …` where each `C_ij` is a **global** index of
 //! the global sparse array. For CCS the same layout runs over columns,
 //! with `C_ij` a global row index.
 //!
-//! *Encoding* builds `B` straight from the global array in one pass (the
-//! `R_i` slot is back-patched once the row has been scanned), at the same
-//! `(1 + 3s)·cells` cost as a compression. *Decoding* turns a received `B`
-//! into `RO`/`CO`/`VL` with `RO[i+1] = RO[i] + R_i`, moving each `C_ij` and
-//! `V_ij` once and converting indices per the Cases in [`crate::convert`].
+//! *Encoding* scans the global array once at the paper's
+//! `(1 + 3s)·cells` cost, collecting the logical streams, then hands them
+//! to the wire codec the [`WirePolicy`] selects ([`Codec::encode_pairs`])
+//! — under v1 the bytes are identical to the seed's single-pass layout.
+//! *Decoding* opens the message header to find the codec that wrote the
+//! stream, reads the segments back, and converts each `C_ij` per the
+//! Cases in [`crate::convert`] with the op accounting of Tables 1–2.
 
-use crate::compress::{Ccs, CompressError, CompressKind, Crs, LocalCompressed};
+use crate::compress::{Ccs, CompressKind, Crs, LocalCompressed};
 use crate::convert::IndexConverter;
+use crate::error::SparsedistError;
 use crate::opcount::OpCounter;
 use crate::partition::Partition;
-use crate::wire::{self, IndexRunReader, IndexRunWriter, WireFormat};
-use sparsedist_multicomputer::pack::{PackBuffer, PatchError};
+use crate::wire::{self, WireFormat, WirePolicy};
+use sparsedist_multicomputer::pack::PackBuffer;
 
-/// Encode part `pid` of the global array into a special buffer.
+/// Encode part `pid` of the global array into a special buffer in the
+/// seed v1 layout.
 ///
 /// Op accounting: one op per cell scanned, three per nonzero (push `C`,
 /// push `V`, bump the running `R_i`) — summed over all parts this is the
 /// paper's encoding cost `n²(1 + 3s)·T_Operation`.
-///
-/// # Errors
-/// Returns [`PatchError`] if the count back-patch lands outside the buffer
-/// (only reachable through a defective `PackBuffer`, but no longer a
-/// panic on the encode hot path).
 pub fn encode_part(
     global: &crate::dense::Dense2D,
     part: &dyn Partition,
     pid: usize,
     kind: CompressKind,
     ops: &mut OpCounter,
-) -> Result<PackBuffer, PatchError> {
+) -> PackBuffer {
     let (lrows, lcols) = part.local_shape(pid);
     let (outer, inner) = match kind {
         CompressKind::Crs => (lrows, lcols),
         CompressKind::Ccs => (lcols, lrows),
     };
     let mut buf = PackBuffer::with_capacity(outer + 2 * (outer * inner) / 8 + 1);
-    encode_part_into(&mut buf, global, part, pid, kind, WireFormat::V1, ops)?;
-    Ok(buf)
+    encode_part_into(
+        &mut buf,
+        global,
+        part,
+        pid,
+        kind,
+        &WirePolicy::of(WireFormat::V1),
+        ops,
+    );
+    buf
 }
 
 /// Encode part `pid` of the global array into `buf` under the chosen
-/// [`WireFormat`] — the wire-aware, buffer-reusing core behind
+/// [`WirePolicy`] — the wire-aware, buffer-reusing core behind
 /// [`encode_part`].
 ///
 /// `buf` is typically checked out of a `PackArena` so repeated runs reuse
 /// their allocations. Under [`WireFormat::V1`] the bytes appended are
-/// exactly [`encode_part`]'s; under [`WireFormat::V2`] a header is written
-/// and the `R_i` counts / `C_ij` indices use the negotiated compact
-/// encodings. The logical element count and op accounting are identical in
-/// both formats.
-///
-/// # Errors
-/// Same as [`encode_part`].
+/// exactly [`encode_part`]'s; newer formats write a header and the
+/// codec's negotiated segment encodings. The logical element count and op
+/// accounting are identical in every format.
 pub fn encode_part_into(
     buf: &mut PackBuffer,
     global: &crate::dense::Dense2D,
     part: &dyn Partition,
     pid: usize,
     kind: CompressKind,
-    format: WireFormat,
+    policy: &WirePolicy,
     ops: &mut OpCounter,
-) -> Result<(), PatchError> {
+) {
     let (lrows, lcols) = part.local_shape(pid);
     let (outer, inner) = match kind {
         CompressKind::Crs => (lrows, lcols),
         CompressKind::Ccs => (lcols, lrows),
     };
     let (grows, gcols) = part.global_shape();
-    // V1 is the degenerate flag set: no header, every field fixed 8-byte.
-    let flags = match format {
-        WireFormat::V1 => 0,
-        WireFormat::V2 => {
-            let f = wire::negotiate(grows.max(gcols));
-            wire::write_header(buf, f);
-            f
-        }
-    };
-    let mut run = IndexRunWriter::new(flags);
+    let mut pointer = Vec::with_capacity(outer + 1);
+    pointer.push(0usize);
+    let mut indices = Vec::new();
+    let mut values = Vec::new();
     for o in 0..outer {
-        let slot = wire::push_count_placeholder(buf, flags);
-        run.reset();
-        let mut count: usize = 0;
         for i in 0..inner {
             ops.tick();
             let (lr, lc) = match kind {
@@ -101,18 +95,21 @@ pub fn encode_part_into(
                     CompressKind::Crs => gc,
                     CompressKind::Ccs => gr,
                 };
-                run.push(buf, travelling);
-                buf.push_f64(v);
-                count += 1;
+                indices.push(travelling);
+                values.push(v);
                 ops.add(3);
             }
         }
-        wire::patch_count(buf, slot, count, flags)?;
+        pointer.push(indices.len());
     }
-    Ok(())
+    let codec = wire::codec_for(policy.format);
+    let desc = codec.plan(grows.max(gcols), &pointer, &indices, &values, policy);
+    codec.begin_message(buf, desc);
+    codec.encode_pairs(buf, &pointer, &indices, &values, desc);
 }
 
-/// Decode a received special buffer into a compressed local array.
+/// Decode a received special buffer (v1 layout) into a compressed local
+/// array.
 ///
 /// Op accounting (matching Tables 1–2): one op to initialise the pointer
 /// array, one per segment for `RO[i+1] = RO[i] + R_i`, one per moved
@@ -124,20 +121,22 @@ pub fn decode_part(
     pid: usize,
     kind: CompressKind,
     ops: &mut OpCounter,
-) -> Result<LocalCompressed, CompressError> {
+) -> Result<LocalCompressed, SparsedistError> {
     decode_part_wire(buf, part, pid, kind, WireFormat::V1, ops)
 }
 
 /// Decode a received special buffer in the chosen [`WireFormat`] — the
 /// wire-aware core behind [`decode_part`].
 ///
-/// For [`WireFormat::V2`] the header is validated first
-/// ([`CompressError::WireHeader`] on mismatch) and the negotiated compact
-/// field encodings are read back; op accounting is identical to v1.
+/// The message header is validated first ([`CompressError::WireHeader`]
+/// on mismatch) and names the codec that actually wrote the stream, so a
+/// v3-configured receiver also accepts a v2 stream from an older sender.
+/// Op accounting is identical in every format.
 ///
 /// # Errors
-/// Same as [`decode_part`], plus [`CompressError::WireHeader`] for a v2
-/// stream whose header is missing or malformed.
+/// Same as [`decode_part`], plus [`CompressError::WireHeader`] for a
+/// stream whose header is missing or malformed, and the codec's typed
+/// errors for structurally invalid payloads.
 pub fn decode_part_wire(
     buf: &PackBuffer,
     part: &dyn Partition,
@@ -145,7 +144,7 @@ pub fn decode_part_wire(
     kind: CompressKind,
     format: WireFormat,
     ops: &mut OpCounter,
-) -> Result<LocalCompressed, CompressError> {
+) -> Result<LocalCompressed, SparsedistError> {
     let (lrows, lcols) = part.local_shape(pid);
     let outer = match kind {
         CompressKind::Crs => lrows,
@@ -155,61 +154,35 @@ pub fn decode_part_wire(
     let bound = converter.local_index_bound(kind);
 
     let mut cursor = buf.cursor();
-    let flags = match format {
-        WireFormat::V1 => 0,
-        WireFormat::V2 => wire::read_header(&mut cursor)?,
-    };
-    let mut run = IndexRunReader::new(flags);
-    let mut pointer = Vec::with_capacity(outer + 1);
-    pointer.push(0usize);
+    let head = wire::codec_for(format).open_message(&mut cursor)?;
+    let (pointer, raw_indices, values) = head.codec.decode_pairs(&mut cursor, outer, head.desc)?;
+
     ops.tick(); // pointer[0] initialisation (the formulas' trailing +1)
-    let mut indices = Vec::new();
-    let mut values = Vec::new();
+    let mut indices = Vec::with_capacity(raw_indices.len());
     for seg in 0..outer {
-        let count =
-            wire::read_count(&mut cursor, flags).map_err(|_| CompressError::PointerLength {
-                expected: outer + 1,
-                actual: seg + 1,
-            })?;
         ops.tick(); // RO[i+1] = RO[i] + R_i
-        pointer.push(pointer[seg] + count);
-        run.reset();
-        for _ in 0..count {
-            let travelling = run
-                .next(&mut cursor)
-                .map_err(|_| CompressError::LengthMismatch {
-                    pointer_total: pointer[seg] + count,
-                    indices: indices.len(),
-                    values: values.len(),
-                })?;
+        for &travelling in &raw_indices[pointer[seg]..pointer[seg + 1]] {
             ops.tick(); // move C_ij
-            let local = converter.to_local(travelling, ops);
-            indices.push(local);
-            let v = cursor
-                .try_read_f64()
-                .map_err(|_| CompressError::LengthMismatch {
-                    pointer_total: pointer[seg] + count,
-                    indices: indices.len(),
-                    values: values.len(),
-                })?;
+            indices.push(converter.to_local(travelling, ops));
             ops.tick(); // move V_ij
-            values.push(v);
         }
     }
 
-    match kind {
+    let state = match kind {
         CompressKind::Crs => {
             Crs::from_raw(lrows, bound, pointer, indices, values).map(LocalCompressed::Crs)
         }
         CompressKind::Ccs => {
             Ccs::from_raw(bound, lcols, pointer, indices, values).map(LocalCompressed::Ccs)
         }
-    }
+    };
+    Ok(state?)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::compress::CompressError;
     use crate::dense::{paper_array_a, Dense2D};
     use crate::partition::{ColBlock, Mesh2D, RowBlock};
 
@@ -236,7 +209,7 @@ mod tests {
         // (global row, value): col3 → (4, 6), col4 → (5, 7), col5 → (3, 5).
         let a = paper_array_a();
         let part = RowBlock::new(10, 8, 4);
-        let buf = encode_part(&a, &part, 1, CompressKind::Ccs, &mut OpCounter::new()).unwrap();
+        let buf = encode_part(&a, &part, 1, CompressKind::Ccs, &mut OpCounter::new());
         let stream = raw_stream(&buf, 8);
         let counts: Vec<u64> = stream.iter().map(|(c, _)| *c).collect();
         assert_eq!(counts, vec![0, 0, 0, 1, 1, 1, 0, 0]);
@@ -254,7 +227,7 @@ mod tests {
         // (1-based local rows), VL = [6,7,5].
         let a = paper_array_a();
         let part = RowBlock::new(10, 8, 4);
-        let buf = encode_part(&a, &part, 1, CompressKind::Ccs, &mut OpCounter::new()).unwrap();
+        let buf = encode_part(&a, &part, 1, CompressKind::Ccs, &mut OpCounter::new());
         let got = decode_part(&buf, &part, 1, CompressKind::Ccs, &mut OpCounter::new()).unwrap();
         let ccs = got.as_ccs();
         assert_eq!(ccs.cp_paper(), vec![1, 1, 1, 1, 2, 3, 4, 4, 4]);
@@ -275,8 +248,7 @@ mod tests {
         for part in &parts {
             for kind in [CompressKind::Crs, CompressKind::Ccs] {
                 for pid in 0..part.nparts() {
-                    let buf =
-                        encode_part(&a, part.as_ref(), pid, kind, &mut OpCounter::new()).unwrap();
+                    let buf = encode_part(&a, part.as_ref(), pid, kind, &mut OpCounter::new());
                     let got =
                         decode_part(&buf, part.as_ref(), pid, kind, &mut OpCounter::new()).unwrap();
                     assert_eq!(
@@ -298,7 +270,7 @@ mod tests {
         let part = RowBlock::new(10, 8, 4);
         let mut ops = OpCounter::new();
         for pid in 0..4 {
-            let _ = encode_part(&a, &part, pid, CompressKind::Crs, &mut ops).unwrap();
+            let _ = encode_part(&a, &part, pid, CompressKind::Crs, &mut ops);
         }
         assert_eq!(ops.get(), 80 + 3 * 16);
     }
@@ -309,7 +281,7 @@ mod tests {
         // pid costs 1 + rows + 2·nnz ops.
         let a = paper_array_a();
         let part = RowBlock::new(10, 8, 4);
-        let buf = encode_part(&a, &part, 2, CompressKind::Crs, &mut OpCounter::new()).unwrap();
+        let buf = encode_part(&a, &part, 2, CompressKind::Crs, &mut OpCounter::new());
         let mut ops = OpCounter::new();
         let _ = decode_part(&buf, &part, 2, CompressKind::Crs, &mut ops).unwrap();
         // P2: 3 rows, 6 nonzeros → 1 + 3 + 12 = 16.
@@ -321,7 +293,7 @@ mod tests {
         // Row partition + CCS (Case 3.3.2): 1 + cols + 3·nnz.
         let a = paper_array_a();
         let part = RowBlock::new(10, 8, 4);
-        let buf = encode_part(&a, &part, 1, CompressKind::Ccs, &mut OpCounter::new()).unwrap();
+        let buf = encode_part(&a, &part, 1, CompressKind::Ccs, &mut OpCounter::new());
         let mut ops = OpCounter::new();
         let _ = decode_part(&buf, &part, 1, CompressKind::Ccs, &mut ops).unwrap();
         // P1: 8 columns, 3 nonzeros → 1 + 8 + 9 = 18.
@@ -333,8 +305,7 @@ mod tests {
         let a = paper_array_a();
         let part = ColBlock::new(10, 8, 4);
         for pid in 0..4 {
-            let buf =
-                encode_part(&a, &part, pid, CompressKind::Crs, &mut OpCounter::new()).unwrap();
+            let buf = encode_part(&a, &part, pid, CompressKind::Crs, &mut OpCounter::new());
             let nnz = part.nnz_profile(&a).per_part[pid] as u64;
             // CRS over a column part: 10 rows per part.
             assert_eq!(buf.elem_count(), 10 + 2 * nnz);
@@ -345,7 +316,7 @@ mod tests {
     fn truncated_buffer_is_detected() {
         let a = paper_array_a();
         let part = RowBlock::new(10, 8, 4);
-        let buf = encode_part(&a, &part, 0, CompressKind::Crs, &mut OpCounter::new()).unwrap();
+        let buf = encode_part(&a, &part, 0, CompressKind::Crs, &mut OpCounter::new());
         // Rebuild a truncated copy: drop the last 8 bytes.
         let mut t = PackBuffer::new();
         let bytes = buf.as_bytes();
@@ -362,7 +333,7 @@ mod tests {
     fn corrupted_count_is_detected() {
         let a = paper_array_a();
         let part = RowBlock::new(10, 8, 4);
-        let mut buf = encode_part(&a, &part, 0, CompressKind::Crs, &mut OpCounter::new()).unwrap();
+        let mut buf = encode_part(&a, &part, 0, CompressKind::Crs, &mut OpCounter::new());
         // Inflate the first R_i: the decoder will run off the end.
         buf.patch_u64(0, 1_000).unwrap();
         let err = decode_part(&buf, &part, 0, CompressKind::Crs, &mut OpCounter::new());
@@ -370,7 +341,7 @@ mod tests {
     }
 
     #[test]
-    fn v2_round_trips_with_same_elements_and_fewer_bytes() {
+    fn compact_formats_round_trip_with_same_elements_and_fewer_bytes() {
         let a = paper_array_a();
         let parts: Vec<Box<dyn Partition>> = vec![
             Box::new(RowBlock::new(10, 8, 4)),
@@ -380,20 +351,7 @@ mod tests {
         for part in &parts {
             for kind in [CompressKind::Crs, CompressKind::Ccs] {
                 for pid in 0..part.nparts() {
-                    let v1 =
-                        encode_part(&a, part.as_ref(), pid, kind, &mut OpCounter::new()).unwrap();
-                    let mut v2 = PackBuffer::new();
-                    let mut ops = OpCounter::new();
-                    encode_part_into(
-                        &mut v2,
-                        &a,
-                        part.as_ref(),
-                        pid,
-                        kind,
-                        WireFormat::V2,
-                        &mut ops,
-                    )
-                    .unwrap();
+                    let v1 = encode_part(&a, part.as_ref(), pid, kind, &mut OpCounter::new());
                     let mut v1_ops = OpCounter::new();
                     let mut check = PackBuffer::new();
                     encode_part_into(
@@ -402,58 +360,130 @@ mod tests {
                         part.as_ref(),
                         pid,
                         kind,
-                        WireFormat::V1,
+                        &WirePolicy::of(WireFormat::V1),
                         &mut v1_ops,
-                    )
-                    .unwrap();
-                    assert_eq!(check, v1, "V1 via encode_part_into must be byte-identical");
-                    assert_eq!(v2.elem_count(), v1.elem_count(), "elements are format-free");
-                    assert_eq!(ops.get(), v1_ops.get(), "op accounting is format-free");
-                    assert!(
-                        v2.byte_len() < v1.byte_len(),
-                        "{} {kind} part {pid}: v2 {} !< v1 {}",
-                        part.name(),
-                        v2.byte_len(),
-                        v1.byte_len()
                     );
-                    let from_v2 = decode_part_wire(
-                        &v2,
-                        part.as_ref(),
-                        pid,
-                        kind,
-                        WireFormat::V2,
-                        &mut OpCounter::new(),
-                    )
-                    .unwrap();
-                    let mut v2_dec_ops = OpCounter::new();
+                    assert_eq!(check, v1, "V1 via encode_part_into must be byte-identical");
                     let mut v1_dec_ops = OpCounter::new();
-                    let _ = decode_part_wire(
-                        &v2,
-                        part.as_ref(),
-                        pid,
-                        kind,
-                        WireFormat::V2,
-                        &mut v2_dec_ops,
-                    )
-                    .unwrap();
                     let from_v1 =
                         decode_part(&v1, part.as_ref(), pid, kind, &mut v1_dec_ops).unwrap();
-                    assert_eq!(from_v2, from_v1, "decoded state is format-free");
-                    assert_eq!(
-                        v2_dec_ops.get(),
-                        v1_dec_ops.get(),
-                        "decode ops are format-free"
-                    );
+
+                    for format in [WireFormat::V2, WireFormat::V3] {
+                        let mut compact = PackBuffer::new();
+                        let mut ops = OpCounter::new();
+                        encode_part_into(
+                            &mut compact,
+                            &a,
+                            part.as_ref(),
+                            pid,
+                            kind,
+                            &WirePolicy::of(format),
+                            &mut ops,
+                        );
+                        assert_eq!(
+                            compact.elem_count(),
+                            v1.elem_count(),
+                            "{format}: elements are format-free"
+                        );
+                        assert_eq!(
+                            ops.get(),
+                            v1_ops.get(),
+                            "{format}: op accounting is format-free"
+                        );
+                        assert!(
+                            compact.byte_len() < v1.byte_len(),
+                            "{} {kind} part {pid}: {format} {} !< v1 {}",
+                            part.name(),
+                            compact.byte_len(),
+                            v1.byte_len()
+                        );
+                        let mut dec_ops = OpCounter::new();
+                        let decoded = decode_part_wire(
+                            &compact,
+                            part.as_ref(),
+                            pid,
+                            kind,
+                            format,
+                            &mut dec_ops,
+                        )
+                        .unwrap();
+                        assert_eq!(decoded, from_v1, "{format}: decoded state is format-free");
+                        assert_eq!(
+                            dec_ops.get(),
+                            v1_dec_ops.get(),
+                            "{format}: decode ops are format-free"
+                        );
+                    }
                 }
             }
         }
     }
 
     #[test]
+    fn v3_buffers_beat_v2_in_total_bytes() {
+        let a = paper_array_a();
+        let part = RowBlock::new(10, 8, 4);
+        let mut total = [0usize; 2];
+        for (slot, format) in [(0, WireFormat::V2), (1, WireFormat::V3)] {
+            for pid in 0..4 {
+                let mut buf = PackBuffer::new();
+                encode_part_into(
+                    &mut buf,
+                    &a,
+                    &part,
+                    pid,
+                    CompressKind::Crs,
+                    &WirePolicy::of(format),
+                    &mut OpCounter::new(),
+                );
+                total[slot] += buf.byte_len();
+            }
+        }
+        assert!(total[1] < total[0], "v3 {} !< v2 {}", total[1], total[0]);
+    }
+
+    #[test]
+    fn v3_decoder_accepts_v2_buffers() {
+        // Mixed-version negotiation at the ED layer: a v3-configured
+        // receiver decodes a v2 sender's stream through the header.
+        let a = paper_array_a();
+        let part = RowBlock::new(10, 8, 4);
+        let mut v2 = PackBuffer::new();
+        encode_part_into(
+            &mut v2,
+            &a,
+            &part,
+            0,
+            CompressKind::Crs,
+            &WirePolicy::of(WireFormat::V2),
+            &mut OpCounter::new(),
+        );
+        let as_v3 = decode_part_wire(
+            &v2,
+            &part,
+            0,
+            CompressKind::Crs,
+            WireFormat::V3,
+            &mut OpCounter::new(),
+        )
+        .unwrap();
+        let as_v2 = decode_part_wire(
+            &v2,
+            &part,
+            0,
+            CompressKind::Crs,
+            WireFormat::V2,
+            &mut OpCounter::new(),
+        )
+        .unwrap();
+        assert_eq!(as_v3, as_v2);
+    }
+
+    #[test]
     fn v2_decode_rejects_headerless_stream() {
         let a = paper_array_a();
         let part = RowBlock::new(10, 8, 4);
-        let v1 = encode_part(&a, &part, 0, CompressKind::Crs, &mut OpCounter::new()).unwrap();
+        let v1 = encode_part(&a, &part, 0, CompressKind::Crs, &mut OpCounter::new());
         let err = decode_part_wire(
             &v1,
             &part,
@@ -463,7 +493,10 @@ mod tests {
             &mut OpCounter::new(),
         );
         assert!(
-            matches!(err, Err(CompressError::WireHeader { .. })),
+            matches!(
+                err,
+                Err(SparsedistError::Compress(CompressError::WireHeader { .. }))
+            ),
             "a v1 stream read as v2 must fail on the header, got {err:?}"
         );
     }
@@ -472,7 +505,7 @@ mod tests {
     fn empty_part_encodes_to_empty_buffer() {
         let a = Dense2D::zeros(9, 4);
         let part = RowBlock::new(9, 4, 4); // part 3 is empty
-        let buf = encode_part(&a, &part, 3, CompressKind::Crs, &mut OpCounter::new()).unwrap();
+        let buf = encode_part(&a, &part, 3, CompressKind::Crs, &mut OpCounter::new());
         assert_eq!(buf.elem_count(), 0);
         let got = decode_part(&buf, &part, 3, CompressKind::Crs, &mut OpCounter::new()).unwrap();
         assert_eq!(got.nnz(), 0);

@@ -22,7 +22,7 @@ use crate::opcount::OpCounter;
 use crate::partition::Partition;
 use crate::schemes::pipeline::{self, SchemeStages, SourcePolicy};
 use crate::schemes::{SchemeConfig, SchemeKind, SchemeRun};
-use crate::wire::{self, WireFormat};
+use crate::wire::{self, WirePolicy};
 use sparsedist_multicomputer::pack::UnpackError;
 use sparsedist_multicomputer::{Multicomputer, PackBuffer, Phase};
 
@@ -30,7 +30,7 @@ pub(crate) struct Stages<'a> {
     global: &'a Dense2D,
     part: &'a dyn Partition,
     kind: CompressKind,
-    wire: WireFormat,
+    policy: WirePolicy,
 }
 
 impl SchemeStages for Stages<'_> {
@@ -74,11 +74,11 @@ impl SchemeStages for Stages<'_> {
         match self.kind {
             CompressKind::Crs => {
                 let crs = Crs::from_part_global(self.global, self.part, pid, ops);
-                wire::pack_triple_into(buf, crs.ro(), crs.co(), crs.vl(), gcols, self.wire);
+                wire::pack_triple_into(buf, crs.ro(), crs.co(), crs.vl(), gcols, &self.policy);
             }
             CompressKind::Ccs => {
                 let ccs = Ccs::from_part_global(self.global, self.part, pid, ops);
-                wire::pack_triple_into(buf, ccs.cp(), ccs.ri(), ccs.vl(), grows, self.wire);
+                wire::pack_triple_into(buf, ccs.cp(), ccs.ri(), ccs.vl(), grows, &self.policy);
             }
         }
         Ok(())
@@ -101,7 +101,8 @@ impl SchemeStages for Stages<'_> {
         let bound = converter.local_index_bound(self.kind);
 
         let mut cursor = payload.cursor();
-        let (pointer, travelling, values) = wire::unpack_triple(&mut cursor, nsegments, self.wire)?;
+        let (pointer, travelling, values) =
+            wire::unpack_triple(&mut cursor, nsegments, self.policy.format)?;
         ops.add((nsegments + 1) as u64);
         let nnz = pointer[nsegments];
         let mut indices = Vec::with_capacity(nnz);
@@ -150,7 +151,7 @@ pub(crate) fn run(
         global,
         part,
         kind,
-        wire: config.wire,
+        policy: WirePolicy::new(config.wire, config.codec, machine.model()),
     };
     pipeline::run_pipeline(machine, &stages, part, kind, config)
 }

@@ -19,14 +19,14 @@ use crate::opcount::OpCounter;
 use crate::partition::Partition;
 use crate::schemes::pipeline::{self, SchemeStages, SourcePolicy};
 use crate::schemes::{SchemeConfig, SchemeKind, SchemeRun};
-use crate::wire::WireFormat;
+use crate::wire::WirePolicy;
 use sparsedist_multicomputer::{Multicomputer, PackBuffer, Phase};
 
 pub(crate) struct Stages<'a> {
     global: &'a Dense2D,
     part: &'a dyn Partition,
     kind: CompressKind,
-    wire: WireFormat,
+    policy: WirePolicy,
 }
 
 impl SchemeStages for Stages<'_> {
@@ -59,7 +59,15 @@ impl SchemeStages for Stages<'_> {
         pid: usize,
         ops: &mut OpCounter,
     ) -> Result<(), SparsedistError> {
-        encode_part_into(buf, self.global, self.part, pid, self.kind, self.wire, ops)?;
+        encode_part_into(
+            buf,
+            self.global,
+            self.part,
+            pid,
+            self.kind,
+            &self.policy,
+            ops,
+        );
         Ok(())
     }
 
@@ -69,9 +77,7 @@ impl SchemeStages for Stages<'_> {
         pid: usize,
         ops: &mut OpCounter,
     ) -> Result<LocalCompressed, SparsedistError> {
-        Ok(decode_part_wire(
-            payload, self.part, pid, self.kind, self.wire, ops,
-        )?)
+        decode_part_wire(payload, self.part, pid, self.kind, self.policy.format, ops)
     }
 
     fn finish_part(&self, mid: &LocalCompressed, _ops: &mut OpCounter) -> LocalCompressed {
@@ -95,7 +101,7 @@ pub(crate) fn run(
         global,
         part,
         kind,
-        wire: config.wire,
+        policy: WirePolicy::new(config.wire, config.codec, machine.model()),
     };
     pipeline::run_pipeline(machine, &stages, part, kind, config)
 }

@@ -28,7 +28,7 @@ use crate::dense::Dense2D;
 use crate::error::SparsedistError;
 use crate::opcount::OpCounter;
 use crate::partition::Partition;
-use crate::wire::WireFormat;
+use crate::wire::{CodecChoice, WireFormat};
 use sparsedist_multicomputer::{Multicomputer, Phase, PhaseLedger, VirtualTime};
 use std::fmt;
 
@@ -39,8 +39,14 @@ use std::fmt;
 pub struct SchemeConfig {
     /// Wire layout for every buffer the scheme sends. [`WireFormat::V1`]
     /// (the default) reproduces the seed byte streams exactly;
-    /// [`WireFormat::V2`] negotiates compact index encodings per message.
+    /// [`WireFormat::V2`] negotiates compact index encodings per message;
+    /// [`WireFormat::V3`] adds per-stream codecs chosen by [`Self::codec`].
     pub wire: WireFormat,
+    /// Which v3 codec the sender picks per message: a forced codec, or
+    /// [`CodecChoice::Auto`] to let the machine's α-β cost model decide
+    /// whether encode CPU beats wire bytes. Ignored under v1/v2, whose
+    /// layouts are fixed by the format.
+    pub codec: CodecChoice,
     /// Encode/compress the per-part buffers on scoped host threads at the
     /// source (and decode in parallel on receivers owning several parts).
     /// Per-part op counts are merged in part order and charged once, so

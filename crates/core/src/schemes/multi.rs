@@ -22,8 +22,8 @@ use crate::opcount::OpCounter;
 use crate::partition::Partition;
 use crate::schemes::pipeline::{recv_part, send_part};
 use crate::schemes::{map_parts_counted, SchemeConfig};
-use crate::wire::{self, IndexRunReader, IndexRunWriter, WireFormat};
-use sparsedist_multicomputer::pack::{PatchError, UnpackError};
+use crate::wire::{self, WirePolicy};
+use sparsedist_multicomputer::pack::UnpackError;
 use sparsedist_multicomputer::{Env, Multicomputer, PackBuffer, Phase, PhaseLedger, VirtualTime};
 use std::future::Future;
 use std::pin::Pin;
@@ -65,6 +65,13 @@ impl MultiSourceRun {
 /// Encode the rows of part `pid` that belong to stripe `stripe` (of
 /// `nsources`) into an ED buffer. Non-stripe rows are skipped entirely
 /// (they cost this source nothing).
+///
+/// Two passes: the scan loop gathers the stripe's `(pointer, indices,
+/// values)` streams with exactly the classic op charges (one op per
+/// scanned cell, three per nonzero), then the policy's [`Codec`] lays the
+/// segment-count wire layout down in one shot. Only the byte layout is
+/// codec-dependent — the element count (`segments + 2·nnz`) and the ops
+/// charged are identical under every format.
 #[allow(clippy::too_many_arguments)]
 fn encode_stripe(
     buf: &mut PackBuffer,
@@ -73,42 +80,36 @@ fn encode_stripe(
     pid: usize,
     stripe: usize,
     nsources: usize,
-    format: WireFormat,
+    policy: &WirePolicy,
     ops: &mut OpCounter,
-) -> Result<(), PatchError> {
+) {
     let (lrows, lcols) = part.local_shape(pid);
-    let flags = match format {
-        WireFormat::V1 => 0,
-        WireFormat::V2 => {
-            let (_, gcols) = part.global_shape();
-            let f = wire::negotiate(gcols);
-            wire::write_header(buf, f);
-            f
-        }
-    };
-    let mut run = IndexRunWriter::new(flags);
+    let (_, gcols) = part.global_shape();
+    let mut pointer = Vec::with_capacity(lrows / nsources + 2);
+    pointer.push(0usize);
+    let mut indices = Vec::new();
+    let mut values = Vec::new();
     for lr in 0..lrows {
         let (gr, _) = part.to_global(pid, lr, 0);
         if gr % nsources != stripe {
             continue;
         }
-        let slot = wire::push_count_placeholder(buf, flags);
-        run.reset();
-        let mut count: usize = 0;
         for lc in 0..lcols {
             ops.tick();
             let (gr2, gc) = part.to_global(pid, lr, lc);
             let v = global.get(gr2, gc);
             if v != 0.0 {
-                run.push(buf, gc);
-                buf.push_f64(v);
-                count += 1;
+                indices.push(gc);
+                values.push(v);
                 ops.add(3);
             }
         }
-        wire::patch_count(buf, slot, count, flags)?;
+        pointer.push(indices.len());
     }
-    Ok(())
+    let codec = wire::codec_for(policy.format);
+    let desc = codec.plan(gcols, &pointer, &indices, &values, policy);
+    codec.begin_message(buf, desc);
+    codec.encode_pairs(buf, &pointer, &indices, &values, desc);
 }
 
 /// Per-run state for one multi-source rank task, threaded through the
@@ -119,6 +120,7 @@ struct MultiCtx<'a> {
     part: &'a dyn Partition,
     nsources: usize,
     config: SchemeConfig,
+    policy: WirePolicy,
 }
 
 /// One rank of the multi-source ED run: encode+send this rank's stripes
@@ -128,7 +130,8 @@ fn multi_task<'e>(
     ctx: &'e MultiCtx<'_>,
     env: &'e mut Env,
 ) -> Pin<Box<dyn Future<Output = Result<LocalCompressed, SparsedistError>> + 'e>> {
-    let (global, part, nsources, config) = (ctx.global, ctx.part, ctx.nsources, ctx.config);
+    let (global, part, nsources, config, policy) =
+        (ctx.global, ctx.part, ctx.nsources, ctx.config, ctx.policy);
     Box::pin(async move {
         let p = env.nprocs();
         let me = env.rank();
@@ -163,22 +166,12 @@ fn multi_task<'e>(
                         let mut buf = env
                             .arena()
                             .checkout((lrows / nsources + 1) * (lcols / 2 + 1) * 8);
-                        let r = encode_stripe(
-                            &mut buf,
-                            global,
-                            part,
-                            dst,
-                            me,
-                            nsources,
-                            config.wire,
-                            &mut ops,
-                        )
-                        .map(|()| buf);
+                        encode_stripe(&mut buf, global, part, dst, me, nsources, &policy, &mut ops);
                         let n = ops.take();
                         env.trace_part_ops(&[(dst, n)]);
                         env.charge_ops(n);
-                        r
-                    })?;
+                        buf
+                    });
                     if env.is_rank_dead(dst) {
                         continue;
                     }
@@ -196,17 +189,8 @@ fn multi_task<'e>(
                             let (lrows, lcols) = part.local_shape(pid);
                             let mut buf =
                                 arena.checkout((lrows / nsources + 1) * (lcols / 2 + 1) * 8);
-                            encode_stripe(
-                                &mut buf,
-                                global,
-                                part,
-                                pid,
-                                me,
-                                nsources,
-                                config.wire,
-                                ops,
-                            )
-                            .map(|()| buf)
+                            encode_stripe(&mut buf, global, part, pid, me, nsources, &policy, ops);
+                            buf
                         })
                     };
                     if env.is_tracing() {
@@ -214,8 +198,8 @@ fn multi_task<'e>(
                         env.trace_part_ops(&pairs);
                     }
                     env.charge_ops(ops.take());
-                    bufs.into_iter().collect::<Result<Vec<_>, _>>()
-                })?;
+                    bufs
+                });
                 env.phase(Phase::Send, |env| -> Result<(), SparsedistError> {
                     for (dst, buf) in bufs.into_iter().enumerate() {
                         if env.is_rank_dead(dst) {
@@ -241,46 +225,53 @@ fn multi_task<'e>(
                 let (lrows, _lcols) = part.local_shape(me);
                 let converter = IndexConverter::new(part, me, CompressKind::Crs);
                 let bound = converter.local_index_bound(CompressKind::Crs);
-                let mut cursors: Vec<_> = msgs.iter().map(|b| b.cursor()).collect();
-                // Each source negotiates its own flags; recover them per
-                // stream before touching any counts.
-                let mut readers = Vec::with_capacity(cursors.len());
-                for cursor in &mut cursors {
-                    let flags = match config.wire {
-                        WireFormat::V1 => 0,
-                        WireFormat::V2 => wire::read_header(cursor)?,
-                    };
-                    readers.push((flags, IndexRunReader::new(flags)));
+                // Row `lr` of this part was encoded by the source owning
+                // its global row's stripe.
+                let row_src: Vec<usize> = (0..lrows)
+                    .map(|lr| part.to_global(me, lr, 0).0 % nsources)
+                    .collect();
+                // Decode each source's buffer up front — the codec owns
+                // the byte layout (each source self-describes its own
+                // negotiation byte), so the row merge below only sees
+                // logical triples.
+                let codec = wire::codec_for(policy.format);
+                let mut triples = Vec::with_capacity(nsources);
+                for (src, buf) in msgs.iter().enumerate() {
+                    let nseg = row_src.iter().filter(|&&s| s == src).count();
+                    let mut cursor = buf.cursor();
+                    let head = codec.open_message(&mut cursor)?;
+                    let triple = head.codec.decode_pairs(&mut cursor, nseg, head.desc)?;
+                    if !cursor.is_exhausted() {
+                        return Err(UnpackError {
+                            at: 0,
+                            remaining: cursor.remaining(),
+                        }
+                        .into());
+                    }
+                    triples.push(triple);
                 }
+                // Merge rows in local order, charging exactly the classic
+                // per-row and per-element ops (the decode above moved
+                // bytes, never ops — formats stay clock-transparent).
+                let mut next_seg = vec![0usize; nsources];
                 let mut ro = Vec::with_capacity(lrows + 1);
                 ro.push(0usize);
                 ops.tick();
                 let mut co = Vec::new();
                 let mut vl = Vec::new();
                 for lr in 0..lrows {
-                    let (gr, _) = part.to_global(me, lr, 0);
-                    let src = gr % nsources;
-                    let cursor = &mut cursors[src];
-                    let (flags, reader) = &mut readers[src];
-                    let count = wire::read_count(cursor, *flags)?;
-                    reader.reset();
+                    let src = row_src[lr];
+                    let (pointer, indices, values) = &triples[src];
+                    let seg = next_seg[src];
+                    next_seg[src] += 1;
+                    let (lo, hi) = (pointer[seg], pointer[seg + 1]);
                     ops.tick();
-                    ro.push(ro[lr] + count);
-                    for _ in 0..count {
-                        let travelling = reader.next(cursor)?;
+                    ro.push(ro[lr] + (hi - lo));
+                    for k in lo..hi {
                         ops.tick();
-                        co.push(converter.to_local(travelling, &mut ops));
-                        vl.push(cursor.try_read_f64()?);
+                        co.push(converter.to_local(indices[k], &mut ops));
+                        vl.push(values[k]);
                         ops.tick();
-                    }
-                }
-                for c in cursors.iter() {
-                    if !c.is_exhausted() {
-                        return Err(UnpackError {
-                            at: 0,
-                            remaining: c.remaining(),
-                        }
-                        .into());
                     }
                 }
                 let n = ops.take();
@@ -362,6 +353,7 @@ pub fn run_ed_multi_source_with(
         part,
         nsources,
         config,
+        policy: WirePolicy::new(config.wire, config.codec, machine.model()),
     };
     let (results, ledgers) = machine.run_tasks_with_ledgers(&ctx, |ctx, env| multi_task(ctx, env));
     let locals = results.into_iter().collect::<Result<Vec<_>, _>>()?;

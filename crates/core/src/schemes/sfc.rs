@@ -20,7 +20,7 @@ use crate::opcount::OpCounter;
 use crate::partition::Partition;
 use crate::schemes::pipeline::{self, SchemeStages, SourcePolicy};
 use crate::schemes::{SchemeConfig, SchemeKind, SchemeRun};
-use crate::wire::{self, WireFormat};
+use crate::wire::{self, WirePolicy};
 use sparsedist_multicomputer::pack::UnpackError;
 use sparsedist_multicomputer::{Multicomputer, PackBuffer, Phase};
 
@@ -28,7 +28,7 @@ pub(crate) struct Stages<'a> {
     global: &'a Dense2D,
     part: &'a dyn Partition,
     kind: CompressKind,
-    wire: WireFormat,
+    policy: WirePolicy,
 }
 
 impl SchemeStages for Stages<'_> {
@@ -57,10 +57,13 @@ impl SchemeStages for Stages<'_> {
 
     /// Pack one part's dense local array for the wire.
     ///
-    /// SFC payloads are pure `f64` runs, which v2 cannot shrink — under
-    /// [`WireFormat::V2`] only the self-describing header is added (with no
-    /// flag bits in play), so the stream is still recognisably v2 to a
-    /// receiver that negotiates per message.
+    /// SFC payloads are pure value streams — no index side — so the codec
+    /// only sees `encode_values`: under v1 the bytes are the bare `f64`
+    /// run, v2 adds only its self-describing header, and v3 may
+    /// byte-transpose the values into planes (dense payloads are mostly
+    /// zeros, which RLE-compress hard). Gathering into the staging vector
+    /// charges one op per element only on the strided path, exactly as
+    /// the per-cell packing loop did.
     fn encode_part(
         &self,
         buf: &mut PackBuffer,
@@ -68,24 +71,23 @@ impl SchemeStages for Stages<'_> {
         ops: &mut OpCounter,
     ) -> Result<(), SparsedistError> {
         let (lrows, lcols) = self.part.local_shape(pid);
-        if self.wire == WireFormat::V2 {
-            wire::write_header(buf, wire::FLAG_DELTA | wire::FLAG_IDX32);
-        }
+        let mut values = Vec::with_capacity(lrows * lcols);
         if self.part.row_contiguous() {
             // A contiguous row band: DMA straight from the global array.
             for lr in 0..lrows {
                 let (gr, _) = self.part.to_global(pid, lr, 0);
-                buf.push_f64_slice(self.global.row(gr));
+                values.extend_from_slice(self.global.row(gr));
             }
         } else {
             for lr in 0..lrows {
                 for lc in 0..lcols {
                     let (gr, gc) = self.part.to_global(pid, lr, lc);
-                    buf.push_f64(self.global.get(gr, gc));
+                    values.push(self.global.get(gr, gc));
                     ops.tick();
                 }
             }
         }
+        wire::pack_values_into(buf, &values, &self.policy);
         Ok(())
     }
 
@@ -98,10 +100,7 @@ impl SchemeStages for Stages<'_> {
     ) -> Result<Dense2D, SparsedistError> {
         let (lrows, lcols) = self.part.local_shape(pid);
         let mut cursor = payload.cursor();
-        if self.wire == WireFormat::V2 {
-            let _flags = wire::read_header(&mut cursor)?;
-        }
-        let data = cursor.try_read_f64_vec(lrows * lcols)?;
+        let data = wire::unpack_values(&mut cursor, lrows * lcols, self.policy.format)?;
         if !cursor.is_exhausted() {
             // Longer than the local shape: a framing mismatch, not just noise.
             return Err(UnpackError {
@@ -141,7 +140,7 @@ pub(crate) fn run(
         global,
         part,
         kind,
-        wire: config.wire,
+        policy: WirePolicy::new(config.wire, config.codec, machine.model()),
     };
     pipeline::run_pipeline(machine, &stages, part, kind, config)
 }

@@ -1,0 +1,179 @@
+//! LSB-first bit packing in fixed blocks, the v3 index transport.
+//!
+//! A packed stream carries `u64` values in blocks of up to [`BLOCK`]
+//! values. Each block opens with one width byte `w` (the bit width of the
+//! block's largest value, `0..=64`), followed by `ceil(len·w / 8)` payload
+//! bytes holding the block's values packed LSB-first. A block of all-zero
+//! values therefore costs exactly one byte — the common case for the
+//! dense-run deltas the v3 codec feeds through here.
+//!
+//! The reader validates the width byte and bounds every payload read, so
+//! truncated or corrupt streams surface as [`UnpackError`]s, never panics
+//! or unbounded allocations: a stream of `n` values needs at least
+//! `ceil(n / BLOCK)` bytes, which caps `n` before any allocation.
+
+use sparsedist_multicomputer::pack::{UnpackCursor, UnpackError};
+
+/// Values per block (one width byte each).
+pub const BLOCK: usize = 128;
+
+/// Bits needed to represent `v` (0 for `v == 0`).
+pub fn bits_for(v: u64) -> u32 {
+    64 - v.leading_zeros()
+}
+
+/// Bytes [`write_packed`] would append for `vals`.
+pub fn packed_size(vals: &[u64]) -> usize {
+    vals.chunks(BLOCK)
+        .map(|b| {
+            let w = b.iter().copied().map(bits_for).max().unwrap_or(0) as usize;
+            1 + (b.len() * w).div_ceil(8)
+        })
+        .sum()
+}
+
+/// Append the packed encoding of `vals` to `out`.
+pub fn write_packed(out: &mut Vec<u8>, vals: &[u64]) {
+    for b in vals.chunks(BLOCK) {
+        let w = b.iter().copied().map(bits_for).max().unwrap_or(0);
+        out.push(w as u8);
+        write_bits(out, b, w);
+    }
+}
+
+/// Append `vals` packed at a fixed `width` bits each, LSB-first (no block
+/// structure, no width byte — the caller records the width).
+pub fn write_bits(out: &mut Vec<u8>, vals: &[u64], width: u32) {
+    if width == 0 {
+        return;
+    }
+    let mut acc: u128 = 0;
+    let mut nbits: u32 = 0;
+    for &v in vals {
+        acc |= (v as u128) << nbits;
+        nbits += width;
+        while nbits >= 8 {
+            out.push(acc as u8);
+            acc >>= 8;
+            nbits -= 8;
+        }
+    }
+    if nbits > 0 {
+        out.push(acc as u8);
+    }
+}
+
+/// Decode `n` values packed at a fixed `width` from `bytes` (which must
+/// hold at least `ceil(n·width / 8)` bytes; missing bytes read as zero).
+pub fn read_bits(bytes: &[u8], n: usize, width: u32) -> Vec<u64> {
+    if width == 0 {
+        return vec![0; n];
+    }
+    let mut out = Vec::with_capacity(n);
+    let mut iter = bytes.iter();
+    let mut acc: u128 = 0;
+    let mut nbits: u32 = 0;
+    let mask = if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    };
+    for _ in 0..n {
+        while nbits < width {
+            acc |= (iter.next().copied().unwrap_or(0) as u128) << nbits;
+            nbits += 8;
+        }
+        out.push((acc as u64) & mask);
+        acc >>= width;
+        nbits -= width;
+    }
+    out
+}
+
+fn oob(cursor: &UnpackCursor<'_>) -> UnpackError {
+    UnpackError {
+        at: cursor.position(),
+        remaining: cursor.remaining(),
+    }
+}
+
+/// Read back `n` values written by [`write_packed`].
+///
+/// Fails with [`UnpackError`] on truncation, a width byte above 64, or a
+/// count `n` the remaining bytes cannot possibly hold.
+pub fn read_packed(cursor: &mut UnpackCursor<'_>, n: usize) -> Result<Vec<u64>, UnpackError> {
+    // Every block costs at least its width byte: reject a count that
+    // outruns the buffer before allocating for it.
+    if n.div_ceil(BLOCK) > cursor.remaining() {
+        return Err(oob(cursor));
+    }
+    let mut out = Vec::with_capacity(n);
+    let mut left = n;
+    while left > 0 {
+        let len = left.min(BLOCK);
+        let w = cursor.try_read_raw(1)?[0] as u32;
+        if w > 64 {
+            return Err(oob(cursor));
+        }
+        let nbytes = (len * w as usize).div_ceil(8);
+        let bytes = cursor.try_read_raw(nbytes)?;
+        out.extend(read_bits(bytes, len, w));
+        left -= len;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsedist_multicomputer::pack::PackBuffer;
+
+    fn roundtrip(vals: &[u64]) {
+        let mut bytes = Vec::new();
+        write_packed(&mut bytes, vals);
+        assert_eq!(bytes.len(), packed_size(vals));
+        let mut buf = PackBuffer::new();
+        buf.push_raw(&bytes);
+        let mut c = buf.cursor();
+        assert_eq!(read_packed(&mut c, vals.len()).unwrap(), vals);
+        assert!(c.is_exhausted());
+    }
+
+    #[test]
+    fn round_trips_across_widths_and_block_boundaries() {
+        roundtrip(&[]);
+        roundtrip(&[0]);
+        roundtrip(&[0; 500]);
+        roundtrip(&[1, 0, 1, 1, 0]);
+        roundtrip(&(0..1000u64).collect::<Vec<_>>());
+        roundtrip(&[u64::MAX, 0, 1, u64::MAX]);
+        roundtrip(&(0..129).map(|i| i * 37 % 1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn all_zero_blocks_cost_one_byte_each() {
+        assert_eq!(packed_size(&[0; 128]), 1);
+        assert_eq!(packed_size(&[0; 256]), 2);
+        // A 7-bit block: 1 width byte + ceil(128·7/8) payload.
+        assert_eq!(packed_size(&[100; 128]), 1 + 112);
+    }
+
+    #[test]
+    fn truncated_or_corrupt_streams_error_without_panicking() {
+        let mut bytes = Vec::new();
+        write_packed(&mut bytes, &(0..300u64).collect::<Vec<_>>());
+        for cut in [0, 1, 5, bytes.len() - 1] {
+            let mut buf = PackBuffer::new();
+            buf.push_raw(&bytes[..cut]);
+            assert!(read_packed(&mut buf.cursor(), 300).is_err(), "cut {cut}");
+        }
+        // Width byte above 64.
+        let mut buf = PackBuffer::new();
+        buf.push_raw(&[65, 0, 0, 0]);
+        assert!(read_packed(&mut buf.cursor(), 1).is_err());
+        // Count that cannot fit the remaining bytes is rejected up front.
+        let mut buf = PackBuffer::new();
+        buf.push_raw(&[0]);
+        assert!(read_packed(&mut buf.cursor(), usize::MAX).is_err());
+    }
+}

@@ -1,38 +1,54 @@
-//! Wire formats for compressed-array messages.
+//! Wire formats for compressed-array messages: a pluggable codec stack.
 //!
 //! The paper's schemes put `(RO, CO, VL)` triples (CFS) and encoded
-//! buffers `B` (ED) on the wire. The seed repo's **v1** layout is the
-//! simplest possible one: every index travels as a little-endian `u64`
-//! and every value as a little-endian `f64` — 8 bytes per element,
-//! self-describing only by convention. This module adds a compact **v2**
-//! layout and the negotiation glue between the two:
+//! buffers `B` (ED) on the wire. This family implements three layouts
+//! behind one [`Codec`] trait, chosen per run by [`WireFormat`] and per
+//! message by each codec's negotiation byte:
 //!
-//! * a 3-byte header `[b'S', b'2', flags]` (framing bytes, *not* logical
-//!   elements — the paper charges `T_Data` per element, and an element is
-//!   an element however many bytes encode it);
-//! * [`FLAG_IDX32`]: fixed-width index fields narrow from 8 to 4 bytes
-//!   when every index/count in the message fits a `u32`;
-//! * [`FLAG_DELTA`]: sorted index runs (a CRS/CCS pointer array, or the
-//!   travelling indices within one row/column segment) are delta-encoded
-//!   as LEB128 varints, resetting at each segment boundary. For the
-//!   paper's test arrays this is the big win: a sorted run of small
-//!   deltas costs ~1 byte per index instead of 8.
+//! * **v1** ([`codec::V1Raw`]) — the seed layout: every index a
+//!   little-endian `u64`, every value a little-endian `f64`, no header.
+//!   Byte-identical to the original repo's streams.
+//! * **v2** ([`codec::V2Delta`]) — a 3-byte header `[b'S', b'2', flags]`
+//!   ([`FLAG_IDX32`] narrows fixed-width fields to `u32`, [`FLAG_DELTA`]
+//!   delta-varints sorted index runs), raw `f64` values. Byte-identical
+//!   to the pre-refactor v2.
+//! * **v3** ([`v3::V3Packed`]) — `[b'S', b'3', desc]` where `desc`
+//!   selects per stream between raw, delta-varint, and bit-packed index
+//!   runs, and optionally byte-transposed value planes; the selection is
+//!   forced by [`codec::CodecChoice`] or priced per message against the
+//!   α-β machine model (`auto`).
 //!
-//! Values always travel as raw `f64` — they are incompressible noise for
-//! our purposes, and bit-exactness is non-negotiable.
+//! Module layout: [`varint`] holds zigzag and the segment-resetting run
+//! writer/reader, [`bitpack`] the fixed-block bit packer, [`codec`] the
+//! trait plus the v1/v2 impls and the negotiation policy, [`v3`] the new
+//! format. This `mod.rs` keeps the shared header/field helpers and the
+//! scheme-facing entry points [`pack_triple_into`] / [`unpack_triple`]
+//! and [`pack_values_into`] / [`unpack_values`].
 //!
-//! Flags are **negotiated per message** by the sender ([`negotiate`])
-//! from the index bound it already knows, and recovered by the receiver
-//! from the header ([`read_header`]) — no out-of-band agreement beyond
-//! "this stream is v2". Whether a stream is v1 or v2 is the
-//! [`WireFormat`] choice made by the scheme configuration; v1 streams
-//! are byte-identical to the seed repo's and carry no header.
+//! Two invariants hold across the whole family:
 //!
-//! The element counter semantics are unchanged between formats: packing
-//! the same triple under v1 and v2 yields the same
-//! [`PackBuffer::elem_count`], so every virtual-time cost in the paper's
-//! tables is format-independent; only bytes-on-wire (and host encode
-//! time) change.
+//! * **Element transparency.** Header and framing bytes are never logical
+//!   elements, and every codec credits the same element count for the
+//!   same message — the paper charges `T_Data` per element, an element is
+//!   an element however many bytes encode it, and therefore every
+//!   virtual-time phase total is format-independent. Only bytes-on-wire
+//!   (and host encode time) change.
+//! * **Version-min negotiation.** A sender caps its format at what the
+//!   peer decodes ([`effective_format`]); a v3-capable receiver also
+//!   accepts v2 streams directly (see [`Codec::open_message`]), so mixed
+//!   fleets degrade to the newest common format instead of failing.
+
+pub mod bitpack;
+pub mod codec;
+pub mod v3;
+pub mod varint;
+
+pub use codec::{
+    codec_for, measure_streams, Codec, CodecChoice, MsgHead, StreamBytes, V1Raw, V2Delta,
+    WirePolicy, V1_RAW, V2_DELTA, V3_PACKED,
+};
+pub use v3::V3Packed;
+pub use varint::{IndexRunReader, IndexRunWriter};
 
 use crate::compress::CompressError;
 use crate::error::SparsedistError;
@@ -41,7 +57,7 @@ use sparsedist_multicomputer::pack::{PackBuffer, PatchError, UnpackCursor, Unpac
 /// Magic bytes opening every v2 message.
 pub const MAGIC: [u8; 2] = [b'S', b'2'];
 
-/// Total header length in bytes (magic + flags).
+/// Total header length in bytes (magic + negotiation byte).
 pub const HEADER_LEN: usize = 3;
 
 /// Fixed-width index fields are 4-byte `u32` instead of 8-byte `u64`.
@@ -64,6 +80,10 @@ pub enum WireFormat {
     /// Compact layout: 3-byte header, then `IDX32`/`DELTA`-encoded index
     /// fields as negotiated per message.
     V2,
+    /// Per-stream compression: bit-packed index runs and byte-transposed
+    /// value planes behind a self-describing descriptor byte, selected
+    /// per message by policy or by the α-β cost model.
+    V3,
 }
 
 impl WireFormat {
@@ -72,6 +92,16 @@ impl WireFormat {
         match self {
             WireFormat::V1 => "v1",
             WireFormat::V2 => "v2",
+            WireFormat::V3 => "v3",
+        }
+    }
+
+    /// Protocol version number, ordered so newer formats compare higher.
+    pub fn version(self) -> u8 {
+        match self {
+            WireFormat::V1 => 1,
+            WireFormat::V2 => 2,
+            WireFormat::V3 => 3,
         }
     }
 }
@@ -79,6 +109,16 @@ impl WireFormat {
 impl std::fmt::Display for WireFormat {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.label())
+    }
+}
+
+/// The format a sender actually uses towards a peer: its own preference
+/// capped at the newest format the peer decodes (version-min fallback).
+pub fn effective_format(local: WireFormat, peer_max: WireFormat) -> WireFormat {
+    if local.version() <= peer_max.version() {
+        local
+    } else {
+        peer_max
     }
 }
 
@@ -94,6 +134,18 @@ pub fn negotiate(max_field: usize) -> u8 {
         flags |= FLAG_IDX32;
     }
     flags
+}
+
+/// Consume up to one header's worth of bytes, zero-padded, plus whether
+/// a full header was present. Shared by the v2 and v3 header readers so
+/// short buffers report the same zero-padded `found` bytes.
+pub(crate) fn take_header(cursor: &mut UnpackCursor<'_>) -> ([u8; HEADER_LEN], bool) {
+    let mut found = [0u8; HEADER_LEN];
+    let n = cursor.remaining().min(HEADER_LEN);
+    if let Ok(bytes) = cursor.try_read_raw(n) {
+        found[..n].copy_from_slice(bytes);
+    }
+    (found, n == HEADER_LEN)
 }
 
 /// Append a v2 header carrying `flags`. Framing bytes only: the buffer's
@@ -113,22 +165,8 @@ pub fn write_header(buf: &mut PackBuffer, flags: u8) {
 /// bits, or a buffer too short to hold a header (the found bytes are
 /// reported zero-padded in that case).
 pub fn read_header(cursor: &mut UnpackCursor<'_>) -> Result<u8, CompressError> {
-    let mut found = [0u8; HEADER_LEN];
-    if cursor.remaining() < HEADER_LEN {
-        let n = cursor.remaining();
-        let partial = cursor
-            .try_read_raw(n)
-            // lint: allow(E002) — n = remaining(), so this read cannot run short
-            .expect("remaining() bytes are readable");
-        found[..n].copy_from_slice(partial);
-        return Err(CompressError::WireHeader { found });
-    }
-    let h = cursor
-        .try_read_raw(HEADER_LEN)
-        // lint: allow(E002) — remaining() ≥ HEADER_LEN was just checked
-        .expect("length checked above");
-    found.copy_from_slice(h);
-    if found[0] != MAGIC[0] || found[1] != MAGIC[1] || found[2] & !FLAG_MASK != 0 {
+    let (found, complete) = take_header(cursor);
+    if !complete || found[0] != MAGIC[0] || found[1] != MAGIC[1] || found[2] & !FLAG_MASK != 0 {
         return Err(CompressError::WireHeader { found });
     }
     Ok(found[2])
@@ -158,8 +196,8 @@ pub fn read_count(cursor: &mut UnpackCursor<'_>, flags: u8) -> Result<usize, Unp
 
 /// Append a placeholder count field and return its byte offset for a
 /// later [`patch_count`] — the flag-aware analogue of
-/// [`PackBuffer::push_u64_placeholder`], used by the ED encoder to write
-/// each `R_i` before the row's pairs are known (single-pass encode).
+/// [`PackBuffer::push_u64_placeholder`], for encoders that must write a
+/// count before the segment's content is known.
 pub fn push_count_placeholder(buf: &mut PackBuffer, flags: u8) -> usize {
     if flags & FLAG_IDX32 != 0 {
         buf.push_u32_placeholder()
@@ -205,18 +243,20 @@ pub fn push_monotone_run(buf: &mut PackBuffer, vs: &[usize], flags: u8) {
 }
 
 /// Read back `n` fields written by [`push_monotone_run`] with the same
-/// flags.
+/// flags. Corrupt varints that would overflow the running sum wrap
+/// rather than panic; structural validation is the caller's layer.
 pub fn read_monotone_run(
     cursor: &mut UnpackCursor<'_>,
     n: usize,
     flags: u8,
 ) -> Result<Vec<usize>, UnpackError> {
+    codec::guard_count(cursor, n, if flags & FLAG_DELTA != 0 { 1 } else { 4 })?;
     let mut out = Vec::with_capacity(n);
     if flags & FLAG_DELTA != 0 {
         let mut prev = 0u64;
         for i in 0..n {
             let d = cursor.try_read_varint()?;
-            prev = if i == 0 { d } else { prev + d };
+            prev = if i == 0 { d } else { prev.wrapping_add(d) };
             out.push(prev as usize);
         }
     } else {
@@ -227,178 +267,72 @@ pub fn read_monotone_run(
     Ok(out)
 }
 
-/// Streaming writer for sorted index runs that reset at segment
-/// boundaries (the travelling `CO` indices of one CRS row / CCS column,
-/// or one ED segment's `C_ij` run).
-///
-/// Under `DELTA` the first index after a [`IndexRunWriter::reset`] is
-/// written absolute and the rest as deltas from their predecessor;
-/// without `DELTA` each index is a fixed-width field.
-#[derive(Debug, Clone)]
-pub struct IndexRunWriter {
-    flags: u8,
-    prev: u64,
-    fresh: bool,
-}
-
-impl IndexRunWriter {
-    /// A writer for one message's negotiated flags, positioned at a
-    /// segment boundary.
-    pub fn new(flags: u8) -> Self {
-        IndexRunWriter {
-            flags,
-            prev: 0,
-            fresh: true,
-        }
-    }
-
-    /// Mark a segment boundary: the next index is written absolute.
-    pub fn reset(&mut self) {
-        self.prev = 0;
-        self.fresh = true;
-    }
-
-    /// Append one index of the current segment's sorted run.
-    pub fn push(&mut self, buf: &mut PackBuffer, v: usize) {
-        let v = v as u64;
-        if self.flags & FLAG_DELTA != 0 {
-            debug_assert!(self.fresh || v >= self.prev, "index run is not sorted");
-            buf.push_varint(if self.fresh { v } else { v - self.prev });
-            self.prev = v;
-            self.fresh = false;
-        } else if self.flags & FLAG_IDX32 != 0 {
-            buf.push_u32(v as u32);
-        } else {
-            buf.push_u64(v);
-        }
-    }
-}
-
-/// Streaming reader matching [`IndexRunWriter`], with the same
-/// segment-boundary [`IndexRunReader::reset`] protocol.
-#[derive(Debug, Clone)]
-pub struct IndexRunReader {
-    flags: u8,
-    prev: u64,
-    fresh: bool,
-}
-
-impl IndexRunReader {
-    /// A reader for the flags recovered from the message header.
-    pub fn new(flags: u8) -> Self {
-        IndexRunReader {
-            flags,
-            prev: 0,
-            fresh: true,
-        }
-    }
-
-    /// Mark a segment boundary: the next index read is absolute.
-    pub fn reset(&mut self) {
-        self.prev = 0;
-        self.fresh = true;
-    }
-
-    /// Read one index of the current segment's run.
-    pub fn next(&mut self, cursor: &mut UnpackCursor<'_>) -> Result<usize, UnpackError> {
-        if self.flags & FLAG_DELTA != 0 {
-            let d = cursor.try_read_varint()?;
-            self.prev = if self.fresh { d } else { self.prev + d };
-            self.fresh = false;
-            Ok(self.prev as usize)
-        } else if self.flags & FLAG_IDX32 != 0 {
-            cursor.try_read_u32().map(|v| v as usize)
-        } else {
-            cursor.try_read_u64().map(|v| v as usize)
-        }
-    }
-}
-
 /// A decoded `(pointer, indices, values)` compressed triple, as carried
 /// by the CFS wire message.
 pub type UnpackedTriple = (Vec<usize>, Vec<usize>, Vec<f64>);
 
 /// Pack a `(pointer, indices, values)` compressed triple — the CFS wire
-/// message — into `buf` under `format`.
+/// message — into `buf` under `policy`.
 ///
-/// * **v1**: `pointer` then `indices` as `u64` runs, then `values` as
-///   `f64` — byte-identical to the seed layout.
-/// * **v2**: header, delta-varint pointer run, per-segment delta-varint
-///   index runs (segment boundaries taken from `pointer`), raw `f64`
-///   values. Flags are negotiated from `index_bound` (the exclusive
-///   bound on travelling indices, i.e. the global inner dimension) and
-///   the pointer total.
-///
-/// Both formats append exactly `pointer.len() + 2 * nnz` logical
-/// elements, so `T_Data` charges are format-independent.
+/// The policy's codec plans the message's negotiation byte (from
+/// `index_bound`, the exclusive bound on travelling indices, and the
+/// streams themselves), writes its header, then the pointer + index
+/// streams and the value stream. Every format appends exactly
+/// `pointer.len() + 2 * nnz` logical elements, so `T_Data` charges are
+/// format-independent.
 pub fn pack_triple_into(
     buf: &mut PackBuffer,
     pointer: &[usize],
     indices: &[usize],
     values: &[f64],
     index_bound: usize,
-    format: WireFormat,
+    policy: &WirePolicy,
 ) {
     debug_assert_eq!(indices.len(), values.len());
-    match format {
-        WireFormat::V1 => {
-            buf.push_usize_slice(pointer);
-            buf.push_usize_slice(indices);
-            buf.push_f64_slice(values);
-        }
-        WireFormat::V2 => {
-            let total = pointer.last().copied().unwrap_or(0);
-            let flags = negotiate(index_bound.max(total));
-            write_header(buf, flags);
-            push_monotone_run(buf, pointer, flags);
-            let mut run = IndexRunWriter::new(flags);
-            for seg in 0..pointer.len().saturating_sub(1) {
-                run.reset();
-                for &idx in &indices[pointer[seg]..pointer[seg + 1]] {
-                    run.push(buf, idx);
-                }
-            }
-            buf.push_f64_slice(values);
-        }
-    }
+    let codec = codec_for(policy.format);
+    let desc = codec.plan(index_bound, pointer, indices, values, policy);
+    codec.begin_message(buf, desc);
+    codec.encode_indices(buf, pointer, indices, desc);
+    codec.encode_values(buf, values, desc);
 }
 
 /// Unpack a triple written by [`pack_triple_into`] for an array with
 /// `nsegments` outer segments. Returns `(pointer, indices, values)`.
 ///
-/// The cursor must be exhausted afterwards by the caller if trailing
-/// bytes are an error at its layer (scheme unpackers check this).
+/// `format` is the *receiver's* format; the header names the codec that
+/// actually wrote the stream (an older sender's format under
+/// mixed-version negotiation). The cursor must be exhausted afterwards
+/// by the caller if trailing bytes are an error at its layer (scheme
+/// unpackers check this).
 pub fn unpack_triple(
     cursor: &mut UnpackCursor<'_>,
     nsegments: usize,
     format: WireFormat,
 ) -> Result<UnpackedTriple, SparsedistError> {
-    match format {
-        WireFormat::V1 => {
-            let pointer = cursor.try_read_usize_vec(nsegments + 1)?;
-            // lint: allow(E002) — the vec was just read with nsegments + 1 ≥ 1 elements
-            let nnz = *pointer.last().expect("pointer vec is non-empty");
-            let indices = cursor.try_read_usize_vec(nnz)?;
-            let values = cursor.try_read_f64_vec(nnz)?;
-            Ok((pointer, indices, values))
-        }
-        WireFormat::V2 => {
-            let flags = read_header(cursor)?;
-            let pointer = read_monotone_run(cursor, nsegments + 1, flags)?;
-            // lint: allow(E002) — read_monotone_run returned nsegments + 1 ≥ 1 elements
-            let nnz = *pointer.last().expect("pointer vec is non-empty");
-            let mut indices = Vec::with_capacity(nnz);
-            let mut run = IndexRunReader::new(flags);
-            for seg in 0..nsegments {
-                run.reset();
-                for _ in pointer[seg]..pointer[seg + 1] {
-                    indices.push(run.next(cursor)?);
-                }
-            }
-            let values = cursor.try_read_f64_vec(nnz)?;
-            Ok((pointer, indices, values))
-        }
-    }
+    let head = codec_for(format).open_message(cursor)?;
+    let (pointer, indices) = head.codec.decode_indices(cursor, nsegments, head.desc)?;
+    let nnz = pointer.last().copied().unwrap_or(0);
+    let values = head.codec.decode_values(cursor, nnz, head.desc)?;
+    Ok((pointer, indices, values))
+}
+
+/// Pack a bare value stream (the SFC wire message — dense local rows,
+/// no index side) into `buf` under `policy`.
+pub fn pack_values_into(buf: &mut PackBuffer, values: &[f64], policy: &WirePolicy) {
+    let codec = codec_for(policy.format);
+    let desc = codec.plan(0, &[], &[], values, policy);
+    codec.begin_message(buf, desc);
+    codec.encode_values(buf, values, desc);
+}
+
+/// Unpack `n` values written by [`pack_values_into`].
+pub fn unpack_values(
+    cursor: &mut UnpackCursor<'_>,
+    n: usize,
+    format: WireFormat,
+) -> Result<Vec<f64>, SparsedistError> {
+    let head = codec_for(format).open_message(cursor)?;
+    head.codec.decode_values(cursor, n, head.desc)
 }
 
 #[cfg(test)]
@@ -455,6 +389,23 @@ mod tests {
                 found: [b'S', 0, 0]
             })
         );
+    }
+
+    #[test]
+    fn v2_reader_rejects_v3_magic() {
+        // A v2-only receiver must not misread a v3 stream: the magic
+        // differs in the version byte and is reported back typed.
+        let mut b = PackBuffer::new();
+        b.push_raw(&[b'S', b'3', 0b110]);
+        assert_eq!(
+            read_header(&mut b.cursor()),
+            Err(CompressError::WireHeader {
+                found: [b'S', b'3', 0b110]
+            })
+        );
+        assert!(codec_for(WireFormat::V2)
+            .open_message(&mut b.cursor())
+            .is_err());
     }
 
     #[test]
@@ -521,11 +472,11 @@ mod tests {
     }
 
     #[test]
-    fn triple_round_trips_in_both_formats() {
+    fn triple_round_trips_in_every_format() {
         let (ro, co, vl) = fig7_triple();
-        for format in [WireFormat::V1, WireFormat::V2] {
+        for format in [WireFormat::V1, WireFormat::V2, WireFormat::V3] {
             let mut b = PackBuffer::new();
-            pack_triple_into(&mut b, &ro, &co, &vl, 8, format);
+            pack_triple_into(&mut b, &ro, &co, &vl, 8, &WirePolicy::of(format));
             assert_eq!(
                 b.elem_count(),
                 (ro.len() + 2 * vl.len()) as u64,
@@ -546,7 +497,7 @@ mod tests {
     fn v2_triple_is_smaller_and_v1_matches_seed_layout() {
         let (ro, co, vl) = fig7_triple();
         let mut v1 = PackBuffer::new();
-        pack_triple_into(&mut v1, &ro, &co, &vl, 8, WireFormat::V1);
+        pack_triple_into(&mut v1, &ro, &co, &vl, 8, &WirePolicy::of(WireFormat::V1));
         // Seed layout: every element is 8 LE bytes in RO, CO, VL order.
         let mut seed = PackBuffer::new();
         seed.push_usize_slice(&ro);
@@ -555,7 +506,7 @@ mod tests {
         assert_eq!(v1, seed);
 
         let mut v2 = PackBuffer::new();
-        pack_triple_into(&mut v2, &ro, &co, &vl, 8, WireFormat::V2);
+        pack_triple_into(&mut v2, &ro, &co, &vl, 8, &WirePolicy::of(WireFormat::V2));
         assert!(
             v2.byte_len() < v1.byte_len(),
             "v2 ({}) must be smaller than v1 ({})",
@@ -568,10 +519,58 @@ mod tests {
     }
 
     #[test]
+    fn capped_policy_is_byte_identical_to_the_peer_format() {
+        // A v3 sender talking to a v2-capable peer produces exactly the
+        // stream a native v2 sender would.
+        let (ro, co, vl) = fig7_triple();
+        let v3_capped = WirePolicy::of(WireFormat::V3).capped(WireFormat::V2);
+        assert_eq!(v3_capped.format, WireFormat::V2);
+        let mut capped = PackBuffer::new();
+        pack_triple_into(&mut capped, &ro, &co, &vl, 8, &v3_capped);
+        let mut native = PackBuffer::new();
+        pack_triple_into(
+            &mut native,
+            &ro,
+            &co,
+            &vl,
+            8,
+            &WirePolicy::of(WireFormat::V2),
+        );
+        assert_eq!(capped, native);
+        // And the other direction never upgrades.
+        assert_eq!(
+            effective_format(WireFormat::V1, WireFormat::V3),
+            WireFormat::V1
+        );
+        assert_eq!(
+            effective_format(WireFormat::V3, WireFormat::V1),
+            WireFormat::V1
+        );
+        assert_eq!(
+            effective_format(WireFormat::V3, WireFormat::V3),
+            WireFormat::V3
+        );
+    }
+
+    #[test]
+    fn value_streams_round_trip_in_every_format() {
+        let values: Vec<f64> = (0..40).map(|i| (i % 7) as f64 * 0.5).collect();
+        for format in [WireFormat::V1, WireFormat::V2, WireFormat::V3] {
+            let mut b = PackBuffer::new();
+            pack_values_into(&mut b, &values, &WirePolicy::of(format));
+            assert_eq!(b.elem_count(), values.len() as u64, "{format}");
+            let mut c = b.cursor();
+            let got = unpack_values(&mut c, values.len(), format).unwrap();
+            assert!(c.is_exhausted(), "{format}");
+            assert_eq!(got, values, "{format}");
+        }
+    }
+
+    #[test]
     fn truncated_v2_stream_is_an_error_not_a_panic() {
         let (ro, co, vl) = fig7_triple();
         let mut b = PackBuffer::new();
-        pack_triple_into(&mut b, &ro, &co, &vl, 8, WireFormat::V2);
+        pack_triple_into(&mut b, &ro, &co, &vl, 8, &WirePolicy::of(WireFormat::V2));
         let bytes = b.as_bytes();
         for cut in [0, 1, 2, 5, bytes.len() - 1] {
             let mut t = PackBuffer::new();
@@ -588,5 +587,7 @@ mod tests {
         assert_eq!(WireFormat::default(), WireFormat::V1);
         assert_eq!(WireFormat::V1.to_string(), "v1");
         assert_eq!(WireFormat::V2.label(), "v2");
+        assert_eq!(WireFormat::V3.label(), "v3");
+        assert!(WireFormat::V2.version() < WireFormat::V3.version());
     }
 }

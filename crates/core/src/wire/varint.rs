@@ -1,0 +1,148 @@
+//! Varint and zigzag primitives plus the streaming index-run writer and
+//! reader shared by the v2 and v3 codecs.
+//!
+//! LEB128 encoding itself lives in the pack layer
+//! ([`PackBuffer::push_varint`] / `UnpackCursor::try_read_varint`); this
+//! module adds the size accounting the v3 negotiator needs
+//! ([`varint_len`]), the signed-to-unsigned fold for deltas that may go
+//! backwards ([`zigzag`]/[`unzigzag`]), and the segment-resetting run
+//! writer/reader that v2 streams travelling indices through.
+
+use super::{FLAG_DELTA, FLAG_IDX32};
+use sparsedist_multicomputer::pack::{PackBuffer, UnpackCursor, UnpackError};
+
+/// Bytes a LEB128 varint encoding of `v` occupies (1..=10).
+pub fn varint_len(v: u64) -> usize {
+    if v == 0 {
+        return 1;
+    }
+    let bits = 64 - v.leading_zeros() as usize;
+    bits.div_ceil(7)
+}
+
+/// Fold a signed delta into an unsigned value with small magnitudes
+/// staying small: `0, -1, 1, -2, 2, …` map to `0, 1, 2, 3, 4, …`.
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Streaming writer for sorted index runs that reset at segment
+/// boundaries (the travelling `CO` indices of one CRS row / CCS column,
+/// or one ED segment's `C_ij` run).
+///
+/// Under `DELTA` the first index after a [`IndexRunWriter::reset`] is
+/// written absolute and the rest as deltas from their predecessor;
+/// without `DELTA` each index is a fixed-width field.
+#[derive(Debug, Clone)]
+pub struct IndexRunWriter {
+    flags: u8,
+    prev: u64,
+    fresh: bool,
+}
+
+impl IndexRunWriter {
+    /// A writer for one message's negotiated flags, positioned at a
+    /// segment boundary.
+    pub fn new(flags: u8) -> Self {
+        IndexRunWriter {
+            flags,
+            prev: 0,
+            fresh: true,
+        }
+    }
+
+    /// Mark a segment boundary: the next index is written absolute.
+    pub fn reset(&mut self) {
+        self.prev = 0;
+        self.fresh = true;
+    }
+
+    /// Append one index of the current segment's sorted run.
+    pub fn push(&mut self, buf: &mut PackBuffer, v: usize) {
+        let v = v as u64;
+        if self.flags & FLAG_DELTA != 0 {
+            debug_assert!(self.fresh || v >= self.prev, "index run is not sorted");
+            buf.push_varint(if self.fresh { v } else { v - self.prev });
+            self.prev = v;
+            self.fresh = false;
+        } else if self.flags & FLAG_IDX32 != 0 {
+            buf.push_u32(v as u32);
+        } else {
+            buf.push_u64(v);
+        }
+    }
+}
+
+/// Streaming reader matching [`IndexRunWriter`], with the same
+/// segment-boundary [`IndexRunReader::reset`] protocol.
+#[derive(Debug, Clone)]
+pub struct IndexRunReader {
+    flags: u8,
+    prev: u64,
+    fresh: bool,
+}
+
+impl IndexRunReader {
+    /// A reader for the flags recovered from the message header.
+    pub fn new(flags: u8) -> Self {
+        IndexRunReader {
+            flags,
+            prev: 0,
+            fresh: true,
+        }
+    }
+
+    /// Mark a segment boundary: the next index read is absolute.
+    pub fn reset(&mut self) {
+        self.prev = 0;
+        self.fresh = true;
+    }
+
+    /// Read one index of the current segment's run.
+    pub fn next(&mut self, cursor: &mut UnpackCursor<'_>) -> Result<usize, UnpackError> {
+        if self.flags & FLAG_DELTA != 0 {
+            let d = cursor.try_read_varint()?;
+            self.prev = if self.fresh {
+                d
+            } else {
+                self.prev.wrapping_add(d)
+            };
+            self.fresh = false;
+            Ok(self.prev as usize)
+        } else if self.flags & FLAG_IDX32 != 0 {
+            cursor.try_read_u32().map(|v| v as usize)
+        } else {
+            cursor.try_read_u64().map(|v| v as usize)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_len_matches_packed_bytes() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+            let mut b = PackBuffer::new();
+            b.push_varint(v);
+            assert_eq!(b.byte_len(), varint_len(v), "v={v}");
+        }
+    }
+
+    #[test]
+    fn zigzag_round_trips_and_keeps_small_magnitudes_small() {
+        for v in [0i64, -1, 1, -2, 2, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v, "v={v}");
+        }
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-2), 3);
+    }
+}

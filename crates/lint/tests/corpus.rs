@@ -186,6 +186,35 @@ fn w002_is_scoped_to_clock_bearing_crates() {
 }
 
 #[test]
+fn w_rules_exempt_the_wire_codec_family_only() {
+    // Under the checked-in lint.toml the codec modules may narrow — the
+    // per-message width negotiation is the point…
+    let root = workspace_root();
+    let cfg = sparsedist_lint::load_config(&root).expect("lint.toml parses");
+    for path in [
+        "crates/core/src/wire/mod.rs",
+        "crates/core/src/wire/codec.rs",
+        "crates/core/src/wire/varint.rs",
+        "crates/core/src/wire/bitpack.rs",
+        "crates/core/src/wire/v3.rs",
+    ] {
+        let (violations, _) = sparsedist_lint::check_source(path, &fixture("bad_w_rules.rs"), &cfg);
+        assert!(violations.is_empty(), "{path}: {violations:?}");
+    }
+    // …while the same truncating casts anywhere outside the family still
+    // fire, including right next door in core.
+    for path in [
+        "crates/core/src/encode.rs",
+        "crates/core/src/schemes/cfs.rs",
+        "crates/multicomputer/src/pack.rs",
+    ] {
+        let (violations, _) = sparsedist_lint::check_source(path, &fixture("bad_w_rules.rs"), &cfg);
+        let got: Vec<(usize, &str)> = violations.iter().map(|v| (v.line, v.rule)).collect();
+        assert_eq!(got, vec![(4, "W001"), (8, "W001"), (12, "W002")], "{path}");
+    }
+}
+
+#[test]
 fn c001_fires_on_non_receive_awaits_only() {
     assert_eq!(
         check("crates/core/src/schemes/fixture.rs", "bad_c001.rs"),

@@ -1,4 +1,4 @@
-//! Known-bad width-discipline fixture: truncating casts outside wire.rs.
+//! Known-bad width-discipline fixture: casts outside the wire family.
 
 fn narrow(big: u64) -> u32 {
     big as u32

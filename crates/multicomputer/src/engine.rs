@@ -439,6 +439,17 @@ impl Multicomputer {
         self.mode
     }
 
+    /// The α-β machine model this machine charges by. Wall-clock runs
+    /// still expose the paper's IBM SP2 model so host-side decisions that
+    /// price bytes against operations (e.g. wire codec negotiation) have
+    /// coefficients to work with.
+    pub fn model(&self) -> MachineModel {
+        match self.mode {
+            TimingMode::Virtual(m) => m,
+            TimingMode::WallClock { .. } => MachineModel::ibm_sp2(),
+        }
+    }
+
     /// Run `f` in SPMD style on every processor and collect the return
     /// values in rank order. Each invocation gets an [`Env`] holding that
     /// rank's channels, clock and ledger.

@@ -581,6 +581,12 @@ impl<'a> UnpackCursor<'a> {
         (0..n).map(|_| self.read_f64()).collect()
     }
 
+    /// Byte offset of the next read — how much of the buffer has been
+    /// consumed so far.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
     /// Bytes not yet consumed.
     pub fn remaining(&self) -> usize {
         self.bytes.len() - self.pos

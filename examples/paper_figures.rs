@@ -78,7 +78,7 @@ fn main() {
 
     println!("\nFigure 6/7: ED special buffers B (row partition, CCS format)");
     for pid in 0..4 {
-        let buf = encode_part(&a, &part, pid, CompressKind::Ccs, &mut OpCounter::new()).unwrap();
+        let buf = encode_part(&a, &part, pid, CompressKind::Ccs, &mut OpCounter::new());
         let mut cursor = buf.cursor();
         let mut rendered = Vec::new();
         for _ in 0..8 {

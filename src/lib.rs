@@ -39,6 +39,6 @@ pub mod prelude {
     pub use sparsedist_core::schemes::{
         run_scheme, run_scheme_with, SchemeConfig, SchemeKind, SchemeRun,
     };
-    pub use sparsedist_core::wire::WireFormat;
+    pub use sparsedist_core::wire::{CodecChoice, WireFormat, WirePolicy};
     pub use sparsedist_multicomputer::{MachineModel, Multicomputer, Phase};
 }

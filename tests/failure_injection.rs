@@ -14,7 +14,7 @@ use sparsedist::prelude::*;
 fn truncated_ed_buffer_reports_error_not_panic() {
     let a = paper_array_a();
     let part = RowBlock::new(10, 8, 4);
-    let full = encode_part(&a, &part, 2, CompressKind::Crs, &mut OpCounter::new()).unwrap();
+    let full = encode_part(&a, &part, 2, CompressKind::Crs, &mut OpCounter::new());
     // Rebuild progressively truncated buffers; every prefix must fail
     // cleanly (or, for the full buffer, succeed).
     let words = full.byte_len() / 8;
@@ -35,7 +35,7 @@ fn truncated_ed_buffer_reports_error_not_panic() {
 fn corrupted_counts_detected() {
     let a = paper_array_a();
     let part = RowBlock::new(10, 8, 4);
-    let mut buf = encode_part(&a, &part, 0, CompressKind::Crs, &mut OpCounter::new()).unwrap();
+    let mut buf = encode_part(&a, &part, 0, CompressKind::Crs, &mut OpCounter::new());
     buf.patch_u64(0, u64::MAX / 16).unwrap(); // absurd R_0
     let r = decode_part(&buf, &part, 0, CompressKind::Crs, &mut OpCounter::new());
     assert!(r.is_err());

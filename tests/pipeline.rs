@@ -57,17 +57,30 @@ fn arb_scheme() -> impl Strategy<Value = SchemeKind> {
 fn arb_config() -> impl Strategy<Value = SchemeConfig> {
     let arb_bool = || prop_oneof![Just(false), Just(true)];
     (
-        prop_oneof![Just(WireFormat::V1), Just(WireFormat::V2)],
+        prop_oneof![
+            Just(WireFormat::V1),
+            Just(WireFormat::V2),
+            Just(WireFormat::V3)
+        ],
+        prop_oneof![
+            Just(CodecChoice::Auto),
+            Just(CodecChoice::Raw),
+            Just(CodecChoice::Delta),
+            Just(CodecChoice::Packed)
+        ],
         arb_bool(),
         arb_bool(),
         prop_oneof![Just(0usize), 1usize..64],
     )
-        .prop_map(|(wire, parallel, overlap, chunk_elems)| SchemeConfig {
-            wire,
-            parallel,
-            overlap,
-            chunk_elems,
-        })
+        .prop_map(
+            |(wire, codec, parallel, overlap, chunk_elems)| SchemeConfig {
+                wire,
+                codec,
+                parallel,
+                overlap,
+                chunk_elems,
+            },
+        )
 }
 
 proptest! {

@@ -92,7 +92,7 @@ proptest! {
     }), kind in prop_oneof![Just(CompressKind::Crs), Just(CompressKind::Ccs)]) {
         let (part, p) = pp;
         for pid in 0..p {
-            let buf = encode_part(&a, part.as_ref(), pid, kind, &mut OpCounter::new()).unwrap();
+            let buf = encode_part(&a, part.as_ref(), pid, kind, &mut OpCounter::new());
             let got = decode_part(&buf, part.as_ref(), pid, kind, &mut OpCounter::new()).unwrap();
             prop_assert_eq!(got.to_dense(), part.extract_dense(&a, pid));
         }

@@ -1,5 +1,6 @@
-//! Byte-exact goldens for the v1 and v2 wire layouts, plus property tests
-//! showing the two formats decode to identical compressed state.
+//! Byte-exact goldens for the v1 and v2 wire layouts, v3 self-description
+//! checks, plus property tests showing all formats decode to identical
+//! compressed state.
 //!
 //! The expected byte streams are written out field by field, independently
 //! of the packing code, so any layout drift — field order, widths, varint
@@ -11,7 +12,7 @@ use sparsedist::core::compress::CompressKind;
 use sparsedist::core::dense::paper_array_a;
 use sparsedist::core::encode::{decode_part_wire, encode_part_into};
 use sparsedist::core::opcount::OpCounter;
-use sparsedist::core::wire::{self, WireFormat};
+use sparsedist::core::wire::{self, CodecChoice, WireFormat, WirePolicy};
 use sparsedist::multicomputer::PackBuffer;
 use sparsedist::prelude::*;
 
@@ -40,7 +41,14 @@ const VALUES: [f64; 5] = [1.5, 2.5, 3.5, 4.5, 5.5];
 #[test]
 fn cfs_triple_v1_bytes_golden() {
     let mut buf = PackBuffer::new();
-    wire::pack_triple_into(&mut buf, &POINTER, &INDICES, &VALUES, 8, WireFormat::V1);
+    wire::pack_triple_into(
+        &mut buf,
+        &POINTER,
+        &INDICES,
+        &VALUES,
+        8,
+        &WirePolicy::of(WireFormat::V1),
+    );
 
     // v1: pointer and indices as raw LE u64, values as LE f64 — no header.
     let mut expect = Vec::new();
@@ -61,7 +69,14 @@ fn cfs_triple_v1_bytes_golden() {
 #[test]
 fn cfs_triple_v2_bytes_golden() {
     let mut buf = PackBuffer::new();
-    wire::pack_triple_into(&mut buf, &POINTER, &INDICES, &VALUES, 8, WireFormat::V2);
+    wire::pack_triple_into(
+        &mut buf,
+        &POINTER,
+        &INDICES,
+        &VALUES,
+        8,
+        &WirePolicy::of(WireFormat::V2),
+    );
 
     // v2: "S2" magic + flags (DELTA|IDX32 = 0b11), the pointer as an
     // absolute varint then deltas, each segment's indices as an absolute
@@ -95,10 +110,9 @@ fn ed_buffer_v1_bytes_golden() {
         &part,
         0,
         CompressKind::Crs,
-        WireFormat::V1,
+        &WirePolicy::of(WireFormat::V1),
         &mut OpCounter::new(),
-    )
-    .unwrap();
+    );
 
     let mut expect = Vec::new();
     le64(&mut expect, 1); // R_0
@@ -130,10 +144,9 @@ fn ed_buffer_v2_bytes_golden() {
         &part,
         0,
         CompressKind::Crs,
-        WireFormat::V2,
+        &WirePolicy::of(WireFormat::V2),
         &mut OpCounter::new(),
-    )
-    .unwrap();
+    );
 
     let mut expect: Vec<u8> = vec![b'S', b'2', 0b11];
     le32(&mut expect, 1); // R_0
@@ -189,8 +202,8 @@ proptest! {
             let (lrows, _) = part.local_shape(pid);
             let mut v1 = PackBuffer::new();
             let mut v2 = PackBuffer::new();
-            wire::pack_triple_into(&mut v1, crs.ro(), crs.co(), crs.vl(), a.cols(), WireFormat::V1);
-            wire::pack_triple_into(&mut v2, crs.ro(), crs.co(), crs.vl(), a.cols(), WireFormat::V2);
+            wire::pack_triple_into(&mut v1, crs.ro(), crs.co(), crs.vl(), a.cols(), &WirePolicy::of(WireFormat::V1));
+            wire::pack_triple_into(&mut v2, crs.ro(), crs.co(), crs.vl(), a.cols(), &WirePolicy::of(WireFormat::V2));
             prop_assert_eq!(v1.elem_count(), v2.elem_count());
             prop_assert!(v2.byte_len() <= v1.byte_len() + wire::HEADER_LEN);
 
@@ -202,6 +215,18 @@ proptest! {
             prop_assert_eq!(from_v1.0.as_slice(), crs.ro());
             prop_assert_eq!(from_v1.1.as_slice(), crs.co());
             prop_assert_eq!(from_v1.2.as_slice(), crs.vl());
+
+            // v3 under every forced codec and auto: same decoded triple,
+            // same logical elements.
+            for choice in [CodecChoice::Auto, CodecChoice::Raw, CodecChoice::Delta, CodecChoice::Packed] {
+                let policy = WirePolicy::new(WireFormat::V3, choice, MachineModel::ibm_sp2());
+                let mut v3 = PackBuffer::new();
+                wire::pack_triple_into(&mut v3, crs.ro(), crs.co(), crs.vl(), a.cols(), &policy);
+                prop_assert_eq!(v3.elem_count(), v1.elem_count());
+                let from_v3 =
+                    wire::unpack_triple(&mut v3.cursor(), lrows, WireFormat::V3).unwrap();
+                prop_assert_eq!(&from_v3, &from_v1);
+            }
         }
     }
 
@@ -214,17 +239,25 @@ proptest! {
             for pid in 0..nparts {
                 let mut v1 = PackBuffer::new();
                 let mut v2 = PackBuffer::new();
+                let mut v3 = PackBuffer::new();
                 let mut ops1 = OpCounter::new();
                 let mut ops2 = OpCounter::new();
-                encode_part_into(&mut v1, &a, &part, pid, kind, WireFormat::V1, &mut ops1).unwrap();
-                encode_part_into(&mut v2, &a, &part, pid, kind, WireFormat::V2, &mut ops2).unwrap();
+                let mut ops3 = OpCounter::new();
+                encode_part_into(&mut v1, &a, &part, pid, kind, &WirePolicy::of(WireFormat::V1), &mut ops1);
+                encode_part_into(&mut v2, &a, &part, pid, kind, &WirePolicy::of(WireFormat::V2), &mut ops2);
+                encode_part_into(&mut v3, &a, &part, pid, kind, &WirePolicy::of(WireFormat::V3), &mut ops3);
                 prop_assert_eq!(ops1.get(), ops2.get());
+                prop_assert_eq!(ops1.get(), ops3.get());
                 prop_assert_eq!(v1.elem_count(), v2.elem_count());
+                prop_assert_eq!(v1.elem_count(), v3.elem_count());
 
                 let d1 = decode_part_wire(&v1, &part, pid, kind, WireFormat::V1, &mut ops1).unwrap();
                 let d2 = decode_part_wire(&v2, &part, pid, kind, WireFormat::V2, &mut ops2).unwrap();
+                let d3 = decode_part_wire(&v3, &part, pid, kind, WireFormat::V3, &mut ops3).unwrap();
                 prop_assert_eq!(&d1, &d2);
+                prop_assert_eq!(&d1, &d3);
                 prop_assert_eq!(ops1.get(), ops2.get());
+                prop_assert_eq!(ops1.get(), ops3.get());
             }
         }
     }
